@@ -1,0 +1,86 @@
+//===- bench/bench_ext_generic_iterators.cpp ------------------------------===//
+//
+// Extension experiment (Section 3 generality): Craft vs Kleene across
+// generic scalar fixpoint iterators and input widths. For each iterator
+// family the harness sweeps the input radius and reports the looseness of
+// both analyses relative to the sampled exact fixpoint set, locating the
+// radius at which Kleene stops converging while the joins-free driver
+// still delivers a sound result — the Table 5 phenomenon, generalized.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ScalarFixpoint.h"
+#include "support/Table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace craft;
+
+namespace {
+
+struct Family {
+  std::string Name;
+  ScalarIterator It;
+  double Center;
+  std::vector<double> Radii;
+};
+
+/// Looseness = (abstract width) / (exact width); 0 for divergence.
+double looseness(const ScalarAnalysis &A, double ExactLo, double ExactHi) {
+  if (!A.Contained)
+    return 0.0;
+  double Exact = std::max(ExactHi - ExactLo, 1e-12);
+  return (A.Hi - A.Lo) / Exact;
+}
+
+} // namespace
+
+int main() {
+  printf("Extension: generic fixpoint iterators, Craft vs Kleene across\n"
+         "input widths (looseness = abstract/exact width; '-' diverged)\n\n");
+
+  std::vector<Family> Families = {
+      {"damped-cosine k=0.5", makeDampedCosineIterator(0.5), 0.0,
+       {0.1, 0.3, 0.6, 1.0, 1.5}},
+      {"tanh-neuron w=0.8", makeTanhNeuronIterator(0.8), 0.0,
+       {0.1, 0.3, 0.6, 1.0, 1.5}},
+      {"newton-sqrt", makeNewtonSqrtIterator(), 20.0,
+       {0.5, 2.0, 4.5, 8.0, 12.0}},
+      {"householder-rsqrt", makeHouseholderIterator(), 20.0,
+       {0.5, 2.0, 4.5, 6.0, 8.0}},
+  };
+
+  for (const Family &F : Families) {
+    TablePrinter T({"radius", "exact width", "craft loose", "craft iters",
+                    "kleene loose"});
+    for (double R : F.Radii) {
+      double XLo = F.Center - R, XHi = F.Center + R;
+      double SMin = 1e300, SMax = -1e300;
+      for (int I = 0; I <= 128; ++I) {
+        double X = XLo + (XHi - XLo) * I / 128.0;
+        double S = solveScalarConcrete(F.It, X);
+        SMin = std::min(SMin, S);
+        SMax = std::max(SMax, S);
+      }
+      ScalarAnalysis Craft = analyzeScalarCraft(F.It, XLo, XHi);
+      ScalarAnalysis Kleene = analyzeScalarKleene(F.It, XLo, XHi);
+      double LC = looseness(Craft, SMin, SMax);
+      double LK = looseness(Kleene, SMin, SMax);
+      T.addRow({fmt(R, 2), fmt(SMax - SMin, 4),
+                Craft.Contained ? fmt(LC, 3) : "-",
+                fmt((long)Craft.Iterations),
+                Kleene.Contained ? fmt(LK, 3) : "-"});
+    }
+    printf("== %s ==\n", F.Name.c_str());
+    T.print();
+    printf("\n");
+  }
+
+  printf("Expected shape: Craft looseness stays close to 1 and degrades\n"
+         "gracefully with radius; Kleene is uniformly looser and drops out\n"
+         "(diverges) at a smaller radius in each family.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===- bench/bench_ext_linear_solvers.cpp ---------------------------------===//
+//
+// Extension experiment (Section 3 generality, high-dimensional): abstract
+// interpretation of stationary linear-system solvers with the CH-Zonotope
+// driver. For the 1-d Poisson system at growing sizes, the harness reports
+// per solver family (Jacobi / Gauss-Seidel / damped Richardson): the
+// contraction bound, iterations to abstract containment, certified-hull
+// looseness versus the exact solution-set hull, and wall time. Shape to
+// expect: looseness stays within a few percent at every size (affine
+// transformers are exact; consolidation cost is bounded), iterations track
+// the concrete contraction rate, and runtime scales ~O(p^3) per iteration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LinearFixpoint.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+using namespace craft;
+
+namespace {
+
+Matrix poissonMatrix(size_t P) {
+  Matrix A(P, P);
+  for (size_t I = 0; I < P; ++I) {
+    A(I, I) = 2.0;
+    if (I > 0)
+      A(I, I - 1) = -1.0;
+    if (I + 1 < P)
+      A(I, I + 1) = -1.0;
+  }
+  return A;
+}
+
+} // namespace
+
+int main() {
+  printf("Extension: CH-Zonotope analysis of linear-system solvers\n"
+         "(1-d Poisson A u = f, per-node load uncertainty +-20%%)\n\n");
+
+  std::vector<size_t> Sizes = {8, 16, 32};
+  if (const char *Env = std::getenv("CRAFT_LINEAR_MAXP"))
+    if (size_t Max = (size_t)std::atol(Env); Max > 32)
+      Sizes.push_back(Max);
+
+  TablePrinter T({"p", "solver", "contraction", "iters", "loose", "time [s]"});
+  for (size_t P : Sizes) {
+    Matrix A = poissonMatrix(P);
+    double H = 1.0 / (P + 1);
+    Vector BLo(P, H * H * 0.8), BHi(P, H * H * 1.2);
+
+    struct Entry {
+      const char *Label;
+      LinearIterator It;
+    };
+    std::vector<Entry> Solvers;
+    Solvers.push_back({"jacobi", makeJacobiIterator(A)});
+    Solvers.push_back({"gauss-seidel", makeGaussSeidelIterator(A)});
+    Solvers.push_back({"richardson", makeRichardsonIterator(A, 0.45)});
+
+    for (const Entry &E : Solvers) {
+      LinearAnalysisOptions Opts;
+      Opts.MaxIterations = 4000;
+      Opts.TightenSteps = 150;
+      WallTimer Clock;
+      LinearAnalysisResult Res =
+          analyzeLinearFixpoint(E.It, BLo, BHi, Opts);
+      double Elapsed = Clock.seconds();
+      IntervalVector Exact = exactLinearFixpointHull(E.It, BLo, BHi);
+      T.addRow({fmt((long)P), E.Label, fmt(contractionFactor(E.It), 4),
+                Res.Contained ? fmt((long)Res.Iterations) : "-",
+                Res.Contained
+                    ? fmt(Res.Hull.meanWidth() / Exact.meanWidth(), 3)
+                    : "-",
+                fmt(Elapsed, 3)});
+    }
+  }
+  T.print();
+  printf("\n(CRAFT_LINEAR_MAXP=<p> appends a larger size.)\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+//===- bench/bench_ext_table1_domains.cpp ---------------------------------===//
+//
+// Extension experiment: the Table 1 / Section 2.3 domain comparison made
+// quantitative, with the "(Restricted) Polyhedra" row implemented as the
+// unrolled-CROWN baseline (core/UnrolledCrown.h). On the trained FCx40
+// model, for a range of l-inf radii, the harness certifies the same
+// samples with
+//
+//   Box            — interval iteration (tractable inclusion, no precision),
+//   Polyhedra      — CROWN linear bounds through k unrolled FB steps plus
+//                    a contraction tail (no native inclusion check: sound
+//                    only inside FB's concrete convergence range),
+//   CH-Zonotope    — the paper's Craft verifier.
+//
+// Expected shape (Table 1's checkmarks, quantified): Box certifies nothing
+// beyond tiny radii; the polyhedra baseline is precise at small radii but
+// its tail erodes the margin as eps grows; Craft certifies the most, with
+// comparable runtime.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/UnrolledCrown.h"
+#include "support/Rng.h"
+
+using namespace craft;
+
+int main() {
+  std::printf("== Extension: Table 1 domain comparison on FCx40 ==\n\n");
+
+  const ModelSpec *Spec = findModelSpec("mnist_fc40");
+  MonDeq Model = getOrTrainModel(*Spec);
+  Dataset Test = makeTestSet(*Spec, benchSamples(10));
+
+  CraftConfig BoxCfg = craftConfigFor(*Spec);
+  BoxCfg.Domain = VerifierDomain::Box;
+  CraftConfig ChCfg = craftConfigFor(*Spec);
+  CrownOptions CrownCfg;
+  CrownCfg.UnrollSteps = 60;
+
+  CraftVerifier BoxVer(Model, BoxCfg);
+  CraftVerifier ChVer(Model, ChCfg);
+  CrownVerifier CrownVer(Model, CrownCfg);
+  FixpointSolver Solver(Model, Splitting::PeacemanRachford);
+
+  TablePrinter T({"eps", "#acc", "box cert", "crown cert", "craft cert",
+                  "box t[s]", "crown t[s]", "craft t[s]"});
+  for (double Eps : {0.01, 0.05, 0.1, 0.15, 0.2}) {
+    int Accurate = 0, BoxCert = 0, CrownCert = 0, CraftCert = 0;
+    double BoxTime = 0.0, CrownTime = 0.0, CraftTime = 0.0;
+    for (size_t I = 0; I < Test.size(); ++I) {
+      Vector X = Test.input(I);
+      if (Solver.predict(X) != Test.Labels[I])
+        continue;
+      ++Accurate;
+      int Target = Test.Labels[I];
+      {
+        WallTimer Clock;
+        BoxCert += BoxVer.verifyRobustness(X, Target, Eps).Certified;
+        BoxTime += Clock.seconds();
+      }
+      {
+        WallTimer Clock;
+        CrownCert += CrownVer.verifyRobustness(X, Target, Eps).Certified;
+        CrownTime += Clock.seconds();
+      }
+      {
+        WallTimer Clock;
+        CraftCert += ChVer.verifyRobustness(X, Target, Eps).Certified;
+        CraftTime += Clock.seconds();
+      }
+    }
+    double Inv = Accurate > 0 ? 1.0 / Accurate : 0.0;
+    T.addRow({fmt(Eps, 3), fmt((long)Accurate), fmt((long)BoxCert),
+              fmt((long)CrownCert), fmt((long)CraftCert),
+              fmt(BoxTime * Inv, 3), fmt(CrownTime * Inv, 3),
+              fmt(CraftTime * Inv, 3)});
+  }
+  T.print();
+
+  std::printf("\ncontraction factor at crown's alpha: %.4f "
+              "(tail ~ %.2e after %d steps)\n",
+              CrownVer.contraction(),
+              std::pow(CrownVer.contraction(), CrownCfg.UnrollSteps),
+              CrownCfg.UnrollSteps);
+  std::printf("Expected shape: Box 0 everywhere beyond tiny radii; CROWN\n"
+              "competitive while its contraction tail is negligible; Craft\n"
+              "certifies at least as much (Table 1's precision column).\n");
+
+  // Second axis: the polyhedra baseline's guarantee *requires* FB's
+  // concrete contraction, which degrades as the monotonicity parameter m
+  // shrinks (alpha range ~ 2m/||I-W||^2). Craft's containment check has no
+  // such side condition — the structural Table 1 point.
+  std::printf("\n== Structural axis: monotonicity m vs the contraction tail "
+              "==\n\n");
+  TablePrinter T2({"m", "contraction", "k for tail<1e-3", "crown cert",
+                   "craft cert"});
+  for (double M : {20.0, 5.0, 1.0, 0.2}) {
+    Rng R(42);
+    MonDeq Rand = MonDeq::randomFc(R, 40, 30, 4, M);
+    CrownVerifier CV(Rand, CrownCfg);
+    CraftVerifier Craft(Rand);
+    FixpointSolver Pred(Rand, Splitting::PeacemanRachford);
+    int CrownCert = 0, CraftCert = 0, Trials = 5;
+    Rng RX(43);
+    for (int I = 0; I < Trials; ++I) {
+      Vector X(40);
+      for (double &V : X)
+        V = RX.uniform(0.2, 0.8);
+      int Cls = Pred.predict(X);
+      CrownCert += CV.verifyRobustness(X, Cls, 0.01).Certified;
+      CraftCert += Craft.verifyRobustness(X, Cls, 0.01).Certified;
+    }
+    double C = CV.contraction();
+    long KNeeded =
+        C < 1.0 ? (long)std::ceil(std::log(1e-3) / std::log(C)) : -1;
+    T2.addRow({fmt(M, 1), fmt(C, 4), KNeeded >= 0 ? fmt(KNeeded) : "inf",
+               fmt((long)CrownCert) + "/" + fmt((long)Trials),
+               fmt((long)CraftCert) + "/" + fmt((long)Trials)});
+  }
+  T2.print();
+  std::printf("\nAs m drops, the FB contraction approaches 1 and the\n"
+              "unrolling depth needed for a sound tail explodes, while the\n"
+              "containment-based verifier is unaffected.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+//===- bench/bench_fig13_width.cpp ----------------------------------------===//
+//
+// Reproduces Fig. 13: mean concretization width over abstract solver
+// iterations for a representative FCx40 sample, comparing the Box domain
+// and CH-Zonotope under FB and PR splitting.
+//
+// Expected shape: Box diverges quickly under FB and is orders of magnitude
+// wider under PR; CH-Zonotope widths show the consolidation sawtooth
+// (consolidation enlarges, subsequent solver steps re-tighten) and stay
+// small.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/AbstractSolver.h"
+#include "domains/OrderReduction.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace craft;
+
+int main() {
+  std::printf("== Fig. 13: mean concretization width per iteration "
+              "(FCx40) ==\n\n");
+
+  const ModelSpec *Spec = findModelSpec("mnist_fc40");
+  MonDeq Model = getOrTrainModel(*Spec);
+  Dataset Test = makeTestSet(*Spec, 5);
+  Vector X = Test.input(0);
+
+  double Eps = Spec->Epsilon;
+  Vector Lo(X.size()), Hi(X.size());
+  for (size_t I = 0; I < X.size(); ++I) {
+    Lo[I] = std::max(X[I] - Eps, 0.0);
+    Hi[I] = std::min(X[I] + Eps, 1.0);
+  }
+  CHZonotope XAbs = CHZonotope::fromBox(Lo, Hi);
+  IntervalVector XIv = IntervalVector::fromBounds(Lo, Hi);
+  Vector ZStar =
+      FixpointSolver(Model, Splitting::PeacemanRachford).solve(X).Z;
+
+  const int Steps = 40;
+  const int ConsolidateEvery = 3;
+
+  auto traceCh = [&](Splitting Method, double Alpha) {
+    AbstractSolver Solver(Model, Method, Alpha, XAbs);
+    CHZonotope S = Solver.initialState(ZStar);
+    ConsolidationBasis Basis(Solver.stateDim(), 30);
+    std::vector<double> Widths;
+    for (int N = 1; N <= Steps; ++N) {
+      if ((N - 1) % ConsolidateEvery == 0)
+        S = consolidateProper(S, Basis, 1e-3, 1e-2).Z;
+      S = Solver.step(S);
+      Widths.push_back(S.meanWidth());
+    }
+    return Widths;
+  };
+
+  auto traceBox = [&](Splitting Method, double Alpha) {
+    AbstractSolver Solver(Model, Method, Alpha, XAbs);
+    IntervalVector S = Solver.initialStateInterval(ZStar);
+    std::vector<double> Widths;
+    for (int N = 1; N <= Steps; ++N) {
+      S = Solver.stepInterval(S);
+      double W = S.meanWidth();
+      Widths.push_back(std::min(W, 1e12));
+      if (W > 1e12)
+        break;
+    }
+    while (Widths.size() < static_cast<size_t>(Steps))
+      Widths.push_back(1e12); // Diverged.
+    return Widths;
+  };
+
+  double FbAlpha = 0.9 * Model.fbAlphaBound();
+  std::vector<double> BoxFb = traceBox(Splitting::ForwardBackward, FbAlpha);
+  std::vector<double> BoxPr = traceBox(Splitting::PeacemanRachford, 0.1);
+  std::vector<double> ChFb = traceCh(Splitting::ForwardBackward, FbAlpha);
+  std::vector<double> ChPr = traceCh(Splitting::PeacemanRachford, 0.1);
+
+  TablePrinter Table({"iter", "Box FB", "Box PR", "CHZono FB", "CHZono PR"});
+  for (int N = 0; N < Steps; ++N)
+    Table.addRow({fmt(static_cast<long>(N + 1)), fmt(BoxFb[N], 4),
+                  fmt(BoxPr[N], 4), fmt(ChFb[N], 4), fmt(ChPr[N], 4)});
+  Table.print();
+
+  std::printf("\nBox FB final/initial width ratio: %.3g (divergence "
+              "expected)\n",
+              BoxFb.back() / std::max(BoxFb.front(), 1e-300));
+  std::printf("CHZono PR final width: %.4f (stays tight)\n", ChPr.back());
+  return 0;
+}

@@ -1,0 +1,168 @@
+//===- bench/bench_fig19_consolidation.cpp --------------------------------===//
+//
+// Reproduces Fig. 19 (App. E.3): the effect of error consolidation on
+// abstraction volume, for monDEQs with 2/3/4 latent dimensions trained on
+// the 5-d Gaussian-mixture toy dataset. Two metrics per (dimension,
+// solver):
+//   R = vol(consolidate(Z_n)) / vol(Z_n)        (one consolidation), and
+//   G = vol(Z_{n+5}) / vol(Z_n)                 (consolidation + 5 solver
+//                                                steps re-tightening),
+// averaged over the last 50 of 250 iterations, median over inputs;
+// dimension-collapsed samples are excluded (exact volume is 0).
+//
+// Expected shape: R grows with dimension (consolidation gets costlier in
+// higher dimensions), while G stays ~1 (the contractive iterator undoes the
+// enlargement) -- slightly rising for FB, flat for PR.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/AbstractSolver.h"
+#include "data/GaussianMixture.h"
+#include "domains/OrderReduction.h"
+#include "domains/Volume.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace craft;
+
+namespace {
+
+struct VolumeStats {
+  double MedianRatio = 0.0;  // R
+  double MedianGrowth = 0.0; // G
+  size_t SamplesUsed = 0;
+};
+
+double median(std::vector<double> Values) {
+  if (Values.empty())
+    return 0.0;
+  std::sort(Values.begin(), Values.end());
+  return Values[Values.size() / 2];
+}
+
+/// Non-degenerate dimensions of an abstraction (inactive ReLU dims are
+/// exactly 0-width; the paper excludes collapsed dimensions for the same
+/// reason).
+std::vector<size_t> activeDims(const CHZonotope &Z) {
+  std::vector<size_t> Active;
+  Vector Radius = Z.concretizationRadius();
+  for (size_t I = 0; I < Z.dim(); ++I)
+    if (Radius[I] > 1e-6)
+      Active.push_back(I);
+  return Active;
+}
+
+/// Volume of the projection of \p Z onto the dimension subset \p Dims.
+/// Comparing R and G over a fixed subspace keeps the before/after volumes
+/// commensurable even when consolidation smears negligible radius into
+/// collapsed dimensions.
+double subspaceVolume(const CHZonotope &Z, const std::vector<size_t> &Dims) {
+  if (Dims.size() < 2)
+    return 0.0;
+  Vector Center(Dims.size()), Box(Dims.size());
+  Matrix Gens(Dims.size(), Z.numGenerators());
+  for (size_t I = 0; I < Dims.size(); ++I) {
+    Center[I] = Z.center()[Dims[I]];
+    Box[I] = Z.boxRadius()[Dims[I]];
+    for (size_t J = 0; J < Z.numGenerators(); ++J)
+      Gens(I, J) = Z.generators()(Dims[I], J);
+  }
+  return zonotopeVolume(CHZonotope(Center, Gens, Z.termIds(), Box));
+}
+
+VolumeStats measure(const MonDeq &Model, Splitting Method, double Alpha,
+                    const Dataset &Inputs, size_t NumInputs) {
+  const int TotalIters = 250, Window = 50, Consolidate = 3, Lookahead = 5;
+  VolumeStats Stats;
+  std::vector<double> Ratios, Growths;
+
+  for (size_t In = 0; In < NumInputs && In < Inputs.size(); ++In) {
+    Vector X = Inputs.input(In);
+    Vector Lo(X.size()), Hi(X.size());
+    for (size_t J = 0; J < X.size(); ++J) {
+      Lo[J] = std::max(X[J] - 0.03, 0.0);
+      Hi[J] = std::min(X[J] + 0.03, 1.0);
+    }
+    CHZonotope XAbs = CHZonotope::fromBox(Lo, Hi);
+    AbstractSolver Solver(Model, Method, Alpha, XAbs);
+    Vector ZStar =
+        FixpointSolver(Model, Splitting::PeacemanRachford).solve(X).Z;
+    CHZonotope S = Solver.initialState(ZStar);
+    ConsolidationBasis Basis(Solver.stateDim(), 30);
+
+    std::vector<double> SampleRatios, SampleGrowths;
+    bool Collapsed = false;
+    for (int N = 1; N <= TotalIters && !Collapsed; ++N) {
+      if ((N - 1) % Consolidate == 0) {
+        // Measure only inside the trailing window (the transient from the
+        // point initialization has zero volume by construction). All three
+        // volumes are taken over the pre-consolidation active subspace.
+        bool Measure = N > TotalIters - Window;
+        std::vector<size_t> Dims =
+            Measure ? activeDims(Solver.zPart(S)) : std::vector<size_t>();
+        double VolBefore =
+            Measure ? subspaceVolume(Solver.zPart(S), Dims) : 0.0;
+        S = consolidateProper(S, Basis, 1e-3, 1e-3).Z;
+        if (Measure && VolBefore > 0.0) {
+          double VolAfter = subspaceVolume(Solver.zPart(S), Dims);
+          SampleRatios.push_back(VolAfter / VolBefore);
+          // Growth: consolidate + Lookahead steps vs pre-consolidation.
+          CHZonotope Ahead = S;
+          for (int K = 0; K < Lookahead; ++K)
+            Ahead = Solver.step(Ahead);
+          double VolAhead = subspaceVolume(Solver.zPart(Ahead), Dims);
+          if (VolAhead > 0.0)
+            SampleGrowths.push_back(VolAhead / VolBefore);
+        }
+      }
+      S = Solver.step(S);
+    }
+    if (Collapsed || SampleRatios.empty())
+      continue;
+    double MeanR = 0.0, MeanG = 0.0;
+    for (double V : SampleRatios)
+      MeanR += V;
+    for (double V : SampleGrowths)
+      MeanG += V;
+    Ratios.push_back(MeanR / SampleRatios.size());
+    Growths.push_back(MeanG / SampleGrowths.size());
+    ++Stats.SamplesUsed;
+  }
+  Stats.MedianRatio = median(Ratios);
+  Stats.MedianGrowth = median(Growths);
+  return Stats;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Fig. 19: consolidation volume ratio R and growth G ==\n\n");
+
+  size_t NumInputs = benchSamples(5);
+  Rng R(555);
+  Dataset Inputs = makeGaussianMixture(R, NumInputs + 8, 5, 3, 0.3);
+
+  TablePrinter Table({"latent dim", "solver", "R (consolidation)",
+                      "G (with re-tightening)", "#samples"});
+  for (const char *Name : {"gmm_p2", "gmm_p3", "gmm_p4"}) {
+    const ModelSpec *Spec = findModelSpec(Name);
+    MonDeq Model = getOrTrainModel(*Spec);
+    double FbAlpha = 0.9 * Model.fbAlphaBound();
+
+    VolumeStats Fb = measure(Model, Splitting::ForwardBackward, FbAlpha,
+                             Inputs, NumInputs);
+    Table.addRow({fmt(static_cast<long>(Spec->LatentDim)), "FB",
+                  fmt(Fb.MedianRatio, 3), fmt(Fb.MedianGrowth, 3),
+                  fmt(static_cast<long>(Fb.SamplesUsed))});
+    VolumeStats Pr = measure(Model, Splitting::PeacemanRachford, 0.1, Inputs,
+                             NumInputs);
+    Table.addRow({fmt(static_cast<long>(Spec->LatentDim)), "PR",
+                  fmt(Pr.MedianRatio, 3), fmt(Pr.MedianGrowth, 3),
+                  fmt(static_cast<long>(Pr.SamplesUsed))});
+  }
+  Table.print();
+  return 0;
+}

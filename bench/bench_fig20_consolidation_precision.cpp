@@ -1,0 +1,91 @@
+//===- bench/bench_fig20_consolidation_precision.cpp ----------------------===//
+//
+// Reproduces Fig. 20 (App. E.3): overall-precision effect of error
+// consolidation. For each sample, Craft runs normally with CH-Zonotope
+// (consolidation + containment checks, sound); then the *same number* of
+// abstract solver iterations is replayed with a plain Zonotope and no
+// consolidation/containment (UNSOUND -- no post-fixpoint is established).
+// The verification objective's lower bound and width are compared.
+//
+// Expected shape: bounds are near-identical for unverified samples (the
+// contractive iterator offsets consolidation losses); no instance exists
+// where the unsound Zonotope bound would verify a property CH-Zonotope
+// does not.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/AbstractSolver.h"
+#include "domains/OrderReduction.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace craft;
+
+int main() {
+  std::printf("== Fig. 20: CH-Zonotope (sound) vs replayed Zonotope "
+              "(UNSOUND) bounds ==\n\n");
+
+  const ModelSpec *Spec = findModelSpec("mnist_fc40");
+  MonDeq Model = getOrTrainModel(*Spec);
+  Dataset Test = makeTestSet(*Spec, benchSamples(8));
+  FixpointSolver Concrete(Model, Splitting::PeacemanRachford);
+  CraftConfig Config = craftConfigFor(*Spec);
+  Config.LambdaOptLevel = 0;
+  CraftVerifier Verifier(Model, Config);
+
+  TablePrinter Table({"sample", "CH bound", "CH width", "Zono bound",
+                      "Zono width", "CH cert", "Zono would-cert"});
+  size_t UnsoundOnly = 0;
+
+  for (size_t I = 0; I < Test.size(); ++I) {
+    Vector X = Test.input(I);
+    int Label = Test.Labels[I];
+    if (Concrete.predict(X) != Label)
+      continue;
+    CraftResult Res = Verifier.verifyRobustness(X, Label, Spec->Epsilon);
+    if (!Res.Containment)
+      continue;
+
+    // Replay: same iteration budget, plain Zonotope (fresh ReLU columns),
+    // no consolidation, no containment checks.
+    Vector Lo(X.size()), Hi(X.size());
+    for (size_t J = 0; J < X.size(); ++J) {
+      Lo[J] = std::max(X[J] - Spec->Epsilon, 0.0);
+      Hi[J] = std::min(X[J] + Spec->Epsilon, 1.0);
+    }
+    CHZonotope XAbs = CHZonotope::fromBox(Lo, Hi);
+    AbstractSolver Solver(Model, Config.Phase1Method, Config.Alpha1, XAbs);
+    Vector ZStar = Concrete.solve(X).Z;
+    CHZonotope S = Solver.initialState(ZStar);
+    int Budget = Res.TotalIterations +
+                 std::min(Config.Phase2MaxIterations, 3 * Config.Phase2Window);
+    double ZonoBound = -1e300, ZonoWidth = 0.0;
+    for (int N = 0; N < Budget; ++N) {
+      S = Solver.step(S, 1.0, /*AbsorbBox=*/false);
+      Vector Margins =
+          classificationMargins(Model, Solver.zPart(S), Label);
+      double MinMargin = 1e300;
+      for (double M : Margins)
+        MinMargin = std::min(MinMargin, M);
+      if (MinMargin > ZonoBound) {
+        ZonoBound = MinMargin;
+        ZonoWidth = Solver.zPart(S).meanWidth();
+      }
+    }
+
+    bool ZonoWouldCert = ZonoBound > 0.0;
+    UnsoundOnly += ZonoWouldCert && !Res.Certified;
+    Table.addRow({fmt(static_cast<long>(I)), fmt(Res.BestMargin, 4),
+                  fmt(Res.FixpointHull.meanWidth(), 4), fmt(ZonoBound, 4),
+                  fmt(ZonoWidth, 4), Res.Certified ? "yes" : "no",
+                  ZonoWouldCert ? "yes" : "no"});
+  }
+  Table.print();
+  std::printf("\ninstances where only the unsound Zonotope bound would "
+              "verify: %zu (paper: none found)\n",
+              UnsoundOnly);
+  return 0;
+}

@@ -1,0 +1,101 @@
+//===- bench/bench_micro_domain_ops.cpp -----------------------------------===//
+//
+// google-benchmark micro-benchmarks backing the complexity claims of
+// Table 1 / Section 2.3: CH-Zonotope containment and consolidation are
+// O(p^2 (p + k)) and one abstract solver propagation step is O(p^3)-class,
+// so doubling p should roughly 8x these timings (check the reported Time
+// column scaling).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AbstractSolver.h"
+#include "domains/OrderReduction.h"
+#include "nn/MonDeq.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace craft;
+
+namespace {
+
+/// Builds a consolidated (outer, inner) pair of dimension P with K inner
+/// generator columns.
+struct ContainmentFixture {
+  ProperState Outer;
+  CHZonotope Inner;
+
+  explicit ContainmentFixture(size_t P, size_t K) {
+    Rng R(P * 131 + K);
+    Vector Center(P);
+    Matrix Gens(P, K);
+    std::vector<uint64_t> Ids(K);
+    for (size_t I = 0; I < P; ++I)
+      Center[I] = R.gaussian();
+    for (size_t I = 0; I < P; ++I)
+      for (size_t J = 0; J < K; ++J)
+        Gens(I, J) = R.gaussian(0.0, 0.3);
+    for (auto &Id : Ids)
+      Id = freshErrorTermId();
+    Inner = CHZonotope(Center, Gens, Ids, Vector(P, 0.05));
+    ConsolidationBasis Basis(P, 1);
+    Outer = consolidateProper(Inner, Basis, 0.1, 0.1);
+  }
+};
+
+void BM_ContainmentCheck(benchmark::State &State) {
+  size_t P = static_cast<size_t>(State.range(0));
+  ContainmentFixture Fixture(P, 2 * P);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        containsCH(Fixture.Outer.Z, Fixture.Outer.InvGens, Fixture.Inner));
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_Consolidation(benchmark::State &State) {
+  size_t P = static_cast<size_t>(State.range(0));
+  ContainmentFixture Fixture(P, 2 * P);
+  ConsolidationBasis Basis(P, 1000000); // Basis cached: measure Thm 4.1 only.
+  Basis.refresh(Fixture.Inner.generators());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        consolidateProper(Fixture.Inner, Basis, 1e-3, 1e-2));
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_PcaBasisRefresh(benchmark::State &State) {
+  size_t P = static_cast<size_t>(State.range(0));
+  ContainmentFixture Fixture(P, 2 * P);
+  for (auto _ : State) {
+    ConsolidationBasis Basis(P, 1);
+    Basis.refresh(Fixture.Inner.generators());
+    benchmark::DoNotOptimize(Basis.basis());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_AbstractSolverStep(benchmark::State &State) {
+  size_t P = static_cast<size_t>(State.range(0));
+  Rng R(P);
+  MonDeq Model = MonDeq::randomFc(R, 16, P, 4, 20.0);
+  CHZonotope X = CHZonotope::fromBox(Vector(16, 0.2), Vector(16, 0.8));
+  AbstractSolver Solver(Model, Splitting::PeacemanRachford, 0.1, X);
+  CHZonotope S = Solver.initialState(Vector(P, 0.1));
+  S = Solver.step(S);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Solver.step(S));
+  State.SetComplexityN(State.range(0));
+}
+
+} // namespace
+
+BENCHMARK(BM_ContainmentCheck)->RangeMultiplier(2)->Range(16, 256)
+    ->Complexity();
+BENCHMARK(BM_Consolidation)->RangeMultiplier(2)->Range(16, 256)
+    ->Complexity();
+BENCHMARK(BM_PcaBasisRefresh)->RangeMultiplier(2)->Range(16, 128)
+    ->Complexity();
+BENCHMARK(BM_AbstractSolverStep)->RangeMultiplier(2)->Range(16, 128)
+    ->Complexity();
+
+BENCHMARK_MAIN();

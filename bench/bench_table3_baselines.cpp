@@ -1,0 +1,83 @@
+//===- bench/bench_table3_baselines.cpp -----------------------------------===//
+//
+// Reproduces Table 3: Craft vs the SemiSDP-class baselines on FCx40 and
+// FCx87 across perturbation radii eps in {0.01, 0.02, 0.05, 0.07, 0.10}.
+//
+// SemiSDP (Chen et al. 2021) needs an industrial SDP solver (unavailable
+// offline); per DESIGN.md substitution 4 its two qualitative axes are
+// reproduced with fully implemented comparators:
+//   - precision: the Lipschitz-bound certifier (Pabbaraju-style l2 bound
+//     with the sqrt(q) l-inf conversion) certifies far fewer samples;
+//   - runtime/scalability: bench_fig18_containment shows the LP-based
+//     check underlying SemiSDP-class precision is orders of magnitude
+//     slower per query and infeasible at Craft's sizes.
+//
+// Expected shape: at small eps both Craft and the upper bound saturate; as
+// eps grows Craft certifies a decreasing but substantial fraction while the
+// Lipschitz baseline collapses to ~0 (the sqrt(784) conversion penalty).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/LipschitzCert.h"
+
+using namespace craft;
+
+int main() {
+  std::printf("== Table 3: Craft vs baseline certification across eps ==\n");
+  std::printf("(SemiSDP substitution documented in DESIGN.md; Lipschitz "
+              "baseline shown)\n\n");
+
+  const double Epsilons[] = {0.01, 0.02, 0.05, 0.07, 0.10};
+  const char *Models[] = {"mnist_fc40", "mnist_fc87"};
+  size_t Samples = benchSamples(6);
+
+  TablePrinter Table({"Model", "eps", "#Acc", "#Bound", "Lip#Cert",
+                      "Lip[ms]", "Craft#Cert", "Craft[s]"});
+
+  for (const char *Name : Models) {
+    const ModelSpec *Spec = findModelSpec(Name);
+    MonDeq Model = getOrTrainModel(*Spec);
+    Dataset Test = makeTestSet(*Spec, Samples);
+    FixpointSolver Concrete(Model, Splitting::PeacemanRachford);
+    LipschitzCertifier Lipschitz(Model);
+    CraftVerifier Verifier(Model, craftConfigFor(*Spec));
+
+    for (double Eps : Epsilons) {
+      size_t Accurate = 0, Bound = 0, LipCert = 0, CraftCert = 0;
+      double LipTime = 0.0, CraftTime = 0.0;
+      for (size_t I = 0; I < Test.size(); ++I) {
+        Vector X = Test.input(I);
+        int Label = Test.Labels[I];
+        if (Concrete.predict(X) != Label)
+          continue;
+        ++Accurate;
+
+        PgdOptions Attack = pgdOptionsFor(*Spec);
+        Attack.Epsilon = Eps;
+        Attack.Seed = 2000 + I;
+        if (!pgdAttack(Model, Concrete, X, Label, Attack).FoundAdversarial)
+          ++Bound;
+
+        WallTimer LipTimer;
+        LipCert += Lipschitz.certify(X, Label, Eps);
+        LipTime += LipTimer.seconds();
+
+        WallTimer CraftTimer;
+        CraftCert += Verifier.verifyRobustness(X, Label, Eps).Certified;
+        CraftTime += CraftTimer.seconds();
+      }
+      double Denominator = Accurate > 0 ? static_cast<double>(Accurate) : 1.0;
+      Table.addRow({Name, fmt(Eps, 2), fmt(static_cast<long>(Accurate)),
+                    fmt(static_cast<long>(Bound)),
+                    fmt(static_cast<long>(LipCert)),
+                    fmt(1e3 * LipTime / Denominator, 2),
+                    fmt(static_cast<long>(CraftCert)),
+                    fmt(CraftTime / Denominator, 2)});
+    }
+  }
+
+  Table.print();
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===- examples/certified_robustness.cpp - Proof witnesses demo -----------===//
+//
+// Demonstrates the auditable-verdict workflow: train a small monDEQ,
+// certify a robustness ball, emit a self-contained proof witness, validate
+// it with the independent directed-rounding checker, and show that
+// tampering (wrong model, inflated radius) is caught. Run:
+//
+//   cmake --build build && ./build/examples/certified_robustness
+//
+//===----------------------------------------------------------------------===//
+
+#include "cert/Certify.h"
+#include "cert/Checker.h"
+#include "data/GaussianMixture.h"
+#include "nn/Training.h"
+
+#include <cstdio>
+
+using namespace craft;
+
+int main() {
+  printf("Auditable robustness verdicts: certify -> check -> tamper\n\n");
+
+  Rng DataRng(61);
+  Dataset Train = makeGaussianMixture(DataRng, 250, 5, 3);
+  Dataset Test = makeGaussianMixture(DataRng, 10, 5, 3);
+  Rng InitRng(62);
+  MonDeq Model = MonDeq::randomFc(InitRng, 5, 10, 3, 3.0);
+  TrainOptions TOpts;
+  TOpts.Epochs = 10;
+  TOpts.Verbose = false;
+  trainMonDeq(Model, Train, TOpts);
+
+  FixpointSolver Solver(Model, Splitting::PeacemanRachford);
+  CraftConfig Cfg;
+  Cfg.Alpha1 = 0.5;
+
+  for (size_t I = 0; I < Test.size(); ++I) {
+    Vector X = Test.input(I);
+    int Cls = Solver.predict(X);
+    if (Cls != Test.Labels[I])
+      continue;
+    auto Cert = certifyRobustness(Model, X, Cls, 0.03, Cfg);
+    if (!Cert)
+      continue;
+
+    printf("sample %zu: certified class %d within eps = 0.03\n", I, Cls);
+    printf("  witness: %zu-d proper outer state, %d containment step(s), "
+           "phase-2 %s alpha=%.3f (%d steps)\n",
+           Cert->Outer.dim(), Cert->ContainSteps,
+           Cert->Phase2Method == Splitting::ForwardBackward ? "FB" : "PR",
+           Cert->Alpha2, Cert->Phase2Steps);
+
+    const std::string Path = "/tmp/craft_demo_cert.bin";
+    saveCertificate(*Cert, Path);
+    auto Loaded = loadCertificate(Path);
+    CheckReport Report = checkCertificate(Model, *Loaded);
+    printf("  independent check: %s (inverse residual %.2e, containment "
+           "slack %.4f, rigorous margin %.4f)\n",
+           Report.Ok ? "ACCEPTED" : "rejected", Report.InverseResidual,
+           Report.ContainmentSlack, Report.MarginLower);
+
+    // Tamper 1: present the certificate for a different model.
+    Rng R(99);
+    MonDeq Other = MonDeq::randomFc(R, 5, 10, 3, 3.0);
+    printf("  tamper (wrong model):   %s at stage '%s'\n",
+           checkCertificate(Other, *Loaded).Ok ? "ACCEPTED (BUG!)"
+                                               : "rejected",
+           checkCertificate(Other, *Loaded).Stage);
+
+    // Tamper 2: inflate the claimed ball without refreshing the witness.
+    RobustnessCertificate Inflated = *Loaded;
+    for (size_t J = 0; J < Inflated.InLo.size(); ++J) {
+      Inflated.InLo[J] -= 0.5;
+      Inflated.InHi[J] += 0.5;
+    }
+    CheckReport Bad = checkCertificate(Model, Inflated);
+    printf("  tamper (inflated ball): %s at stage '%s'\n",
+           Bad.Ok ? "ACCEPTED (BUG!)" : "rejected", Bad.Stage);
+    std::remove(Path.c_str());
+    return 0;
+  }
+  printf("no certifiable sample found (unexpected on this seed)\n");
+  return 1;
+}

@@ -1,0 +1,89 @@
+//===- examples/jacobi_reachability.cpp - Uncertain linear systems --------===//
+//
+// Certifies solution bounds for a linear system with uncertain right-hand
+// side by abstractly interpreting the iterative solver itself — the
+// Section 3 framework applied to a numerical program rather than a neural
+// network. The system is a 1-d heat-conduction (Poisson) problem
+//
+//   -u''(t) = f(t),  u(0) = u(1) = 0,
+//
+// discretized to A u = h^2 f with the tridiagonal stiffness matrix A, where
+// the load f is only known per-node up to an interval. The harness analyzes
+// the Jacobi and Gauss-Seidel iterations with the CH-Zonotope driver and
+// compares the certified per-node bounds against the exact solution-set
+// hull (closed form for affine systems). Run:
+//
+//   cmake --build build && ./build/examples/jacobi_reachability
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LinearFixpoint.h"
+#include "support/Table.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace craft;
+
+int main() {
+  constexpr size_t Nodes = 16;
+  double H = 1.0 / (Nodes + 1);
+
+  // Tridiagonal stiffness matrix.
+  Matrix A(Nodes, Nodes);
+  for (size_t I = 0; I < Nodes; ++I) {
+    A(I, I) = 2.0;
+    if (I > 0)
+      A(I, I - 1) = -1.0;
+    if (I + 1 < Nodes)
+      A(I, I + 1) = -1.0;
+  }
+
+  // Uncertain load: f(t) = 1 +- 0.2 per node, scaled by h^2.
+  Vector BLo(Nodes), BHi(Nodes);
+  for (size_t I = 0; I < Nodes; ++I) {
+    BLo[I] = H * H * 0.8;
+    BHi[I] = H * H * 1.2;
+  }
+
+  printf("Certified solution bounds for -u'' = f, f in [0.8, 1.2] per node\n"
+         "(%zu interior nodes; abstract interpretation of the solver)\n\n",
+         Nodes);
+
+  LinearIterator Jacobi = makeJacobiIterator(A);
+  LinearIterator Gs = makeGaussSeidelIterator(A);
+  printf("contraction bounds: jacobi %.4f, gauss-seidel %.4f\n\n",
+         contractionFactor(Jacobi), contractionFactor(Gs));
+
+  LinearAnalysisOptions Opts;
+  Opts.TightenSteps = 120; // Poisson contracts slowly near the ends.
+  LinearAnalysisResult ResJ = analyzeLinearFixpoint(Jacobi, BLo, BHi, Opts);
+  LinearAnalysisResult ResG = analyzeLinearFixpoint(Gs, BLo, BHi, Opts);
+  IntervalVector Exact = exactLinearFixpointHull(Jacobi, BLo, BHi);
+
+  if (!ResJ.Contained || !ResG.Contained) {
+    printf("unexpected: containment not reached\n");
+    return 1;
+  }
+  printf("containment after %d (jacobi) / %d (gauss-seidel) abstract "
+         "iterations\n\n",
+         ResJ.Iterations, ResG.Iterations);
+
+  TablePrinter T({"node", "exact lo", "exact hi", "jacobi lo", "jacobi hi",
+                  "gs lo", "gs hi"});
+  for (size_t I = 0; I < Nodes; I += 3)
+    T.addRow({fmt((long)(I + 1)), fmt(Exact.lowerBounds()[I], 5),
+              fmt(Exact.upperBounds()[I], 5),
+              fmt(ResJ.Hull.lowerBounds()[I], 5),
+              fmt(ResJ.Hull.upperBounds()[I], 5),
+              fmt(ResG.Hull.lowerBounds()[I], 5),
+              fmt(ResG.Hull.upperBounds()[I], 5)});
+  T.print();
+
+  printf("\nmean widths: exact %.6f, jacobi %.6f, gauss-seidel %.6f\n",
+         Exact.meanWidth(), ResJ.Hull.meanWidth(), ResG.Hull.meanWidth());
+  printf("The certified bounds cover the exact solution-set hull and stay\n"
+         "within a few percent of it: the affine transformers are exact,\n"
+         "so the only looseness is consolidation + expansion.\n");
+  return 0;
+}

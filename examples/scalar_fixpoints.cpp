@@ -1,0 +1,74 @@
+//===- examples/scalar_fixpoints.cpp - Generic framework demo -------------===//
+//
+// Demonstrates the Section 3 framework on fixpoint iterators that have
+// nothing to do with neural networks: a damped cosine map, a one-neuron
+// tanh equilibrium, Newton's method for square roots, and the Householder
+// program, each analyzed with the joins-free Craft driver and the Kleene
+// baseline. Build and run:
+//
+//   cmake --build build && ./build/examples/scalar_fixpoints
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ScalarFixpoint.h"
+#include "support/Table.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace craft;
+
+namespace {
+
+void analyzeAndReport(TablePrinter &T, const ScalarIterator &It, double XLo,
+                      double XHi) {
+  // Exact fixpoint-set bounds by dense concrete sampling (the case-study
+  // iterators have monotone fixpoint maps, but we do not rely on that).
+  double SMin = 1e300, SMax = -1e300;
+  for (int I = 0; I <= 200; ++I) {
+    double X = XLo + (XHi - XLo) * I / 200.0;
+    double S = solveScalarConcrete(It, X);
+    SMin = std::min(SMin, S);
+    SMax = std::max(SMax, S);
+  }
+
+  ScalarAnalysis Craft = analyzeScalarCraft(It, XLo, XHi);
+  ScalarAnalysis Kleene = analyzeScalarKleene(It, XLo, XHi);
+
+  char Buf[128];
+  auto interval = [&Buf](bool Ok, double Lo, double Hi) {
+    if (!Ok)
+      return std::string("(diverged)");
+    snprintf(Buf, sizeof(Buf), "[%.4f, %.4f]", Lo, Hi);
+    return std::string(Buf);
+  };
+  snprintf(Buf, sizeof(Buf), "[%.2f, %.2f]", XLo, XHi);
+  T.addRow({It.Name, std::string(Buf), interval(true, SMin, SMax),
+            interval(Craft.Contained, Craft.Lo, Craft.Hi),
+            std::to_string(Craft.Iterations),
+            interval(Kleene.Contained, Kleene.Lo, Kleene.Hi)});
+}
+
+} // namespace
+
+int main() {
+  printf("Abstract interpretation of generic scalar fixpoint iterators\n");
+  printf("(Section 3 framework beyond monDEQs; exact = sampled concrete\n");
+  printf(" fixpoint set, Craft = joins-free driver, Kleene = join+widen)\n\n");
+
+  TablePrinter T({"iterator", "input", "exact", "craft", "iters", "kleene"});
+  analyzeAndReport(T, makeDampedLinearIterator(0.5, 1.0), 1.0, 2.0);
+  analyzeAndReport(T, makeDampedCosineIterator(0.5), -0.3, 0.3);
+  analyzeAndReport(T, makeDampedCosineIterator(0.7), -1.0, 1.0);
+  analyzeAndReport(T, makeTanhNeuronIterator(0.8), -0.5, 0.5);
+  analyzeAndReport(T, makeNewtonSqrtIterator(), 16.0, 20.0);
+  analyzeAndReport(T, makeNewtonSqrtIterator(), 16.0, 25.0);
+  analyzeAndReport(T, makeHouseholderIterator(), 16.0, 20.0);
+  analyzeAndReport(T, makeHouseholderIterator(), 16.0, 25.0);
+  T.print();
+
+  printf("\nNote how Kleene's joined accumulator stays looser or diverges\n");
+  printf("while the joins-free driver tracks the exact set closely -- the\n");
+  printf("paper's Table 5 phenomenon, reproduced across iterator families.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- examples/tanh_mondeq.cpp - Smooth-activation monDEQ demo -----------===//
+//
+// End-to-end App. B.6 walkthrough: train a *tanh* monDEQ on the Gaussian
+// mixture dataset with the generalized implicit gradients, then certify
+// l-inf robustness balls with Craft using the proximal-operator abstract
+// transformers. Run:
+//
+//   cmake --build build && ./build/examples/tanh_mondeq
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+#include "data/GaussianMixture.h"
+#include "nn/Training.h"
+#include "support/Table.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace craft;
+
+int main() {
+  printf("App. B.6 pipeline: tanh monDEQ training + certification\n\n");
+
+  Rng DataRng(7);
+  Dataset Train = makeGaussianMixture(DataRng, 300, 5, 3);
+  Dataset Test = makeGaussianMixture(DataRng, 40, 5, 3);
+
+  Rng InitRng(11);
+  MonDeq Model = MonDeq::randomFc(InitRng, 5, 10, 3, /*M=*/3.0);
+  Model.setActivation(ActivationKind::Tanh);
+
+  printf("training 10-unit tanh monDEQ (m = 3) on 300 GMM samples...\n");
+  TrainOptions Opts;
+  Opts.Epochs = 12;
+  Opts.Verbose = false;
+  trainMonDeq(Model, Train, Opts);
+  printf("train accuracy %.1f%%, test accuracy %.1f%%\n\n",
+         100.0 * evaluateAccuracy(Model, Train),
+         100.0 * evaluateAccuracy(Model, Test));
+
+  CraftConfig Cfg;
+  Cfg.Alpha1 = 0.5;
+  Cfg.LambdaOptLevel = 0; // Lambda optimization is a ReLU knob.
+  CraftVerifier Verifier(Model, Cfg);
+  FixpointSolver Solver(Model, Splitting::PeacemanRachford);
+
+  TablePrinter T({"eps", "#accurate", "#contained", "#certified"});
+  for (double Eps : {0.01, 0.03, 0.05, 0.1}) {
+    int Accurate = 0, Contained = 0, Certified = 0;
+    for (size_t I = 0; I < Test.size(); ++I) {
+      Vector X = Test.input(I);
+      if (Solver.predict(X) != Test.Labels[I])
+        continue;
+      ++Accurate;
+      CraftResult Res = Verifier.verifyRobustness(X, Test.Labels[I], Eps);
+      Contained += Res.Containment;
+      Certified += Res.Certified;
+    }
+    T.addRow({fmt(Eps, 3), fmt((long)Accurate), fmt((long)Contained),
+              fmt((long)Certified)});
+  }
+  T.print();
+
+  printf("\nThe smooth pipeline mirrors the ReLU one: PR finds an abstract\n"
+         "post-fixpoint (containment), FB iterations with the prox\n"
+         "transformers tighten it, and margins certify the ball.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+//===- attack/Pgd.cpp -----------------------------------------------------===//
+
+#include "attack/Pgd.h"
+
+#include "nn/Training.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace craft;
+
+namespace {
+
+/// Projects \p X onto the l-inf ball around \p Center intersected with the
+/// valid input range.
+void project(Vector &X, const Vector &Center, const PgdOptions &Opts) {
+  for (size_t I = 0; I < X.size(); ++I) {
+    double Lo = std::max(Center[I] - Opts.Epsilon, Opts.InputLo);
+    double Hi = std::min(Center[I] + Opts.Epsilon, Opts.InputHi);
+    X[I] = std::clamp(X[I], Lo, Hi);
+  }
+}
+
+/// Argmax over logits excluding \p Skip (pass -1 to consider all).
+int argmaxExcluding(const Vector &Y, int Skip) {
+  int Best = -1;
+  double BestVal = -1e300;
+  for (size_t I = 0; I < Y.size(); ++I) {
+    if (static_cast<int>(I) == Skip)
+      continue;
+    if (Y[I] > BestVal) {
+      BestVal = Y[I];
+      Best = static_cast<int>(I);
+    }
+  }
+  return Best;
+}
+
+} // namespace
+
+PgdResult craft::pgdAttack(const MonDeq &Model, const FixpointSolver &Solver,
+                           const Vector &X, int Label,
+                           const PgdOptions &Opts) {
+  PgdResult Result;
+  Rng R(Opts.Seed);
+  const size_t Q = X.size();
+  const int NumClasses = static_cast<int>(Model.outputDim());
+  const double Step = Opts.StepFraction * Opts.Epsilon;
+
+  auto checkAdversarial = [&](const Vector &Cand) {
+    int Pred = Solver.predict(Cand);
+    if (Pred != Label) {
+      Result.FoundAdversarial = true;
+      Result.Adversarial = Cand;
+      Result.AdversarialClass = Pred;
+      return true;
+    }
+    return false;
+  };
+
+  std::vector<int> Targets;
+  if (Opts.TargetAllClasses) {
+    for (int T = 0; T < NumClasses; ++T)
+      if (T != Label)
+        Targets.push_back(T);
+  } else {
+    Targets.push_back(-1); // Untargeted margin attack.
+  }
+
+  for (int Restart = 0; Restart < Opts.Restarts; ++Restart) {
+    for (int Target : Targets) {
+      // Random start inside the ball.
+      Vector Adv = X;
+      for (size_t I = 0; I < Q; ++I)
+        Adv[I] += R.uniform(-Opts.Epsilon, Opts.Epsilon);
+      project(Adv, X, Opts);
+
+      // Output diversified initialization: ascend a random output direction.
+      Vector Odi(Model.outputDim());
+      for (double &V : Odi)
+        V = R.uniform(-1.0, 1.0);
+      for (int S = 0; S < Opts.OdiSteps; ++S) {
+        Vector G = inputGradient(Model, Solver, Adv, Odi, Opts.NeumannTerms);
+        for (size_t I = 0; I < Q; ++I)
+          Adv[I] += Step * (G[I] > 0.0 ? 1.0 : -1.0);
+        project(Adv, X, Opts);
+      }
+
+      // Margin-loss PGD: ascend y_target - y_label (targeted) or
+      // y_runnerup - y_label (untargeted).
+      for (int S = 0; S < Opts.Steps; ++S) {
+        Vector Y = Solver.logits(Adv);
+        int Rival = Target >= 0 ? Target : argmaxExcluding(Y, Label);
+        if (argmaxExcluding(Y, -1) != Label)
+          break; // Already adversarial; stop refining.
+        Vector Coef(Model.outputDim(), 0.0);
+        Coef[Rival] = 1.0;
+        Coef[Label] = -1.0;
+        Vector G = inputGradient(Model, Solver, Adv, Coef, Opts.NeumannTerms);
+        for (size_t I = 0; I < Q; ++I)
+          Adv[I] += Step * (G[I] > 0.0 ? 1.0 : -1.0);
+        project(Adv, X, Opts);
+      }
+      if (checkAdversarial(Adv))
+        return Result;
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,180 @@
+//===- cert/Certificate.cpp -----------------------------------------------===//
+
+#include "cert/Certificate.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace craft;
+
+//===----------------------------------------------------------------------===//
+// Model hashing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// FNV-1a over raw bytes.
+struct Fnv1a {
+  uint64_t H = 1469598103934665603ull;
+  void bytes(const void *Data, size_t N) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I < N; ++I) {
+      H ^= P[I];
+      H *= 1099511628211ull;
+    }
+  }
+  void number(double V) { bytes(&V, sizeof(V)); }
+  void matrix(const Matrix &M) {
+    uint64_t Dims[2] = {M.rows(), M.cols()};
+    bytes(Dims, sizeof(Dims));
+    for (size_t R = 0; R < M.rows(); ++R)
+      bytes(M.rowData(R), sizeof(double) * M.cols());
+  }
+  void vector(const Vector &V) {
+    uint64_t N = V.size();
+    bytes(&N, sizeof(N));
+    bytes(V.data(), sizeof(double) * V.size());
+  }
+};
+
+} // namespace
+
+uint64_t craft::hashModel(const MonDeq &Model) {
+  Fnv1a H;
+  H.number(Model.monotonicity());
+  uint8_t Act = static_cast<uint8_t>(Model.activation());
+  H.bytes(&Act, 1);
+  H.matrix(Model.weightW());
+  H.matrix(Model.weightU());
+  H.vector(Model.biasZ());
+  H.matrix(Model.weightV());
+  H.vector(Model.biasY());
+  return H.H;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint32_t CertMagic = 0x43524343; // "CRCC"
+constexpr uint32_t CertVersion = 1;
+
+bool writeVectorRaw(std::FILE *F, const Vector &V) {
+  uint64_t N = V.size();
+  return std::fwrite(&N, sizeof(N), 1, F) == 1 &&
+         (V.empty() ||
+          std::fwrite(V.data(), sizeof(double), N, F) == N);
+}
+
+bool readVectorRaw(std::FILE *F, Vector &V) {
+  uint64_t N = 0;
+  if (std::fread(&N, sizeof(N), 1, F) != 1 || N > (1ull << 32))
+    return false;
+  V = Vector(N);
+  return V.empty() || std::fread(V.data(), sizeof(double), N, F) == N;
+}
+
+bool writeZonotope(std::FILE *F, const CHZonotope &Z) {
+  uint64_t Dims[2] = {Z.dim(), Z.numGenerators()};
+  if (std::fwrite(Dims, sizeof(Dims), 1, F) != 1)
+    return false;
+  if (!writeVectorRaw(F, Z.center()))
+    return false;
+  const Matrix &G = Z.generators();
+  for (size_t R = 0; R < G.rows(); ++R)
+    if (G.cols() > 0 &&
+        std::fwrite(G.rowData(R), sizeof(double), G.cols(), F) != G.cols())
+      return false;
+  return writeVectorRaw(F, Z.boxRadius());
+  // Term ids are deliberately not serialized: the loader mints fresh ones,
+  // which is exactly the input-decorrelation the Thm 3.1 premise needs.
+}
+
+bool readZonotope(std::FILE *F, CHZonotope &Z) {
+  uint64_t Dims[2];
+  if (std::fread(Dims, sizeof(Dims), 1, F) != 1 || Dims[0] > (1ull << 24) ||
+      Dims[1] > (1ull << 24))
+    return false;
+  Vector Center;
+  if (!readVectorRaw(F, Center) || Center.size() != Dims[0])
+    return false;
+  Matrix G(Dims[0], Dims[1]);
+  for (size_t R = 0; R < G.rows(); ++R)
+    if (G.cols() > 0 &&
+        std::fread(G.rowData(R), sizeof(double), G.cols(), F) != G.cols())
+      return false;
+  Vector Box;
+  if (!readVectorRaw(F, Box) || Box.size() != Dims[0])
+    return false;
+  std::vector<uint64_t> Ids(Dims[1]);
+  for (uint64_t &Id : Ids)
+    Id = freshErrorTermId();
+  Z = CHZonotope(std::move(Center), std::move(G), std::move(Ids),
+                 std::move(Box));
+  return true;
+}
+
+} // namespace
+
+bool craft::saveCertificate(const RobustnessCertificate &Cert,
+                            const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  int32_t Target = Cert.TargetClass;
+  uint8_t M1 = static_cast<uint8_t>(Cert.Phase1Method);
+  uint8_t M2 = static_cast<uint8_t>(Cert.Phase2Method);
+  int32_t Steps1 = Cert.ContainSteps, Steps2 = Cert.Phase2Steps;
+  bool Ok =
+      std::fwrite(&CertMagic, sizeof(CertMagic), 1, F) == 1 &&
+      std::fwrite(&CertVersion, sizeof(CertVersion), 1, F) == 1 &&
+      std::fwrite(&Cert.ModelHash, sizeof(Cert.ModelHash), 1, F) == 1 &&
+      writeVectorRaw(F, Cert.InLo) && writeVectorRaw(F, Cert.InHi) &&
+      std::fwrite(&Target, sizeof(Target), 1, F) == 1 &&
+      writeZonotope(F, Cert.Outer) &&
+      std::fwrite(&M1, sizeof(M1), 1, F) == 1 &&
+      std::fwrite(&Cert.Alpha1, sizeof(Cert.Alpha1), 1, F) == 1 &&
+      std::fwrite(&Steps1, sizeof(Steps1), 1, F) == 1 &&
+      std::fwrite(&M2, sizeof(M2), 1, F) == 1 &&
+      std::fwrite(&Cert.Alpha2, sizeof(Cert.Alpha2), 1, F) == 1 &&
+      std::fwrite(&Cert.LambdaScale, sizeof(Cert.LambdaScale), 1, F) == 1 &&
+      std::fwrite(&Steps2, sizeof(Steps2), 1, F) == 1;
+  std::fclose(F);
+  return Ok;
+}
+
+std::optional<RobustnessCertificate>
+craft::loadCertificate(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return std::nullopt;
+  RobustnessCertificate C;
+  uint32_t Magic = 0, Version = 0;
+  int32_t Target = 0, Steps1 = 0, Steps2 = 0;
+  uint8_t M1 = 0, M2 = 0;
+  bool Ok =
+      std::fread(&Magic, sizeof(Magic), 1, F) == 1 &&
+      std::fread(&Version, sizeof(Version), 1, F) == 1 &&
+      Magic == CertMagic && Version == CertVersion &&
+      std::fread(&C.ModelHash, sizeof(C.ModelHash), 1, F) == 1 &&
+      readVectorRaw(F, C.InLo) && readVectorRaw(F, C.InHi) &&
+      std::fread(&Target, sizeof(Target), 1, F) == 1 &&
+      readZonotope(F, C.Outer) && std::fread(&M1, sizeof(M1), 1, F) == 1 &&
+      M1 <= 1 && std::fread(&C.Alpha1, sizeof(C.Alpha1), 1, F) == 1 &&
+      std::fread(&Steps1, sizeof(Steps1), 1, F) == 1 && Steps1 >= 1 &&
+      std::fread(&M2, sizeof(M2), 1, F) == 1 && M2 <= 1 &&
+      std::fread(&C.Alpha2, sizeof(C.Alpha2), 1, F) == 1 &&
+      std::fread(&C.LambdaScale, sizeof(C.LambdaScale), 1, F) == 1 &&
+      std::fread(&Steps2, sizeof(Steps2), 1, F) == 1 && Steps2 >= 0;
+  std::fclose(F);
+  if (!Ok)
+    return std::nullopt;
+  C.TargetClass = Target;
+  C.Phase1Method = static_cast<Splitting>(M1);
+  C.Phase2Method = static_cast<Splitting>(M2);
+  C.ContainSteps = Steps1;
+  C.Phase2Steps = Steps2;
+  return C;
+}

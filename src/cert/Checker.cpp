@@ -1,0 +1,319 @@
+//===- cert/Checker.cpp ---------------------------------------------------===//
+
+#include "cert/Checker.h"
+
+#include "domains/Activations.h"
+#include "linalg/Lu.h"
+#include "support/RoundedInterval.h"
+
+#include <cmath>
+#include <limits>
+
+using namespace craft;
+
+namespace {
+
+/// The checker's own solver-step composition (independent of
+/// core/AbstractSolver): state map, input map and offset for one FB or PR
+/// iteration, plus the activation prefix.
+struct StepMaps {
+  size_t LatentDim = 0;
+  size_t StateDim = 0;
+  Matrix StateMatrix;
+  CHZonotope InputContrib; ///< InputMatrix * X, ids shared across steps.
+  Vector Offset;
+  ActivationKind Act = ActivationKind::ReLU;
+  double Alpha = 1.0;
+};
+
+StepMaps buildStepMaps(const MonDeq &Model, Splitting Method, double Alpha,
+                       const CHZonotope &X) {
+  const size_t P = Model.latentDim();
+  StepMaps Maps;
+  Maps.LatentDim = P;
+  Maps.Act = Model.activation();
+  Maps.Alpha = Alpha;
+
+  Matrix InputMatrix;
+  if (Method == Splitting::ForwardBackward) {
+    Maps.StateDim = P;
+    Maps.StateMatrix = Alpha * Model.weightW();
+    for (size_t I = 0; I < P; ++I)
+      Maps.StateMatrix(I, I) += 1.0 - Alpha;
+    InputMatrix = Alpha * Model.weightU();
+    Maps.Offset = Alpha * Model.biasZ();
+  } else {
+    Maps.StateDim = 2 * P;
+    Matrix M = Matrix::identity(P) +
+               Alpha * (Matrix::identity(P) - Model.weightW());
+    Matrix MInv = LuDecomposition(M).inverse();
+    Matrix T = 2.0 * MInv - Matrix::identity(P);
+    Maps.StateMatrix = Matrix(2 * P, 2 * P);
+    Matrix InputHalf = (2.0 * Alpha) * (MInv * Model.weightU());
+    Vector OffsetHalf = (2.0 * Alpha) * (MInv * Model.biasZ());
+    InputMatrix = Matrix(2 * P, Model.inputDim());
+    Maps.Offset = Vector(2 * P);
+    for (size_t I = 0; I < P; ++I) {
+      for (size_t J = 0; J < P; ++J) {
+        Maps.StateMatrix(I, J) = 2.0 * T(I, J);
+        Maps.StateMatrix(I, P + J) = -T(I, J);
+        Maps.StateMatrix(P + I, J) = 2.0 * T(I, J);
+        Maps.StateMatrix(P + I, P + J) = -T(I, J);
+      }
+      for (size_t J = 0; J < Model.inputDim(); ++J) {
+        InputMatrix(I, J) = InputHalf(I, J);
+        InputMatrix(P + I, J) = InputHalf(I, J);
+      }
+      Maps.Offset[I] = OffsetHalf[I];
+      Maps.Offset[P + I] = OffsetHalf[I];
+    }
+  }
+  Maps.InputContrib = X.affine(InputMatrix, Vector(Maps.StateDim, 0.0));
+  return Maps;
+}
+
+CHZonotope stepOnce(const StepMaps &Maps, const CHZonotope &S,
+                    double LambdaScale) {
+  Matrix Identity = Matrix::identity(Maps.StateDim);
+  std::pair<const Matrix *, const CHZonotope *> Terms[] = {
+      {&Maps.StateMatrix, &S}, {&Identity, &Maps.InputContrib}};
+  CHZonotope Pre = CHZonotope::linearCombine(Terms, Maps.Offset);
+  switch (Maps.Act) {
+  case ActivationKind::ReLU:
+    return Pre.reluPrefix(Maps.LatentDim, Vector(), /*AbsorbIntoBox=*/true,
+                          LambdaScale);
+  case ActivationKind::Sigmoid:
+    return applyProxActivationPrefix(Pre, SmoothActivation::Sigmoid,
+                                     Maps.Alpha, Maps.LatentDim);
+  case ActivationKind::Tanh:
+    return applyProxActivationPrefix(Pre, SmoothActivation::Tanh,
+                                     Maps.Alpha, Maps.LatentDim);
+  }
+  return Pre;
+}
+
+/// Rigorous per-row |R M| 1 (upper bounds) and ||R M||_inf upper bound.
+void rigorousRowAbsSums(const Matrix &R, const Matrix &M,
+                        std::vector<double> &RowUpper, double &NormUpper) {
+  const size_t P = R.rows();
+  const size_t K = M.cols();
+  RowUpper.assign(P, 0.0);
+  NormUpper = 0.0;
+  for (size_t I = 0; I < P; ++I) {
+    RInterval Sum(0.0);
+    for (size_t C = 0; C < K; ++C) {
+      RInterval Entry(0.0);
+      for (size_t J = 0; J < R.cols(); ++J)
+        Entry = Entry + RInterval(R(I, J)) * RInterval(M(J, C));
+      Sum = Sum + Entry.abs();
+    }
+    RowUpper[I] = Sum.Hi;
+    if (!(Sum.Hi <= NormUpper)) // NaN-hostile max.
+      NormUpper = Sum.Hi;
+  }
+}
+
+/// Rigorous margins of the z-part of \p S: per rival class, a lower bound
+/// on (V_t - V_i) z + (v_t - v_i) over the concretization. Returns the
+/// minimum over rivals.
+double rigorousMarginLower(const MonDeq &Model, const CHZonotope &S,
+                           size_t LatentDim, int TargetClass) {
+  const Matrix &V = Model.weightV();
+  const Vector &VB = Model.biasY();
+  const Matrix &A = S.generators();
+  const Vector &C = S.center();
+  const Vector &B = S.boxRadius();
+  double Worst = 1e300;
+  for (size_t Rival = 0; Rival < Model.outputDim(); ++Rival) {
+    if ((int)Rival == TargetClass)
+      continue;
+    RInterval CenterTerm(VB[TargetClass] - VB[Rival]);
+    RInterval Radius(0.0);
+    for (size_t J = 0; J < LatentDim; ++J) {
+      RInterval D =
+          RInterval(V(TargetClass, J)) - RInterval(V(Rival, J));
+      CenterTerm = CenterTerm + D * RInterval(C[J]);
+      Radius = Radius + D.abs() * RInterval(B[J]);
+    }
+    for (size_t K = 0; K < A.cols(); ++K) {
+      RInterval Coef(0.0);
+      for (size_t J = 0; J < LatentDim; ++J) {
+        RInterval D =
+            RInterval(V(TargetClass, J)) - RInterval(V(Rival, J));
+        Coef = Coef + D * RInterval(A(J, K));
+      }
+      Radius = Radius + Coef.abs();
+    }
+    RInterval Lower = CenterTerm - Radius;
+    Worst = std::fmin(Worst, Lower.Lo);
+  }
+  return Worst;
+}
+
+} // namespace
+
+CheckReport craft::checkCertificate(const MonDeq &Model,
+                                    const RobustnessCertificate &Cert) {
+  CheckReport Report;
+
+  // Stage 1: binding and recipe sanity.
+  if (hashModel(Model) != Cert.ModelHash) {
+    Report.Stage = "model-hash";
+    return Report;
+  }
+  const size_t P = Model.latentDim();
+  size_t ExpectDim =
+      Cert.Phase1Method == Splitting::PeacemanRachford ? 2 * P : P;
+  if (Cert.InLo.size() != Model.inputDim() ||
+      Cert.InHi.size() != Model.inputDim() ||
+      Cert.Outer.dim() != ExpectDim ||
+      Cert.Outer.numGenerators() != ExpectDim || Cert.TargetClass < 0 ||
+      (size_t)Cert.TargetClass >= Model.outputDim() || Cert.Alpha1 <= 0.0 ||
+      Cert.ContainSteps < 1) {
+    Report.Stage = "recipe";
+    return Report;
+  }
+  // Phase-2 preservation preconditions: FB needs alpha in [0, 1]
+  // (Thm 5.1 / the prox resolvent identity); PR preserves fixpoints only
+  // at the phase-1 step size (its auxiliary state depends on alpha).
+  if (Cert.Phase2Method == Splitting::ForwardBackward) {
+    if (Cert.Alpha2 < 0.0 || Cert.Alpha2 > 1.0) {
+      Report.Stage = "recipe";
+      return Report;
+    }
+  } else if (Cert.Alpha2 != Cert.Alpha1) {
+    Report.Stage = "recipe";
+    return Report;
+  }
+
+  // Stage 2: replay phase 1 from Outer and rigorously re-check Thm 4.2.
+  CHZonotope X = CHZonotope::fromBox(Cert.InLo, Cert.InHi);
+  StepMaps Phase1 =
+      buildStepMaps(Model, Cert.Phase1Method, Cert.Alpha1, X);
+  if (Phase1.StateDim != Cert.Outer.dim()) {
+    Report.Stage = "recipe";
+    return Report;
+  }
+  CHZonotope S = Cert.Outer;
+  for (int Step = 0; Step < Cert.ContainSteps; ++Step)
+    S = stepOnce(Phase1, S, 1.0);
+
+  const Matrix &A = Cert.Outer.generators();
+  LuDecomposition Lu(A);
+  if (Lu.isSingular()) {
+    Report.InverseResidual = std::numeric_limits<double>::infinity();
+    Report.Stage = "inverse";
+    return Report;
+  }
+  Matrix R = Lu.inverse(); // Approximate; verified below.
+  for (size_t I = 0; I < R.rows(); ++I)
+    for (size_t J = 0; J < R.cols(); ++J)
+      if (!std::isfinite(R(I, J))) {
+        Report.InverseResidual = std::numeric_limits<double>::infinity();
+        Report.Stage = "inverse";
+        return Report;
+      }
+
+  // delta >= ||R A - I||_inf, rigorously. NaN-hostile comparisons
+  // throughout: fmax ignores NaN operands, so the accumulation uses the
+  // !(x <= y) form that treats NaN as failure.
+  double Delta = 0.0;
+  {
+    const size_t N = A.rows();
+    for (size_t I = 0; I < N; ++I) {
+      RInterval RowSum(0.0);
+      for (size_t J = 0; J < N; ++J) {
+        RInterval Entry(0.0);
+        for (size_t K = 0; K < N; ++K)
+          Entry = Entry + RInterval(R(I, K)) * RInterval(A(K, J));
+        if (I == J)
+          Entry = Entry - RInterval(1.0);
+        RowSum = RowSum + Entry.abs();
+      }
+      if (!(RowSum.Hi <= Delta))
+        Delta = RowSum.Hi;
+    }
+  }
+  Report.InverseResidual = Delta;
+  if (!(Delta < 1.0)) { // Rejects NaN as well.
+    Report.Stage = "inverse";
+    return Report;
+  }
+
+  // Residual box d = max(0, |a' - a| + b' - b), rigorous upper bounds.
+  const size_t N = Cert.Outer.dim();
+  Matrix DiagD(N, N);
+  {
+    const Vector &AOut = Cert.Outer.center();
+    const Vector &BOut = Cert.Outer.boxRadius();
+    const Vector &AIn = S.center();
+    const Vector &BIn = S.boxRadius();
+    for (size_t I = 0; I < N; ++I) {
+      RInterval D = (RInterval(AIn[I]) - RInterval(AOut[I])).abs() +
+                    RInterval(BIn[I]) - RInterval(BOut[I]);
+      DiagD(I, I) = D.max0().Hi;
+    }
+  }
+
+  // Thm 4.2 with the verified inverse: per row,
+  //   |A^{-1} A'| 1 + |A^{-1} diag(d)| 1
+  //     <= |R A'| 1 + |R diag(d)| 1 + delta/(1-delta) (||R A'|| + ||R d||).
+  {
+    std::vector<double> T1, T2;
+    double N1 = 0.0, N2 = 0.0;
+    rigorousRowAbsSums(R, S.generators(), T1, N1);
+    rigorousRowAbsSums(R, DiagD, T2, N2);
+    RInterval DeltaIv(Delta);
+    RInterval Correction =
+        DeltaIv / (RInterval(1.0) - DeltaIv) * (RInterval(N1) + RInterval(N2));
+    double WorstRow = 0.0;
+    for (size_t I = 0; I < N; ++I) {
+      RInterval Row =
+          RInterval(T1[I]) + RInterval(T2[I]) + Correction;
+      if (!(Row.Hi <= WorstRow)) // NaN-hostile max.
+        WorstRow = Row.Hi;
+    }
+    Report.ContainmentSlack = WorstRow;
+    if (!(WorstRow <= 1.0)) {
+      Report.Stage = "containment";
+      return Report;
+    }
+  }
+
+  // Stage 3: phase-2 replay with rigorous margins. S provably contains the
+  // true fixpoint set; every fixpoint-set-preserving step keeps that.
+  auto checkMargins = [&](const CHZonotope &State) {
+    double Lower =
+        rigorousMarginLower(Model, State, P, Cert.TargetClass);
+    Report.MarginLower = std::fmax(Report.MarginLower, Lower);
+    return Lower > 0.0;
+  };
+
+  CHZonotope S2 = S;
+  bool SwitchToLatent = Cert.Phase2Method == Splitting::ForwardBackward &&
+                        Cert.Phase1Method == Splitting::PeacemanRachford;
+  if (SwitchToLatent)
+    S2 = S.slice(0, P);
+  if (checkMargins(S2)) {
+    Report.Ok = true;
+    Report.Stage = "ok";
+    Report.CertifiedAtStep = 0;
+    return Report;
+  }
+  StepMaps Phase2 = Cert.Phase2Method == Cert.Phase1Method &&
+                            Cert.Alpha2 == Cert.Alpha1
+                        ? Phase1
+                        : buildStepMaps(Model, Cert.Phase2Method,
+                                        Cert.Alpha2, X);
+  for (int Step = 1; Step <= Cert.Phase2Steps; ++Step) {
+    S2 = stepOnce(Phase2, S2, Cert.LambdaScale);
+    if (checkMargins(S2)) {
+      Report.Ok = true;
+      Report.Stage = "ok";
+      Report.CertifiedAtStep = Step;
+      return Report;
+    }
+  }
+  Report.Stage = "margins";
+  return Report;
+}

@@ -1,0 +1,61 @@
+//===- cert/Checker.h - Independent certificate checker ---------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates RobustnessCertificates independently of the verifier. The
+/// checker contains its own composition of the solver-step affine maps
+/// (deliberately not core/AbstractSolver) and re-establishes the verdict
+/// in three rigorous stages:
+///
+///   1. binding — the model hash matches;
+///   2. containment — the replayed ContainSteps-image of Outer is inside
+///      Outer, with the Thm 4.2 inequality evaluated in outward-rounded
+///      interval arithmetic through a *verified approximate inverse*: with
+///      R ~ A^{-1} and delta >= ||R A - I||_inf (rigorous), delta < 1
+///      proves A invertible and
+///        |A^{-1} M| 1 <= |R M| 1 + delta/(1-delta) ||R M||_inf 1
+///      bounds the exact inequality terms without trusting R;
+///   3. margins — the phase-2 replay's classification margins are
+///      lower-bounded with rounded intervals and must be certainly
+///      positive at some step.
+///
+/// Trusted base: the CH-Zonotope transformers in domains/, the checker's
+/// own step composition, and support/RoundedInterval. Not trusted: the
+/// verifier's search (schedules, history, expansion, line search) and the
+/// certificate's own claims — a tampered witness fails stage 2 or 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_CERT_CHECKER_H
+#define CRAFT_CERT_CHECKER_H
+
+#include "cert/Certificate.h"
+
+namespace craft {
+
+/// Outcome of one certificate check.
+struct CheckReport {
+  bool Ok = false;
+  /// Failure stage or "ok": "model-hash", "recipe", "inverse",
+  /// "containment", "margins".
+  const char *Stage = "";
+  /// Rigorous upper bound on ||R A - I||_inf (stage 2 diagnostics).
+  double InverseResidual = 0.0;
+  /// Largest rigorous Thm 4.2 row value (<= 1 proves containment).
+  double ContainmentSlack = 0.0;
+  /// Best rigorous margin lower bound seen in phase 2.
+  double MarginLower = -1e300;
+  /// Phase-2 step at which the margins certified (-1 if never).
+  int CertifiedAtStep = -1;
+};
+
+/// Checks \p Cert against \p Model. Pure function of its inputs.
+CheckReport checkCertificate(const MonDeq &Model,
+                             const RobustnessCertificate &Cert);
+
+} // namespace craft
+
+#endif // CRAFT_CERT_CHECKER_H

@@ -1,0 +1,190 @@
+//===- core/AbstractSolver.cpp --------------------------------------------===//
+
+#include "core/AbstractSolver.h"
+
+#include "domains/Activations.h"
+
+#include "linalg/Lu.h"
+
+#include <cmath>
+
+using namespace craft;
+
+/// FB state matrix (1-a) I + a W.
+static Matrix stateMatrixFb(const MonDeq &Model, double A) {
+  const size_t P = Model.latentDim();
+  Matrix S = A * Model.weightW();
+  for (size_t I = 0; I < P; ++I)
+    S(I, I) += 1.0 - A;
+  return S;
+}
+
+AbstractSolver::AbstractSolver(const MonDeq &Model, Splitting Method,
+                               double Alpha, const CHZonotope &InputAbs)
+    : LatentDim(Model.latentDim()), Method(Method), Alpha(Alpha),
+      Act(Model.activation()) {
+  assert(InputAbs.dim() == Model.inputDim() && "input abstraction dimension");
+  const size_t P = LatentDim;
+  if (this->Alpha <= 0.0)
+    this->Alpha = FixpointSolver(Model, Method, -1.0).alpha();
+  const double A = this->Alpha;
+
+  Matrix InputMatrix; // stateDim x q.
+  if (Method == Splitting::ForwardBackward) {
+    // s' = ReLU(((1-a) I + a W) s + a U x + a b).
+    StateMatrix = stateMatrixFb(Model, A);
+    InputMatrix = A * Model.weightU();
+    Offset = A * Model.biasZ();
+  } else {
+    // u_next = T (2 z - u) + 2 a M^{-1} (U x + b), T = 2 M^{-1} - I.
+    Matrix M = Matrix::identity(P) +
+               A * (Matrix::identity(P) - Model.weightW());
+    Matrix MInv = LuDecomposition(M).inverse();
+    Matrix T = 2.0 * MInv - Matrix::identity(P);
+    // Row block applied to s = [z; u]: [2T, -T].
+    Matrix RowBlock(P, 2 * P);
+    for (size_t I = 0; I < P; ++I)
+      for (size_t J = 0; J < P; ++J) {
+        RowBlock(I, J) = 2.0 * T(I, J);
+        RowBlock(I, P + J) = -T(I, J);
+      }
+    StateMatrix = Matrix(2 * P, 2 * P);
+    Matrix InputHalf = (2.0 * A) * (MInv * Model.weightU());
+    Vector OffsetHalf = (2.0 * A) * (MInv * Model.biasZ());
+    InputMatrix = Matrix(2 * P, Model.inputDim());
+    Offset = Vector(2 * P);
+    for (size_t I = 0; I < P; ++I) {
+      for (size_t J = 0; J < 2 * P; ++J) {
+        StateMatrix(I, J) = RowBlock(I, J);
+        StateMatrix(P + I, J) = RowBlock(I, J);
+      }
+      for (size_t J = 0; J < Model.inputDim(); ++J) {
+        InputMatrix(I, J) = InputHalf(I, J);
+        InputMatrix(P + I, J) = InputHalf(I, J);
+      }
+      Offset[I] = OffsetHalf[I];
+      Offset[P + I] = OffsetHalf[I];
+    }
+  }
+
+  // Map the input region into state space once; every step reuses it with
+  // shared ids (see file comment).
+  InputContrib = InputAbs.affine(InputMatrix, Vector(stateDim(), 0.0));
+  InputContribIv =
+      InputAbs.intervalHull().affine(InputMatrix, Vector(stateDim(), 0.0));
+}
+
+CHZonotope AbstractSolver::initialState(const Vector &ZStar) const {
+  assert(ZStar.size() == LatentDim && "fixpoint dimension mismatch");
+  if (Method == Splitting::ForwardBackward)
+    return CHZonotope::point(ZStar);
+  Vector S(2 * LatentDim);
+  for (size_t I = 0; I < LatentDim; ++I) {
+    S[I] = ZStar[I];
+    S[LatentDim + I] = ZStar[I];
+  }
+  return CHZonotope::point(S);
+}
+
+IntervalVector AbstractSolver::initialStateInterval(const Vector &ZStar) const {
+  if (Method == Splitting::ForwardBackward)
+    return IntervalVector::point(ZStar);
+  Vector S(2 * LatentDim);
+  for (size_t I = 0; I < LatentDim; ++I) {
+    S[I] = ZStar[I];
+    S[LatentDim + I] = ZStar[I];
+  }
+  return IntervalVector::point(S);
+}
+
+CHZonotope AbstractSolver::step(const CHZonotope &State, double LambdaScale,
+                                bool AbsorbBox) const {
+  assert(State.dim() == stateDim() && "state dimension mismatch");
+  // The input contribution is already in state space: combine with the
+  // identity map (shared-id merge is what matters here).
+  Matrix Identity = Matrix::identity(stateDim());
+  std::pair<const Matrix *, const CHZonotope *> Terms[] = {
+      {&StateMatrix, &State}, {&Identity, &InputContrib}};
+  CHZonotope Pre = CHZonotope::linearCombine(Terms, Offset);
+  switch (Act) {
+  case ActivationKind::ReLU:
+    return Pre.reluPrefix(LatentDim, Vector(), AbsorbBox, LambdaScale);
+  case ActivationKind::Sigmoid:
+    // Lambda optimization is a ReLU-relaxation knob; smooth resolvents use
+    // their own secant/tangent relaxation (App. B.6).
+    return applyProxActivationPrefix(Pre, SmoothActivation::Sigmoid, Alpha,
+                                     LatentDim);
+  case ActivationKind::Tanh:
+    return applyProxActivationPrefix(Pre, SmoothActivation::Tanh, Alpha,
+                                     LatentDim);
+  }
+  return Pre;
+}
+
+IntervalVector AbstractSolver::stepInterval(const IntervalVector &State) const {
+  IntervalVector Pre = State.affine(StateMatrix, Offset) + InputContribIv;
+  if (Act == ActivationKind::ReLU)
+    return Pre.reluPrefix(LatentDim);
+  // Smooth resolvents are monotone: endpoint images are exact bounds.
+  SmoothActivation SA = Act == ActivationKind::Sigmoid
+                            ? SmoothActivation::Sigmoid
+                            : SmoothActivation::Tanh;
+  Vector Lo = Pre.lowerBounds(), Hi = Pre.upperBounds();
+  for (size_t I = 0; I < LatentDim; ++I) {
+    Lo[I] = proxActivation(SA, Alpha, Lo[I]);
+    Hi[I] = proxActivation(SA, Alpha, Hi[I]);
+  }
+  return IntervalVector::fromBounds(Lo, Hi);
+}
+
+CHZonotope AbstractSolver::zPart(const CHZonotope &State) const {
+  if (Method == Splitting::ForwardBackward)
+    return State;
+  return State.slice(0, LatentDim);
+}
+
+IntervalVector AbstractSolver::zPartInterval(const IntervalVector &State) const {
+  if (Method == Splitting::ForwardBackward)
+    return State;
+  return State.slice(0, LatentDim);
+}
+
+/// Margin rows D with D_i = V_t - V_i for rivals i != t, plus offsets.
+static void marginSystem(const MonDeq &Model, int TargetClass, Matrix &D,
+                         Vector &Off) {
+  const size_t R = Model.outputDim();
+  const size_t P = Model.latentDim();
+  assert(R >= 2 && "classification margins need at least two classes; "
+                   "encode scalar-score models with two logits");
+  assert(TargetClass >= 0 && static_cast<size_t>(TargetClass) < R &&
+         "target class out of range");
+  D = Matrix(R - 1, P);
+  Off = Vector(R - 1);
+  size_t Row = 0;
+  for (size_t I = 0; I < R; ++I) {
+    if (static_cast<int>(I) == TargetClass)
+      continue;
+    for (size_t J = 0; J < P; ++J)
+      D(Row, J) = Model.weightV()(TargetClass, J) - Model.weightV()(I, J);
+    Off[Row] = Model.biasY()[TargetClass] - Model.biasY()[I];
+    ++Row;
+  }
+}
+
+Vector craft::classificationMargins(const MonDeq &Model, const CHZonotope &Z,
+                                    int TargetClass) {
+  Matrix D;
+  Vector Off;
+  marginSystem(Model, TargetClass, D, Off);
+  CHZonotope Y = Z.affine(D, Off, BoxPolicy::IntervalMap);
+  return Y.lowerBounds();
+}
+
+Vector craft::classificationMargins(const MonDeq &Model,
+                                    const IntervalVector &Z,
+                                    int TargetClass) {
+  Matrix D;
+  Vector Off;
+  marginSystem(Model, TargetClass, D, Off);
+  return Z.affine(D, Off).lowerBounds();
+}

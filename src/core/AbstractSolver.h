@@ -1,0 +1,98 @@
+//===- core/AbstractSolver.h - Abstract operator splitting ------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sound abstract transformers g# for the monDEQ fixpoint solvers of
+/// Section 5 over the CH-Zonotope and Box domains.
+///
+/// Forward-Backward (Eq. 8) is one affine map plus one ReLU:
+///   s' = ReLU(((1-a) I + a W) s + a U x + a b).
+///
+/// Peaceman-Rachford (Eq. 9) operates on the stacked state s = [z; u] of
+/// dimension 2p. All four affine sub-steps compose into a single affine
+/// map followed by a partial ReLU on the z-half:
+///   u_next = (2 M^{-1} - I)(2 z - u) + 2 a M^{-1} (U x + b),
+///   s'     = [ReLU(u_next); u_next],         M = I + a (I - W).
+///
+/// Composing the affine steps before abstraction keeps the transformer
+/// exact up to the single ReLU relaxation per iteration.
+///
+/// The solver is bound to one input abstraction X so that the input
+/// contribution (InputMatrix * X) is mapped once and reused every
+/// iteration with shared error-term ids -- this is what keeps the abstract
+/// state correlated with the input region across iterations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_CORE_ABSTRACTSOLVER_H
+#define CRAFT_CORE_ABSTRACTSOLVER_H
+
+#include "domains/CHZonotope.h"
+#include "domains/Interval.h"
+#include "nn/Solvers.h"
+
+namespace craft {
+
+/// Abstract transformer for one solver iteration, bound to a model, a
+/// splitting method, a step size, and an input abstraction.
+class AbstractSolver {
+public:
+  /// \p Alpha <= 0 selects the same defaults as the concrete FixpointSolver.
+  AbstractSolver(const MonDeq &Model, Splitting Method, double Alpha,
+                 const CHZonotope &InputAbs);
+
+  Splitting method() const { return Method; }
+  double alpha() const { return Alpha; }
+
+  /// State dimension: p for FB, 2p for PR.
+  size_t stateDim() const { return StateMatrix.rows(); }
+  size_t latentDim() const { return LatentDim; }
+
+  /// Initial abstract state from the concrete center fixpoint (Alg. 1
+  /// line 2): {z*} for FB, {[z*; z*]} for PR.
+  CHZonotope initialState(const Vector &ZStar) const;
+  IntervalVector initialStateInterval(const Vector &ZStar) const;
+
+  /// One abstract solver step on the CH-Zonotope domain. \p LambdaScale
+  /// scales the default ReLU slopes (lambda optimization, App. C);
+  /// \p AbsorbBox selects the CH-Zonotope ReLU (Box absorption) vs the
+  /// classic Zonotope ReLU (fresh columns).
+  CHZonotope step(const CHZonotope &State, double LambdaScale = 1.0,
+                  bool AbsorbBox = true) const;
+
+  /// One abstract solver step on the Box domain.
+  IntervalVector stepInterval(const IntervalVector &State) const;
+
+  /// Extracts the z-part of a state abstraction (identity for FB).
+  CHZonotope zPart(const CHZonotope &State) const;
+  IntervalVector zPartInterval(const IntervalVector &State) const;
+
+  const Matrix &stateMatrix() const { return StateMatrix; }
+  const Vector &offset() const { return Offset; }
+
+private:
+  size_t LatentDim;
+  Splitting Method;
+  double Alpha;
+  ActivationKind Act; ///< Equilibrium activation (App. B.6 dispatch).
+  Matrix StateMatrix;          ///< stateDim x stateDim affine map.
+  Vector Offset;               ///< Constant part (biases).
+  CHZonotope InputContrib;     ///< InputMatrix * X, shared ids, mapped once.
+  IntervalVector InputContribIv;
+};
+
+/// Lower bounds on the classification margins y_t - y_i for all rivals
+/// i != t, evaluated exactly (as one affine map) on the z-part abstraction.
+/// Positive everywhere means the postcondition "class t" holds (Alg. 1
+/// line 13).
+Vector classificationMargins(const MonDeq &Model, const CHZonotope &Z,
+                             int TargetClass);
+Vector classificationMargins(const MonDeq &Model, const IntervalVector &Z,
+                             int TargetClass);
+
+} // namespace craft
+
+#endif // CRAFT_CORE_ABSTRACTSOLVER_H

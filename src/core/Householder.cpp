@@ -1,0 +1,196 @@
+//===- core/Householder.cpp -----------------------------------------------===//
+
+#include "core/Householder.h"
+
+#include "domains/AffineForm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace craft;
+
+//===----------------------------------------------------------------------===//
+// Square-root analyses
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One abstract Householder step s' = s + s (0.5 h + 0.375 h^2),
+/// h = 1 - x s^2.
+AffineForm householderStep(const AffineForm &X, const AffineForm &S) {
+  AffineForm H = (X * S.square()) * -1.0 + 1.0;
+  AffineForm Update = H * 0.5 + H.square() * 0.375;
+  return S + S * Update;
+}
+
+/// Reports the interval of sqrt(x) = 1/s for an abstraction of s. Only
+/// meaningful for s bounded away from 0.
+SqrtInterval invert(const AffineForm &S) {
+  SqrtInterval Out;
+  if (S.lo() <= 0.0) {
+    Out.Diverged = true;
+    return Out;
+  }
+  Out.Lo = 1.0 / S.hi();
+  Out.Hi = 1.0 / S.lo();
+  return Out;
+}
+
+/// True if the abstraction provably violates the termination condition
+/// (|s^2 - 1/x| >= eps for every concrete value), enabling semantic
+/// unrolling without a join.
+bool terminationUnreachable(const AffineForm &X, const AffineForm &S,
+                            double Epsilon) {
+  if (S.lo() <= 0.0)
+    return false; // s <= 0 keeps looping anyway, but be conservative.
+  AffineForm S2 = S.square();
+  // 1/x over the input interval.
+  double InvLo = 1.0 / X.hi(), InvHi = 1.0 / X.lo();
+  // min |s^2 - inv| over the boxes.
+  double Gap = std::max(S2.lo() - InvHi, InvLo - S2.hi());
+  return Gap >= Epsilon;
+}
+
+} // namespace
+
+SqrtInterval craft::exactSqrtInterval(double XLo, double XHi) {
+  return {std::sqrt(XLo), std::sqrt(XHi), false};
+}
+
+double craft::householderSqrtConcrete(double X, double S0, double Epsilon,
+                                      int *IterationsOut) {
+  double S = S0;
+  int Iterations = 0;
+  while (S <= 0.0 || std::fabs(S * S - 1.0 / X) >= Epsilon) {
+    double H = 1.0 - X * S * S;
+    S = S + S * (0.5 * H + 0.375 * H * H);
+    if (++Iterations > 10000)
+      break;
+  }
+  if (IterationsOut)
+    *IterationsOut = Iterations;
+  return S;
+}
+
+SqrtAnalysis craft::analyzeSqrtCraft(double XLo, double XHi,
+                                     const SqrtOptions &Opts) {
+  SqrtAnalysis Out;
+  AffineForm X = AffineForm::range(XLo, XHi);
+  AffineForm S = AffineForm::constant(Opts.S0);
+
+  // The iterates stay correlated with the input symbol, so a plain interval
+  // comparison would be an invalid Thm 3.1 premise (it certifies only the
+  // input-correlated (x, s) pairs). The slice-wise relational check runs
+  // the theorem's argument per input slice instead, keeping the
+  // cross-iteration remainder cancellation that makes the wide input
+  // [16, 25] tractable (see AffineForm::containsRelational and DESIGN.md).
+  std::vector<uint64_t> InputIds;
+  for (const auto &[Id, Coef] : X.terms())
+    InputIds.push_back(Id);
+  bool Contained = false;
+  AffineForm LastCons;
+  bool HaveCons = false;
+  for (int N = 1; N <= Opts.MaxIterations; ++N) {
+    Out.Iterations = N;
+    if (Opts.ConsolidateEvery > 0 && (N - 1) % Opts.ConsolidateEvery == 0) {
+      S = S.consolidated(1e-3 * S.radius() + 1e-2);
+      LastCons = S;
+      HaveCons = true;
+    }
+    AffineForm Next = householderStep(X, S);
+    Out.RootTrace.push_back(invert(Next));
+    // Thm 3.1 per input slice against the previous iterate, or the s-step
+    // form (Thm B.1) against the most recent consolidated ancestor.
+    bool Hit =
+        (N > 1 && S.containsRelational(Next, InputIds, /*Tol=*/1e-15)) ||
+        (HaveCons &&
+         LastCons.containsRelational(Next, InputIds, /*Tol=*/1e-15));
+    if (Hit) {
+      Contained = true;
+      S = Next;
+      break;
+    }
+    S = Next;
+    if (S.width() > Opts.DivergenceWidth)
+      break;
+  }
+  Out.Converged = Contained;
+  if (!Contained) {
+    Out.SInterval.Diverged = true;
+    Out.RootInterval.Diverged = true;
+    return Out;
+  }
+
+  // Tightening: the Householder step is locally Lipschitz with convergence
+  // guarantees on these inputs, so further abstract iterations preserve the
+  // fixpoint set (Thm 3.3); keep the tightest.
+  AffineForm Best = S;
+  for (int N = 0; N < Opts.TightenSteps; ++N) {
+    S = householderStep(X, S);
+    Out.RootTrace.push_back(invert(S));
+    if (S.width() < Best.width())
+      Best = S;
+  }
+  if (Opts.Reachable) {
+    // App. A (Thm A.2): all values satisfying the termination condition lie
+    // within sqrt(eps) of a true fixpoint.
+    Best = Best.widened(std::sqrt(Opts.Epsilon));
+  }
+  Out.SInterval = {Best.lo(), Best.hi(), false};
+  Out.RootInterval = invert(Best);
+  return Out;
+}
+
+SqrtAnalysis craft::analyzeSqrtKleene(double XLo, double XHi,
+                                      const SqrtOptions &Opts) {
+  SqrtAnalysis Out;
+  AffineForm X = AffineForm::range(XLo, XHi);
+  AffineForm S = AffineForm::constant(Opts.S0);
+
+  int Unrolled = 0;
+  for (int N = 1; N <= Opts.MaxIterations; ++N) {
+    Out.Iterations = N;
+    AffineForm Next = householderStep(X, S);
+    // Semantic unrolling: skip the join while the termination condition is
+    // provably not yet satisfiable (Blanchet et al. 2002), up to the
+    // configured depth.
+    bool Unroll = Unrolled < Opts.UnrollSteps &&
+                  terminationUnreachable(X, S, Opts.Epsilon);
+    if (Unroll) {
+      ++Unrolled;
+      S = Next;
+    } else {
+      S = AffineForm::join(S, Next);
+      // Post-fixpoint detection with a light widening probe (Cousot &
+      // Cousot 1992): if one abstract step stays inside the slightly
+      // widened accumulator, the widened accumulator is a sound
+      // post-fixpoint covering all remaining iterates.
+      // Post-fixpoint probe with the slice-wise relational check (see
+      // analyzeSqrtCraft phase 1).
+      std::vector<uint64_t> InputIds;
+      for (const auto &[Id, Coef] : X.terms())
+        InputIds.push_back(Id);
+      AffineForm Widened = S.widened(0.02 * S.radius() + 1e-12);
+      if (Widened.containsRelational(householderStep(X, Widened), InputIds,
+                                     1e-12)) {
+        Out.Converged = true;
+        S = Widened;
+        Out.RootTrace.push_back(invert(S));
+        break;
+      }
+    }
+    Out.RootTrace.push_back(invert(S));
+    if (S.width() > Opts.DivergenceWidth)
+      break;
+  }
+
+  if (!Out.Converged) {
+    Out.SInterval.Diverged = true;
+    Out.RootInterval.Diverged = true;
+    return Out;
+  }
+  Out.SInterval = {S.lo(), S.hi(), false};
+  Out.RootInterval = invert(S);
+  return Out;
+}

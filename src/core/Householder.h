@@ -1,0 +1,88 @@
+//===- core/Householder.h - Square-root case study --------------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 6.5 / App. A case study: abstract interpretation of
+/// the Householder iteration for reciprocal square roots,
+///
+///   while s <= 0 or |s*s - 1/x| >= eps:
+///     h = 1 - x s^2
+///     s = s + s (0.5 h + 0.375 h^2)
+///
+/// which converges to s* = 1/sqrt(x). The analysis demonstrates Craft's
+/// generality beyond monDEQs: the scalar program is abstracted with affine
+/// arithmetic (1-d Zonotopes), where concretizations are intervals and the
+/// containment check of Thm 3.1 is exact interval inclusion. The Kleene
+/// baseline with semantic unrolling reproduces the imprecision/divergence
+/// the paper reports (Table 5, Fig. 16), and the App. A extension widens
+/// fixpoint abstractions by sqrt(eps) to cover all values reachable under
+/// the concrete termination condition (Thms A.1/A.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_CORE_HOUSEHOLDER_H
+#define CRAFT_CORE_HOUSEHOLDER_H
+
+#include "domains/AffineForm.h"
+
+#include <vector>
+
+namespace craft {
+
+/// A closed interval (Hi < Lo encodes "divergence"/top).
+struct SqrtInterval {
+  double Lo = 0.0;
+  double Hi = 0.0;
+  bool Diverged = false;
+};
+
+/// Analysis knobs for the case study.
+struct SqrtOptions {
+  double S0 = 0.125;      ///< Paper initialization 2^-3.
+  int MaxIterations = 200;
+  double Epsilon = 1e-8;  ///< Termination threshold of the concrete program.
+  bool Reachable = false; ///< App. A: widen by sqrt(eps) for reachability.
+  int UnrollSteps = 4;    ///< Kleene semantic unrolling depth.
+  int TightenSteps = 20;  ///< Craft phase-2 iterations after containment.
+  /// Consolidate (decorrelate + collapse to a single symbol, the 1-d
+  /// Thm 4.1) every r-th phase-1 iteration; 0 (default) disables. The
+  /// containment check is the slice-wise relational one, sound against
+  /// correlated iterates, so this is purely a representation-size knob; it
+  /// costs the cross-iteration cancellation the wide input [16, 25] needs.
+  int ConsolidateEvery = 0;
+  double DivergenceWidth = 1e6;
+};
+
+/// Analysis result; intervals are reported for sqrt(x) = 1/s.
+struct SqrtAnalysis {
+  bool Converged = false;
+  int Iterations = 0;
+  SqrtInterval SInterval;    ///< Final abstraction of s.
+  SqrtInterval RootInterval; ///< 1 / SInterval.
+  std::vector<SqrtInterval> RootTrace; ///< Per-iteration 1/s (Fig. 16).
+};
+
+/// Craft-style analysis: iterate without joins until interval containment
+/// (Thm 3.1), then tighten with further fixpoint-preserving iterations.
+SqrtAnalysis analyzeSqrtCraft(double XLo, double XHi,
+                              const SqrtOptions &Opts = {});
+
+/// Kleene iteration with semantic unrolling (joins after the unrolled
+/// prefix); diverges for wide inputs, per the paper.
+SqrtAnalysis analyzeSqrtKleene(double XLo, double XHi,
+                               const SqrtOptions &Opts = {});
+
+/// Exact mathematical fixpoint set [sqrt(XLo), sqrt(XHi)].
+SqrtInterval exactSqrtInterval(double XLo, double XHi);
+
+/// Concrete execution of the program (returns s ~ 1/sqrt(x)).
+double householderSqrtConcrete(double X, double S0 = 0.125,
+                               double Epsilon = 1e-8,
+                               int *IterationsOut = nullptr);
+
+} // namespace craft
+
+#endif // CRAFT_CORE_HOUSEHOLDER_H

@@ -1,0 +1,106 @@
+//===- core/KleeneVerifier.cpp --------------------------------------------===//
+
+#include "core/KleeneVerifier.h"
+
+#include "nn/Solvers.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace craft;
+
+KleeneVerifier::KleeneVerifier(const MonDeq &Model, KleeneConfig Config)
+    : Model(Model), Config(Config) {}
+
+KleeneResult KleeneVerifier::verifyRobustness(const Vector &X, int TargetClass,
+                                              double Epsilon) const {
+  Vector Lo(X.size()), Hi(X.size());
+  for (size_t I = 0; I < X.size(); ++I) {
+    Lo[I] = std::max(X[I] - Epsilon, Config.InputClampLo);
+    Hi[I] = std::min(X[I] + Epsilon, Config.InputClampHi);
+  }
+  return verifyRegion(Lo, Hi, TargetClass);
+}
+
+KleeneResult KleeneVerifier::verifyRegion(const Vector &InLo,
+                                          const Vector &InHi,
+                                          int TargetClass) const {
+  WallTimer Timer;
+  KleeneResult Res;
+
+  CHZonotope X = CHZonotope::fromBox(InLo, InHi);
+  AbstractSolver Solver(Model, Config.Method, Config.Alpha, X);
+  // Kleene starts from the loop entry state s_0 = 0 (it abstracts all
+  // iteration states, not just fixpoints).
+  CHZonotope S = Solver.initialState(Vector(Model.latentDim(), 0.0));
+  ConsolidationBasis Basis(Solver.stateDim(), /*RefreshEvery=*/10);
+
+  for (int N = 1; N <= Config.MaxIterations; ++N) {
+    Res.Iterations = N;
+    CHZonotope Next = Solver.step(S);
+    if (N <= Config.UnrollSteps) {
+      // Semantic unrolling: no join for the first k iterations.
+      S = std::move(Next);
+      continue;
+    }
+
+    if (Config.Join == KleeneJoin::IntervalHull) {
+      // Classic Kleene on the hull accumulator: terminate at the
+      // order-theoretic post-fixpoint S >= S |_| f#(S), which is exact on
+      // intervals.
+      IntervalVector Hull =
+          IntervalVector::join(S.intervalHull(), Next.intervalHull());
+      if (N > Config.UnrollSteps + 1 && S.intervalHull().contains(Hull)) {
+        Res.Converged = true;
+        break;
+      }
+      S = CHZonotope(Hull.center(), Matrix(S.dim(), 0), {}, Hull.radius());
+    } else {
+      // Quasi-join accumulator (non-lattice domain): detect the
+      // post-fixpoint by probing one step inside the consolidated
+      // accumulator. The accumulated join residuals live in the Box
+      // component, so fold them into generators first; otherwise the
+      // Thm 4.2 check has no generator slack to cover the probe.
+      S = CHZonotope::join(S, Next);
+      ProperState PS =
+          consolidateProper(S.boxCastToGenerators(), Basis, 1e-3, 1e-2);
+      CHZonotope Probe = Solver.step(PS.Z);
+      if (containsCH(PS.Z, PS.InvGens, Probe).Contained) {
+        Res.Converged = true;
+        S = PS.Z;
+        break;
+      }
+    }
+
+    // Widening: after enough joins, grow the accumulator so the ascending
+    // chain stabilizes (Cousot & Cousot 1992).
+    if (N > Config.UnrollSteps + Config.WidenAfter) {
+      Vector Widened = S.boxRadius();
+      Vector Radius = S.concretizationRadius();
+      for (size_t I = 0; I < Widened.size(); ++I)
+        Widened[I] += Config.WideningFactor * Radius[I] + 1e-9;
+      S = CHZonotope(S.center(), S.generators(), S.termIds(),
+                     std::move(Widened));
+    }
+
+    if (S.concretizationRadius().normInf() > Config.AbortWidth)
+      break;
+  }
+
+  if (!Res.Converged) {
+    Res.TimeSeconds = Timer.seconds();
+    return Res;
+  }
+
+  CHZonotope Z = Solver.zPart(S);
+  Res.FixpointHull = Z.intervalHull();
+  Vector Margins = classificationMargins(Model, Z, TargetClass);
+  double MinMargin = 1e300;
+  for (double M : Margins)
+    MinMargin = std::min(MinMargin, M);
+  Res.BestMargin = MinMargin;
+  Res.Certified = MinMargin > 0.0;
+  Res.TimeSeconds = Timer.seconds();
+  return Res;
+}

@@ -1,0 +1,166 @@
+//===- core/LinearFixpoint.cpp --------------------------------------------===//
+
+#include "core/LinearFixpoint.h"
+
+#include "domains/OrderReduction.h"
+#include "linalg/Eig.h"
+#include "linalg/Lu.h"
+
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+using namespace craft;
+
+LinearIterator craft::makeJacobiIterator(const Matrix &A) {
+  assert(A.rows() == A.cols() && "Jacobi needs a square system");
+  size_t P = A.rows();
+  LinearIterator It;
+  It.Name = "jacobi";
+  It.M = Matrix(P, P);
+  It.N = Matrix(P, P);
+  for (size_t I = 0; I < P; ++I) {
+    double D = A(I, I);
+    assert(std::fabs(D) > 1e-300 && "Jacobi needs a nonzero diagonal");
+    It.N(I, I) = 1.0 / D;
+    for (size_t J = 0; J < P; ++J)
+      if (J != I)
+        It.M(I, J) = -A(I, J) / D;
+  }
+  It.C = Vector(P);
+  return It;
+}
+
+LinearIterator craft::makeGaussSeidelIterator(const Matrix &A) {
+  assert(A.rows() == A.cols() && "Gauss-Seidel needs a square system");
+  size_t P = A.rows();
+  Matrix L(P, P), U(P, P);
+  for (size_t I = 0; I < P; ++I)
+    for (size_t J = 0; J < P; ++J)
+      (J <= I ? L : U)(I, J) = A(I, J);
+  LuDecomposition Lu(L);
+  assert(!Lu.isSingular() && "Gauss-Seidel needs a nonsingular lower part");
+  Matrix LInv = Lu.inverse();
+  LinearIterator It;
+  It.Name = "gauss-seidel";
+  It.M = -1.0 * (LInv * U);
+  It.N = LInv;
+  It.C = Vector(P);
+  return It;
+}
+
+LinearIterator craft::makeRichardsonIterator(const Matrix &A, double Omega) {
+  assert(A.rows() == A.cols() && "Richardson needs a square system");
+  size_t P = A.rows();
+  LinearIterator It;
+  It.Name = "richardson";
+  It.M = Matrix::identity(P) - Omega * A;
+  It.N = Omega * Matrix::identity(P);
+  It.C = Vector(P);
+  return It;
+}
+
+LinearIterator craft::makeGradientDescentIterator(const Matrix &H,
+                                                  double Eta) {
+  LinearIterator It = makeRichardsonIterator(H, Eta);
+  It.Name = "gradient-descent";
+  return It;
+}
+
+double craft::contractionFactor(const LinearIterator &It) {
+  return spectralNorm(It.M);
+}
+
+Vector craft::stepLinearConcrete(const LinearIterator &It, const Vector &B,
+                                 const Vector &S) {
+  return It.M * S + It.N * B + It.C;
+}
+
+Vector craft::solveLinearFixpoint(const LinearIterator &It, const Vector &B) {
+  Matrix IMinusM = Matrix::identity(It.stateDim()) - It.M;
+  LuDecomposition Lu(IMinusM);
+  assert(!Lu.isSingular() && "I - M singular: no unique fixpoint");
+  return Lu.solve(It.N * B + It.C);
+}
+
+IntervalVector craft::exactLinearFixpointHull(const LinearIterator &It,
+                                              const Vector &BLo,
+                                              const Vector &BHi) {
+  Matrix IMinusM = Matrix::identity(It.stateDim()) - It.M;
+  LuDecomposition Lu(IMinusM);
+  assert(!Lu.isSingular() && "I - M singular: no unique fixpoint");
+  Vector BC(BLo.size()), BR(BLo.size());
+  for (size_t I = 0; I < BLo.size(); ++I) {
+    BC[I] = 0.5 * (BLo[I] + BHi[I]);
+    BR[I] = 0.5 * (BHi[I] - BLo[I]);
+  }
+  Vector Center = Lu.solve(It.N * BC + It.C);
+  Matrix K = Lu.solve(It.N); // (I - M)^{-1} N.
+  return IntervalVector(Center, K.abs() * BR);
+}
+
+LinearAnalysisResult
+craft::analyzeLinearFixpoint(const LinearIterator &It, const Vector &BLo,
+                             const Vector &BHi,
+                             const LinearAnalysisOptions &Opts) {
+  LinearAnalysisResult Out;
+  size_t P = It.stateDim();
+
+  CHZonotope B = CHZonotope::fromBox(BLo, BHi);
+  Vector BC(BLo.size());
+  for (size_t I = 0; I < BLo.size(); ++I)
+    BC[I] = 0.5 * (BLo[I] + BHi[I]);
+  // Algorithm 1 line 2: initialize at the concrete center fixpoint.
+  CHZonotope S = CHZonotope::point(solveLinearFixpoint(It, BC));
+
+  ConsolidationBasis Basis(P, Opts.PcaRefreshEvery);
+  std::deque<ProperState> History;
+
+  auto step = [&](const CHZonotope &State) {
+    std::pair<const Matrix *, const CHZonotope *> Terms[] = {
+        {&It.M, &State}, {&It.N, &B}};
+    return CHZonotope::linearCombine(Terms, It.C);
+  };
+
+  // Phase 1: iterate, consolidating every r-th step and checking s-step
+  // containment against the history of proper (decorrelated) states.
+  for (int N = 1; N <= Opts.MaxIterations; ++N) {
+    Out.Iterations = N;
+    if ((N - 1) % Opts.ConsolidateEvery == 0) {
+      ProperState Prop = consolidateProper(S, Basis, Opts.WMul, Opts.WAdd);
+      S = Prop.Z;
+      History.push_back(std::move(Prop));
+      if ((int)History.size() > Opts.HistorySize)
+        History.pop_front();
+    }
+    S = step(S);
+    Out.MeanWidthTrace.push_back(S.meanWidth());
+    bool Hit = false;
+    for (const ProperState &Outer : History)
+      if (containsCH(Outer.Z, Outer.InvGens, S).Contained) {
+        Hit = true;
+        break;
+      }
+    if (Hit) {
+      Out.Contained = true;
+      break;
+    }
+    if (S.meanWidth() > Opts.DivergenceWidth)
+      return Out;
+  }
+  if (!Out.Contained)
+    return Out;
+
+  // Phase 2: exact affine iterations are trivially fixpoint-set preserving
+  // (Thm 3.3); keep the tightest hull.
+  IntervalVector Best = S.intervalHull();
+  for (int N = 0; N < Opts.TightenSteps; ++N) {
+    S = step(S);
+    Out.MeanWidthTrace.push_back(S.meanWidth());
+    IntervalVector Hull = S.intervalHull();
+    if (Hull.meanWidth() < Best.meanWidth())
+      Best = Hull;
+  }
+  Out.Hull = Best;
+  return Out;
+}

@@ -1,0 +1,46 @@
+//===- core/LipschitzCert.cpp ---------------------------------------------===//
+
+#include "core/LipschitzCert.h"
+
+#include "linalg/Eig.h"
+
+#include <cmath>
+
+using namespace craft;
+
+LipschitzCertifier::LipschitzCertifier(const MonDeq &Model)
+    : Model(Model), LatentL2(spectralNorm(Model.weightU()) /
+                             Model.monotonicity()),
+      Solver(Model, Splitting::PeacemanRachford) {}
+
+double LipschitzCertifier::certifiedRadius(const Vector &X,
+                                           int TargetClass) const {
+  Vector Y = Solver.logits(X);
+  const size_t R = Model.outputDim();
+  const size_t P = Model.latentDim();
+  double Radius2 = 1e300;
+  for (size_t I = 0; I < R; ++I) {
+    if (static_cast<int>(I) == TargetClass)
+      continue;
+    double Margin = Y[TargetClass] - Y[I];
+    if (Margin <= 0.0)
+      return 0.0;
+    // ||V_t - V_i||_2 bounds the margin's sensitivity to z*.
+    double RowNorm = 0.0;
+    for (size_t J = 0; J < P; ++J) {
+      double D = Model.weightV()(TargetClass, J) - Model.weightV()(I, J);
+      RowNorm += D * D;
+    }
+    RowNorm = std::sqrt(RowNorm);
+    double PairLipschitz = RowNorm * LatentL2;
+    if (PairLipschitz > 0.0)
+      Radius2 = std::min(Radius2, Margin / PairLipschitz);
+  }
+  // Convert the certified l2 radius to l-inf: eps2 = sqrt(q) * epsInf.
+  return Radius2 / std::sqrt(static_cast<double>(Model.inputDim()));
+}
+
+bool LipschitzCertifier::certify(const Vector &X, int TargetClass,
+                                 double EpsilonInf) const {
+  return certifiedRadius(X, TargetClass) >= EpsilonInf;
+}

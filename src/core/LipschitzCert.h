@@ -1,0 +1,54 @@
+//===- core/LipschitzCert.h - Lipschitz-bound certification -----*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lipschitz-bound robustness certification for monDEQs in the style of
+/// Pabbaraju et al. (2021) / the 'Lipschitz model' of Chen et al. (2021) --
+/// the fast-but-loose baseline family of Section 6.1 and App. D.4.
+///
+/// Strong monotonicity gives the global l2 Lipschitz bound of the fixpoint
+/// map, ||z*(x1) - z*(x2)||_2 <= (||U||_2 / m) ||x1 - x2||_2, so a sample is
+/// certified when every center margin beats the worst output swing. l-inf
+/// balls are handled via the sqrt(q) norm conversion (App. D.4), which is
+/// exactly what makes these bounds loose in the l-inf setting the paper
+/// targets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_CORE_LIPSCHITZCERT_H
+#define CRAFT_CORE_LIPSCHITZCERT_H
+
+#include "nn/Solvers.h"
+
+namespace craft {
+
+/// Lipschitz-bound certifier bound to one model (norm computations cached).
+class LipschitzCertifier {
+public:
+  explicit LipschitzCertifier(const MonDeq &Model);
+
+  /// Global l2 Lipschitz constant of x -> z*(x): ||U||_2 / m.
+  double latentLipschitz2() const { return LatentL2; }
+
+  /// Certifies l-inf robustness of the Epsilon-ball around \p X for class
+  /// \p TargetClass: margins at the center must exceed the Lipschitz bound
+  /// on the margin change, per rival class pair.
+  bool certify(const Vector &X, int TargetClass, double EpsilonInf) const;
+
+  /// Largest epsilon certified at \p X (0 if the center is misclassified).
+  double certifiedRadius(const Vector &X, int TargetClass) const;
+
+private:
+  const MonDeq &Model;
+  double LatentL2;
+  /// Per-rival l2 norms ||V_t - V_i||_2 are recomputed per query (target
+  /// class varies); the latent bound dominates the cost and is cached.
+  FixpointSolver Solver;
+};
+
+} // namespace craft
+
+#endif // CRAFT_CORE_LIPSCHITZCERT_H

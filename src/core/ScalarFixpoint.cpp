@@ -1,0 +1,199 @@
+//===- core/ScalarFixpoint.cpp --------------------------------------------===//
+
+#include "core/ScalarFixpoint.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace craft;
+
+double craft::solveScalarConcrete(const ScalarIterator &It, double X,
+                                  double Tol, int MaxIter) {
+  double S = It.S0;
+  for (int N = 0; N < MaxIter; ++N) {
+    double Next = It.ConcreteStep(X, S);
+    if (std::fabs(Next - S) < Tol)
+      return Next;
+    S = Next;
+  }
+  return S;
+}
+
+ScalarAnalysis craft::analyzeScalarCraft(const ScalarIterator &It, double XLo,
+                                         double XHi,
+                                         const ScalarAnalysisOptions &Opts) {
+  ScalarAnalysis Out;
+  AffineForm X = AffineForm::range(XLo, XHi);
+  double S0 = Opts.InitAtCenterFixpoint
+                  ? solveScalarConcrete(It, 0.5 * (XLo + XHi))
+                  : It.S0;
+  AffineForm S = AffineForm::constant(S0);
+
+  // Phase 1: joins-free iteration until containment (Thm 3.1). The iterates
+  // stay correlated with the input (shared noise symbols), so a plain
+  // interval comparison would be an invalid Thm 3.1 premise: it certifies
+  // only the input-correlated (x, s) pairs while the theorem quantifies per
+  // input. The slice-wise relational check runs the theorem's argument per
+  // input slice instead (see AffineForm::containsRelational), keeping the
+  // correlation precision that decorrelating consolidation would destroy.
+  std::vector<uint64_t> InputIds;
+  for (const auto &[Id, Coef] : X.terms())
+    InputIds.push_back(Id);
+  bool Contained = false;
+  AffineForm LastCons;
+  bool HaveCons = false;
+  for (int N = 1; N <= Opts.MaxIterations; ++N) {
+    Out.Iterations = N;
+    if (Opts.ConsolidateEvery > 0 && (N - 1) % Opts.ConsolidateEvery == 0) {
+      S = S.consolidated(Opts.WMul * S.radius() + Opts.WAdd);
+      LastCons = S;
+      HaveCons = true;
+    }
+    AffineForm Next = It.AbstractStep(X, S);
+    Out.WidthTrace.push_back(Next.width());
+    // Either check is individually a valid premise: against the raw
+    // previous iterate (Thm 3.1 per input slice) or against the most
+    // recent consolidated ancestor (the s-step form, Thm B.1).
+    bool Hit =
+        (N > 1 && S.containsRelational(Next, InputIds, Opts.ContainTol)) ||
+        (HaveCons &&
+         LastCons.containsRelational(Next, InputIds, Opts.ContainTol));
+    if (Hit) {
+      Contained = true;
+      S = Next;
+      break;
+    }
+    S = Next;
+    if (S.width() > Opts.DivergenceWidth)
+      break;
+  }
+  Out.Contained = Contained;
+  if (!Contained)
+    return Out;
+
+  // Phase 2: fixpoint-set-preserving tightening (Thm 3.3); keep the best.
+  AffineForm Best = S;
+  for (int N = 0; N < Opts.TightenSteps; ++N) {
+    S = It.AbstractStep(X, S);
+    Out.WidthTrace.push_back(S.width());
+    if (S.width() < Best.width())
+      Best = S;
+  }
+  Out.Lo = Best.lo();
+  Out.Hi = Best.hi();
+  return Out;
+}
+
+ScalarAnalysis craft::analyzeScalarKleene(const ScalarIterator &It,
+                                          double XLo, double XHi,
+                                          const ScalarAnalysisOptions &Opts) {
+  ScalarAnalysis Out;
+  AffineForm X = AffineForm::range(XLo, XHi);
+  double S0 = Opts.InitAtCenterFixpoint
+                  ? solveScalarConcrete(It, 0.5 * (XLo + XHi))
+                  : It.S0;
+  AffineForm S = AffineForm::constant(S0);
+
+  // Without a termination-condition transformer the generic Kleene driver
+  // unrolls a fixed prefix, then joins every subsequent iterate into the
+  // accumulator with a widening probe for post-fixpoint detection.
+  for (int N = 1; N <= Opts.MaxIterations; ++N) {
+    Out.Iterations = N;
+    AffineForm Next = It.AbstractStep(X, S);
+    if (N <= Opts.UnrollSteps) {
+      S = Next;
+    } else {
+      S = AffineForm::join(S, Next);
+      // Post-fixpoint probe with the slice-wise relational check (see the
+      // phase-1 comment in analyzeScalarCraft): the widened accumulator is
+      // a valid post-fixpoint witness only per input slice.
+      AffineForm Probe = S.widened(0.02 * S.radius() + 1e-12);
+      std::vector<uint64_t> InputIds;
+      for (const auto &[Id, Coef] : X.terms())
+        InputIds.push_back(Id);
+      if (Probe.containsRelational(It.AbstractStep(X, Probe), InputIds,
+                                   Opts.ContainTol)) {
+        Out.Contained = true;
+        S = Probe;
+        Out.WidthTrace.push_back(S.width());
+        break;
+      }
+    }
+    Out.WidthTrace.push_back(S.width());
+    if (S.width() > Opts.DivergenceWidth)
+      break;
+  }
+  if (!Out.Contained)
+    return Out;
+  Out.Lo = S.lo();
+  Out.Hi = S.hi();
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Case-study iterators
+//===----------------------------------------------------------------------===//
+
+ScalarIterator craft::makeDampedLinearIterator(double A, double B,
+                                               double Damping) {
+  assert(std::fabs(1.0 - Damping + Damping * A) < 1.0 &&
+         "damped linear iterator must be contractive");
+  ScalarIterator It;
+  It.Name = "damped-linear";
+  It.ConcreteStep = [=](double X, double S) {
+    return (1.0 - Damping) * S + Damping * (A * S + B * X);
+  };
+  It.AbstractStep = [=](const AffineForm &X, const AffineForm &S) {
+    return S * (1.0 - Damping + Damping * A) + X * (Damping * B);
+  };
+  return It;
+}
+
+ScalarIterator craft::makeDampedCosineIterator(double K) {
+  assert(std::fabs(K) < 1.0 && "cosine iterator contraction needs |k| < 1");
+  ScalarIterator It;
+  It.Name = "damped-cosine";
+  It.ConcreteStep = [=](double X, double S) { return K * std::cos(S) + X; };
+  It.AbstractStep = [=](const AffineForm &X, const AffineForm &S) {
+    return S.cos() * K + X;
+  };
+  return It;
+}
+
+ScalarIterator craft::makeTanhNeuronIterator(double W) {
+  assert(std::fabs(W) < 1.0 && "tanh neuron contraction needs |w| < 1");
+  ScalarIterator It;
+  It.Name = "tanh-neuron";
+  It.ConcreteStep = [=](double X, double S) { return std::tanh(W * S + X); };
+  It.AbstractStep = [=](const AffineForm &X, const AffineForm &S) {
+    return (S * W + X).tanh();
+  };
+  return It;
+}
+
+ScalarIterator craft::makeNewtonSqrtIterator() {
+  ScalarIterator It;
+  It.Name = "newton-sqrt";
+  It.S0 = 1.0;
+  It.ConcreteStep = [](double X, double S) { return 0.5 * (S + X / S); };
+  It.AbstractStep = [](const AffineForm &X, const AffineForm &S) {
+    return (S + X / S) * 0.5;
+  };
+  return It;
+}
+
+ScalarIterator craft::makeHouseholderIterator() {
+  ScalarIterator It;
+  It.Name = "householder-rsqrt";
+  It.S0 = 0.125;
+  It.ConcreteStep = [](double X, double S) {
+    double H = 1.0 - X * S * S;
+    return S + S * (0.5 * H + 0.375 * H * H);
+  };
+  It.AbstractStep = [](const AffineForm &X, const AffineForm &S) {
+    AffineForm H = (X * S.square()) * -1.0 + 1.0;
+    AffineForm Update = H * 0.5 + H.square() * 0.375;
+    return S + S * Update;
+  };
+  return It;
+}

@@ -1,0 +1,140 @@
+//===- core/ScalarFixpoint.h - Generic scalar fixpoint analysis -*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 3 framework instantiated for *arbitrary* scalar
+/// fixpoint iterators over the affine-arithmetic domain: "the above results
+/// can be used to construct abstract interpreters for arbitrary locally
+/// Lipschitz iterative processes converging to unique fixpoints in finitely
+/// many steps" (Section 3). The Householder case study (core/Householder.h)
+/// is one instance; this header makes the driver generic and ships several
+/// further case studies:
+///
+///  - a damped linear iterator (exact fixpoint set known in closed form,
+///    used to validate the driver),
+///  - a damped cosine iterator s' = k cos(s) + x (globally contractive),
+///  - a one-neuron tanh equilibrium s' = tanh(w s + x) (the scalar shadow
+///    of the App. B.6 tanh-monDEQ pipeline),
+///  - Newton's method for sqrt, s' = (s + x/s)/2 (superlinear local
+///    contraction, exercises the division transformer),
+///  - the Householder reciprocal-sqrt step (cross-checked against the
+///    dedicated Section 6.5 implementation).
+///
+/// The driver mirrors Algorithm 1: iterate the abstract step without joins
+/// until exact interval containment (Thm 3.1 — concretizations are
+/// intervals in 1-d, so the containment check is exact), then tighten with
+/// fixpoint-set-preserving iterations (Thm 3.3). A Kleene baseline with
+/// semantic unrolling and a widening probe is provided for comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_CORE_SCALARFIXPOINT_H
+#define CRAFT_CORE_SCALARFIXPOINT_H
+
+#include "domains/AffineForm.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace craft {
+
+/// A scalar fixpoint program s* = g(x, s*) with matching concrete and
+/// abstract step semantics. The abstract step must be a sound transformer
+/// of the concrete one; the concrete iteration must converge to a unique
+/// fixpoint for every input in the analyzed range (the Section 3
+/// prerequisites).
+struct ScalarIterator {
+  std::string Name;
+  std::function<double(double X, double S)> ConcreteStep;
+  std::function<AffineForm(const AffineForm &X, const AffineForm &S)>
+      AbstractStep;
+  /// Initialization s_0 used when Options.InitAtCenterFixpoint is off.
+  double S0 = 0.0;
+};
+
+/// Analysis knobs (defaults follow the Householder case study).
+struct ScalarAnalysisOptions {
+  int MaxIterations = 300;
+  int TightenSteps = 30;
+  /// Initialize the abstract state at the concrete fixpoint of the center
+  /// input (Algorithm 1 line 2) instead of at ScalarIterator::S0.
+  bool InitAtCenterFixpoint = true;
+  /// Consolidate (decorrelate + collapse to a single symbol, the 1-d
+  /// Thm 4.1) every r-th phase-1 iteration; 0 disables. Off by default:
+  /// the driver's containment check is the slice-wise relational one
+  /// (AffineForm::containsRelational), which is sound against correlated
+  /// iterates, so consolidation is purely a representation-size control —
+  /// and it costs precision on wide inputs where cross-iteration remainder
+  /// cancellation matters (e.g. Householder on [16, 25]).
+  int ConsolidateEvery = 0;
+  /// Expansion (Eq. 10) applied during consolidation: the consolidated
+  /// interval is widened by WMul * radius + WAdd (paper defaults, App D.2).
+  /// Without expansion a decorrelated iteration can approach its width
+  /// equilibrium from below and never strictly contract — the exact failure
+  /// mode the paper's "No Expansion" ablation (Table 4) demonstrates.
+  double WMul = 1e-3;
+  double WAdd = 1e-2;
+  /// Kleene semantic-unrolling depth (Kleene driver only).
+  int UnrollSteps = 4;
+  double DivergenceWidth = 1e9;
+  double ContainTol = 1e-15;
+};
+
+/// Result of one scalar fixpoint analysis.
+struct ScalarAnalysis {
+  bool Contained = false; ///< Thm 3.1 post-fixpoint found (sound result).
+  int Iterations = 0;     ///< Phase-1 iterations performed.
+  double Lo = 0.0, Hi = 0.0; ///< Final fixpoint-set over-approximation.
+  /// Per-iteration interval widths (phase 1 then phase 2), for traces.
+  std::vector<double> WidthTrace;
+};
+
+/// Concrete fixpoint of \p It for input \p X (damped iteration from S0).
+double solveScalarConcrete(const ScalarIterator &It, double X,
+                           double Tol = 1e-12, int MaxIter = 100000);
+
+/// Craft-style analysis of \p It over the input range [XLo, XHi]:
+/// joins-free iteration to containment (Thm 3.1), then tightening
+/// (Thm 3.3), keeping the tightest sound abstraction.
+ScalarAnalysis analyzeScalarCraft(const ScalarIterator &It, double XLo,
+                                  double XHi,
+                                  const ScalarAnalysisOptions &Opts = {});
+
+/// Kleene baseline: semantic unrolling, then joins with a widening probe.
+ScalarAnalysis analyzeScalarKleene(const ScalarIterator &It, double XLo,
+                                   double XHi,
+                                   const ScalarAnalysisOptions &Opts = {});
+
+//===----------------------------------------------------------------------===//
+// Case-study iterators
+//===----------------------------------------------------------------------===//
+
+/// s' = (1 - d) s + d (a s + b x): affine in (x, s), contractive for
+/// |1 - d + d a| < 1, with exact fixpoint s*(x) = b x / (1 - a). The
+/// abstract transformer is exact (no nonlinear remainder), so the analysis
+/// must converge to the exact fixpoint set — the driver's ground truth.
+ScalarIterator makeDampedLinearIterator(double A = 0.5, double B = 1.0,
+                                        double Damping = 1.0);
+
+/// s' = k cos(s) + x, globally contractive for |k| < 1 (|d/ds| <= |k|).
+ScalarIterator makeDampedCosineIterator(double K = 0.5);
+
+/// s' = tanh(w s + x), contractive for |w| < 1: a one-neuron tanh
+/// equilibrium model (scalar shadow of App. B.6).
+ScalarIterator makeTanhNeuronIterator(double W = 0.8);
+
+/// Newton's method for sqrt(x): s' = (s + x / s) / 2. Requires x > 0 and
+/// an initialization near the root (use InitAtCenterFixpoint).
+ScalarIterator makeNewtonSqrtIterator();
+
+/// One Householder reciprocal-sqrt step (the Section 6.5 program),
+/// converging to 1/sqrt(x).
+ScalarIterator makeHouseholderIterator();
+
+} // namespace craft
+
+#endif // CRAFT_CORE_SCALARFIXPOINT_H

@@ -1,0 +1,197 @@
+//===- core/UnrolledCrown.cpp ---------------------------------------------===//
+
+#include "core/UnrolledCrown.h"
+
+#include "linalg/Eig.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace craft;
+
+namespace {
+
+Matrix positivePart(const Matrix &M) {
+  Matrix Out = M;
+  for (size_t I = 0; I < Out.rows(); ++I)
+    for (size_t J = 0; J < Out.cols(); ++J)
+      Out(I, J) = std::max(Out(I, J), 0.0);
+  return Out;
+}
+
+Matrix negativePart(const Matrix &M) {
+  Matrix Out = M;
+  for (size_t I = 0; I < Out.rows(); ++I)
+    for (size_t J = 0; J < Out.cols(); ++J)
+      Out(I, J) = std::min(Out(I, J), 0.0);
+  return Out;
+}
+
+/// Linear bounds in the input: W x + b, rows of W per state dimension.
+struct LinearBounds {
+  Matrix LowW, UppW; ///< p x q.
+  Vector LowB, UppB; ///< p.
+};
+
+/// Concretizes one side of the bounds over the box [XLo, XHi].
+Vector concretizeLower(const Matrix &W, const Vector &B, const Vector &XLo,
+                       const Vector &XHi) {
+  return positivePart(W) * XLo + negativePart(W) * XHi + B;
+}
+Vector concretizeUpper(const Matrix &W, const Vector &B, const Vector &XLo,
+                       const Vector &XHi) {
+  return positivePart(W) * XHi + negativePart(W) * XLo + B;
+}
+
+} // namespace
+
+CrownVerifier::CrownVerifier(const MonDeq &Model, CrownOptions Options)
+    : Model(Model), Opts(Options) {
+  Alpha = Opts.Alpha > 0.0 ? Opts.Alpha : 0.9 * Model.fbAlphaBound();
+  const size_t P = Model.latentDim();
+
+  StateMatrix = Alpha * Model.weightW();
+  for (size_t I = 0; I < P; ++I)
+    StateMatrix(I, I) += 1.0 - Alpha;
+  InputMatrix = Alpha * Model.weightU();
+  Offset = Alpha * Model.biasZ();
+
+  // Per-step contraction: ||I - a (I - W)||_2^2 <= 1 - 2 a m + a^2 L^2
+  // since (I - W) + (I - W)^T >= 2 m I for the monDEQ parametrization.
+  double L = spectralNorm(Matrix::identity(P) - Model.weightW());
+  double Sq = 1.0 - 2.0 * Alpha * Model.monotonicity() +
+              Alpha * Alpha * L * L;
+  Contraction = Sq < 0.0 ? 0.0 : std::sqrt(Sq);
+
+  // Global l2 Lipschitz bound of x -> z*(x): ||U||_2 / m (Pabbaraju et
+  // al. 2021), used for the initialization distance R_0.
+  LatentLip2 = spectralNorm(Model.weightU()) / Model.monotonicity();
+}
+
+CrownResult CrownVerifier::verifyRobustness(const Vector &X, int TargetClass,
+                                            double Epsilon) const {
+  Vector Lo = X, Hi = X;
+  for (size_t I = 0; I < X.size(); ++I) {
+    Lo[I] = std::max(X[I] - Epsilon, Opts.InputClampLo);
+    Hi[I] = std::min(X[I] + Epsilon, Opts.InputClampHi);
+  }
+  return verifyRegion(Lo, Hi, TargetClass);
+}
+
+CrownResult CrownVerifier::verifyRegion(const Vector &InLo,
+                                        const Vector &InHi,
+                                        int TargetClass) const {
+  assert(InLo.size() == Model.inputDim() && "input dimension mismatch");
+  const size_t P = Model.latentDim();
+  const size_t Q = Model.inputDim();
+  CrownResult Out;
+  Out.Contraction = Contraction;
+
+  // Initialization s_0 = z*(x_center) (Alg. 1 line 2 analog): constant
+  // linear bounds.
+  Vector Center(Q);
+  for (size_t I = 0; I < Q; ++I)
+    Center[I] = 0.5 * (InLo[I] + InHi[I]);
+  FixpointResult Fp =
+      FixpointSolver(Model, Splitting::PeacemanRachford).solve(Center);
+  LinearBounds B;
+  B.LowW = Matrix(P, Q);
+  B.UppW = Matrix(P, Q);
+  B.LowB = Fp.Z;
+  B.UppB = Fp.Z;
+
+  Matrix Ap = positivePart(StateMatrix);
+  Matrix An = negativePart(StateMatrix);
+
+  for (int K = 0; K < Opts.UnrollSteps; ++K) {
+    // Pre-activation t = A s + B_in x + c via row-sign splitting.
+    LinearBounds T;
+    T.LowW = Ap * B.LowW + An * B.UppW + InputMatrix;
+    T.UppW = Ap * B.UppW + An * B.LowW + InputMatrix;
+    T.LowB = Ap * B.LowB + An * B.UppB + Offset;
+    T.UppB = Ap * B.UppB + An * B.LowB + Offset;
+
+    Vector TLo = concretizeLower(T.LowW, T.LowB, InLo, InHi);
+    Vector THi = concretizeUpper(T.UppW, T.UppB, InLo, InHi);
+
+    // CROWN ReLU relaxation per dimension.
+    for (size_t I = 0; I < P; ++I) {
+      if (THi[I] <= 0.0) {
+        for (size_t J = 0; J < Q; ++J) {
+          T.LowW(I, J) = 0.0;
+          T.UppW(I, J) = 0.0;
+        }
+        T.LowB[I] = 0.0;
+        T.UppB[I] = 0.0;
+      } else if (TLo[I] >= 0.0) {
+        // Identity: keep the affine bounds.
+      } else {
+        double Lambda = THi[I] / (THi[I] - TLo[I]);
+        for (size_t J = 0; J < Q; ++J)
+          T.UppW(I, J) *= Lambda;
+        T.UppB[I] = Lambda * (T.UppB[I] - TLo[I]);
+        double Beta =
+            Opts.AdaptiveLower ? (THi[I] > -TLo[I] ? 1.0 : 0.0) : 0.0;
+        for (size_t J = 0; J < Q; ++J)
+          T.LowW(I, J) *= Beta;
+        T.LowB[I] *= Beta;
+      }
+    }
+    B = std::move(T);
+  }
+
+  Vector SLo = concretizeLower(B.LowW, B.LowB, InLo, InHi);
+  Vector SHi = concretizeUpper(B.UppW, B.UppB, InLo, InHi);
+  Out.StateBounds = IntervalVector::fromBounds(SLo, SHi);
+
+  // Contraction tail: ||s_k(x) - s*(x)||_2 <= L_a^k * Lip * ||x - xc||_2.
+  double InputRad2 = 0.0;
+  for (size_t I = 0; I < Q; ++I) {
+    double R = 0.5 * (InHi[I] - InLo[I]);
+    InputRad2 += R * R;
+  }
+  InputRad2 = std::sqrt(InputRad2);
+  double StateTail = 1e300;
+  if (Contraction < 1.0)
+    StateTail = std::pow(Contraction, Opts.UnrollSteps) * LatentLip2 *
+                InputRad2;
+
+  // Margins per rival class from the linear state bounds.
+  const Matrix &V = Model.weightV();
+  const Vector &VB = Model.biasY();
+  double WorstIterate = 1e300, WorstSound = 1e300;
+  for (size_t R = 0; R < Model.outputDim(); ++R) {
+    if ((int)R == TargetClass)
+      continue;
+    Vector W(P);
+    double RowNorm2 = 0.0;
+    for (size_t J = 0; J < P; ++J) {
+      W[J] = V(TargetClass, J) - V(R, J);
+      RowNorm2 += W[J] * W[J];
+    }
+    RowNorm2 = std::sqrt(RowNorm2);
+    // Lower-bound w^T s over the linear bounds, then over the input box.
+    Vector RowW(Q);
+    double RowB = VB[TargetClass] - VB[R];
+    for (size_t J = 0; J < P; ++J) {
+      const Matrix &Src = W[J] >= 0.0 ? B.LowW : B.UppW;
+      const Vector &SrcB = W[J] >= 0.0 ? B.LowB : B.UppB;
+      for (size_t C = 0; C < Q; ++C)
+        RowW[C] += W[J] * Src(J, C);
+      RowB += W[J] * SrcB[J];
+    }
+    double Lo = 0.0;
+    for (size_t C = 0; C < Q; ++C)
+      Lo += RowW[C] >= 0.0 ? RowW[C] * InLo[C] : RowW[C] * InHi[C];
+    Lo += RowB;
+    WorstIterate = std::min(WorstIterate, Lo);
+    double Tail = StateTail >= 1e300 ? 1e300 : RowNorm2 * StateTail;
+    WorstSound = std::min(WorstSound, Lo - Tail);
+  }
+  Out.IterateMargin = WorstIterate;
+  Out.MarginLower = WorstSound;
+  Out.Tail = WorstIterate - WorstSound;
+  Out.Certified = Out.MarginLower > 0.0;
+  return Out;
+}

@@ -1,0 +1,309 @@
+//===- core/Verifier.cpp --------------------------------------------------===//
+
+#include "core/Verifier.h"
+
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+
+using namespace craft;
+
+CraftVerifier::CraftVerifier(const MonDeq &Model, CraftConfig Config)
+    : Model(Model), Config(Config) {
+  assert(!(Config.Phase1Method == Splitting::ForwardBackward &&
+           Config.Phase2Method == Splitting::PeacemanRachford) &&
+         "FB-then-PR is unsupported: the PR auxiliary set U* would be "
+         "unknown (Section 6.3)");
+}
+
+CraftResult CraftVerifier::verifyRobustness(const Vector &X, int TargetClass,
+                                            double Epsilon) const {
+  Vector Lo(X.size()), Hi(X.size());
+  for (size_t I = 0; I < X.size(); ++I) {
+    Lo[I] = std::max(X[I] - Epsilon, Config.InputClampLo);
+    Hi[I] = std::min(X[I] + Epsilon, Config.InputClampHi);
+  }
+  return verifyRegion(Lo, Hi, TargetClass);
+}
+
+CraftResult CraftVerifier::verifyRegion(const Vector &InLo, const Vector &InHi,
+                                        int TargetClass) const {
+  return Config.Domain == VerifierDomain::CHZono
+             ? verifyCH(InLo, InHi, TargetClass)
+             : verifyBox(InLo, InHi, TargetClass);
+}
+
+namespace {
+
+/// Shared phase-2 bookkeeping: best margin, certification flag, and the
+/// no-progress abortion window of App. C.
+class MarginTracker {
+public:
+  MarginTracker(int WindowSteps) : WindowSteps(WindowSteps) {}
+
+  /// Returns true when phase 2 should stop (certified or stalled).
+  bool update(const Vector &Margins, const IntervalVector &Hull) {
+    double MinMargin = 1e300;
+    for (double M : Margins)
+      MinMargin = std::min(MinMargin, M);
+    if (MinMargin > Best + 1e-12) {
+      Best = MinMargin;
+      BestHull = Hull;
+      SinceImprovement = 0;
+    } else {
+      ++SinceImprovement;
+    }
+    Certified = Certified || MinMargin > 0.0;
+    return Certified || SinceImprovement >= WindowSteps;
+  }
+
+  double best() const { return Best; }
+  bool certified() const { return Certified; }
+  const IntervalVector &bestHull() const { return BestHull; }
+
+private:
+  int WindowSteps;
+  int SinceImprovement = 0;
+  double Best = -1e300;
+  bool Certified = false;
+  IntervalVector BestHull;
+};
+
+} // namespace
+
+CraftResult CraftVerifier::verifyCH(const Vector &InLo, const Vector &InHi,
+                                    int TargetClass) const {
+  WallTimer Timer;
+  CraftResult Res;
+
+  CHZonotope X = CHZonotope::fromBox(InLo, InHi);
+  Vector Center = 0.5 * (InLo + InHi);
+  Vector ZStar =
+      FixpointSolver(Model, Splitting::PeacemanRachford).solve(Center).Z;
+
+  // Phase 1: abstract iteration until s-step containment (Thm 3.1 / B.1).
+  AbstractSolver Solver1(Model, Config.Phase1Method, Config.Alpha1, X);
+  CHZonotope S = Solver1.initialState(ZStar);
+  ConsolidationBasis Basis(Solver1.stateDim(), Config.PcaRefreshEvery);
+  std::deque<ProperState> History;
+
+  double WMul = 0.0, WAdd = 0.0;
+  if (Config.Expansion != ExpansionSchedule::None) {
+    WMul = Config.WMul;
+    WAdd = Config.WAdd;
+  }
+  int Consolidations = 0;
+  bool Contained = false;
+
+  for (int N = 1; N <= Config.MaxIterations && !Contained; ++N) {
+    Res.TotalIterations = N;
+    if ((N - 1) % Config.ConsolidateEvery == 0) {
+      ProperState PS = consolidateProper(S, Basis, WMul, WAdd);
+      S = PS.Z;
+      History.push_front(std::move(PS));
+      if (History.size() > static_cast<size_t>(Config.HistorySize))
+        History.pop_back();
+      if (Config.Expansion == ExpansionSchedule::Exponential &&
+          ++Consolidations % 2 == 0) {
+        WMul *= 1.1;
+        WAdd *= 1.2;
+      }
+    }
+    S = Solver1.step(S, 1.0, Config.UseBoxComponent);
+    if (N % Config.ContainmentCheckEvery == 0) {
+      for (const ProperState &PS : History)
+        if (containsCH(PS.Z, PS.InvGens, S).Contained) {
+          Contained = true;
+          Res.ContainmentIteration = N;
+          break;
+        }
+    }
+    if (S.concretizationRadius().normInf() > Config.AbortWidth)
+      break;
+  }
+
+  Res.Containment = Contained;
+  if (!Contained) {
+    Res.TimeSeconds = Timer.seconds();
+    return Res;
+  }
+
+  // S provably contains the true fixpoint set. Seed the result with its
+  // margins before tightening.
+  {
+    CHZonotope Z = Solver1.zPart(S);
+    MarginTracker Seed(1);
+    Seed.update(classificationMargins(Model, Z, TargetClass),
+                Z.intervalHull());
+    Res.BestMargin = Seed.best();
+    Res.Certified = Seed.certified();
+    Res.FixpointHull = Seed.bestHull();
+    if (Res.Certified) {
+      Res.TimeSeconds = Timer.seconds();
+      return Res;
+    }
+  }
+
+  // Phase 2: fixpoint-set-preserving tightening (Thm 3.3 / 5.1).
+  // PR must keep its phase-1 alpha (preservation only holds for fixed
+  // alpha); FB may use any alpha in [0,1] and is line searched.
+  auto runPhase2 = [&](const AbstractSolver &Solver2, CHZonotope S2,
+                       double LambdaScale, int MaxSteps) -> MarginTracker {
+    MarginTracker Track(3 * Config.Phase2Window);
+    ConsolidationBasis Basis2(Solver2.stateDim(), Config.PcaRefreshEvery);
+    for (int Step = 0; Step < MaxSteps; ++Step) {
+      bool UsableForCertification = true;
+      if (Config.SameIterationContainment) {
+        // Ablation: certify only from states contained in their
+        // consolidated predecessor.
+        ProperState PS = consolidateProper(S2, Basis2, 0.0, 0.0);
+        CHZonotope Next =
+            Solver2.step(PS.Z, LambdaScale, Config.UseBoxComponent);
+        UsableForCertification =
+            containsCH(PS.Z, PS.InvGens, Next).Contained;
+        S2 = std::move(Next);
+      } else {
+        if (Step > 0 && Step % Config.ConsolidateEvery == 0)
+          S2 = consolidateProper(S2, Basis2, 0.0, 0.0).Z;
+        S2 = Solver2.step(S2, LambdaScale, Config.UseBoxComponent);
+      }
+      if (S2.concretizationRadius().normInf() > Config.AbortWidth)
+        break;
+      if (!UsableForCertification)
+        continue;
+      CHZonotope Z = Solver2.zPart(S2);
+      if (Track.update(classificationMargins(Model, Z, TargetClass),
+                       Z.intervalHull()))
+        break;
+    }
+    return Track;
+  };
+
+  bool Phase2IsPr = Config.Phase2Method == Splitting::PeacemanRachford;
+  CHZonotope SEntry = Phase2IsPr ? S : Solver1.zPart(S);
+
+  double Alpha2 = Config.Alpha2;
+  std::unique_ptr<AbstractSolver> Solver2Storage;
+  const AbstractSolver *Solver2 = nullptr;
+  if (Phase2IsPr && Config.Phase1Method == Splitting::PeacemanRachford) {
+    Solver2 = &Solver1;
+    Alpha2 = Solver1.alpha();
+  } else if (Phase2IsPr) {
+    Solver2 = &Solver1; // Phase 1 was PR too (ctor forbids FB-then-PR).
+  } else {
+    // FB tightening. Adaptive line search over alpha in [0, 1] (Thm 5.1)
+    // when no fixed alpha was configured: probe a short unroll per
+    // candidate and keep the best margin.
+    if (Alpha2 < 0.0) {
+      static const double Candidates[] = {0.01, 0.02, 0.03, 0.05,
+                                          0.08, 0.12, 0.2,  0.35};
+      double BestProbe = -1e300;
+      for (double Cand : Candidates) {
+        AbstractSolver Probe(Model, Splitting::ForwardBackward, Cand, X);
+        MarginTracker Track = runPhase2(Probe, SEntry, 1.0, /*MaxSteps=*/6);
+        if (Track.best() > BestProbe) {
+          BestProbe = Track.best();
+          Alpha2 = Cand;
+        }
+      }
+    }
+    Solver2Storage = std::make_unique<AbstractSolver>(
+        Model, Splitting::ForwardBackward, Alpha2, X);
+    Solver2 = Solver2Storage.get();
+  }
+  Res.ChosenAlpha2 = Alpha2;
+
+  MarginTracker Main =
+      runPhase2(*Solver2, SEntry, 1.0,
+                std::min(Config.MaxIterations, Config.Phase2MaxIterations));
+  if (Main.best() > Res.BestMargin) {
+    Res.BestMargin = Main.best();
+    Res.FixpointHull = Main.bestHull();
+  }
+  Res.Certified = Main.certified();
+
+  // Lambda optimization (App. C): only for samples close to certification.
+  if (!Res.Certified && Config.LambdaOptLevel > 0 &&
+      Res.BestMargin > -Config.LambdaOptMarginWindow) {
+    std::vector<double> Scales =
+        Config.LambdaOptLevel >= 2
+            ? std::vector<double>{0.8, 0.9, 0.95, 1.05, 1.1, 1.25}
+            : std::vector<double>{0.9, 1.1};
+    int Steps = Config.LambdaOptLevel >= 2 ? 40 : 20;
+    for (double Scale : Scales) {
+      MarginTracker Track = runPhase2(*Solver2, SEntry, Scale, Steps);
+      if (Track.best() > Res.BestMargin) {
+        Res.BestMargin = Track.best();
+        Res.FixpointHull = Track.bestHull();
+      }
+      if (Track.certified()) {
+        Res.Certified = true;
+        break;
+      }
+    }
+  }
+
+  Res.TimeSeconds = Timer.seconds();
+  return Res;
+}
+
+CraftResult CraftVerifier::verifyBox(const Vector &InLo, const Vector &InHi,
+                                     int TargetClass) const {
+  WallTimer Timer;
+  CraftResult Res;
+
+  CHZonotope X = CHZonotope::fromBox(InLo, InHi);
+  Vector Center = 0.5 * (InLo + InHi);
+  Vector ZStar =
+      FixpointSolver(Model, Splitting::PeacemanRachford).solve(Center).Z;
+
+  AbstractSolver Solver1(Model, Config.Phase1Method, Config.Alpha1, X);
+  IntervalVector S = Solver1.initialStateInterval(ZStar);
+  std::deque<IntervalVector> History;
+  bool Contained = false;
+
+  for (int N = 1; N <= Config.MaxIterations && !Contained; ++N) {
+    Res.TotalIterations = N;
+    History.push_front(S);
+    if (History.size() > static_cast<size_t>(Config.HistorySize))
+      History.pop_back();
+    S = Solver1.stepInterval(S);
+    for (const IntervalVector &Prev : History)
+      if (Prev.contains(S)) {
+        Contained = true;
+        Res.ContainmentIteration = N;
+        break;
+      }
+    if (S.radius().normInf() > Config.AbortWidth)
+      break;
+  }
+
+  Res.Containment = Contained;
+  if (!Contained) {
+    Res.TimeSeconds = Timer.seconds();
+    return Res;
+  }
+
+  MarginTracker Track(3 * Config.Phase2Window);
+  IntervalVector Z = Solver1.zPartInterval(S);
+  Track.update(classificationMargins(Model, Z, TargetClass), Z);
+
+  // Phase 2 on the Box domain (PR phase-1 alpha retained; Box has no
+  // consolidation or lambda choices).
+  for (int Step = 0; Step < Config.MaxIterations; ++Step) {
+    S = Solver1.stepInterval(S);
+    if (S.radius().normInf() > Config.AbortWidth)
+      break;
+    IntervalVector ZI = Solver1.zPartInterval(S);
+    if (Track.update(classificationMargins(Model, ZI, TargetClass), ZI))
+      break;
+  }
+  Res.BestMargin = Track.best();
+  Res.Certified = Track.certified();
+  Res.FixpointHull = Track.bestHull();
+  Res.TimeSeconds = Timer.seconds();
+  return Res;
+}

@@ -1,0 +1,135 @@
+//===- core/Verifier.h - The Craft verifier (Algorithm 1) -------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Craft (Convex Relaxation Abstract Fixpoint iTeration), the paper's
+/// Algorithm 1 with the App. C engineering details:
+///
+///  Phase 1 (containment): iterate the abstract solver g#1 (PR by default),
+///  consolidating every r-th iteration with expansion (Eq. 10), keeping the
+///  last HistorySize consolidated proper states and checking the current
+///  state against all of them (s-step containment, Thm B.1). Once contained,
+///  the state provably over-approximates the true fixpoint set (Thm 3.1).
+///
+///  Phase 2 (tightening): apply fixpoint-set-preserving iterations
+///  (Thm 3.3 / Thm 5.1) -- FB with a line-searched step size by default --
+///  re-checking the postcondition each step, with the App. C abortion
+///  heuristics and the optional lambda optimization for near-certified
+///  samples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_CORE_VERIFIER_H
+#define CRAFT_CORE_VERIFIER_H
+
+#include "core/AbstractSolver.h"
+#include "domains/OrderReduction.h"
+
+namespace craft {
+
+/// Abstract domain selector (Table 1 / Fig. 13 comparisons).
+enum class VerifierDomain {
+  CHZono, ///< CH-Zonotope (the paper's domain).
+  Box,    ///< Interval domain ("No Zono component" ablation).
+};
+
+/// Expansion schedule for the consolidation coefficients (App. D.2).
+enum class ExpansionSchedule {
+  None,        ///< w_mul = w_add = 0 ("No Expansion" ablation).
+  Constant,    ///< Fixed w_mul = 1e-3, w_add = 1e-2.
+  Exponential, ///< Constant start, scaled by 1.1 / 1.2 every 2nd
+               ///< consolidation (CIFAR configs).
+};
+
+/// All Craft knobs (defaults follow Table 7 for the small MNIST models).
+struct CraftConfig {
+  VerifierDomain Domain = VerifierDomain::CHZono;
+
+  Splitting Phase1Method = Splitting::PeacemanRachford;
+  double Alpha1 = 0.1;
+
+  Splitting Phase2Method = Splitting::ForwardBackward;
+  /// Phase-2 step size; < 0 enables the adaptive line search (FB only,
+  /// sound for any alpha in [0,1] by Thm 5.1).
+  double Alpha2 = -1.0;
+
+  int MaxIterations = 500;  ///< n_max.
+  int ConsolidateEvery = 3; ///< r.
+  int PcaRefreshEvery = 30;
+  int HistorySize = 10;
+  int Phase2Window = 50; ///< r' (abort after 3 r' steps without progress).
+  /// Hard cap on phase-2 tightening steps (<= MaxIterations). Large conv
+  /// models set this low: each abstract step is O(p^3)-expensive and the
+  /// no-progress window alone would dominate runtime.
+  int Phase2MaxIterations = 500;
+  /// Check containment against the history every this many iterations
+  /// (1 = every iteration, App. C default). Large conv models raise it:
+  /// each check is O(p^2 k) against up to HistorySize outer states.
+  int ContainmentCheckEvery = 1;
+
+  ExpansionSchedule Expansion = ExpansionSchedule::Constant;
+  double WMul = 1e-3;
+  double WAdd = 1e-2;
+
+  /// Ablation "No Box component": classic Zonotope ReLU (fresh columns).
+  bool UseBoxComponent = true;
+  /// Ablation "Same iter. containment": phase 2 may only certify from
+  /// states contained in their predecessor.
+  bool SameIterationContainment = false;
+  /// Lambda optimization level: 0 = off, 1 = reduced, 2 = full (App. C).
+  int LambdaOptLevel = 2;
+  /// Engage lambda optimization only when the best margin is this close to
+  /// certification (absolute logit-margin units).
+  double LambdaOptMarginWindow = 1.0;
+
+  double AbortWidth = 1e9; ///< Width blow-up abort (App. C).
+  /// Clamp robustness balls to this input range (images live in [0,1]).
+  double InputClampLo = 0.0;
+  double InputClampHi = 1.0;
+};
+
+/// Outcome of one Craft verification query.
+struct CraftResult {
+  bool Containment = false; ///< An abstract post-fixpoint was found.
+  bool Certified = false;   ///< The postcondition holds.
+  int ContainmentIteration = -1;
+  int TotalIterations = 0;
+  double BestMargin = -1e300; ///< Largest min-margin seen in phase 2.
+  double ChosenAlpha2 = -1.0; ///< Line-search result (Fig. 17).
+  IntervalVector FixpointHull; ///< Hull of the certified fixpoint set (z).
+  double TimeSeconds = 0.0;
+};
+
+/// The Craft verifier bound to one model.
+class CraftVerifier {
+public:
+  explicit CraftVerifier(const MonDeq &Model, CraftConfig Config = {});
+
+  const CraftConfig &config() const { return Config; }
+
+  /// l-inf robustness: does the model classify the (clamped) Epsilon-ball
+  /// around X as TargetClass?
+  CraftResult verifyRobustness(const Vector &X, int TargetClass,
+                               double Epsilon) const;
+
+  /// General box precondition against the "class = TargetClass"
+  /// postcondition.
+  CraftResult verifyRegion(const Vector &InLo, const Vector &InHi,
+                           int TargetClass) const;
+
+private:
+  CraftResult verifyCH(const Vector &InLo, const Vector &InHi,
+                       int TargetClass) const;
+  CraftResult verifyBox(const Vector &InLo, const Vector &InHi,
+                        int TargetClass) const;
+
+  const MonDeq &Model;
+  CraftConfig Config;
+};
+
+} // namespace craft
+
+#endif // CRAFT_CORE_VERIFIER_H

@@ -1,0 +1,35 @@
+//===- data/Dataset.h - Labeled dataset container ----------------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal labeled-dataset container shared by the synthetic dataset
+/// generators, training, the attack, and the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_DATA_DATASET_H
+#define CRAFT_DATA_DATASET_H
+
+#include "linalg/Matrix.h"
+
+#include <vector>
+
+namespace craft {
+
+/// Dense labeled dataset: one input row per sample.
+struct Dataset {
+  Matrix Inputs;           ///< n x inputDim, features in [0, 1] by convention.
+  std::vector<int> Labels; ///< n class labels in [0, NumClasses).
+  size_t NumClasses = 0;
+
+  size_t size() const { return Labels.size(); }
+  size_t inputDim() const { return Inputs.cols(); }
+  Vector input(size_t I) const { return Inputs.row(I); }
+};
+
+} // namespace craft
+
+#endif // CRAFT_DATA_DATASET_H

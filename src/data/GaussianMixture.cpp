@@ -1,0 +1,32 @@
+//===- data/GaussianMixture.cpp -------------------------------------------===//
+
+#include "data/GaussianMixture.h"
+
+#include <algorithm>
+
+using namespace craft;
+
+Dataset craft::makeGaussianMixture(Rng &R, size_t Count, size_t Dim,
+                                   size_t NumClasses, double ClusterStd) {
+  Dataset Data;
+  Data.NumClasses = NumClasses;
+  Data.Inputs = Matrix(Count, Dim);
+  Data.Labels.resize(Count);
+
+  // Fixed, well-separated cluster centers in [0.2, 0.8]^Dim (derived from a
+  // dedicated RNG stream so the geometry is independent of Count).
+  Rng CenterRng(987654321);
+  Matrix Centers(NumClasses, Dim);
+  for (size_t C = 0; C < NumClasses; ++C)
+    for (size_t D = 0; D < Dim; ++D)
+      Centers(C, D) = CenterRng.uniform(0.2, 0.8);
+
+  for (size_t N = 0; N < Count; ++N) {
+    int Class = R.uniformInt(0, static_cast<int>(NumClasses) - 1);
+    Data.Labels[N] = Class;
+    for (size_t D = 0; D < Dim; ++D)
+      Data.Inputs(N, D) = std::clamp(
+          Centers(Class, D) + R.gaussian(0.0, ClusterStd), 0.0, 1.0);
+  }
+  return Data;
+}

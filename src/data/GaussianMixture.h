@@ -1,0 +1,29 @@
+//===- data/GaussianMixture.h - Toy Gaussian mixture dataset ----*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's App. E.3 toy dataset: 5-dimensional inputs sampled from a
+/// mixture of Gaussians with 3 classes, used to train the 2/3/4-latent
+/// monDEQs of the consolidation volume study (Fig. 19).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_DATA_GAUSSIANMIXTURE_H
+#define CRAFT_DATA_GAUSSIANMIXTURE_H
+
+#include "data/Dataset.h"
+#include "support/Rng.h"
+
+namespace craft {
+
+/// Generates \p Count samples from \p NumClasses Gaussian clusters in
+/// \p Dim dimensions (paper: Dim = 5, NumClasses = 3).
+Dataset makeGaussianMixture(Rng &R, size_t Count, size_t Dim = 5,
+                            size_t NumClasses = 3, double ClusterStd = 0.35);
+
+} // namespace craft
+
+#endif // CRAFT_DATA_GAUSSIANMIXTURE_H

@@ -1,0 +1,141 @@
+//===- data/Hcas.cpp ------------------------------------------------------===//
+
+#include "data/Hcas.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace craft;
+
+namespace {
+constexpr double Pi = 3.14159265358979323846;
+constexpr double Speed = 0.2;      // kft per second (~200 ft/s), both craft.
+constexpr double TimeStep = 5.0;   // Seconds per advisory period.
+constexpr double NmacRange = 0.6;  // Near-mid-air-collision radius [kft].
+constexpr double Discount = 0.95;
+constexpr int ValueIterations = 120;
+
+// Heading change per advisory period [rad]: COC, WL, WR, SL, SR.
+constexpr double TurnOf[HcasMdp::NumActions] = {0.0, 0.131, -0.131, 0.262,
+                                                -0.262};
+// Advisory costs: stronger maneuvers are more expensive.
+constexpr double CostOf[HcasMdp::NumActions] = {0.0, 0.25, 0.25, 0.6, 0.6};
+constexpr double NmacPenalty = 100.0;
+
+double wrapAngle(double A) {
+  while (A > Pi)
+    A -= 2.0 * Pi;
+  while (A < -Pi)
+    A += 2.0 * Pi;
+  return A;
+}
+
+/// One advisory period of relative dynamics: the intruder flies straight,
+/// the ownship turns by Delta; afterwards the frame is re-aligned with the
+/// ownship heading.
+void stepDynamics(double &X, double &Y, double &Theta, double Delta) {
+  double Nx = X + TimeStep * Speed * (std::cos(Theta) - 1.0);
+  double Ny = Y + TimeStep * Speed * std::sin(Theta);
+  // Rotate into the post-turn ownship frame.
+  double C = std::cos(-Delta), S = std::sin(-Delta);
+  X = C * Nx - S * Ny;
+  Y = S * Nx + C * Ny;
+  Theta = wrapAngle(Theta - Delta);
+}
+} // namespace
+
+HcasMdp::HcasMdp() : Values(NX * NY * NTheta, 0.0) {
+  std::vector<double> Next(Values.size());
+  for (int Iter = 0; Iter < ValueIterations; ++Iter) {
+    for (size_t Ix = 0; Ix < NX; ++Ix)
+      for (size_t Iy = 0; Iy < NY; ++Iy)
+        for (size_t It = 0; It < NTheta; ++It) {
+          double X = XMin + (XMax - XMin) * Ix / (NX - 1);
+          double Y = YMin + (YMax - YMin) * Iy / (NY - 1);
+          double Theta = -Pi + 2.0 * Pi * It / NTheta;
+          double Best = -1e300;
+          for (size_t A = 0; A < NumActions; ++A)
+            Best = std::max(Best, actionValue(X, Y, Theta, A));
+          Next[(Ix * NY + Iy) * NTheta + It] = Best;
+        }
+    Values.swap(Next);
+  }
+}
+
+double HcasMdp::stateValue(double X, double Y, double Theta) const {
+  // Trilinear interpolation (theta wraps; x/y clamp, with out-of-range
+  // states treated as conflict-free).
+  if (X < XMin || X > XMax || Y < YMin || Y > YMax)
+    return 0.0;
+  double Fx = (X - XMin) / (XMax - XMin) * (NX - 1);
+  double Fy = (Y - YMin) / (YMax - YMin) * (NY - 1);
+  double Ft = (wrapAngle(Theta) + Pi) / (2.0 * Pi) * NTheta;
+  size_t X0 = std::min<size_t>(static_cast<size_t>(Fx), NX - 2);
+  size_t Y0 = std::min<size_t>(static_cast<size_t>(Fy), NY - 2);
+  size_t T0 = static_cast<size_t>(Ft) % NTheta;
+  size_t T1 = (T0 + 1) % NTheta;
+  double Dx = Fx - X0, Dy = Fy - Y0, Dt = Ft - std::floor(Ft);
+
+  auto At = [&](size_t Ix, size_t Iy, size_t It) {
+    return Values[(Ix * NY + Iy) * NTheta + It];
+  };
+  double V = 0.0;
+  for (int Bx = 0; Bx < 2; ++Bx)
+    for (int By = 0; By < 2; ++By)
+      for (int Bt = 0; Bt < 2; ++Bt) {
+        double Wgt = (Bx ? Dx : 1.0 - Dx) * (By ? Dy : 1.0 - Dy) *
+                     (Bt ? Dt : 1.0 - Dt);
+        V += Wgt * At(X0 + Bx, Y0 + By, Bt ? T1 : T0);
+      }
+  return V;
+}
+
+double HcasMdp::actionValue(double X, double Y, double Theta,
+                            int Action) const {
+  double Nx = X, Ny = Y, Nt = Theta;
+  stepDynamics(Nx, Ny, Nt, TurnOf[Action]);
+  double Reward = -CostOf[Action];
+  if (std::hypot(Nx, Ny) < NmacRange)
+    Reward -= NmacPenalty;
+  return Reward + Discount * stateValue(Nx, Ny, Nt);
+}
+
+int HcasMdp::policyAction(double X, double Y, double Theta) const {
+  int Best = COC;
+  double BestValue = -1e300;
+  for (size_t A = 0; A < NumActions; ++A) {
+    double V = actionValue(X, Y, Theta, A);
+    if (V > BestValue) {
+      BestValue = V;
+      Best = static_cast<int>(A);
+    }
+  }
+  return Best;
+}
+
+Vector HcasMdp::normalizeInput(double X, double Y, double Theta) {
+  return Vector{(X - XMin) / (XMax - XMin), (Y - YMin) / (YMax - YMin),
+                (wrapAngle(Theta) + Pi) / (2.0 * Pi)};
+}
+
+Dataset HcasMdp::makeDataset(Rng &R, size_t Count) const {
+  Dataset Data;
+  Data.NumClasses = NumActions;
+  Data.Inputs = Matrix(Count, 3);
+  Data.Labels.resize(Count);
+  for (size_t N = 0; N < Count; ++N) {
+    double X = R.uniform(XMin, XMax);
+    double Y = R.uniform(YMin, YMax);
+    double Theta = R.uniform(-Pi, Pi);
+    Vector In = normalizeInput(X, Y, Theta);
+    Data.Inputs.setRow(N, In);
+    Data.Labels[N] = policyAction(X, Y, Theta);
+  }
+  return Data;
+}
+
+const char *HcasMdp::actionName(int Action) {
+  static const char *const Names[NumActions] = {"COC", "WL", "WR", "SL", "SR"};
+  assert(Action >= 0 && Action < static_cast<int>(NumActions));
+  return Names[Action];
+}

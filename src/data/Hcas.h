@@ -1,0 +1,80 @@
+//===- data/Hcas.h - Horizontal collision avoidance MDP ---------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simplified Horizontal Collision Avoidance System (HCAS) substrate for the
+/// global-certification experiment (Section 6.2, Fig. 11). The original HCAS
+/// training tables (Julian & Kochenderfer 2019) come from solving a Markov
+/// Decision Process; they are not available offline, so this module builds
+/// and solves an analogous MDP by value iteration (DESIGN.md substitution 7):
+///
+///  - State: intruder position (x, y) [kft] and relative heading theta in
+///    the ownship frame (ownship flies along +x).
+///  - Actions: COC, WL, WR, SL, SR (clear-of-conflict / weak / strong turns).
+///  - Dynamics: both aircraft fly at constant speed; ownship turns per the
+///    advisory; the frame is re-aligned to the ownship each step.
+///  - Reward: near-mid-air-collision penalty inside 0.5 kft separation,
+///    small advisory costs (stronger turns cost more).
+///
+/// The resulting look-up-table policy is the training data for the monDEQ
+/// that Craft then certifies region-by-region via domain splitting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_DATA_HCAS_H
+#define CRAFT_DATA_HCAS_H
+
+#include "data/Dataset.h"
+#include "support/Rng.h"
+
+#include <array>
+#include <string>
+
+namespace craft {
+
+/// HCAS advisory actions.
+enum HcasAction : int {
+  COC = 0, ///< Clear of conflict.
+  WL = 1,  ///< Weak left.
+  WR = 2,  ///< Weak right.
+  SL = 3,  ///< Strong left.
+  SR = 4,  ///< Strong right.
+};
+
+/// The solved HCAS MDP: a discretized policy table over (x, y, theta).
+class HcasMdp {
+public:
+  static constexpr size_t NumActions = 5;
+  // State-space extent (matches the paper's Fig. 11 axes).
+  static constexpr double XMin = -5.0, XMax = 25.0;   // kft
+  static constexpr double YMin = -10.0, YMax = 20.0;  // kft
+
+  /// Builds the grid and solves the MDP by value iteration.
+  HcasMdp();
+
+  /// Greedy policy action at a (continuous) state.
+  int policyAction(double X, double Y, double Theta) const;
+
+  /// Normalizes a state into the network input in [0, 1]^3.
+  static Vector normalizeInput(double X, double Y, double Theta);
+
+  /// Samples \p Count states uniformly from the state space and labels them
+  /// with the table policy.
+  Dataset makeDataset(Rng &R, size_t Count) const;
+
+  static const char *actionName(int Action);
+
+private:
+  double stateValue(double X, double Y, double Theta) const;
+  double actionValue(double X, double Y, double Theta, int Action) const;
+
+  static constexpr size_t NX = 46, NY = 46, NTheta = 24;
+  std::vector<double> Values; ///< NX * NY * NTheta state values.
+};
+
+} // namespace craft
+
+#endif // CRAFT_DATA_HCAS_H

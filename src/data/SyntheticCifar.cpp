@@ -1,0 +1,45 @@
+//===- data/SyntheticCifar.cpp --------------------------------------------===//
+
+#include "data/SyntheticCifar.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace craft;
+
+Dataset craft::makeSyntheticCifar(Rng &R, size_t Count) {
+  Dataset Data;
+  Data.NumClasses = 10;
+  Data.Inputs = Matrix(Count, CifarDim);
+  Data.Labels.resize(Count);
+
+  for (size_t N = 0; N < Count; ++N) {
+    int Class = R.uniformInt(0, 9);
+    Data.Labels[N] = Class;
+
+    // Class signature: a base color per channel plus an oriented sinusoidal
+    // texture whose frequency/orientation depend on the class. Random phase
+    // and strong pixel noise create heavy intra-class variation.
+    double BaseR = 0.25 + 0.05 * ((Class * 3) % 10);
+    double BaseG = 0.25 + 0.05 * ((Class * 7 + 2) % 10);
+    double BaseB = 0.25 + 0.05 * ((Class * 9 + 5) % 10);
+    double Freq = 0.25 + 0.08 * (Class % 5);
+    double Angle = 0.31 * (Class % 7);
+    double Phase = R.uniform(0.0, 6.28318);
+    double CosA = std::cos(Angle), SinA = std::sin(Angle);
+    double Base[3] = {BaseR, BaseG, BaseB};
+
+    for (size_t C = 0; C < CifarChannels; ++C)
+      for (size_t Y = 0; Y < CifarSide; ++Y)
+        for (size_t X = 0; X < CifarSide; ++X) {
+          double T = Freq * (CosA * static_cast<double>(X) +
+                             SinA * static_cast<double>(Y)) +
+                     Phase;
+          double Texture = 0.12 * std::sin(T + 1.2 * static_cast<double>(C));
+          double Value = Base[C] + Texture + R.gaussian(0.0, 0.22);
+          Data.Inputs(N, (C * CifarSide + Y) * CifarSide + X) =
+              std::clamp(Value, 0.0, 1.0);
+        }
+  }
+  return Data;
+}

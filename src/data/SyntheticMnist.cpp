@@ -1,0 +1,55 @@
+//===- data/SyntheticMnist.cpp --------------------------------------------===//
+
+#include "data/SyntheticMnist.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace craft;
+
+// Classic 7x5 digit font, one row string per scanline.
+static const char *const DigitFont[10][7] = {
+    {"01110", "10001", "10011", "10101", "11001", "10001", "01110"}, // 0
+    {"00100", "01100", "00100", "00100", "00100", "00100", "01110"}, // 1
+    {"01110", "10001", "00001", "00010", "00100", "01000", "11111"}, // 2
+    {"11111", "00010", "00100", "00010", "00001", "10001", "01110"}, // 3
+    {"00010", "00110", "01010", "10010", "11111", "00010", "00010"}, // 4
+    {"11111", "10000", "11110", "00001", "00001", "10001", "01110"}, // 5
+    {"00110", "01000", "10000", "11110", "10001", "10001", "01110"}, // 6
+    {"11111", "00001", "00010", "00100", "01000", "01000", "01000"}, // 7
+    {"01110", "10001", "10001", "01110", "10001", "10001", "01110"}, // 8
+    {"01110", "10001", "10001", "01111", "00001", "00010", "01100"}, // 9
+};
+
+Dataset craft::makeSyntheticMnist(Rng &R, size_t Count) {
+  Dataset Data;
+  Data.NumClasses = 10;
+  Data.Inputs = Matrix(Count, MnistDim);
+  Data.Labels.resize(Count);
+
+  // Glyph cells are rendered as 3x3 pixel blocks (15x21 glyph) placed in the
+  // 28x28 canvas with random jitter.
+  constexpr int Cell = 3;
+  constexpr int GlyphW = 5 * Cell, GlyphH = 7 * Cell;
+
+  for (size_t N = 0; N < Count; ++N) {
+    int Digit = R.uniformInt(0, 9);
+    Data.Labels[N] = Digit;
+    int OffX = (MnistSide - GlyphW) / 2 + R.uniformInt(-1, 1);
+    int OffY = (MnistSide - GlyphH) / 2 + R.uniformInt(-1, 1);
+    double Ink = R.uniform(0.8, 1.0);
+
+    for (size_t Py = 0; Py < MnistSide; ++Py)
+      for (size_t Px = 0; Px < MnistSide; ++Px) {
+        int Gx = (static_cast<int>(Px) - OffX) / Cell;
+        int Gy = (static_cast<int>(Py) - OffY) / Cell;
+        bool Set = Gx >= 0 && Gx < 5 && Gy >= 0 && Gy < 7 &&
+                   static_cast<int>(Px) >= OffX &&
+                   static_cast<int>(Py) >= OffY &&
+                   DigitFont[Digit][Gy][Gx] == '1';
+        double Value = (Set ? Ink : 0.05) + R.gaussian(0.0, 0.05);
+        Data.Inputs(N, Py * MnistSide + Px) = std::clamp(Value, 0.0, 1.0);
+      }
+  }
+  return Data;
+}

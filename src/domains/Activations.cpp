@@ -1,0 +1,297 @@
+//===- domains/Activations.cpp --------------------------------------------===//
+
+#include "domains/Activations.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace craft;
+
+double craft::evalActivation(SmoothActivation Act, double X) {
+  switch (Act) {
+  case SmoothActivation::Sigmoid:
+    return 1.0 / (1.0 + std::exp(-X));
+  case SmoothActivation::Tanh:
+    return std::tanh(X);
+  }
+  assert(false && "unknown activation");
+  return 0.0;
+}
+
+double craft::evalActivationDerivative(SmoothActivation Act, double X) {
+  switch (Act) {
+  case SmoothActivation::Sigmoid: {
+    double S = evalActivation(Act, X);
+    return S * (1.0 - S);
+  }
+  case SmoothActivation::Tanh: {
+    double T = std::tanh(X);
+    return 1.0 - T * T;
+  }
+  }
+  assert(false && "unknown activation");
+  return 0.0;
+}
+
+/// Interior tangent points where f'(x) = Lambda. Both activations have
+/// symmetric bell-shaped derivatives, so there are at most two such points
+/// +-XStar with a closed form:
+///  - sigmoid: s(1-s) = lambda  =>  s = (1 +- sqrt(1-4 lambda)) / 2,
+///    x = logit(s);
+///  - tanh: 1 - t^2 = lambda    =>  t = +- sqrt(1 - lambda), x = atanh(t).
+static double tangentAbscissa(SmoothActivation Act, double Lambda) {
+  switch (Act) {
+  case SmoothActivation::Sigmoid: {
+    double Disc = 1.0 - 4.0 * Lambda;
+    if (Disc <= 0.0)
+      return 0.0; // Lambda >= max slope 1/4: tangent only at 0.
+    double S = 0.5 * (1.0 + std::sqrt(Disc));
+    return std::log(S / (1.0 - S));
+  }
+  case SmoothActivation::Tanh: {
+    if (Lambda >= 1.0)
+      return 0.0;
+    double T = std::sqrt(1.0 - Lambda);
+    return std::atanh(T);
+  }
+  }
+  assert(false && "unknown activation");
+  return 0.0;
+}
+
+ActivationRelaxation craft::relaxActivation(SmoothActivation Act, double Lo,
+                                            double Hi) {
+  assert(Lo <= Hi && "empty input interval");
+  ActivationRelaxation R;
+  double FLo = evalActivation(Act, Lo), FHi = evalActivation(Act, Hi);
+
+  if (Hi - Lo < 1e-12) {
+    // Degenerate interval: exact evaluation, slope = derivative.
+    R.Lambda = evalActivationDerivative(Act, Lo);
+    double Off = FLo - R.Lambda * Lo;
+    R.OffsetLo = R.OffsetHi = Off;
+    return R;
+  }
+
+  R.Lambda = (FHi - FLo) / (Hi - Lo); // Secant slope (in (0, f'(0)]).
+
+  // Extrema of g(x) = f(x) - Lambda x over [Lo, Hi]: at the endpoints
+  // (equal by construction of the secant) and at interior tangent points.
+  double GEnd = FLo - R.Lambda * Lo;
+  R.OffsetLo = GEnd;
+  R.OffsetHi = GEnd;
+  double XStar = tangentAbscissa(Act, R.Lambda);
+  for (double X : {XStar, -XStar}) {
+    if (X <= Lo || X >= Hi)
+      continue;
+    double G = evalActivation(Act, X) - R.Lambda * X;
+    R.OffsetLo = std::min(R.OffsetLo, G);
+    R.OffsetHi = std::max(R.OffsetHi, G);
+  }
+  return R;
+}
+
+CHZonotope craft::applyActivationPrefix(const CHZonotope &Z,
+                                        SmoothActivation Act, size_t Count) {
+  assert(Count <= Z.dim() && "activation prefix out of range");
+  Vector Lo = Z.lowerBounds(), Hi = Z.upperBounds();
+  Vector Center = Z.center();
+  Matrix Gens = Z.generators();
+  Vector Box = Z.boxRadius();
+
+  for (size_t I = 0; I < Count; ++I) {
+    ActivationRelaxation R = relaxActivation(Act, Lo[I], Hi[I]);
+    double Mid = 0.5 * (R.OffsetLo + R.OffsetHi);
+    double Rad = 0.5 * (R.OffsetHi - R.OffsetLo);
+    Center[I] = R.Lambda * Center[I] + Mid;
+    for (size_t J = 0, K = Gens.cols(); J < K; ++J)
+      Gens(I, J) *= R.Lambda;
+    Box[I] = R.Lambda * Box[I] + Rad;
+  }
+  return CHZonotope(std::move(Center), std::move(Gens), Z.termIds(),
+                    std::move(Box));
+}
+
+//===----------------------------------------------------------------------===//
+// Proximal operators (App. B.6 pipeline)
+//===----------------------------------------------------------------------===//
+
+/// sigma^{-1}(y) on the activation's open range.
+static double activationInverse(SmoothActivation Act, double Y) {
+  switch (Act) {
+  case SmoothActivation::Sigmoid:
+    return std::log(Y / (1.0 - Y));
+  case SmoothActivation::Tanh:
+    return 0.5 * std::log((1.0 + Y) / (1.0 - Y));
+  }
+  assert(false && "unknown activation");
+  return 0.0;
+}
+
+/// (sigma^{-1})'(y) = 1 / sigma'(sigma^{-1}(y)).
+static double activationInverseDerivative(SmoothActivation Act, double Y) {
+  switch (Act) {
+  case SmoothActivation::Sigmoid:
+    return 1.0 / (Y * (1.0 - Y));
+  case SmoothActivation::Tanh:
+    return 1.0 / (1.0 - Y * Y);
+  }
+  assert(false && "unknown activation");
+  return 0.0;
+}
+
+/// Open range (RLo, RHi) of the activation.
+static void activationRange(SmoothActivation Act, double &RLo, double &RHi) {
+  switch (Act) {
+  case SmoothActivation::Sigmoid:
+    RLo = 0.0;
+    RHi = 1.0;
+    return;
+  case SmoothActivation::Tanh:
+    RLo = -1.0;
+    RHi = 1.0;
+    return;
+  }
+  assert(false && "unknown activation");
+}
+
+double craft::proxActivation(SmoothActivation Act, double Alpha, double V) {
+  assert(Alpha >= 0.0 && "negative prox scaling");
+  if (Alpha <= 0.0)
+    return V; // prox_{0 f} = identity.
+
+  double RLo, RHi;
+  activationRange(Act, RLo, RHi);
+  // F(y) = (1 - a) y + a sigma^{-1}(y) - V is strictly increasing with
+  // range R over the open interval: a bracketed root always exists.
+  double Lo = RLo + 1e-15, Hi = RHi - 1e-15;
+  double Y = std::clamp(evalActivation(Act, V), Lo, Hi); // Good initializer.
+  for (int It = 0; It < 100; ++It) {
+    double F = (1.0 - Alpha) * Y + Alpha * activationInverse(Act, Y) - V;
+    if (F > 0.0)
+      Hi = Y;
+    else
+      Lo = Y;
+    double DF = (1.0 - Alpha) + Alpha * activationInverseDerivative(Act, Y);
+    double Next = Y - F / DF;
+    if (!(Next > Lo && Next < Hi))
+      Next = 0.5 * (Lo + Hi); // Bisection safeguard.
+    if (std::fabs(Next - Y) < 1e-15 * (1.0 + std::fabs(Y))) {
+      Y = Next;
+      break;
+    }
+    Y = Next;
+  }
+  return Y;
+}
+
+double craft::proxActivationDerivative(SmoothActivation Act, double Alpha,
+                                       double V) {
+  if (Alpha <= 0.0)
+    return 1.0;
+  double Y = proxActivation(Act, Alpha, V);
+  return 1.0 / ((1.0 - Alpha) + Alpha * activationInverseDerivative(Act, Y));
+}
+
+/// Interior tangent points of prox_{a f} where its derivative equals
+/// Lambda: psi(y) = (1/Lambda - (1 - a)) / a with psi = (sigma^{-1})',
+/// solved in closed form per activation, then mapped back to the
+/// pre-activation v = (1 - a) y + a sigma^{-1}(y). Both branches are
+/// mapped explicitly: the sigmoid prox is symmetric about v = (1 - a)/2,
+/// not 0, so negating one branch (as the pure-sigmoid transformer may)
+/// would miss a tangent point. Returns the number of points written.
+static int proxTangentPoints(SmoothActivation Act, double Alpha,
+                             double Lambda, double Out[2]) {
+  double Psi = (1.0 / Lambda - (1.0 - Alpha)) / Alpha;
+  if (Psi <= 0.0)
+    return 0;
+  auto toV = [&](double Y) {
+    return (1.0 - Alpha) * Y + Alpha * activationInverse(Act, Y);
+  };
+  switch (Act) {
+  case SmoothActivation::Sigmoid: {
+    // 1 / (y (1 - y)) = Psi  =>  y (1 - y) = 1 / Psi.
+    double Disc = 1.0 - 4.0 / Psi;
+    if (Disc <= 0.0)
+      return 0;
+    double Root = 0.5 * std::sqrt(Disc);
+    Out[0] = toV(0.5 + Root);
+    Out[1] = toV(0.5 - Root);
+    return 2;
+  }
+  case SmoothActivation::Tanh: {
+    // 1 / (1 - y^2) = Psi  =>  y^2 = 1 - 1 / Psi.
+    double Y2 = 1.0 - 1.0 / Psi;
+    if (Y2 <= 0.0)
+      return 0;
+    double Y = std::sqrt(Y2);
+    Out[0] = toV(Y);
+    Out[1] = toV(-Y);
+    return 2;
+  }
+  }
+  assert(false && "unknown activation");
+  return 0;
+}
+
+ActivationRelaxation craft::relaxProxActivation(SmoothActivation Act,
+                                                double Alpha, double Lo,
+                                                double Hi) {
+  assert(Lo <= Hi && "empty input interval");
+  ActivationRelaxation R;
+  if (Alpha <= 0.0) { // Identity.
+    R.Lambda = 1.0;
+    return R;
+  }
+  double FLo = proxActivation(Act, Alpha, Lo);
+  double FHi = proxActivation(Act, Alpha, Hi);
+  if (Hi - Lo < 1e-12) {
+    R.Lambda = proxActivationDerivative(Act, Alpha, Lo);
+    double Off = FLo - R.Lambda * Lo;
+    R.OffsetLo = R.OffsetHi = Off;
+    return R;
+  }
+  R.Lambda = (FHi - FLo) / (Hi - Lo); // Secant slope.
+
+  // Endpoint offsets are equal up to prox solver error; include both.
+  R.OffsetLo = std::min(FLo - R.Lambda * Lo, FHi - R.Lambda * Hi);
+  R.OffsetHi = std::max(FLo - R.Lambda * Lo, FHi - R.Lambda * Hi);
+  double VStar[2];
+  int NStar = proxTangentPoints(Act, Alpha, R.Lambda, VStar);
+  for (int K = 0; K < NStar; ++K) {
+    double V = VStar[K];
+    if (V <= Lo || V >= Hi)
+      continue;
+    double G = proxActivation(Act, Alpha, V) - R.Lambda * V;
+    R.OffsetLo = std::min(R.OffsetLo, G);
+    R.OffsetHi = std::max(R.OffsetHi, G);
+  }
+  // Guard against residual solver error in the prox evaluations.
+  double Pad = 1e-12 * (1.0 + std::fabs(R.OffsetHi) + std::fabs(R.OffsetLo));
+  R.OffsetLo -= Pad;
+  R.OffsetHi += Pad;
+  return R;
+}
+
+CHZonotope craft::applyProxActivationPrefix(const CHZonotope &Z,
+                                            SmoothActivation Act,
+                                            double Alpha, size_t Count) {
+  assert(Count <= Z.dim() && "activation prefix out of range");
+  Vector Lo = Z.lowerBounds(), Hi = Z.upperBounds();
+  Vector Center = Z.center();
+  Matrix Gens = Z.generators();
+  Vector Box = Z.boxRadius();
+
+  for (size_t I = 0; I < Count; ++I) {
+    ActivationRelaxation R = relaxProxActivation(Act, Alpha, Lo[I], Hi[I]);
+    double Mid = 0.5 * (R.OffsetLo + R.OffsetHi);
+    double Rad = 0.5 * (R.OffsetHi - R.OffsetLo);
+    Center[I] = R.Lambda * Center[I] + Mid;
+    for (size_t J = 0, K = Gens.cols(); J < K; ++J)
+      Gens(I, J) *= R.Lambda;
+    Box[I] = R.Lambda * Box[I] + Rad;
+  }
+  return CHZonotope(std::move(Center), std::move(Gens), Z.termIds(),
+                    std::move(Box));
+}

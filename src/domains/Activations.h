@@ -1,0 +1,97 @@
+//===- domains/Activations.h - Smooth activation transformers ---*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CH-Zonotope transformers for smooth S-shaped activations (sigmoid,
+/// tanh), per App. B.6 of the paper: Craft extends beyond ReLU monDEQs as
+/// long as (i) the activation is the proximal operator of a CCP function
+/// (both are) and (ii) a sound abstract transformer exists. These
+/// transformers adapt the parallel-line relaxation of Singh et al. (2018):
+/// over the input interval [l, u] the function is sandwiched between two
+/// lines of the secant slope
+///
+///   lambda = (f(u) - f(l)) / (u - l),
+///
+/// and the offset interval is computed from the extrema of f(x) - lambda x
+/// (at the interval endpoints and at the interior tangent points where
+/// f'(x) = lambda). The resulting relaxation error is absorbed into the
+/// CH-Zonotope Box component, exactly like the ReLU transformer, so the
+/// generator count stays constant during iteration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_DOMAINS_ACTIVATIONS_H
+#define CRAFT_DOMAINS_ACTIVATIONS_H
+
+#include "domains/CHZonotope.h"
+
+namespace craft {
+
+/// Supported smooth activations.
+enum class SmoothActivation {
+  Sigmoid, ///< 1 / (1 + exp(-x)).
+  Tanh,
+};
+
+/// Scalar evaluation (exposed for tests and concrete solvers).
+double evalActivation(SmoothActivation Act, double X);
+/// Scalar derivative.
+double evalActivationDerivative(SmoothActivation Act, double X);
+
+/// Sound linear relaxation of \p Act over [Lo, Hi]: f(x) is contained in
+/// Lambda * x + [OffsetLo, OffsetHi] for all x in [Lo, Hi].
+struct ActivationRelaxation {
+  double Lambda = 0.0;
+  double OffsetLo = 0.0;
+  double OffsetHi = 0.0;
+};
+ActivationRelaxation relaxActivation(SmoothActivation Act, double Lo,
+                                     double Hi);
+
+/// Abstract transformer: applies \p Act to dimensions [0, Count) of \p Z
+/// (remaining dimensions pass through), absorbing relaxation error into the
+/// Box component.
+CHZonotope applyActivationPrefix(const CHZonotope &Z, SmoothActivation Act,
+                                 size_t Count);
+
+//===----------------------------------------------------------------------===//
+// Proximal operators (App. B.6 pipeline)
+//===----------------------------------------------------------------------===//
+//
+// The Winston & Kolter operator-splitting solvers iterate the *scaled*
+// resolvent prox_{a f}, not sigma itself (they coincide only for ReLU,
+// whose prox is scaling-invariant, and at a = 1). Since sigma = prox_f,
+// the CCP function's derivative is f'(y) = sigma^{-1}(y) - y, so
+// prox_{a f}(v) is the unique root y of
+//
+//   (1 - a) y + a sigma^{-1}(y) = v,
+//
+// a strictly monotone scalar equation solved by safeguarded Newton. The
+// derivative d/dv prox_{a f}(v) = 1 / ((1 - a) + a (sigma^{-1})'(y)) is
+// bell-shaped like the activation's own, so the same parallel-line
+// relaxation applies.
+
+/// prox_{Alpha * f}(V) for the CCP f with sigma = prox_f.
+double proxActivation(SmoothActivation Act, double Alpha, double V);
+
+/// d/dV prox_{Alpha * f}(V); lies in (0, 1] for Alpha in [0, 1].
+double proxActivationDerivative(SmoothActivation Act, double Alpha,
+                                double V);
+
+/// Sound linear relaxation of prox_{Alpha * f} over [Lo, Hi] (secant slope
+/// with interior tangent offsets, mirroring relaxActivation).
+ActivationRelaxation relaxProxActivation(SmoothActivation Act, double Alpha,
+                                         double Lo, double Hi);
+
+/// Abstract transformer: applies prox_{Alpha * f} to dimensions [0, Count)
+/// of \p Z, absorbing relaxation error into the Box component.
+CHZonotope applyProxActivationPrefix(const CHZonotope &Z,
+                                     SmoothActivation Act, double Alpha,
+                                     size_t Count);
+
+} // namespace craft
+
+#endif // CRAFT_DOMAINS_ACTIVATIONS_H

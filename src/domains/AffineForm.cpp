@@ -1,0 +1,421 @@
+//===- domains/AffineForm.cpp ---------------------------------------------===//
+
+#include "domains/AffineForm.h"
+
+#include "domains/CHZonotope.h" // freshErrorTermId
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace craft;
+
+AffineForm AffineForm::constant(double Value) {
+  AffineForm F;
+  F.Center = Value;
+  return F;
+}
+
+AffineForm AffineForm::range(double Lo, double Hi) {
+  assert(Lo <= Hi && "empty range");
+  AffineForm F;
+  F.Center = 0.5 * (Lo + Hi);
+  if (Hi > Lo)
+    F.Terms.push_back({freshErrorTermId(), 0.5 * (Hi - Lo)});
+  return F;
+}
+
+double AffineForm::radius() const {
+  double R = 0.0;
+  for (const auto &[Id, Coef] : Terms)
+    R += std::fabs(Coef);
+  return R;
+}
+
+std::pair<double, double> AffineForm::evalPartial(
+    const std::vector<std::pair<uint64_t, double>> &Fixed) const {
+  double Value = Center;
+  double FreeRadius = 0.0;
+  for (const auto &[Id, Coef] : Terms) {
+    auto Hit = std::find_if(Fixed.begin(), Fixed.end(),
+                            [Id = Id](const auto &P) { return P.first == Id; });
+    if (Hit == Fixed.end())
+      FreeRadius += std::fabs(Coef);
+    else
+      Value += Coef * Hit->second;
+  }
+  return {Value - FreeRadius, Value + FreeRadius};
+}
+
+/// Merges two sorted term lists, scaling the coefficients.
+static std::vector<std::pair<uint64_t, double>>
+mergeTerms(const std::vector<std::pair<uint64_t, double>> &A,
+           const std::vector<std::pair<uint64_t, double>> &B, double ScaleA,
+           double ScaleB) {
+  std::vector<std::pair<uint64_t, double>> Out;
+  Out.reserve(A.size() + B.size());
+  size_t I = 0, J = 0;
+  while (I < A.size() || J < B.size()) {
+    if (J == B.size() || (I < A.size() && A[I].first < B[J].first)) {
+      Out.push_back({A[I].first, ScaleA * A[I].second});
+      ++I;
+    } else if (I == A.size() || B[J].first < A[I].first) {
+      Out.push_back({B[J].first, ScaleB * B[J].second});
+      ++J;
+    } else {
+      double Coef = ScaleA * A[I].second + ScaleB * B[J].second;
+      if (Coef != 0.0)
+        Out.push_back({A[I].first, Coef});
+      ++I;
+      ++J;
+    }
+  }
+  return Out;
+}
+
+AffineForm AffineForm::operator+(const AffineForm &Rhs) const {
+  AffineForm F;
+  F.Center = Center + Rhs.Center;
+  F.Terms = mergeTerms(Terms, Rhs.Terms, 1.0, 1.0);
+  return F;
+}
+
+AffineForm AffineForm::operator-(const AffineForm &Rhs) const {
+  AffineForm F;
+  F.Center = Center - Rhs.Center;
+  F.Terms = mergeTerms(Terms, Rhs.Terms, 1.0, -1.0);
+  return F;
+}
+
+AffineForm AffineForm::operator*(double Scale) const {
+  AffineForm F;
+  F.Center = Scale * Center;
+  F.Terms = Terms;
+  for (auto &[Id, Coef] : F.Terms)
+    Coef *= Scale;
+  return F;
+}
+
+AffineForm AffineForm::operator+(double Offset) const {
+  AffineForm F = *this;
+  F.Center += Offset;
+  return F;
+}
+
+AffineForm AffineForm::operator*(const AffineForm &Rhs) const {
+  // Affine-arithmetic product with the refined quadratic remainder: shared
+  // symbols contribute a_i b_i e_i^2 with e_i^2 in [0, 1], so the diagonal
+  // part is recentered to d/2 +- |d|/2 instead of the naive +-|a_i b_i|
+  // (Stolfi & de Figueiredo). The remainder becomes a fresh *tracked*
+  // symbol (see the class comment for why tracking matters).
+  AffineForm F;
+  F.Center = Center * Rhs.Center;
+  F.Terms = mergeTerms(Terms, Rhs.Terms, Rhs.Center, Center);
+
+  double Diag = 0.0, DiagAbs = 0.0;
+  {
+    size_t I = 0, J = 0;
+    while (I < Terms.size() && J < Rhs.Terms.size()) {
+      if (Terms[I].first < Rhs.Terms[J].first) {
+        ++I;
+      } else if (Rhs.Terms[J].first < Terms[I].first) {
+        ++J;
+      } else {
+        double Prod = Terms[I].second * Rhs.Terms[J].second;
+        Diag += Prod;
+        DiagAbs += std::fabs(Prod);
+        ++I;
+        ++J;
+      }
+    }
+  }
+  // Diagonal range [sum min(0, a_i b_i), sum max(0, a_i b_i)] recentered:
+  // halfwidth DiagAbs / 2 around Diag / 2.
+  double OffDiag = radius() * Rhs.radius() - DiagAbs;
+  F.Center += 0.5 * Diag;
+  double Remainder = 0.5 * DiagAbs + std::max(OffDiag, 0.0);
+  if (Remainder > 0.0)
+    F.Terms.push_back({freshErrorTermId(), Remainder});
+  return F;
+}
+
+AffineForm AffineForm::square() const {
+  // x^2 = c^2 + 2c (x - c) + (x - c)^2 with (x - c)^2 in [0, r^2]:
+  // recentering the remainder halves the error versus the generic product.
+  AffineForm F = *this * (2.0 * Center);
+  F.Center -= Center * Center;
+  double R = radius();
+  if (R > 0.0) {
+    F.Center += 0.5 * R * R;
+    F.Terms.push_back({freshErrorTermId(), 0.5 * R * R});
+  }
+  return F;
+}
+
+AffineForm AffineForm::linearized(double Alpha, double Zeta,
+                                  double Delta) const {
+  AffineForm F = *this * Alpha + Zeta;
+  // Tiny relative inflation absorbs the rounding of the linearization
+  // formulas themselves (this layer is not the rigorous directed-rounding
+  // one; see cert/Checker for that).
+  Delta = Delta * (1.0 + 1e-12) + 1e-15;
+  F.Terms.push_back({freshErrorTermId(), Delta});
+  return F;
+}
+
+namespace {
+
+/// Chebyshev band for a convex-or-concave f on [L, U]: with the secant
+/// slope Alpha, g(x) = f(x) - Alpha x attains its extremes at the endpoints
+/// (equal by choice of Alpha) and at the unique tangent point XStar.
+struct ChebBand {
+  double Alpha;
+  double Zeta;
+  double Delta;
+};
+
+ChebBand chebBand(double L, double U, double FL, double FU, double XStar,
+                  double FStar) {
+  double Alpha = (FU - FL) / (U - L);
+  double GEnd = FL - Alpha * L;
+  double GStar = FStar - Alpha * XStar;
+  double GMin = std::min(GEnd, GStar);
+  double GMax = std::max(GEnd, GStar);
+  return {Alpha, 0.5 * (GMin + GMax), 0.5 * (GMax - GMin)};
+}
+
+} // namespace
+
+AffineForm AffineForm::reciprocal() const {
+  double L = lo(), U = hi();
+  assert((L > 0.0 || U < 0.0) && "reciprocal needs a sign-definite range");
+  if (U < 0.0) // 1/x = -(1/(-x)).
+    return (*this * -1.0).reciprocal() * -1.0;
+  if (U - L < 1e-12) {
+    double Mid = 0.5 * (1.0 / L + 1.0 / U);
+    return linearized(0.0, Mid, 0.5 * std::fabs(1.0 / L - 1.0 / U));
+  }
+  // Convex on x > 0; tangent slope -1/x*^2 = Alpha at x* = sqrt(L U).
+  double XStar = std::sqrt(L * U);
+  ChebBand B = chebBand(L, U, 1.0 / L, 1.0 / U, XStar, 1.0 / XStar);
+  return linearized(B.Alpha, B.Zeta, B.Delta);
+}
+
+AffineForm AffineForm::sqrt() const {
+  double L = lo(), U = hi();
+  assert(L >= -1e-12 && "sqrt needs a nonnegative range");
+  L = std::max(L, 0.0);
+  if (U - L < 1e-12) {
+    double Mid = 0.5 * (std::sqrt(L) + std::sqrt(U));
+    return linearized(0.0, Mid, 0.5 * (std::sqrt(U) - std::sqrt(L)));
+  }
+  // Concave; f'(x*) = 1/(2 sqrt(x*)) = Alpha at x* = ((sqrt L + sqrt U)/2)^2.
+  double SL = std::sqrt(L), SU = std::sqrt(U);
+  double XStar = 0.25 * (SL + SU) * (SL + SU);
+  ChebBand B = chebBand(L, U, SL, SU, XStar, std::sqrt(XStar));
+  return linearized(B.Alpha, B.Zeta, B.Delta);
+}
+
+AffineForm AffineForm::exp() const {
+  double L = lo(), U = hi();
+  if (U - L < 1e-12) {
+    double Mid = 0.5 * (std::exp(L) + std::exp(U));
+    return linearized(0.0, Mid, 0.5 * (std::exp(U) - std::exp(L)));
+  }
+  double FL = std::exp(L), FU = std::exp(U);
+  double Alpha = (FU - FL) / (U - L);
+  double XStar = std::log(Alpha); // Convex; f' = exp.
+  ChebBand B = chebBand(L, U, FL, FU, XStar, Alpha);
+  return linearized(B.Alpha, B.Zeta, B.Delta);
+}
+
+AffineForm AffineForm::log() const {
+  double L = lo(), U = hi();
+  assert(L > 0.0 && "log needs a positive range");
+  if (U - L < 1e-12) {
+    double Mid = 0.5 * (std::log(L) + std::log(U));
+    return linearized(0.0, Mid, 0.5 * (std::log(U) - std::log(L)));
+  }
+  double FL = std::log(L), FU = std::log(U);
+  double Alpha = (FU - FL) / (U - L);
+  double XStar = 1.0 / Alpha; // Concave; f' = 1/x.
+  ChebBand B = chebBand(L, U, FL, FU, XStar, std::log(XStar));
+  return linearized(B.Alpha, B.Zeta, B.Delta);
+}
+
+namespace {
+
+/// Min-range linearization for an S-shaped f (convex below 0, concave
+/// above, derivative unimodal with its maximum at 0): with the slope
+/// Alpha = min(f'(L), f'(U)), g = f - Alpha x is non-decreasing on [L, U],
+/// so its extremes sit at the endpoints. This is the DeepZ zonotope
+/// transformer of Singh et al. 2018 for sigmoid/tanh.
+AffineForm minRangeSShaped(const AffineForm &X, double (*F)(double),
+                           double (*DF)(double)) {
+  double L = X.lo(), U = X.hi();
+  double FL = F(L), FU = F(U);
+  if (U - L < 1e-12) {
+    AffineForm Out = X * 0.0 + 0.5 * (FL + FU);
+    return Out.widened(0.5 * std::fabs(FU - FL) + 1e-15);
+  }
+  double Alpha = std::min(DF(L), DF(U));
+  double GMin = FL - Alpha * L;
+  double GMax = FU - Alpha * U;
+  AffineForm Out = X * Alpha + 0.5 * (GMin + GMax);
+  return Out.widened(0.5 * (GMax - GMin) * (1.0 + 1e-12) + 1e-15);
+}
+
+double tanhF(double X) { return std::tanh(X); }
+double tanhDF(double X) {
+  double T = std::tanh(X);
+  return 1.0 - T * T;
+}
+double sigmoidF(double X) { return 1.0 / (1.0 + std::exp(-X)); }
+double sigmoidDF(double X) {
+  double S = sigmoidF(X);
+  return S * (1.0 - S);
+}
+
+constexpr double Pi = 3.14159265358979323846;
+
+} // namespace
+
+AffineForm AffineForm::tanh() const {
+  return minRangeSShaped(*this, tanhF, tanhDF);
+}
+
+AffineForm AffineForm::sigmoid() const {
+  return minRangeSShaped(*this, sigmoidF, sigmoidDF);
+}
+
+AffineForm AffineForm::cos() const {
+  double L = lo(), U = hi();
+  // Secant slope unless the input is so wide the secant is meaningless.
+  double Alpha = 0.0;
+  if (U - L > 1e-12 && U - L < 4.0 * Pi)
+    Alpha = (std::cos(U) - std::cos(L)) / (U - L);
+
+  // Extremes of g(x) = cos x - Alpha x on [L, U]: endpoints plus interior
+  // critical points sin x = -Alpha (enumerated exactly per 2 pi period).
+  double GMin = std::min(std::cos(L) - Alpha * L, std::cos(U) - Alpha * U);
+  double GMax = std::max(std::cos(L) - Alpha * L, std::cos(U) - Alpha * U);
+  auto visit = [&](double X) {
+    if (X < L || X > U)
+      return;
+    double G = std::cos(X) - Alpha * X;
+    GMin = std::min(GMin, G);
+    GMax = std::max(GMax, G);
+  };
+  if (std::fabs(Alpha) <= 1.0) {
+    double Base = std::asin(-Alpha);
+    // Candidate families Base + 2 pi k and (pi - Base) + 2 pi k.
+    for (double Root : {Base, Pi - Base}) {
+      double KLo = std::floor((L - Root) / (2.0 * Pi)) - 1.0;
+      double KHi = std::ceil((U - Root) / (2.0 * Pi)) + 1.0;
+      for (double K = KLo; K <= KHi; K += 1.0)
+        visit(Root + 2.0 * Pi * K);
+    }
+  }
+  return linearized(Alpha, 0.5 * (GMin + GMax), 0.5 * (GMax - GMin));
+}
+
+AffineForm AffineForm::sin() const {
+  // sin(x) = cos(x - pi/2); the shift is exact in affine arithmetic.
+  return (*this + (-Pi / 2.0)).cos();
+}
+
+AffineForm AffineForm::operator/(const AffineForm &Rhs) const {
+  return *this * Rhs.reciprocal();
+}
+
+AffineForm AffineForm::widened(double Delta) const {
+  assert(Delta >= 0.0 && "widening must enlarge");
+  AffineForm F = *this;
+  if (Delta > 0.0)
+    F.Terms.push_back({freshErrorTermId(), Delta});
+  return F;
+}
+
+bool AffineForm::containsRelational(const AffineForm &Inner,
+                                    const std::vector<uint64_t> &SliceIds,
+                                    double Tol) const {
+  assert(std::is_sorted(SliceIds.begin(), SliceIds.end()) &&
+         "slice ids must be sorted");
+  auto isSliced = [&](uint64_t Id) {
+    return std::binary_search(SliceIds.begin(), SliceIds.end(), Id);
+  };
+  // Sliced coefficients of both sides, non-sliced mass into the radii.
+  double Need = std::fabs(Inner.Center - Center);
+  double OuterFree = 0.0, InnerFree = 0.0;
+  size_t I = 0, J = 0;
+  while (I < Terms.size() || J < Inner.Terms.size()) {
+    if (J == Inner.Terms.size() ||
+        (I < Terms.size() && Terms[I].first < Inner.Terms[J].first)) {
+      if (isSliced(Terms[I].first))
+        Need += std::fabs(Terms[I].second);
+      else
+        OuterFree += std::fabs(Terms[I].second);
+      ++I;
+    } else if (I == Terms.size() ||
+               Inner.Terms[J].first < Terms[I].first) {
+      if (isSliced(Inner.Terms[J].first))
+        Need += std::fabs(Inner.Terms[J].second);
+      else
+        InnerFree += std::fabs(Inner.Terms[J].second);
+      ++J;
+    } else {
+      // Shared id: sliced symbols compare coefficients; a shared non-sliced
+      // symbol is still treated as independent between the two sides, which
+      // is exact for the per-slice *set* semantics (the outer's symbols are
+      // existentially quantified, the inner's universally).
+      if (isSliced(Terms[I].first))
+        Need += std::fabs(Inner.Terms[J].second - Terms[I].second);
+      else {
+        OuterFree += std::fabs(Terms[I].second);
+        InnerFree += std::fabs(Inner.Terms[J].second);
+      }
+      ++I;
+      ++J;
+    }
+  }
+  return Need + InnerFree <= OuterFree + Tol;
+}
+
+AffineForm AffineForm::consolidated(double Expand) const {
+  assert(Expand >= 0.0 && "expansion must enlarge");
+  return AffineForm::range(lo() - Expand, hi() + Expand);
+}
+
+AffineForm AffineForm::join(const AffineForm &A, const AffineForm &B) {
+  AffineForm F;
+  F.Center = 0.5 * (A.Center + B.Center);
+  F.Terms = mergeTerms(A.Terms, B.Terms, 0.5, 0.5);
+
+  // Residual bound per operand: |c - c'| + sum |a_i - a'_i| over the joined
+  // list (terms absent from the operand count in full).
+  auto residual = [&](const AffineForm &Op) {
+    double R = std::fabs(Op.Center - F.Center);
+    size_t I = 0;
+    for (const auto &[Id, Coef] : F.Terms) {
+      while (I < Op.Terms.size() && Op.Terms[I].first < Id) {
+        R += std::fabs(Op.Terms[I].second); // Term joined away entirely.
+        ++I;
+      }
+      if (I < Op.Terms.size() && Op.Terms[I].first == Id) {
+        R += std::fabs(Op.Terms[I].second - Coef);
+        ++I;
+      } else {
+        R += std::fabs(Coef);
+      }
+    }
+    while (I < Op.Terms.size()) {
+      R += std::fabs(Op.Terms[I].second);
+      ++I;
+    }
+    return R;
+  };
+  double Residual = std::max(residual(A), residual(B));
+  if (Residual > 0.0)
+    F.Terms.push_back({freshErrorTermId(), Residual});
+  return F;
+}

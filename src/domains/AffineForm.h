@@ -1,0 +1,148 @@
+//===- domains/AffineForm.h - Scalar affine arithmetic ----------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar affine arithmetic (1-d Zonotopes with tracked noise symbols),
+/// Taylor1+ style (Ghorbal et al. 2009). This is the domain the paper's
+/// Section 6.5 case study runs on, promoted to a reusable library so that
+/// arbitrary scalar fixpoint iterators (core/ScalarFixpoint.h) can be
+/// analyzed, not just the Householder program.
+///
+/// A form represents c + sum_i a_i e_i with e_i in [-1, 1]. Every nonlinear
+/// operation appends its linearization remainder as a fresh *tracked*
+/// symbol. Tracking matters for fixpoint iteration: remainder symbols
+/// re-enter later iterations with opposite-sign coefficients and cancel,
+/// which is what lets abstract iterations of contractive maps contract; an
+/// anonymous error bound would accumulate and diverge (see DESIGN.md).
+///
+/// Nonlinear unary functions use the Chebyshev (minimax) linearization on
+/// intervals where the function is convex or concave, and the min-range
+/// (DeepZ-style minimal-slope) linearization for the S-shaped activations
+/// tanh/sigmoid on sign-crossing intervals. Trigonometric functions
+/// enumerate the interior extrema of f(x) - alpha x exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_DOMAINS_AFFINEFORM_H
+#define CRAFT_DOMAINS_AFFINEFORM_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace craft {
+
+/// Scalar affine form c + sum_i a_i e_i, e_i in [-1, 1].
+class AffineForm {
+public:
+  AffineForm() = default;
+  static AffineForm constant(double Value);
+  /// Fresh noise symbol spanning [Lo, Hi].
+  static AffineForm range(double Lo, double Hi);
+
+  double center() const { return Center; }
+  double radius() const;
+  double lo() const { return Center - radius(); }
+  double hi() const { return Center + radius(); }
+  double width() const { return 2.0 * radius(); }
+
+  /// Noise terms (id, coefficient), sorted by id. Exposed for evaluation in
+  /// tests and for the generic scalar fixpoint driver.
+  const std::vector<std::pair<uint64_t, double>> &terms() const {
+    return Terms;
+  }
+
+  /// Evaluates the form with the symbols listed in \p Fixed pinned to the
+  /// given values (in [-1, 1]) and every other symbol ranging freely;
+  /// returns the induced [lo, hi]. Used by soundness property tests.
+  std::pair<double, double>
+  evalPartial(const std::vector<std::pair<uint64_t, double>> &Fixed) const;
+
+  AffineForm operator+(const AffineForm &Rhs) const;
+  AffineForm operator-(const AffineForm &Rhs) const;
+  AffineForm operator*(const AffineForm &Rhs) const;
+  AffineForm operator*(double Scale) const;
+  AffineForm operator+(double Offset) const;
+  AffineForm operator-(double Offset) const { return *this + (-Offset); }
+  AffineForm operator/(const AffineForm &Rhs) const;
+
+  /// Tighter transformer for x^2 (remainder [0, r^2] recentered).
+  AffineForm square() const;
+
+  /// 1/x; requires the concretization to be bounded away from 0.
+  AffineForm reciprocal() const;
+  /// sqrt(x); requires lo() >= 0 (degenerate zero-width handled exactly).
+  AffineForm sqrt() const;
+  /// e^x.
+  AffineForm exp() const;
+  /// ln(x); requires lo() > 0.
+  AffineForm log() const;
+  /// tanh(x) via min-range linearization (sound on any interval).
+  AffineForm tanh() const;
+  /// Logistic sigmoid 1 / (1 + e^-x) via min-range linearization.
+  AffineForm sigmoid() const;
+  /// sin(x); exact extremum enumeration, interval fallback on wide inputs.
+  AffineForm sin() const;
+  /// cos(x).
+  AffineForm cos() const;
+
+  /// Enlarges the form by a fresh symbol of magnitude \p Delta (used for
+  /// the App. A reachable-value expansion).
+  AffineForm widened(double Delta) const;
+
+  /// 1-d error consolidation (the scalar analog of Thm 4.1): a fresh
+  /// single-symbol form spanning [lo - Expand, hi + Expand]. Beyond bounding
+  /// the representation size, consolidation *decorrelates* the form from
+  /// every earlier symbol — including the input's — which is what makes a
+  /// subsequent containment check a valid premise for Thm 3.1: the theorem
+  /// needs the abstract step to be sound for all (x, s) pairs independently,
+  /// and a state that shares symbols with the input only covers the
+  /// correlated pairs. See DESIGN.md ("consolidation is load-bearing").
+  AffineForm consolidated(double Expand = 0.0) const;
+
+  /// Sound quasi-join: shared symbols averaged, residual into a fresh
+  /// symbol.
+  static AffineForm join(const AffineForm &A, const AffineForm &B);
+
+  /// Exact set containment (1-d concretizations are intervals). Note that
+  /// for the Thm 3.1 containment premise this check is only valid when the
+  /// outer form shares no symbols with the analyzed input — use
+  /// containsRelational for correlated iterates.
+  bool contains(const AffineForm &Inner, double Tol = 0.0) const {
+    return Inner.lo() >= lo() - Tol && Inner.hi() <= hi() + Tol;
+  }
+
+  /// Slice-wise containment w.r.t. the shared symbols \p SliceIds (sorted):
+  /// true if for every valuation e of the sliced symbols, the inner slice
+  /// interval is contained in the outer slice interval, i.e.
+  ///
+  ///   |c' - c| + sum_{i in SliceIds} |a'_i - a_i| + r'_free <= r_free,
+  ///
+  /// where r_free sums the non-sliced coefficients of each side. Slicing on
+  /// the *input* symbols makes this a valid Thm 3.1 premise for iterates
+  /// that stay correlated with the input: the theorem's argument then runs
+  /// per input slice (for each x, trajectories from the outer slice remain
+  /// in the inner slice), without the precision loss of decorrelating
+  /// first. With empty SliceIds this degrades to the interval check, which
+  /// is the sound choice only for input-decorrelated outers.
+  bool containsRelational(const AffineForm &Inner,
+                          const std::vector<uint64_t> &SliceIds,
+                          double Tol = 0.0) const;
+
+private:
+  /// Builds alpha * this + Zeta with a fresh remainder symbol of magnitude
+  /// Delta: the common tail of every unary linearization.
+  AffineForm linearized(double Alpha, double Zeta, double Delta) const;
+
+  double Center = 0.0;
+  /// Noise terms, sorted by id (fresh ids are globally increasing, so
+  /// appending a fresh term preserves the order).
+  std::vector<std::pair<uint64_t, double>> Terms;
+};
+
+} // namespace craft
+
+#endif // CRAFT_DOMAINS_AFFINEFORM_H

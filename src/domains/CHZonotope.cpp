@@ -1,0 +1,425 @@
+//===- domains/CHZonotope.cpp ---------------------------------------------===//
+
+#include "domains/CHZonotope.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+using namespace craft;
+
+static uint64_t ErrorTermCounter = 0;
+
+uint64_t craft::freshErrorTermId() { return ++ErrorTermCounter; }
+void craft::resetErrorTermIds() { ErrorTermCounter = 0; }
+
+CHZonotope::CHZonotope(Vector Center, Matrix Generators,
+                       std::vector<uint64_t> TermIds, Vector BoxRadius)
+    : Center(std::move(Center)), Generators(std::move(Generators)),
+      TermIds(std::move(TermIds)), BoxRadius(std::move(BoxRadius)) {
+  assert(this->Generators.cols() == this->TermIds.size() &&
+         "one id per generator column");
+  assert((this->Generators.cols() == 0 ||
+          this->Generators.rows() == this->Center.size()) &&
+         "generator row count must match dimension");
+  assert(this->BoxRadius.size() == this->Center.size() &&
+         "box radius size mismatch");
+}
+
+CHZonotope CHZonotope::point(const Vector &Center) {
+  return CHZonotope(Center, Matrix(Center.size(), 0), {},
+                    Vector(Center.size(), 0.0));
+}
+
+CHZonotope CHZonotope::fromBox(const Vector &Lo, const Vector &Hi) {
+  assert(Lo.size() == Hi.size() && "bounds size mismatch");
+  const size_t P = Lo.size();
+  Vector Center(P);
+  std::vector<size_t> NonZero;
+  for (size_t I = 0; I < P; ++I) {
+    assert(Lo[I] <= Hi[I] && "empty box");
+    Center[I] = 0.5 * (Lo[I] + Hi[I]);
+    if (Hi[I] > Lo[I])
+      NonZero.push_back(I);
+  }
+  Matrix Gens(P, NonZero.size());
+  std::vector<uint64_t> Ids(NonZero.size());
+  for (size_t J = 0; J < NonZero.size(); ++J) {
+    size_t I = NonZero[J];
+    Gens(I, J) = 0.5 * (Hi[I] - Lo[I]);
+    Ids[J] = freshErrorTermId();
+  }
+  return CHZonotope(std::move(Center), std::move(Gens), std::move(Ids),
+                    Vector(P, 0.0));
+}
+
+Vector CHZonotope::concretizationRadius() const {
+  Vector R = BoxRadius;
+  if (Generators.cols() > 0)
+    R += Generators.rowAbsSums();
+  return R;
+}
+
+Vector CHZonotope::lowerBounds() const {
+  return Center - concretizationRadius();
+}
+
+Vector CHZonotope::upperBounds() const {
+  return Center + concretizationRadius();
+}
+
+IntervalVector CHZonotope::intervalHull() const {
+  return IntervalVector(Center, concretizationRadius());
+}
+
+double CHZonotope::meanWidth() const {
+  if (dim() == 0)
+    return 0.0;
+  Vector R = concretizationRadius();
+  double Sum = 0.0;
+  for (double V : R)
+    Sum += 2.0 * V;
+  return Sum / static_cast<double>(dim());
+}
+
+CHZonotope CHZonotope::affine(const Matrix &M, const Vector &T,
+                              BoxPolicy Policy) const {
+  const std::pair<const Matrix *, const CHZonotope *> Term{&M, this};
+  return linearCombine({&Term, 1}, T, Policy);
+}
+
+/// Drops exactly-zero generator columns (an exact simplification; a zero
+/// coefficient for an error term is semantically identical to its absence).
+static void pruneZeroColumns(Matrix &Gens, std::vector<uint64_t> &Ids) {
+  const size_t P = Gens.rows(), K = Gens.cols();
+  std::vector<size_t> Keep;
+  Keep.reserve(K);
+  for (size_t J = 0; J < K; ++J) {
+    bool AllZero = true;
+    for (size_t R = 0; R < P && AllZero; ++R)
+      AllZero = Gens(R, J) == 0.0;
+    if (!AllZero)
+      Keep.push_back(J);
+  }
+  if (Keep.size() == K)
+    return;
+  Matrix NewGens(P, Keep.size());
+  std::vector<uint64_t> NewIds(Keep.size());
+  for (size_t J = 0; J < Keep.size(); ++J) {
+    NewIds[J] = Ids[Keep[J]];
+    for (size_t R = 0; R < P; ++R)
+      NewGens(R, J) = Gens(R, Keep[J]);
+  }
+  Gens = std::move(NewGens);
+  Ids = std::move(NewIds);
+}
+
+CHZonotope CHZonotope::linearCombine(
+    std::span<const std::pair<const Matrix *, const CHZonotope *>> Terms,
+    const Vector &Offset, BoxPolicy Policy) {
+  assert(!Terms.empty() && "linearCombine needs at least one term");
+  const size_t POut = Terms.front().first->rows();
+
+  // First pass: assign output columns to distinct error-term ids (in first
+  // occurrence order, for determinism) and count cast box columns.
+  std::unordered_map<uint64_t, size_t> ColumnOf;
+  std::vector<uint64_t> OutIds;
+  size_t NumBoxCols = 0;
+  for (const auto &[M, Z] : Terms) {
+    assert(M->rows() == POut && "output dimension mismatch across terms");
+    assert(M->cols() == Z->dim() && "matrix/operand dimension mismatch");
+    for (uint64_t Id : Z->TermIds)
+      if (ColumnOf.emplace(Id, ColumnOf.size()).second)
+        OutIds.push_back(Id);
+    if (Policy == BoxPolicy::CastToGenerators)
+      for (size_t I = 0; I < Z->dim(); ++I)
+        if (Z->BoxRadius[I] > 0.0)
+          ++NumBoxCols;
+  }
+
+  const size_t NumShared = OutIds.size();
+  Matrix Gens(POut, NumShared + NumBoxCols);
+  Vector Center = Offset;
+  Vector Box(POut, 0.0);
+  size_t NextBoxCol = NumShared;
+
+  for (const auto &[M, Z] : Terms) {
+    Center += *M * Z->Center;
+    // Generator contribution: scatter columns of M * A_i into the id-mapped
+    // output columns.
+    if (Z->numGenerators() > 0) {
+      Matrix Mapped = *M * Z->Generators;
+      for (size_t J = 0; J < Z->numGenerators(); ++J) {
+        size_t Col = ColumnOf.at(Z->TermIds[J]);
+        for (size_t R = 0; R < POut; ++R)
+          Gens(R, Col) += Mapped(R, J);
+      }
+    }
+    // Box contribution.
+    if (Policy == BoxPolicy::CastToGenerators) {
+      for (size_t I = 0; I < Z->dim(); ++I) {
+        double B = Z->BoxRadius[I];
+        if (B <= 0.0)
+          continue;
+        // Column = B * M(:, I), with a fresh id.
+        for (size_t R = 0; R < POut; ++R)
+          Gens(R, NextBoxCol) = B * (*M)(R, I);
+        OutIds.push_back(freshErrorTermId());
+        ++NextBoxCol;
+      }
+    } else {
+      Box += M->abs() * Z->BoxRadius;
+    }
+  }
+  assert(NextBoxCol == NumShared + NumBoxCols && "box column miscount");
+
+  pruneZeroColumns(Gens, OutIds);
+  return CHZonotope(std::move(Center), std::move(Gens), std::move(OutIds),
+                    std::move(Box));
+}
+
+CHZonotope CHZonotope::reluPrefix(size_t Count, const Vector &LambdaOverride,
+                                  bool AbsorbIntoBox,
+                                  double LambdaScale) const {
+  assert(Count <= dim() && "relu prefix out of range");
+  assert((LambdaOverride.empty() || LambdaOverride.size() >= Count) &&
+         "lambda override must cover all rectified dimensions");
+  Vector Lo = lowerBounds(), Hi = upperBounds();
+  Vector NewCenter = Center;
+  Matrix NewGens = Generators;
+  std::vector<uint64_t> NewIds = TermIds;
+  Vector NewBox = BoxRadius;
+
+  // Fresh columns for the classic Zonotope transformer (one per unstable
+  // dimension), appended at the end.
+  std::vector<std::pair<size_t, double>> FreshCols;
+
+  for (size_t I = 0; I < Count; ++I) {
+    double L = Lo[I], U = Hi[I];
+    if (U <= 0.0) {
+      // Definitely inactive: the dimension collapses to 0.
+      NewCenter[I] = 0.0;
+      NewBox[I] = 0.0;
+      for (size_t J = 0, K = NewGens.cols(); J < K; ++J)
+        NewGens(I, J) = 0.0;
+      continue;
+    }
+    if (L >= 0.0)
+      continue; // Definitely active: identity.
+
+    // Unstable: apply the lambda relaxation y in lambda*x + mu*(1 + eta).
+    double LambdaMin = U / (U - L); // Minimal-area slope.
+    double Lambda = std::clamp(LambdaScale * LambdaMin, 0.0, 1.0);
+    if (!LambdaOverride.empty())
+      Lambda = std::clamp(LambdaOverride[I], 0.0, 1.0);
+    double Mu = Lambda <= LambdaMin ? 0.5 * (1.0 - Lambda) * U
+                                    : -0.5 * Lambda * L;
+    NewCenter[I] = Lambda * Center[I] + Mu;
+    for (size_t J = 0, K = NewGens.cols(); J < K; ++J)
+      NewGens(I, J) *= Lambda;
+    if (AbsorbIntoBox) {
+      NewBox[I] = Lambda * BoxRadius[I] + Mu;
+    } else {
+      NewBox[I] = Lambda * BoxRadius[I];
+      if (Mu > 0.0)
+        FreshCols.push_back({I, Mu});
+    }
+  }
+
+  if (!FreshCols.empty()) {
+    Matrix Extra(dim(), FreshCols.size());
+    for (size_t J = 0; J < FreshCols.size(); ++J) {
+      Extra(FreshCols[J].first, J) = FreshCols[J].second;
+      NewIds.push_back(freshErrorTermId());
+    }
+    NewGens = Matrix::hcat(NewGens, Extra);
+  }
+
+  return CHZonotope(std::move(NewCenter), std::move(NewGens),
+                    std::move(NewIds), std::move(NewBox));
+}
+
+CHZonotope CHZonotope::consolidate(const Matrix &Basis, const Matrix &BasisInv,
+                                   double WMul, double WAdd) const {
+  const size_t P = dim();
+  assert(Basis.rows() == P && Basis.cols() == P && "basis must be p x p");
+  assert(BasisInv.rows() == P && BasisInv.cols() == P &&
+         "basis inverse must be p x p");
+
+  // Consolidation coefficients c = |Basis^{-1} A| 1 (Thm 4.1), with the
+  // expansion of Eq. 10 applied on top.
+  Vector C(P, 0.0);
+  if (numGenerators() > 0)
+    C = (BasisInv * Generators).rowAbsSums();
+  for (size_t I = 0; I < P; ++I) {
+    C[I] = (1.0 + WMul) * C[I] + WAdd;
+    // Floor zero coefficients: enlarging a generator is sound, and a
+    // strictly positive diag(c) keeps Basis * diag(c) invertible (proper).
+    C[I] = std::max(C[I], 1e-12);
+  }
+
+  Matrix NewGens(P, P);
+  std::vector<uint64_t> NewIds(P);
+  for (size_t J = 0; J < P; ++J) {
+    NewIds[J] = freshErrorTermId();
+    for (size_t R = 0; R < P; ++R)
+      NewGens(R, J) = Basis(R, J) * C[J];
+  }
+  return CHZonotope(Center, std::move(NewGens), std::move(NewIds), BoxRadius);
+}
+
+CHZonotope CHZonotope::boxCastToGenerators() const {
+  const size_t P = dim();
+  size_t NumBoxCols = 0;
+  for (size_t I = 0; I < P; ++I)
+    if (BoxRadius[I] > 0.0)
+      ++NumBoxCols;
+  if (NumBoxCols == 0)
+    return *this;
+  Matrix Extra(P, NumBoxCols);
+  std::vector<uint64_t> Ids = TermIds;
+  size_t Col = 0;
+  for (size_t I = 0; I < P; ++I) {
+    if (BoxRadius[I] <= 0.0)
+      continue;
+    Extra(I, Col++) = BoxRadius[I];
+    Ids.push_back(freshErrorTermId());
+  }
+  return CHZonotope(Center, Matrix::hcat(Generators, Extra), std::move(Ids),
+                    Vector(P, 0.0));
+}
+
+CHZonotope CHZonotope::slice(size_t First, size_t Count) const {
+  assert(First + Count <= dim() && "slice out of range");
+  Vector NewCenter(Count), NewBox(Count);
+  Matrix NewGens(Count, numGenerators());
+  for (size_t I = 0; I < Count; ++I) {
+    NewCenter[I] = Center[First + I];
+    NewBox[I] = BoxRadius[First + I];
+    for (size_t J = 0, K = numGenerators(); J < K; ++J)
+      NewGens(I, J) = Generators(First + I, J);
+  }
+  std::vector<uint64_t> NewIds = TermIds;
+  pruneZeroColumns(NewGens, NewIds);
+  return CHZonotope(std::move(NewCenter), std::move(NewGens),
+                    std::move(NewIds), std::move(NewBox));
+}
+
+CHZonotope CHZonotope::stack(const CHZonotope &Top, const CHZonotope &Bottom) {
+  const size_t PT = Top.dim(), PB = Bottom.dim();
+  std::unordered_map<uint64_t, size_t> ColumnOf;
+  std::vector<uint64_t> Ids;
+  for (uint64_t Id : Top.TermIds)
+    if (ColumnOf.emplace(Id, ColumnOf.size()).second)
+      Ids.push_back(Id);
+  for (uint64_t Id : Bottom.TermIds)
+    if (ColumnOf.emplace(Id, ColumnOf.size()).second)
+      Ids.push_back(Id);
+
+  Matrix Gens(PT + PB, Ids.size());
+  for (size_t J = 0; J < Top.numGenerators(); ++J) {
+    size_t Col = ColumnOf.at(Top.TermIds[J]);
+    for (size_t R = 0; R < PT; ++R)
+      Gens(R, Col) = Top.Generators(R, J);
+  }
+  for (size_t J = 0; J < Bottom.numGenerators(); ++J) {
+    size_t Col = ColumnOf.at(Bottom.TermIds[J]);
+    for (size_t R = 0; R < PB; ++R)
+      Gens(PT + R, Col) = Bottom.Generators(R, J);
+  }
+
+  Vector Center(PT + PB), Box(PT + PB);
+  for (size_t I = 0; I < PT; ++I) {
+    Center[I] = Top.Center[I];
+    Box[I] = Top.BoxRadius[I];
+  }
+  for (size_t I = 0; I < PB; ++I) {
+    Center[PT + I] = Bottom.Center[I];
+    Box[PT + I] = Bottom.BoxRadius[I];
+  }
+  return CHZonotope(std::move(Center), std::move(Gens), std::move(Ids),
+                    std::move(Box));
+}
+
+CHZonotope CHZonotope::join(const CHZonotope &A, const CHZonotope &B) {
+  assert(A.dim() == B.dim() && "join dimension mismatch");
+  const size_t P = A.dim();
+
+  // Shared error terms keep a column with the averaged coefficients.
+  std::unordered_map<uint64_t, size_t> BCol;
+  for (size_t J = 0; J < B.numGenerators(); ++J)
+    BCol.emplace(B.TermIds[J], J);
+
+  std::vector<std::pair<size_t, size_t>> Shared; // (col in A, col in B)
+  for (size_t J = 0; J < A.numGenerators(); ++J) {
+    auto It = BCol.find(A.TermIds[J]);
+    if (It != BCol.end())
+      Shared.push_back({J, It->second});
+  }
+
+  Vector Center = 0.5 * (A.Center + B.Center);
+  Matrix Gens(P, Shared.size());
+  std::vector<uint64_t> Ids(Shared.size());
+  for (size_t S = 0; S < Shared.size(); ++S) {
+    auto [JA, JB] = Shared[S];
+    Ids[S] = A.TermIds[JA];
+    for (size_t R = 0; R < P; ++R)
+      Gens(R, S) = 0.5 * (A.Generators(R, JA) + B.Generators(R, JB));
+  }
+
+  // Residual per operand: per-dimension bound on (operand - joined zonotope)
+  // choosing equal shared error values; the Box must cover the larger one.
+  auto residual = [&](const CHZonotope &Z,
+                      const std::vector<size_t> &SharedCols) -> Vector {
+    Vector R = (Z.Center - Center).abs() + Z.BoxRadius;
+    std::vector<bool> IsShared(Z.numGenerators(), false);
+    for (size_t S = 0; S < Shared.size(); ++S) {
+      size_t Col = SharedCols[S];
+      IsShared[Col] = true;
+      for (size_t I = 0; I < P; ++I)
+        R[I] += std::fabs(Z.Generators(I, Col) - Gens(I, S));
+    }
+    for (size_t J = 0; J < Z.numGenerators(); ++J) {
+      if (IsShared[J])
+        continue;
+      for (size_t I = 0; I < P; ++I)
+        R[I] += std::fabs(Z.Generators(I, J));
+    }
+    return R;
+  };
+
+  std::vector<size_t> ACols(Shared.size()), BCols(Shared.size());
+  for (size_t S = 0; S < Shared.size(); ++S) {
+    ACols[S] = Shared[S].first;
+    BCols[S] = Shared[S].second;
+  }
+  Vector Box = cwiseMax(residual(A, ACols), residual(B, BCols));
+  pruneZeroColumns(Gens, Ids);
+  return CHZonotope(std::move(Center), std::move(Gens), std::move(Ids),
+                    std::move(Box));
+}
+
+ContainmentResult craft::containsCH(const CHZonotope &Outer,
+                                    const Matrix &OuterInvGens,
+                                    const CHZonotope &Inner) {
+  assert(Outer.dim() == Inner.dim() && "containment dimension mismatch");
+  assert(Outer.generators().rows() == Outer.generators().cols() &&
+         "outer CH-Zonotope must be proper (square generator matrix)");
+  const size_t P = Outer.dim();
+
+  // Thm 4.2: |A^{-1} A'| 1 + |A^{-1} diag(d)| 1 <= 1 with
+  // d = max(0, |a' - a| + b' - b).
+  Vector Lhs(P, 0.0);
+  if (Inner.numGenerators() > 0)
+    Lhs = (OuterInvGens * Inner.generators()).rowAbsSums();
+
+  Vector D = (Inner.center() - Outer.center()).abs() + Inner.boxRadius() -
+             Outer.boxRadius();
+  D = D.cwiseMax(0.0);
+  Lhs += OuterInvGens.abs() * D;
+
+  ContainmentResult Result;
+  Result.Slack = Lhs.normInf();
+  Result.Contained = Result.Slack <= 1.0;
+  return Result;
+}

@@ -1,0 +1,164 @@
+//===- domains/CHZonotope.h - The CH-Zonotope abstract domain ---*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Containing-Hybrid-Zonotope (CH-Zonotope) abstract domain of Section 4:
+///
+///   Z = A nu + diag(b) eta + a,   nu in [-1,1]^k, eta in [-1,1]^p,
+///
+/// i.e. a zonotope with generator matrix A (the "error matrix"), an
+/// axis-aligned Box error vector b, and center a. A CH-Zonotope is "proper"
+/// when A is square and invertible, which is what enables the O(p^3)
+/// containment check of Thm 4.2. A standard Zonotope is the special case
+/// b = 0, so this single class also implements the plain Zonotope domain
+/// used by the Kleene baseline and the Householder case study.
+///
+/// Generator columns carry globally unique error-term ids. Shared ids across
+/// abstract values denote the same underlying noise symbol; linearCombine
+/// merges coefficients for shared ids, which is how the abstract solver
+/// iteration g#(X, S) keeps the state correlated with the input region
+/// across iterations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_DOMAINS_CHZONOTOPE_H
+#define CRAFT_DOMAINS_CHZONOTOPE_H
+
+#include "domains/Interval.h"
+#include "linalg/Matrix.h"
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+namespace craft {
+
+/// Mints a fresh, process-unique error-term id.
+uint64_t freshErrorTermId();
+/// Resets the id counter (test isolation only).
+void resetErrorTermIds();
+
+/// Controls how the Box error component participates in affine maps.
+enum class BoxPolicy {
+  /// Cast Box errors to fresh generator columns before the map (the paper's
+  /// transformer): precise, grows k by the number of nonzero box entries.
+  CastToGenerators,
+  /// Map the Box radius through |M| (interval-style): sound and size
+  /// preserving but ignores rotation of the box.
+  IntervalMap,
+};
+
+/// A CH-Zonotope abstract value.
+class CHZonotope {
+public:
+  CHZonotope() = default;
+
+  /// Degenerate abstraction of a single concrete point.
+  static CHZonotope point(const Vector &Center);
+
+  /// Abstraction of an axis-aligned box, one fresh generator column per
+  /// dimension with nonzero radius (so correlations with this region are
+  /// trackable through shared ids).
+  static CHZonotope fromBox(const Vector &Lo, const Vector &Hi);
+
+  /// Builds a CH-Zonotope from raw parts (ids must be unique).
+  CHZonotope(Vector Center, Matrix Generators, std::vector<uint64_t> TermIds,
+             Vector BoxRadius);
+
+  size_t dim() const { return Center.size(); }
+  size_t numGenerators() const { return Generators.cols(); }
+
+  const Vector &center() const { return Center; }
+  const Matrix &generators() const { return Generators; }
+  const std::vector<uint64_t> &termIds() const { return TermIds; }
+  const Vector &boxRadius() const { return BoxRadius; }
+
+  /// Per-dimension concretization radius: |A| 1 + b.
+  Vector concretizationRadius() const;
+  Vector lowerBounds() const;
+  Vector upperBounds() const;
+  /// Interval hull of the concretization.
+  IntervalVector intervalHull() const;
+  /// Mean per-dimension width of the concretization (Fig. 13 metric).
+  double meanWidth() const;
+
+  /// Affine image M * this + T.
+  CHZonotope affine(const Matrix &M, const Vector &T,
+                    BoxPolicy Policy = BoxPolicy::CastToGenerators) const;
+
+  /// Sum_i M_i * Z_i + Offset with error-term-id alignment: columns with the
+  /// same id across operands are summed into a single output column. This is
+  /// the key precision-preserving operation of the abstract solver step
+  /// g#(X, S) = ... W S + U X ...
+  static CHZonotope
+  linearCombine(std::span<const std::pair<const Matrix *, const CHZonotope *>>
+                    Terms,
+                const Vector &Offset,
+                BoxPolicy Policy = BoxPolicy::CastToGenerators);
+
+  /// ReLU transformer applied to dimensions [0, Count); remaining dimensions
+  /// pass through. Per-dimension relaxation slopes can be overridden via
+  /// \p LambdaOverride (empty = minimal-area default u/(u-l), scaled by
+  /// \p LambdaScale and clamped to [0,1] — the knob the paper's lambda
+  /// optimization tunes, App. C). If \p AbsorbIntoBox, new relaxation error
+  /// goes to the Box component (the CH-Zonotope transformer — representation
+  /// size stays constant); otherwise each unstable dimension appends a fresh
+  /// generator column (the classic Zonotope transformer).
+  CHZonotope reluPrefix(size_t Count, const Vector &LambdaOverride = Vector(),
+                        bool AbsorbIntoBox = true,
+                        double LambdaScale = 1.0) const;
+
+  /// Error consolidation (Thm 4.1) with expansion (Eq. 10): replaces the
+  /// generator matrix by Basis * diag(c) with
+  /// c = (1+WMul) |Basis^{-1} A| 1 + WAdd, minting fresh ids. \p BasisInv
+  /// must be the inverse of \p Basis. The result is proper whenever all
+  /// consolidation coefficients are positive; zero coefficients are floored
+  /// (a sound enlargement) to retain invertibility.
+  CHZonotope consolidate(const Matrix &Basis, const Matrix &BasisInv,
+                         double WMul = 0.0, double WAdd = 0.0) const;
+
+  /// Casts the Box component into axis-aligned generator columns with fresh
+  /// ids (exact). Useful before consolidation when the Box carries most of
+  /// the radius, so the consolidated generators cover the full set.
+  CHZonotope boxCastToGenerators() const;
+
+  /// Keeps dimensions [First, First+Count) (column slicing of the state,
+  /// e.g. extracting Z from S = [Z; U]).
+  CHZonotope slice(size_t First, size_t Count) const;
+
+  /// Vertical concatenation with id alignment (shared ids stay shared).
+  static CHZonotope stack(const CHZonotope &Top, const CHZonotope &Bottom);
+
+  /// Sound quasi-join for the Kleene baseline (non-lattice domain, per Gange
+  /// et al. 2013): averages coefficients of shared ids, drops unshared
+  /// columns into a covering Box residual.
+  static CHZonotope join(const CHZonotope &A, const CHZonotope &B);
+
+private:
+  Vector Center;
+  Matrix Generators; ///< p x k error matrix A.
+  std::vector<uint64_t> TermIds;
+  Vector BoxRadius; ///< Box error vector b >= 0 (size p).
+};
+
+/// Result of the approximate containment check.
+struct ContainmentResult {
+  bool Contained = false;
+  /// max_i of the Thm 4.2 left-hand side; <= 1 means contained. Useful as a
+  /// tightness diagnostic (Fig. 18).
+  double Slack = 0.0;
+};
+
+/// CH-Zonotope containment check (Thm 4.2): is \p Inner contained in the
+/// proper CH-Zonotope \p Outer? \p OuterInvGens must be the inverse of
+/// Outer's generator matrix. Sound but incomplete; O(p^2 (p + k)).
+ContainmentResult containsCH(const CHZonotope &Outer,
+                             const Matrix &OuterInvGens,
+                             const CHZonotope &Inner);
+
+} // namespace craft
+
+#endif // CRAFT_DOMAINS_CHZONOTOPE_H

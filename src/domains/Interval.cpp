@@ -1,0 +1,106 @@
+//===- domains/Interval.cpp -----------------------------------------------===//
+
+#include "domains/Interval.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace craft;
+
+IntervalVector::IntervalVector(Vector Center, Vector Radius)
+    : Center(std::move(Center)), Radius(std::move(Radius)) {
+  assert(this->Center.size() == this->Radius.size() && "size mismatch");
+#ifndef NDEBUG
+  for (double R : this->Radius)
+    assert(R >= 0.0 && "negative interval radius");
+#endif
+}
+
+IntervalVector IntervalVector::point(const Vector &Point) {
+  return IntervalVector(Point, Vector(Point.size(), 0.0));
+}
+
+IntervalVector IntervalVector::fromBounds(const Vector &Lo, const Vector &Hi) {
+  assert(Lo.size() == Hi.size() && "bounds size mismatch");
+  Vector Center(Lo.size()), Radius(Lo.size());
+  for (size_t I = 0, E = Lo.size(); I < E; ++I) {
+    assert(Lo[I] <= Hi[I] && "empty interval");
+    Center[I] = 0.5 * (Lo[I] + Hi[I]);
+    Radius[I] = 0.5 * (Hi[I] - Lo[I]);
+  }
+  return IntervalVector(std::move(Center), std::move(Radius));
+}
+
+double IntervalVector::meanWidth() const {
+  if (Radius.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double R : Radius)
+    Sum += 2.0 * R;
+  return Sum / static_cast<double>(Radius.size());
+}
+
+IntervalVector IntervalVector::affine(const Matrix &M, const Vector &T) const {
+  Vector NewCenter = M * Center + T;
+  Vector NewRadius = M.abs() * Radius;
+  return IntervalVector(std::move(NewCenter), std::move(NewRadius));
+}
+
+IntervalVector IntervalVector::operator+(const IntervalVector &Rhs) const {
+  return IntervalVector(Center + Rhs.Center, Radius + Rhs.Radius);
+}
+
+IntervalVector IntervalVector::reluPrefix(size_t Count) const {
+  assert(Count <= dim() && "relu prefix out of range");
+  Vector NewCenter = Center, NewRadius = Radius;
+  for (size_t I = 0; I < Count; ++I) {
+    double Lo = std::max(0.0, Center[I] - Radius[I]);
+    double Hi = std::max(0.0, Center[I] + Radius[I]);
+    NewCenter[I] = 0.5 * (Lo + Hi);
+    NewRadius[I] = 0.5 * (Hi - Lo);
+  }
+  return IntervalVector(std::move(NewCenter), std::move(NewRadius));
+}
+
+IntervalVector IntervalVector::join(const IntervalVector &A,
+                                    const IntervalVector &B) {
+  assert(A.dim() == B.dim() && "join dimension mismatch");
+  Vector Lo = cwiseMin(A.lowerBounds(), B.lowerBounds());
+  Vector Hi = cwiseMax(A.upperBounds(), B.upperBounds());
+  return fromBounds(Lo, Hi);
+}
+
+bool IntervalVector::contains(const IntervalVector &Inner, double Eps) const {
+  assert(dim() == Inner.dim() && "containment dimension mismatch");
+  for (size_t I = 0, E = dim(); I < E; ++I) {
+    if (Inner.Center[I] - Inner.Radius[I] < Center[I] - Radius[I] - Eps)
+      return false;
+    if (Inner.Center[I] + Inner.Radius[I] > Center[I] + Radius[I] + Eps)
+      return false;
+  }
+  return true;
+}
+
+IntervalVector IntervalVector::slice(size_t First, size_t Count) const {
+  assert(First + Count <= dim() && "slice out of range");
+  Vector C(Count), R(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    C[I] = Center[First + I];
+    R[I] = Radius[First + I];
+  }
+  return IntervalVector(std::move(C), std::move(R));
+}
+
+IntervalVector IntervalVector::stack(const IntervalVector &A,
+                                     const IntervalVector &B) {
+  Vector C(A.dim() + B.dim()), R(A.dim() + B.dim());
+  for (size_t I = 0; I < A.dim(); ++I) {
+    C[I] = A.Center[I];
+    R[I] = A.Radius[I];
+  }
+  for (size_t I = 0; I < B.dim(); ++I) {
+    C[A.dim() + I] = B.Center[I];
+    R[A.dim() + I] = B.Radius[I];
+  }
+  return IntervalVector(std::move(C), std::move(R));
+}

@@ -1,0 +1,73 @@
+//===- domains/Interval.h - Box abstract domain -----------------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Box (interval vector) abstract domain. The paper uses Box as the only
+/// other domain with a tractable containment check (Table 1) and as the
+/// imprecise baseline in Fig. 13 and the "No Zono component" ablation of
+/// Table 4. Intervals are kept in center/radius form, which makes the affine
+/// transformer (|M| on the radius) and inclusion checks direct.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_DOMAINS_INTERVAL_H
+#define CRAFT_DOMAINS_INTERVAL_H
+
+#include "linalg/Matrix.h"
+
+namespace craft {
+
+/// Axis-aligned box over R^n in center/radius representation.
+class IntervalVector {
+public:
+  IntervalVector() = default;
+  IntervalVector(Vector Center, Vector Radius);
+
+  /// Degenerate box containing only \p Point.
+  static IntervalVector point(const Vector &Point);
+  /// Box from per-dimension lower/upper bounds.
+  static IntervalVector fromBounds(const Vector &Lo, const Vector &Hi);
+
+  size_t dim() const { return Center.size(); }
+  const Vector &center() const { return Center; }
+  const Vector &radius() const { return Radius; }
+  Vector lowerBounds() const { return Center - Radius; }
+  Vector upperBounds() const { return Center + Radius; }
+
+  /// Mean per-dimension width (2 * radius), the precision proxy of Fig. 13.
+  double meanWidth() const;
+
+  /// Exact affine image hull: M * this + T.
+  IntervalVector affine(const Matrix &M, const Vector &T) const;
+
+  /// Minkowski sum with another box.
+  IntervalVector operator+(const IntervalVector &Rhs) const;
+
+  /// Exact ReLU image applied to dimensions [0, Count); the remaining
+  /// dimensions pass through unchanged.
+  IntervalVector reluPrefix(size_t Count) const;
+
+  /// Interval hull (join) of two boxes.
+  static IntervalVector join(const IntervalVector &A, const IntervalVector &B);
+
+  /// True if this box contains \p Inner (with tolerance \p Eps).
+  bool contains(const IntervalVector &Inner, double Eps = 1e-12) const;
+
+  /// Keeps dimensions [First, First+Count).
+  IntervalVector slice(size_t First, size_t Count) const;
+
+  /// Vertical concatenation of two boxes.
+  static IntervalVector stack(const IntervalVector &A,
+                              const IntervalVector &B);
+
+private:
+  Vector Center;
+  Vector Radius;
+};
+
+} // namespace craft
+
+#endif // CRAFT_DOMAINS_INTERVAL_H

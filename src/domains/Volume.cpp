@@ -1,0 +1,58 @@
+//===- domains/Volume.cpp -------------------------------------------------===//
+
+#include "domains/Volume.h"
+
+#include "linalg/Lu.h"
+
+#include <cmath>
+
+using namespace craft;
+
+/// Recursively enumerates p-subsets of columns, accumulating |det|.
+static void sumSubsetDeterminants(const Matrix &Gens, size_t NextCol,
+                                  std::vector<size_t> &Chosen, double &Acc) {
+  const size_t P = Gens.rows();
+  if (Chosen.size() == P) {
+    Matrix Sub(P, P);
+    for (size_t J = 0; J < P; ++J)
+      for (size_t R = 0; R < P; ++R)
+        Sub(R, J) = Gens(R, Chosen[J]);
+    Acc += std::fabs(LuDecomposition(Sub).determinant());
+    return;
+  }
+  size_t Remaining = P - Chosen.size();
+  for (size_t C = NextCol; C + Remaining <= Gens.cols(); ++C) {
+    Chosen.push_back(C);
+    sumSubsetDeterminants(Gens, C + 1, Chosen, Acc);
+    Chosen.pop_back();
+  }
+}
+
+double craft::zonotopeVolume(const CHZonotope &Z) {
+  const size_t P = Z.dim();
+  if (P == 0)
+    return 0.0;
+
+  // Fold the Box component in as axis-aligned generator columns.
+  size_t NumBoxCols = 0;
+  for (size_t I = 0; I < P; ++I)
+    if (Z.boxRadius()[I] > 0.0)
+      ++NumBoxCols;
+  Matrix Gens(P, Z.numGenerators() + NumBoxCols);
+  for (size_t J = 0; J < Z.numGenerators(); ++J)
+    for (size_t R = 0; R < P; ++R)
+      Gens(R, J) = Z.generators()(R, J);
+  size_t Col = Z.numGenerators();
+  for (size_t I = 0; I < P; ++I)
+    if (Z.boxRadius()[I] > 0.0)
+      Gens(I, Col++) = Z.boxRadius()[I];
+
+  if (Gens.cols() < P)
+    return 0.0; // Degenerate: the set lies in a lower-dimensional subspace.
+
+  double Acc = 0.0;
+  std::vector<size_t> Chosen;
+  Chosen.reserve(P);
+  sumSubsetDeterminants(Gens, 0, Chosen, Acc);
+  return std::ldexp(Acc, static_cast<int>(P)); // 2^p * sum |det|.
+}

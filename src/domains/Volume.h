@@ -1,0 +1,31 @@
+//===- domains/Volume.h - Exact zonotope volume -----------------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact volume of low-dimensional zonotopes via the classic determinant-sum
+/// formula (Gover & Krikorian 2010):
+///   vol(Z) = 2^p * sum over p-subsets S of generator columns |det(G_S)|.
+/// The paper uses exact volumes on 2-4 dimensional toy monDEQs to quantify
+/// the volume growth of error consolidation (Fig. 19); the exponential
+/// complexity restricts this to small p, matching that experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_DOMAINS_VOLUME_H
+#define CRAFT_DOMAINS_VOLUME_H
+
+#include "domains/CHZonotope.h"
+
+namespace craft {
+
+/// Exact volume of the concretization of \p Z (generators plus Box
+/// component). Complexity is C(k+p, p) determinants of size p; intended for
+/// p <= 6 and modest k only.
+double zonotopeVolume(const CHZonotope &Z);
+
+} // namespace craft
+
+#endif // CRAFT_DOMAINS_VOLUME_H

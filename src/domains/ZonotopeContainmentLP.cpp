@@ -1,0 +1,101 @@
+//===- domains/ZonotopeContainmentLP.cpp ----------------------------------===//
+
+#include "domains/ZonotopeContainmentLP.h"
+
+#include "lp/Simplex.h"
+
+using namespace craft;
+
+/// Returns [A, diag(b) nonzero columns]: the generator matrix with the Box
+/// component folded in.
+static Matrix fullGenerators(const CHZonotope &Z) {
+  const size_t P = Z.dim();
+  size_t NumBoxCols = 0;
+  for (size_t I = 0; I < P; ++I)
+    if (Z.boxRadius()[I] > 0.0)
+      ++NumBoxCols;
+  Matrix G(P, Z.numGenerators() + NumBoxCols);
+  for (size_t J = 0; J < Z.numGenerators(); ++J)
+    for (size_t R = 0; R < P; ++R)
+      G(R, J) = Z.generators()(R, J);
+  size_t Col = Z.numGenerators();
+  for (size_t I = 0; I < P; ++I)
+    if (Z.boxRadius()[I] > 0.0)
+      G(I, Col++) = Z.boxRadius()[I];
+  return G;
+}
+
+bool craft::containsZonotopeLP(const CHZonotope &Outer,
+                               const CHZonotope &Inner,
+                               LpContainmentStats *Stats) {
+  assert(Outer.dim() == Inner.dim() && "containment dimension mismatch");
+  const size_t P = Outer.dim();
+  Matrix X = fullGenerators(Inner); // p x KIn
+  Matrix Y = fullGenerators(Outer); // p x KOut
+  const size_t KIn = X.cols();
+  const size_t KOut = Y.cols();
+
+  // Variables (all >= 0):
+  //   GammaPos, GammaNeg : KOut x KIn each (Gamma = GammaPos - GammaNeg)
+  //   BetaPos, BetaNeg   : KOut each
+  //   Slack              : KOut (row-sum constraints)
+  // Layout: [GP(row-major) | GN | BP | BN | S].
+  const size_t NG = KOut * KIn;
+  const size_t NumVars = 2 * NG + 2 * KOut + KOut;
+  const size_t RowsEqGen = P * KIn; // X = Y Gamma
+  const size_t RowsEqCen = P;       // a_in - a_out = Y beta
+  const size_t RowsRowSum = KOut;   // sum_j |Gamma_ij| + |beta_i| + s_i = 1
+  const size_t NumRows = RowsEqGen + RowsEqCen + RowsRowSum;
+
+  if (Stats) {
+    Stats->NumVariables = NumVars;
+    Stats->NumConstraints = NumRows;
+  }
+
+  LpProblem Lp;
+  Lp.A = Matrix(NumRows, NumVars);
+  Lp.B = Vector(NumRows);
+  Lp.C = Vector(NumVars, 0.0);
+
+  auto gammaPos = [&](size_t R, size_t C) { return R * KIn + C; };
+  auto gammaNeg = [&](size_t R, size_t C) { return NG + R * KIn + C; };
+  const size_t BetaPos0 = 2 * NG;
+  const size_t BetaNeg0 = 2 * NG + KOut;
+  const size_t Slack0 = 2 * NG + 2 * KOut;
+
+  // X(:, j) = Y * Gamma(:, j) for each inner generator j.
+  size_t Row = 0;
+  for (size_t J = 0; J < KIn; ++J)
+    for (size_t I = 0; I < P; ++I, ++Row) {
+      for (size_t K = 0; K < KOut; ++K) {
+        Lp.A(Row, gammaPos(K, J)) = Y(I, K);
+        Lp.A(Row, gammaNeg(K, J)) = -Y(I, K);
+      }
+      Lp.B[Row] = X(I, J);
+    }
+
+  // a_in - a_out = Y beta.
+  for (size_t I = 0; I < P; ++I, ++Row) {
+    for (size_t K = 0; K < KOut; ++K) {
+      Lp.A(Row, BetaPos0 + K) = Y(I, K);
+      Lp.A(Row, BetaNeg0 + K) = -Y(I, K);
+    }
+    Lp.B[Row] = Inner.center()[I] - Outer.center()[I];
+  }
+
+  // Row-sum constraints: sum_j (GP + GN)_kj + BP_k + BN_k + s_k = 1.
+  for (size_t K = 0; K < KOut; ++K, ++Row) {
+    for (size_t J = 0; J < KIn; ++J) {
+      Lp.A(Row, gammaPos(K, J)) = 1.0;
+      Lp.A(Row, gammaNeg(K, J)) = 1.0;
+    }
+    Lp.A(Row, BetaPos0 + K) = 1.0;
+    Lp.A(Row, BetaNeg0 + K) = 1.0;
+    Lp.A(Row, Slack0 + K) = 1.0;
+    Lp.B[Row] = 1.0;
+  }
+  assert(Row == NumRows && "constraint row miscount");
+
+  LpSolution Sol = solveLp(Lp, /*MaxIterations=*/200000);
+  return Sol.Status == LpStatus::Optimal;
+}

@@ -1,0 +1,41 @@
+//===- domains/ZonotopeContainmentLP.h - LP containment baseline -*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The LP-based zonotope containment check of Sadraddini & Tedrake (2019,
+/// Thm 3), the baseline of Fig. 18. Containment Z_in subseteq Z_out holds if
+/// there exist Gamma, beta with
+///   X = Y Gamma,  a_out - a_in = ... (center shift) = Y beta,
+///   ||[Gamma, beta]||_inf <= 1 (max row sum of absolute values),
+/// where X / Y are the inner / outer generator matrices. This is a sound,
+/// close-to-lossless check in low dimensions, but solving the LP costs
+/// ~O(p^6), which is the intractability the CH-Zonotope check avoids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_DOMAINS_ZONOTOPECONTAINMENTLP_H
+#define CRAFT_DOMAINS_ZONOTOPECONTAINMENTLP_H
+
+#include "domains/CHZonotope.h"
+
+namespace craft {
+
+/// Statistics from one LP containment query.
+struct LpContainmentStats {
+  size_t NumVariables = 0;
+  size_t NumConstraints = 0;
+};
+
+/// Sadraddini-Tedrake containment check: is \p Inner contained in \p Outer?
+/// Box components of both operands are cast to generator columns first.
+/// Sound; close to complete in low dimensions. \p Stats (optional) receives
+/// the LP size.
+bool containsZonotopeLP(const CHZonotope &Outer, const CHZonotope &Inner,
+                        LpContainmentStats *Stats = nullptr);
+
+} // namespace craft
+
+#endif // CRAFT_DOMAINS_ZONOTOPECONTAINMENTLP_H

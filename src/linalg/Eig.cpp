@@ -1,0 +1,198 @@
+//===- linalg/Eig.cpp -----------------------------------------------------===//
+//
+// Householder tridiagonalization (tred2) + implicit-shift QL (tql2), the
+// classic EISPACK pair. Indices are int internally to allow downward loops.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Eig.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace craft;
+
+/// Reduces the symmetric matrix held in Z to tridiagonal form, accumulating
+/// the orthogonal transformation in Z. On exit D holds the diagonal and E the
+/// subdiagonal (E[0] unused).
+static void tridiagonalize(Matrix &Z, Vector &D, Vector &E) {
+  const int N = static_cast<int>(Z.rows());
+  for (int I = N - 1; I >= 1; --I) {
+    int L = I - 1;
+    double H = 0.0, Scale = 0.0;
+    if (L > 0) {
+      for (int K = 0; K <= L; ++K)
+        Scale += std::fabs(Z(I, K));
+      if (Scale == 0.0) {
+        E[I] = Z(I, L);
+      } else {
+        for (int K = 0; K <= L; ++K) {
+          Z(I, K) /= Scale;
+          H += Z(I, K) * Z(I, K);
+        }
+        double F = Z(I, L);
+        double G = F >= 0.0 ? -std::sqrt(H) : std::sqrt(H);
+        E[I] = Scale * G;
+        H -= F * G;
+        Z(I, L) = F - G;
+        F = 0.0;
+        for (int J = 0; J <= L; ++J) {
+          Z(J, I) = Z(I, J) / H;
+          G = 0.0;
+          for (int K = 0; K <= J; ++K)
+            G += Z(J, K) * Z(I, K);
+          for (int K = J + 1; K <= L; ++K)
+            G += Z(K, J) * Z(I, K);
+          E[J] = G / H;
+          F += E[J] * Z(I, J);
+        }
+        double HH = F / (H + H);
+        for (int J = 0; J <= L; ++J) {
+          F = Z(I, J);
+          double GJ = E[J] - HH * F;
+          E[J] = GJ;
+          for (int K = 0; K <= J; ++K)
+            Z(J, K) -= F * E[K] + GJ * Z(I, K);
+        }
+      }
+    } else {
+      E[I] = Z(I, L);
+    }
+    D[I] = H;
+  }
+  D[0] = 0.0;
+  E[0] = 0.0;
+  for (int I = 0; I < N; ++I) {
+    if (D[I] != 0.0) {
+      for (int J = 0; J < I; ++J) {
+        double G = 0.0;
+        for (int K = 0; K < I; ++K)
+          G += Z(I, K) * Z(K, J);
+        for (int K = 0; K < I; ++K)
+          Z(K, J) -= G * Z(K, I);
+      }
+    }
+    D[I] = Z(I, I);
+    Z(I, I) = 1.0;
+    for (int J = 0; J < I; ++J) {
+      Z(J, I) = 0.0;
+      Z(I, J) = 0.0;
+    }
+  }
+}
+
+/// QL algorithm with implicit shifts on the tridiagonal matrix (D, E),
+/// rotating the eigenvector columns of Z along.
+static void tridiagonalQL(Vector &D, Vector &E, Matrix &Z) {
+  const int N = static_cast<int>(D.size());
+  for (int I = 1; I < N; ++I)
+    E[I - 1] = E[I];
+  E[N - 1] = 0.0;
+
+  for (int L = 0; L < N; ++L) {
+    int Iter = 0;
+    int M;
+    do {
+      for (M = L; M < N - 1; ++M) {
+        double DD = std::fabs(D[M]) + std::fabs(D[M + 1]);
+        if (std::fabs(E[M]) <= 1e-15 * DD)
+          break;
+      }
+      if (M == L)
+        break;
+      // Fail-safe: the QL iteration essentially always converges within a
+      // handful of sweeps; cap it to avoid a pathological infinite loop.
+      if (Iter++ == 64)
+        break;
+      double G = (D[L + 1] - D[L]) / (2.0 * E[L]);
+      double R = std::hypot(G, 1.0);
+      G = D[M] - D[L] + E[L] / (G + (G >= 0.0 ? std::fabs(R) : -std::fabs(R)));
+      double S = 1.0, C = 1.0, P = 0.0;
+      bool Underflow = false;
+      for (int I = M - 1; I >= L; --I) {
+        double F = S * E[I];
+        double B = C * E[I];
+        R = std::hypot(F, G);
+        E[I + 1] = R;
+        if (R == 0.0) {
+          D[I + 1] -= P;
+          E[M] = 0.0;
+          Underflow = true;
+          break;
+        }
+        S = F / R;
+        C = G / R;
+        G = D[I + 1] - P;
+        R = (D[I] - G) * S + 2.0 * C * B;
+        P = S * R;
+        D[I + 1] = G + P;
+        G = C * R - B;
+        for (int K = 0; K < N; ++K) {
+          F = Z(K, I + 1);
+          Z(K, I + 1) = S * Z(K, I) + C * F;
+          Z(K, I) = C * Z(K, I) - S * F;
+        }
+      }
+      if (Underflow)
+        continue;
+      D[L] -= P;
+      E[L] = G;
+      E[M] = 0.0;
+    } while (true);
+  }
+}
+
+SymmetricEig craft::symmetricEig(const Matrix &A) {
+  assert(A.rows() == A.cols() && "symmetricEig requires a square matrix");
+  const size_t N = A.rows();
+  SymmetricEig Out;
+  Out.Vectors = A;
+  // Symmetrize defensively: callers may pass matrices that are symmetric
+  // only up to rounding (e.g. A A^T computed in floating point).
+  for (size_t R = 0; R < N; ++R)
+    for (size_t C = R + 1; C < N; ++C) {
+      double Avg = 0.5 * (Out.Vectors(R, C) + Out.Vectors(C, R));
+      Out.Vectors(R, C) = Avg;
+      Out.Vectors(C, R) = Avg;
+    }
+  Out.Values = Vector(N);
+  if (N == 0)
+    return Out;
+  if (N == 1) {
+    Out.Values[0] = A(0, 0);
+    Out.Vectors(0, 0) = 1.0;
+    return Out;
+  }
+
+  Vector E(N);
+  tridiagonalize(Out.Vectors, Out.Values, E);
+  tridiagonalQL(Out.Values, E, Out.Vectors);
+
+  // Sort eigenpairs by ascending eigenvalue.
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), 0);
+  std::sort(Order.begin(), Order.end(), [&](size_t I, size_t J) {
+    return Out.Values[I] < Out.Values[J];
+  });
+  Vector SortedValues(N);
+  Matrix SortedVectors(N, N);
+  for (size_t J = 0; J < N; ++J) {
+    SortedValues[J] = Out.Values[Order[J]];
+    for (size_t R = 0; R < N; ++R)
+      SortedVectors(R, J) = Out.Vectors(R, Order[J]);
+  }
+  Out.Values = std::move(SortedValues);
+  Out.Vectors = std::move(SortedVectors);
+  return Out;
+}
+
+double craft::spectralNorm(const Matrix &M) {
+  if (M.rows() == 0 || M.cols() == 0)
+    return 0.0;
+  // Work with the smaller Gram matrix of the two possibilities.
+  Matrix G = M.rows() <= M.cols() ? M * M.transpose() : M.transpose() * M;
+  SymmetricEig Eig = symmetricEig(G);
+  double MaxEig = Eig.Values[Eig.Values.size() - 1];
+  return std::sqrt(std::max(0.0, MaxEig));
+}

@@ -1,0 +1,39 @@
+//===- linalg/Eig.h - Symmetric eigendecomposition --------------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense symmetric eigendecomposition (Householder tridiagonalization
+/// followed by the implicit-shift QL algorithm, after EISPACK tred2/tql2).
+/// Drives PCA-based zonotope order reduction (Kopetzki et al. 2017) and the
+/// spectral norm ||I - W||_2 needed for the Forward-Backward step-size bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_LINALG_EIG_H
+#define CRAFT_LINALG_EIG_H
+
+#include "linalg/Matrix.h"
+
+namespace craft {
+
+/// Result of a symmetric eigendecomposition: A = V diag(values) V^T with
+/// eigenvalues in ascending order and eigenvectors in the matching columns
+/// of \c Vectors.
+struct SymmetricEig {
+  Vector Values;
+  Matrix Vectors;
+};
+
+/// Eigendecomposition of the symmetric matrix \p A. Only the lower triangle
+/// is read. Asserts on non-square input.
+SymmetricEig symmetricEig(const Matrix &A);
+
+/// Largest singular value of \p M, computed as sqrt(lambda_max(M^T M)).
+double spectralNorm(const Matrix &M);
+
+} // namespace craft
+
+#endif // CRAFT_LINALG_EIG_H

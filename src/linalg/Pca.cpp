@@ -1,0 +1,28 @@
+//===- linalg/Pca.cpp -----------------------------------------------------===//
+
+#include "linalg/Pca.h"
+
+#include "linalg/Eig.h"
+
+using namespace craft;
+
+Matrix craft::pcaBasis(const Matrix &A) {
+  const size_t P = A.rows();
+  if (P == 0)
+    return Matrix();
+  if (A.cols() == 0)
+    return Matrix::identity(P);
+
+  // Eigenvectors of the Gram matrix A A^T span R^p (the eigensolver returns
+  // a full orthonormal set even when A is rank deficient), so the basis is
+  // orthogonal and invertible by construction.
+  Matrix Gram = A * A.transpose();
+  SymmetricEig Eig = symmetricEig(Gram);
+
+  // symmetricEig sorts ascending; PCA wants descending variance.
+  Matrix Basis(P, P);
+  for (size_t J = 0; J < P; ++J)
+    for (size_t R = 0; R < P; ++R)
+      Basis(R, J) = Eig.Vectors(R, P - 1 - J);
+  return Basis;
+}

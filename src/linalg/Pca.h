@@ -1,0 +1,31 @@
+//===- linalg/Pca.h - PCA basis for order reduction -------------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PCA basis extraction for zonotope order reduction. Kopetzki et al. (2017)
+/// found the PCA basis of the error matrix to give the tightest tractable
+/// outer approximations in high dimensions; Section 4 of the paper adopts it
+/// for CH-Zonotope error consolidation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_LINALG_PCA_H
+#define CRAFT_LINALG_PCA_H
+
+#include "linalg/Matrix.h"
+
+namespace craft {
+
+/// Orthogonal p x p basis whose columns are the principal directions of the
+/// columns of \p A (eigenvectors of A A^T), ordered by decreasing variance.
+/// Always returns an invertible (orthogonal) matrix; directions with zero
+/// variance are completed by the remaining eigenvectors, so rank-deficient
+/// inputs are handled transparently.
+Matrix pcaBasis(const Matrix &A);
+
+} // namespace craft
+
+#endif // CRAFT_LINALG_PCA_H

@@ -1,0 +1,75 @@
+//===- linalg/Qr.cpp ------------------------------------------------------===//
+
+#include "linalg/Qr.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace craft;
+
+QrResult craft::qr(const Matrix &A) {
+  const size_t M = A.rows();
+  const size_t N = A.cols();
+  QrResult Out;
+  Out.R = A;
+  Out.Q = Matrix::identity(M);
+
+  const size_t Steps = std::min(M == 0 ? 0 : M - 1, N);
+  for (size_t K = 0; K < Steps; ++K) {
+    // Build the Householder reflector annihilating R(K+1..M-1, K).
+    double NormX = 0.0;
+    for (size_t R = K; R < M; ++R)
+      NormX += Out.R(R, K) * Out.R(R, K);
+    NormX = std::sqrt(NormX);
+    if (NormX < 1e-300)
+      continue;
+    double Alpha = Out.R(K, K) >= 0.0 ? -NormX : NormX;
+    Vector V(M, 0.0);
+    V[K] = Out.R(K, K) - Alpha;
+    for (size_t R = K + 1; R < M; ++R)
+      V[R] = Out.R(R, K);
+    double VNorm2 = 0.0;
+    for (size_t R = K; R < M; ++R)
+      VNorm2 += V[R] * V[R];
+    if (VNorm2 < 1e-300)
+      continue;
+    double Beta = 2.0 / VNorm2;
+
+    // R <- (I - beta v v^T) R.
+    for (size_t C = K; C < N; ++C) {
+      double Dot = 0.0;
+      for (size_t R = K; R < M; ++R)
+        Dot += V[R] * Out.R(R, C);
+      Dot *= Beta;
+      for (size_t R = K; R < M; ++R)
+        Out.R(R, C) -= Dot * V[R];
+    }
+    // Q <- Q (I - beta v v^T).
+    for (size_t R = 0; R < M; ++R) {
+      double Dot = 0.0;
+      for (size_t C = K; C < M; ++C)
+        Dot += Out.Q(R, C) * V[C];
+      Dot *= Beta;
+      for (size_t C = K; C < M; ++C)
+        Out.Q(R, C) -= Dot * V[C];
+    }
+  }
+  return Out;
+}
+
+size_t craft::matrixRank(const Matrix &A, double Tol) {
+  if (A.rows() == 0 || A.cols() == 0)
+    return 0;
+  QrResult Qr = qr(A);
+  const size_t D = std::min(A.rows(), A.cols());
+  double MaxDiag = 0.0;
+  for (size_t I = 0; I < D; ++I)
+    MaxDiag = std::max(MaxDiag, std::fabs(Qr.R(I, I)));
+  if (MaxDiag == 0.0)
+    return 0;
+  size_t Rank = 0;
+  for (size_t I = 0; I < D; ++I)
+    if (std::fabs(Qr.R(I, I)) > Tol * MaxDiag)
+      ++Rank;
+  return Rank;
+}

@@ -1,0 +1,38 @@
+//===- linalg/Qr.h - Householder QR decomposition ---------------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Householder QR factorization with full Q accumulation. Used for rank
+/// detection and for completing a rank-deficient column set to a full basis
+/// during CH-Zonotope error consolidation (Section 4: "If k <= p, we pick a
+/// subset with full rank and complete it to a basis").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_LINALG_QR_H
+#define CRAFT_LINALG_QR_H
+
+#include "linalg/Matrix.h"
+
+namespace craft {
+
+/// QR factorization A = Q R with Q orthogonal (rows(A) x rows(A)) and R
+/// upper trapezoidal (rows(A) x cols(A)).
+struct QrResult {
+  Matrix Q;
+  Matrix R;
+};
+
+/// Householder QR of \p A (no pivoting).
+QrResult qr(const Matrix &A);
+
+/// Numerical rank of \p A: number of diagonal entries of R above
+/// \p Tol * max |R_ii|.
+size_t matrixRank(const Matrix &A, double Tol = 1e-10);
+
+} // namespace craft
+
+#endif // CRAFT_LINALG_QR_H

@@ -1,0 +1,228 @@
+//===- lp/Simplex.cpp -----------------------------------------------------===//
+
+#include "lp/Simplex.h"
+
+#include <cmath>
+#include <limits>
+
+using namespace craft;
+
+namespace {
+
+/// Full-tableau simplex working state. Rows 0..M-1 are constraints; the
+/// objective (reduced-cost) row is kept separately.
+class Tableau {
+public:
+  Tableau(const Matrix &A, const Vector &B, size_t NumArtificials);
+
+  /// Runs simplex iterations on the current objective row until optimality,
+  /// unboundedness, or the iteration budget runs out.
+  LpStatus iterate(int &Budget, bool ForbidArtificials);
+
+  /// Installs the reduced-cost row for cost vector \p Cost (sized to the
+  /// total number of columns).
+  void setObjective(const Vector &Cost);
+
+  size_t numRows() const { return M; }
+  size_t numCols() const { return N; }
+  size_t numStructural() const { return NumStructural; }
+  double objectiveValue() const { return ObjValue; }
+  int basicVariable(size_t Row) const { return Basis[Row]; }
+  double rhs(size_t Row) const { return T(Row, N); }
+
+  /// Extracts the structural part of the current basic solution.
+  Vector solution() const;
+
+  /// Tries to pivot artificial variables out of the basis (post phase 1).
+  void driveOutArtificials();
+
+private:
+  void pivot(size_t Row, size_t Col);
+
+  size_t M;              ///< Number of constraint rows.
+  size_t N;              ///< Total number of columns (structural+artificial).
+  size_t NumStructural;  ///< Columns that belong to the original problem.
+  Matrix T;              ///< M x (N+1) tableau; last column is the rhs.
+  Vector Obj;            ///< Reduced-cost row, length N.
+  double ObjValue = 0.0; ///< Negated objective accumulator.
+  std::vector<int> Basis;
+  Vector Cost; ///< Current cost vector (for reduced cost bookkeeping).
+};
+
+} // namespace
+
+Tableau::Tableau(const Matrix &A, const Vector &B, size_t NumArtificials)
+    : M(A.rows()), N(A.cols() + NumArtificials), NumStructural(A.cols()),
+      T(A.rows(), A.cols() + NumArtificials + 1), Obj(N), Basis(M, -1) {
+  for (size_t R = 0; R < M; ++R) {
+    // Normalize to b >= 0 so the artificial basis is feasible.
+    double Sign = B[R] < 0.0 ? -1.0 : 1.0;
+    for (size_t C = 0; C < A.cols(); ++C)
+      T(R, C) = Sign * A(R, C);
+    T(R, N) = Sign * B[R];
+    T(R, NumStructural + R) = 1.0;
+    Basis[R] = static_cast<int>(NumStructural + R);
+  }
+}
+
+void Tableau::setObjective(const Vector &Cost) {
+  assert(Cost.size() == N && "cost vector size mismatch");
+  this->Cost = Cost;
+  // Reduced costs: r = c - c_B^T B^{-1} A; with a full tableau the term
+  // B^{-1} A is exactly the tableau body, so subtract basic-cost-weighted
+  // rows from c.
+  Obj = Cost;
+  ObjValue = 0.0;
+  for (size_t R = 0; R < M; ++R) {
+    double CB = Cost[static_cast<size_t>(Basis[R])];
+    if (CB == 0.0)
+      continue;
+    for (size_t C = 0; C < N; ++C)
+      Obj[C] -= CB * T(R, C);
+    ObjValue += CB * T(R, N);
+  }
+}
+
+void Tableau::pivot(size_t Row, size_t Col) {
+  double Inv = 1.0 / T(Row, Col);
+  for (size_t C = 0; C <= N; ++C)
+    T(Row, C) *= Inv;
+  for (size_t R = 0; R < M; ++R) {
+    if (R == Row)
+      continue;
+    double Factor = T(R, Col);
+    if (Factor == 0.0)
+      continue;
+    for (size_t C = 0; C <= N; ++C)
+      T(R, C) -= Factor * T(Row, C);
+  }
+  double ObjFactor = Obj[Col];
+  if (ObjFactor != 0.0) {
+    for (size_t C = 0; C < N; ++C)
+      Obj[C] -= ObjFactor * T(Row, C);
+    ObjValue += ObjFactor * T(Row, N);
+  }
+  Basis[Row] = static_cast<int>(Col);
+}
+
+LpStatus Tableau::iterate(int &Budget, bool ForbidArtificials) {
+  const double Eps = 1e-9;
+  int DegenerateSteps = 0;
+  while (Budget-- > 0) {
+    // Entering variable: Dantzig rule, falling back to Bland's rule once we
+    // observe a long degenerate streak (anti-cycling).
+    bool Bland = DegenerateSteps > 200;
+    size_t Entering = N;
+    double BestReduced = -Eps;
+    for (size_t C = 0; C < N; ++C) {
+      if (ForbidArtificials && C >= NumStructural)
+        continue;
+      double R = Obj[C];
+      if (R < BestReduced) {
+        Entering = C;
+        if (Bland)
+          break;
+        BestReduced = R;
+      }
+    }
+    if (Entering == N)
+      return LpStatus::Optimal;
+
+    // Ratio test.
+    size_t Leaving = M;
+    double BestRatio = std::numeric_limits<double>::infinity();
+    for (size_t R = 0; R < M; ++R) {
+      double Coef = T(R, Entering);
+      if (Coef <= Eps)
+        continue;
+      double Ratio = T(R, N) / Coef;
+      if (Ratio < BestRatio - Eps ||
+          (Ratio < BestRatio + Eps && Leaving != M &&
+           Basis[R] < Basis[Leaving])) {
+        BestRatio = Ratio;
+        Leaving = R;
+      }
+    }
+    if (Leaving == M)
+      return LpStatus::Unbounded;
+    DegenerateSteps = BestRatio < Eps ? DegenerateSteps + 1 : 0;
+    pivot(Leaving, Entering);
+  }
+  return LpStatus::IterationLimit;
+}
+
+Vector Tableau::solution() const {
+  Vector X(NumStructural, 0.0);
+  for (size_t R = 0; R < M; ++R) {
+    int Var = Basis[R];
+    if (Var >= 0 && static_cast<size_t>(Var) < NumStructural)
+      X[static_cast<size_t>(Var)] = T(R, N);
+  }
+  return X;
+}
+
+void Tableau::driveOutArtificials() {
+  const double Eps = 1e-9;
+  for (size_t R = 0; R < M; ++R) {
+    if (static_cast<size_t>(Basis[R]) < NumStructural)
+      continue;
+    // Pivot on any usable structural column; if none exists the row is
+    // redundant and the artificial stays basic at value zero, which is
+    // harmless as long as it is forbidden from re-entering.
+    for (size_t C = 0; C < NumStructural; ++C) {
+      if (std::fabs(T(R, C)) > Eps) {
+        pivot(R, C);
+        break;
+      }
+    }
+  }
+}
+
+LpSolution craft::solveLp(const LpProblem &Problem, int MaxIterations) {
+  assert(Problem.A.rows() == Problem.B.size() && "A/b size mismatch");
+  assert(Problem.A.cols() == Problem.C.size() && "A/c size mismatch");
+  LpSolution Out;
+  const size_t M = Problem.A.rows();
+  const size_t N = Problem.A.cols();
+
+  Tableau Tab(Problem.A, Problem.B, M);
+
+  // Phase 1: minimize the sum of artificial variables.
+  Vector Phase1Cost(N + M, 0.0);
+  for (size_t I = 0; I < M; ++I)
+    Phase1Cost[N + I] = 1.0;
+  Tab.setObjective(Phase1Cost);
+  int Budget = MaxIterations;
+  LpStatus Phase1 = Tab.iterate(Budget, /*ForbidArtificials=*/false);
+  if (Phase1 == LpStatus::IterationLimit) {
+    Out.Status = LpStatus::IterationLimit;
+    return Out;
+  }
+  if (Tab.objectiveValue() > 1e-7) {
+    Out.Status = LpStatus::Infeasible;
+    return Out;
+  }
+  Tab.driveOutArtificials();
+
+  // Phase 2: original objective over structural columns only.
+  Vector Phase2Cost(N + M, 0.0);
+  for (size_t I = 0; I < N; ++I)
+    Phase2Cost[I] = Problem.C[I];
+  Tab.setObjective(Phase2Cost);
+  LpStatus Phase2 = Tab.iterate(Budget, /*ForbidArtificials=*/true);
+  Out.Status = Phase2;
+  if (Phase2 != LpStatus::Optimal)
+    return Out;
+  Out.X = Tab.solution();
+  Out.Objective = Tab.objectiveValue();
+  return Out;
+}
+
+bool craft::isFeasible(const Matrix &A, const Vector &B, int MaxIterations) {
+  LpProblem P;
+  P.A = A;
+  P.B = B;
+  P.C = Vector(A.cols(), 0.0);
+  LpSolution S = solveLp(P, MaxIterations);
+  return S.Status == LpStatus::Optimal;
+}

@@ -1,0 +1,59 @@
+//===- lp/Simplex.h - Dense two-phase simplex LP solver ---------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense two-phase primal simplex solver for linear programs in standard
+/// form: minimize c^T x subject to A x = b, x >= 0.
+///
+/// The paper's Fig. 18 compares the CH-Zonotope containment check against the
+/// LP-based zonotope containment encoding of Sadraddini & Tedrake (2019),
+/// which the original artifact solved with GUROBI. GUROBI is unavailable
+/// offline, so this solver is the substitute substrate; the containment LPs
+/// are small and dense, for which a tableau simplex is adequate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_LP_SIMPLEX_H
+#define CRAFT_LP_SIMPLEX_H
+
+#include "linalg/Matrix.h"
+
+namespace craft {
+
+/// Outcome of an LP solve.
+enum class LpStatus {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  IterationLimit,
+};
+
+/// Linear program in standard form: minimize C^T x s.t. A x = B, x >= 0.
+struct LpProblem {
+  Matrix A;
+  Vector B;
+  Vector C;
+};
+
+/// Solver result. \c X and \c Objective are only meaningful for
+/// LpStatus::Optimal.
+struct LpSolution {
+  LpStatus Status = LpStatus::IterationLimit;
+  Vector X;
+  double Objective = 0.0;
+};
+
+/// Solves \p Problem with the two-phase tableau simplex. Uses Dantzig
+/// pricing with a switch to Bland's rule after a degeneracy threshold to
+/// guarantee termination.
+LpSolution solveLp(const LpProblem &Problem, int MaxIterations = 50000);
+
+/// Convenience: pure feasibility check of {x >= 0 | A x = B}.
+bool isFeasible(const Matrix &A, const Vector &B, int MaxIterations = 50000);
+
+} // namespace craft
+
+#endif // CRAFT_LP_SIMPLEX_H

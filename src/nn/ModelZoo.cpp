@@ -1,0 +1,122 @@
+//===- nn/ModelZoo.cpp ----------------------------------------------------===//
+
+#include "nn/ModelZoo.h"
+
+#include "data/GaussianMixture.h"
+#include "data/Hcas.h"
+#include "data/SyntheticCifar.h"
+#include "data/SyntheticMnist.h"
+#include "nn/Training.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+using namespace craft;
+
+const std::vector<ModelSpec> &craft::modelZooSpecs() {
+  // Epsilons follow Table 2: 0.05 on MNIST, 2/255 on CIFAR10.
+  static const std::vector<ModelSpec> Specs = {
+      {"mnist_fc40", "mnist", 40, false, 1000, 5, 0.01, false, 0.05, 11},
+      {"mnist_fc87", "mnist", 87, false, 1000, 5, 0.01, false, 0.05, 12},
+      {"mnist_fc100", "mnist", 100, false, 1000, 5, 0.01, false, 0.05, 13},
+      {"mnist_fc200", "mnist", 200, false, 1000, 5, 0.01, false, 0.05, 14},
+      {"mnist_conv", "mnist", 648, true, 500, 3, 0.01, true, 0.05, 15},
+      {"cifar_fc200", "cifar", 200, false, 1000, 5, 0.01, false, 2.0 / 255.0,
+       16},
+      {"cifar_conv", "cifar", 800, true, 500, 3, 0.01, true, 2.0 / 255.0, 17},
+      {"hcas_fc100", "hcas", 100, false, 4000, 12, 0.01, false, 0.01, 18},
+      {"gmm_p2", "gmm", 2, false, 600, 30, 0.02, false, 0.02, 19},
+      {"gmm_p3", "gmm", 3, false, 600, 30, 0.02, false, 0.02, 31},
+      {"gmm_p4", "gmm", 4, false, 600, 30, 0.02, false, 0.02, 21},
+  };
+  return Specs;
+}
+
+const ModelSpec *craft::findModelSpec(const std::string &Name) {
+  for (const ModelSpec &Spec : modelZooSpecs())
+    if (Spec.Name == Name)
+      return &Spec;
+  return nullptr;
+}
+
+static Dataset makeDataset(const ModelSpec &Spec, size_t Count,
+                           uint64_t SeedOffset) {
+  Rng R(Spec.Seed * 1000003 + SeedOffset);
+  if (Spec.DatasetKind == "mnist")
+    return makeSyntheticMnist(R, Count);
+  if (Spec.DatasetKind == "cifar")
+    return makeSyntheticCifar(R, Count);
+  if (Spec.DatasetKind == "gmm")
+    return makeGaussianMixture(R, Count);
+  if (Spec.DatasetKind == "hcas") {
+    // The MDP solve is deterministic and somewhat costly; share one table.
+    static const HcasMdp Mdp;
+    return Mdp.makeDataset(R, Count);
+  }
+  assert(false && "unknown dataset kind");
+  return Dataset();
+}
+
+Dataset craft::makeTrainSet(const ModelSpec &Spec) {
+  return makeDataset(Spec, Spec.TrainSize, /*SeedOffset=*/1);
+}
+
+Dataset craft::makeTestSet(const ModelSpec &Spec, size_t Count) {
+  return makeDataset(Spec, Count, /*SeedOffset=*/2);
+}
+
+std::string craft::modelCacheDir() {
+  if (const char *Env = std::getenv("CRAFT_MODEL_DIR"))
+    return Env;
+  return "models";
+}
+
+MonDeq craft::getOrTrainModel(const ModelSpec &Spec, bool Verbose) {
+  std::string Dir = modelCacheDir();
+  std::string Path = Dir + "/" + Spec.Name + ".bin";
+  if (std::optional<MonDeq> Cached = MonDeq::load(Path)) {
+    if (Verbose)
+      std::printf("[zoo] loaded cached model %s\n", Spec.Name.c_str());
+    return *Cached;
+  }
+
+  if (Verbose)
+    std::printf("[zoo] training %s (latent %zu, %zu samples, %d epochs)...\n",
+                Spec.Name.c_str(), Spec.LatentDim, Spec.TrainSize,
+                Spec.Epochs);
+  WallTimer Timer;
+
+  Dataset Train = makeTrainSet(Spec);
+  Rng InitRng(Spec.Seed);
+  MonDeq Model =
+      Spec.Conv
+          ? (Spec.DatasetKind == "mnist"
+                 ? MonDeq::randomConv(InitRng, 1, MnistSide, MnistSide, 8, 4,
+                                      3, Train.NumClasses)
+                 : MonDeq::randomConv(InitRng, CifarChannels, CifarSide,
+                                      CifarSide, 8, 4, 3, Train.NumClasses))
+          : MonDeq::randomFc(InitRng, Train.inputDim(), Spec.LatentDim,
+                             Train.NumClasses);
+  assert(Model.latentDim() == Spec.LatentDim && "spec latent size mismatch");
+
+  TrainOptions Opts;
+  Opts.Epochs = Spec.Epochs;
+  Opts.LearningRate = Spec.LearningRate;
+  Opts.Seed = Spec.Seed + 777;
+  Opts.Verbose = Verbose;
+  Opts.JacobianFree = Spec.JacobianFree;
+  TrainStats Stats = trainMonDeq(Model, Train, Opts);
+
+  if (Verbose)
+    std::printf("[zoo] %s trained in %.1fs, train accuracy %.1f%%\n",
+                Spec.Name.c_str(), Timer.seconds(),
+                100.0 * Stats.FinalTrainAccuracy);
+
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  if (!Model.save(Path) && Verbose)
+    std::printf("[zoo] warning: could not cache model to %s\n", Path.c_str());
+  return Model;
+}

@@ -1,0 +1,62 @@
+//===- nn/ModelZoo.h - Named paper model configurations ---------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The model zoo: every monDEQ configuration the paper evaluates (Table 2 /
+/// Table 3 / Section 6.2 / App. E.3), bound to its synthetic dataset and
+/// training recipe. Models are trained once and cached on disk
+/// (CRAFT_MODEL_DIR, default "models/"), so benchmark harnesses are cheap to
+/// re-run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_NN_MODELZOO_H
+#define CRAFT_NN_MODELZOO_H
+
+#include "data/Dataset.h"
+#include "nn/MonDeq.h"
+
+#include <string>
+#include <vector>
+
+namespace craft {
+
+/// Static description of one zoo model: architecture, dataset binding, and
+/// training recipe.
+struct ModelSpec {
+  std::string Name;        ///< e.g. "mnist_fc40".
+  std::string DatasetKind; ///< "mnist", "cifar", "hcas", or "gmm".
+  size_t LatentDim = 0;
+  bool Conv = false;       ///< Conv-structured input map U.
+  size_t TrainSize = 0;
+  int Epochs = 0;
+  double LearningRate = 0.05;
+  bool JacobianFree = false; ///< JFB gradients (large latents only).
+  double Epsilon = 0.05;     ///< Default l-inf certification radius.
+  uint64_t Seed = 0;         ///< Base seed for init/data/training.
+};
+
+/// All zoo entries (Table 2 grid + HCAS + the Fig. 19 toy models).
+const std::vector<ModelSpec> &modelZooSpecs();
+
+/// Lookup by name; nullptr if unknown.
+const ModelSpec *findModelSpec(const std::string &Name);
+
+/// Deterministic train/test splits for a spec (fresh RNG streams, disjoint
+/// seeds, so test data never leaks into training).
+Dataset makeTrainSet(const ModelSpec &Spec);
+Dataset makeTestSet(const ModelSpec &Spec, size_t Count);
+
+/// Loads the cached model for \p Spec or trains and caches it. Training
+/// progress is printed when \p Verbose.
+MonDeq getOrTrainModel(const ModelSpec &Spec, bool Verbose = true);
+
+/// Resolved model cache directory (CRAFT_MODEL_DIR or "models").
+std::string modelCacheDir();
+
+} // namespace craft
+
+#endif // CRAFT_NN_MODELZOO_H

@@ -1,0 +1,135 @@
+//===- nn/Solvers.cpp -----------------------------------------------------===//
+
+#include "nn/Solvers.h"
+
+#include "domains/Activations.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace craft;
+
+FixpointSolver::FixpointSolver(const MonDeq &Model, Splitting Method,
+                               double Alpha)
+    : Model(Model), Method(Method), Alpha(Alpha) {
+  if (this->Alpha <= 0.0) {
+    if (Method == Splitting::ForwardBackward) {
+      this->Alpha = 0.9 * Model.fbAlphaBound();
+    } else {
+      // PR converges for any a > 0; the rate-optimal choice for an
+      // m-strongly-monotone, L-Lipschitz operator is a = 1/sqrt(m L)
+      // (Ryu & Boyd 2016). L = ||I - W||_2 is recovered from the cached
+      // FB bound 2m/L^2.
+      double L = std::sqrt(2.0 * Model.monotonicity() /
+                           Model.fbAlphaBound());
+      this->Alpha = 1.0 / std::sqrt(Model.monotonicity() * L);
+    }
+  }
+  if (Method == Splitting::PeacemanRachford) {
+    const size_t P = Model.latentDim();
+    Matrix M = Matrix::identity(P) +
+               this->Alpha * (Matrix::identity(P) - Model.weightW());
+    LuDecomposition Lu(M);
+    assert(!Lu.isSingular() &&
+           "I + a(I - W) is always invertible for monotone W");
+    MInv = Lu.inverse();
+  }
+}
+
+
+namespace {
+
+/// Applies the splitting's resolvent to the pre-activation: ReLU for the
+/// paper's main setting (prox is scaling-invariant), prox_{a f} for the
+/// smooth App. B.6 activations.
+Vector applyResolvent(const MonDeq &Model, double Alpha, Vector Pre) {
+  switch (Model.activation()) {
+  case ActivationKind::ReLU:
+    return Pre.cwiseMax(0.0);
+  case ActivationKind::Sigmoid:
+    for (double &V : Pre)
+      V = proxActivation(SmoothActivation::Sigmoid, Alpha, V);
+    return Pre;
+  case ActivationKind::Tanh:
+    for (double &V : Pre)
+      V = proxActivation(SmoothActivation::Tanh, Alpha, V);
+    return Pre;
+  }
+  return Pre;
+}
+
+} // namespace
+
+Vector FixpointSolver::fbStep(const Vector &X, const Vector &Z) const {
+  // ReLU((1-a) z + a (W z + U x + b)).
+  Vector Pre = Model.weightW() * Z;
+  Pre *= Alpha;
+  Vector Drive = Model.weightU() * X + Model.biasZ();
+  Drive *= Alpha;
+  Pre += Drive;
+  Vector Keep = Z;
+  Keep *= (1.0 - Alpha);
+  Pre += Keep;
+  return applyResolvent(Model, Alpha, std::move(Pre));
+}
+
+std::pair<Vector, Vector> FixpointSolver::prStep(const Vector &X,
+                                                 const Vector &Z,
+                                                 const Vector &U) const {
+  // Eq. (9).
+  Vector UHalf = 2.0 * Z - U;
+  Vector Drive = Model.weightU() * X + Model.biasZ();
+  Drive *= Alpha;
+  Vector ZHalf = MInv * (UHalf + Drive);
+  Vector UNext = 2.0 * ZHalf - UHalf;
+  Vector ZNext = applyResolvent(Model, Alpha, UNext);
+  return {std::move(ZNext), std::move(UNext)};
+}
+
+FixpointResult FixpointSolver::solve(const Vector &X, double Tol,
+                                     int MaxIter) const {
+  const size_t P = Model.latentDim();
+  FixpointResult Res;
+  Res.Z = Vector(P, 0.0);
+  Res.U = Method == Splitting::PeacemanRachford ? Vector(P, 0.0) : Vector();
+
+  for (int It = 0; It < MaxIter; ++It) {
+    Vector ZNext;
+    if (Method == Splitting::ForwardBackward) {
+      ZNext = fbStep(X, Res.Z);
+    } else {
+      auto [Z, U] = prStep(X, Res.Z, Res.U);
+      ZNext = std::move(Z);
+      Res.U = std::move(U);
+    }
+    Res.Residual = (ZNext - Res.Z).norm2();
+    Res.Z = std::move(ZNext);
+    Res.Iterations = It + 1;
+    if (Res.Residual < Tol) {
+      Res.Converged = true;
+      break;
+    }
+  }
+  return Res;
+}
+
+Vector FixpointSolver::logits(const Vector &X, double Tol) const {
+  return Model.output(solve(X, Tol).Z);
+}
+
+int FixpointSolver::predict(const Vector &X) const {
+  Vector Y = logits(X);
+  return static_cast<int>(std::max_element(Y.begin(), Y.end()) - Y.begin());
+}
+
+Vector craft::forwardLogits(const MonDeq &Model, const Vector &X, double Tol) {
+  FixpointSolver Solver(Model, Splitting::PeacemanRachford);
+  FixpointResult Res = Solver.solve(X, Tol);
+  return Model.output(Res.Z);
+}
+
+int craft::predictClass(const MonDeq &Model, const Vector &X) {
+  Vector Y = forwardLogits(Model, X);
+  return static_cast<int>(
+      std::max_element(Y.begin(), Y.end()) - Y.begin());
+}

@@ -1,0 +1,89 @@
+//===- nn/Solvers.h - Concrete operator splitting solvers -------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete fixpoint solvers for monDEQs (Section 5.1):
+///
+///  - Forward-Backward splitting (Eq. 8):
+///      s_{n+1} = ReLU((1-a) s_n + a (W s_n + U x + b)),
+///    convergent for 0 < a < 2m / ||I - W||_2^2.
+///  - Peaceman-Rachford splitting (Eq. 9), convergent for any a > 0, using
+///    the cached factorization of M = I + a (I - W).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_NN_SOLVERS_H
+#define CRAFT_NN_SOLVERS_H
+
+#include "linalg/Lu.h"
+#include "nn/MonDeq.h"
+
+namespace craft {
+
+/// Operator splitting method selector.
+enum class Splitting {
+  ForwardBackward,
+  PeacemanRachford,
+};
+
+/// Result of iterating a solver to convergence.
+struct FixpointResult {
+  Vector Z;            ///< Fixpoint estimate z_n ~ z*(x).
+  Vector U;            ///< Auxiliary PR state u_n (empty for FB).
+  int Iterations = 0;  ///< Iterations actually performed.
+  bool Converged = false;
+  double Residual = 0.0; ///< Final ||z_n - z_{n-1}||_2.
+};
+
+/// Concrete fixpoint solver bound to one model and one splitting
+/// configuration; PR precomputes the LU factorization of I + a(I - W).
+class FixpointSolver {
+public:
+  /// \p Alpha <= 0 selects a default: 0.9 * fbAlphaBound() for FB, 1.0
+  /// for PR.
+  FixpointSolver(const MonDeq &Model, Splitting Method, double Alpha = -1.0);
+
+  double alpha() const { return Alpha; }
+  Splitting method() const { return Method; }
+
+  /// One FB step on state z.
+  Vector fbStep(const Vector &X, const Vector &Z) const;
+
+  /// One PR step on state (z, u); returns the new pair.
+  std::pair<Vector, Vector> prStep(const Vector &X, const Vector &Z,
+                                   const Vector &U) const;
+
+  /// Iterates from s_0 = 0 until ||z_n - z_{n-1}|| < Tol or MaxIter.
+  FixpointResult solve(const Vector &X, double Tol = 1e-10,
+                       int MaxIter = 2000) const;
+
+  /// Fixpoint followed by the output layer (reuses this solver's cached
+  /// factorization, unlike the free function \ref forwardLogits).
+  Vector logits(const Vector &X, double Tol = 1e-9) const;
+
+  /// Argmax class of \ref logits.
+  int predict(const Vector &X) const;
+
+  /// Solve M y = r with M = I + a (I - W) (exposed for the abstract PR
+  /// transformer, which needs M^{-1}).
+  const Matrix &solveMatrixInverse() const { return MInv; }
+
+private:
+  const MonDeq &Model;
+  Splitting Method;
+  double Alpha;
+  Matrix MInv; ///< (I + a (I - W))^{-1}, PR only.
+};
+
+/// Full forward pass: fixpoint via PR (robust default), then output layer.
+Vector forwardLogits(const MonDeq &Model, const Vector &X, double Tol = 1e-9);
+
+/// Argmax class of \ref forwardLogits.
+int predictClass(const MonDeq &Model, const Vector &X);
+
+} // namespace craft
+
+#endif // CRAFT_NN_SOLVERS_H

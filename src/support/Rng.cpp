@@ -1,0 +1,19 @@
+//===- support/Rng.cpp ----------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <algorithm>
+
+using namespace craft;
+
+std::vector<double> Rng::gaussianVector(size_t N, double Mean, double Stddev) {
+  std::vector<double> Out(N);
+  std::normal_distribution<double> Dist(Mean, Stddev);
+  for (double &V : Out)
+    V = Dist(Engine);
+  return Out;
+}
+
+void Rng::shuffle(std::vector<int> &Indices) {
+  std::shuffle(Indices.begin(), Indices.end(), Engine);
+}

@@ -1,0 +1,66 @@
+//===- support/Rng.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the Craft reproduction of "Abstract Interpretation of Fixpoint
+// Iterators with Applications to Neural Networks" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generation used by dataset synthesis,
+/// weight initialization, and the PGD attack. All experiment entry points
+/// construct Rng with fixed seeds so every run of the harness is repeatable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_SUPPORT_RNG_H
+#define CRAFT_SUPPORT_RNG_H
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace craft {
+
+/// Seedable pseudo-random generator with the distributions used in this
+/// project. Thin wrapper over std::mt19937_64 to keep seeding conventions in
+/// one place.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : Engine(Seed) {}
+
+  /// Uniform sample in [Lo, Hi).
+  double uniform(double Lo = 0.0, double Hi = 1.0) {
+    return std::uniform_real_distribution<double>(Lo, Hi)(Engine);
+  }
+
+  /// Standard (or scaled) normal sample.
+  double gaussian(double Mean = 0.0, double Stddev = 1.0) {
+    return std::normal_distribution<double>(Mean, Stddev)(Engine);
+  }
+
+  /// Uniform integer in the inclusive range [Lo, Hi].
+  int uniformInt(int Lo, int Hi) {
+    return std::uniform_int_distribution<int>(Lo, Hi)(Engine);
+  }
+
+  /// Bernoulli sample with success probability \p P.
+  bool bernoulli(double P) {
+    return std::bernoulli_distribution(P)(Engine);
+  }
+
+  /// A vector of N i.i.d. gaussian samples.
+  std::vector<double> gaussianVector(size_t N, double Mean = 0.0,
+                                     double Stddev = 1.0);
+
+  /// In-place Fisher-Yates shuffle of index vector contents.
+  void shuffle(std::vector<int> &Indices);
+
+  std::mt19937_64 &engine() { return Engine; }
+
+private:
+  std::mt19937_64 Engine;
+};
+
+} // namespace craft
+
+#endif // CRAFT_SUPPORT_RNG_H

@@ -1,0 +1,99 @@
+//===- support/RoundedInterval.h - Directed-rounding intervals --*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Outward-rounded interval scalars for the certificate checker. Every
+/// arithmetic result is widened by one ulp on each side via nextafter; in
+/// IEEE-754 round-to-nearest, a single +,-,* result differs from the exact
+/// value by at most half an ulp, so the widened interval provably brackets
+/// the exact result without touching the FPU rounding mode (portable, and
+/// safe under -O2 instruction reordering, unlike fesetround).
+///
+/// This is deliberately the minimal dialect the Thm 4.2 re-validation and
+/// the margin re-evaluation need: add, subtract, multiply, divide by a
+/// positive scalar interval, absolute value, max-with-zero, and
+/// upper/lower extraction. Division is restricted to positive divisors
+/// (the only use is delta / (1 - delta)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_SUPPORT_ROUNDEDINTERVAL_H
+#define CRAFT_SUPPORT_ROUNDEDINTERVAL_H
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace craft {
+
+/// Widens one step toward -infinity.
+inline double roundDown(double X) {
+  return std::nextafter(X, -std::numeric_limits<double>::infinity());
+}
+/// Widens one step toward +infinity.
+inline double roundUp(double X) {
+  return std::nextafter(X, std::numeric_limits<double>::infinity());
+}
+
+/// A closed interval [Lo, Hi] guaranteed to contain the exact value of the
+/// computation that produced it.
+struct RInterval {
+  double Lo = 0.0;
+  double Hi = 0.0;
+
+  RInterval() = default;
+  /// The exact double \p V (doubles are exact values; no widening needed).
+  explicit RInterval(double V) : Lo(V), Hi(V) {}
+  RInterval(double Lo, double Hi) : Lo(Lo), Hi(Hi) {
+    assert(Lo <= Hi && "inverted interval");
+  }
+
+  RInterval operator+(const RInterval &R) const {
+    return {roundDown(Lo + R.Lo), roundUp(Hi + R.Hi)};
+  }
+  RInterval operator-(const RInterval &R) const {
+    return {roundDown(Lo - R.Hi), roundUp(Hi - R.Lo)};
+  }
+  RInterval operator*(const RInterval &R) const {
+    double P1 = Lo * R.Lo, P2 = Lo * R.Hi, P3 = Hi * R.Lo, P4 = Hi * R.Hi;
+    double Min = std::fmin(std::fmin(P1, P2), std::fmin(P3, P4));
+    double Max = std::fmax(std::fmax(P1, P2), std::fmax(P3, P4));
+    return {roundDown(Min), roundUp(Max)};
+  }
+  /// Division by a strictly positive divisor interval.
+  RInterval operator/(const RInterval &R) const {
+    assert(R.Lo > 0.0 && "division restricted to positive divisors");
+    double P1 = Lo / R.Lo, P2 = Lo / R.Hi, P3 = Hi / R.Lo, P4 = Hi / R.Hi;
+    double Min = std::fmin(std::fmin(P1, P2), std::fmin(P3, P4));
+    double Max = std::fmax(std::fmax(P1, P2), std::fmax(P3, P4));
+    return {roundDown(Min), roundUp(Max)};
+  }
+
+  RInterval abs() const {
+    if (Lo >= 0.0)
+      return *this;
+    if (Hi <= 0.0)
+      return {-Hi, -Lo};
+    return {0.0, std::fmax(-Lo, Hi)};
+  }
+
+  /// max(0, .) elementwise on the interval.
+  RInterval max0() const { return {std::fmax(Lo, 0.0), std::fmax(Hi, 0.0)}; }
+
+  /// Interval hull with another interval.
+  RInterval hull(const RInterval &R) const {
+    return {std::fmin(Lo, R.Lo), std::fmax(Hi, R.Hi)};
+  }
+
+  /// True if the exact value is certainly <= Bound.
+  bool certainlyLE(double Bound) const { return Hi <= Bound; }
+  /// True if the exact value is certainly > Bound.
+  bool certainlyGT(double Bound) const { return Lo > Bound; }
+};
+
+} // namespace craft
+
+#endif // CRAFT_SUPPORT_ROUNDEDINTERVAL_H

@@ -1,0 +1,50 @@
+//===- support/Table.cpp --------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace craft;
+
+void TablePrinter::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Headers.size() && "row arity must match headers");
+  Rows.push_back(std::move(Row));
+}
+
+void TablePrinter::print() const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t I = 0; I < Headers.size(); ++I)
+    Widths[I] = Headers[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  auto printRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I)
+      std::printf("%-*s  ", static_cast<int>(Widths[I]), Row[I].c_str());
+    std::printf("\n");
+  };
+
+  printRow(Headers);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  std::string Sep(Total, '-');
+  std::printf("%s\n", Sep.c_str());
+  for (const auto &Row : Rows)
+    printRow(Row);
+}
+
+std::string craft::fmt(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string craft::fmt(long Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%ld", Value);
+  return Buf;
+}

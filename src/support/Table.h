@@ -1,0 +1,48 @@
+//===- support/Table.h - Console table formatting ---------------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned console table printer used by the benchmark harnesses to
+/// emit the same rows the paper's tables report, plus small numeric
+/// formatting helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_SUPPORT_TABLE_H
+#define CRAFT_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace craft {
+
+/// Collects string rows and prints them with per-column alignment. Used by
+/// every bench/* harness so the reproduced tables are easy to diff against
+/// the paper.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Headers)
+      : Headers(std::move(Headers)) {}
+
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the table (headers, separator, rows) to stdout.
+  void print() const;
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats \p Value with \p Precision digits after the decimal point.
+std::string fmt(double Value, int Precision = 2);
+
+/// Formats \p Value as an integer string.
+std::string fmt(long Value);
+
+} // namespace craft
+
+#endif // CRAFT_SUPPORT_TABLE_H

@@ -1,0 +1,41 @@
+//===- support/Timer.h - Wall-clock timing ----------------------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal wall-clock timer used by the benchmark harnesses to report
+/// per-sample verification times.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_SUPPORT_TIMER_H
+#define CRAFT_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace craft {
+
+/// Wall-clock stopwatch. Starts on construction; \ref seconds returns the
+/// elapsed time and \ref reset restarts the clock.
+class WallTimer {
+public:
+  WallTimer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace craft
+
+#endif // CRAFT_SUPPORT_TIMER_H

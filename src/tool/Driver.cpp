@@ -1,0 +1,177 @@
+//===- tool/Driver.cpp ----------------------------------------------------===//
+
+#include "tool/Driver.h"
+
+#include "cert/Certify.h"
+#include "cert/Checker.h"
+#include "core/DomainSplitting.h"
+#include "core/LipschitzCert.h"
+#include "core/UnrolledCrown.h"
+#include "core/Verifier.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace craft;
+
+namespace {
+
+CraftConfig configFor(const VerificationSpec &Spec) {
+  CraftConfig Cfg;
+  if (Spec.Verifier == SpecVerifier::Box)
+    Cfg.Domain = VerifierDomain::Box;
+  if (Spec.Alpha1 > 0.0)
+    Cfg.Alpha1 = Spec.Alpha1;
+  if (Spec.Alpha2 > 0.0)
+    Cfg.Alpha2 = Spec.Alpha2;
+  if (Spec.MaxIterations > 0)
+    Cfg.MaxIterations = Spec.MaxIterations;
+  if (Spec.LambdaOptLevel >= 0)
+    Cfg.LambdaOptLevel = Spec.LambdaOptLevel;
+  Cfg.InputClampLo = Spec.ClampLo;
+  Cfg.InputClampHi = Spec.ClampHi;
+  return Cfg;
+}
+
+} // namespace
+
+RunOutcome craft::runSpec(const VerificationSpec &Spec) {
+  RunOutcome Out;
+  std::optional<MonDeq> Model = MonDeq::load(Spec.ModelPath);
+  if (!Model) {
+    Out.Detail = "cannot load model '" + Spec.ModelPath + "'";
+    return Out;
+  }
+  Out.ModelLoaded = true;
+  if (Spec.InLo.size() != Model->inputDim()) {
+    Out.Detail = "input region has dimension " +
+                 std::to_string(Spec.InLo.size()) + " but the model takes " +
+                 std::to_string(Model->inputDim());
+    return Out;
+  }
+  if (Spec.TargetClass >= (int)Model->outputDim()) {
+    Out.Detail = "target class out of range";
+    return Out;
+  }
+
+  WallTimer Clock;
+  switch (Spec.Verifier) {
+  case SpecVerifier::Craft:
+  case SpecVerifier::Box: {
+    if (Spec.SplitDepth > 0) {
+      BranchAndBoundResult Res = verifyRobustnessSplit(
+          *Model, configFor(Spec), Spec.InLo, Spec.InHi, Spec.TargetClass,
+          Spec.SplitDepth);
+      Out.Certified = Res.Certified;
+      Out.Containment = Res.NumVerifierCalls > 0;
+      Out.MarginLower = Res.Certified ? 0.0 : -1.0;
+      if (Res.Refuted)
+        Out.Detail = "refuted by a concrete counterexample";
+      else
+        Out.Detail = "split verification: " +
+                     std::to_string(Res.NumVerifierCalls) + " calls, " +
+                     std::to_string(Res.CertifiedVolumeFraction * 100.0) +
+                     "% volume certified";
+      break;
+    }
+    CraftVerifier Ver(*Model, configFor(Spec));
+    CraftResult Res =
+        Ver.verifyRegion(Spec.InLo, Spec.InHi, Spec.TargetClass);
+    Out.Certified = Res.Certified;
+    Out.Containment = Res.Containment;
+    Out.MarginLower = Res.BestMargin;
+    Out.Detail = Res.Containment ? "abstract post-fixpoint found"
+                                 : "no containment within budget";
+    break;
+  }
+  case SpecVerifier::Crown: {
+    CrownOptions Opts;
+    Opts.InputClampLo = Spec.ClampLo;
+    Opts.InputClampHi = Spec.ClampHi;
+    if (Spec.Alpha2 > 0.0)
+      Opts.Alpha = Spec.Alpha2;
+    if (Spec.MaxIterations > 0)
+      Opts.UnrollSteps = Spec.MaxIterations;
+    CrownVerifier Ver(*Model, Opts);
+    CrownResult Res =
+        Ver.verifyRegion(Spec.InLo, Spec.InHi, Spec.TargetClass);
+    Out.Certified = Res.Certified;
+    Out.MarginLower = Res.MarginLower;
+    Out.Detail = "contraction " + std::to_string(Res.Contraction);
+    break;
+  }
+  case SpecVerifier::Lipschitz: {
+    if (Spec.Center.empty() || Spec.Epsilon <= 0.0) {
+      Out.Detail = "the lipschitz engine needs an 'input linf' region";
+      return Out;
+    }
+    LipschitzCertifier Ver(*Model);
+    Out.Certified =
+        Ver.certify(Spec.Center, Spec.TargetClass, Spec.Epsilon);
+    Out.MarginLower = Out.Certified ? 0.0 : -1.0;
+    Out.Detail =
+        "latent l2 Lipschitz " + std::to_string(Ver.latentLipschitz2());
+    break;
+  }
+  }
+  Out.TimeSeconds = Clock.seconds();
+
+  if (Out.Certified && !Spec.CertificatePath.empty()) {
+    if (Spec.Verifier != SpecVerifier::Craft) {
+      Out.Detail += "; certificates require the craft engine";
+    } else if (auto Cert = certifyRegion(*Model, Spec.InLo, Spec.InHi,
+                                         Spec.TargetClass,
+                                         configFor(Spec))) {
+      Out.CertificateWritten =
+          saveCertificate(*Cert, Spec.CertificatePath);
+      if (!Out.CertificateWritten)
+        Out.Detail += "; failed to write certificate";
+    } else {
+      Out.Detail += "; witness construction failed";
+    }
+  }
+  return Out;
+}
+
+bool craft::printModelInfo(const std::string &ModelPath) {
+  std::optional<MonDeq> Model = MonDeq::load(ModelPath);
+  if (!Model) {
+    std::printf("error: cannot load model '%s'\n", ModelPath.c_str());
+    return false;
+  }
+  std::printf("model        %s\n", ModelPath.c_str());
+  std::printf("input dim    %zu\n", Model->inputDim());
+  std::printf("latent dim   %zu\n", Model->latentDim());
+  std::printf("classes      %zu\n", Model->outputDim());
+  std::printf("activation   %s\n", activationName(Model->activation()));
+  std::printf("monotonicity %.4f\n", Model->monotonicity());
+  std::printf("fb alpha     < %.6f (concrete convergence bound)\n",
+              Model->fbAlphaBound());
+  std::printf("hash         %016llx\n",
+              (unsigned long long)hashModel(*Model));
+  return true;
+}
+
+bool craft::runCheck(const std::string &ModelPath,
+                     const std::string &CertPath) {
+  std::optional<MonDeq> Model = MonDeq::load(ModelPath);
+  if (!Model) {
+    std::printf("error: cannot load model '%s'\n", ModelPath.c_str());
+    return false;
+  }
+  std::optional<RobustnessCertificate> Cert = loadCertificate(CertPath);
+  if (!Cert) {
+    std::printf("error: cannot load certificate '%s'\n", CertPath.c_str());
+    return false;
+  }
+  CheckReport Report = checkCertificate(*Model, *Cert);
+  std::printf("certificate  %s\n", CertPath.c_str());
+  std::printf("verdict      %s (stage: %s)\n",
+              Report.Ok ? "ACCEPTED" : "REJECTED", Report.Stage);
+  std::printf("inverse      residual %.3e\n", Report.InverseResidual);
+  std::printf("containment  slack %.6f (<= 1 required)\n",
+              Report.ContainmentSlack);
+  std::printf("margin       rigorous lower bound %.6f\n",
+              Report.MarginLower);
+  return Report.Ok;
+}

@@ -1,0 +1,52 @@
+//===- tool/Driver.h - Spec execution ---------------------------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes parsed verification specs against the selected engine (Craft,
+/// Box, unrolled CROWN, or the Lipschitz certifier) and optionally emits a
+/// proof witness. Pure library layer — the `craft` CLI wraps it with
+/// argument handling and printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_TOOL_DRIVER_H
+#define CRAFT_TOOL_DRIVER_H
+
+#include "tool/SpecParser.h"
+
+#include <string>
+
+namespace craft {
+
+/// Result of executing one spec.
+struct RunOutcome {
+  bool ModelLoaded = false;
+  bool Certified = false;
+  /// Craft only: an abstract post-fixpoint was found.
+  bool Containment = false;
+  /// Best margin lower bound the engine reports (engine-specific scale).
+  double MarginLower = -1e300;
+  double TimeSeconds = 0.0;
+  /// Whether a certificate was requested, built, and written.
+  bool CertificateWritten = false;
+  /// Human-readable failure/summary detail.
+  std::string Detail;
+};
+
+/// Runs \p Spec. Never exits; all failures are reported in the outcome.
+RunOutcome runSpec(const VerificationSpec &Spec);
+
+/// `craft info`: prints model metadata (dims, activation, m, FB alpha
+/// bound, semantic hash) to stdout. Returns false if loading fails.
+bool printModelInfo(const std::string &ModelPath);
+
+/// `craft check`: validates a certificate file against a model file and
+/// prints the report. Returns true iff the certificate is accepted.
+bool runCheck(const std::string &ModelPath, const std::string &CertPath);
+
+} // namespace craft
+
+#endif // CRAFT_TOOL_DRIVER_H

@@ -1,0 +1,289 @@
+//===- tool/SpecParser.cpp ------------------------------------------------===//
+
+#include "tool/SpecParser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace craft;
+
+std::string SpecDiagnostic::render(const std::string &FileName) const {
+  std::ostringstream Os;
+  Os << FileName << ":" << Line << ":" << Column << ": error: " << Message;
+  return Os.str();
+}
+
+namespace {
+
+/// One whitespace-separated token with its source position.
+struct Token {
+  std::string Text;
+  int Line;
+  int Column;
+};
+
+/// Splits one line into tokens; '#' starts a comment.
+void tokenizeLine(const std::string &LineText, int LineNo,
+                  std::vector<Token> &Out) {
+  size_t I = 0;
+  while (I < LineText.size()) {
+    if (LineText[I] == '#')
+      return;
+    if (std::isspace(static_cast<unsigned char>(LineText[I]))) {
+      ++I;
+      continue;
+    }
+    size_t Start = I;
+    while (I < LineText.size() && LineText[I] != '#' &&
+           !std::isspace(static_cast<unsigned char>(LineText[I])))
+      ++I;
+    Out.push_back({LineText.substr(Start, I - Start), LineNo,
+                   static_cast<int>(Start) + 1});
+  }
+}
+
+/// Parser state: one statement per line, two-level structure (the `input`
+/// block's properties are recognized by keyword, so indentation is
+/// cosmetic).
+class Parser {
+public:
+  explicit Parser(const std::string &Source) {
+    std::istringstream Is(Source);
+    std::string LineText;
+    int LineNo = 0;
+    while (std::getline(Is, LineText)) {
+      ++LineNo;
+      std::vector<Token> Tokens;
+      tokenizeLine(LineText, LineNo, Tokens);
+      if (!Tokens.empty())
+        Lines.push_back(std::move(Tokens));
+    }
+  }
+
+  SpecParseResult run() {
+    for (const std::vector<Token> &Line : Lines)
+      statement(Line);
+    finalize();
+    SpecParseResult Result;
+    Result.Diagnostics = std::move(Diags);
+    if (Result.Diagnostics.empty())
+      Result.Spec = std::move(Spec);
+    return Result;
+  }
+
+private:
+  void error(const Token &At, const std::string &Message) {
+    Diags.push_back({At.Line, At.Column, Message});
+  }
+
+  bool number(const Token &T, double &Out) {
+    char *End = nullptr;
+    Out = std::strtod(T.Text.c_str(), &End);
+    if (End == T.Text.c_str() || *End != '\0') {
+      error(T, "expected a number, got '" + T.Text + "'");
+      return false;
+    }
+    return true;
+  }
+
+  bool integer(const Token &T, int &Out, int Min) {
+    double V = 0.0;
+    if (!number(T, V))
+      return false;
+    Out = static_cast<int>(V);
+    if (Out != V || Out < Min) {
+      error(T, "expected an integer >= " + std::to_string(Min) + ", got '" +
+                   T.Text + "'");
+      return false;
+    }
+    return true;
+  }
+
+  /// Parses `<v1> <v2> ...` or `fill <value> <count>` into \p Out.
+  bool vectorTail(const std::vector<Token> &Line, size_t From, Vector &Out,
+                  const char *What) {
+    if (From >= Line.size()) {
+      error(Line.back(), std::string("expected values after '") + What +
+                             "'");
+      return false;
+    }
+    if (Line[From].Text == "fill") {
+      if (From + 2 >= Line.size()) {
+        error(Line[From], "'fill' needs a value and a count");
+        return false;
+      }
+      double Value = 0.0;
+      int Count = 0;
+      if (!number(Line[From + 1], Value) ||
+          !integer(Line[From + 2], Count, 1))
+        return false;
+      Out = Vector(static_cast<size_t>(Count), Value);
+      return true;
+    }
+    std::vector<double> Values;
+    for (size_t I = From; I < Line.size(); ++I) {
+      double V = 0.0;
+      if (!number(Line[I], V))
+        return false;
+      Values.push_back(V);
+    }
+    Out = Vector(std::move(Values));
+    return true;
+  }
+
+  void statement(const std::vector<Token> &Line) {
+    const Token &Head = Line[0];
+    const std::string &Kw = Head.Text;
+    auto tailToken = [&](size_t I) -> const Token & {
+      return I < Line.size() ? Line[I] : Line.back();
+    };
+
+    if (Kw == "model") {
+      if (Line.size() != 2)
+        return error(Head, "'model' takes exactly one path");
+      Spec.ModelPath = Line[1].Text;
+    } else if (Kw == "input") {
+      if (Line.size() != 2 ||
+          (Line[1].Text != "linf" && Line[1].Text != "box"))
+        return error(Head, "'input' must be 'input linf' or 'input box'");
+      InputKind = Line[1].Text;
+    } else if (Kw == "center") {
+      vectorTail(Line, 1, Spec.Center, "center");
+    } else if (Kw == "lo") {
+      vectorTail(Line, 1, Spec.InLo, "lo");
+    } else if (Kw == "hi") {
+      vectorTail(Line, 1, Spec.InHi, "hi");
+    } else if (Kw == "epsilon") {
+      if (Line.size() != 2 || !number(Line[1], Spec.Epsilon))
+        return;
+      if (Spec.Epsilon < 0.0)
+        error(Line[1], "epsilon must be nonnegative");
+      HaveEpsilon = true;
+    } else if (Kw == "clamp") {
+      if (Line.size() != 3)
+        return error(Head, "'clamp' takes a lower and an upper bound");
+      if (number(Line[1], Spec.ClampLo) && number(Line[2], Spec.ClampHi) &&
+          Spec.ClampLo > Spec.ClampHi)
+        error(Line[1], "clamp range is empty");
+    } else if (Kw == "output") {
+      if (Line.size() != 3 || Line[1].Text != "robust")
+        return error(Head, "'output' must be 'output robust <class>'");
+      integer(Line[2], Spec.TargetClass, 0);
+    } else if (Kw == "verifier") {
+      if (Line.size() != 2)
+        return error(Head, "'verifier' takes one engine name");
+      const std::string &Name = Line[1].Text;
+      if (Name == "craft")
+        Spec.Verifier = SpecVerifier::Craft;
+      else if (Name == "box")
+        Spec.Verifier = SpecVerifier::Box;
+      else if (Name == "crown")
+        Spec.Verifier = SpecVerifier::Crown;
+      else if (Name == "lipschitz")
+        Spec.Verifier = SpecVerifier::Lipschitz;
+      else
+        error(Line[1], "unknown verifier '" + Name +
+                           "' (craft, box, crown, lipschitz)");
+    } else if (Kw == "alpha1") {
+      if (Line.size() != 2 || !number(Line[1], Spec.Alpha1))
+        return;
+      if (Spec.Alpha1 <= 0.0)
+        error(Line[1], "alpha1 must be positive");
+    } else if (Kw == "alpha2") {
+      if (Line.size() == 2)
+        number(Line[1], Spec.Alpha2);
+      else
+        error(Head, "'alpha2' takes one number");
+    } else if (Kw == "max-iterations") {
+      if (Line.size() == 2)
+        integer(Line[1], Spec.MaxIterations, 1);
+      else
+        error(Head, "'max-iterations' takes one integer");
+    } else if (Kw == "split-depth") {
+      if (Line.size() == 2)
+        integer(Line[1], Spec.SplitDepth, 0);
+      else
+        error(Head, "'split-depth' takes one integer");
+    } else if (Kw == "lambda-opt") {
+      if (Line.size() == 2) {
+        if (integer(Line[1], Spec.LambdaOptLevel, 0) &&
+            Spec.LambdaOptLevel > 2)
+          error(Line[1], "lambda-opt level is 0, 1 or 2");
+      } else
+        error(Head, "'lambda-opt' takes one integer");
+    } else if (Kw == "certificate") {
+      if (Line.size() != 2)
+        return error(Head, "'certificate' takes exactly one path");
+      Spec.CertificatePath = Line[1].Text;
+    } else {
+      error(Head, "unknown directive '" + Kw + "'");
+    }
+    (void)tailToken;
+  }
+
+  void finalize() {
+    Token End{"", Lines.empty() ? 1 : Lines.back()[0].Line, 1};
+    if (Spec.ModelPath.empty())
+      error(End, "missing 'model' directive");
+    if (Spec.TargetClass < 0)
+      error(End, "missing 'output robust <class>' directive");
+    if (InputKind.empty())
+      return error(End, "missing 'input linf' or 'input box' block");
+
+    if (InputKind == "linf") {
+      if (Spec.Center.empty())
+        return error(End, "'input linf' needs a 'center' line");
+      if (!HaveEpsilon)
+        return error(End, "'input linf' needs an 'epsilon' line");
+      Spec.InLo = Vector(Spec.Center.size());
+      Spec.InHi = Vector(Spec.Center.size());
+      for (size_t I = 0; I < Spec.Center.size(); ++I) {
+        Spec.InLo[I] =
+            std::max(Spec.Center[I] - Spec.Epsilon, Spec.ClampLo);
+        Spec.InHi[I] =
+            std::min(Spec.Center[I] + Spec.Epsilon, Spec.ClampHi);
+      }
+    } else {
+      if (Spec.InLo.empty() || Spec.InHi.empty())
+        return error(End, "'input box' needs 'lo' and 'hi' lines");
+      if (Spec.InLo.size() != Spec.InHi.size())
+        return error(End, "'lo' and 'hi' have different lengths");
+      for (size_t I = 0; I < Spec.InLo.size(); ++I)
+        if (Spec.InLo[I] > Spec.InHi[I])
+          return error(End, "empty input box at dimension " +
+                                std::to_string(I));
+    }
+  }
+
+  std::vector<std::vector<Token>> Lines;
+  std::vector<SpecDiagnostic> Diags;
+  VerificationSpec Spec;
+  std::string InputKind;
+  bool HaveEpsilon = false;
+};
+
+} // namespace
+
+SpecParseResult craft::parseSpec(const std::string &Source,
+                                 const std::string &FileName) {
+  (void)FileName;
+  return Parser(Source).run();
+}
+
+SpecParseResult craft::parseSpecFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    SpecParseResult Result;
+    Result.Diagnostics.push_back({1, 1, "cannot open '" + Path + "'"});
+    return Result;
+  }
+  std::string Source;
+  char Buf[4096];
+  size_t N = 0;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Source.append(Buf, N);
+  std::fclose(F);
+  return parseSpec(Source, Path);
+}

@@ -1,0 +1,91 @@
+//===- tool/SpecParser.h - Verification spec files --------------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the `craft` CLI's verification spec files: a small line-based
+/// format describing one query — model, input region, postcondition, and
+/// verifier knobs. Example:
+///
+///   # Robustness of a test image.
+///   model models/mnist_fc40.bin
+///   input linf
+///     center fill 0.5 784
+///     epsilon 0.05
+///     clamp 0 1
+///   output robust 3
+///   verifier craft
+///   alpha1 0.1
+///   split-depth 4
+///   certificate out.cert
+///
+/// `input box` with explicit `lo .../hi ...` vectors is the general form;
+/// `center fill <value> <n>` broadcasts a constant, `center <v1> <v2> ...`
+/// lists values. Diagnostics carry line/column and a message; parsing
+/// never exits the process (library-friendly).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_TOOL_SPECPARSER_H
+#define CRAFT_TOOL_SPECPARSER_H
+
+#include "linalg/Matrix.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace craft {
+
+/// Which engine executes the query.
+enum class SpecVerifier { Craft, Box, Crown, Lipschitz };
+
+/// A parsed verification query.
+struct VerificationSpec {
+  std::string ModelPath;
+  /// Input region, always normalized to a box.
+  Vector InLo, InHi;
+  /// l-inf form metadata (kept for reporting; empty center = box form).
+  Vector Center;
+  double Epsilon = 0.0;
+  double ClampLo = 0.0, ClampHi = 1.0;
+  int TargetClass = -1;
+  SpecVerifier Verifier = SpecVerifier::Craft;
+  /// Knob overrides (< 0 / 0 = library default).
+  double Alpha1 = -1.0;
+  double Alpha2 = -1.0;
+  int MaxIterations = 0;
+  int LambdaOptLevel = -1;
+  /// Branch-and-bound split budget for the craft engine (0 = no splits).
+  int SplitDepth = 0;
+  /// Emit a proof witness here when non-empty (Craft only).
+  std::string CertificatePath;
+};
+
+/// A parse diagnostic (1-based line and column).
+struct SpecDiagnostic {
+  int Line = 0;
+  int Column = 0;
+  std::string Message;
+  std::string render(const std::string &FileName) const;
+};
+
+/// Parse result: a spec or a list of diagnostics (never both empty).
+struct SpecParseResult {
+  std::optional<VerificationSpec> Spec;
+  std::vector<SpecDiagnostic> Diagnostics;
+  bool ok() const { return Spec.has_value(); }
+};
+
+/// Parses spec text (\p Source). \p FileName is used in diagnostics only.
+SpecParseResult parseSpec(const std::string &Source,
+                          const std::string &FileName = "<spec>");
+
+/// Reads and parses a spec file; an unreadable file yields a diagnostic.
+SpecParseResult parseSpecFile(const std::string &Path);
+
+} // namespace craft
+
+#endif // CRAFT_TOOL_SPECPARSER_H

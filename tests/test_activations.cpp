@@ -1,0 +1,152 @@
+//===- tests/test_activations.cpp - Smooth activation transformers --------===//
+//
+// Tests for the App. B.6 extension: sound sigmoid/tanh relaxations and the
+// corresponding CH-Zonotope transformers. Soundness is checked exhaustively
+// on dense input grids and on sampled zonotope points.
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/Activations.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace craft;
+
+namespace {
+
+/// Random CH-Zonotope helper (mirrors test_domains).
+CHZonotope randomZonotope(Rng &R, size_t P, size_t K) {
+  Vector Center(P);
+  Matrix Gens(P, K);
+  std::vector<uint64_t> Ids(K);
+  for (size_t I = 0; I < P; ++I)
+    Center[I] = R.gaussian(0.0, 1.5);
+  for (size_t I = 0; I < P; ++I)
+    for (size_t J = 0; J < K; ++J)
+      Gens(I, J) = R.gaussian(0.0, 0.5);
+  for (auto &Id : Ids)
+    Id = freshErrorTermId();
+  return CHZonotope(Center, Gens, Ids, Vector(P, 0.1));
+}
+
+TEST(ActivationScalarTest, KnownValues) {
+  EXPECT_NEAR(evalActivation(SmoothActivation::Sigmoid, 0.0), 0.5, 1e-15);
+  EXPECT_NEAR(evalActivation(SmoothActivation::Tanh, 0.0), 0.0, 1e-15);
+  EXPECT_NEAR(evalActivationDerivative(SmoothActivation::Sigmoid, 0.0), 0.25,
+              1e-15);
+  EXPECT_NEAR(evalActivationDerivative(SmoothActivation::Tanh, 0.0), 1.0,
+              1e-15);
+  // Saturation.
+  EXPECT_GT(evalActivation(SmoothActivation::Sigmoid, 20.0), 0.999999);
+  EXPECT_LT(evalActivation(SmoothActivation::Tanh, -20.0), -0.999999);
+}
+
+struct RelaxCase {
+  SmoothActivation Act;
+  double Lo, Hi;
+};
+
+class RelaxationSoundnessTest : public ::testing::TestWithParam<RelaxCase> {};
+
+TEST_P(RelaxationSoundnessTest, LinesSandwichTheFunction) {
+  const RelaxCase &C = GetParam();
+  ActivationRelaxation R = relaxActivation(C.Act, C.Lo, C.Hi);
+  EXPECT_LE(R.OffsetLo, R.OffsetHi);
+  // Dense grid: f(x) in Lambda x + [OffsetLo, OffsetHi].
+  const int Steps = 400;
+  for (int S = 0; S <= Steps; ++S) {
+    double X = C.Lo + (C.Hi - C.Lo) * S / Steps;
+    double F = evalActivation(C.Act, X);
+    EXPECT_GE(F, R.Lambda * X + R.OffsetLo - 1e-10) << "x = " << X;
+    EXPECT_LE(F, R.Lambda * X + R.OffsetHi + 1e-10) << "x = " << X;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Intervals, RelaxationSoundnessTest,
+    ::testing::Values(RelaxCase{SmoothActivation::Sigmoid, -1.0, 1.0},
+                      RelaxCase{SmoothActivation::Sigmoid, -5.0, -1.0},
+                      RelaxCase{SmoothActivation::Sigmoid, 0.5, 6.0},
+                      RelaxCase{SmoothActivation::Sigmoid, -8.0, 8.0},
+                      RelaxCase{SmoothActivation::Tanh, -0.5, 0.5},
+                      RelaxCase{SmoothActivation::Tanh, -4.0, -0.5},
+                      RelaxCase{SmoothActivation::Tanh, 0.1, 3.0},
+                      RelaxCase{SmoothActivation::Tanh, -6.0, 6.0}));
+
+TEST(RelaxationTest, DegenerateIntervalIsExact) {
+  for (SmoothActivation Act :
+       {SmoothActivation::Sigmoid, SmoothActivation::Tanh}) {
+    ActivationRelaxation R = relaxActivation(Act, 0.7, 0.7);
+    EXPECT_NEAR(R.Lambda * 0.7 + R.OffsetLo, evalActivation(Act, 0.7),
+                1e-12);
+    EXPECT_NEAR(R.OffsetHi, R.OffsetLo, 1e-12);
+  }
+}
+
+TEST(RelaxationTest, TightOnMonotoneRegions) {
+  // On an interval where f is nearly linear, the relaxation is thin.
+  ActivationRelaxation R =
+      relaxActivation(SmoothActivation::Tanh, -0.05, 0.05);
+  EXPECT_LT(R.OffsetHi - R.OffsetLo, 1e-4);
+}
+
+class TransformerSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransformerSoundnessTest, SampledPointsStayInsideHull) {
+  Rng R(1000 + GetParam());
+  SmoothActivation Act = GetParam() % 2 == 0 ? SmoothActivation::Sigmoid
+                                             : SmoothActivation::Tanh;
+  CHZonotope Z = randomZonotope(R, 4, 6);
+  CHZonotope Y = applyActivationPrefix(Z, Act, 3); // Dim 3 passes through.
+
+  for (int Trial = 0; Trial < 80; ++Trial) {
+    Vector Nu(Z.numGenerators());
+    for (double &V : Nu)
+      V = R.uniform(-1.0, 1.0);
+    Vector X = Z.center() + Z.generators() * Nu;
+    for (size_t I = 0; I < 4; ++I)
+      X[I] += Z.boxRadius()[I] * R.uniform(-1.0, 1.0);
+    for (size_t I = 0; I < 3; ++I) {
+      double F = evalActivation(Act, X[I]);
+      EXPECT_LE(F, Y.upperBounds()[I] + 1e-9);
+      EXPECT_GE(F, Y.lowerBounds()[I] - 1e-9);
+    }
+    // Pass-through dimension is untouched.
+    EXPECT_LE(X[3], Y.upperBounds()[3] + 1e-9);
+    EXPECT_GE(X[3], Y.lowerBounds()[3] - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformerSoundnessTest,
+                         ::testing::Range(0, 10));
+
+TEST(TransformerTest, OutputStaysInActivationRange) {
+  Rng R(1100);
+  CHZonotope Z = randomZonotope(R, 3, 5);
+  CHZonotope Sig = applyActivationPrefix(Z, SmoothActivation::Sigmoid, 3);
+  CHZonotope Tan = applyActivationPrefix(Z, SmoothActivation::Tanh, 3);
+  for (size_t I = 0; I < 3; ++I) {
+    // Linear relaxations overshoot the saturation range on wide inputs
+    // (the secant line extends past f's asymptotes); the hull must still
+    // stay within a small multiple of it.
+    EXPECT_GE(Sig.lowerBounds()[I], -1.0);
+    EXPECT_LE(Sig.upperBounds()[I], 2.0);
+    EXPECT_GE(Tan.lowerBounds()[I], -2.5);
+    EXPECT_LE(Tan.upperBounds()[I], 2.5);
+  }
+}
+
+TEST(TransformerTest, GeneratorCountPreserved) {
+  // Like the ReLU transformer, relaxation error goes to the Box component:
+  // no new generator columns (the CH-Zonotope size invariant).
+  Rng R(1101);
+  CHZonotope Z = randomZonotope(R, 4, 7);
+  CHZonotope Y = applyActivationPrefix(Z, SmoothActivation::Sigmoid, 4);
+  EXPECT_EQ(Y.numGenerators(), Z.numGenerators());
+}
+
+} // namespace

@@ -1,0 +1,377 @@
+//===- tests/test_affine.cpp - Affine arithmetic tests --------------------===//
+//
+// Unit and property tests for the scalar affine-arithmetic library
+// (domains/AffineForm.h): exactness of the linear fragment, soundness of
+// every nonlinear transformer against dense concrete sampling, Chebyshev
+// tightness versus plain interval evaluation, and correlation preservation
+// through chains of operations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/AffineForm.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+
+using namespace craft;
+
+namespace {
+
+/// Checks that f(x) lies inside Y's band for every sampled x in X's range,
+/// using the shared symbol between X and Y (pointwise soundness, stronger
+/// than interval containment).
+void expectPointwiseSound(const AffineForm &X, const AffineForm &Y,
+                          const std::function<double(double)> &F,
+                          double Tol = 1e-9) {
+  ASSERT_EQ(X.terms().size(), 1u) << "input must be a single fresh symbol";
+  uint64_t Id = X.terms()[0].first;
+  double R = X.terms()[0].second;
+  constexpr int Samples = 257;
+  for (int I = 0; I < Samples; ++I) {
+    double E = -1.0 + 2.0 * I / (Samples - 1);
+    double Xv = X.center() + R * E;
+    auto [Lo, Hi] = Y.evalPartial({{Id, E}});
+    double Fv = F(Xv);
+    EXPECT_GE(Fv, Lo - Tol) << "x = " << Xv;
+    EXPECT_LE(Fv, Hi + Tol) << "x = " << Xv;
+  }
+}
+
+struct UnaryCase {
+  std::string Name;
+  double Lo, Hi;
+  AffineForm (AffineForm::*Op)() const;
+  double (*F)(double);
+};
+
+double recipD(double X) { return 1.0 / X; }
+double squareD(double X) { return X * X; }
+double sigmoidD(double X) { return 1.0 / (1.0 + std::exp(-X)); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Linear fragment is exact
+//===----------------------------------------------------------------------===//
+
+TEST(AffineFormTest, ConstantHasZeroRadius) {
+  AffineForm C = AffineForm::constant(3.25);
+  EXPECT_EQ(C.center(), 3.25);
+  EXPECT_EQ(C.radius(), 0.0);
+  EXPECT_TRUE(C.terms().empty());
+}
+
+TEST(AffineFormTest, RangeSpansInterval) {
+  AffineForm X = AffineForm::range(-2.0, 6.0);
+  EXPECT_DOUBLE_EQ(X.lo(), -2.0);
+  EXPECT_DOUBLE_EQ(X.hi(), 6.0);
+  EXPECT_EQ(X.terms().size(), 1u);
+}
+
+TEST(AffineFormTest, SelfSubtractionCancelsExactly) {
+  AffineForm X = AffineForm::range(1.0, 5.0);
+  AffineForm Z = X - X;
+  EXPECT_DOUBLE_EQ(Z.center(), 0.0);
+  EXPECT_DOUBLE_EQ(Z.radius(), 0.0);
+}
+
+TEST(AffineFormTest, LinearCombinationIsExact) {
+  AffineForm X = AffineForm::range(0.0, 2.0);
+  AffineForm Y = AffineForm::range(-1.0, 1.0);
+  AffineForm Z = X * 3.0 + Y * -2.0 + 5.0;
+  // Independent symbols: radius adds, centers map affinely.
+  EXPECT_DOUBLE_EQ(Z.center(), 3.0 * 1.0 + 5.0);
+  EXPECT_DOUBLE_EQ(Z.radius(), 3.0 * 1.0 + 2.0 * 1.0);
+}
+
+TEST(AffineFormTest, SharedSymbolAffineCancellation) {
+  AffineForm X = AffineForm::range(0.0, 4.0);
+  // 2x - x = x must have exactly x's interval, not the Minkowski sum.
+  AffineForm Z = X * 2.0 - X;
+  EXPECT_DOUBLE_EQ(Z.lo(), 0.0);
+  EXPECT_DOUBLE_EQ(Z.hi(), 4.0);
+}
+
+TEST(AffineFormTest, EvalPartialPinsSharedSymbol) {
+  AffineForm X = AffineForm::range(0.0, 2.0);
+  uint64_t Id = X.terms()[0].first;
+  AffineForm Y = X * 2.0 + 1.0;
+  auto [Lo, Hi] = Y.evalPartial({{Id, 0.5}});
+  // x = 1.5 => y = 4 exactly (no free symbols).
+  EXPECT_DOUBLE_EQ(Lo, 4.0);
+  EXPECT_DOUBLE_EQ(Hi, 4.0);
+}
+
+TEST(AffineFormTest, WidenedGrowsRadiusByDelta) {
+  AffineForm X = AffineForm::range(0.0, 1.0);
+  AffineForm W = X.widened(0.25);
+  EXPECT_DOUBLE_EQ(W.radius(), X.radius() + 0.25);
+  EXPECT_DOUBLE_EQ(W.center(), X.center());
+}
+
+//===----------------------------------------------------------------------===//
+// Nonlinear transformer soundness (pointwise, parameterized over ranges)
+//===----------------------------------------------------------------------===//
+
+class UnarySoundnessTest : public ::testing::TestWithParam<UnaryCase> {};
+
+TEST_P(UnarySoundnessTest, PointwiseSound) {
+  const UnaryCase &C = GetParam();
+  AffineForm X = AffineForm::range(C.Lo, C.Hi);
+  AffineForm Y = (X.*C.Op)();
+  expectPointwiseSound(X, Y, C.F);
+}
+
+TEST_P(UnarySoundnessTest, NoWiderThanIntervalEvaluation) {
+  // The Chebyshev / min-range band must never be looser than evaluating f
+  // over the whole interval without correlation (2x slack for the S-shaped
+  // min-range transformers, which trade width for slope soundness).
+  const UnaryCase &C = GetParam();
+  AffineForm X = AffineForm::range(C.Lo, C.Hi);
+  AffineForm Y = (X.*C.Op)();
+  double FMin = 1e300, FMax = -1e300;
+  for (int I = 0; I <= 512; ++I) {
+    double Xv = C.Lo + (C.Hi - C.Lo) * I / 512.0;
+    FMin = std::min(FMin, C.F(Xv));
+    FMax = std::max(FMax, C.F(Xv));
+  }
+  EXPECT_LE(Y.width(), 2.0 * (FMax - FMin) + 1e-9) << C.Name;
+  // And it must cover the true range.
+  EXPECT_LE(Y.lo(), FMin + 1e-9) << C.Name;
+  EXPECT_GE(Y.hi(), FMax - 1e-9) << C.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Functions, UnarySoundnessTest,
+    ::testing::Values(
+        UnaryCase{"recip_narrow", 2.0, 3.0, &AffineForm::reciprocal, recipD},
+        UnaryCase{"recip_wide", 0.1, 50.0, &AffineForm::reciprocal, recipD},
+        UnaryCase{"recip_negative", -4.0, -0.5, &AffineForm::reciprocal,
+                  recipD},
+        UnaryCase{"sqrt_narrow", 16.0, 20.0, &AffineForm::sqrt, std::sqrt},
+        UnaryCase{"sqrt_wide", 0.0, 100.0, &AffineForm::sqrt, std::sqrt},
+        UnaryCase{"exp_neg", -3.0, 0.5, &AffineForm::exp, std::exp},
+        UnaryCase{"exp_pos", 0.0, 4.0, &AffineForm::exp, std::exp},
+        UnaryCase{"log_narrow", 1.0, 2.0, &AffineForm::log, std::log},
+        UnaryCase{"log_wide", 0.01, 10.0, &AffineForm::log, std::log},
+        UnaryCase{"tanh_cross", -2.0, 2.0, &AffineForm::tanh, std::tanh},
+        UnaryCase{"tanh_pos", 0.5, 3.0, &AffineForm::tanh, std::tanh},
+        UnaryCase{"tanh_neg", -5.0, -1.0, &AffineForm::tanh, std::tanh},
+        UnaryCase{"sigmoid_cross", -4.0, 4.0, &AffineForm::sigmoid, sigmoidD},
+        UnaryCase{"sigmoid_pos", 1.0, 6.0, &AffineForm::sigmoid, sigmoidD},
+        UnaryCase{"square_cross", -1.5, 2.5, &AffineForm::square, squareD},
+        UnaryCase{"square_pos", 1.0, 3.0, &AffineForm::square, squareD},
+        UnaryCase{"cos_monotone", 0.2, 2.8, &AffineForm::cos, std::cos},
+        UnaryCase{"cos_extremum", -1.0, 1.0, &AffineForm::cos, std::cos},
+        UnaryCase{"cos_wide", -2.0, 9.0, &AffineForm::cos, std::cos},
+        UnaryCase{"sin_monotone", -1.2, 1.2, &AffineForm::sin, std::sin},
+        UnaryCase{"sin_extremum", 0.5, 2.8, &AffineForm::sin, std::sin}),
+    [](const ::testing::TestParamInfo<UnaryCase> &Info) {
+      return Info.param.Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Specific transformer properties
+//===----------------------------------------------------------------------===//
+
+TEST(AffineFormTest, CosVeryWideFallsBackToUnitRange) {
+  AffineForm X = AffineForm::range(0.0, 100.0);
+  AffineForm Y = X.cos();
+  EXPECT_LE(Y.hi(), 1.0 + 1e-9);
+  EXPECT_GE(Y.lo(), -1.0 - 1e-9);
+  EXPECT_GE(Y.hi(), 1.0 - 1e-9); // cos hits +1 inside [0, 100].
+  EXPECT_LE(Y.lo(), -1.0 + 1e-9);
+}
+
+TEST(AffineFormTest, ChebyshevExpTighterThanInterval) {
+  AffineForm X = AffineForm::range(0.0, 2.0);
+  AffineForm Y = X.exp();
+  double IntervalWidth = std::exp(2.0) - std::exp(0.0);
+  // Chebyshev band width = max deviation band, strictly smaller than the
+  // uncorrelated interval width for convex f on a non-trivial range.
+  EXPECT_LT(Y.radius() - std::fabs(Y.terms().back().second) + 0.0, 1e300);
+  double RemainderWidth = 2.0 * std::fabs(Y.terms().back().second);
+  EXPECT_LT(RemainderWidth, 0.5 * IntervalWidth);
+}
+
+TEST(AffineFormTest, SquareTighterThanGenericProduct) {
+  AffineForm X = AffineForm::range(-1.0, 3.0);
+  EXPECT_LE(X.square().width(), (X * X).width() + 1e-12);
+}
+
+TEST(AffineFormTest, DivisionBySelfContainsOneAndIsTight) {
+  AffineForm X = AffineForm::range(4.0, 5.0);
+  AffineForm Q = X / X;
+  EXPECT_LE(Q.lo(), 1.0);
+  EXPECT_GE(Q.hi(), 1.0);
+  // Correlated division: far tighter than the uncorrelated quotient
+  // [4/5, 5/4] (width 0.45).
+  EXPECT_LT(Q.width(), 0.1);
+}
+
+TEST(AffineFormTest, ReciprocalOfNegativeRangeMirrorsPositive) {
+  AffineForm XPos = AffineForm::range(2.0, 4.0);
+  AffineForm XNeg = AffineForm::range(-4.0, -2.0);
+  AffineForm RPos = XPos.reciprocal();
+  AffineForm RNeg = XNeg.reciprocal();
+  EXPECT_NEAR(RNeg.lo(), -RPos.hi(), 1e-12);
+  EXPECT_NEAR(RNeg.hi(), -RPos.lo(), 1e-12);
+}
+
+TEST(AffineFormTest, DegenerateInputsGiveDegenerateOutputs) {
+  AffineForm C = AffineForm::constant(9.0);
+  EXPECT_NEAR(C.sqrt().center(), 3.0, 1e-9);
+  EXPECT_LT(C.sqrt().width(), 1e-9);
+  EXPECT_NEAR(C.reciprocal().center(), 1.0 / 9.0, 1e-9);
+  EXPECT_NEAR(C.exp().center(), std::exp(9.0), 1e-3);
+  EXPECT_NEAR(C.log().center(), std::log(9.0), 1e-9);
+  EXPECT_NEAR(C.tanh().center(), std::tanh(9.0), 1e-9);
+}
+
+TEST(AffineFormTest, SqrtOfSquareRecoversMagnitudeApproximately) {
+  AffineForm X = AffineForm::range(2.0, 3.0);
+  AffineForm Y = X.square().sqrt();
+  // Sound: contains [2, 3].
+  EXPECT_LE(Y.lo(), 2.0 + 1e-9);
+  EXPECT_GE(Y.hi(), 3.0 - 1e-9);
+  // And the composition stays within 2x of the exact width.
+  EXPECT_LT(Y.width(), 2.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Consolidation and relational containment
+//===----------------------------------------------------------------------===//
+
+TEST(AffineFormTest, ConsolidatedPreservesHullWithFreshSymbol) {
+  AffineForm X = AffineForm::range(0.0, 1.0);
+  AffineForm Y = X.square() + X; // Multiple symbols.
+  AffineForm C = Y.consolidated();
+  EXPECT_EQ(C.terms().size(), 1u);
+  EXPECT_NEAR(C.lo(), Y.lo(), 1e-12);
+  EXPECT_NEAR(C.hi(), Y.hi(), 1e-12);
+  EXPECT_NE(C.terms()[0].first, X.terms()[0].first) << "must decorrelate";
+}
+
+TEST(AffineFormTest, ConsolidatedExpansionWidensHull) {
+  AffineForm X = AffineForm::range(2.0, 3.0);
+  AffineForm C = X.consolidated(0.5);
+  EXPECT_NEAR(C.lo(), 1.5, 1e-12);
+  EXPECT_NEAR(C.hi(), 3.5, 1e-12);
+}
+
+TEST(AffineFormTest, RelationalContainmentWithEmptySliceIsIntervalCheck) {
+  AffineForm Outer = AffineForm::range(0.0, 1.0);
+  AffineForm Inner = AffineForm::range(0.25, 0.75);
+  EXPECT_TRUE(Outer.containsRelational(Inner, {}));
+  EXPECT_FALSE(Inner.containsRelational(Outer, {}));
+}
+
+TEST(AffineFormTest, RelationalContainmentRejectsSliceEscape) {
+  // Inner fits the outer's interval hull but its slope w.r.t. the shared
+  // input symbol differs, so some input slice escapes: the relational check
+  // must reject what the interval check would accept. This is the exact
+  // shape of the containment-unsoundness regression (see DESIGN.md).
+  AffineForm X = AffineForm::range(-1.0, 1.0);
+  uint64_t Id = X.terms()[0].first;
+  AffineForm Outer = X + 10.0;                   // [9, 11], slope 1.
+  AffineForm Inner = X * 0.5 + 10.0;             // [9.5, 10.5], slope 0.5.
+  EXPECT_TRUE(Outer.contains(Inner));            // Interval hulls nest.
+  EXPECT_FALSE(Outer.containsRelational(Inner, {Id}));
+  // At slice x = -1 the outer covers exactly {9} but the inner sits at 9.5.
+}
+
+TEST(AffineFormTest, RelationalContainmentAcceptsTrueSliceInclusion) {
+  AffineForm X = AffineForm::range(-1.0, 1.0);
+  uint64_t Id = X.terms()[0].first;
+  AffineForm Outer = (X + 10.0).widened(1.0); // Slope 1, slack 1 per slice.
+  AffineForm Inner = (X + 10.2).widened(0.5); // Same slope, offset 0.2.
+  EXPECT_TRUE(Outer.containsRelational(Inner, {Id}));
+  // Offset + inner slack (0.7) fits the outer slack (1.0); tightening the
+  // outer slack below 0.7 must flip the verdict.
+  AffineForm TightOuter = (X + 10.0).widened(0.6);
+  EXPECT_FALSE(TightOuter.containsRelational(Inner, {Id}));
+}
+
+//===----------------------------------------------------------------------===//
+// Join and random-chain soundness
+//===----------------------------------------------------------------------===//
+
+TEST(AffineFormTest, JoinContainsBothOperands) {
+  AffineForm A = AffineForm::range(0.0, 1.0);
+  AffineForm B = AffineForm::range(0.5, 2.0);
+  AffineForm J = AffineForm::join(A, B);
+  EXPECT_TRUE(J.contains(A, 1e-12));
+  EXPECT_TRUE(J.contains(B, 1e-12));
+}
+
+TEST(AffineFormTest, JoinOfEqualFormsIsNoWider) {
+  AffineForm A = AffineForm::range(1.0, 2.0);
+  AffineForm J = AffineForm::join(A, A);
+  EXPECT_NEAR(J.lo(), A.lo(), 1e-12);
+  EXPECT_NEAR(J.hi(), A.hi(), 1e-12);
+}
+
+class AffineChainTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AffineChainTest, RandomExpressionChainIsPointwiseSound) {
+  // Builds a random smooth expression chain over one input symbol and
+  // checks band soundness pointwise. Exercises interactions of remainder
+  // symbols across many operations.
+  Rng R(1234 + GetParam());
+  double Lo = R.uniform(0.5, 1.0);
+  double Hi = Lo + R.uniform(0.1, 1.5);
+  AffineForm X = AffineForm::range(Lo, Hi);
+  uint64_t Id = X.terms()[0].first;
+
+  AffineForm Y = X;
+  std::function<double(double)> F = [](double V) { return V; };
+  for (int Step = 0; Step < 6; ++Step) {
+    int Op = R.uniformInt(0, 5);
+    switch (Op) {
+    case 0: {
+      double S = R.uniform(-2.0, 2.0);
+      Y = Y * S + 1.0;
+      F = [F, S](double V) { return F(V) * S + 1.0; };
+      break;
+    }
+    case 1:
+      Y = Y.square() * 0.25;
+      F = [F](double V) {
+        double W = F(V);
+        return W * W * 0.25;
+      };
+      break;
+    case 2:
+      Y = Y.tanh();
+      F = [F](double V) { return std::tanh(F(V)); };
+      break;
+    case 3:
+      Y = Y.sigmoid();
+      F = [F](double V) { return sigmoidD(F(V)); };
+      break;
+    case 4:
+      Y = Y.sin();
+      F = [F](double V) { return std::sin(F(V)); };
+      break;
+    case 5:
+      Y = Y + X; // Re-inject the input symbol (correlation stress).
+      F = [F](double V) { return F(V) + V; };
+      break;
+    }
+  }
+  constexpr int Samples = 101;
+  for (int I = 0; I < Samples; ++I) {
+    double E = -1.0 + 2.0 * I / (Samples - 1);
+    double Xv = X.center() + X.terms()[0].second * E;
+    auto [BandLo, BandHi] = Y.evalPartial({{Id, E}});
+    double Fv = F(Xv);
+    ASSERT_GE(Fv, BandLo - 1e-7) << "seed " << GetParam() << " x=" << Xv;
+    ASSERT_LE(Fv, BandHi + 1e-7) << "seed " << GetParam() << " x=" << Xv;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AffineChainTest, ::testing::Range(0, 16));

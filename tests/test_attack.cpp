@@ -1,0 +1,121 @@
+//===- tests/test_attack.cpp - PGD attack tests ---------------------------===//
+
+#include "attack/Pgd.h"
+
+#include "data/GaussianMixture.h"
+#include "nn/Training.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace craft;
+
+namespace {
+
+/// Trains a small GMM classifier shared by the attack tests.
+const MonDeq &trainedModel() {
+  static const MonDeq Model = [] {
+    Rng R(20);
+    Dataset Train = makeGaussianMixture(R, 400, 5, 3, 0.2);
+    MonDeq M = MonDeq::randomFc(R, 5, 8, 3, 20.0);
+    TrainOptions Opts;
+    Opts.Epochs = 30;
+    Opts.LearningRate = 0.02;
+    trainMonDeq(M, Train, Opts);
+    return M;
+  }();
+  return Model;
+}
+
+TEST(PgdTest, FindsAdversarialWithLargeEpsilon) {
+  const MonDeq &Model = trainedModel();
+  FixpointSolver Solver(Model, Splitting::PeacemanRachford);
+  Rng R(21);
+  Dataset Test = makeGaussianMixture(R, 40, 5, 3, 0.2);
+
+  // With a huge ball, any sample can be pushed into another class region.
+  PgdOptions Opts;
+  Opts.Epsilon = 0.8;
+  Opts.Steps = 40;
+  Opts.Restarts = 2;
+  size_t Found = 0, Tried = 0;
+  for (size_t I = 0; I < Test.size() && Tried < 10; ++I) {
+    if (Solver.predict(Test.input(I)) != Test.Labels[I])
+      continue;
+    ++Tried;
+    PgdResult Res = pgdAttack(Model, Solver, Test.input(I), Test.Labels[I],
+                              Opts);
+    Found += Res.FoundAdversarial;
+    if (Res.FoundAdversarial) {
+      // The adversarial point must be inside the ball and misclassified.
+      Vector Delta = Res.Adversarial - Test.input(I);
+      EXPECT_LE(Delta.normInf(), Opts.Epsilon + 1e-9);
+      EXPECT_NE(Solver.predict(Res.Adversarial), Test.Labels[I]);
+      EXPECT_EQ(Solver.predict(Res.Adversarial), Res.AdversarialClass);
+    }
+  }
+  EXPECT_GE(Found, Tried - 1) << "large-ball attack should almost always win";
+}
+
+TEST(PgdTest, RespectsInputDomain) {
+  const MonDeq &Model = trainedModel();
+  FixpointSolver Solver(Model, Splitting::PeacemanRachford);
+  Rng R(22);
+  Dataset Test = makeGaussianMixture(R, 5, 5, 3, 0.2);
+  PgdOptions Opts;
+  Opts.Epsilon = 2.0; // Ball exceeds the [0,1] domain: clamping must apply.
+  Opts.Steps = 10;
+  Opts.Restarts = 1;
+  PgdResult Res =
+      pgdAttack(Model, Solver, Test.input(0), Test.Labels[0], Opts);
+  if (Res.FoundAdversarial)
+    for (size_t J = 0; J < 5; ++J) {
+      EXPECT_GE(Res.Adversarial[J], 0.0);
+      EXPECT_LE(Res.Adversarial[J], 1.0);
+    }
+}
+
+TEST(PgdTest, TinyEpsilonRarelySucceeds) {
+  const MonDeq &Model = trainedModel();
+  FixpointSolver Solver(Model, Splitting::PeacemanRachford);
+  Rng R(23);
+  Dataset Test = makeGaussianMixture(R, 30, 5, 3, 0.2);
+
+  PgdOptions Opts;
+  Opts.Epsilon = 1e-4;
+  Opts.Steps = 15;
+  Opts.Restarts = 1;
+  size_t Found = 0, Tried = 0;
+  for (size_t I = 0; I < Test.size() && Tried < 8; ++I) {
+    if (Solver.predict(Test.input(I)) != Test.Labels[I])
+      continue;
+    ++Tried;
+    Found += pgdAttack(Model, Solver, Test.input(I), Test.Labels[I], Opts)
+                 .FoundAdversarial;
+  }
+  EXPECT_LE(Found, 1u) << "well-classified points are 1e-4-robust";
+}
+
+TEST(PgdTest, UntargetedModeAlsoWorks) {
+  const MonDeq &Model = trainedModel();
+  FixpointSolver Solver(Model, Splitting::PeacemanRachford);
+  Rng R(24);
+  Dataset Test = makeGaussianMixture(R, 20, 5, 3, 0.2);
+  PgdOptions Opts;
+  Opts.Epsilon = 0.8;
+  Opts.Steps = 40;
+  Opts.Restarts = 2;
+  Opts.TargetAllClasses = false;
+  Opts.NeumannTerms = 20;
+  size_t Found = 0, Tried = 0;
+  for (size_t I = 0; I < Test.size() && Tried < 6; ++I) {
+    if (Solver.predict(Test.input(I)) != Test.Labels[I])
+      continue;
+    ++Tried;
+    Found += pgdAttack(Model, Solver, Test.input(I), Test.Labels[I], Opts)
+                 .FoundAdversarial;
+  }
+  EXPECT_GE(Found, Tried / 2);
+}
+
+} // namespace

@@ -1,0 +1,171 @@
+//===- tests/test_crown.cpp - Unrolled linear-bound baseline tests --------===//
+//
+// Tests for the Table 1 "Polyhedra" comparator (core/UnrolledCrown.h):
+// soundness of the k-step linear bounds against concrete trajectories,
+// soundness of the tail-corrected margins against concrete fixpoint
+// margins, contraction-factor correctness, unroll-depth monotonicity, and
+// cross-checks against the Craft verifier on the paper's running example.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/UnrolledCrown.h"
+#include "core/Verifier.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace craft;
+
+namespace {
+
+/// The paper's 2-d running example (Eq. 1): W given directly.
+MonDeq runningExample() {
+  Matrix W = {{-4.0, -1.0}, {1.0, -4.0}};
+  Matrix U = {{1.0, 1.0}, {-1.0, 1.0}};
+  Matrix V = {{1.0, -1.0}, {0.0, 0.0}};
+  return MonDeq::fromW(4.0, W, U, Vector(2), V, Vector(2));
+}
+
+Vector randomInput(Rng &R, size_t Q) {
+  Vector X(Q);
+  for (size_t I = 0; I < Q; ++I)
+    X[I] = R.uniform(0.1, 0.9);
+  return X;
+}
+
+} // namespace
+
+TEST(CrownTest, ContractionFactorBelowOneInsideConvergenceRange) {
+  Rng R(21);
+  MonDeq Model = MonDeq::randomFc(R, 10, 8, 3);
+  CrownVerifier Ver(Model); // Default alpha: 0.9 * fbAlphaBound.
+  EXPECT_LT(Ver.contraction(), 1.0);
+  EXPECT_GT(Ver.contraction(), 0.0);
+
+  CrownOptions TooBig;
+  TooBig.Alpha = 10.0 * Model.fbAlphaBound();
+  CrownVerifier Bad(Model, TooBig);
+  EXPECT_GE(Bad.contraction(), 1.0);
+}
+
+TEST(CrownTest, OutsideConvergenceRangeNothingIsCertified) {
+  Rng R(22);
+  MonDeq Model = MonDeq::randomFc(R, 6, 5, 3);
+  CrownOptions TooBig;
+  TooBig.Alpha = 10.0 * Model.fbAlphaBound();
+  CrownVerifier Ver(Model, TooBig);
+  Vector X = randomInput(R, 6);
+  CrownResult Res = Ver.verifyRobustness(X, 0, 1e-6);
+  EXPECT_FALSE(Res.Certified);
+  EXPECT_GE(Res.Tail, 1e300);
+}
+
+TEST(CrownTest, StateBoundsCoverConcreteTrajectories) {
+  // The k-step linear bounds must cover the concrete k-th FB iterate from
+  // s_0 = z*(center) for sampled inputs.
+  Rng R(23);
+  MonDeq Model = MonDeq::randomFc(R, 8, 6, 3);
+  CrownOptions Opts;
+  Opts.UnrollSteps = 25;
+  CrownVerifier Ver(Model, Opts);
+  Vector X = randomInput(R, 8);
+  double Eps = 0.05;
+  CrownResult Res = Ver.verifyRobustness(X, 0, Eps);
+
+  FixpointSolver Pr(Model, Splitting::PeacemanRachford);
+  FixpointSolver Fb(Model, Splitting::ForwardBackward,
+                    0.9 * Model.fbAlphaBound());
+  Vector Center = X;
+  for (double &V : Center)
+    V = std::clamp(V, 0.0, 1.0);
+  Vector S0 = Pr.solve(Center).Z;
+
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    Vector XP = X;
+    for (size_t I = 0; I < XP.size(); ++I)
+      XP[I] = std::clamp(X[I] + R.uniform(-Eps, Eps), 0.0, 1.0);
+    Vector S = S0;
+    for (int K = 0; K < Opts.UnrollSteps; ++K)
+      S = Fb.fbStep(XP, S);
+    for (size_t I = 0; I < S.size(); ++I) {
+      EXPECT_GE(S[I], Res.StateBounds.lowerBounds()[I] - 1e-7);
+      EXPECT_LE(S[I], Res.StateBounds.upperBounds()[I] + 1e-7);
+    }
+  }
+}
+
+class CrownSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrownSoundnessTest, MarginLowerBoundsConcreteFixpointMargins) {
+  // The tail-corrected margin must lower-bound the true fixpoint margin
+  // for every sampled input in the ball.
+  Rng R(100 + GetParam());
+  MonDeq Model = MonDeq::randomFc(R, 8, 6, 4);
+  CrownVerifier Ver(Model);
+  Vector X = randomInput(R, 8);
+  FixpointSolver Solver(Model, Splitting::PeacemanRachford);
+  int Target = Solver.predict(X);
+  double Eps = 0.03;
+  CrownResult Res = Ver.verifyRobustness(X, Target, Eps);
+
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    Vector XP = X;
+    for (size_t I = 0; I < XP.size(); ++I)
+      XP[I] = std::clamp(X[I] + R.uniform(-Eps, Eps), 0.0, 1.0);
+    Vector Y = Solver.logits(XP);
+    double Margin = 1e300;
+    for (size_t C = 0; C < Y.size(); ++C)
+      if ((int)C != Target)
+        Margin = std::min(Margin, Y[Target] - Y[C]);
+    ASSERT_GE(Margin, Res.MarginLower - 1e-6)
+        << "seed " << GetParam() << " trial " << Trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrownSoundnessTest, ::testing::Range(0, 8));
+
+TEST(CrownTest, DeeperUnrollingShrinksTheTail) {
+  Rng R(24);
+  MonDeq Model = MonDeq::randomFc(R, 8, 6, 3);
+  Vector X = randomInput(R, 8);
+  CrownOptions Shallow, Deep;
+  Shallow.UnrollSteps = 5;
+  Deep.UnrollSteps = 50;
+  CrownResult RS = CrownVerifier(Model, Shallow).verifyRobustness(X, 0, 0.02);
+  CrownResult RD = CrownVerifier(Model, Deep).verifyRobustness(X, 0, 0.02);
+  EXPECT_LT(RD.Tail, RS.Tail);
+}
+
+TEST(CrownTest, CertifiesTheRunningExampleRegion) {
+  // The paper's Section 2 example: the 0.05-box around (0.2, 0.5) is
+  // classified to class 1 (y > 0); the unrolled baseline with its tail
+  // should certify this easy 2-d instance, in agreement with Craft.
+  MonDeq Model = runningExample();
+  CrownOptions Opts;
+  Opts.Alpha = 0.1;
+  Opts.UnrollSteps = 80;
+  CrownVerifier Ver(Model, Opts);
+  Vector X = {0.2, 0.5};
+  CrownResult Res = Ver.verifyRegion({0.15, 0.45}, {0.25, 0.55}, 0);
+  EXPECT_TRUE(Res.Certified);
+  EXPECT_GT(Res.MarginLower, 0.0);
+
+  CraftVerifier Craft(Model);
+  CraftResult CraftRes = Craft.verifyRegion({0.15, 0.45}, {0.25, 0.55}, 0);
+  EXPECT_TRUE(CraftRes.Certified);
+}
+
+TEST(CrownTest, AdaptiveLowerSlopeIsNeverLooser) {
+  Rng R(25);
+  MonDeq Model = MonDeq::randomFc(R, 8, 6, 3);
+  Vector X = randomInput(R, 8);
+  CrownOptions Adaptive, Fixed;
+  Adaptive.AdaptiveLower = true;
+  Fixed.AdaptiveLower = false;
+  CrownResult RA = CrownVerifier(Model, Adaptive).verifyRobustness(X, 0, 0.02);
+  CrownResult RF = CrownVerifier(Model, Fixed).verifyRobustness(X, 0, 0.02);
+  // Adaptive slopes tighten (or match) the state bounds' mean width.
+  EXPECT_LE(RA.StateBounds.meanWidth(), RF.StateBounds.meanWidth() + 1e-9);
+}

@@ -1,0 +1,205 @@
+//===- tests/test_data.cpp - Dataset substrate tests ----------------------===//
+
+#include "data/GaussianMixture.h"
+#include "data/Hcas.h"
+#include "data/SyntheticCifar.h"
+#include "data/SyntheticMnist.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace craft;
+
+namespace {
+
+TEST(MnistTest, ShapesAndRanges) {
+  Rng R(1);
+  Dataset D = makeSyntheticMnist(R, 100);
+  EXPECT_EQ(D.size(), 100u);
+  EXPECT_EQ(D.inputDim(), 784u);
+  EXPECT_EQ(D.NumClasses, 10u);
+  for (size_t I = 0; I < D.size(); ++I) {
+    EXPECT_GE(D.Labels[I], 0);
+    EXPECT_LT(D.Labels[I], 10);
+  }
+  for (size_t I = 0; I < 20; ++I)
+    for (size_t J = 0; J < 784; ++J) {
+      EXPECT_GE(D.Inputs(I, J), 0.0);
+      EXPECT_LE(D.Inputs(I, J), 1.0);
+    }
+}
+
+TEST(MnistTest, AllClassesPresent) {
+  Rng R(2);
+  Dataset D = makeSyntheticMnist(R, 300);
+  std::set<int> Classes(D.Labels.begin(), D.Labels.end());
+  EXPECT_EQ(Classes.size(), 10u);
+}
+
+TEST(MnistTest, ClassesAreLinearlySeparableEnough) {
+  // Nearest-class-mean classification should work very well on the glyph
+  // dataset (this is what makes ~99% monDEQ accuracy attainable).
+  Rng R(3);
+  Dataset Train = makeSyntheticMnist(R, 500);
+  Dataset Test = makeSyntheticMnist(R, 200);
+
+  Matrix Means(10, 784, 0.0);
+  Vector Counts(10, 0.0);
+  for (size_t I = 0; I < Train.size(); ++I) {
+    Counts[Train.Labels[I]] += 1.0;
+    for (size_t J = 0; J < 784; ++J)
+      Means(Train.Labels[I], J) += Train.Inputs(I, J);
+  }
+  for (size_t C = 0; C < 10; ++C)
+    for (size_t J = 0; J < 784; ++J)
+      Means(C, J) /= Counts[C];
+
+  size_t Correct = 0;
+  for (size_t I = 0; I < Test.size(); ++I) {
+    double BestDist = 1e300;
+    int Best = -1;
+    for (int C = 0; C < 10; ++C) {
+      double Dist = 0.0;
+      for (size_t J = 0; J < 784; ++J) {
+        double Delta = Test.Inputs(I, J) - Means(C, J);
+        Dist += Delta * Delta;
+      }
+      if (Dist < BestDist) {
+        BestDist = Dist;
+        Best = C;
+      }
+    }
+    Correct += Best == Test.Labels[I];
+  }
+  EXPECT_GT(static_cast<double>(Correct) / Test.size(), 0.9);
+}
+
+TEST(CifarTest, ShapesAndVariability) {
+  Rng R(4);
+  Dataset D = makeSyntheticCifar(R, 60);
+  EXPECT_EQ(D.inputDim(), 3072u);
+  EXPECT_EQ(D.NumClasses, 10u);
+  // Same-class samples must differ substantially (phase + noise).
+  int ClassOf = D.Labels[0];
+  for (size_t I = 1; I < D.size(); ++I)
+    if (D.Labels[I] == ClassOf) {
+      EXPECT_GT((D.Inputs.row(0) - D.Inputs.row(I)).norm2(), 1.0);
+      break;
+    }
+}
+
+TEST(GmmTest, ShapesAndDeterminedCenters) {
+  Rng R1(5), R2(6);
+  Dataset A = makeGaussianMixture(R1, 100);
+  Dataset B = makeGaussianMixture(R2, 100);
+  EXPECT_EQ(A.inputDim(), 5u);
+  EXPECT_EQ(A.NumClasses, 3u);
+  // Cluster geometry is shared across generator calls: class means close.
+  for (int C = 0; C < 3; ++C) {
+    Vector MeanA(5, 0.0), MeanB(5, 0.0);
+    double NA = 0.0, NB = 0.0;
+    for (size_t I = 0; I < 100; ++I) {
+      if (A.Labels[I] == C) {
+        MeanA += A.Inputs.row(I);
+        NA += 1.0;
+      }
+      if (B.Labels[I] == C) {
+        MeanB += B.Inputs.row(I);
+        NB += 1.0;
+      }
+    }
+    ASSERT_GT(NA, 0.0);
+    ASSERT_GT(NB, 0.0);
+    MeanA *= 1.0 / NA;
+    MeanB *= 1.0 / NB;
+    EXPECT_LT((MeanA - MeanB).normInf(), 0.35);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// HCAS MDP
+//===----------------------------------------------------------------------===//
+
+class HcasTest : public ::testing::Test {
+protected:
+  // The MDP solve is shared across tests (value iteration is deterministic).
+  static const HcasMdp &mdp() {
+    static const HcasMdp Mdp;
+    return Mdp;
+  }
+};
+
+TEST_F(HcasTest, FarAwayIntruderIsClearOfConflict) {
+  // An intruder far off and flying away should need no advisory.
+  EXPECT_EQ(mdp().policyAction(24.0, 18.0, 0.0), COC);
+  EXPECT_EQ(mdp().policyAction(24.0, -9.0, 0.5), COC);
+}
+
+TEST_F(HcasTest, HeadOnConflictTriggersAdvisory) {
+  // Intruder dead ahead, flying straight at the ownship.
+  int Action = mdp().policyAction(4.0, 0.0, 3.14159);
+  EXPECT_NE(Action, COC);
+}
+
+TEST_F(HcasTest, PolicyAvoidsCollisionInRollout) {
+  // Following the policy from a head-on encounter must keep separation
+  // above the NMAC radius; following COC blindly must not.
+  auto rollout = [&](bool UsePolicy) {
+    double X = 6.0, Y = 0.3, Theta = 3.14159;
+    double MinSep = 1e300;
+    const double TurnOf[5] = {0.0, 0.131, -0.131, 0.262, -0.262};
+    for (int Step = 0; Step < 20; ++Step) {
+      int A = UsePolicy ? mdp().policyAction(X, Y, Theta) : COC;
+      double Delta = TurnOf[A];
+      // Mirror of the internal dynamics (speed 0.2 kft/s, 5 s period).
+      double Nx = X + 5.0 * 0.2 * (std::cos(Theta) - 1.0);
+      double Ny = Y + 5.0 * 0.2 * std::sin(Theta);
+      double C = std::cos(-Delta), S = std::sin(-Delta);
+      X = C * Nx - S * Ny;
+      Y = S * Nx + C * Ny;
+      Theta -= Delta;
+      MinSep = std::min(MinSep, std::hypot(X, Y));
+    }
+    return MinSep;
+  };
+  double PolicySep = rollout(true);
+  double BlindSep = rollout(false);
+  EXPECT_GT(PolicySep, 0.6);
+  EXPECT_LT(BlindSep, 0.6);
+  EXPECT_GT(PolicySep, BlindSep);
+}
+
+TEST_F(HcasTest, DatasetCoversAllActions) {
+  Rng R(7);
+  Dataset D = mdp().makeDataset(R, 400);
+  EXPECT_EQ(D.inputDim(), 3u);
+  EXPECT_EQ(D.NumClasses, 5u);
+  std::set<int> Actions(D.Labels.begin(), D.Labels.end());
+  EXPECT_GE(Actions.size(), 3u) << "policy uses too few advisories";
+  // Inputs normalized to [0,1].
+  for (size_t I = 0; I < D.size(); ++I)
+    for (size_t J = 0; J < 3; ++J) {
+      EXPECT_GE(D.Inputs(I, J), 0.0);
+      EXPECT_LE(D.Inputs(I, J), 1.0);
+    }
+}
+
+TEST_F(HcasTest, NormalizationRoundTrip) {
+  Vector In = HcasMdp::normalizeInput(-5.0, -10.0, -3.14159265);
+  EXPECT_NEAR(In[0], 0.0, 1e-9);
+  EXPECT_NEAR(In[1], 0.0, 1e-9);
+  EXPECT_NEAR(In[2], 0.0, 1e-6);
+  Vector Mid = HcasMdp::normalizeInput(10.0, 5.0, 0.0);
+  EXPECT_NEAR(Mid[0], 0.5, 1e-9);
+  EXPECT_NEAR(Mid[1], 0.5, 1e-9);
+  EXPECT_NEAR(Mid[2], 0.5, 1e-9);
+}
+
+TEST_F(HcasTest, ActionNames) {
+  EXPECT_STREQ(HcasMdp::actionName(COC), "COC");
+  EXPECT_STREQ(HcasMdp::actionName(SR), "SR");
+}
+
+} // namespace

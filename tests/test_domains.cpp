@@ -1,0 +1,712 @@
+//===- tests/test_domains.cpp - Abstract domain tests ---------------------===//
+//
+// Unit and property tests for the Interval and CH-Zonotope domains:
+// transformer exactness/soundness, consolidation (Thm 4.1), containment
+// (Thm 4.2), quasi-join, volume, and the LP containment baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/CHZonotope.h"
+#include "domains/Interval.h"
+#include "domains/OrderReduction.h"
+#include "domains/Volume.h"
+#include "domains/ZonotopeContainmentLP.h"
+#include "linalg/Lu.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace craft;
+
+namespace {
+
+Matrix randomMatrix(Rng &R, size_t Rows, size_t Cols, double Scale = 1.0) {
+  Matrix M(Rows, Cols);
+  for (size_t I = 0; I < Rows; ++I)
+    for (size_t J = 0; J < Cols; ++J)
+      M(I, J) = R.gaussian(0.0, Scale);
+  return M;
+}
+
+Vector randomVector(Rng &R, size_t N, double Scale = 1.0) {
+  Vector V(N);
+  for (size_t I = 0; I < N; ++I)
+    V[I] = R.gaussian(0.0, Scale);
+  return V;
+}
+
+/// Random point of gamma(Z): evaluates center + A nu + diag(b) eta for
+/// uniformly sampled nu, eta in [-1,1].
+Vector samplePoint(Rng &R, const CHZonotope &Z) {
+  Vector Nu(Z.numGenerators());
+  for (double &V : Nu)
+    V = R.uniform(-1.0, 1.0);
+  Vector X = Z.center() + Z.generators() * Nu;
+  for (size_t I = 0; I < Z.dim(); ++I)
+    X[I] += Z.boxRadius()[I] * R.uniform(-1.0, 1.0);
+  return X;
+}
+
+/// Random CH-Zonotope with K generators and a (possibly zero) box.
+CHZonotope randomZonotope(Rng &R, size_t P, size_t K, bool WithBox) {
+  Vector Center = randomVector(R, P, 2.0);
+  Matrix Gens = randomMatrix(R, P, K, 0.5);
+  std::vector<uint64_t> Ids(K);
+  for (auto &Id : Ids)
+    Id = freshErrorTermId();
+  Vector Box(P, 0.0);
+  if (WithBox)
+    for (size_t I = 0; I < P; ++I)
+      Box[I] = std::fabs(R.gaussian(0.0, 0.3));
+  return CHZonotope(Center, Gens, Ids, Box);
+}
+
+/// Membership in a box-free zonotope with square invertible generators:
+/// x in gamma(Z) iff ||A^{-1}(x - a)||_inf <= 1.
+bool insideProper(const CHZonotope &Z, const Matrix &InvGens, const Vector &X,
+                  double Tol = 1e-9) {
+  Vector Nu = InvGens * (X - Z.center());
+  // Any box slack can absorb per-dimension remainder; handle b = 0 exactly
+  // and b > 0 conservatively by requiring the generator part alone to fit.
+  return Nu.normInf() <= 1.0 + Tol;
+}
+
+//===----------------------------------------------------------------------===//
+// IntervalVector
+//===----------------------------------------------------------------------===//
+
+TEST(IntervalTest, FromBoundsRoundTrip) {
+  IntervalVector B = IntervalVector::fromBounds(Vector{-1.0, 2.0},
+                                                Vector{3.0, 2.0});
+  EXPECT_DOUBLE_EQ(B.lowerBounds()[0], -1.0);
+  EXPECT_DOUBLE_EQ(B.upperBounds()[0], 3.0);
+  EXPECT_DOUBLE_EQ(B.radius()[1], 0.0);
+  EXPECT_DOUBLE_EQ(B.meanWidth(), 2.0);
+}
+
+TEST(IntervalTest, AffineIsExactHull) {
+  IntervalVector B = IntervalVector::fromBounds(Vector{-1.0, 0.0},
+                                                Vector{1.0, 2.0});
+  Matrix M = {{1.0, -1.0}, {2.0, 0.0}};
+  IntervalVector Y = B.affine(M, Vector{0.5, 0.0});
+  // dim0: x0 - x1 + 0.5 in [-3, 1] + 0.5.
+  EXPECT_DOUBLE_EQ(Y.lowerBounds()[0], -2.5);
+  EXPECT_DOUBLE_EQ(Y.upperBounds()[0], 1.5);
+  // dim1: 2 x0 in [-2, 2].
+  EXPECT_DOUBLE_EQ(Y.lowerBounds()[1], -2.0);
+  EXPECT_DOUBLE_EQ(Y.upperBounds()[1], 2.0);
+}
+
+TEST(IntervalTest, ReluPrefix) {
+  IntervalVector B = IntervalVector::fromBounds(Vector{-2.0, -3.0, 1.0},
+                                                Vector{-1.0, 4.0, 2.0});
+  IntervalVector Y = B.reluPrefix(2);
+  EXPECT_DOUBLE_EQ(Y.lowerBounds()[0], 0.0);
+  EXPECT_DOUBLE_EQ(Y.upperBounds()[0], 0.0);
+  EXPECT_DOUBLE_EQ(Y.lowerBounds()[1], 0.0);
+  EXPECT_DOUBLE_EQ(Y.upperBounds()[1], 4.0);
+  // Dimension 2 is beyond the prefix: untouched.
+  EXPECT_DOUBLE_EQ(Y.lowerBounds()[2], 1.0);
+}
+
+TEST(IntervalTest, JoinAndContains) {
+  IntervalVector A = IntervalVector::fromBounds(Vector{0.0}, Vector{1.0});
+  IntervalVector B = IntervalVector::fromBounds(Vector{2.0}, Vector{3.0});
+  IntervalVector J = IntervalVector::join(A, B);
+  EXPECT_TRUE(J.contains(A));
+  EXPECT_TRUE(J.contains(B));
+  EXPECT_FALSE(A.contains(J));
+}
+
+TEST(IntervalTest, StackAndSlice) {
+  IntervalVector A = IntervalVector::fromBounds(Vector{0.0}, Vector{1.0});
+  IntervalVector B = IntervalVector::fromBounds(Vector{-1.0, 5.0},
+                                                Vector{1.0, 6.0});
+  IntervalVector S = IntervalVector::stack(A, B);
+  EXPECT_EQ(S.dim(), 3u);
+  EXPECT_DOUBLE_EQ(S.upperBounds()[2], 6.0);
+  IntervalVector Back = S.slice(1, 2);
+  EXPECT_TRUE(Back.contains(B));
+  EXPECT_TRUE(B.contains(Back));
+}
+
+//===----------------------------------------------------------------------===//
+// CH-Zonotope basics
+//===----------------------------------------------------------------------===//
+
+TEST(CHZonotopeTest, FromBoxBounds) {
+  CHZonotope Z = CHZonotope::fromBox(Vector{-1.0, 2.0}, Vector{3.0, 2.0});
+  EXPECT_EQ(Z.numGenerators(), 1u); // Zero-width dims get no column.
+  EXPECT_DOUBLE_EQ(Z.lowerBounds()[0], -1.0);
+  EXPECT_DOUBLE_EQ(Z.upperBounds()[0], 3.0);
+  EXPECT_DOUBLE_EQ(Z.lowerBounds()[1], 2.0);
+}
+
+TEST(CHZonotopeTest, PointAbstraction) {
+  CHZonotope Z = CHZonotope::point(Vector{1.0, -2.0});
+  EXPECT_EQ(Z.numGenerators(), 0u);
+  EXPECT_DOUBLE_EQ(Z.meanWidth(), 0.0);
+}
+
+TEST(CHZonotopeTest, AffineIsExactOnErrorTerms) {
+  // Affine transformers on zonotopes are exact: evaluating the output
+  // abstraction at the same error values must reproduce the mapped point.
+  Rng R(1);
+  CHZonotope Z = randomZonotope(R, 3, 5, /*WithBox=*/false);
+  Matrix M = randomMatrix(R, 2, 3);
+  Vector T = randomVector(R, 2);
+  CHZonotope Y = Z.affine(M, T);
+  ASSERT_EQ(Y.numGenerators(), Z.numGenerators());
+
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    Vector Nu(Z.numGenerators());
+    for (double &V : Nu)
+      V = R.uniform(-1.0, 1.0);
+    Vector X = Z.center() + Z.generators() * Nu;
+    Vector Mapped = M * X + T;
+    Vector YEval = Y.center() + Y.generators() * Nu;
+    EXPECT_LT((Mapped - YEval).normInf(), 1e-10);
+  }
+}
+
+TEST(CHZonotopeTest, AffineBoxCastKeepsBounds) {
+  Rng R(2);
+  CHZonotope Z = randomZonotope(R, 3, 4, /*WithBox=*/true);
+  Matrix M = randomMatrix(R, 3, 3);
+  Vector T = randomVector(R, 3);
+
+  CHZonotope Cast = Z.affine(M, T, BoxPolicy::CastToGenerators);
+  CHZonotope Ivl = Z.affine(M, T, BoxPolicy::IntervalMap);
+
+  // Both are sound; sampled images must lie within both interval hulls, and
+  // the cast variant is at least as tight.
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    Vector X = samplePoint(R, Z);
+    Vector Y = M * X + T;
+    for (size_t I = 0; I < 3; ++I) {
+      EXPECT_LE(Y[I], Cast.upperBounds()[I] + 1e-9);
+      EXPECT_GE(Y[I], Cast.lowerBounds()[I] - 1e-9);
+      EXPECT_LE(Y[I], Ivl.upperBounds()[I] + 1e-9);
+      EXPECT_GE(Y[I], Ivl.lowerBounds()[I] - 1e-9);
+    }
+  }
+  for (size_t I = 0; I < 3; ++I) {
+    EXPECT_LE(Cast.upperBounds()[I], Ivl.upperBounds()[I] + 1e-9);
+    EXPECT_GE(Cast.lowerBounds()[I], Ivl.lowerBounds()[I] - 1e-9);
+  }
+}
+
+TEST(CHZonotopeTest, LinearCombineMergesSharedIds) {
+  // y = Z - Z must be exactly {0} when ids are shared.
+  Rng R(3);
+  CHZonotope Z = randomZonotope(R, 3, 6, /*WithBox=*/false);
+  Matrix I3 = Matrix::identity(3);
+  Matrix NegI3 = -1.0 * Matrix::identity(3);
+  std::pair<const Matrix *, const CHZonotope *> Terms[] = {{&I3, &Z},
+                                                           {&NegI3, &Z}};
+  CHZonotope Y = CHZonotope::linearCombine(Terms, Vector(3, 0.0));
+  EXPECT_DOUBLE_EQ(Y.meanWidth(), 0.0);
+  EXPECT_EQ(Y.numGenerators(), 0u); // Cancelled columns are pruned.
+}
+
+TEST(CHZonotopeTest, LinearCombineIndependentIdsConcatenate) {
+  Rng R(4);
+  CHZonotope A = randomZonotope(R, 2, 3, false);
+  CHZonotope B = randomZonotope(R, 2, 4, false);
+  Matrix I2 = Matrix::identity(2);
+  std::pair<const Matrix *, const CHZonotope *> Terms[] = {{&I2, &A},
+                                                           {&I2, &B}};
+  CHZonotope Y = CHZonotope::linearCombine(Terms, Vector(2, 0.0));
+  EXPECT_EQ(Y.numGenerators(), 7u);
+  // Minkowski sum: interval hull adds radii.
+  Vector Expect = A.concretizationRadius() + B.concretizationRadius();
+  EXPECT_LT((Y.concretizationRadius() - Expect).normInf(), 1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// ReLU transformer
+//===----------------------------------------------------------------------===//
+
+class ReluSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReluSoundnessTest, SampledPointsStayInsideHull) {
+  Rng R(600 + GetParam());
+  bool Absorb = GetParam() % 2 == 0;
+  CHZonotope Z = randomZonotope(R, 4, 6, /*WithBox=*/GetParam() % 3 == 0);
+  CHZonotope Y = Z.reluPrefix(4, Vector(), Absorb);
+
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    Vector Nu(Z.numGenerators());
+    for (double &V : Nu)
+      V = R.uniform(-1.0, 1.0);
+    Vector X = Z.center() + Z.generators() * Nu;
+    for (size_t I = 0; I < Z.dim(); ++I)
+      X[I] += Z.boxRadius()[I] * R.uniform(-1.0, 1.0);
+    // The relaxation is per-error-term affine, so membership of the image
+    // is certain within the interval hull; additionally the generator part
+    // must track the same nu for stable dimensions.
+    for (size_t I = 0; I < Z.dim(); ++I) {
+      double Relu = std::max(0.0, X[I]);
+      EXPECT_LE(Relu, Y.upperBounds()[I] + 1e-9);
+      EXPECT_GE(Relu, Y.lowerBounds()[I] - 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReluSoundnessTest, ::testing::Range(0, 12));
+
+TEST(ReluTest, StableDimensionsExact) {
+  // Strictly positive and strictly negative dims map exactly.
+  Vector Center = {5.0, -5.0};
+  Matrix Gens(2, 1);
+  Gens(0, 0) = 1.0;
+  Gens(1, 0) = 1.0;
+  CHZonotope Z(Center, Gens, {freshErrorTermId()}, Vector(2, 0.0));
+  CHZonotope Y = Z.reluPrefix(2);
+  EXPECT_DOUBLE_EQ(Y.lowerBounds()[0], 4.0);
+  EXPECT_DOUBLE_EQ(Y.upperBounds()[0], 6.0);
+  EXPECT_DOUBLE_EQ(Y.lowerBounds()[1], 0.0);
+  EXPECT_DOUBLE_EQ(Y.upperBounds()[1], 0.0);
+}
+
+TEST(ReluTest, UnstableDimensionMinimalAreaBounds) {
+  // x in [-1, 3]: lambda = 3/4, y in [3/4 x, 3/4 x + 3/4].
+  Vector Center = {1.0};
+  Matrix Gens(1, 1);
+  Gens(0, 0) = 2.0;
+  CHZonotope Z(Center, Gens, {freshErrorTermId()}, Vector(1, 0.0));
+  CHZonotope Y = Z.reluPrefix(1);
+  // Upper bound: 3/4 * 3 + 3/4 = 3; lower: 3/4 * (-1) + 3/8 - 3/8 = -3/4.
+  EXPECT_NEAR(Y.upperBounds()[0], 3.0, 1e-12);
+  EXPECT_NEAR(Y.lowerBounds()[0], -0.75, 1e-12);
+  // New error lands in the Box component (CH transformer default).
+  EXPECT_GT(Y.boxRadius()[0], 0.0);
+  EXPECT_EQ(Y.numGenerators(), 1u);
+}
+
+TEST(ReluTest, ZonotopeModeAppendsColumns) {
+  Vector Center = {1.0};
+  Matrix Gens(1, 1);
+  Gens(0, 0) = 2.0;
+  CHZonotope Z(Center, Gens, {freshErrorTermId()}, Vector(1, 0.0));
+  CHZonotope Y = Z.reluPrefix(1, Vector(), /*AbsorbIntoBox=*/false);
+  EXPECT_EQ(Y.numGenerators(), 2u);
+  EXPECT_DOUBLE_EQ(Y.boxRadius()[0], 0.0);
+  EXPECT_NEAR(Y.upperBounds()[0], 3.0, 1e-12);
+}
+
+TEST(ReluTest, LambdaOverrideSoundAcrossRange) {
+  // Any lambda in [0, 1] gives a sound relaxation; scan a few.
+  Rng R(77);
+  CHZonotope Z = randomZonotope(R, 3, 4, false);
+  for (double Lambda : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    CHZonotope Y = Z.reluPrefix(3, Vector(3, Lambda));
+    for (int Trial = 0; Trial < 40; ++Trial) {
+      Vector X = samplePoint(R, Z);
+      for (size_t I = 0; I < 3; ++I) {
+        double Relu = std::max(0.0, X[I]);
+        EXPECT_LE(Relu, Y.upperBounds()[I] + 1e-9) << "lambda " << Lambda;
+        EXPECT_GE(Relu, Y.lowerBounds()[I] - 1e-9) << "lambda " << Lambda;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Consolidation (Thm 4.1) and containment (Thm 4.2)
+//===----------------------------------------------------------------------===//
+
+class ConsolidationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConsolidationTest, ConsolidatedContainsOriginal) {
+  Rng R(700 + GetParam());
+  const size_t P = 4;
+  CHZonotope Z = randomZonotope(R, P, 9, /*WithBox=*/GetParam() % 2 == 0);
+  ConsolidationBasis Basis(P, 1);
+  Basis.refresh(Z.generators());
+  CHZonotope C = Z.consolidate(Basis.basis(), Basis.basisInv());
+  ASSERT_EQ(C.numGenerators(), P);
+
+  // Thm 4.1 argument: any generator point A nu must satisfy
+  // ||A'^{-1} A nu||_inf <= 1 (the box part carries over unchanged).
+  LuDecomposition Lu(C.generators());
+  ASSERT_FALSE(Lu.isSingular());
+  Matrix Inv = Lu.inverse();
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    Vector Nu(Z.numGenerators());
+    for (double &V : Nu)
+      V = R.uniform(-1.0, 1.0);
+    Vector GenPart = Z.generators() * Nu;
+    Vector NuNew = Inv * GenPart;
+    EXPECT_LE(NuNew.normInf(), 1.0 + 1e-9);
+  }
+  // Center and box are untouched.
+  EXPECT_LT((C.center() - Z.center()).normInf(), 1e-15);
+  EXPECT_LT((C.boxRadius() - Z.boxRadius()).normInf(), 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsolidationTest, ::testing::Range(0, 10));
+
+TEST(ConsolidationTest, ExpansionEnlarges) {
+  Rng R(71);
+  CHZonotope Z = randomZonotope(R, 3, 7, false);
+  ConsolidationBasis Basis(3, 1);
+  Basis.refresh(Z.generators());
+  CHZonotope Plain = Z.consolidate(Basis.basis(), Basis.basisInv());
+  CHZonotope Expanded =
+      Z.consolidate(Basis.basis(), Basis.basisInv(), 0.1, 0.05);
+  for (size_t I = 0; I < 3; ++I)
+    EXPECT_GT(Expanded.concretizationRadius()[I],
+              Plain.concretizationRadius()[I]);
+}
+
+TEST(ConsolidationTest, RankDeficientGeneratorsStayProper) {
+  // A single generator in R^3: consolidation must still produce an
+  // invertible (floored) generator matrix.
+  Matrix Gens(3, 1);
+  Gens(0, 0) = 1.0;
+  CHZonotope Z(Vector(3, 0.0), Gens, {freshErrorTermId()}, Vector(3, 0.0));
+  ConsolidationBasis Basis(3, 1);
+  Basis.refresh(Z.generators());
+  CHZonotope C = Z.consolidate(Basis.basis(), Basis.basisInv());
+  EXPECT_FALSE(LuDecomposition(C.generators()).isSingular());
+}
+
+TEST(ContainmentTest, DetectsContainedAndNot) {
+  Rng R(73);
+  const size_t P = 3;
+  CHZonotope Inner = randomZonotope(R, P, 5, /*WithBox=*/true);
+  ConsolidationBasis Basis(P, 1);
+  Basis.refresh(Inner.generators());
+  // The consolidation of Inner scaled up strictly contains Inner.
+  CHZonotope Outer = Inner.consolidate(Basis.basis(), Basis.basisInv(),
+                                       /*WMul=*/0.2, /*WAdd=*/0.1);
+  Matrix OuterInv = LuDecomposition(Outer.generators()).inverse();
+  ContainmentResult Res = containsCH(Outer, OuterInv, Inner);
+  EXPECT_TRUE(Res.Contained);
+  EXPECT_LE(Res.Slack, 1.0);
+
+  // Shifting the inner far away must break containment.
+  Vector ShiftedCenter = Inner.center();
+  ShiftedCenter[0] += 100.0;
+  CHZonotope Shifted(ShiftedCenter, Inner.generators(), Inner.termIds(),
+                     Inner.boxRadius());
+  EXPECT_FALSE(containsCH(Outer, OuterInv, Shifted).Contained);
+}
+
+TEST(ContainmentTest, SoundOnSampledPoints) {
+  // When the check succeeds, every sampled inner point must lie in the
+  // outer set (verified exactly via the proper representation, b = 0).
+  Rng R(74);
+  const size_t P = 4;
+  for (int Case = 0; Case < 10; ++Case) {
+    CHZonotope Inner = randomZonotope(R, P, 6, /*WithBox=*/true);
+    ConsolidationBasis Basis(P, 1);
+    Basis.refresh(Inner.generators());
+    CHZonotope Outer =
+        Inner.consolidate(Basis.basis(), Basis.basisInv(), 0.3, 0.2);
+    // Fold the outer box into generators to allow exact membership testing.
+    Vector NoBox(P, 0.0);
+    Matrix FullGens = Matrix::hcat(
+        Outer.generators(),
+        Matrix::diagonal(Outer.boxRadius())); // p x (p + p): improper.
+    // Re-consolidate to proper with zero expansion.
+    std::vector<uint64_t> Ids(FullGens.cols());
+    for (auto &Id : Ids)
+      Id = freshErrorTermId();
+    CHZonotope OuterFull(Outer.center(), FullGens, Ids, NoBox);
+    ConsolidationBasis B2(P, 1);
+    B2.refresh(FullGens);
+    CHZonotope OuterProper = OuterFull.consolidate(B2.basis(), B2.basisInv());
+    Matrix OuterInv = LuDecomposition(OuterProper.generators()).inverse();
+
+    ContainmentResult Res = containsCH(OuterProper, OuterInv, Inner);
+    if (!Res.Contained)
+      continue;
+    for (int Trial = 0; Trial < 30; ++Trial) {
+      Vector X = samplePoint(R, Inner);
+      EXPECT_TRUE(insideProper(OuterProper, OuterInv, X));
+    }
+  }
+}
+
+TEST(ContainmentTest, CompleteForProperPair) {
+  // For two aligned boxes the check is exact: containment iff geometric
+  // containment.
+  CHZonotope Small = CHZonotope::fromBox(Vector{-1.0, -1.0}, Vector{1.0, 1.0});
+  CHZonotope Big = CHZonotope::fromBox(Vector{-2.0, -2.0}, Vector{2.0, 2.0});
+  Matrix BigInv = LuDecomposition(Big.generators()).inverse();
+  EXPECT_TRUE(containsCH(Big, BigInv, Small).Contained);
+  Matrix SmallInv = LuDecomposition(Small.generators()).inverse();
+  EXPECT_FALSE(containsCH(Small, SmallInv, Big).Contained);
+  // Slack is the exact ratio 2 for the reversed query.
+  EXPECT_NEAR(containsCH(Small, SmallInv, Big).Slack, 2.0, 1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// Stack / slice / join
+//===----------------------------------------------------------------------===//
+
+TEST(CHZonotopeTest, StackPreservesSharedIds) {
+  Rng R(75);
+  CHZonotope Z = randomZonotope(R, 2, 3, false);
+  CHZonotope S = CHZonotope::stack(Z, Z);
+  EXPECT_EQ(S.dim(), 4u);
+  EXPECT_EQ(S.numGenerators(), 3u); // Shared ids merge, not duplicate.
+  // Slicing back yields the original bounds.
+  CHZonotope Back = S.slice(2, 2);
+  EXPECT_LT((Back.lowerBounds() - Z.lowerBounds()).normInf(), 1e-12);
+}
+
+TEST(CHZonotopeTest, JoinIsSound) {
+  Rng R(76);
+  for (int Case = 0; Case < 8; ++Case) {
+    CHZonotope A = randomZonotope(R, 3, 4, true);
+    // B shares A's error terms partially (mimics one more solver iteration).
+    Matrix M = randomMatrix(R, 3, 3, 0.4);
+    CHZonotope B = A.affine(M, randomVector(R, 3, 0.5));
+    CHZonotope J = CHZonotope::join(A, B);
+    for (int Trial = 0; Trial < 40; ++Trial) {
+      Vector XA = samplePoint(R, A);
+      Vector XB = samplePoint(R, B);
+      for (size_t I = 0; I < 3; ++I) {
+        EXPECT_LE(XA[I], J.upperBounds()[I] + 1e-9);
+        EXPECT_GE(XA[I], J.lowerBounds()[I] - 1e-9);
+        EXPECT_LE(XB[I], J.upperBounds()[I] + 1e-9);
+        EXPECT_GE(XB[I], J.lowerBounds()[I] - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(CHZonotopeTest, JoinOfIdenticalIsIdentity) {
+  Rng R(78);
+  CHZonotope A = randomZonotope(R, 3, 5, true);
+  CHZonotope J = CHZonotope::join(A, A);
+  EXPECT_LT((J.lowerBounds() - A.lowerBounds()).normInf(), 1e-12);
+  EXPECT_LT((J.upperBounds() - A.upperBounds()).normInf(), 1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// Volume
+//===----------------------------------------------------------------------===//
+
+TEST(VolumeTest, UnitBoxAndParallelogram) {
+  CHZonotope Box = CHZonotope::fromBox(Vector{-1.0, -1.0}, Vector{1.0, 1.0});
+  EXPECT_NEAR(zonotopeVolume(Box), 4.0, 1e-12);
+
+  // Generators (1,0) and (1,1): area = 4 * |det| = 4.
+  Matrix Gens = {{1.0, 1.0}, {0.0, 1.0}};
+  CHZonotope Par(Vector(2, 0.0), Gens,
+                 {freshErrorTermId(), freshErrorTermId()}, Vector(2, 0.0));
+  EXPECT_NEAR(zonotopeVolume(Par), 4.0, 1e-12);
+}
+
+TEST(VolumeTest, BoxComponentCounts) {
+  // Zonotope {0} + box [-1,1]^2: volume 4.
+  CHZonotope Z(Vector(2, 0.0), Matrix(2, 0), {}, Vector(2, 1.0));
+  EXPECT_NEAR(zonotopeVolume(Z), 4.0, 1e-12);
+}
+
+TEST(VolumeTest, DegenerateIsZero) {
+  Matrix Gens(2, 1);
+  Gens(0, 0) = 1.0;
+  CHZonotope Z(Vector(2, 0.0), Gens, {freshErrorTermId()}, Vector(2, 0.0));
+  EXPECT_DOUBLE_EQ(zonotopeVolume(Z), 0.0);
+}
+
+TEST(VolumeTest, MinkowskiSumGrowsVolume) {
+  Rng R(79);
+  CHZonotope A = randomZonotope(R, 2, 3, false);
+  CHZonotope B = randomZonotope(R, 2, 2, false);
+  Matrix I2 = Matrix::identity(2);
+  std::pair<const Matrix *, const CHZonotope *> Terms[] = {{&I2, &A},
+                                                           {&I2, &B}};
+  CHZonotope Sum = CHZonotope::linearCombine(Terms, Vector(2, 0.0));
+  EXPECT_GE(zonotopeVolume(Sum), zonotopeVolume(A) - 1e-12);
+  EXPECT_GE(zonotopeVolume(Sum), zonotopeVolume(B) - 1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// LP containment baseline (Sadraddini-Tedrake)
+//===----------------------------------------------------------------------===//
+
+TEST(LpContainmentTest, BoxesExact) {
+  CHZonotope Small = CHZonotope::fromBox(Vector{-1.0, -1.0}, Vector{1.0, 1.0});
+  CHZonotope Big = CHZonotope::fromBox(Vector{-1.5, -2.0}, Vector{1.5, 2.0});
+  EXPECT_TRUE(containsZonotopeLP(Big, Small));
+  EXPECT_FALSE(containsZonotopeLP(Small, Big));
+}
+
+TEST(LpContainmentTest, RotatedZonotope) {
+  // Diamond (generators (1,1), (1,-1)) contains the box [-0.9, 0.9]^2
+  // scaled by 0.5... check both directions on a known pair.
+  Matrix DiamondGens = {{1.0, 1.0}, {1.0, -1.0}};
+  CHZonotope Diamond(Vector(2, 0.0), DiamondGens,
+                     {freshErrorTermId(), freshErrorTermId()},
+                     Vector(2, 0.0));
+  CHZonotope SmallBox =
+      CHZonotope::fromBox(Vector{-0.9, -0.9}, Vector{0.9, 0.9});
+  EXPECT_TRUE(containsZonotopeLP(Diamond, SmallBox));
+  CHZonotope BigBox = CHZonotope::fromBox(Vector{-1.9, -1.9},
+                                          Vector{1.9, 1.9});
+  EXPECT_FALSE(containsZonotopeLP(Diamond, BigBox));
+}
+
+TEST(LpContainmentTest, AgreesWithCHCheckWhenCHSucceeds) {
+  // The CH check is sound, the LP check is (near) complete: whenever CH says
+  // contained, LP must agree.
+  Rng R(80);
+  for (int Case = 0; Case < 5; ++Case) {
+    CHZonotope Inner = randomZonotope(R, 3, 4, false);
+    ConsolidationBasis Basis(3, 1);
+    Basis.refresh(Inner.generators());
+    CHZonotope Outer =
+        Inner.consolidate(Basis.basis(), Basis.basisInv(), 0.1, 0.05);
+    Matrix OuterInv = LuDecomposition(Outer.generators()).inverse();
+    if (containsCH(Outer, OuterInv, Inner).Contained) {
+      EXPECT_TRUE(containsZonotopeLP(Outer, Inner));
+    }
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Additional property sweeps
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class LambdaScaleSweepTest : public ::testing::TestWithParam<double> {};
+
+// Property: the ReLU transformer stays sound for any slope scaling factor
+// (the knob lambda optimization turns, App. C).
+TEST_P(LambdaScaleSweepTest, ScaledReluSound) {
+  Rng R(900 + static_cast<int>(GetParam() * 100));
+  CHZonotope Z = randomZonotope(R, 4, 5, /*WithBox=*/true);
+  CHZonotope Y = Z.reluPrefix(4, Vector(), true, GetParam());
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    Vector X = samplePoint(R, Z);
+    for (size_t I = 0; I < 4; ++I) {
+      double Relu = std::max(0.0, X[I]);
+      EXPECT_LE(Relu, Y.upperBounds()[I] + 1e-9);
+      EXPECT_GE(Relu, Y.lowerBounds()[I] - 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, LambdaScaleSweepTest,
+                         ::testing::Values(0.0, 0.3, 0.7, 0.9, 1.0, 1.1,
+                                           1.5, 3.0));
+
+TEST(CHZonotopeTest, BoxCastToGeneratorsIsExact) {
+  Rng R(901);
+  CHZonotope Z = randomZonotope(R, 3, 4, /*WithBox=*/true);
+  CHZonotope Cast = Z.boxCastToGenerators();
+  EXPECT_DOUBLE_EQ(Cast.boxRadius().normInf(), 0.0);
+  // Interval hulls agree exactly.
+  EXPECT_LT((Cast.lowerBounds() - Z.lowerBounds()).normInf(), 1e-14);
+  EXPECT_LT((Cast.upperBounds() - Z.upperBounds()).normInf(), 1e-14);
+  // Idempotent on box-free inputs.
+  CHZonotope Twice = Cast.boxCastToGenerators();
+  EXPECT_EQ(Twice.numGenerators(), Cast.numGenerators());
+}
+
+TEST(ContainmentTest, SlackScalesLinearlyWithInner) {
+  // For a box-free inner, the Thm 4.2 slack is 1-homogeneous in the inner
+  // generators: scaling the inner scales the generator part of the slack.
+  Rng R(902);
+  CHZonotope Inner = randomZonotope(R, 3, 5, /*WithBox=*/false);
+  ConsolidationBasis Basis(3, 1);
+  Basis.refresh(Inner.generators());
+  CHZonotope Outer = Inner.consolidate(Basis.basis(), Basis.basisInv(), 0.5,
+                                       0.0);
+  Matrix OuterInv = LuDecomposition(Outer.generators()).inverse();
+
+  // Center the inner on the outer so the d-term vanishes.
+  CHZonotope Centered(Outer.center(), Inner.generators(), Inner.termIds(),
+                      Inner.boxRadius());
+  double Slack1 = containsCH(Outer, OuterInv, Centered).Slack;
+  Matrix Scaled = Centered.generators();
+  Scaled *= 0.5;
+  CHZonotope Half(Outer.center(), std::move(Scaled), Centered.termIds(),
+                  Centered.boxRadius());
+  double SlackHalf = containsCH(Outer, OuterInv, Half).Slack;
+  EXPECT_NEAR(SlackHalf, 0.5 * Slack1, 1e-9);
+}
+
+TEST(ContainmentTest, ShrunkInnerAlwaysContained) {
+  // If the check accepts the inner, it must accept any center-preserving
+  // shrinking of it (monotonicity of Thm 4.2 in the inner size).
+  Rng R(903);
+  for (int Case = 0; Case < 6; ++Case) {
+    CHZonotope Inner = randomZonotope(R, 4, 6, /*WithBox=*/true);
+    ConsolidationBasis Basis(4, 1);
+    Basis.refresh(Inner.generators());
+    CHZonotope Outer =
+        Inner.consolidate(Basis.basis(), Basis.basisInv(), 0.2, 0.1);
+    Matrix OuterInv = LuDecomposition(Outer.generators()).inverse();
+    if (!containsCH(Outer, OuterInv, Inner).Contained)
+      continue;
+    for (double Scale : {0.75, 0.5, 0.1}) {
+      Matrix Gens = Inner.generators();
+      Gens *= Scale;
+      Vector Box = Inner.boxRadius();
+      Box *= Scale;
+      CHZonotope Shrunk(Inner.center(), std::move(Gens), Inner.termIds(),
+                        std::move(Box));
+      EXPECT_TRUE(containsCH(Outer, OuterInv, Shrunk).Contained)
+          << "scale " << Scale;
+    }
+  }
+}
+
+TEST(CHZonotopeTest, SliceStackRoundTripWithBox) {
+  Rng R(904);
+  CHZonotope Top = randomZonotope(R, 2, 3, true);
+  CHZonotope Bottom = randomZonotope(R, 3, 2, true);
+  CHZonotope S = CHZonotope::stack(Top, Bottom);
+  ASSERT_EQ(S.dim(), 5u);
+  CHZonotope T2 = S.slice(0, 2), B2 = S.slice(2, 3);
+  EXPECT_LT((T2.lowerBounds() - Top.lowerBounds()).normInf(), 1e-13);
+  EXPECT_LT((T2.upperBounds() - Top.upperBounds()).normInf(), 1e-13);
+  EXPECT_LT((B2.lowerBounds() - Bottom.lowerBounds()).normInf(), 1e-13);
+  EXPECT_LT((B2.upperBounds() - Bottom.upperBounds()).normInf(), 1e-13);
+}
+
+TEST(VolumeTest, VolumeInvariantUnderRotation) {
+  // Rotating a 2-d zonotope preserves its volume (|det R| = 1).
+  Rng R(905);
+  CHZonotope Z = randomZonotope(R, 2, 4, false);
+  double Angle = 0.7;
+  Matrix Rot = {{std::cos(Angle), -std::sin(Angle)},
+                {std::sin(Angle), std::cos(Angle)}};
+  CHZonotope Rotated = Z.affine(Rot, Vector(2, 0.0));
+  EXPECT_NEAR(zonotopeVolume(Rotated), zonotopeVolume(Z), 1e-9);
+}
+
+TEST(OrderReductionTest, BasisRefreshScheduleHonored) {
+  Rng R(906);
+  ConsolidationBasis Basis(3, /*RefreshEvery=*/3);
+  Matrix A1 = randomMatrix(R, 3, 6);
+  Basis.refresh(A1);
+  Matrix First = Basis.basis();
+  // Two more refreshes reuse the cached basis even for new generators.
+  Basis.refresh(randomMatrix(R, 3, 6));
+  EXPECT_LT((Basis.basis() - First).maxAbs(), 1e-15);
+  Basis.refresh(randomMatrix(R, 3, 6));
+  EXPECT_LT((Basis.basis() - First).maxAbs(), 1e-15);
+  // The fourth call recomputes.
+  Matrix A2 = randomMatrix(R, 3, 6);
+  Basis.refresh(A2);
+  EXPECT_GT((Basis.basis() - First).maxAbs(), 1e-12);
+  // invalidate() forces an immediate recomputation.
+  Basis.invalidate();
+  Basis.refresh(A1);
+  EXPECT_LT((Basis.basis() - First).maxAbs(), 1e-12);
+}
+
+} // namespace

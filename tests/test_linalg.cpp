@@ -1,0 +1,327 @@
+//===- tests/test_linalg.cpp - Linear algebra substrate tests -------------===//
+
+#include "linalg/Eig.h"
+#include "linalg/Lu.h"
+#include "linalg/Matrix.h"
+#include "linalg/Pca.h"
+#include "linalg/Qr.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace craft;
+
+namespace {
+
+Matrix randomMatrix(Rng &R, size_t Rows, size_t Cols, double Scale = 1.0) {
+  Matrix M(Rows, Cols);
+  for (size_t I = 0; I < Rows; ++I)
+    for (size_t J = 0; J < Cols; ++J)
+      M(I, J) = R.gaussian(0.0, Scale);
+  return M;
+}
+
+Vector randomVector(Rng &R, size_t N, double Scale = 1.0) {
+  Vector V(N);
+  for (size_t I = 0; I < N; ++I)
+    V[I] = R.gaussian(0.0, Scale);
+  return V;
+}
+
+double maxAbsDiff(const Matrix &A, const Matrix &B) {
+  return (A - B).maxAbs();
+}
+
+//===----------------------------------------------------------------------===//
+// Vector
+//===----------------------------------------------------------------------===//
+
+TEST(VectorTest, ArithmeticAndNorms) {
+  Vector A = {1.0, -2.0, 3.0};
+  Vector B = {0.5, 0.5, 0.5};
+  Vector Sum = A + B;
+  EXPECT_DOUBLE_EQ(Sum[0], 1.5);
+  EXPECT_DOUBLE_EQ(Sum[1], -1.5);
+  EXPECT_DOUBLE_EQ(Sum[2], 3.5);
+  EXPECT_DOUBLE_EQ(A.normInf(), 3.0);
+  EXPECT_DOUBLE_EQ(A.norm1(), 6.0);
+  EXPECT_NEAR(A.norm2(), std::sqrt(14.0), 1e-14);
+  EXPECT_DOUBLE_EQ(dot(A, B), 0.5 - 1.0 + 1.5);
+}
+
+TEST(VectorTest, CwiseOps) {
+  Vector A = {1.0, -2.0};
+  Vector B = {-3.0, 5.0};
+  Vector Mx = cwiseMax(A, B);
+  Vector Mn = cwiseMin(A, B);
+  EXPECT_DOUBLE_EQ(Mx[0], 1.0);
+  EXPECT_DOUBLE_EQ(Mx[1], 5.0);
+  EXPECT_DOUBLE_EQ(Mn[0], -3.0);
+  EXPECT_DOUBLE_EQ(Mn[1], -2.0);
+  Vector Abs = A.abs();
+  EXPECT_DOUBLE_EQ(Abs[1], 2.0);
+  Vector Floored = B.cwiseMax(0.0);
+  EXPECT_DOUBLE_EQ(Floored[0], 0.0);
+  EXPECT_DOUBLE_EQ(Floored[1], 5.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Matrix
+//===----------------------------------------------------------------------===//
+
+TEST(MatrixTest, MatmulKnown) {
+  Matrix A = {{1.0, 2.0}, {3.0, 4.0}};
+  Matrix B = {{5.0, 6.0}, {7.0, 8.0}};
+  Matrix C = A * B;
+  EXPECT_DOUBLE_EQ(C(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(C(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(C(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(C(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatvecKnown) {
+  Matrix A = {{1.0, 0.0, -1.0}, {2.0, 1.0, 0.0}};
+  Vector X = {3.0, 4.0, 5.0};
+  Vector Y = A * X;
+  EXPECT_DOUBLE_EQ(Y[0], -2.0);
+  EXPECT_DOUBLE_EQ(Y[1], 10.0);
+}
+
+TEST(MatrixTest, TransposeIdentityDiagonal) {
+  Matrix A = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix At = A.transpose();
+  EXPECT_EQ(At.rows(), 3u);
+  EXPECT_EQ(At.cols(), 2u);
+  EXPECT_DOUBLE_EQ(At(2, 1), 6.0);
+  Matrix I = Matrix::identity(3);
+  EXPECT_NEAR(maxAbsDiff(I * At, At), 0.0, 1e-15);
+  Matrix D = Matrix::diagonal(Vector{2.0, 3.0});
+  EXPECT_DOUBLE_EQ((D * A)(1, 0), 12.0);
+}
+
+TEST(MatrixTest, HcatAndColRange) {
+  Matrix A = {{1.0}, {2.0}};
+  Matrix B = {{3.0, 4.0}, {5.0, 6.0}};
+  Matrix C = Matrix::hcat(A, B);
+  EXPECT_EQ(C.cols(), 3u);
+  EXPECT_DOUBLE_EQ(C(1, 2), 6.0);
+  Matrix Mid = C.colRange(1, 2);
+  EXPECT_NEAR(maxAbsDiff(Mid, B), 0.0, 1e-15);
+  // hcat with an empty side is the identity operation.
+  Matrix E;
+  EXPECT_NEAR(maxAbsDiff(Matrix::hcat(E, B), B), 0.0, 1e-15);
+}
+
+TEST(MatrixTest, RowAbsSums) {
+  Matrix A = {{1.0, -2.0}, {-3.0, -4.0}};
+  Vector S = A.rowAbsSums();
+  EXPECT_DOUBLE_EQ(S[0], 3.0);
+  EXPECT_DOUBLE_EQ(S[1], 7.0);
+}
+
+TEST(MatrixTest, MatmulAssociativityProperty) {
+  Rng R(7);
+  Matrix A = randomMatrix(R, 4, 6);
+  Matrix B = randomMatrix(R, 6, 3);
+  Matrix C = randomMatrix(R, 3, 5);
+  EXPECT_LT(maxAbsDiff((A * B) * C, A * (B * C)), 1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// LU
+//===----------------------------------------------------------------------===//
+
+TEST(LuTest, SolveKnownSystem) {
+  Matrix A = {{2.0, 1.0}, {1.0, 3.0}};
+  LuDecomposition Lu(A);
+  ASSERT_FALSE(Lu.isSingular());
+  Vector X = Lu.solve(Vector{5.0, 10.0});
+  EXPECT_NEAR(X[0], 1.0, 1e-12);
+  EXPECT_NEAR(X[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantKnown) {
+  Matrix A = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_NEAR(LuDecomposition(A).determinant(), -2.0, 1e-12);
+  // Permutation-heavy case exercises the pivot sign.
+  Matrix P = {{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_NEAR(LuDecomposition(P).determinant(), -1.0, 1e-12);
+}
+
+TEST(LuTest, SingularDetection) {
+  Matrix A = {{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_TRUE(LuDecomposition(A).isSingular());
+  EXPECT_DOUBLE_EQ(LuDecomposition(A).determinant(), 0.0);
+}
+
+class LuRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomTest, InverseRoundTrip) {
+  Rng R(100 + GetParam());
+  size_t N = static_cast<size_t>(GetParam());
+  Matrix A = randomMatrix(R, N, N);
+  // Diagonal boost keeps the random matrix comfortably non-singular.
+  for (size_t I = 0; I < N; ++I)
+    A(I, I) += 3.0;
+  LuDecomposition Lu(A);
+  ASSERT_FALSE(Lu.isSingular());
+  EXPECT_LT(maxAbsDiff(A * Lu.inverse(), Matrix::identity(N)), 1e-9);
+
+  Vector B = randomVector(R, N);
+  Vector X = Lu.solve(B);
+  EXPECT_LT((A * X - B).normInf(), 1e-9);
+
+  Matrix Bm = randomMatrix(R, N, 3);
+  Matrix Xm = Lu.solve(Bm);
+  EXPECT_LT(maxAbsDiff(A * Xm, Bm), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 25, 60));
+
+//===----------------------------------------------------------------------===//
+// Symmetric eigendecomposition
+//===----------------------------------------------------------------------===//
+
+TEST(EigTest, Known2x2) {
+  Matrix A = {{2.0, 1.0}, {1.0, 2.0}};
+  SymmetricEig E = symmetricEig(A);
+  EXPECT_NEAR(E.Values[0], 1.0, 1e-10);
+  EXPECT_NEAR(E.Values[1], 3.0, 1e-10);
+}
+
+TEST(EigTest, DiagonalMatrix) {
+  Matrix A = Matrix::diagonal(Vector{5.0, -1.0, 2.0});
+  SymmetricEig E = symmetricEig(A);
+  EXPECT_NEAR(E.Values[0], -1.0, 1e-12);
+  EXPECT_NEAR(E.Values[1], 2.0, 1e-12);
+  EXPECT_NEAR(E.Values[2], 5.0, 1e-12);
+}
+
+class EigRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigRandomTest, ReconstructionAndOrthogonality) {
+  Rng R(200 + GetParam());
+  size_t N = static_cast<size_t>(GetParam());
+  Matrix M = randomMatrix(R, N, N);
+  Matrix A = 0.5 * (M + M.transpose());
+  SymmetricEig E = symmetricEig(A);
+
+  // Eigenvalues ascend.
+  for (size_t I = 1; I < N; ++I)
+    EXPECT_LE(E.Values[I - 1], E.Values[I] + 1e-12);
+
+  // V^T V = I.
+  EXPECT_LT(maxAbsDiff(E.Vectors.transpose() * E.Vectors,
+                       Matrix::identity(N)),
+            1e-9);
+
+  // A v = lambda v for every pair.
+  for (size_t J = 0; J < N; ++J) {
+    Vector V = E.Vectors.col(J);
+    Vector Res = A * V - E.Values[J] * V;
+    EXPECT_LT(Res.normInf(), 1e-8) << "eigenpair " << J;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 20, 50));
+
+TEST(EigTest, SpectralNormMatchesKnown) {
+  // Diagonal: spectral norm is the largest |entry|.
+  Matrix D = Matrix::diagonal(Vector{-7.0, 3.0, 1.0});
+  EXPECT_NEAR(spectralNorm(D), 7.0, 1e-9);
+  // Rank-1 u v^T has spectral norm |u| |v|.
+  Vector U = {3.0, 4.0};
+  Vector V = {1.0, 2.0, 2.0};
+  Matrix R1(2, 3);
+  for (size_t I = 0; I < 2; ++I)
+    for (size_t J = 0; J < 3; ++J)
+      R1(I, J) = U[I] * V[J];
+  EXPECT_NEAR(spectralNorm(R1), 5.0 * 3.0, 1e-8);
+}
+
+//===----------------------------------------------------------------------===//
+// QR
+//===----------------------------------------------------------------------===//
+
+class QrRandomTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrRandomTest, FactorizationProperties) {
+  auto [RowsI, ColsI] = GetParam();
+  size_t Rows = static_cast<size_t>(RowsI), Cols = static_cast<size_t>(ColsI);
+  Rng R(300 + RowsI * 17 + ColsI);
+  Matrix A = randomMatrix(R, Rows, Cols);
+  QrResult F = qr(A);
+  EXPECT_LT(maxAbsDiff(F.Q * F.R, A), 1e-10);
+  EXPECT_LT(maxAbsDiff(F.Q.transpose() * F.Q, Matrix::identity(Rows)), 1e-10);
+  // R is upper trapezoidal.
+  for (size_t I = 1; I < Rows; ++I)
+    for (size_t J = 0; J < std::min<size_t>(I, Cols); ++J)
+      EXPECT_NEAR(F.R(I, J), 0.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrRandomTest,
+                         ::testing::Values(std::pair{3, 3}, std::pair{5, 2},
+                                           std::pair{2, 5}, std::pair{10, 10},
+                                           std::pair{1, 1}));
+
+TEST(QrTest, RankDetection) {
+  Matrix A = {{1.0, 2.0, 3.0}, {2.0, 4.0, 6.0}, {0.0, 0.0, 1.0}};
+  EXPECT_EQ(matrixRank(A), 2u);
+  EXPECT_EQ(matrixRank(Matrix(3, 3, 0.0)), 0u);
+  EXPECT_EQ(matrixRank(Matrix::identity(4)), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// PCA
+//===----------------------------------------------------------------------===//
+
+TEST(PcaTest, BasisIsOrthogonalAndOrdered) {
+  Rng R(42);
+  Matrix A = randomMatrix(R, 5, 12);
+  Matrix B = pcaBasis(A);
+  EXPECT_LT(maxAbsDiff(B.transpose() * B, Matrix::identity(5)), 1e-9);
+
+  // Column j of B explains at least as much variance as column j+1.
+  Matrix Proj = B.transpose() * A;
+  Vector Var(5, 0.0);
+  for (size_t I = 0; I < 5; ++I)
+    for (size_t J = 0; J < 12; ++J)
+      Var[I] += Proj(I, J) * Proj(I, J);
+  for (size_t I = 1; I < 5; ++I)
+    EXPECT_GE(Var[I - 1], Var[I] - 1e-9);
+}
+
+TEST(PcaTest, DominantDirectionRecovered) {
+  // Columns clustered along (3, 4)/5 with tiny noise: the first principal
+  // direction must align with it.
+  Rng R(43);
+  Matrix A(2, 40);
+  for (size_t J = 0; J < 40; ++J) {
+    double T = R.gaussian(0.0, 2.0);
+    A(0, J) = 0.6 * T + R.gaussian(0.0, 1e-3);
+    A(1, J) = 0.8 * T + R.gaussian(0.0, 1e-3);
+  }
+  Matrix B = pcaBasis(A);
+  double Align = std::fabs(0.6 * B(0, 0) + 0.8 * B(1, 0));
+  EXPECT_NEAR(Align, 1.0, 1e-4);
+}
+
+TEST(PcaTest, RankDeficientStillInvertible) {
+  Matrix A(4, 2); // Rank <= 2 in R^4.
+  A(0, 0) = 1.0;
+  A(1, 1) = 2.0;
+  Matrix B = pcaBasis(A);
+  EXPECT_FALSE(LuDecomposition(B).isSingular());
+}
+
+TEST(PcaTest, EmptyGeneratorsGiveIdentity) {
+  Matrix A(3, 0);
+  Matrix B = pcaBasis(A);
+  EXPECT_LT(maxAbsDiff(B, Matrix::identity(3)), 1e-15);
+}
+
+} // namespace

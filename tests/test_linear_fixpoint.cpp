@@ -1,0 +1,276 @@
+//===- tests/test_linear_fixpoint.cpp - Affine iterator tests -------------===//
+//
+// Tests for the affine fixpoint framework (core/LinearFixpoint.h): factory
+// correctness against direct solves, contraction estimates, exact-hull
+// ground truth, soundness and tightness of the CH-Zonotope analysis
+// (transformers are exact for affine maps, so looseness is attributable to
+// consolidation alone), and divergence reporting.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LinearFixpoint.h"
+#include "linalg/Lu.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace craft;
+
+namespace {
+
+/// Strictly diagonally dominant random system (Jacobi/GS convergent).
+Matrix randomDominantSystem(Rng &R, size_t P, double Dominance = 2.0) {
+  Matrix A(P, P);
+  for (size_t I = 0; I < P; ++I) {
+    double OffDiagSum = 0.0;
+    for (size_t J = 0; J < P; ++J)
+      if (J != I) {
+        A(I, J) = R.uniform(-1.0, 1.0);
+        OffDiagSum += std::fabs(A(I, J));
+      }
+    A(I, I) = Dominance * (OffDiagSum + 0.5) * (R.uniform(0.0, 1.0) < 0.5
+                                                    ? -1.0
+                                                    : 1.0);
+  }
+  return A;
+}
+
+/// 1-d Poisson (tridiagonal [-1, 2, -1]) stiffness matrix: the classic
+/// testbed where Gauss-Seidel's asymptotic rate is the square of Jacobi's.
+Matrix poissonMatrix(size_t P) {
+  Matrix A(P, P);
+  for (size_t I = 0; I < P; ++I) {
+    A(I, I) = 2.0;
+    if (I > 0)
+      A(I, I - 1) = -1.0;
+    if (I + 1 < P)
+      A(I, I + 1) = -1.0;
+  }
+  return A;
+}
+
+/// Random well-conditioned SPD matrix H = G^T G + 2 I (condition number a
+/// few units, so gradient descent contracts at a useful rate; the
+/// slow-contraction regime is covered by DivergentIterationReports...).
+Matrix randomSpd(Rng &R, size_t P) {
+  Matrix G(P, P);
+  for (size_t I = 0; I < P; ++I)
+    for (size_t J = 0; J < P; ++J)
+      G(I, J) = R.gaussian(0.0, 1.0);
+  Matrix H = G.transpose() * G;
+  for (size_t I = 0; I < P; ++I)
+    H(I, I) += 2.0;
+  return H;
+}
+
+Vector randomVector(Rng &R, size_t N, double Scale = 1.0) {
+  Vector V(N);
+  for (size_t I = 0; I < N; ++I)
+    V[I] = R.gaussian(0.0, Scale);
+  return V;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Factories and concrete semantics
+//===----------------------------------------------------------------------===//
+
+TEST(LinearFixpointTest, JacobiSolvesTheLinearSystem) {
+  Rng R(7);
+  Matrix A = randomDominantSystem(R, 6);
+  Vector B = randomVector(R, 6);
+  LinearIterator It = makeJacobiIterator(A);
+  EXPECT_LT(contractionFactor(It), 1.0);
+
+  Vector X = Vector(6);
+  for (int N = 0; N < 400; ++N)
+    X = stepLinearConcrete(It, B, X);
+  Vector Expected = LuDecomposition(A).solve(B);
+  EXPECT_LT((X - Expected).normInf(), 1e-9);
+  // The closed-form fixpoint agrees.
+  EXPECT_LT((solveLinearFixpoint(It, B) - Expected).normInf(), 1e-9);
+}
+
+TEST(LinearFixpointTest, GaussSeidelSolvesTheLinearSystem) {
+  Rng R(8);
+  Matrix A = randomDominantSystem(R, 6);
+  Vector B = randomVector(R, 6);
+  LinearIterator It = makeGaussSeidelIterator(A);
+  Vector X = Vector(6);
+  for (int N = 0; N < 400; ++N)
+    X = stepLinearConcrete(It, B, X);
+  EXPECT_LT((X - LuDecomposition(A).solve(B)).normInf(), 1e-9);
+}
+
+TEST(LinearFixpointTest, GaussSeidelOutpacesJacobiOnPoisson) {
+  // rho(GS) = rho(Jacobi)^2 on the Poisson matrix: the contraction bound
+  // must reflect the ordering.
+  Matrix A = poissonMatrix(12);
+  double Jac = contractionFactor(makeJacobiIterator(A));
+  double Gs = contractionFactor(makeGaussSeidelIterator(A));
+  EXPECT_LT(Jac, 1.0);
+  EXPECT_LT(Gs, Jac);
+}
+
+TEST(LinearFixpointTest, RichardsonFixpointIsSystemSolution) {
+  Rng R(9);
+  Matrix H = randomSpd(R, 5);
+  Vector B = randomVector(R, 5);
+  double Eta = 1.0 / (contractionFactor({"", H, H, Vector(5)}) + 1.0);
+  LinearIterator It = makeGradientDescentIterator(H, Eta);
+  EXPECT_LT(contractionFactor(It), 1.0);
+  EXPECT_LT((solveLinearFixpoint(It, B) - LuDecomposition(H).solve(B))
+                .normInf(),
+            1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Exact hull ground truth
+//===----------------------------------------------------------------------===//
+
+TEST(LinearFixpointTest, ExactHullCoversSampledFixpointsTightly) {
+  Rng R(10);
+  Matrix A = randomDominantSystem(R, 5);
+  LinearIterator It = makeJacobiIterator(A);
+  Vector BLo(5, -1.0), BHi(5, 1.0);
+  IntervalVector Hull = exactLinearFixpointHull(It, BLo, BHi);
+
+  Vector SeenLo(5, 1e300), SeenHi(5, -1e300);
+  for (int K = 0; K < 4000; ++K) {
+    Vector B(5);
+    for (size_t I = 0; I < 5; ++I)
+      B[I] = R.uniform(-1.0, 1.0);
+    Vector S = solveLinearFixpoint(It, B);
+    for (size_t I = 0; I < 5; ++I) {
+      EXPECT_GE(S[I], Hull.lowerBounds()[I] - 1e-9);
+      EXPECT_LE(S[I], Hull.upperBounds()[I] + 1e-9);
+      SeenLo[I] = std::min(SeenLo[I], S[I]);
+      SeenHi[I] = std::max(SeenHi[I], S[I]);
+    }
+  }
+  // The hull is the exact interval hull of a zonotope: corners of the input
+  // box attain it, so sampled extremes should approach it.
+  for (size_t I = 0; I < 5; ++I) {
+    double Width = Hull.upperBounds()[I] - Hull.lowerBounds()[I];
+    EXPECT_LT(Hull.upperBounds()[I] - SeenHi[I], 0.45 * Width);
+    EXPECT_LT(SeenLo[I] - Hull.lowerBounds()[I], 0.45 * Width);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Abstract analysis (parameterized over solver family and seed)
+//===----------------------------------------------------------------------===//
+
+struct AnalysisCase {
+  int Seed;
+  int Family; ///< 0 = Jacobi, 1 = GS, 2 = gradient descent.
+};
+
+class LinearAnalysisTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+protected:
+  LinearIterator build(Rng &R, size_t P) const {
+    switch (std::get<1>(GetParam())) {
+    case 0:
+      return makeJacobiIterator(randomDominantSystem(R, P));
+    case 1:
+      return makeGaussSeidelIterator(randomDominantSystem(R, P));
+    default: {
+      Matrix H = randomSpd(R, P);
+      double Eta = 0.9 / spectralNormProxy(H);
+      return makeGradientDescentIterator(H, Eta);
+    }
+    }
+  }
+  static double spectralNormProxy(const Matrix &H) {
+    return contractionFactor({"", H, H, Vector(H.rows())});
+  }
+};
+
+TEST_P(LinearAnalysisTest, HullIsSoundAndNearExact) {
+  Rng R(100 + std::get<0>(GetParam()));
+  size_t P = 6;
+  LinearIterator It = build(R, P);
+  ASSERT_LT(contractionFactor(It), 1.0);
+  Vector BLo(P, -0.5), BHi(P, 0.5);
+
+  LinearAnalysisOptions Opts;
+  Opts.TightenSteps = 100; // Slow contractions need a longer phase 2.
+  LinearAnalysisResult Res = analyzeLinearFixpoint(It, BLo, BHi, Opts);
+  ASSERT_TRUE(Res.Contained) << It.Name;
+  IntervalVector Exact = exactLinearFixpointHull(It, BLo, BHi);
+
+  for (size_t I = 0; I < P; ++I) {
+    // Sound: covers the exact hull.
+    EXPECT_LE(Res.Hull.lowerBounds()[I], Exact.lowerBounds()[I] + 1e-9);
+    EXPECT_GE(Res.Hull.upperBounds()[I], Exact.upperBounds()[I] - 1e-9);
+  }
+  // Tight: affine transformers are exact, so total looseness comes from
+  // consolidation + expansion only.
+  EXPECT_LE(Res.Hull.meanWidth(), 1.5 * Exact.meanWidth() + 1e-6)
+      << It.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, LinearAnalysisTest,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Values(0, 1, 2)));
+
+//===----------------------------------------------------------------------===//
+// Driver behavior
+//===----------------------------------------------------------------------===//
+
+TEST(LinearFixpointTest, DivergentIterationReportsNoContainment) {
+  // Richardson with a destabilizing step size: ||M|| > 1.
+  Matrix A = poissonMatrix(6);
+  LinearIterator It = makeRichardsonIterator(A, 1.5);
+  ASSERT_GT(contractionFactor(It), 1.0);
+  Vector BLo(6, -0.5), BHi(6, 0.5);
+  LinearAnalysisOptions Opts;
+  Opts.MaxIterations = 60;
+  LinearAnalysisResult Res = analyzeLinearFixpoint(It, BLo, BHi, Opts);
+  EXPECT_FALSE(Res.Contained);
+}
+
+TEST(LinearFixpointTest, PointInputYieldsPointFixpoint) {
+  Rng R(11);
+  Matrix A = randomDominantSystem(R, 4);
+  LinearIterator It = makeJacobiIterator(A);
+  Vector B = randomVector(R, 4);
+  LinearAnalysisResult Res = analyzeLinearFixpoint(It, B, B);
+  ASSERT_TRUE(Res.Contained);
+  Vector Expected = solveLinearFixpoint(It, B);
+  for (size_t I = 0; I < 4; ++I) {
+    EXPECT_NEAR(Res.Hull.lowerBounds()[I], Expected[I], 1e-3);
+    EXPECT_NEAR(Res.Hull.upperBounds()[I], Expected[I], 1e-3);
+  }
+}
+
+TEST(LinearFixpointTest, WiderInputYieldsWiderHull) {
+  Rng R(12);
+  Matrix A = randomDominantSystem(R, 5);
+  LinearIterator It = makeJacobiIterator(A);
+  Vector Narrow(5, 0.1), Wide(5, 1.0);
+  LinearAnalysisResult ResN =
+      analyzeLinearFixpoint(It, -1.0 * Narrow, Narrow);
+  LinearAnalysisResult ResW = analyzeLinearFixpoint(It, -1.0 * Wide, Wide);
+  ASSERT_TRUE(ResN.Contained);
+  ASSERT_TRUE(ResW.Contained);
+  EXPECT_LT(ResN.Hull.meanWidth(), ResW.Hull.meanWidth());
+}
+
+TEST(LinearFixpointTest, GaussSeidelFindsContainmentFasterThanJacobi) {
+  // Faster concrete contraction translates into earlier abstract
+  // containment on the Poisson system.
+  Matrix A = poissonMatrix(10);
+  Vector BLo(10, -1.0), BHi(10, 1.0);
+  LinearAnalysisResult Jac =
+      analyzeLinearFixpoint(makeJacobiIterator(A), BLo, BHi);
+  LinearAnalysisResult Gs =
+      analyzeLinearFixpoint(makeGaussSeidelIterator(A), BLo, BHi);
+  ASSERT_TRUE(Jac.Contained);
+  ASSERT_TRUE(Gs.Contained);
+  EXPECT_LE(Gs.Iterations, Jac.Iterations);
+}

@@ -1,0 +1,155 @@
+//===- tests/test_lp.cpp - Simplex LP solver tests ------------------------===//
+
+#include "lp/Simplex.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace craft;
+
+namespace {
+
+TEST(SimplexTest, SimpleOptimum) {
+  // min -x - y  s.t.  x + y + s = 4,  x + 3y + t = 6,  all >= 0.
+  // Optimum at (4, 0): objective -4.
+  LpProblem P;
+  P.A = Matrix{{1.0, 1.0, 1.0, 0.0}, {1.0, 3.0, 0.0, 1.0}};
+  P.B = Vector{4.0, 6.0};
+  P.C = Vector{-1.0, -1.0, 0.0, 0.0};
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Objective, -4.0, 1e-9);
+  EXPECT_NEAR(S.X[0] + S.X[1], 4.0, 1e-9);
+}
+
+TEST(SimplexTest, EqualityOnly) {
+  // min x + y s.t. x + y = 2: optimum 2 (any split).
+  LpProblem P;
+  P.A = Matrix{{1.0, 1.0}};
+  P.B = Vector{2.0};
+  P.C = Vector{1.0, 1.0};
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // x + y = -1 with x, y >= 0 is infeasible (solver normalizes b >= 0, but
+  // then -x - y = 1 still has no nonnegative solution).
+  LpProblem P;
+  P.A = Matrix{{1.0, 1.0}};
+  P.B = Vector{-1.0};
+  P.C = Vector{0.0, 0.0};
+  EXPECT_EQ(solveLp(P).Status, LpStatus::Infeasible);
+}
+
+TEST(SimplexTest, InfeasibleSystemDetected) {
+  // x = 1 and x = 2 simultaneously.
+  LpProblem P;
+  P.A = Matrix{{1.0}, {1.0}};
+  P.B = Vector{1.0, 2.0};
+  P.C = Vector{0.0};
+  EXPECT_EQ(solveLp(P).Status, LpStatus::Infeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  // min -x s.t. x - y = 0: x can grow without bound along x = y.
+  LpProblem P;
+  P.A = Matrix{{1.0, -1.0}};
+  P.B = Vector{0.0};
+  P.C = Vector{-1.0, 0.0};
+  EXPECT_EQ(solveLp(P).Status, LpStatus::Unbounded);
+}
+
+TEST(SimplexTest, NegativeRhsNormalized) {
+  // -x - y = -3, minimize x: optimum x=0, y=3.
+  LpProblem P;
+  P.A = Matrix{{-1.0, -1.0}};
+  P.B = Vector{-3.0};
+  P.C = Vector{1.0, 0.0};
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 0.0, 1e-9);
+  EXPECT_NEAR(S.X[1], 3.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple constraints meeting at the same vertex (classic degeneracy).
+  LpProblem P;
+  P.A = Matrix{{1.0, 1.0, 1.0, 0.0, 0.0},
+               {1.0, 2.0, 0.0, 1.0, 0.0},
+               {2.0, 1.0, 0.0, 0.0, 1.0}};
+  P.B = Vector{1.0, 1.0, 1.0};
+  P.C = Vector{-1.0, -1.0, 0.0, 0.0, 0.0};
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  // Optimum at x = y = 1/3 (rows 2 and 3 tight): objective -2/3.
+  EXPECT_NEAR(S.Objective, -2.0 / 3.0, 1e-9);
+}
+
+TEST(SimplexTest, FeasibilityHelper) {
+  Matrix A = {{1.0, 1.0}};
+  EXPECT_TRUE(isFeasible(A, Vector{2.0}));
+  Matrix A2 = {{1.0}, {1.0}};
+  EXPECT_FALSE(isFeasible(A2, Vector{1.0, 2.0}));
+}
+
+class SimplexRandomTest : public ::testing::TestWithParam<int> {};
+
+// Property: for feasible random problems with bounded polytopes the solver
+// returns Optimal, the solution is primal feasible, and the objective is no
+// worse than a sampled feasible point.
+TEST_P(SimplexRandomTest, OptimalBeatsSampledFeasiblePoints) {
+  Rng R(500 + GetParam());
+  const size_t N = 6, M = 3;
+  // Build A x = b with a known interior feasible point x0 > 0, and append
+  // a row bounding the simplex: sum x_i + s = large.
+  Matrix A(M + 1, N + 1, 0.0);
+  Vector X0(N);
+  for (size_t I = 0; I < N; ++I)
+    X0[I] = R.uniform(0.5, 2.0);
+  for (size_t I = 0; I < M; ++I)
+    for (size_t J = 0; J < N; ++J)
+      A(I, J) = R.gaussian();
+  Vector B(M + 1);
+  for (size_t I = 0; I < M; ++I) {
+    double Acc = 0.0;
+    for (size_t J = 0; J < N; ++J)
+      Acc += A(I, J) * X0[J];
+    B[I] = Acc;
+  }
+  for (size_t J = 0; J < N; ++J)
+    A(M, J) = 1.0;
+  A(M, N) = 1.0; // Slack for the bounding row.
+  B[M] = 100.0;
+
+  LpProblem P;
+  P.A = A;
+  P.B = B;
+  P.C = Vector(N + 1, 0.0);
+  for (size_t J = 0; J < N; ++J)
+    P.C[J] = R.gaussian();
+
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+
+  // Primal feasibility.
+  Vector Res = P.A * S.X - P.B;
+  EXPECT_LT(Res.normInf(), 1e-7);
+  for (size_t J = 0; J < S.X.size(); ++J)
+    EXPECT_GE(S.X[J], -1e-9);
+
+  // x0 (padded with its slack) is feasible; the optimum must not be worse.
+  double ObjX0 = 0.0, SumX0 = 0.0;
+  for (size_t J = 0; J < N; ++J) {
+    ObjX0 += P.C[J] * X0[J];
+    SumX0 += X0[J];
+  }
+  ASSERT_LE(SumX0, 100.0);
+  EXPECT_LE(S.Objective, ObjX0 + 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomTest, ::testing::Range(0, 12));
+
+} // namespace

@@ -1,0 +1,262 @@
+//===- tests/test_scalar_fixpoint.cpp - Generic scalar driver tests -------===//
+//
+// Tests for the generic Section 3 driver over scalar fixpoint iterators
+// (core/ScalarFixpoint.h): ground-truth validation on the affine iterator,
+// soundness of every case study against densely sampled concrete
+// fixpoints, Craft-vs-Kleene precision ordering, divergence reporting, and
+// consistency with the dedicated Householder implementation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Householder.h"
+#include "core/ScalarFixpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+using namespace craft;
+
+namespace {
+
+struct CaseStudy {
+  std::string Name;
+  ScalarIterator It;
+  double XLo, XHi;
+  /// Exact fixpoint map, if known in closed form (nullptr otherwise: the
+  /// test falls back to solving concretely).
+  double (*Exact)(double);
+};
+
+double exactNewton(double X) { return std::sqrt(X); }
+double exactHouseholder(double X) { return 1.0 / std::sqrt(X); }
+
+/// Samples concrete fixpoints across the input range and checks each lies
+/// within the analysis interval.
+void expectCoversConcreteFixpoints(const CaseStudy &C,
+                                   const ScalarAnalysis &A,
+                                   double Tol = 1e-9) {
+  ASSERT_TRUE(A.Contained) << C.Name;
+  constexpr int Samples = 97;
+  for (int I = 0; I < Samples; ++I) {
+    double X = C.XLo + (C.XHi - C.XLo) * I / (Samples - 1);
+    double SStar =
+        C.Exact ? C.Exact(X) : solveScalarConcrete(C.It, X, 1e-13);
+    EXPECT_GE(SStar, A.Lo - Tol) << C.Name << " x=" << X;
+    EXPECT_LE(SStar, A.Hi + Tol) << C.Name << " x=" << X;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Ground truth: the affine iterator has an exact abstract transformer
+//===----------------------------------------------------------------------===//
+
+TEST(ScalarFixpointTest, DampedLinearConvergesToExactFixpointSet) {
+  // s* = b x / (1 - a) with a = 0.5, b = 1: fixpoint set = [2 xlo, 2 xhi].
+  ScalarIterator It = makeDampedLinearIterator(0.5, 1.0);
+  ScalarAnalysis A = analyzeScalarCraft(It, 1.0, 2.0);
+  ASSERT_TRUE(A.Contained);
+  EXPECT_NEAR(A.Lo, 2.0, 1e-6);
+  EXPECT_NEAR(A.Hi, 4.0, 1e-6);
+}
+
+TEST(ScalarFixpointTest, DampedLinearWithDampingStillExact) {
+  ScalarIterator It = makeDampedLinearIterator(0.5, 1.0, /*Damping=*/0.3);
+  ScalarAnalysis A = analyzeScalarCraft(It, -1.0, 1.0);
+  ASSERT_TRUE(A.Contained);
+  EXPECT_NEAR(A.Lo, -2.0, 1e-6);
+  EXPECT_NEAR(A.Hi, 2.0, 1e-6);
+}
+
+TEST(ScalarFixpointTest, ConcreteSolverMatchesClosedForm) {
+  ScalarIterator It = makeDampedLinearIterator(0.25, 2.0);
+  EXPECT_NEAR(solveScalarConcrete(It, 3.0), 2.0 * 3.0 / 0.75, 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Case-study soundness (parameterized)
+//===----------------------------------------------------------------------===//
+
+class ScalarCaseStudyTest : public ::testing::TestWithParam<int> {
+protected:
+  static CaseStudy caseFor(int Index) {
+    switch (Index) {
+    case 0:
+      return {"cosine", makeDampedCosineIterator(0.5), -0.3, 0.3, nullptr};
+    case 1:
+      return {"cosine-wide", makeDampedCosineIterator(0.7), -1.0, 1.0,
+              nullptr};
+    case 2:
+      return {"tanh-neuron", makeTanhNeuronIterator(0.8), -0.5, 0.5,
+              nullptr};
+    case 3:
+      return {"tanh-neuron-stiff", makeTanhNeuronIterator(0.95), -0.2, 0.2,
+              nullptr};
+    case 4:
+      return {"newton-sqrt", makeNewtonSqrtIterator(), 16.0, 20.0,
+              exactNewton};
+    case 5:
+      return {"newton-sqrt-wide", makeNewtonSqrtIterator(), 16.0, 25.0,
+              exactNewton};
+    case 6:
+      return {"householder", makeHouseholderIterator(), 16.0, 20.0,
+              exactHouseholder};
+    default:
+      return {"householder-wide", makeHouseholderIterator(), 16.0, 25.0,
+              exactHouseholder};
+    }
+  }
+};
+
+TEST_P(ScalarCaseStudyTest, CraftCoversAllConcreteFixpoints) {
+  CaseStudy C = caseFor(GetParam());
+  ScalarAnalysis A = analyzeScalarCraft(C.It, C.XLo, C.XHi);
+  expectCoversConcreteFixpoints(C, A);
+}
+
+TEST_P(ScalarCaseStudyTest, CraftIntervalIsReasonablyTight) {
+  // The over-approximation should stay within 3x of the exact fixpoint-set
+  // width (and never collapse below it).
+  CaseStudy C = caseFor(GetParam());
+  ScalarAnalysis A = analyzeScalarCraft(C.It, C.XLo, C.XHi);
+  ASSERT_TRUE(A.Contained);
+  double SMin = 1e300, SMax = -1e300;
+  for (int I = 0; I <= 64; ++I) {
+    double X = C.XLo + (C.XHi - C.XLo) * I / 64.0;
+    double S = C.Exact ? C.Exact(X) : solveScalarConcrete(C.It, X, 1e-13);
+    SMin = std::min(SMin, S);
+    SMax = std::max(SMax, S);
+  }
+  double ExactWidth = SMax - SMin;
+  EXPECT_GE(A.Hi - A.Lo, ExactWidth - 1e-9) << C.Name;
+  EXPECT_LE(A.Hi - A.Lo, 3.0 * ExactWidth + 1e-6) << C.Name;
+}
+
+TEST_P(ScalarCaseStudyTest, KleeneIsNeverTighterThanCraft) {
+  CaseStudy C = caseFor(GetParam());
+  ScalarAnalysis Craft = analyzeScalarCraft(C.It, C.XLo, C.XHi);
+  ScalarAnalysis Kleene = analyzeScalarKleene(C.It, C.XLo, C.XHi);
+  ASSERT_TRUE(Craft.Contained);
+  if (!Kleene.Contained)
+    return; // Kleene diverged: trivially not tighter.
+  EXPECT_GE(Kleene.Hi - Kleene.Lo, (Craft.Hi - Craft.Lo) - 1e-9) << C.Name;
+  // Kleene must still be sound when it converges.
+  expectCoversConcreteFixpoints(C, Kleene);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, ScalarCaseStudyTest, ::testing::Range(0, 8));
+
+//===----------------------------------------------------------------------===//
+// Driver behavior
+//===----------------------------------------------------------------------===//
+
+TEST(ScalarFixpointTest, ExpansiveIteratorReportsNoContainment) {
+  // s' = 1.05 s + x has no contraction; the driver must not claim a sound
+  // result.
+  ScalarIterator It;
+  It.Name = "expansive";
+  It.ConcreteStep = [](double X, double S) { return 1.05 * S + X; };
+  It.AbstractStep = [](const AffineForm &X, const AffineForm &S) {
+    return S * 1.05 + X;
+  };
+  ScalarAnalysisOptions Opts;
+  Opts.InitAtCenterFixpoint = false;
+  Opts.MaxIterations = 100;
+  ScalarAnalysis A = analyzeScalarCraft(It, 0.5, 1.0, Opts);
+  EXPECT_FALSE(A.Contained);
+}
+
+TEST(ScalarFixpointTest, CenterFixpointInitializationContractsQuickly) {
+  // Newton-sqrt initialized at the center fixpoint (Alg. 1 line 2)
+  // contracts within a handful of consolidation windows.
+  ScalarIterator It = makeNewtonSqrtIterator();
+  ScalarAnalysisOptions Warm;
+  ScalarAnalysis A = analyzeScalarCraft(It, 16.0, 20.0, Warm);
+  ASSERT_TRUE(A.Contained);
+  EXPECT_LE(A.Iterations, 40);
+}
+
+TEST(ScalarFixpointTest, WidthTraceContractsAfterContainment) {
+  ScalarIterator It = makeDampedCosineIterator(0.5);
+  ScalarAnalysis A = analyzeScalarCraft(It, -0.5, 0.5);
+  ASSERT_TRUE(A.Contained);
+  ASSERT_GE(A.WidthTrace.size(), 2u);
+  // Final tightened width no larger than the width at first containment.
+  double AtContainment = A.WidthTrace[A.Iterations - 1];
+  EXPECT_LE(A.Hi - A.Lo, AtContainment + 1e-12);
+}
+
+TEST(ScalarFixpointTest, GenericHouseholderMatchesDedicatedAnalysis) {
+  // The generic driver on the Householder iterator must land within a few
+  // percent of the dedicated Section 6.5 implementation (both sound, minor
+  // schedule differences allowed).
+  ScalarIterator It = makeHouseholderIterator();
+  ScalarAnalysisOptions Opts;
+  Opts.InitAtCenterFixpoint = false; // The dedicated analysis starts at S0.
+  ScalarAnalysis Generic = analyzeScalarCraft(It, 16.0, 20.0, Opts);
+  SqrtAnalysis Dedicated = analyzeSqrtCraft(16.0, 20.0);
+  ASSERT_TRUE(Generic.Contained);
+  ASSERT_TRUE(Dedicated.Converged);
+  EXPECT_NEAR(Generic.Lo, Dedicated.SInterval.Lo, 0.02);
+  EXPECT_NEAR(Generic.Hi, Dedicated.SInterval.Hi, 0.02);
+}
+
+TEST(ScalarFixpointTest, KleeneDivergesOnWideHouseholderInput) {
+  // The paper's headline Kleene failure (Table 5, X = [16, 25]) reproduces
+  // through the generic driver as well.
+  ScalarIterator It = makeHouseholderIterator();
+  ScalarAnalysisOptions Opts;
+  Opts.InitAtCenterFixpoint = false;
+  ScalarAnalysis Kleene = analyzeScalarKleene(It, 16.0, 25.0, Opts);
+  EXPECT_FALSE(Kleene.Contained);
+}
+
+TEST(ScalarFixpointTest, RegressionIntervalContainmentWouldLoseFixpoints) {
+  // Regression for the containment-unsoundness bug (DESIGN.md): for the
+  // cosine iterator on [-0.3, 0.3], the second correlated iterate is
+  // interval-contained in the first yet misses the edge fixpoints. The
+  // slice-wise relational check must reject that pair, and the driver's
+  // final interval must cover the edge fixpoints.
+  ScalarIterator It = makeDampedCosineIterator(0.5);
+  AffineForm X = AffineForm::range(-0.3, 0.3);
+  AffineForm S0 = AffineForm::constant(solveScalarConcrete(It, 0.0));
+  AffineForm S1 = It.AbstractStep(X, S0);
+  AffineForm S2 = It.AbstractStep(X, S1);
+  ASSERT_TRUE(S1.contains(S2, 1e-15)) << "scenario precondition";
+  double FixHi = solveScalarConcrete(It, 0.3);
+  ASSERT_GT(FixHi, S2.hi()) << "scenario precondition: S2 misses s*(0.3)";
+  EXPECT_FALSE(
+      S1.containsRelational(S2, {X.terms()[0].first}, 1e-15));
+
+  ScalarAnalysis A = analyzeScalarCraft(It, -0.3, 0.3);
+  ASSERT_TRUE(A.Contained);
+  EXPECT_LE(A.Lo, solveScalarConcrete(It, -0.3) + 1e-9);
+  EXPECT_GE(A.Hi, FixHi - 1e-9);
+}
+
+TEST(ScalarFixpointTest, ConsolidationKnobStaysSoundOnNarrowInputs) {
+  // With periodic decorrelating consolidation the driver must remain sound
+  // (the check degrades gracefully); precision may drop.
+  ScalarIterator It = makeDampedCosineIterator(0.5);
+  ScalarAnalysisOptions Opts;
+  Opts.ConsolidateEvery = 2;
+  ScalarAnalysis A = analyzeScalarCraft(It, -0.3, 0.3, Opts);
+  ASSERT_TRUE(A.Contained);
+  for (double X : {-0.3, 0.0, 0.3}) {
+    double S = solveScalarConcrete(It, X);
+    EXPECT_GE(S, A.Lo - 1e-9);
+    EXPECT_LE(S, A.Hi + 1e-9);
+  }
+}
+
+TEST(ScalarFixpointTest, TanhNeuronHullShrinksWithSmallerInputRange) {
+  ScalarIterator It = makeTanhNeuronIterator(0.8);
+  ScalarAnalysis Wide = analyzeScalarCraft(It, -0.5, 0.5);
+  ScalarAnalysis Narrow = analyzeScalarCraft(It, -0.1, 0.1);
+  ASSERT_TRUE(Wide.Contained);
+  ASSERT_TRUE(Narrow.Contained);
+  EXPECT_LT(Narrow.Hi - Narrow.Lo, Wide.Hi - Wide.Lo);
+}

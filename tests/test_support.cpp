@@ -1,0 +1,93 @@
+//===- tests/test_support.cpp - Support utility tests ---------------------===//
+
+#include "support/Rng.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace craft;
+
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng A(42), B(42), C(43);
+  for (int I = 0; I < 100; ++I) {
+    double VA = A.uniform(), VB = B.uniform(), VC = C.uniform();
+    EXPECT_DOUBLE_EQ(VA, VB);
+    if (VA != VC)
+      SUCCEED();
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng R(1);
+  for (int I = 0; I < 1000; ++I) {
+    double V = R.uniform(-2.5, 7.0);
+    EXPECT_GE(V, -2.5);
+    EXPECT_LT(V, 7.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng R(2);
+  std::set<int> Seen;
+  for (int I = 0; I < 500; ++I) {
+    int V = R.uniformInt(3, 6);
+    EXPECT_GE(V, 3);
+    EXPECT_LE(V, 6);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 4u) << "all values in [3,6] should appear";
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect) {
+  Rng R(3);
+  double Sum = 0.0, SumSq = 0.0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    double V = R.gaussian(2.0, 3.0);
+    Sum += V;
+    SumSq += V * V;
+  }
+  double Mean = Sum / N;
+  double Var = SumSq / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 2.0, 0.1);
+  EXPECT_NEAR(Var, 9.0, 0.5);
+}
+
+TEST(RngTest, GaussianVectorAndShuffle) {
+  Rng R(4);
+  std::vector<double> V = R.gaussianVector(50, 0.0, 1.0);
+  EXPECT_EQ(V.size(), 50u);
+  std::vector<int> Order = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> Original = Order;
+  R.shuffle(Order);
+  std::sort(Order.begin(), Order.end());
+  EXPECT_EQ(Order, Original) << "shuffle must be a permutation";
+}
+
+TEST(FmtTest, FormatsNumbers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+  EXPECT_EQ(fmt(42L), "42");
+  EXPECT_EQ(fmt(-7L), "-7");
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer T;
+  volatile double Sink = 0.0;
+  for (int I = 0; I < 2000000; ++I)
+    Sink += I * 1e-9;
+  double S = T.seconds();
+  EXPECT_GT(S, 0.0);
+  EXPECT_LT(S, 30.0);
+  EXPECT_NEAR(T.milliseconds(), T.seconds() * 1e3, T.seconds() * 50);
+  T.reset();
+  EXPECT_LT(T.seconds(), 1.0);
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+//===- tests/test_verifier_config.cpp - Verifier configuration tests ------===//
+//
+// Behavioral checks for the CraftConfig knobs: ablation flags, containment
+// check frequency, expansion schedules, and phase-2 budgets. Complements
+// test_core (algorithmic correctness) with configuration-space coverage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+#include "data/GaussianMixture.h"
+#include "nn/Training.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace craft;
+
+namespace {
+
+const MonDeq &model() {
+  static const MonDeq M = [] {
+    Rng R(90);
+    Dataset Train = makeGaussianMixture(R, 400, 5, 3, 0.18);
+    MonDeq Net = MonDeq::randomFc(R, 5, 10, 3, 20.0);
+    TrainOptions Opts;
+    Opts.Epochs = 40;
+    Opts.LearningRate = 0.02;
+    trainMonDeq(Net, Train, Opts);
+    return Net;
+  }();
+  return M;
+}
+
+struct Sample {
+  Vector X;
+  int Label;
+};
+
+std::vector<Sample> samples(size_t N) {
+  Rng R(91);
+  Dataset Test = makeGaussianMixture(R, N, 5, 3, 0.18);
+  FixpointSolver Solver(model(), Splitting::PeacemanRachford);
+  std::vector<Sample> Out;
+  for (size_t I = 0; I < Test.size(); ++I)
+    Out.push_back({Test.input(I), Solver.predict(Test.input(I))});
+  return Out;
+}
+
+size_t countCertified(const CraftConfig &Config, double Eps = 0.03) {
+  CraftVerifier Verifier(model(), Config);
+  size_t Certified = 0;
+  for (const Sample &S : samples(6))
+    Certified += Verifier.verifyRobustness(S.X, S.Label, Eps).Certified;
+  return Certified;
+}
+
+TEST(ConfigTest, SparserContainmentChecksStillConverge) {
+  // Raising ContainmentCheckEvery (the conv-model cost lever) may delay
+  // containment detection but must not lose it.
+  CraftConfig Every1, Every5;
+  Every1.Alpha1 = Every5.Alpha1 = 0.05;
+  Every5.ContainmentCheckEvery = 5;
+  CraftVerifier V1(model(), Every1), V5(model(), Every5);
+  for (const Sample &S : samples(4)) {
+    CraftResult R1 = V1.verifyRobustness(S.X, S.Label, 0.03);
+    CraftResult R5 = V5.verifyRobustness(S.X, S.Label, 0.03);
+    EXPECT_EQ(R1.Containment, R5.Containment);
+    if (R1.Containment && R5.Containment)
+      EXPECT_GE(R5.ContainmentIteration, R1.ContainmentIteration);
+  }
+}
+
+TEST(ConfigTest, SameIterationContainmentNeverBetter) {
+  CraftConfig Ref, SameIter;
+  Ref.Alpha1 = SameIter.Alpha1 = 0.05;
+  SameIter.SameIterationContainment = true;
+  EXPECT_LE(countCertified(SameIter), countCertified(Ref));
+}
+
+TEST(ConfigTest, ExponentialExpansionStillSoundAndConverges) {
+  CraftConfig Exp;
+  Exp.Alpha1 = 0.05;
+  Exp.Expansion = ExpansionSchedule::Exponential;
+  CraftVerifier Verifier(model(), Exp);
+  FixpointSolver Solver(model(), Splitting::PeacemanRachford);
+  Rng R(92);
+  for (const Sample &S : samples(4)) {
+    CraftResult Res = Verifier.verifyRobustness(S.X, S.Label, 0.03);
+    if (!Res.Containment)
+      continue;
+    // Soundness: sampled fixpoints stay inside the certified hull.
+    for (int Trial = 0; Trial < 10; ++Trial) {
+      Vector X = S.X;
+      for (size_t J = 0; J < 5; ++J)
+        X[J] = std::clamp(X[J] + R.uniform(-0.03, 0.03), 0.0, 1.0);
+      Vector Z = Solver.solve(X, 1e-11, 3000).Z;
+      for (size_t J = 0; J < Z.size(); ++J) {
+        EXPECT_GE(Z[J], Res.FixpointHull.lowerBounds()[J] - 1e-7);
+        EXPECT_LE(Z[J], Res.FixpointHull.upperBounds()[J] + 1e-7);
+      }
+    }
+  }
+}
+
+TEST(ConfigTest, FixedAlpha2SkipsLineSearch) {
+  CraftConfig Fixed;
+  Fixed.Alpha1 = 0.05;
+  Fixed.Alpha2 = 0.04;
+  CraftVerifier Verifier(model(), Fixed);
+  for (const Sample &S : samples(3)) {
+    CraftResult Res = Verifier.verifyRobustness(S.X, S.Label, 0.03);
+    // ChosenAlpha2 stays -1 when certification succeeds at containment
+    // (phase 2 never runs); when phase 2 ran, it must be the fixed value.
+    if (Res.Containment && Res.ChosenAlpha2 >= 0.0)
+      EXPECT_DOUBLE_EQ(Res.ChosenAlpha2, 0.04);
+  }
+}
+
+TEST(ConfigTest, Phase2BudgetBoundsIterations) {
+  // A tiny phase-2 budget must still be sound (possibly less precise).
+  CraftConfig Tiny, Full;
+  Tiny.Alpha1 = Full.Alpha1 = 0.05;
+  Tiny.Phase2MaxIterations = 2;
+  Tiny.LambdaOptLevel = 0;
+  Full.LambdaOptLevel = 0;
+  CraftVerifier TinyV(model(), Tiny), FullV(model(), Full);
+  for (const Sample &S : samples(3)) {
+    CraftResult T = TinyV.verifyRobustness(S.X, S.Label, 0.03);
+    CraftResult F = FullV.verifyRobustness(S.X, S.Label, 0.03);
+    if (T.Containment && F.Containment)
+      EXPECT_LE(T.BestMargin, F.BestMargin + 1e-7)
+          << "more tightening cannot hurt the margin";
+  }
+}
+
+TEST(ConfigTest, LambdaOptOnlyHelps) {
+  CraftConfig NoOpt, Opt;
+  NoOpt.Alpha1 = Opt.Alpha1 = 0.05;
+  NoOpt.LambdaOptLevel = 0;
+  Opt.LambdaOptLevel = 2;
+  EXPECT_GE(countCertified(Opt, 0.06), countCertified(NoOpt, 0.06));
+}
+
+TEST(ConfigTest, RejectsFbThenPr) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "constructor guard is an assert (debug builds only)";
+#else
+  CraftConfig Bad;
+  Bad.Phase1Method = Splitting::ForwardBackward;
+  Bad.Phase2Method = Splitting::PeacemanRachford;
+  EXPECT_DEATH({ CraftVerifier V(model(), Bad); (void)V; }, "unsupported");
+#endif
+}
+
+} // namespace

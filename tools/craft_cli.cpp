@@ -1,0 +1,75 @@
+//===- tools/craft_cli.cpp - The craft command-line tool ------------------===//
+//
+// The end-user entry point of the repository:
+//
+//   craft verify <spec-file>          run a verification spec
+//   craft info <model.bin>            print model metadata
+//   craft check <model.bin> <cert>    validate a proof witness
+//
+// Spec files are documented in src/tool/SpecParser.h and README.md. Exit
+// status: 0 = certified / accepted / info printed, 1 = not certified or
+// rejected, 2 = usage or input errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tool/Driver.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace craft;
+
+static int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  craft verify <spec-file>\n"
+               "  craft info <model.bin>\n"
+               "  craft check <model.bin> <certificate.bin>\n");
+  return 2;
+}
+
+static int runVerify(const char *Path) {
+  SpecParseResult Parsed = parseSpecFile(Path);
+  if (!Parsed.ok()) {
+    for (const SpecDiagnostic &D : Parsed.Diagnostics)
+      std::fprintf(stderr, "%s\n", D.render(Path).c_str());
+    return 2;
+  }
+  const VerificationSpec &Spec = *Parsed.Spec;
+  RunOutcome Out = runSpec(Spec);
+  if (!Out.ModelLoaded) {
+    std::fprintf(stderr, "error: %s\n", Out.Detail.c_str());
+    return 2;
+  }
+  std::printf("engine       %s\n",
+              Spec.Verifier == SpecVerifier::Craft      ? "craft"
+              : Spec.Verifier == SpecVerifier::Box      ? "box"
+              : Spec.Verifier == SpecVerifier::Crown    ? "crown"
+                                                        : "lipschitz");
+  std::printf("verdict      %s\n",
+              Out.Certified ? "CERTIFIED" : "not certified");
+  if (Spec.Verifier == SpecVerifier::Craft ||
+      Spec.Verifier == SpecVerifier::Box)
+    std::printf("containment  %s\n", Out.Containment ? "yes" : "no");
+  std::printf("margin       %.6f\n", Out.MarginLower);
+  std::printf("time         %.3f s\n", Out.TimeSeconds);
+  if (!Out.Detail.empty())
+    std::printf("detail       %s\n", Out.Detail.c_str());
+  if (!Spec.CertificatePath.empty() && Out.Certified)
+    std::printf("certificate  %s\n", Out.CertificateWritten
+                                         ? Spec.CertificatePath.c_str()
+                                         : "(construction failed)");
+  return Out.Certified ? 0 : 1;
+}
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  if (std::strcmp(Argv[1], "verify") == 0 && Argc == 3)
+    return runVerify(Argv[2]);
+  if (std::strcmp(Argv[1], "info") == 0 && Argc == 3)
+    return printModelInfo(Argv[2]) ? 0 : 2;
+  if (std::strcmp(Argv[1], "check") == 0 && Argc == 4)
+    return runCheck(Argv[2], Argv[3]) ? 0 : 1;
+  return usage();
+}
