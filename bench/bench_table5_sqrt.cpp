@@ -23,7 +23,14 @@ using namespace craft;
 static std::string intervalStr(const SqrtInterval &I) {
   if (I.Diverged)
     return "[0.000, inf)";
-  return "[" + fmt(I.Lo, 3) + ", " + fmt(I.Hi, 3) + "]";
+  // Built with += (not `"[" + rvalue`): GCC 12's -O2 -Wrestrict misfires on
+  // operator+(const char *, string &&) (PR105329).
+  std::string S = "[";
+  S += fmt(I.Lo, 3);
+  S += ", ";
+  S += fmt(I.Hi, 3);
+  S += "]";
+  return S;
 }
 
 int main() {
@@ -50,7 +57,9 @@ int main() {
     SqrtAnalysis Craft = analyzeSqrtCraft(Cs.Lo, Cs.Hi);
     Traces[C] = Craft;
     CraftRow[1 + C] = intervalStr(Craft.RootInterval);
-    CraftRow[3] += (C ? "/" : "") + fmt(static_cast<long>(Craft.Iterations));
+    if (C)
+      CraftRow[3] += "/";
+    CraftRow[3] += fmt(static_cast<long>(Craft.Iterations));
 
     SqrtOptions Reach;
     Reach.Reachable = true;
@@ -60,7 +69,9 @@ int main() {
     SqrtAnalysis Kleene = analyzeSqrtKleene(Cs.Lo, Cs.Hi);
     KleeneTraces[C] = Kleene;
     KleeneRow[1 + C] = intervalStr(Kleene.RootInterval);
-    KleeneRow[3] += (C ? "/" : "") + fmt(static_cast<long>(Kleene.Iterations));
+    if (C)
+      KleeneRow[3] += "/";
+    KleeneRow[3] += fmt(static_cast<long>(Kleene.Iterations));
   }
   ReachRow[3] = CraftRow[3];
   Table.addRow(ExactRow);

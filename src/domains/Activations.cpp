@@ -154,6 +154,8 @@ static void activationRange(SmoothActivation Act, double &RLo, double &RHi) {
     return;
   }
   assert(false && "unknown activation");
+  RLo = -1.0; // Unreachable; keeps the outputs initialized under NDEBUG.
+  RHi = 1.0;
 }
 
 double craft::proxActivation(SmoothActivation Act, double Alpha, double V) {

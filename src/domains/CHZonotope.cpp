@@ -8,7 +8,12 @@
 
 using namespace craft;
 
-static uint64_t ErrorTermCounter = 0;
+// thread_local: the batch-verification subsystem runs independent analyses
+// on worker threads. Ids only need to be unique among zonotopes that are
+// combined with each other, and an analysis never mixes zonotopes across
+// threads, so per-thread counters are race-free and keep each analysis's id
+// stream identical regardless of what other workers do.
+static thread_local uint64_t ErrorTermCounter = 0;
 
 uint64_t craft::freshErrorTermId() { return ++ErrorTermCounter; }
 void craft::resetErrorTermIds() { ErrorTermCounter = 0; }

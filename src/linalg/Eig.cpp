@@ -63,19 +63,22 @@ static void tridiagonalize(Matrix &Z, Vector &D, Vector &E) {
   }
   D[0] = 0.0;
   E[0] = 0.0;
-  for (int I = 0; I < N; ++I) {
+  // 64-bit trip counts: with int, GCC's -O2 loop optimizer proves the inner
+  // K loop could overflow at INT_MAX and emits -Waggressive-loop-opts.
+  const long M = N;
+  for (long I = 0; I < M; ++I) {
     if (D[I] != 0.0) {
-      for (int J = 0; J < I; ++J) {
+      for (long J = 0; J < I; ++J) {
         double G = 0.0;
-        for (int K = 0; K < I; ++K)
+        for (long K = 0; K < I; ++K)
           G += Z(I, K) * Z(K, J);
-        for (int K = 0; K < I; ++K)
+        for (long K = 0; K < I; ++K)
           Z(K, J) -= G * Z(K, I);
       }
     }
     D[I] = Z(I, I);
     Z(I, I) = 1.0;
-    for (int J = 0; J < I; ++J) {
+    for (long J = 0; J < I; ++J) {
       Z(J, I) = 0.0;
       Z(I, J) = 0.0;
     }

@@ -2,15 +2,18 @@
 
 #include "tool/Driver.h"
 
+#include "attack/Pgd.h"
 #include "cert/Certify.h"
 #include "cert/Checker.h"
 #include "core/DomainSplitting.h"
 #include "core/LipschitzCert.h"
 #include "core/UnrolledCrown.h"
 #include "core/Verifier.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <cstdio>
+#include <map>
 
 using namespace craft;
 
@@ -33,23 +36,19 @@ CraftConfig configFor(const VerificationSpec &Spec) {
   return Cfg;
 }
 
-} // namespace
-
-RunOutcome craft::runSpec(const VerificationSpec &Spec) {
+/// Runs \p Spec against an already-loaded model. The model is shared and
+/// strictly read-only here: the batch driver hands one instance to several
+/// workers (its lazy alpha-bound cache is warmed before fan-out).
+RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model) {
   RunOutcome Out;
-  std::optional<MonDeq> Model = MonDeq::load(Spec.ModelPath);
-  if (!Model) {
-    Out.Detail = "cannot load model '" + Spec.ModelPath + "'";
-    return Out;
-  }
   Out.ModelLoaded = true;
-  if (Spec.InLo.size() != Model->inputDim()) {
+  if (Spec.InLo.size() != Model.inputDim()) {
     Out.Detail = "input region has dimension " +
                  std::to_string(Spec.InLo.size()) + " but the model takes " +
-                 std::to_string(Model->inputDim());
+                 std::to_string(Model.inputDim());
     return Out;
   }
-  if (Spec.TargetClass >= (int)Model->outputDim()) {
+  if (Spec.TargetClass >= (int)Model.outputDim()) {
     Out.Detail = "target class out of range";
     return Out;
   }
@@ -60,11 +59,12 @@ RunOutcome craft::runSpec(const VerificationSpec &Spec) {
   case SpecVerifier::Box: {
     if (Spec.SplitDepth > 0) {
       BranchAndBoundResult Res = verifyRobustnessSplit(
-          *Model, configFor(Spec), Spec.InLo, Spec.InHi, Spec.TargetClass,
+          Model, configFor(Spec), Spec.InLo, Spec.InHi, Spec.TargetClass,
           Spec.SplitDepth);
       Out.Certified = Res.Certified;
       Out.Containment = Res.NumVerifierCalls > 0;
       Out.MarginLower = Res.Certified ? 0.0 : -1.0;
+      Out.Refuted = Res.Refuted;
       if (Res.Refuted)
         Out.Detail = "refuted by a concrete counterexample";
       else
@@ -74,7 +74,7 @@ RunOutcome craft::runSpec(const VerificationSpec &Spec) {
                      "% volume certified";
       break;
     }
-    CraftVerifier Ver(*Model, configFor(Spec));
+    CraftVerifier Ver(Model, configFor(Spec));
     CraftResult Res =
         Ver.verifyRegion(Spec.InLo, Spec.InHi, Spec.TargetClass);
     Out.Certified = Res.Certified;
@@ -92,7 +92,7 @@ RunOutcome craft::runSpec(const VerificationSpec &Spec) {
       Opts.Alpha = Spec.Alpha2;
     if (Spec.MaxIterations > 0)
       Opts.UnrollSteps = Spec.MaxIterations;
-    CrownVerifier Ver(*Model, Opts);
+    CrownVerifier Ver(Model, Opts);
     CrownResult Res =
         Ver.verifyRegion(Spec.InLo, Spec.InHi, Spec.TargetClass);
     Out.Certified = Res.Certified;
@@ -105,7 +105,7 @@ RunOutcome craft::runSpec(const VerificationSpec &Spec) {
       Out.Detail = "the lipschitz engine needs an 'input linf' region";
       return Out;
     }
-    LipschitzCertifier Ver(*Model);
+    LipschitzCertifier Ver(Model);
     Out.Certified =
         Ver.certify(Spec.Center, Spec.TargetClass, Spec.Epsilon);
     Out.MarginLower = Out.Certified ? 0.0 : -1.0;
@@ -114,12 +114,41 @@ RunOutcome craft::runSpec(const VerificationSpec &Spec) {
     break;
   }
   }
+
+  // Opt-in PGD refutation: an uncertified l-inf query may still be
+  // concretely disproved. The seed comes from the spec or, in a batch, from
+  // the task's index (see runSpecBatch), so outcomes never depend on which
+  // worker thread ran the query.
+  if (Spec.Attack && !Out.Certified && !Out.Refuted &&
+      !Spec.Center.empty() && Spec.Epsilon > 0.0) {
+    PgdOptions Attack;
+    Attack.Epsilon = Spec.Epsilon;
+    Attack.InputLo = Spec.ClampLo;
+    Attack.InputHi = Spec.ClampHi;
+    Attack.Seed = Spec.AttackSeed != 0
+                      ? Spec.AttackSeed
+                      : taskSeed(BatchOptions().BaseSeed, 0);
+    Out.AttackSeed = Attack.Seed;
+    FixpointSolver Concrete(Model, Splitting::PeacemanRachford);
+    PgdResult Adv =
+        pgdAttack(Model, Concrete, Spec.Center, Spec.TargetClass, Attack);
+    if (Adv.FoundAdversarial &&
+        Concrete.predict(Adv.Adversarial) != Spec.TargetClass) {
+      Out.Refuted = true;
+      Out.Detail += "; refuted by PGD (class " +
+                    std::to_string(Adv.AdversarialClass) + ", seed " +
+                    std::to_string(Attack.Seed) + ")";
+    } else {
+      Out.Detail += "; PGD found no counterexample (seed " +
+                    std::to_string(Attack.Seed) + ")";
+    }
+  }
   Out.TimeSeconds = Clock.seconds();
 
   if (Out.Certified && !Spec.CertificatePath.empty()) {
     if (Spec.Verifier != SpecVerifier::Craft) {
       Out.Detail += "; certificates require the craft engine";
-    } else if (auto Cert = certifyRegion(*Model, Spec.InLo, Spec.InHi,
+    } else if (auto Cert = certifyRegion(Model, Spec.InLo, Spec.InHi,
                                          Spec.TargetClass,
                                          configFor(Spec))) {
       Out.CertificateWritten =
@@ -131,6 +160,49 @@ RunOutcome craft::runSpec(const VerificationSpec &Spec) {
     }
   }
   return Out;
+}
+
+} // namespace
+
+RunOutcome craft::runSpec(const VerificationSpec &Spec) {
+  std::optional<MonDeq> Model = MonDeq::load(Spec.ModelPath);
+  if (!Model) {
+    RunOutcome Out;
+    Out.Detail = "cannot load model '" + Spec.ModelPath + "'";
+    return Out;
+  }
+  return runSpecOn(Spec, *Model);
+}
+
+std::vector<RunOutcome>
+craft::runSpecBatch(const std::vector<VerificationSpec> &Specs,
+                    const BatchOptions &Opts) {
+  // Load each distinct model once and share the read-only instance across
+  // workers; a multi-input spec would otherwise reload its model per query.
+  std::map<std::string, std::optional<MonDeq>> Models;
+  for (const VerificationSpec &Spec : Specs)
+    Models.emplace(Spec.ModelPath, std::nullopt);
+  for (auto &Entry : Models) {
+    Entry.second = MonDeq::load(Entry.first);
+    if (Entry.second)
+      Entry.second->fbAlphaBound(); // Warm the lazy cache before fan-out.
+  }
+
+  std::vector<RunOutcome> Outcomes(Specs.size());
+  parallelForIndex(Specs.size(), Opts.Jobs, [&](size_t I) {
+    VerificationSpec Spec = Specs[I];
+    // Per-task RNG seeding: keyed by batch position, not by worker, so the
+    // batch outcome is identical for every job count.
+    if (Spec.Attack && Spec.AttackSeed == 0)
+      Spec.AttackSeed = taskSeed(Opts.BaseSeed, I);
+    const std::optional<MonDeq> &Model = Models.at(Spec.ModelPath);
+    if (!Model) {
+      Outcomes[I].Detail = "cannot load model '" + Spec.ModelPath + "'";
+      return;
+    }
+    Outcomes[I] = runSpecOn(Spec, *Model);
+  });
+  return Outcomes;
 }
 
 bool craft::printModelInfo(const std::string &ModelPath) {

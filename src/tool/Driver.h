@@ -17,7 +17,9 @@
 
 #include "tool/SpecParser.h"
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace craft {
 
@@ -27,17 +29,39 @@ struct RunOutcome {
   bool Certified = false;
   /// Craft only: an abstract post-fixpoint was found.
   bool Containment = false;
+  /// A concrete counterexample disproves the property (split refinement or
+  /// the opt-in PGD refutation pass).
+  bool Refuted = false;
   /// Best margin lower bound the engine reports (engine-specific scale).
   double MarginLower = -1e300;
   double TimeSeconds = 0.0;
   /// Whether a certificate was requested, built, and written.
   bool CertificateWritten = false;
+  /// RNG seed the PGD refutation pass ran with (0 = pass did not run).
+  uint64_t AttackSeed = 0;
   /// Human-readable failure/summary detail.
   std::string Detail;
 };
 
 /// Runs \p Spec. Never exits; all failures are reported in the outcome.
 RunOutcome runSpec(const VerificationSpec &Spec);
+
+/// Batch execution knobs for runSpecBatch.
+struct BatchOptions {
+  /// Worker threads (1 = inline on the caller, <= 0 = all hardware
+  /// threads). Outcomes are independent of this value.
+  int Jobs = 1;
+  /// Base of the per-task seed stream: a task whose spec leaves AttackSeed
+  /// at 0 runs with taskSeed(BaseSeed, task index), so seeds depend only on
+  /// the task's position in the batch, never on scheduling.
+  uint64_t BaseSeed = 20230617; // PLDI 2023 vintage.
+};
+
+/// Runs every spec of a batch across a worker pool and returns outcomes in
+/// input order. Apart from RunOutcome::TimeSeconds (wall time), results are
+/// byte-identical for every Jobs value.
+std::vector<RunOutcome> runSpecBatch(const std::vector<VerificationSpec> &Specs,
+                                     const BatchOptions &Opts = {});
 
 /// `craft info`: prints model metadata (dims, activation, m, FB alpha
 /// bound, semantic hash) to stdout. Returns false if loading fails.

@@ -3,6 +3,7 @@
 #include "tool/SpecParser.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -68,8 +69,10 @@ public:
     finalize();
     SpecParseResult Result;
     Result.Diagnostics = std::move(Diags);
-    if (Result.Diagnostics.empty())
-      Result.Spec = std::move(Spec);
+    if (Result.Diagnostics.empty()) {
+      Result.Specs = std::move(Specs);
+      Result.Spec = Result.Specs.front();
+    }
     return Result;
   }
 
@@ -133,6 +136,26 @@ private:
     return true;
   }
 
+  /// One `input` block: the region lines that vary per query. Epsilon and
+  /// clamp values fall back to the file-wide defaults when unset here.
+  struct InputSection {
+    std::string Kind; ///< "linf" or "box".
+    Vector Center, Lo, Hi;
+    double Epsilon = 0.0;
+    bool HaveEpsilon = false;
+    double ClampLo = 0.0, ClampHi = 1.0;
+    bool HaveClamp = false;
+  };
+
+  /// Region lines must follow an `input` line; returns the open section.
+  InputSection *section(const Token &Head) {
+    if (Sections.empty()) {
+      error(Head, "'" + Head.Text + "' must follow an 'input' line");
+      return nullptr;
+    }
+    return &Sections.back();
+  }
+
   void statement(const std::vector<Token> &Line) {
     const Token &Head = Line[0];
     const std::string &Kw = Head.Text;
@@ -143,80 +166,119 @@ private:
     if (Kw == "model") {
       if (Line.size() != 2)
         return error(Head, "'model' takes exactly one path");
-      Spec.ModelPath = Line[1].Text;
+      Base.ModelPath = Line[1].Text;
     } else if (Kw == "input") {
       if (Line.size() != 2 ||
           (Line[1].Text != "linf" && Line[1].Text != "box"))
         return error(Head, "'input' must be 'input linf' or 'input box'");
-      InputKind = Line[1].Text;
+      Sections.emplace_back();
+      Sections.back().Kind = Line[1].Text;
     } else if (Kw == "center") {
-      vectorTail(Line, 1, Spec.Center, "center");
+      if (InputSection *S = section(Head))
+        vectorTail(Line, 1, S->Center, "center");
     } else if (Kw == "lo") {
-      vectorTail(Line, 1, Spec.InLo, "lo");
+      if (InputSection *S = section(Head))
+        vectorTail(Line, 1, S->Lo, "lo");
     } else if (Kw == "hi") {
-      vectorTail(Line, 1, Spec.InHi, "hi");
+      if (InputSection *S = section(Head))
+        vectorTail(Line, 1, S->Hi, "hi");
     } else if (Kw == "epsilon") {
-      if (Line.size() != 2 || !number(Line[1], Spec.Epsilon))
+      double Eps = 0.0;
+      if (Line.size() != 2 || !number(Line[1], Eps))
         return;
-      if (Spec.Epsilon < 0.0)
-        error(Line[1], "epsilon must be nonnegative");
-      HaveEpsilon = true;
+      if (Eps < 0.0)
+        return error(Line[1], "epsilon must be nonnegative");
+      if (Sections.empty()) {
+        DefaultEpsilon = Eps;
+        HaveDefaultEpsilon = true;
+      } else {
+        Sections.back().Epsilon = Eps;
+        Sections.back().HaveEpsilon = true;
+      }
     } else if (Kw == "clamp") {
       if (Line.size() != 3)
         return error(Head, "'clamp' takes a lower and an upper bound");
-      if (number(Line[1], Spec.ClampLo) && number(Line[2], Spec.ClampHi) &&
-          Spec.ClampLo > Spec.ClampHi)
-        error(Line[1], "clamp range is empty");
+      double Lo = 0.0, Hi = 1.0;
+      if (number(Line[1], Lo) && number(Line[2], Hi)) {
+        if (Lo > Hi)
+          return error(Line[1], "clamp range is empty");
+        if (Sections.empty()) {
+          DefaultClampLo = Lo;
+          DefaultClampHi = Hi;
+        } else {
+          Sections.back().ClampLo = Lo;
+          Sections.back().ClampHi = Hi;
+          Sections.back().HaveClamp = true;
+        }
+      }
     } else if (Kw == "output") {
       if (Line.size() != 3 || Line[1].Text != "robust")
         return error(Head, "'output' must be 'output robust <class>'");
-      integer(Line[2], Spec.TargetClass, 0);
+      integer(Line[2], Base.TargetClass, 0);
     } else if (Kw == "verifier") {
       if (Line.size() != 2)
         return error(Head, "'verifier' takes one engine name");
       const std::string &Name = Line[1].Text;
       if (Name == "craft")
-        Spec.Verifier = SpecVerifier::Craft;
+        Base.Verifier = SpecVerifier::Craft;
       else if (Name == "box")
-        Spec.Verifier = SpecVerifier::Box;
+        Base.Verifier = SpecVerifier::Box;
       else if (Name == "crown")
-        Spec.Verifier = SpecVerifier::Crown;
+        Base.Verifier = SpecVerifier::Crown;
       else if (Name == "lipschitz")
-        Spec.Verifier = SpecVerifier::Lipschitz;
+        Base.Verifier = SpecVerifier::Lipschitz;
       else
         error(Line[1], "unknown verifier '" + Name +
                            "' (craft, box, crown, lipschitz)");
     } else if (Kw == "alpha1") {
-      if (Line.size() != 2 || !number(Line[1], Spec.Alpha1))
+      if (Line.size() != 2 || !number(Line[1], Base.Alpha1))
         return;
-      if (Spec.Alpha1 <= 0.0)
+      if (Base.Alpha1 <= 0.0)
         error(Line[1], "alpha1 must be positive");
     } else if (Kw == "alpha2") {
       if (Line.size() == 2)
-        number(Line[1], Spec.Alpha2);
+        number(Line[1], Base.Alpha2);
       else
         error(Head, "'alpha2' takes one number");
     } else if (Kw == "max-iterations") {
       if (Line.size() == 2)
-        integer(Line[1], Spec.MaxIterations, 1);
+        integer(Line[1], Base.MaxIterations, 1);
       else
         error(Head, "'max-iterations' takes one integer");
     } else if (Kw == "split-depth") {
       if (Line.size() == 2)
-        integer(Line[1], Spec.SplitDepth, 0);
+        integer(Line[1], Base.SplitDepth, 0);
       else
         error(Head, "'split-depth' takes one integer");
     } else if (Kw == "lambda-opt") {
       if (Line.size() == 2) {
-        if (integer(Line[1], Spec.LambdaOptLevel, 0) &&
-            Spec.LambdaOptLevel > 2)
+        if (integer(Line[1], Base.LambdaOptLevel, 0) &&
+            Base.LambdaOptLevel > 2)
           error(Line[1], "lambda-opt level is 0, 1 or 2");
       } else
         error(Head, "'lambda-opt' takes one integer");
     } else if (Kw == "certificate") {
       if (Line.size() != 2)
         return error(Head, "'certificate' takes exactly one path");
-      Spec.CertificatePath = Line[1].Text;
+      Base.CertificatePath = Line[1].Text;
+    } else if (Kw == "attack") {
+      if (Line.size() != 2 ||
+          (Line[1].Text != "on" && Line[1].Text != "off"))
+        return error(Head, "'attack' must be 'attack on' or 'attack off'");
+      Base.Attack = Line[1].Text == "on";
+    } else if (Kw == "seed") {
+      if (Line.size() != 2)
+        return error(Head, "'seed' takes one nonnegative integer");
+      // Full-width parse: AttackSeed is uint64_t and any 64-bit seed is
+      // legal, so the int-based integer() helper would be too narrow.
+      const std::string &T = Line[1].Text;
+      char *End = nullptr;
+      errno = 0;
+      unsigned long long V = std::strtoull(T.c_str(), &End, 10);
+      if (T.empty() || T[0] == '-' || End == T.c_str() || *End != '\0' ||
+          errno == ERANGE)
+        return error(Line[1], "'seed' takes one nonnegative 64-bit integer");
+      Base.AttackSeed = V;
     } else {
       error(Head, "unknown directive '" + Kw + "'");
     }
@@ -225,43 +287,63 @@ private:
 
   void finalize() {
     Token End{"", Lines.empty() ? 1 : Lines.back()[0].Line, 1};
-    if (Spec.ModelPath.empty())
+    if (Base.ModelPath.empty())
       error(End, "missing 'model' directive");
-    if (Spec.TargetClass < 0)
+    if (Base.TargetClass < 0)
       error(End, "missing 'output robust <class>' directive");
-    if (InputKind.empty())
+    if (Sections.empty())
       return error(End, "missing 'input linf' or 'input box' block");
 
-    if (InputKind == "linf") {
-      if (Spec.Center.empty())
-        return error(End, "'input linf' needs a 'center' line");
-      if (!HaveEpsilon)
-        return error(End, "'input linf' needs an 'epsilon' line");
-      Spec.InLo = Vector(Spec.Center.size());
-      Spec.InHi = Vector(Spec.Center.size());
-      for (size_t I = 0; I < Spec.Center.size(); ++I) {
-        Spec.InLo[I] =
-            std::max(Spec.Center[I] - Spec.Epsilon, Spec.ClampLo);
-        Spec.InHi[I] =
-            std::min(Spec.Center[I] + Spec.Epsilon, Spec.ClampHi);
+    for (size_t Idx = 0; Idx < Sections.size(); ++Idx) {
+      const InputSection &Sec = Sections[Idx];
+      VerificationSpec Spec = Base;
+      Spec.ClampLo = Sec.HaveClamp ? Sec.ClampLo : DefaultClampLo;
+      Spec.ClampHi = Sec.HaveClamp ? Sec.ClampHi : DefaultClampHi;
+      if (Sec.Kind == "linf") {
+        if (Sec.Center.empty())
+          return error(End, "'input linf' needs a 'center' line");
+        if (!Sec.HaveEpsilon && !HaveDefaultEpsilon)
+          return error(End, "'input linf' needs an 'epsilon' line");
+        Spec.Center = Sec.Center;
+        Spec.Epsilon = Sec.HaveEpsilon ? Sec.Epsilon : DefaultEpsilon;
+        Spec.InLo = Vector(Spec.Center.size());
+        Spec.InHi = Vector(Spec.Center.size());
+        for (size_t I = 0; I < Spec.Center.size(); ++I) {
+          Spec.InLo[I] =
+              std::max(Spec.Center[I] - Spec.Epsilon, Spec.ClampLo);
+          Spec.InHi[I] =
+              std::min(Spec.Center[I] + Spec.Epsilon, Spec.ClampHi);
+        }
+      } else {
+        if (Sec.Lo.empty() || Sec.Hi.empty())
+          return error(End, "'input box' needs 'lo' and 'hi' lines");
+        if (Sec.Lo.size() != Sec.Hi.size())
+          return error(End, "'lo' and 'hi' have different lengths");
+        for (size_t I = 0; I < Sec.Lo.size(); ++I)
+          if (Sec.Lo[I] > Sec.Hi[I])
+            return error(End, "empty input box at dimension " +
+                                  std::to_string(I));
+        Spec.InLo = Sec.Lo;
+        Spec.InHi = Sec.Hi;
       }
-    } else {
-      if (Spec.InLo.empty() || Spec.InHi.empty())
-        return error(End, "'input box' needs 'lo' and 'hi' lines");
-      if (Spec.InLo.size() != Spec.InHi.size())
-        return error(End, "'lo' and 'hi' have different lengths");
-      for (size_t I = 0; I < Spec.InLo.size(); ++I)
-        if (Spec.InLo[I] > Spec.InHi[I])
-          return error(End, "empty input box at dimension " +
-                                std::to_string(I));
+      // One witness file per query: suffix every query after the first so
+      // a multi-input spec does not overwrite its own certificates.
+      if (!Spec.CertificatePath.empty() && Idx > 0) {
+        Spec.CertificatePath += '.'; // += pieces, not `"." + rvalue`: GCC
+        Spec.CertificatePath += std::to_string(Idx); // 12 -Wrestrict misfires.
+      }
+      Specs.push_back(std::move(Spec));
     }
   }
 
   std::vector<std::vector<Token>> Lines;
   std::vector<SpecDiagnostic> Diags;
-  VerificationSpec Spec;
-  std::string InputKind;
-  bool HaveEpsilon = false;
+  VerificationSpec Base;
+  std::vector<InputSection> Sections;
+  std::vector<VerificationSpec> Specs;
+  double DefaultEpsilon = 0.0;
+  bool HaveDefaultEpsilon = false;
+  double DefaultClampLo = 0.0, DefaultClampHi = 1.0;
 };
 
 } // namespace

@@ -26,6 +26,13 @@
 /// lists values. Diagnostics carry line/column and a message; parsing
 /// never exits the process (library-friendly).
 ///
+/// A spec file may contain several `input` blocks; each becomes one query
+/// sharing the file's model, postcondition, and verifier knobs — the batch
+/// form the parallel driver (`runSpecBatch`, `craft verify --jobs N`) fans
+/// out across workers. `attack on` enables PGD refutation of uncertified
+/// l-inf queries and `seed <n>` pins its RNG seed (0 or absent = a
+/// deterministic per-query seed derived from the query's index).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CRAFT_TOOL_SPECPARSER_H
@@ -60,8 +67,13 @@ struct VerificationSpec {
   int LambdaOptLevel = -1;
   /// Branch-and-bound split budget for the craft engine (0 = no splits).
   int SplitDepth = 0;
-  /// Emit a proof witness here when non-empty (Craft only).
+  /// Emit a proof witness here when non-empty (Craft only). Multi-input
+  /// specs write one file per query (".<index>" suffix after the first).
   std::string CertificatePath;
+  /// Attempt PGD refutation when a query is not certified (l-inf only).
+  bool Attack = false;
+  /// PGD seed; 0 = derive per task from the batch index (see runSpecBatch).
+  uint64_t AttackSeed = 0;
 };
 
 /// A parse diagnostic (1-based line and column).
@@ -72,9 +84,12 @@ struct SpecDiagnostic {
   std::string render(const std::string &FileName) const;
 };
 
-/// Parse result: a spec or a list of diagnostics (never both empty).
+/// Parse result: the parsed queries or diagnostics (never both empty).
 struct SpecParseResult {
+  /// The first query — the whole spec for single-input files.
   std::optional<VerificationSpec> Spec;
+  /// Every query, one per `input` block, in file order.
+  std::vector<VerificationSpec> Specs;
   std::vector<SpecDiagnostic> Diagnostics;
   bool ok() const { return Spec.has_value(); }
 };

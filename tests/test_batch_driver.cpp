@@ -1,0 +1,342 @@
+//===- tests/test_batch_driver.cpp - Batch verification tests -------------===//
+//
+// Tests for the parallel batch-verification subsystem: the ThreadPool and
+// parallelForIndex primitives, the deterministic per-task seed stream, the
+// multi-input spec form, and the core batch contract — runSpecBatch
+// produces byte-identical outcomes for every worker count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/GaussianMixture.h"
+#include "nn/Solvers.h"
+#include "nn/Training.h"
+#include "support/Rng.h"
+#include "support/ThreadPool.h"
+#include "tool/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+using namespace craft;
+
+//===----------------------------------------------------------------------===//
+// ThreadPool primitives
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.workerCount(), 4u);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 100; ++I)
+    Pool.submit([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  Pool.submit([&Count] { ++Count; });
+  Pool.wait();
+  Pool.submit([&Count] { ++Count; });
+  Pool.submit([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> Count{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I < 50; ++I)
+      Pool.submit([&Count] { ++Count; });
+  } // No wait(): the destructor must still run everything.
+  EXPECT_EQ(Count.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTaskException) {
+  ThreadPool Pool(2);
+  Pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  // The error is consumed: the pool stays usable afterwards.
+  std::atomic<int> Count{0};
+  Pool.submit([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 1);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int Jobs : {1, 2, 8}) {
+    std::vector<int> Hits(257, 0);
+    parallelForIndex(Hits.size(), Jobs, [&Hits](size_t I) { ++Hits[I]; });
+    for (size_t I = 0; I < Hits.size(); ++I)
+      ASSERT_EQ(Hits[I], 1) << "jobs " << Jobs << " index " << I;
+  }
+}
+
+TEST(ParallelForTest, HandlesEmptyAndSingleElementRanges) {
+  std::atomic<int> Count{0};
+  parallelForIndex(0, 4, [&Count](size_t) { ++Count; });
+  EXPECT_EQ(Count.load(), 0);
+  parallelForIndex(1, 4, [&Count](size_t) { ++Count; });
+  EXPECT_EQ(Count.load(), 1);
+}
+
+TEST(ParallelForTest, PropagatesTaskExceptions) {
+  EXPECT_THROW(parallelForIndex(16, 4,
+                                [](size_t I) {
+                                  if (I == 7)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(TaskSeedTest, DependsOnlyOnBaseAndIndex) {
+  EXPECT_EQ(taskSeed(42, 0), taskSeed(42, 0));
+  EXPECT_EQ(taskSeed(42, 9), taskSeed(42, 9));
+  std::set<uint64_t> Seen;
+  for (uint64_t I = 0; I < 1000; ++I)
+    Seen.insert(taskSeed(42, I));
+  EXPECT_EQ(Seen.size(), 1000u) << "seed stream collided";
+  EXPECT_NE(taskSeed(42, 0), taskSeed(43, 0));
+  // Seeds are usable directly: nonzero for a realistic base.
+  EXPECT_NE(taskSeed(20230617, 0), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-input specs
+//===----------------------------------------------------------------------===//
+
+TEST(MultiInputSpecTest, EachInputBlockBecomesOneQuery) {
+  SpecParseResult R = parseSpec("model m.bin\n"
+                                "output robust 1\n"
+                                "alpha1 0.25\n"
+                                "epsilon 0.1\n"
+                                "input linf\n"
+                                "  center 0.5 0.5\n"
+                                "input linf\n"
+                                "  center 0.25 0.75\n"
+                                "  epsilon 0.05\n"
+                                "input box\n"
+                                "  lo 0 0\n"
+                                "  hi 1 1\n");
+  ASSERT_TRUE(R.ok());
+  ASSERT_EQ(R.Specs.size(), 3u);
+  // Shared directives reach every query.
+  for (const VerificationSpec &S : R.Specs) {
+    EXPECT_EQ(S.ModelPath, "m.bin");
+    EXPECT_EQ(S.TargetClass, 1);
+    EXPECT_DOUBLE_EQ(S.Alpha1, 0.25);
+  }
+  // File-wide epsilon is the default; a block may override it.
+  EXPECT_DOUBLE_EQ(R.Specs[0].Epsilon, 0.1);
+  EXPECT_DOUBLE_EQ(R.Specs[1].Epsilon, 0.05);
+  EXPECT_DOUBLE_EQ(R.Specs[1].InLo[0], 0.2);
+  EXPECT_DOUBLE_EQ(R.Specs[2].InHi[1], 1.0);
+  // Back-compat: Spec is the first query.
+  ASSERT_TRUE(R.Spec.has_value());
+  EXPECT_DOUBLE_EQ(R.Spec->Epsilon, 0.1);
+}
+
+TEST(MultiInputSpecTest, CertificatePathsGetPerQuerySuffixes) {
+  SpecParseResult R = parseSpec("model m.bin\n"
+                                "output robust 0\n"
+                                "certificate out.cert\n"
+                                "epsilon 0.1\n"
+                                "input linf\n  center 0.5\n"
+                                "input linf\n  center 0.6\n");
+  ASSERT_TRUE(R.ok());
+  ASSERT_EQ(R.Specs.size(), 2u);
+  EXPECT_EQ(R.Specs[0].CertificatePath, "out.cert");
+  EXPECT_EQ(R.Specs[1].CertificatePath, "out.cert.1");
+}
+
+TEST(MultiInputSpecTest, RegionLinesOutsideABlockAreDiagnosed) {
+  SpecParseResult R = parseSpec("model m.bin\ncenter 0.5\n"
+                                "output robust 0\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Diagnostics[0].Message.find("must follow an 'input' line"),
+            std::string::npos)
+      << R.Diagnostics[0].Message;
+  EXPECT_EQ(R.Diagnostics[0].Line, 2);
+}
+
+TEST(MultiInputSpecTest, ParsesAttackAndSeedDirectives) {
+  SpecParseResult R = parseSpec("model m.bin\noutput robust 0\n"
+                                "attack on\nseed 7\n"
+                                "input linf\n  center 0.5\n"
+                                "  epsilon 0.1\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Spec->Attack);
+  EXPECT_EQ(R.Spec->AttackSeed, 7u);
+  // The full uint64 seed range is accepted (beyond int and double).
+  SpecParseResult Wide = parseSpec("model m.bin\noutput robust 0\n"
+                                   "seed 18446744073709551615\n"
+                                   "input linf\n  center 0.5\n"
+                                   "  epsilon 0.1\n");
+  ASSERT_TRUE(Wide.ok());
+  EXPECT_EQ(Wide.Spec->AttackSeed, 18446744073709551615ull);
+  // One past 2^64-1 is diagnosed, not silently clamped.
+  SpecParseResult Over = parseSpec("model m.bin\noutput robust 0\n"
+                                   "seed 18446744073709551616\n"
+                                   "input linf\n  center 0.5\n"
+                                   "  epsilon 0.1\n");
+  ASSERT_FALSE(Over.ok());
+  EXPECT_NE(Over.Diagnostics[0].Message.find("'seed'"), std::string::npos);
+  SpecParseResult Bad = parseSpec("model m.bin\noutput robust 0\n"
+                                  "attack maybe\n"
+                                  "input linf\n  center 0.5\n"
+                                  "  epsilon 0.1\n");
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_NE(Bad.Diagnostics[0].Message.find("'attack'"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// runSpecBatch determinism
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Tiny trained model shared by the batch tests (same recipe as the
+/// test_tool driver fixture, separate file so the suites stay independent).
+struct BatchFixture {
+  std::string ModelPath = "/tmp/craft_batch_model.bin";
+  std::vector<Vector> Samples;
+  std::vector<int> Labels;
+};
+
+BatchFixture &batchFixture() {
+  static BatchFixture *F = [] {
+    auto *Out = new BatchFixture;
+    Rng DataRng(71);
+    Dataset Train = makeGaussianMixture(DataRng, 250, 5, 3);
+    Rng InitRng(72);
+    MonDeq Model = MonDeq::randomFc(InitRng, 5, 10, 3, 3.0);
+    TrainOptions Opts;
+    Opts.Epochs = 10;
+    Opts.Verbose = false;
+    trainMonDeq(Model, Train, Opts);
+    Model.save(Out->ModelPath);
+    FixpointSolver Solver(Model, Splitting::PeacemanRachford);
+    for (size_t I = 0; I < Train.size() && Out->Samples.size() < 6; ++I)
+      if (Solver.predict(Train.input(I)) == Train.Labels[I]) {
+        Out->Samples.push_back(Train.input(I));
+        Out->Labels.push_back(Train.Labels[I]);
+      }
+    return Out;
+  }();
+  return *F;
+}
+
+VerificationSpec specFor(const BatchFixture &Fix, size_t Sample,
+                         double Epsilon) {
+  VerificationSpec Spec;
+  Spec.ModelPath = Fix.ModelPath;
+  Spec.Center = Fix.Samples[Sample];
+  Spec.Epsilon = Epsilon;
+  Spec.TargetClass = Fix.Labels[Sample];
+  Spec.Alpha1 = 0.5;
+  Spec.InLo = Vector(Spec.Center.size());
+  Spec.InHi = Vector(Spec.Center.size());
+  for (size_t I = 0; I < Spec.Center.size(); ++I) {
+    Spec.InLo[I] = std::max(Spec.Center[I] - Epsilon, 0.0);
+    Spec.InHi[I] = std::min(Spec.Center[I] + Epsilon, 1.0);
+  }
+  return Spec;
+}
+
+/// Byte-identical outcome check, wall time excluded.
+void expectSameOutcome(const RunOutcome &A, const RunOutcome &B,
+                       size_t Index) {
+  EXPECT_EQ(A.ModelLoaded, B.ModelLoaded) << "query " << Index;
+  EXPECT_EQ(A.Certified, B.Certified) << "query " << Index;
+  EXPECT_EQ(A.Containment, B.Containment) << "query " << Index;
+  EXPECT_EQ(A.Refuted, B.Refuted) << "query " << Index;
+  EXPECT_EQ(A.CertificateWritten, B.CertificateWritten) << "query " << Index;
+  EXPECT_EQ(A.AttackSeed, B.AttackSeed) << "query " << Index;
+  EXPECT_EQ(A.Detail, B.Detail) << "query " << Index;
+  EXPECT_EQ(std::memcmp(&A.MarginLower, &B.MarginLower, sizeof(double)), 0)
+      << "query " << Index << ": margins differ in some bit ("
+      << A.MarginLower << " vs " << B.MarginLower << ")";
+}
+
+} // namespace
+
+TEST(BatchDriverTest, OutcomesMatchInputOrder) {
+  BatchFixture &Fix = batchFixture();
+  ASSERT_GE(Fix.Samples.size(), 2u);
+  std::vector<VerificationSpec> Specs;
+  Specs.push_back(specFor(Fix, 0, 0.02));
+  VerificationSpec Missing = specFor(Fix, 1, 0.02);
+  Missing.ModelPath = "/nonexistent/model.bin";
+  Specs.push_back(Missing);
+  Specs.push_back(specFor(Fix, 1, 0.02));
+
+  BatchOptions Opts;
+  Opts.Jobs = 3;
+  std::vector<RunOutcome> Outs = runSpecBatch(Specs, Opts);
+  ASSERT_EQ(Outs.size(), 3u);
+  EXPECT_TRUE(Outs[0].ModelLoaded);
+  EXPECT_FALSE(Outs[1].ModelLoaded) << "results are slotted by input index";
+  EXPECT_TRUE(Outs[2].ModelLoaded);
+}
+
+TEST(BatchDriverTest, JobCountNeverChangesOutcomes) {
+  BatchFixture &Fix = batchFixture();
+  ASSERT_GE(Fix.Samples.size(), 4u);
+  // Mix of easy (small epsilon) and hopeless (huge epsilon, PGD refutation
+  // enabled) queries so both code paths cross worker threads.
+  std::vector<VerificationSpec> Specs;
+  for (size_t I = 0; I < 4; ++I)
+    Specs.push_back(specFor(Fix, I, 0.02));
+  for (size_t I = 0; I < 2; ++I) {
+    VerificationSpec Hard = specFor(Fix, I, 0.5);
+    Hard.Attack = true;
+    Specs.push_back(Hard);
+  }
+
+  BatchOptions Serial;
+  Serial.Jobs = 1;
+  std::vector<RunOutcome> Baseline = runSpecBatch(Specs, Serial);
+  ASSERT_EQ(Baseline.size(), Specs.size());
+  for (int Jobs : {2, 4}) {
+    BatchOptions Parallel;
+    Parallel.Jobs = Jobs;
+    std::vector<RunOutcome> Outs = runSpecBatch(Specs, Parallel);
+    ASSERT_EQ(Outs.size(), Baseline.size());
+    for (size_t I = 0; I < Outs.size(); ++I)
+      expectSameOutcome(Baseline[I], Outs[I], I);
+  }
+}
+
+TEST(BatchDriverTest, AttackSeedsAreDerivedFromTaskIndex) {
+  BatchFixture &Fix = batchFixture();
+  ASSERT_GE(Fix.Samples.size(), 2u);
+  std::vector<VerificationSpec> Specs;
+  for (size_t I = 0; I < 2; ++I) {
+    VerificationSpec Hard = specFor(Fix, I, 0.5);
+    Hard.Attack = true;
+    Specs.push_back(Hard);
+  }
+  BatchOptions Opts;
+  Opts.Jobs = 2;
+  std::vector<RunOutcome> Outs = runSpecBatch(Specs, Opts);
+  ASSERT_EQ(Outs.size(), 2u);
+  for (size_t I = 0; I < Outs.size(); ++I) {
+    ASSERT_FALSE(Outs[I].Certified) << "query " << I
+                                    << ": epsilon 0.5 should not certify";
+    EXPECT_EQ(Outs[I].AttackSeed, taskSeed(Opts.BaseSeed, I))
+        << "query " << I;
+  }
+  // A spec-pinned seed wins over the derived one.
+  Specs[0].AttackSeed = 12345;
+  std::vector<RunOutcome> Pinned = runSpecBatch(Specs, Opts);
+  EXPECT_EQ(Pinned[0].AttackSeed, 12345u);
+}

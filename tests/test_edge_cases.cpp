@@ -42,8 +42,9 @@ TEST(EdgeLinalgTest, ZeroMatrixIsFlaggedSingular) {
 TEST(EdgeLinalgTest, NearSingularDeterminantIsTiny) {
   Matrix A = {{1.0, 1.0}, {1.0, 1.0 + 1e-13}};
   LuDecomposition Lu(A);
-  if (!Lu.isSingular())
+  if (!Lu.isSingular()) {
     EXPECT_LT(std::fabs(Lu.determinant()), 1e-12);
+  }
 }
 
 TEST(EdgeLinalgTest, IdentitySolveIsExact) {

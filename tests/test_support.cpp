@@ -81,7 +81,8 @@ TEST(TimerTest, MeasuresElapsedTime) {
   WallTimer T;
   volatile double Sink = 0.0;
   for (int I = 0; I < 2000000; ++I)
-    Sink += I * 1e-9;
+    Sink = Sink + I * 1e-9; // No compound assignment: volatile += is
+                            // deprecated in C++20 (-Wvolatile).
   double S = T.seconds();
   EXPECT_GT(S, 0.0);
   EXPECT_LT(S, 30.0);

@@ -65,8 +65,9 @@ TEST(ConfigTest, SparserContainmentChecksStillConverge) {
     CraftResult R1 = V1.verifyRobustness(S.X, S.Label, 0.03);
     CraftResult R5 = V5.verifyRobustness(S.X, S.Label, 0.03);
     EXPECT_EQ(R1.Containment, R5.Containment);
-    if (R1.Containment && R5.Containment)
+    if (R1.Containment && R5.Containment) {
       EXPECT_GE(R5.ContainmentIteration, R1.ContainmentIteration);
+    }
   }
 }
 
@@ -111,8 +112,9 @@ TEST(ConfigTest, FixedAlpha2SkipsLineSearch) {
     CraftResult Res = Verifier.verifyRobustness(S.X, S.Label, 0.03);
     // ChosenAlpha2 stays -1 when certification succeeds at containment
     // (phase 2 never runs); when phase 2 ran, it must be the fixed value.
-    if (Res.Containment && Res.ChosenAlpha2 >= 0.0)
+    if (Res.Containment && Res.ChosenAlpha2 >= 0.0) {
       EXPECT_DOUBLE_EQ(Res.ChosenAlpha2, 0.04);
+    }
   }
 }
 
@@ -127,9 +129,10 @@ TEST(ConfigTest, Phase2BudgetBoundsIterations) {
   for (const Sample &S : samples(3)) {
     CraftResult T = TinyV.verifyRobustness(S.X, S.Label, 0.03);
     CraftResult F = FullV.verifyRobustness(S.X, S.Label, 0.03);
-    if (T.Containment && F.Containment)
+    if (T.Containment && F.Containment) {
       EXPECT_LE(T.BestMargin, F.BestMargin + 1e-7)
           << "more tightening cannot hurt the margin";
+    }
   }
 }
 

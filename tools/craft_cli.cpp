@@ -2,52 +2,52 @@
 //
 // The end-user entry point of the repository:
 //
-//   craft verify <spec-file>          run a verification spec
-//   craft info <model.bin>            print model metadata
-//   craft check <model.bin> <cert>    validate a proof witness
+//   craft verify [--jobs N] <spec-file>...   run verification specs
+//   craft info <model.bin>                   print model metadata
+//   craft check <model.bin> <cert>           validate a proof witness
 //
-// Spec files are documented in src/tool/SpecParser.h and README.md. Exit
-// status: 0 = certified / accepted / info printed, 1 = not certified or
-// rejected, 2 = usage or input errors.
+// Spec files are documented in src/tool/SpecParser.h and README.md. A spec
+// file may hold several `input` blocks; all queries from all files form one
+// batch that `--jobs N` fans out across N worker threads (0 = all hardware
+// threads). Results are printed in input order and are identical for every
+// job count. Exit status: 0 = every query certified / accepted / info
+// printed, 1 = some query not certified or rejected, 2 = usage or input
+// errors.
 //
 //===----------------------------------------------------------------------===//
 
 #include "tool/Driver.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <set>
+#include <string>
+#include <vector>
 
 using namespace craft;
 
 static int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  craft verify <spec-file>\n"
+               "  craft verify [--jobs N] <spec-file>...\n"
                "  craft info <model.bin>\n"
                "  craft check <model.bin> <certificate.bin>\n");
   return 2;
 }
 
-static int runVerify(const char *Path) {
-  SpecParseResult Parsed = parseSpecFile(Path);
-  if (!Parsed.ok()) {
-    for (const SpecDiagnostic &D : Parsed.Diagnostics)
-      std::fprintf(stderr, "%s\n", D.render(Path).c_str());
-    return 2;
-  }
-  const VerificationSpec &Spec = *Parsed.Spec;
-  RunOutcome Out = runSpec(Spec);
-  if (!Out.ModelLoaded) {
-    std::fprintf(stderr, "error: %s\n", Out.Detail.c_str());
-    return 2;
-  }
+namespace {
+
+void printOutcome(const VerificationSpec &Spec, const RunOutcome &Out) {
   std::printf("engine       %s\n",
               Spec.Verifier == SpecVerifier::Craft      ? "craft"
               : Spec.Verifier == SpecVerifier::Box      ? "box"
               : Spec.Verifier == SpecVerifier::Crown    ? "crown"
                                                         : "lipschitz");
-  std::printf("verdict      %s\n",
-              Out.Certified ? "CERTIFIED" : "not certified");
+  std::printf("verdict      %s\n", Out.Certified ? "CERTIFIED"
+                                   : Out.Refuted ? "REFUTED"
+                                                 : "not certified");
   if (Spec.Verifier == SpecVerifier::Craft ||
       Spec.Verifier == SpecVerifier::Box)
     std::printf("containment  %s\n", Out.Containment ? "yes" : "no");
@@ -59,14 +59,110 @@ static int runVerify(const char *Path) {
     std::printf("certificate  %s\n", Out.CertificateWritten
                                          ? Spec.CertificatePath.c_str()
                                          : "(construction failed)");
-  return Out.Certified ? 0 : 1;
 }
+
+int runVerify(const std::vector<std::string> &Files, int Jobs) {
+  std::vector<VerificationSpec> Specs;
+  std::vector<const std::string *> Sources; // Spec I came from *Sources[I].
+  bool ParseFailed = false;
+  for (const std::string &File : Files) {
+    SpecParseResult Parsed = parseSpecFile(File);
+    if (!Parsed.ok()) {
+      for (const SpecDiagnostic &D : Parsed.Diagnostics)
+        std::fprintf(stderr, "%s\n", D.render(File).c_str());
+      ParseFailed = true;
+      continue;
+    }
+    for (VerificationSpec &Spec : Parsed.Specs) {
+      Specs.push_back(std::move(Spec));
+      Sources.push_back(&File);
+    }
+  }
+  if (ParseFailed)
+    return 2;
+
+  // Workers would race writing the same witness file: the parser suffixes
+  // certificate paths within one spec file, so only cross-file batches can
+  // still collide — reject those up front.
+  std::set<std::string> CertPaths;
+  for (const VerificationSpec &Spec : Specs)
+    if (!Spec.CertificatePath.empty() &&
+        !CertPaths.insert(Spec.CertificatePath).second) {
+      std::fprintf(stderr,
+                   "error: certificate path '%s' is used by more than one "
+                   "query in this batch\n",
+                   Spec.CertificatePath.c_str());
+      return 2;
+    }
+
+  BatchOptions Opts;
+  Opts.Jobs = Jobs;
+  std::vector<RunOutcome> Outcomes = runSpecBatch(Specs, Opts);
+
+  int Exit = 0;
+  for (size_t I = 0; I < Specs.size(); ++I) {
+    if (Specs.size() > 1)
+      std::printf("%s== query %zu (%s) ==\n", I == 0 ? "" : "\n", I + 1,
+                  Sources[I]->c_str());
+    const RunOutcome &Out = Outcomes[I];
+    if (!Out.ModelLoaded) {
+      std::fprintf(stderr, "error: %s\n", Out.Detail.c_str());
+      Exit = 2;
+      continue;
+    }
+    printOutcome(Specs[I], Out);
+    if (!Out.Certified && Exit == 0)
+      Exit = 1;
+  }
+  return Exit;
+}
+
+/// Parses the --jobs count (\p Digits). On success stores a runSpecBatch
+/// jobs value into \p Jobs (user's 0 = all hardware threads maps to the
+/// API's <= 0 convention); on failure prints the error and returns false.
+bool parseJobs(const char *Digits, int &Jobs) {
+  char *End = nullptr;
+  errno = 0;
+  long V = std::strtol(Digits, &End, 10);
+  if (End == Digits || *End != '\0' || V < 0 || errno == ERANGE ||
+      V > 65536) {
+    std::fprintf(stderr, "error: --jobs needs a count >= 0 "
+                         "(0 = all hardware threads)\n");
+    return false;
+  }
+  Jobs = V == 0 ? -1 : static_cast<int>(V);
+  return true;
+}
+
+} // namespace
 
 int main(int Argc, char **Argv) {
   if (Argc < 2)
     return usage();
-  if (std::strcmp(Argv[1], "verify") == 0 && Argc == 3)
-    return runVerify(Argv[2]);
+  if (std::strcmp(Argv[1], "verify") == 0) {
+    int Jobs = 1;
+    std::vector<std::string> Files;
+    for (int I = 2; I < Argc; ++I) {
+      if (std::strcmp(Argv[I], "--jobs") == 0 ||
+          std::strcmp(Argv[I], "-j") == 0) {
+        if (I + 1 >= Argc)
+          return usage();
+        if (!parseJobs(Argv[++I], Jobs))
+          return 2;
+      } else if (std::strncmp(Argv[I], "--jobs=", 7) == 0) {
+        if (!parseJobs(Argv[I] + 7, Jobs))
+          return 2;
+      } else if (Argv[I][0] == '-') {
+        std::fprintf(stderr, "error: unknown option '%s'\n", Argv[I]);
+        return usage();
+      } else {
+        Files.push_back(Argv[I]);
+      }
+    }
+    if (Files.empty())
+      return usage();
+    return runVerify(Files, Jobs);
+  }
   if (std::strcmp(Argv[1], "info") == 0 && Argc == 3)
     return printModelInfo(Argv[2]) ? 0 : 2;
   if (std::strcmp(Argv[1], "check") == 0 && Argc == 4)
