@@ -1,0 +1,86 @@
+//===- bench/AllocCounter.h - Heap allocation counting ----------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Global operator new/delete replacements that count heap allocations, so
+/// benchmark harnesses can report allocs/op alongside ns/op and the perf
+/// trajectory of the allocation-free linalg kernel work is measurable
+/// across PRs.
+///
+/// Include this header in exactly ONE translation unit per binary (the
+/// harness main file): it *defines* the replaceable global allocation
+/// functions. The counter is atomic, so worker threads spawned by the
+/// batch-verification subsystem are counted too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_BENCH_ALLOCCOUNTER_H
+#define CRAFT_BENCH_ALLOCCOUNTER_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace craft {
+namespace benchalloc {
+
+inline std::atomic<uint64_t> AllocCount{0};
+
+/// Total heap allocations (operator new calls) since process start.
+inline uint64_t allocations() {
+  return AllocCount.load(std::memory_order_relaxed);
+}
+
+inline void *countedAlloc(std::size_t Size) {
+  AllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+
+inline void *countedAlignedAlloc(std::size_t Size, std::size_t Align) {
+  AllocCount.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  std::size_t Rounded = (Size + Align - 1) / Align * Align;
+  if (void *P = std::aligned_alloc(Align, Rounded ? Rounded : Align))
+    return P;
+  throw std::bad_alloc();
+}
+
+} // namespace benchalloc
+} // namespace craft
+
+// Replaceable global allocation functions. The nothrow variants forward to
+// these by default, so replacing the ordinary set is sufficient.
+void *operator new(std::size_t Size) {
+  return craft::benchalloc::countedAlloc(Size);
+}
+void *operator new[](std::size_t Size) {
+  return craft::benchalloc::countedAlloc(Size);
+}
+void *operator new(std::size_t Size, std::align_val_t Align) {
+  return craft::benchalloc::countedAlignedAlloc(
+      Size, static_cast<std::size_t>(Align));
+}
+void *operator new[](std::size_t Size, std::align_val_t Align) {
+  return craft::benchalloc::countedAlignedAlloc(
+      Size, static_cast<std::size_t>(Align));
+}
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+void operator delete(void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+void operator delete[](void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+
+#endif // CRAFT_BENCH_ALLOCCOUNTER_H

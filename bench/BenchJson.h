@@ -1,0 +1,56 @@
+//===- bench/BenchJson.h - Shared perf-record JSON emission -----*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one schema both perf-trajectory artifacts (BENCH_micro.json,
+/// BENCH_table2.json) are written in: a list of
+/// {op, dims, ns_per_op, allocs_per_op} records. Keeping the record type
+/// and writer in one place keeps the files parseable by the same
+/// downstream tooling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_BENCH_BENCHJSON_H
+#define CRAFT_BENCH_BENCHJSON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace craft {
+namespace benchjson {
+
+struct Record {
+  std::string Op;
+  std::string Dims;
+  double NsPerOp = 0.0;
+  double AllocsPerOp = 0.0;
+};
+
+inline void write(const char *Path, const std::vector<Record> &Records) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "warning: cannot write %s\n", Path);
+    return;
+  }
+  std::fprintf(F, "{\n  \"benchmarks\": [\n");
+  for (size_t I = 0; I < Records.size(); ++I) {
+    const Record &R = Records[I];
+    std::fprintf(F,
+                 "    {\"op\": \"%s\", \"dims\": \"%s\", "
+                 "\"ns_per_op\": %.3f, \"allocs_per_op\": %.3f}%s\n",
+                 R.Op.c_str(), R.Dims.c_str(), R.NsPerOp, R.AllocsPerOp,
+                 I + 1 < Records.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote %s (%zu records)\n", Path, Records.size());
+}
+
+} // namespace benchjson
+} // namespace craft
+
+#endif // CRAFT_BENCH_BENCHJSON_H

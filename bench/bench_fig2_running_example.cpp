@@ -71,9 +71,15 @@ int main() {
 
   TablePrinter Table({"method", "S* dim1", "S* dim2", "score low bound",
                       "certified"});
+  // Built via append rather than an operator+ chain: the chain trips GCC
+  // 12's bogus -Wrestrict on inlined std::string concatenation (PR105329).
   auto hullCell = [](const IntervalVector &H, size_t Dim) {
-    return "[" + fmt(H.lowerBounds()[Dim], 4) + ", " +
-           fmt(H.upperBounds()[Dim], 4) + "]";
+    std::string Cell = "[";
+    Cell += fmt(H.lowerBounds()[Dim], 4);
+    Cell += ", ";
+    Cell += fmt(H.upperBounds()[Dim], 4);
+    Cell += "]";
+    return Cell;
   };
   Table.addRow({"Craft (CH-Zonotope)", hullCell(Craft.FixpointHull, 0),
                 hullCell(Craft.FixpointHull, 1), fmt(Craft.BestMargin, 4),

@@ -6,7 +6,16 @@
 // so doubling p should roughly 8x these timings (check the reported Time
 // column scaling).
 //
+// Besides the console report, the harness writes BENCH_micro.json — one
+// record per benchmark run with (op, dims, ns_per_op, allocs_per_op) — so
+// the perf trajectory of the domain hot paths is machine-checkable across
+// PRs. Allocations are counted via the AllocCounter.h global operator
+// new replacement.
+//
 //===----------------------------------------------------------------------===//
+
+#include "AllocCounter.h"
+#include "BenchJson.h"
 
 #include "core/AbstractSolver.h"
 #include "domains/OrderReduction.h"
@@ -15,9 +24,32 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
 using namespace craft;
 
 namespace {
+
+/// Records the allocation counter at construction and publishes the
+/// per-iteration delta as the "allocs_per_op" user counter on destruction.
+class AllocScope {
+public:
+  explicit AllocScope(benchmark::State &State)
+      : State(State), Before(benchalloc::allocations()) {}
+  ~AllocScope() {
+    uint64_t Delta = benchalloc::allocations() - Before;
+    State.counters["allocs_per_op"] = benchmark::Counter(
+        static_cast<double>(Delta) /
+        static_cast<double>(State.iterations() > 0 ? State.iterations() : 1));
+  }
+
+private:
+  benchmark::State &State;
+  uint64_t Before;
+};
 
 /// Builds a consolidated (outer, inner) pair of dimension P with K inner
 /// generator columns.
@@ -43,9 +75,30 @@ struct ContainmentFixture {
   }
 };
 
+/// Dense affine map fixture: a random p x p matrix applied to a CH-Zonotope
+/// with k = 2p generator columns (the shape of one abstract solver
+/// propagation sub-step at paper model dimensions).
+struct AffineFixture {
+  CHZonotope Z;
+  Matrix M;
+  Vector T;
+
+  explicit AffineFixture(size_t P) {
+    ContainmentFixture Inner(P, 2 * P);
+    Z = Inner.Inner;
+    Rng R(P * 977 + 5);
+    M = Matrix(P, P);
+    for (size_t I = 0; I < P; ++I)
+      for (size_t J = 0; J < P; ++J)
+        M(I, J) = R.gaussian(0.0, 1.0 / static_cast<double>(P));
+    T = Vector(P, 0.01);
+  }
+};
+
 void BM_ContainmentCheck(benchmark::State &State) {
   size_t P = static_cast<size_t>(State.range(0));
   ContainmentFixture Fixture(P, 2 * P);
+  AllocScope Allocs(State);
   for (auto _ : State)
     benchmark::DoNotOptimize(
         containsCH(Fixture.Outer.Z, Fixture.Outer.InvGens, Fixture.Inner));
@@ -57,15 +110,26 @@ void BM_Consolidation(benchmark::State &State) {
   ContainmentFixture Fixture(P, 2 * P);
   ConsolidationBasis Basis(P, 1000000); // Basis cached: measure Thm 4.1 only.
   Basis.refresh(Fixture.Inner.generators());
+  AllocScope Allocs(State);
   for (auto _ : State)
     benchmark::DoNotOptimize(
         consolidateProper(Fixture.Inner, Basis, 1e-3, 1e-2));
   State.SetComplexityN(State.range(0));
 }
 
+void BM_CHZAffine(benchmark::State &State) {
+  size_t P = static_cast<size_t>(State.range(0));
+  AffineFixture Fixture(P);
+  AllocScope Allocs(State);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Fixture.Z.affine(Fixture.M, Fixture.T));
+  State.SetComplexityN(State.range(0));
+}
+
 void BM_PcaBasisRefresh(benchmark::State &State) {
   size_t P = static_cast<size_t>(State.range(0));
   ContainmentFixture Fixture(P, 2 * P);
+  AllocScope Allocs(State);
   for (auto _ : State) {
     ConsolidationBasis Basis(P, 1);
     Basis.refresh(Fixture.Inner.generators());
@@ -82,20 +146,75 @@ void BM_AbstractSolverStep(benchmark::State &State) {
   AbstractSolver Solver(Model, Splitting::PeacemanRachford, 0.1, X);
   CHZonotope S = Solver.initialState(Vector(P, 0.1));
   S = Solver.step(S);
+  AllocScope Allocs(State);
   for (auto _ : State)
     benchmark::DoNotOptimize(Solver.step(S));
   State.SetComplexityN(State.range(0));
 }
 
+/// Console reporter that additionally writes one BENCH_micro.json record
+/// per plain iteration run (aggregates and complexity fits are skipped)
+/// with the fields the perf-trajectory tooling consumes. Wrapping the
+/// display reporter avoids google-benchmark's requirement that a separate
+/// file reporter be paired with --benchmark_out.
+class JsonFileReporter : public benchmark::ConsoleReporter {
+public:
+  explicit JsonFileReporter(std::string Path) : Path(std::move(Path)) {}
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    benchmark::ConsoleReporter::ReportRuns(Runs);
+    for (const Run &R : Runs) {
+      // Plain iteration runs only. (No error filter: Run::error_occurred
+      // was removed in google-benchmark 1.8, and these fixtures cannot
+      // fail mid-run.)
+      if (R.run_type != Run::RT_Iteration || R.report_big_o || R.report_rms)
+        continue;
+      benchjson::Record Rec;
+      std::string Name = R.benchmark_name();
+      size_t Slash = Name.find('/');
+      Rec.Op = Name.substr(0, Slash);
+      Rec.Dims = Slash == std::string::npos ? "" : Name.substr(Slash + 1);
+      Rec.NsPerOp = R.iterations > 0
+                        ? R.real_accumulated_time * 1e9 /
+                              static_cast<double>(R.iterations)
+                        : 0.0;
+      auto It = R.counters.find("allocs_per_op");
+      Rec.AllocsPerOp = It != R.counters.end() ? It->second.value : 0.0;
+      Records.push_back(std::move(Rec));
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    benchjson::write(Path.c_str(), Records);
+  }
+
+private:
+  std::string Path;
+  std::vector<benchjson::Record> Records;
+};
+
 } // namespace
 
+// Paper dimensions (MNIST FC latent sizes 40/87/100/200) on top of the
+// power-of-two complexity sweep.
 BENCHMARK(BM_ContainmentCheck)->RangeMultiplier(2)->Range(16, 256)
-    ->Complexity();
+    ->Arg(87)->Arg(100)->Arg(200)->Complexity();
 BENCHMARK(BM_Consolidation)->RangeMultiplier(2)->Range(16, 256)
-    ->Complexity();
+    ->Arg(87)->Arg(100)->Arg(200)->Complexity();
+BENCHMARK(BM_CHZAffine)->Arg(40)->Arg(64)->Arg(87)->Arg(100)->Arg(128)
+    ->Arg(200)->Complexity();
 BENCHMARK(BM_PcaBasisRefresh)->RangeMultiplier(2)->Range(16, 128)
     ->Complexity();
 BENCHMARK(BM_AbstractSolverStep)->RangeMultiplier(2)->Range(16, 128)
     ->Complexity();
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  JsonFileReporter Reporter("BENCH_micro.json");
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+  return 0;
+}

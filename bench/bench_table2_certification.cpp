@@ -9,9 +9,17 @@
 // their PGD-robust samples; containment is found for (almost) all samples;
 // conv models remain tractable at 10x the latent size of the SemiSDP limit.
 //
+// Besides the console table, the harness writes BENCH_table2.json — one
+// record per model row with (op, dims, ns_per_op, allocs_per_op), where
+// ns_per_op is the mean Craft wall time per accurate sample and
+// allocs_per_op the heap allocations per evaluated sample — so the
+// end-to-end certification perf trajectory is tracked across PRs.
+//
 //===----------------------------------------------------------------------===//
 
+#include "AllocCounter.h"
 #include "BenchCommon.h"
+#include "BenchJson.h"
 
 using namespace craft;
 
@@ -34,12 +42,23 @@ int main() {
   TablePrinter Table({"Dataset", "Model", "Latent", "#Acc", "eps", "#Bound",
                       "#Cont", "#Cert", "Time[s]"});
 
-  auto runRow = [&Table](const char *Name, size_t Samples) {
+  std::vector<benchjson::Record> Records;
+  auto runRow = [&Table, &Records](const char *Name, size_t Samples) {
     const ModelSpec *Spec = findModelSpec(Name);
     MonDeq Model = getOrTrainModel(*Spec);
+    uint64_t AllocsBefore = benchalloc::allocations();
     CertRow Row = evaluateCertification(*Spec, Model, craftConfigFor(*Spec),
                                         pgdOptionsFor(*Spec), Spec->Epsilon,
                                         Samples);
+    uint64_t AllocsDelta = benchalloc::allocations() - AllocsBefore;
+    benchjson::Record Rec;
+    Rec.Op = Spec->Name;
+    Rec.Dims = fmt(static_cast<long>(Spec->LatentDim));
+    Rec.NsPerOp = Row.MeanTimeSeconds * 1e9;
+    Rec.AllocsPerOp = Row.Samples > 0 ? static_cast<double>(AllocsDelta) /
+                                            static_cast<double>(Row.Samples)
+                                      : 0.0;
+    Records.push_back(std::move(Rec));
     Table.addRow({Spec->DatasetKind, Spec->Name,
                   fmt(static_cast<long>(Spec->LatentDim)),
                   fmt(static_cast<long>(Row.Accurate)) + "/" +
@@ -61,5 +80,6 @@ int main() {
   }
 
   Table.print();
+  benchjson::write("BENCH_table2.json", Records);
   return 0;
 }

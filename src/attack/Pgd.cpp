@@ -87,16 +87,20 @@ PgdResult craft::pgdAttack(const MonDeq &Model, const FixpointSolver &Solver,
       }
 
       // Margin-loss PGD: ascend y_target - y_label (targeted) or
-      // y_runnerup - y_label (untargeted).
+      // y_runnerup - y_label (untargeted). The margin coefficient vector is
+      // hoisted out of the step loop and rewritten in place (two entries
+      // per step) instead of reallocated.
+      Vector Coef(Model.outputDim(), 0.0);
       for (int S = 0; S < Opts.Steps; ++S) {
         Vector Y = Solver.logits(Adv);
         int Rival = Target >= 0 ? Target : argmaxExcluding(Y, Label);
         if (argmaxExcluding(Y, -1) != Label)
           break; // Already adversarial; stop refining.
-        Vector Coef(Model.outputDim(), 0.0);
         Coef[Rival] = 1.0;
         Coef[Label] = -1.0;
         Vector G = inputGradient(Model, Solver, Adv, Coef, Opts.NeumannTerms);
+        Coef[Rival] = 0.0;
+        Coef[Label] = 0.0;
         for (size_t I = 0; I < Q; ++I)
           Adv[I] += Step * (G[I] > 0.0 ? 1.0 : -1.0);
         project(Adv, X, Opts);

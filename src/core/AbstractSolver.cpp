@@ -100,11 +100,12 @@ IntervalVector AbstractSolver::initialStateInterval(const Vector &ZStar) const {
 CHZonotope AbstractSolver::step(const CHZonotope &State, double LambdaScale,
                                 bool AbsorbBox) const {
   assert(State.dim() == stateDim() && "state dimension mismatch");
-  // The input contribution is already in state space: combine with the
-  // identity map (shared-id merge is what matters here).
-  Matrix Identity = Matrix::identity(stateDim());
+  // The input contribution is already in state space: combine it under the
+  // identity map (null matrix — shared-id merge is what matters here, and
+  // materializing a stateDim x stateDim identity every iteration would put
+  // a p^2 k multiply on the hot path for nothing).
   std::pair<const Matrix *, const CHZonotope *> Terms[] = {
-      {&StateMatrix, &State}, {&Identity, &InputContrib}};
+      {&StateMatrix, &State}, {nullptr, &InputContrib}};
   CHZonotope Pre = CHZonotope::linearCombine(Terms, Offset);
   switch (Act) {
   case ActivationKind::ReLU:

@@ -17,10 +17,16 @@ using namespace craft;
 namespace {
 
 /// One abstract Householder step s' = s + s (0.5 h + 0.375 h^2),
-/// h = 1 - x s^2.
+/// h = 1 - x s^2. Scale-and-shift links run in place (same math, no
+/// per-link term-vector copies).
 AffineForm householderStep(const AffineForm &X, const AffineForm &S) {
-  AffineForm H = (X * S.square()) * -1.0 + 1.0;
-  AffineForm Update = H * 0.5 + H.square() * 0.375;
+  AffineForm H = X * S.square();
+  H *= -1.0;
+  H += 1.0;
+  AffineForm H2 = H.square();
+  H2 *= 0.375;
+  H *= 0.5;
+  AffineForm Update = H + H2;
   return S + S * Update;
 }
 

@@ -2,6 +2,8 @@
 
 #include "core/KleeneVerifier.h"
 
+#include "linalg/Kernels.h"
+#include "linalg/Workspace.h"
 #include "nn/Solvers.h"
 #include "support/Timer.h"
 
@@ -74,17 +76,21 @@ KleeneResult KleeneVerifier::verifyRegion(const Vector &InLo,
     }
 
     // Widening: after enough joins, grow the accumulator so the ascending
-    // chain stabilizes (Cousot & Cousot 1992).
+    // chain stabilizes (Cousot & Cousot 1992). Radii live in workspace
+    // scratch — these checks run every iteration.
+    WorkspaceScope WS;
     if (N > Config.UnrollSteps + Config.WidenAfter) {
       Vector Widened = S.boxRadius();
-      Vector Radius = S.concretizationRadius();
+      VectorView Radius = WS.vector(S.dim());
+      S.concretizationRadiusInto(Radius);
       for (size_t I = 0; I < Widened.size(); ++I)
         Widened[I] += Config.WideningFactor * Radius[I] + 1e-9;
-      S = CHZonotope(S.center(), S.generators(), S.termIds(),
-                     std::move(Widened));
+      S = std::move(S).withBoxRadius(std::move(Widened));
     }
 
-    if (S.concretizationRadius().normInf() > Config.AbortWidth)
+    VectorView Radius = WS.vector(S.dim());
+    S.concretizationRadiusInto(Radius);
+    if (kernels::normInf(Radius) > Config.AbortWidth)
       break;
   }
 

@@ -4,6 +4,7 @@
 
 #include "domains/OrderReduction.h"
 #include "linalg/Eig.h"
+#include "linalg/Kernels.h"
 #include "linalg/Lu.h"
 
 #include <cassert>
@@ -73,7 +74,11 @@ double craft::contractionFactor(const LinearIterator &It) {
 
 Vector craft::stepLinearConcrete(const LinearIterator &It, const Vector &B,
                                  const Vector &S) {
-  return It.M * S + It.N * B + It.C;
+  // Destination-passing: one result allocation instead of four temporaries.
+  Vector Out = It.C;
+  kernels::gemv(Out, It.M, S, 1.0, 1.0);
+  kernels::gemv(Out, It.N, B, 1.0, 1.0);
+  return Out;
 }
 
 Vector craft::solveLinearFixpoint(const LinearIterator &It, const Vector &B) {

@@ -3,6 +3,7 @@
 #include "core/LipschitzCert.h"
 
 #include "linalg/Eig.h"
+#include "linalg/Views.h"
 
 #include <cmath>
 
@@ -18,6 +19,8 @@ double LipschitzCertifier::certifiedRadius(const Vector &X,
   Vector Y = Solver.logits(X);
   const size_t R = Model.outputDim();
   const size_t P = Model.latentDim();
+  ConstMatrixView V = Model.weightV();
+  const double *TargetRow = V.row(TargetClass);
   double Radius2 = 1e300;
   for (size_t I = 0; I < R; ++I) {
     if (static_cast<int>(I) == TargetClass)
@@ -26,9 +29,10 @@ double LipschitzCertifier::certifiedRadius(const Vector &X,
     if (Margin <= 0.0)
       return 0.0;
     // ||V_t - V_i||_2 bounds the margin's sensitivity to z*.
+    const double *RivalRow = V.row(I);
     double RowNorm = 0.0;
     for (size_t J = 0; J < P; ++J) {
-      double D = Model.weightV()(TargetClass, J) - Model.weightV()(I, J);
+      double D = TargetRow[J] - RivalRow[J];
       RowNorm += D * D;
     }
     RowNorm = std::sqrt(RowNorm);

@@ -3,6 +3,8 @@
 #include "core/UnrolledCrown.h"
 
 #include "linalg/Eig.h"
+#include "linalg/Kernels.h"
+#include "linalg/Workspace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -34,14 +36,30 @@ struct LinearBounds {
   Vector LowB, UppB; ///< p.
 };
 
-/// Concretizes one side of the bounds over the box [XLo, XHi].
-Vector concretizeLower(const Matrix &W, const Vector &B, const Vector &XLo,
-                       const Vector &XHi) {
-  return positivePart(W) * XLo + negativePart(W) * XHi + B;
+/// Concretizes one side of the bounds over the box [XLo, XHi] into \p Out:
+/// row r accumulates W(r,c) * (XLo or XHi picked by sign) — the sign-split
+/// pos/neg matrices are never materialized.
+void concretizeLowerInto(VectorView Out, ConstMatrixView W,
+                         ConstVectorView B, ConstVectorView XLo,
+                         ConstVectorView XHi) {
+  for (size_t R = 0, P = W.rows(); R < P; ++R) {
+    const double *Row = W.row(R);
+    double Sum = 0.0;
+    for (size_t C = 0, Q = W.cols(); C < Q; ++C)
+      Sum += Row[C] * (Row[C] >= 0.0 ? XLo[C] : XHi[C]);
+    Out[R] = Sum + B[R];
+  }
 }
-Vector concretizeUpper(const Matrix &W, const Vector &B, const Vector &XLo,
-                       const Vector &XHi) {
-  return positivePart(W) * XHi + negativePart(W) * XLo + B;
+void concretizeUpperInto(VectorView Out, ConstMatrixView W,
+                         ConstVectorView B, ConstVectorView XLo,
+                         ConstVectorView XHi) {
+  for (size_t R = 0, P = W.rows(); R < P; ++R) {
+    const double *Row = W.row(R);
+    double Sum = 0.0;
+    for (size_t C = 0, Q = W.cols(); C < Q; ++C)
+      Sum += Row[C] * (Row[C] >= 0.0 ? XHi[C] : XLo[C]);
+    Out[R] = Sum + B[R];
+  }
 }
 
 } // namespace
@@ -101,19 +119,38 @@ CrownResult CrownVerifier::verifyRegion(const Vector &InLo,
   B.LowB = Fp.Z;
   B.UppB = Fp.Z;
 
+  // The sign-split propagation matrices are structurally half-zero, so the
+  // sparse-aware gemm skips roughly half the inner-loop work.
   Matrix Ap = positivePart(StateMatrix);
   Matrix An = negativePart(StateMatrix);
 
+  // Double-buffered bounds: T is overwritten (beta = 0) every unroll step,
+  // so the loop allocates nothing after this point.
+  LinearBounds T;
+  T.LowW = Matrix(P, Q);
+  T.UppW = Matrix(P, Q);
+  T.LowB = Vector(P);
+  T.UppB = Vector(P);
+  WorkspaceScope WS;
+  VectorView TLo = WS.vector(P), THi = WS.vector(P);
+
   for (int K = 0; K < Opts.UnrollSteps; ++K) {
     // Pre-activation t = A s + B_in x + c via row-sign splitting.
-    LinearBounds T;
-    T.LowW = Ap * B.LowW + An * B.UppW + InputMatrix;
-    T.UppW = Ap * B.UppW + An * B.LowW + InputMatrix;
-    T.LowB = Ap * B.LowB + An * B.UppB + Offset;
-    T.UppB = Ap * B.UppB + An * B.LowB + Offset;
+    kernels::gemmSparseAware(T.LowW, Ap, B.LowW);
+    kernels::gemmSparseAware(T.LowW, An, B.UppW, 1.0, 1.0);
+    T.LowW += InputMatrix;
+    kernels::gemmSparseAware(T.UppW, Ap, B.UppW);
+    kernels::gemmSparseAware(T.UppW, An, B.LowW, 1.0, 1.0);
+    T.UppW += InputMatrix;
+    kernels::gemv(T.LowB, Ap, B.LowB);
+    kernels::gemv(T.LowB, An, B.UppB, 1.0, 1.0);
+    kernels::axpy(T.LowB, 1.0, Offset);
+    kernels::gemv(T.UppB, Ap, B.UppB);
+    kernels::gemv(T.UppB, An, B.LowB, 1.0, 1.0);
+    kernels::axpy(T.UppB, 1.0, Offset);
 
-    Vector TLo = concretizeLower(T.LowW, T.LowB, InLo, InHi);
-    Vector THi = concretizeUpper(T.UppW, T.UppB, InLo, InHi);
+    concretizeLowerInto(TLo, T.LowW, T.LowB, InLo, InHi);
+    concretizeUpperInto(THi, T.UppW, T.UppB, InLo, InHi);
 
     // CROWN ReLU relaxation per dimension.
     for (size_t I = 0; I < P; ++I) {
@@ -138,11 +175,12 @@ CrownResult CrownVerifier::verifyRegion(const Vector &InLo,
         T.LowB[I] *= Beta;
       }
     }
-    B = std::move(T);
+    std::swap(B, T);
   }
 
-  Vector SLo = concretizeLower(B.LowW, B.LowB, InLo, InHi);
-  Vector SHi = concretizeUpper(B.UppW, B.UppB, InLo, InHi);
+  Vector SLo(P), SHi(P);
+  concretizeLowerInto(SLo, B.LowW, B.LowB, InLo, InHi);
+  concretizeUpperInto(SHi, B.UppW, B.UppB, InLo, InHi);
   Out.StateBounds = IntervalVector::fromBounds(SLo, SHi);
 
   // Contraction tail: ||s_k(x) - s*(x)||_2 <= L_a^k * Lip * ||x - xc||_2.
@@ -164,7 +202,8 @@ CrownResult CrownVerifier::verifyRegion(const Vector &InLo,
   for (size_t R = 0; R < Model.outputDim(); ++R) {
     if ((int)R == TargetClass)
       continue;
-    Vector W(P);
+    WorkspaceScope RivalWS;
+    VectorView W = RivalWS.vector(P);
     double RowNorm2 = 0.0;
     for (size_t J = 0; J < P; ++J) {
       W[J] = V(TargetClass, J) - V(R, J);
@@ -172,7 +211,7 @@ CrownResult CrownVerifier::verifyRegion(const Vector &InLo,
     }
     RowNorm2 = std::sqrt(RowNorm2);
     // Lower-bound w^T s over the linear bounds, then over the input box.
-    Vector RowW(Q);
+    VectorView RowW = RivalWS.zeroVector(Q);
     double RowB = VB[TargetClass] - VB[R];
     for (size_t J = 0; J < P; ++J) {
       const Matrix &Src = W[J] >= 0.0 ? B.LowW : B.UppW;

@@ -154,7 +154,8 @@ AffineForm AffineForm::square() const {
 
 AffineForm AffineForm::linearized(double Alpha, double Zeta,
                                   double Delta) const {
-  AffineForm F = *this * Alpha + Zeta;
+  AffineForm F = *this * Alpha;
+  F += Zeta;
   // Tiny relative inflation absorbs the rounding of the linearization
   // formulas themselves (this layer is not the rigorous directed-rounding
   // one; see cert/Checker for that).
@@ -255,13 +256,15 @@ AffineForm minRangeSShaped(const AffineForm &X, double (*F)(double),
   double L = X.lo(), U = X.hi();
   double FL = F(L), FU = F(U);
   if (U - L < 1e-12) {
-    AffineForm Out = X * 0.0 + 0.5 * (FL + FU);
+    AffineForm Out = X * 0.0;
+    Out += 0.5 * (FL + FU);
     return Out.widened(0.5 * std::fabs(FU - FL) + 1e-15);
   }
   double Alpha = std::min(DF(L), DF(U));
   double GMin = FL - Alpha * L;
   double GMax = FU - Alpha * U;
-  AffineForm Out = X * Alpha + 0.5 * (GMin + GMax);
+  AffineForm Out = X * Alpha;
+  Out += 0.5 * (GMin + GMax);
   return Out.widened(0.5 * (GMax - GMin) * (1.0 + 1e-12) + 1e-15);
 }
 

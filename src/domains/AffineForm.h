@@ -69,6 +69,20 @@ public:
   AffineForm operator-(double Offset) const { return *this + (-Offset); }
   AffineForm operator/(const AffineForm &Rhs) const;
 
+  /// In-place scalar forms: the fixpoint iterators chain scale-and-shift
+  /// steps every iteration, and the copying operators would churn a term
+  /// vector per link of the chain.
+  AffineForm &operator*=(double Scale) {
+    Center *= Scale;
+    for (auto &[Id, Coef] : Terms)
+      Coef *= Scale;
+    return *this;
+  }
+  AffineForm &operator+=(double Offset) {
+    Center += Offset;
+    return *this;
+  }
+
   /// Tighter transformer for x^2 (remainder [0, r^2] recentered).
   AffineForm square() const;
 

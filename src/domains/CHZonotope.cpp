@@ -2,11 +2,92 @@
 
 #include "domains/CHZonotope.h"
 
+#include "linalg/Kernels.h"
+#include "linalg/Workspace.h"
+
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 using namespace craft;
+
+namespace {
+
+/// Open-addressing error-term-id -> column map with thread-reused storage:
+/// the id alignment of linearCombine/stack/join runs every solver
+/// iteration, and a per-call unordered_map costs a node allocation per
+/// distinct id. Ids are minted starting at 1, so 0 is a free empty marker.
+/// Only lookup speed depends on the table; insertion order (and with it
+/// every output) is tracked by the caller, so results are identical to the
+/// hash-map version. At most one instance may be live per thread at a time
+/// (instances share the thread-local storage).
+class IdColumnMap {
+public:
+  /// \p MaxEntries bounds the number of distinct ids inserted.
+  explicit IdColumnMap(size_t MaxEntries) : Table(buffer()) {
+    assert(!inUse() && "one live IdColumnMap per thread (shared storage)");
+#ifndef NDEBUG
+    inUse() = true;
+#endif
+    size_t Cap = 16;
+    while (Cap < 2 * MaxEntries)
+      Cap <<= 1;
+    Mask = Cap - 1;
+    // assign() reuses the thread-local capacity once warmed up.
+    Table.assign(Cap, {0, 0});
+  }
+
+#ifndef NDEBUG
+  ~IdColumnMap() { inUse() = false; }
+#endif
+
+  /// Inserts Id -> Col if absent; returns true when newly inserted.
+  bool emplace(uint64_t Id, size_t Col) {
+    assert(Id != 0 && "error-term ids start at 1");
+    size_t Slot = probe(Id);
+    if (Table[Slot].first == Id)
+      return false;
+    Table[Slot] = {Id, Col};
+    return true;
+  }
+
+  /// Column of a present id.
+  size_t at(uint64_t Id) const {
+    size_t Slot = probe(Id);
+    assert(Table[Slot].first == Id && "id not present");
+    return Table[Slot].second;
+  }
+
+  /// Column of \p Id, or SIZE_MAX when absent.
+  size_t find(uint64_t Id) const {
+    size_t Slot = probe(Id);
+    return Table[Slot].first == Id ? Table[Slot].second : SIZE_MAX;
+  }
+
+private:
+  size_t probe(uint64_t Id) const {
+    size_t Slot = static_cast<size_t>(Id * 0x9E3779B97F4A7C15ULL) & Mask;
+    while (Table[Slot].first != 0 && Table[Slot].first != Id)
+      Slot = (Slot + 1) & Mask;
+    return Slot;
+  }
+
+  static std::vector<std::pair<uint64_t, size_t>> &buffer() {
+    static thread_local std::vector<std::pair<uint64_t, size_t>> TLS;
+    return TLS;
+  }
+
+#ifndef NDEBUG
+  static bool &inUse() {
+    static thread_local bool Live = false;
+    return Live;
+  }
+#endif
+
+  std::vector<std::pair<uint64_t, size_t>> &Table;
+  size_t Mask;
+};
+
+} // namespace
 
 // thread_local: the batch-verification subsystem runs independent analyses
 // on worker threads. Ids only need to be unique among zonotopes that are
@@ -59,10 +140,16 @@ CHZonotope CHZonotope::fromBox(const Vector &Lo, const Vector &Hi) {
 }
 
 Vector CHZonotope::concretizationRadius() const {
-  Vector R = BoxRadius;
-  if (Generators.cols() > 0)
-    R += Generators.rowAbsSums();
+  Vector R(dim());
+  concretizationRadiusInto(R);
   return R;
+}
+
+void CHZonotope::concretizationRadiusInto(VectorView Out) const {
+  assert(Out.size() == dim() && "radius output size mismatch");
+  kernels::copyInto(Out, BoxRadius);
+  if (Generators.cols() > 0)
+    kernels::rowAbsSumsInto(Out, Generators, 1.0);
 }
 
 Vector CHZonotope::lowerBounds() const {
@@ -93,53 +180,137 @@ CHZonotope CHZonotope::affine(const Matrix &M, const Vector &T,
   return linearCombine({&Term, 1}, T, Policy);
 }
 
+/// True if generator column \p J is exactly zero.
+static bool isZeroColumn(const Matrix &Gens, size_t J) {
+  for (size_t R = 0, P = Gens.rows(); R < P; ++R)
+    if (Gens(R, J) != 0.0)
+      return false;
+  return true;
+}
+
 /// Drops exactly-zero generator columns (an exact simplification; a zero
 /// coefficient for an error term is semantically identical to its absence).
+/// Allocation-free when nothing needs pruning — the common case on the
+/// solver hot path.
 static void pruneZeroColumns(Matrix &Gens, std::vector<uint64_t> &Ids) {
   const size_t P = Gens.rows(), K = Gens.cols();
-  std::vector<size_t> Keep;
-  Keep.reserve(K);
-  for (size_t J = 0; J < K; ++J) {
-    bool AllZero = true;
-    for (size_t R = 0; R < P && AllZero; ++R)
-      AllZero = Gens(R, J) == 0.0;
-    if (!AllZero)
-      Keep.push_back(J);
-  }
-  if (Keep.size() == K)
+  size_t Kept = 0;
+  for (size_t J = 0; J < K; ++J)
+    Kept += !isZeroColumn(Gens, J);
+  if (Kept == K)
     return;
-  Matrix NewGens(P, Keep.size());
-  std::vector<uint64_t> NewIds(Keep.size());
-  for (size_t J = 0; J < Keep.size(); ++J) {
-    NewIds[J] = Ids[Keep[J]];
+  Matrix NewGens(P, Kept);
+  std::vector<uint64_t> NewIds(Kept);
+  size_t Out = 0;
+  for (size_t J = 0; J < K; ++J) {
+    if (isZeroColumn(Gens, J))
+      continue;
+    NewIds[Out] = Ids[J];
     for (size_t R = 0; R < P; ++R)
-      NewGens(R, J) = Gens(R, Keep[J]);
+      NewGens(R, Out) = Gens(R, J);
+    ++Out;
   }
   Gens = std::move(NewGens);
   Ids = std::move(NewIds);
+}
+
+/// Appends the cast Box columns of one term — column B_i * M(:, i) per
+/// nonzero Box entry, with a fresh id — starting at \p NextBoxCol.
+/// \p M == nullptr is the identity map (a single entry at row i).
+static void castBoxColumns(Matrix &Gens, std::vector<uint64_t> &OutIds,
+                           size_t &NextBoxCol, const Matrix *M,
+                           const CHZonotope &Z) {
+  const size_t POut = Gens.rows();
+  for (size_t I = 0, P = Z.dim(); I < P; ++I) {
+    double B = Z.boxRadius()[I];
+    if (B <= 0.0)
+      continue;
+    if (M) {
+      for (size_t R = 0; R < POut; ++R)
+        Gens(R, NextBoxCol) = B * (*M)(R, I);
+    } else {
+      Gens(I, NextBoxCol) = B;
+    }
+    OutIds.push_back(freshErrorTermId());
+    ++NextBoxCol;
+  }
 }
 
 CHZonotope CHZonotope::linearCombine(
     std::span<const std::pair<const Matrix *, const CHZonotope *>> Terms,
     const Vector &Offset, BoxPolicy Policy) {
   assert(!Terms.empty() && "linearCombine needs at least one term");
-  const size_t POut = Terms.front().first->rows();
-
-  // First pass: assign output columns to distinct error-term ids (in first
-  // occurrence order, for determinism) and count cast box columns.
-  std::unordered_map<uint64_t, size_t> ColumnOf;
-  std::vector<uint64_t> OutIds;
-  size_t NumBoxCols = 0;
+  const size_t POut = Terms.front().first ? Terms.front().first->rows()
+                                          : Terms.front().second->dim();
+#ifndef NDEBUG
   for (const auto &[M, Z] : Terms) {
-    assert(M->rows() == POut && "output dimension mismatch across terms");
-    assert(M->cols() == Z->dim() && "matrix/operand dimension mismatch");
-    for (uint64_t Id : Z->TermIds)
-      if (ColumnOf.emplace(Id, ColumnOf.size()).second)
-        OutIds.push_back(Id);
-    if (Policy == BoxPolicy::CastToGenerators)
-      for (size_t I = 0; I < Z->dim(); ++I)
+    assert((!M || M->rows() == POut) && "output dimension mismatch");
+    assert((M ? M->cols() : POut) == Z->dim() &&
+           "matrix/operand dimension mismatch");
+  }
+#endif
+
+  // Cast Box columns across all terms (paid only under CastToGenerators).
+  size_t NumBoxCols = 0;
+  if (Policy == BoxPolicy::CastToGenerators)
+    for (const auto &[M, Z] : Terms) {
+      (void)M;
+      for (size_t I = 0, P = Z->dim(); I < P; ++I)
         if (Z->BoxRadius[I] > 0.0)
           ++NumBoxCols;
+    }
+
+  // Single-term fast path (every affine map lands here): output columns
+  // are the operand's columns in order, so no id-to-column hashing is
+  // needed and the generator product writes straight into the result.
+  if (Terms.size() == 1) {
+    const auto &[M, Z] = Terms.front();
+    const size_t K = Z->numGenerators();
+    Vector Center = Offset;
+    Matrix Gens(POut, K + NumBoxCols);
+    std::vector<uint64_t> OutIds;
+    OutIds.reserve(K + NumBoxCols);
+    OutIds.insert(OutIds.end(), Z->TermIds.begin(), Z->TermIds.end());
+    Vector Box(POut, 0.0);
+    MatrixView GensV(Gens);
+    if (M) {
+      kernels::gemv(Center, *M, Z->Center, 1.0, 1.0);
+      if (K > 0)
+        kernels::gemmSparseAware(GensV.colRange(0, K), *M, Z->Generators);
+    } else {
+      kernels::axpy(Center, 1.0, Z->Center);
+      if (K > 0)
+        kernels::copyInto(GensV.colRange(0, K), Z->Generators);
+    }
+    if (Policy == BoxPolicy::CastToGenerators) {
+      size_t NextBoxCol = K;
+      castBoxColumns(Gens, OutIds, NextBoxCol, M, *Z);
+      assert(NextBoxCol == K + NumBoxCols && "box column miscount");
+    } else if (M) {
+      kernels::gemvAbs(Box, *M, Z->BoxRadius, 1.0, 1.0);
+    } else {
+      kernels::axpy(Box, 1.0, Z->BoxRadius);
+    }
+    pruneZeroColumns(Gens, OutIds);
+    return CHZonotope(std::move(Center), std::move(Gens), std::move(OutIds),
+                      std::move(Box));
+  }
+
+  // General path: assign output columns to distinct error-term ids (in
+  // first occurrence order, for determinism).
+  size_t TotalCols = NumBoxCols;
+  for (const auto &[M, Z] : Terms) {
+    (void)M;
+    TotalCols += Z->numGenerators();
+  }
+  IdColumnMap ColumnOf(TotalCols);
+  std::vector<uint64_t> OutIds;
+  OutIds.reserve(TotalCols);
+  for (const auto &[M, Z] : Terms) {
+    (void)M;
+    for (uint64_t Id : Z->TermIds)
+      if (ColumnOf.emplace(Id, OutIds.size()))
+        OutIds.push_back(Id);
   }
 
   const size_t NumShared = OutIds.size();
@@ -148,32 +319,40 @@ CHZonotope CHZonotope::linearCombine(
   Vector Box(POut, 0.0);
   size_t NextBoxCol = NumShared;
 
+  WorkspaceScope WS;
   for (const auto &[M, Z] : Terms) {
-    Center += *M * Z->Center;
-    // Generator contribution: scatter columns of M * A_i into the id-mapped
-    // output columns.
-    if (Z->numGenerators() > 0) {
-      Matrix Mapped = *M * Z->Generators;
-      for (size_t J = 0; J < Z->numGenerators(); ++J) {
+    const size_t K = Z->numGenerators();
+    if (M)
+      kernels::gemv(Center, *M, Z->Center, 1.0, 1.0);
+    else
+      kernels::axpy(Center, 1.0, Z->Center);
+
+    // Generator contribution: scatter columns of M * A_i into the
+    // id-mapped output columns. The mapped matrix is workspace scratch —
+    // amortized to zero heap traffic across solver iterations. Structured
+    // maps (diagonal/selection) are common here, hence the sparse-aware
+    // product; an identity term scatters its columns directly.
+    if (K > 0) {
+      ConstMatrixView Mapped = Z->Generators;
+      if (M) {
+        MatrixView Scratch = WS.matrix(POut, K);
+        kernels::gemmSparseAware(Scratch, *M, Z->Generators);
+        Mapped = Scratch;
+      }
+      for (size_t J = 0; J < K; ++J) {
         size_t Col = ColumnOf.at(Z->TermIds[J]);
         for (size_t R = 0; R < POut; ++R)
           Gens(R, Col) += Mapped(R, J);
       }
     }
+
     // Box contribution.
     if (Policy == BoxPolicy::CastToGenerators) {
-      for (size_t I = 0; I < Z->dim(); ++I) {
-        double B = Z->BoxRadius[I];
-        if (B <= 0.0)
-          continue;
-        // Column = B * M(:, I), with a fresh id.
-        for (size_t R = 0; R < POut; ++R)
-          Gens(R, NextBoxCol) = B * (*M)(R, I);
-        OutIds.push_back(freshErrorTermId());
-        ++NextBoxCol;
-      }
+      castBoxColumns(Gens, OutIds, NextBoxCol, M, *Z);
+    } else if (M) {
+      kernels::gemvAbs(Box, *M, Z->BoxRadius, 1.0, 1.0);
     } else {
-      Box += M->abs() * Z->BoxRadius;
+      kernels::axpy(Box, 1.0, Z->BoxRadius);
     }
   }
   assert(NextBoxCol == NumShared + NumBoxCols && "box column miscount");
@@ -189,7 +368,16 @@ CHZonotope CHZonotope::reluPrefix(size_t Count, const Vector &LambdaOverride,
   assert(Count <= dim() && "relu prefix out of range");
   assert((LambdaOverride.empty() || LambdaOverride.size() >= Count) &&
          "lambda override must cover all rectified dimensions");
-  Vector Lo = lowerBounds(), Hi = upperBounds();
+  // Concretization bounds in workspace scratch: this runs once per solver
+  // iteration and must not add heap traffic.
+  WorkspaceScope WS;
+  VectorView Radius = WS.vector(dim());
+  concretizationRadiusInto(Radius);
+  VectorView Lo = WS.vector(dim()), Hi = WS.vector(dim());
+  for (size_t I = 0, P = dim(); I < P; ++I) {
+    Lo[I] = Center[I] - Radius[I];
+    Hi[I] = Center[I] + Radius[I];
+  }
   Vector NewCenter = Center;
   Matrix NewGens = Generators;
   std::vector<uint64_t> NewIds = TermIds;
@@ -252,10 +440,16 @@ CHZonotope CHZonotope::consolidate(const Matrix &Basis, const Matrix &BasisInv,
          "basis inverse must be p x p");
 
   // Consolidation coefficients c = |Basis^{-1} A| 1 (Thm 4.1), with the
-  // expansion of Eq. 10 applied on top.
+  // expansion of Eq. 10 applied on top. The mapped generator matrix is
+  // workspace scratch — consolidation runs every few Kleene iterations and
+  // its p x k temporary dominated the heap traffic here.
+  WorkspaceScope WS;
   Vector C(P, 0.0);
-  if (numGenerators() > 0)
-    C = (BasisInv * Generators).rowAbsSums();
+  if (numGenerators() > 0) {
+    MatrixView Mapped = WS.matrix(P, numGenerators());
+    kernels::gemm(Mapped, BasisInv, Generators);
+    kernels::rowAbsSumsInto(C, Mapped);
+  }
   for (size_t I = 0; I < P; ++I) {
     C[I] = (1.0 + WMul) * C[I] + WAdd;
     // Floor zero coefficients: enlarging a generator is sound, and a
@@ -312,13 +506,14 @@ CHZonotope CHZonotope::slice(size_t First, size_t Count) const {
 
 CHZonotope CHZonotope::stack(const CHZonotope &Top, const CHZonotope &Bottom) {
   const size_t PT = Top.dim(), PB = Bottom.dim();
-  std::unordered_map<uint64_t, size_t> ColumnOf;
+  IdColumnMap ColumnOf(Top.TermIds.size() + Bottom.TermIds.size());
   std::vector<uint64_t> Ids;
+  Ids.reserve(Top.TermIds.size() + Bottom.TermIds.size());
   for (uint64_t Id : Top.TermIds)
-    if (ColumnOf.emplace(Id, ColumnOf.size()).second)
+    if (ColumnOf.emplace(Id, Ids.size()))
       Ids.push_back(Id);
   for (uint64_t Id : Bottom.TermIds)
-    if (ColumnOf.emplace(Id, ColumnOf.size()).second)
+    if (ColumnOf.emplace(Id, Ids.size()))
       Ids.push_back(Id);
 
   Matrix Gens(PT + PB, Ids.size());
@@ -346,20 +541,26 @@ CHZonotope CHZonotope::stack(const CHZonotope &Top, const CHZonotope &Bottom) {
                     std::move(Box));
 }
 
+CHZonotope CHZonotope::withBoxRadius(Vector NewBox) && {
+  assert(NewBox.size() == dim() && "box radius size mismatch");
+  return CHZonotope(std::move(Center), std::move(Generators),
+                    std::move(TermIds), std::move(NewBox));
+}
+
 CHZonotope CHZonotope::join(const CHZonotope &A, const CHZonotope &B) {
   assert(A.dim() == B.dim() && "join dimension mismatch");
   const size_t P = A.dim();
 
   // Shared error terms keep a column with the averaged coefficients.
-  std::unordered_map<uint64_t, size_t> BCol;
+  IdColumnMap BCol(B.numGenerators());
   for (size_t J = 0; J < B.numGenerators(); ++J)
     BCol.emplace(B.TermIds[J], J);
 
   std::vector<std::pair<size_t, size_t>> Shared; // (col in A, col in B)
   for (size_t J = 0; J < A.numGenerators(); ++J) {
-    auto It = BCol.find(A.TermIds[J]);
-    if (It != BCol.end())
-      Shared.push_back({J, It->second});
+    size_t Col = BCol.find(A.TermIds[J]);
+    if (Col != SIZE_MAX)
+      Shared.push_back({J, Col});
   }
 
   Vector Center = 0.5 * (A.Center + B.Center);
@@ -413,18 +614,28 @@ ContainmentResult craft::containsCH(const CHZonotope &Outer,
   const size_t P = Outer.dim();
 
   // Thm 4.2: |A^{-1} A'| 1 + |A^{-1} diag(d)| 1 <= 1 with
-  // d = max(0, |a' - a| + b' - b).
-  Vector Lhs(P, 0.0);
-  if (Inner.numGenerators() > 0)
-    Lhs = (OuterInvGens * Inner.generators()).rowAbsSums();
+  // d = max(0, |a' - a| + b' - b). Every intermediate lives in workspace
+  // scratch: this check runs once per Kleene iteration against each
+  // history state.
+  WorkspaceScope WS;
+  VectorView Lhs = WS.vector(P);
+  if (Inner.numGenerators() > 0) {
+    MatrixView Mapped = WS.matrix(P, Inner.numGenerators());
+    kernels::gemm(Mapped, OuterInvGens, Inner.generators());
+    kernels::rowAbsSumsInto(Lhs, Mapped);
+  } else {
+    kernels::fill(Lhs, 0.0);
+  }
 
-  Vector D = (Inner.center() - Outer.center()).abs() + Inner.boxRadius() -
-             Outer.boxRadius();
-  D = D.cwiseMax(0.0);
-  Lhs += OuterInvGens.abs() * D;
+  VectorView D = WS.vector(P);
+  for (size_t I = 0; I < P; ++I)
+    D[I] = std::max(std::fabs(Inner.center()[I] - Outer.center()[I]) +
+                        Inner.boxRadius()[I] - Outer.boxRadius()[I],
+                    0.0);
+  kernels::gemvAbs(Lhs, OuterInvGens, D, 1.0, 1.0);
 
   ContainmentResult Result;
-  Result.Slack = Lhs.normInf();
+  Result.Slack = kernels::normInf(Lhs);
   Result.Contained = Result.Slack <= 1.0;
   return Result;
 }

@@ -29,6 +29,7 @@
 
 #include "domains/Interval.h"
 #include "linalg/Matrix.h"
+#include "linalg/Views.h"
 
 #include <cstdint>
 #include <span>
@@ -78,6 +79,10 @@ public:
 
   /// Per-dimension concretization radius: |A| 1 + b.
   Vector concretizationRadius() const;
+  /// Destination-passing form of \ref concretizationRadius (\p Out must
+  /// have size dim()); the per-iteration checks of the Kleene loop use
+  /// this with workspace scratch.
+  void concretizationRadiusInto(VectorView Out) const;
   Vector lowerBounds() const;
   Vector upperBounds() const;
   /// Interval hull of the concretization.
@@ -93,6 +98,11 @@ public:
   /// same id across operands are summed into a single output column. This is
   /// the key precision-preserving operation of the abstract solver step
   /// g#(X, S) = ... W S + U X ...
+  ///
+  /// A null matrix pointer denotes the identity map (the operand must
+  /// already have the output dimension): the hot solver step adds its
+  /// precomputed input contribution this way without materializing — or
+  /// multiplying by — a p x p identity.
   static CHZonotope
   linearCombine(std::span<const std::pair<const Matrix *, const CHZonotope *>>
                     Terms,
@@ -131,6 +141,11 @@ public:
 
   /// Vertical concatenation with id alignment (shared ids stay shared).
   static CHZonotope stack(const CHZonotope &Top, const CHZonotope &Bottom);
+
+  /// This value with the Box error vector replaced (rvalue-only: reuses the
+  /// center/generator storage — the Kleene widening step rewrites the Box
+  /// every iteration and must not copy the generator matrix to do so).
+  CHZonotope withBoxRadius(Vector NewBox) &&;
 
   /// Sound quasi-join for the Kleene baseline (non-lattice domain, per Gange
   /// et al. 2013): averages coefficients of shared ids, drops unshared

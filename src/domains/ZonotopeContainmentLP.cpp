@@ -2,6 +2,7 @@
 
 #include "domains/ZonotopeContainmentLP.h"
 
+#include "linalg/Kernels.h"
 #include "lp/Simplex.h"
 
 using namespace craft;
@@ -15,9 +16,9 @@ static Matrix fullGenerators(const CHZonotope &Z) {
     if (Z.boxRadius()[I] > 0.0)
       ++NumBoxCols;
   Matrix G(P, Z.numGenerators() + NumBoxCols);
-  for (size_t J = 0; J < Z.numGenerators(); ++J)
-    for (size_t R = 0; R < P; ++R)
-      G(R, J) = Z.generators()(R, J);
+  if (Z.numGenerators() > 0)
+    kernels::copyInto(MatrixView(G).colRange(0, Z.numGenerators()),
+                      Z.generators());
   size_t Col = Z.numGenerators();
   for (size_t I = 0; I < P; ++I)
     if (Z.boxRadius()[I] > 0.0)

@@ -1,0 +1,228 @@
+//===- linalg/Kernels.cpp -------------------------------------------------===//
+
+#include "linalg/Kernels.h"
+
+#include <cassert>
+#include <cmath>
+#include <functional>
+
+using namespace craft;
+
+namespace {
+
+#ifndef NDEBUG
+/// Conservative storage-overlap test between two views' address ranges
+/// (strided views are covered by their bounding span).
+bool overlaps(const double *A, size_t ASpan, const double *B, size_t BSpan) {
+  if (!A || !B || ASpan == 0 || BSpan == 0)
+    return false;
+  std::less<const double *> Lt;
+  return !(Lt(A + ASpan - 1, B) || Lt(B + BSpan - 1, A));
+}
+
+size_t span(ConstMatrixView M) {
+  return M.empty() ? 0 : (M.rows() - 1) * M.stride() + M.cols();
+}
+
+bool noAlias(MatrixView Out, ConstMatrixView In) {
+  return !overlaps(Out.data(), (Out.empty() ? 0 : (Out.rows() - 1) *
+                                                      Out.stride() +
+                                                  Out.cols()),
+                   In.data(), span(In));
+}
+
+bool noAlias(VectorView Out, ConstMatrixView In) {
+  return !overlaps(Out.data(), Out.size(), In.data(), span(In));
+}
+
+bool noAlias(VectorView Out, ConstVectorView In) {
+  return !overlaps(Out.data(), Out.size(), In.data(), In.size());
+}
+#endif
+
+/// Scales (or zero-fills) the output ahead of accumulation. Beta == 0
+/// must not read Out (it may be uninitialized workspace scratch).
+void primeOutput(MatrixView Out, double Beta) {
+  for (size_t R = 0, E = Out.rows(); R < E; ++R) {
+    double *Row = Out.row(R);
+    if (Beta == 0.0) {
+      for (size_t C = 0, CE = Out.cols(); C < CE; ++C)
+        Row[C] = 0.0;
+    } else if (Beta != 1.0) {
+      for (size_t C = 0, CE = Out.cols(); C < CE; ++C)
+        Row[C] *= Beta;
+    }
+  }
+}
+
+/// Inner j-loop of the i-k-j product, unrolled by 4. Output elements are
+/// independent, so unrolling does not reorder any per-element reduction.
+inline void accumulateRow(double *__restrict OutRow,
+                          const double *__restrict BRow, double Aik,
+                          size_t N) {
+  size_t J = 0;
+  for (; J + 4 <= N; J += 4) {
+    OutRow[J + 0] += Aik * BRow[J + 0];
+    OutRow[J + 1] += Aik * BRow[J + 1];
+    OutRow[J + 2] += Aik * BRow[J + 2];
+    OutRow[J + 3] += Aik * BRow[J + 3];
+  }
+  for (; J < N; ++J)
+    OutRow[J] += Aik * BRow[J];
+}
+
+/// Shared i-k-j gemm skeleton. The K dimension is tiled so the working set
+/// of B rows stays cache-resident across the I sweep; tiles are visited in
+/// ascending K order, so each output element still reduces its inner
+/// dimension strictly in ascending order — blocking never changes results.
+template <bool SkipZeros>
+void gemmImpl(MatrixView Out, ConstMatrixView A, ConstMatrixView B,
+              double Alpha, double Beta) {
+  assert(A.cols() == B.rows() && "gemm inner dimension mismatch");
+  assert(Out.rows() == A.rows() && Out.cols() == B.cols() &&
+         "gemm output shape mismatch");
+  assert(noAlias(Out, A) && "gemm output aliases A");
+  assert(noAlias(Out, B) && "gemm output aliases B");
+
+  primeOutput(Out, Beta);
+  const size_t MRows = A.rows(), KDim = A.cols(), N = B.cols();
+  constexpr size_t KBlock = 128;
+  for (size_t KK = 0; KK < KDim; KK += KBlock) {
+    const size_t KEnd = KK + KBlock < KDim ? KK + KBlock : KDim;
+    for (size_t I = 0; I < MRows; ++I) {
+      double *OutRow = Out.row(I);
+      const double *ARow = A.row(I);
+      if (Alpha == 1.0) {
+        for (size_t K = KK; K < KEnd; ++K) {
+          if (SkipZeros && ARow[K] == 0.0)
+            continue;
+          accumulateRow(OutRow, B.row(K), ARow[K], N);
+        }
+      } else {
+        for (size_t K = KK; K < KEnd; ++K) {
+          if (SkipZeros && ARow[K] == 0.0)
+            continue;
+          accumulateRow(OutRow, B.row(K), Alpha * ARow[K], N);
+        }
+      }
+    }
+  }
+}
+
+} // namespace
+
+void kernels::gemm(MatrixView Out, ConstMatrixView A, ConstMatrixView B,
+                   double Alpha, double Beta) {
+  gemmImpl<false>(Out, A, B, Alpha, Beta);
+}
+
+void kernels::gemmSparseAware(MatrixView Out, ConstMatrixView A,
+                              ConstMatrixView B, double Alpha, double Beta) {
+  gemmImpl<true>(Out, A, B, Alpha, Beta);
+}
+
+void kernels::gemv(VectorView Out, ConstMatrixView M, ConstVectorView V,
+                   double Alpha, double Beta) {
+  assert(M.cols() == V.size() && "gemv inner dimension mismatch");
+  assert(Out.size() == M.rows() && "gemv output size mismatch");
+  assert(noAlias(Out, M) && "gemv output aliases M");
+  assert(noAlias(Out, V) && "gemv output aliases V");
+  for (size_t R = 0, E = M.rows(); R < E; ++R) {
+    const double *Row = M.row(R);
+    double Sum = 0.0;
+    for (size_t C = 0, CE = M.cols(); C < CE; ++C)
+      Sum += Row[C] * V[C];
+    Sum *= Alpha;
+    Out[R] = Beta == 0.0 ? Sum : Sum + Beta * Out[R];
+  }
+}
+
+void kernels::gemvAbs(VectorView Out, ConstMatrixView M, ConstVectorView V,
+                      double Alpha, double Beta) {
+  assert(M.cols() == V.size() && "gemvAbs inner dimension mismatch");
+  assert(Out.size() == M.rows() && "gemvAbs output size mismatch");
+  assert(noAlias(Out, M) && "gemvAbs output aliases M");
+  assert(noAlias(Out, V) && "gemvAbs output aliases V");
+  for (size_t R = 0, E = M.rows(); R < E; ++R) {
+    const double *Row = M.row(R);
+    double Sum = 0.0;
+    for (size_t C = 0, CE = M.cols(); C < CE; ++C)
+      Sum += std::fabs(Row[C]) * V[C];
+    Sum *= Alpha;
+    Out[R] = Beta == 0.0 ? Sum : Sum + Beta * Out[R];
+  }
+}
+
+void kernels::axpy(VectorView Y, double A, ConstVectorView X) {
+  assert(Y.size() == X.size() && "axpy size mismatch");
+  assert(noAlias(Y, X) && "axpy output aliases input");
+  for (size_t I = 0, E = Y.size(); I < E; ++I)
+    Y[I] += A * X[I];
+}
+
+void kernels::scale(VectorView X, double A) {
+  for (size_t I = 0, E = X.size(); I < E; ++I)
+    X[I] *= A;
+}
+
+double kernels::normInf(ConstVectorView X) {
+  double Max = 0.0;
+  for (size_t I = 0, E = X.size(); I < E; ++I)
+    Max = std::max(Max, std::fabs(X[I]));
+  return Max;
+}
+
+void kernels::transposeInto(MatrixView Out, ConstMatrixView In) {
+  assert(Out.rows() == In.cols() && Out.cols() == In.rows() &&
+         "transpose output shape mismatch");
+  assert(noAlias(Out, In) && "transpose output aliases input");
+  for (size_t R = 0, E = In.rows(); R < E; ++R) {
+    const double *Row = In.row(R);
+    for (size_t C = 0, CE = In.cols(); C < CE; ++C)
+      Out(C, R) = Row[C];
+  }
+}
+
+void kernels::rowAbsSumsInto(VectorView Out, ConstMatrixView M, double Beta) {
+  assert(Out.size() == M.rows() && "rowAbsSums output size mismatch");
+  assert(noAlias(Out, M) && "rowAbsSums output aliases input");
+  for (size_t R = 0, E = M.rows(); R < E; ++R) {
+    const double *Row = M.row(R);
+    double Sum = 0.0;
+    for (size_t C = 0, CE = M.cols(); C < CE; ++C)
+      Sum += std::fabs(Row[C]);
+    Out[R] = Beta == 0.0 ? Sum : Sum + Beta * Out[R];
+  }
+}
+
+void kernels::copyInto(MatrixView Out, ConstMatrixView In) {
+  assert(Out.rows() == In.rows() && Out.cols() == In.cols() &&
+         "copy shape mismatch");
+  assert(noAlias(Out, In) && "copy output aliases input");
+  for (size_t R = 0, E = In.rows(); R < E; ++R) {
+    const double *Src = In.row(R);
+    double *Dst = Out.row(R);
+    for (size_t C = 0, CE = In.cols(); C < CE; ++C)
+      Dst[C] = Src[C];
+  }
+}
+
+void kernels::copyInto(VectorView Out, ConstVectorView In) {
+  assert(Out.size() == In.size() && "copy size mismatch");
+  assert(noAlias(Out, In) && "copy output aliases input");
+  for (size_t I = 0, E = In.size(); I < E; ++I)
+    Out[I] = In[I];
+}
+
+void kernels::fill(MatrixView Out, double Value) {
+  for (size_t R = 0, E = Out.rows(); R < E; ++R) {
+    double *Row = Out.row(R);
+    for (size_t C = 0, CE = Out.cols(); C < CE; ++C)
+      Row[C] = Value;
+  }
+}
+
+void kernels::fill(VectorView Out, double Value) {
+  for (size_t I = 0, E = Out.size(); I < E; ++I)
+    Out[I] = Value;
+}

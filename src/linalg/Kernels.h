@@ -1,0 +1,89 @@
+//===- linalg/Kernels.h - Destination-passing linalg kernels ----*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In-place, destination-passing dense kernels over the view layer
+/// (linalg/Views.h): the allocation-free core the CH-Zonotope and Kleene
+/// hot paths run on. The allocating Matrix/Vector operators are thin
+/// wrappers over these.
+///
+/// Conventions:
+///  - Kernels never allocate. The caller owns every buffer (typically a
+///    result Matrix/Vector or a WorkspaceScope scratch view).
+///  - Out must not alias any input (asserted in debug builds). Aliased
+///    updates would read partially written output; use a workspace
+///    temporary when an in-place product is needed.
+///  - Every kernel has one fixed operation order (per output element the
+///    inner dimension is reduced in ascending order with a single
+///    accumulator), so results are deterministic and independent of
+///    blocking, thread count, and call site — the jobs-1-vs-N
+///    byte-identical guarantee of the batch driver rests on this.
+///  - gemm is dense: no per-element zero test in the inner loop (a branch
+///    per multiply costs more than the multiply on dense data).
+///    gemmSparseAware keeps the `A(i,k) == 0` row-skip for callers whose
+///    left operand is *structurally* sparse (identity/diagonal/selection
+///    maps, lowered convolutions, sign-split CROWN matrices).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_LINALG_KERNELS_H
+#define CRAFT_LINALG_KERNELS_H
+
+#include "linalg/Views.h"
+
+namespace craft {
+namespace kernels {
+
+/// Out = Alpha * A * B + Beta * Out (row-major gemm, blocked i-k-j with an
+/// unrolled inner loop). Beta == 0 writes Out without reading it.
+void gemm(MatrixView Out, ConstMatrixView A, ConstMatrixView B,
+          double Alpha = 1.0, double Beta = 0.0);
+
+/// gemm variant that skips inner-loop work for exactly-zero A(i,k): only
+/// profitable when A is structurally sparse; bitwise-identical results to
+/// the dense kernel on finite data.
+void gemmSparseAware(MatrixView Out, ConstMatrixView A, ConstMatrixView B,
+                     double Alpha = 1.0, double Beta = 0.0);
+
+/// Out = Alpha * M * V + Beta * Out. Beta == 0 writes Out without reading
+/// it.
+void gemv(VectorView Out, ConstMatrixView M, ConstVectorView V,
+          double Alpha = 1.0, double Beta = 0.0);
+
+/// Out = Alpha * |M| * V + Beta * Out (elementwise absolute value of M,
+/// never materialized). The workhorse of concretization and the Thm 4.2
+/// containment check.
+void gemvAbs(VectorView Out, ConstMatrixView M, ConstVectorView V,
+             double Alpha = 1.0, double Beta = 0.0);
+
+/// Y += A * X.
+void axpy(VectorView Y, double A, ConstVectorView X);
+
+/// X *= A.
+void scale(VectorView X, double A);
+
+/// Largest absolute entry (0 for the empty view).
+double normInf(ConstVectorView X);
+
+/// Out = In^T. Out must be In.cols() x In.rows().
+void transposeInto(MatrixView Out, ConstMatrixView In);
+
+/// Out[r] = sum_c |M(r, c)| + Beta * Out[r] (the |M| 1 of zonotope
+/// concretization). Beta == 0 writes Out without reading it.
+void rowAbsSumsInto(VectorView Out, ConstMatrixView M, double Beta = 0.0);
+
+/// Out = In (shapes must match; strides may differ).
+void copyInto(MatrixView Out, ConstMatrixView In);
+void copyInto(VectorView Out, ConstVectorView In);
+
+/// Out(r, c) = Value everywhere.
+void fill(MatrixView Out, double Value);
+void fill(VectorView Out, double Value);
+
+} // namespace kernels
+} // namespace craft
+
+#endif // CRAFT_LINALG_KERNELS_H

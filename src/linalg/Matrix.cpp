@@ -2,6 +2,8 @@
 
 #include "linalg/Matrix.h"
 
+#include "linalg/Kernels.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -178,9 +180,7 @@ Matrix &Matrix::operator*=(double Scale) {
 
 Matrix Matrix::transpose() const {
   Matrix Out(NumCols, NumRows);
-  for (size_t R = 0; R < NumRows; ++R)
-    for (size_t C = 0; C < NumCols; ++C)
-      Out(C, R) = (*this)(R, C);
+  kernels::transposeInto(Out, *this);
   return Out;
 }
 
@@ -227,13 +227,7 @@ Matrix Matrix::colRange(size_t First, size_t Count) const {
 
 Vector Matrix::rowAbsSums() const {
   Vector Out(NumRows);
-  for (size_t R = 0; R < NumRows; ++R) {
-    const double *Row = rowData(R);
-    double Sum = 0.0;
-    for (size_t C = 0; C < NumCols; ++C)
-      Sum += std::fabs(Row[C]);
-    Out[R] = Sum;
-  }
+  kernels::rowAbsSumsInto(Out, *this);
   return Out;
 }
 
@@ -261,34 +255,18 @@ Matrix craft::operator*(double Scale, Matrix M) {
 
 Matrix craft::operator*(const Matrix &A, const Matrix &B) {
   assert(A.cols() == B.rows() && "matmul shape mismatch");
-  Matrix Out(A.rows(), B.cols(), 0.0);
-  // i-k-j order: the innermost loop streams rows of B and Out, which is
-  // cache-friendly for row-major storage.
-  for (size_t I = 0; I < A.rows(); ++I) {
-    double *OutRow = Out.rowData(I);
-    const double *ARow = A.rowData(I);
-    for (size_t K = 0; K < A.cols(); ++K) {
-      double Aik = ARow[K];
-      if (Aik == 0.0)
-        continue;
-      const double *BRow = B.rowData(K);
-      for (size_t J = 0, E = B.cols(); J < E; ++J)
-        OutRow[J] += Aik * BRow[J];
-    }
-  }
+  // Dense by default: the per-element zero-skip this once carried belongs
+  // only in the explicit sparse-aware kernel (kernels::gemmSparseAware) —
+  // on dense data the branch costs more than the multiply.
+  Matrix Out(A.rows(), B.cols());
+  kernels::gemm(Out, A, B);
   return Out;
 }
 
 Vector craft::operator*(const Matrix &M, const Vector &V) {
   assert(M.cols() == V.size() && "matvec shape mismatch");
   Vector Out(M.rows());
-  for (size_t R = 0, E = M.rows(); R < E; ++R) {
-    const double *Row = M.rowData(R);
-    double Sum = 0.0;
-    for (size_t C = 0, CE = M.cols(); C < CE; ++C)
-      Sum += Row[C] * V[C];
-    Out[R] = Sum;
-  }
+  kernels::gemv(Out, M, V);
   return Out;
 }
 

@@ -8,8 +8,12 @@
 /// Dense double-precision Vector and Matrix types plus the arithmetic needed
 /// by the abstract domains and monDEQ substrate. This project runs in an
 /// offline environment without Eigen/BLAS, so the linear algebra layer is
-/// implemented from scratch; matrices are row-major and matmul uses a
-/// cache-friendly i-k-j loop.
+/// implemented from scratch; matrices are row-major.
+///
+/// The owning types here are the convenience surface: every allocating
+/// operator is a thin wrapper over the destination-passing kernel layer
+/// (linalg/Kernels.h over linalg/Views.h), which the hot paths call
+/// directly with WorkspaceScope scratch to avoid per-call heap traffic.
 ///
 //===----------------------------------------------------------------------===//
 

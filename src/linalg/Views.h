@@ -1,0 +1,207 @@
+//===- linalg/Views.h - Non-owning matrix/vector views ----------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Non-owning, span-style views over dense row-major double storage: the
+/// argument types of the allocation-free kernel layer (linalg/Kernels.h).
+/// A MatrixView carries an explicit row stride, so sub-blocks (row ranges,
+/// column ranges) of a Matrix — or of a Workspace scratch buffer — are
+/// zero-copy slices of the parent storage.
+///
+/// Ownership rules:
+///  - Views never own storage and never allocate; the viewed object
+///    (Matrix, Vector, Workspace scope, or raw buffer) must outlive every
+///    view into it.
+///  - Mutable views (MatrixView, VectorView) convert implicitly to their
+///    Const counterparts; the reverse is impossible by construction.
+///  - A view taken on a Matrix/Vector is invalidated by anything that
+///    invalidates the container's data() pointer (resize, move-from).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_LINALG_VIEWS_H
+#define CRAFT_LINALG_VIEWS_H
+
+#include "linalg/Matrix.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace craft {
+
+/// Immutable view of a contiguous double sequence.
+class ConstVectorView {
+public:
+  ConstVectorView() = default;
+  ConstVectorView(const double *Data, size_t Size) : Ptr(Data), Count(Size) {
+    assert((Data != nullptr || Size == 0) && "null view with nonzero size");
+  }
+  /*implicit*/ ConstVectorView(const Vector &V)
+      : Ptr(V.data()), Count(V.size()) {}
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  const double *data() const { return Ptr; }
+
+  double operator[](size_t I) const {
+    assert(I < Count && "vector view index out of range");
+    return Ptr[I];
+  }
+
+  /// Zero-copy sub-range [First, First+Size).
+  ConstVectorView slice(size_t First, size_t Size) const {
+    assert(First + Size <= Count && "vector view slice out of range");
+    return ConstVectorView(Ptr + First, Size);
+  }
+
+private:
+  const double *Ptr = nullptr;
+  size_t Count = 0;
+};
+
+/// Mutable view of a contiguous double sequence.
+class VectorView {
+public:
+  VectorView() = default;
+  VectorView(double *Data, size_t Size) : Ptr(Data), Count(Size) {
+    assert((Data != nullptr || Size == 0) && "null view with nonzero size");
+  }
+  /*implicit*/ VectorView(Vector &V) : Ptr(V.data()), Count(V.size()) {}
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  double *data() const { return Ptr; }
+
+  double &operator[](size_t I) const {
+    assert(I < Count && "vector view index out of range");
+    return Ptr[I];
+  }
+
+  /*implicit*/ operator ConstVectorView() const {
+    return ConstVectorView(Ptr, Count);
+  }
+
+  VectorView slice(size_t First, size_t Size) const {
+    assert(First + Size <= Count && "vector view slice out of range");
+    return VectorView(Ptr + First, Size);
+  }
+
+private:
+  double *Ptr = nullptr;
+  size_t Count = 0;
+};
+
+/// Immutable view of a row-major matrix with an explicit row stride
+/// (Stride >= Cols; rows are contiguous, consecutive rows are Stride
+/// doubles apart).
+class ConstMatrixView {
+public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const double *Data, size_t Rows, size_t Cols, size_t Stride)
+      : Ptr(Data), NumRows(Rows), NumCols(Cols), RowStride(Stride) {
+    assert(Stride >= Cols && "row stride must cover the columns");
+  }
+  ConstMatrixView(const double *Data, size_t Rows, size_t Cols)
+      : ConstMatrixView(Data, Rows, Cols, Cols) {}
+  /*implicit*/ ConstMatrixView(const Matrix &M)
+      : ConstMatrixView(M.rows() ? M.rowData(0) : nullptr, M.rows(), M.cols(),
+                        M.cols()) {}
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+  size_t stride() const { return RowStride; }
+  bool empty() const { return NumRows == 0 || NumCols == 0; }
+  const double *data() const { return Ptr; }
+
+  double operator()(size_t R, size_t C) const {
+    assert(R < NumRows && C < NumCols && "matrix view index out of range");
+    return Ptr[R * RowStride + C];
+  }
+  const double *row(size_t R) const {
+    assert(R < NumRows && "matrix view row out of range");
+    return Ptr + R * RowStride;
+  }
+  /// Row \p R as a contiguous vector view.
+  ConstVectorView rowVec(size_t R) const {
+    return ConstVectorView(row(R), NumCols);
+  }
+
+  /// Zero-copy sub-block [R0, R0+Rows) x [C0, C0+Cols).
+  ConstMatrixView block(size_t R0, size_t C0, size_t Rows, size_t Cols) const {
+    assert(R0 + Rows <= NumRows && C0 + Cols <= NumCols &&
+           "matrix view block out of range");
+    return ConstMatrixView(Ptr + R0 * RowStride + C0, Rows, Cols, RowStride);
+  }
+  ConstMatrixView colRange(size_t First, size_t Count) const {
+    return block(0, First, NumRows, Count);
+  }
+  ConstMatrixView rowRange(size_t First, size_t Count) const {
+    return block(First, 0, Count, NumCols);
+  }
+
+private:
+  const double *Ptr = nullptr;
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  size_t RowStride = 0;
+};
+
+/// Mutable view of a row-major matrix with an explicit row stride.
+class MatrixView {
+public:
+  MatrixView() = default;
+  MatrixView(double *Data, size_t Rows, size_t Cols, size_t Stride)
+      : Ptr(Data), NumRows(Rows), NumCols(Cols), RowStride(Stride) {
+    assert(Stride >= Cols && "row stride must cover the columns");
+  }
+  MatrixView(double *Data, size_t Rows, size_t Cols)
+      : MatrixView(Data, Rows, Cols, Cols) {}
+  /*implicit*/ MatrixView(Matrix &M)
+      : MatrixView(M.rows() ? M.rowData(0) : nullptr, M.rows(), M.cols(),
+                   M.cols()) {}
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+  size_t stride() const { return RowStride; }
+  bool empty() const { return NumRows == 0 || NumCols == 0; }
+  double *data() const { return Ptr; }
+
+  double &operator()(size_t R, size_t C) const {
+    assert(R < NumRows && C < NumCols && "matrix view index out of range");
+    return Ptr[R * RowStride + C];
+  }
+  double *row(size_t R) const {
+    assert(R < NumRows && "matrix view row out of range");
+    return Ptr + R * RowStride;
+  }
+  VectorView rowVec(size_t R) const { return VectorView(row(R), NumCols); }
+
+  /*implicit*/ operator ConstMatrixView() const {
+    return ConstMatrixView(Ptr, NumRows, NumCols, RowStride);
+  }
+
+  MatrixView block(size_t R0, size_t C0, size_t Rows, size_t Cols) const {
+    assert(R0 + Rows <= NumRows && C0 + Cols <= NumCols &&
+           "matrix view block out of range");
+    return MatrixView(Ptr + R0 * RowStride + C0, Rows, Cols, RowStride);
+  }
+  MatrixView colRange(size_t First, size_t Count) const {
+    return block(0, First, NumRows, Count);
+  }
+  MatrixView rowRange(size_t First, size_t Count) const {
+    return block(First, 0, Count, NumCols);
+  }
+
+private:
+  double *Ptr = nullptr;
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  size_t RowStride = 0;
+};
+
+} // namespace craft
+
+#endif // CRAFT_LINALG_VIEWS_H

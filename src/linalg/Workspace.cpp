@@ -1,0 +1,60 @@
+//===- linalg/Workspace.cpp -----------------------------------------------===//
+
+#include "linalg/Workspace.h"
+
+#include <algorithm>
+#include <cstdint>
+
+using namespace craft;
+
+Workspace &Workspace::threadLocal() {
+  static thread_local Workspace TLS;
+  return TLS;
+}
+
+size_t Workspace::capacity() const {
+  size_t Total = 0;
+  for (const Block &B : Blocks)
+    Total += B.Capacity;
+  return Total;
+}
+
+// Buffers are handed out on cache-line boundaries: the kernels stream rows
+// with vector loads, and a bump offset landing mid-line costs split
+// accesses on every row.
+static constexpr size_t AlignDoubles = 8; // 64 bytes.
+
+double *Workspace::allocate(size_t Count) {
+  if (Count == 0)
+    return nullptr;
+  Count = (Count + AlignDoubles - 1) / AlignDoubles * AlignDoubles;
+  // Advance through existing blocks (skipping any tail space too small for
+  // this request — bump arenas trade that slack for pointer stability).
+  while (CurBlock < Blocks.size() &&
+         Blocks[CurBlock].Capacity - CurUsed < Count) {
+    ++CurBlock;
+    CurUsed = 0;
+  }
+  if (CurBlock == Blocks.size()) {
+    // Grow geometrically so steady-state iterations never allocate.
+    size_t Prev = Blocks.empty() ? 0 : Blocks.back().Capacity;
+    size_t NewCap = std::max({Count, 2 * Prev, static_cast<size_t>(4096)});
+    Block B;
+    // Over-allocate so the aligned base still covers NewCap doubles.
+    B.Data = std::make_unique<double[]>(NewCap + AlignDoubles);
+    B.Capacity = NewCap;
+    Blocks.push_back(std::move(B));
+    CurUsed = 0;
+  }
+  Block &Cur = Blocks[CurBlock];
+  double *Base = Cur.Data.get();
+  size_t Misalign =
+      (reinterpret_cast<uintptr_t>(Base) / sizeof(double)) % AlignDoubles;
+  double *AlignedBase =
+      Misalign == 0 ? Base : Base + (AlignDoubles - Misalign);
+  double *Out = AlignedBase + CurUsed;
+  CurUsed += Count;
+  LiveDoubles += Count;
+  HighWater = std::max(HighWater, LiveDoubles);
+  return Out;
+}

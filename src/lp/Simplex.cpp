@@ -2,6 +2,8 @@
 
 #include "lp/Simplex.h"
 
+#include "linalg/Kernels.h"
+
 #include <cmath>
 #include <limits>
 
@@ -77,29 +79,28 @@ void Tableau::setObjective(const Vector &Cost) {
     double CB = Cost[static_cast<size_t>(Basis[R])];
     if (CB == 0.0)
       continue;
-    for (size_t C = 0; C < N; ++C)
-      Obj[C] -= CB * T(R, C);
+    kernels::axpy(Obj, -CB, ConstVectorView(T.rowData(R), N));
     ObjValue += CB * T(R, N);
   }
 }
 
 void Tableau::pivot(size_t Row, size_t Col) {
+  // Row operations as axpy/scale kernels over tableau row views (the rhs
+  // column rides along in the same contiguous row).
   double Inv = 1.0 / T(Row, Col);
-  for (size_t C = 0; C <= N; ++C)
-    T(Row, C) *= Inv;
+  VectorView PivotRow(T.rowData(Row), N + 1);
+  kernels::scale(PivotRow, Inv);
   for (size_t R = 0; R < M; ++R) {
     if (R == Row)
       continue;
     double Factor = T(R, Col);
     if (Factor == 0.0)
       continue;
-    for (size_t C = 0; C <= N; ++C)
-      T(R, C) -= Factor * T(Row, C);
+    kernels::axpy(VectorView(T.rowData(R), N + 1), -Factor, PivotRow);
   }
   double ObjFactor = Obj[Col];
   if (ObjFactor != 0.0) {
-    for (size_t C = 0; C < N; ++C)
-      Obj[C] -= ObjFactor * T(Row, C);
+    kernels::axpy(Obj, -ObjFactor, ConstVectorView(T.rowData(Row), N));
     ObjValue += ObjFactor * T(Row, N);
   }
   Basis[Row] = static_cast<int>(Col);

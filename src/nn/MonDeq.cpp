@@ -4,7 +4,9 @@
 
 #include "domains/Activations.h"
 #include "linalg/Eig.h"
+#include "linalg/Kernels.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -134,10 +136,18 @@ const char *craft::activationName(ActivationKind Act) {
 }
 
 Vector MonDeq::iterateF(const Vector &X, const Vector &Z) const {
-  Vector Pre = W * Z + U * X + BZ;
+  // W z + U x + b via destination-passing kernels: one allocation. U is a
+  // lowered convolution for the conv models — structurally sparse — but
+  // gemv has no zero-skip either way; the dense row walk wins on a vector.
+  Vector Pre(latentDim());
+  kernels::gemv(Pre, W, Z);
+  kernels::gemv(Pre, U, X, 1.0, 1.0);
+  kernels::axpy(Pre, 1.0, BZ);
   switch (Act) {
   case ActivationKind::ReLU:
-    return Pre.cwiseMax(0.0);
+    for (double &V : Pre)
+      V = std::max(V, 0.0);
+    return Pre;
   case ActivationKind::Sigmoid:
     for (double &V : Pre)
       V = evalActivation(SmoothActivation::Sigmoid, V);

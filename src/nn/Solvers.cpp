@@ -3,6 +3,8 @@
 #include "nn/Solvers.h"
 
 #include "domains/Activations.h"
+#include "linalg/Kernels.h"
+#include "linalg/Workspace.h"
 
 #include <algorithm>
 #include <cmath>
@@ -39,50 +41,70 @@ FixpointSolver::FixpointSolver(const MonDeq &Model, Splitting Method,
 
 namespace {
 
-/// Applies the splitting's resolvent to the pre-activation: ReLU for the
-/// paper's main setting (prox is scaling-invariant), prox_{a f} for the
-/// smooth App. B.6 activations.
-Vector applyResolvent(const MonDeq &Model, double Alpha, Vector Pre) {
+/// Applies the splitting's resolvent to the pre-activation in place: ReLU
+/// for the paper's main setting (prox is scaling-invariant), prox_{a f}
+/// for the smooth App. B.6 activations.
+void applyResolventInPlace(const MonDeq &Model, double Alpha, Vector &Pre) {
   switch (Model.activation()) {
   case ActivationKind::ReLU:
-    return Pre.cwiseMax(0.0);
+    for (double &V : Pre)
+      V = std::max(V, 0.0);
+    return;
   case ActivationKind::Sigmoid:
     for (double &V : Pre)
       V = proxActivation(SmoothActivation::Sigmoid, Alpha, V);
-    return Pre;
+    return;
   case ActivationKind::Tanh:
     for (double &V : Pre)
       V = proxActivation(SmoothActivation::Tanh, Alpha, V);
-    return Pre;
+    return;
   }
-  return Pre;
 }
 
 } // namespace
 
 Vector FixpointSolver::fbStep(const Vector &X, const Vector &Z) const {
-  // ReLU((1-a) z + a (W z + U x + b)).
-  Vector Pre = Model.weightW() * Z;
-  Pre *= Alpha;
-  Vector Drive = Model.weightU() * X + Model.biasZ();
-  Drive *= Alpha;
-  Pre += Drive;
-  Vector Keep = Z;
-  Keep *= (1.0 - Alpha);
-  Pre += Keep;
-  return applyResolvent(Model, Alpha, std::move(Pre));
+  // ReLU((1-a) z + a (W z + U x + b)). The input drive lives in workspace
+  // scratch; only the returned iterate allocates.
+  const size_t P = Model.latentDim();
+  WorkspaceScope WS;
+  Vector Pre(P);
+  kernels::gemv(Pre, Model.weightW(), Z);
+  kernels::scale(Pre, Alpha);
+  VectorView Drive = WS.vector(P);
+  kernels::copyInto(Drive, Model.biasZ());
+  kernels::gemv(Drive, Model.weightU(), X, 1.0, 1.0);
+  kernels::axpy(Pre, Alpha, Drive);
+  kernels::axpy(Pre, 1.0 - Alpha, Z);
+  applyResolventInPlace(Model, Alpha, Pre);
+  return Pre;
 }
 
 std::pair<Vector, Vector> FixpointSolver::prStep(const Vector &X,
                                                  const Vector &Z,
                                                  const Vector &U) const {
-  // Eq. (9).
-  Vector UHalf = 2.0 * Z - U;
-  Vector Drive = Model.weightU() * X + Model.biasZ();
-  Drive *= Alpha;
-  Vector ZHalf = MInv * (UHalf + Drive);
-  Vector UNext = 2.0 * ZHalf - UHalf;
-  Vector ZNext = applyResolvent(Model, Alpha, UNext);
+  // Eq. (9). All intermediates live in workspace scratch: the concrete
+  // solver runs hundreds of iterations per forward pass (training, PGD,
+  // prediction), so per-step temporaries dominated its heap traffic.
+  const size_t P = Model.latentDim();
+  WorkspaceScope WS;
+  VectorView UHalf = WS.vector(P);
+  for (size_t I = 0; I < P; ++I)
+    UHalf[I] = 2.0 * Z[I] - U[I];
+  VectorView Drive = WS.vector(P);
+  kernels::copyInto(Drive, Model.biasZ());
+  kernels::gemv(Drive, Model.weightU(), X, 1.0, 1.0);
+  kernels::scale(Drive, Alpha);
+  VectorView Sum = WS.vector(P);
+  for (size_t I = 0; I < P; ++I)
+    Sum[I] = UHalf[I] + Drive[I];
+  VectorView ZHalf = WS.vector(P);
+  kernels::gemv(ZHalf, MInv, Sum);
+  Vector UNext(P);
+  for (size_t I = 0; I < P; ++I)
+    UNext[I] = 2.0 * ZHalf[I] - UHalf[I];
+  Vector ZNext = UNext;
+  applyResolventInPlace(Model, Alpha, ZNext);
   return {std::move(ZNext), std::move(UNext)};
 }
 

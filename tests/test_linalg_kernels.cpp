@@ -1,0 +1,386 @@
+//===- tests/test_linalg_kernels.cpp - Kernel/view/workspace tests --------===//
+//
+// Coverage for the allocation-free linalg kernel layer: destination-passing
+// kernels against reference loops, zero-copy view slicing against
+// whole-matrix results, zero-dimension edge cases, aliasing contracts
+// (asserted in debug builds), and workspace reuse across repeated calls.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Kernels.h"
+#include "linalg/Views.h"
+#include "linalg/Workspace.h"
+
+#include "domains/CHZonotope.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace craft;
+
+namespace {
+
+Matrix randomMatrix(Rng &R, size_t Rows, size_t Cols, double Scale = 1.0) {
+  Matrix M(Rows, Cols);
+  for (size_t I = 0; I < Rows; ++I)
+    for (size_t J = 0; J < Cols; ++J)
+      M(I, J) = R.gaussian(0.0, Scale);
+  return M;
+}
+
+Vector randomVector(Rng &R, size_t N, double Scale = 1.0) {
+  Vector V(N);
+  for (size_t I = 0; I < N; ++I)
+    V[I] = R.gaussian(0.0, Scale);
+  return V;
+}
+
+/// Reference j-i-k triple loop, deliberately different from the kernel's
+/// blocked i-k-j order.
+Matrix refMatmul(const Matrix &A, const Matrix &B) {
+  Matrix Out(A.rows(), B.cols());
+  for (size_t J = 0; J < B.cols(); ++J)
+    for (size_t I = 0; I < A.rows(); ++I) {
+      double Sum = 0.0;
+      for (size_t K = 0; K < A.cols(); ++K)
+        Sum += A(I, K) * B(K, J);
+      Out(I, J) = Sum;
+    }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// gemm
+//===----------------------------------------------------------------------===//
+
+TEST(Gemm, MatchesReferenceProduct) {
+  Rng R(7);
+  // 150 exceeds the kernel's K tile, exercising the blocked path.
+  Matrix A = randomMatrix(R, 33, 150);
+  Matrix B = randomMatrix(R, 150, 41);
+  Matrix Out(33, 41);
+  kernels::gemm(Out, A, B);
+  EXPECT_LT((Out - refMatmul(A, B)).maxAbs(), 1e-12);
+}
+
+TEST(Gemm, AlphaBetaSemantics) {
+  Rng R(8);
+  Matrix A = randomMatrix(R, 9, 11);
+  Matrix B = randomMatrix(R, 11, 6);
+  Matrix Prior = randomMatrix(R, 9, 6);
+  Matrix Out = Prior;
+  kernels::gemm(Out, A, B, 2.0, 0.5);
+  Matrix Expect = 2.0 * (A * B) + 0.5 * Prior;
+  EXPECT_LT((Out - Expect).maxAbs(), 1e-12);
+}
+
+TEST(Gemm, BetaZeroIgnoresGarbageOutput) {
+  Rng R(9);
+  Matrix A = randomMatrix(R, 5, 5);
+  Matrix B = randomMatrix(R, 5, 5);
+  Matrix Out(5, 5, 1e300); // Poisoned: beta = 0 must overwrite, not read.
+  kernels::gemm(Out, A, B);
+  EXPECT_LT((Out - refMatmul(A, B)).maxAbs(), 1e-12);
+}
+
+TEST(Gemm, SparseAwareIsBitwiseIdenticalToDense) {
+  Rng R(10);
+  Matrix A = randomMatrix(R, 20, 30);
+  // Realistic structural sparsity: zero out most entries exactly.
+  for (size_t I = 0; I < A.rows(); ++I)
+    for (size_t J = 0; J < A.cols(); ++J)
+      if ((I + J) % 3 != 0)
+        A(I, J) = 0.0;
+  Matrix B = randomMatrix(R, 30, 17);
+  Matrix Dense(20, 17), Sparse(20, 17);
+  kernels::gemm(Dense, A, B);
+  kernels::gemmSparseAware(Sparse, A, B);
+  for (size_t I = 0; I < Dense.rows(); ++I)
+    for (size_t J = 0; J < Dense.cols(); ++J)
+      EXPECT_EQ(Dense(I, J), Sparse(I, J));
+}
+
+TEST(Gemm, ZeroDimensions) {
+  // Inner dimension zero: the product is the zero matrix.
+  Matrix A(4, 0), B(0, 3);
+  Matrix Out(4, 3, 7.0);
+  kernels::gemm(Out, A, B);
+  EXPECT_EQ(Out.maxAbs(), 0.0);
+  // Zero-row and zero-column outputs must be accepted.
+  Matrix Empty(0, 3);
+  kernels::gemm(Empty, Matrix(0, 5), Matrix(5, 3));
+  Matrix NoCols(3, 0);
+  kernels::gemm(NoCols, Matrix(3, 5), Matrix(5, 0));
+  SUCCEED();
+}
+
+//===----------------------------------------------------------------------===//
+// gemv / gemvAbs / axpy / scale
+//===----------------------------------------------------------------------===//
+
+TEST(Gemv, MatchesOperatorAndAccumulates) {
+  Rng R(11);
+  Matrix M = randomMatrix(R, 13, 21);
+  Vector V = randomVector(R, 21);
+  Vector Out(13);
+  kernels::gemv(Out, M, V);
+  Vector Expect = M * V;
+  for (size_t I = 0; I < Out.size(); ++I)
+    EXPECT_DOUBLE_EQ(Out[I], Expect[I]);
+
+  Vector Acc = randomVector(R, 13);
+  Vector Expect2 = Acc + 3.0 * (M * V);
+  kernels::gemv(Acc, M, V, 3.0, 1.0);
+  for (size_t I = 0; I < Acc.size(); ++I)
+    EXPECT_NEAR(Acc[I], Expect2[I], 1e-12);
+}
+
+TEST(Gemv, EmptyDimensions) {
+  Vector Out;
+  kernels::gemv(Out, Matrix(), Vector());
+  Vector Out2(3, 5.0);
+  kernels::gemv(Out2, Matrix(3, 0), Vector());
+  for (size_t I = 0; I < 3; ++I)
+    EXPECT_EQ(Out2[I], 0.0); // Empty sum, beta = 0: overwritten with 0.
+}
+
+TEST(GemvAbs, NeverMaterializesAbsMatrix) {
+  Rng R(12);
+  Matrix M = randomMatrix(R, 10, 14);
+  Vector V = randomVector(R, 14);
+  Vector Out(10);
+  kernels::gemvAbs(Out, M, V);
+  Vector Expect = M.abs() * V;
+  for (size_t I = 0; I < Out.size(); ++I)
+    EXPECT_EQ(Out[I], Expect[I]); // Bitwise: same reduction order.
+}
+
+TEST(AxpyScale, MatchReference) {
+  Rng R(13);
+  Vector Y = randomVector(R, 17), X = randomVector(R, 17);
+  Vector Expect = Y + (-2.5) * X;
+  kernels::axpy(Y, -2.5, X);
+  for (size_t I = 0; I < Y.size(); ++I)
+    EXPECT_EQ(Y[I], Expect[I]);
+  Vector Scaled = X;
+  kernels::scale(Scaled, 0.25);
+  for (size_t I = 0; I < X.size(); ++I)
+    EXPECT_EQ(Scaled[I], 0.25 * X[I]);
+}
+
+//===----------------------------------------------------------------------===//
+// transposeInto / rowAbsSumsInto / copy / fill
+//===----------------------------------------------------------------------===//
+
+TEST(TransposeInto, MatchesAllocatingTranspose) {
+  Rng R(14);
+  Matrix M = randomMatrix(R, 7, 12);
+  Matrix Out(12, 7);
+  kernels::transposeInto(Out, M);
+  EXPECT_EQ((Out - M.transpose()).maxAbs(), 0.0);
+}
+
+TEST(RowAbsSums, BetaAccumulates) {
+  Rng R(15);
+  Matrix M = randomMatrix(R, 6, 9);
+  Vector Out(6, 10.0);
+  kernels::rowAbsSumsInto(Out, M, 1.0);
+  Vector Expect = M.rowAbsSums();
+  for (size_t I = 0; I < 6; ++I)
+    EXPECT_DOUBLE_EQ(Out[I], Expect[I] + 10.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Views: zero-copy slicing
+//===----------------------------------------------------------------------===//
+
+TEST(Views, BlockSlicingMatchesWholeMatrixResults) {
+  Rng R(16);
+  Matrix M = randomMatrix(R, 10, 16);
+  // colRange view vs the allocating colRange copy.
+  ConstMatrixView View = ConstMatrixView(M).colRange(3, 7);
+  Matrix Copy = M.colRange(3, 7);
+  ASSERT_EQ(View.rows(), Copy.rows());
+  ASSERT_EQ(View.cols(), Copy.cols());
+  EXPECT_EQ(View.stride(), M.cols()); // Zero-copy: parent stride.
+  EXPECT_EQ(View.data(), M.rowData(0) + 3);
+  for (size_t I = 0; I < View.rows(); ++I)
+    for (size_t J = 0; J < View.cols(); ++J)
+      EXPECT_EQ(View(I, J), Copy(I, J));
+}
+
+TEST(Views, StridedGemmMatchesWholeMatrixGemm) {
+  Rng R(17);
+  Matrix A = randomMatrix(R, 6, 20);
+  Matrix B = randomMatrix(R, 8, 11);
+  // Multiply a column slice of A (strided view) against a block of B.
+  ConstMatrixView ASlice = ConstMatrixView(A).colRange(5, 8);
+  ConstMatrixView BBlock = ConstMatrixView(B).block(0, 2, 8, 9);
+  Matrix Out(6, 9);
+  kernels::gemm(Out, ASlice, BBlock);
+  Matrix Expect = A.colRange(5, 8) * B.colRange(2, 9);
+  EXPECT_EQ((Out - Expect).maxAbs(), 0.0);
+}
+
+TEST(Views, StridedDestination) {
+  Rng R(18);
+  Matrix A = randomMatrix(R, 4, 5);
+  Matrix B = randomMatrix(R, 5, 3);
+  // Write the product into the middle columns of a wider matrix.
+  Matrix Wide(4, 9, -1.0);
+  kernels::gemm(MatrixView(Wide).colRange(3, 3), A, B);
+  Matrix Expect = A * B;
+  for (size_t I = 0; I < 4; ++I) {
+    for (size_t J = 0; J < 3; ++J)
+      EXPECT_EQ(Wide(I, 3 + J), Expect(I, J));
+    EXPECT_EQ(Wide(I, 0), -1.0); // Surroundings untouched.
+    EXPECT_EQ(Wide(I, 8), -1.0);
+  }
+}
+
+TEST(Views, VectorSlice) {
+  Vector V{1.0, 2.0, 3.0, 4.0, 5.0};
+  ConstVectorView S = ConstVectorView(V).slice(1, 3);
+  ASSERT_EQ(S.size(), 3u);
+  EXPECT_EQ(S[0], 2.0);
+  EXPECT_EQ(S[2], 4.0);
+  EXPECT_EQ(S.data(), V.data() + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Aliasing contract
+//===----------------------------------------------------------------------===//
+
+// gemm/gemv outputs must not overlap their inputs: the kernels read inputs
+// while writing the output, so an aliased call would consume partially
+// written data. The contract is enforced by assertions, which only fire in
+// debug builds (the ASan/UBSan CI job); release builds document it here.
+#ifndef NDEBUG
+TEST(AliasingDeathTest, GemmOutputOverlappingInputAsserts) {
+  Matrix A(4, 4, 1.0);
+  EXPECT_DEATH(kernels::gemm(A, A, A), "alias");
+}
+
+TEST(AliasingDeathTest, GemvOutputOverlappingInputAsserts) {
+  Matrix M(3, 3, 1.0);
+  VectorView Row(M.rowData(0), 3);
+  EXPECT_DEATH(kernels::gemv(Row, M, Vector(3, 1.0)), "alias");
+}
+#endif
+
+//===----------------------------------------------------------------------===//
+// Workspace
+//===----------------------------------------------------------------------===//
+
+TEST(Workspace, ReuseAcrossRepeatedCalls) {
+  Workspace &W = Workspace::threadLocal();
+  // Warm up, then verify repeated identical scopes reuse identical storage
+  // (pointer-stable, no capacity growth).
+  double *FirstPtr = nullptr;
+  {
+    WorkspaceScope WS(W);
+    FirstPtr = WS.alloc(256);
+  }
+  size_t CapAfterWarmup = W.capacity();
+  for (int Round = 0; Round < 10; ++Round) {
+    WorkspaceScope WS(W);
+    MatrixView M = WS.matrix(8, 16);
+    VectorView V = WS.vector(128);
+    EXPECT_EQ(M.data(), FirstPtr); // Rewound to the same offset.
+    kernels::fill(M, 1.0);
+    kernels::fill(V, 2.0);
+  }
+  EXPECT_EQ(W.capacity(), CapAfterWarmup);
+}
+
+TEST(Workspace, NestedScopesAreStackDiscipline) {
+  Workspace &W = Workspace::threadLocal();
+  WorkspaceScope Outer(W);
+  VectorView A = Outer.vector(16);
+  kernels::fill(A, 42.0);
+  {
+    WorkspaceScope Inner(W);
+    VectorView B = Inner.vector(1 << 20); // Forces fresh-block growth.
+    kernels::fill(B, 7.0);
+    // Outer buffer must be untouched even though the arena grew.
+    for (size_t I = 0; I < A.size(); ++I)
+      EXPECT_EQ(A[I], 42.0);
+  }
+  // After the inner scope dies, the outer scope can keep allocating.
+  VectorView C = Outer.vector(16);
+  kernels::fill(C, 3.0);
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(A[I], 42.0);
+}
+
+TEST(Workspace, ZeroInitializedVariants) {
+  WorkspaceScope WS;
+  // Poison, rewind, and re-request: zeroMatrix must actually clear.
+  {
+    WorkspaceScope Poison;
+    VectorView P = Poison.vector(64);
+    kernels::fill(P, 1e300);
+  }
+  MatrixView M = WS.zeroMatrix(4, 8);
+  VectorView V = WS.zeroVector(16);
+  for (size_t I = 0; I < 4; ++I)
+    for (size_t J = 0; J < 8; ++J)
+      EXPECT_EQ(M(I, J), 0.0);
+  for (size_t I = 0; I < 16; ++I)
+    EXPECT_EQ(V[I], 0.0);
+}
+
+TEST(Workspace, ZeroSizedRequests) {
+  WorkspaceScope WS;
+  EXPECT_EQ(WS.alloc(0), nullptr);
+  VectorView V = WS.vector(0);
+  EXPECT_TRUE(V.empty());
+  MatrixView M = WS.matrix(0, 5);
+  EXPECT_TRUE(M.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel-layer integration with the domain layer
+//===----------------------------------------------------------------------===//
+
+TEST(LinearCombine, NullMatrixIsIdentity) {
+  resetErrorTermIds();
+  CHZonotope Z = CHZonotope::fromBox(Vector{0.0, -1.0, 2.0},
+                                     Vector{1.0, 1.0, 2.5});
+  Matrix I = Matrix::identity(3);
+  Vector Offset{0.5, -0.5, 0.0};
+
+  std::pair<const Matrix *, const CHZonotope *> Explicit[] = {{&I, &Z}};
+  CHZonotope A = CHZonotope::linearCombine(Explicit, Offset);
+  std::pair<const Matrix *, const CHZonotope *> Implicit[] = {{nullptr, &Z}};
+  CHZonotope B = CHZonotope::linearCombine(Implicit, Offset);
+
+  ASSERT_EQ(A.dim(), B.dim());
+  ASSERT_EQ(A.numGenerators(), B.numGenerators());
+  for (size_t I2 = 0; I2 < A.dim(); ++I2) {
+    EXPECT_EQ(A.center()[I2], B.center()[I2]);
+    EXPECT_EQ(A.boxRadius()[I2], B.boxRadius()[I2]);
+    for (size_t J = 0; J < A.numGenerators(); ++J)
+      EXPECT_EQ(A.generators()(I2, J), B.generators()(I2, J));
+  }
+  EXPECT_EQ(A.termIds(), B.termIds());
+}
+
+TEST(CHZonotope, WithBoxRadiusReplacesBoxOnly) {
+  resetErrorTermIds();
+  CHZonotope Z = CHZonotope::fromBox(Vector{0.0, 0.0}, Vector{1.0, 2.0});
+  Vector Center = Z.center();
+  Matrix Gens = Z.generators();
+  CHZonotope W = std::move(Z).withBoxRadius(Vector{0.25, 0.75});
+  EXPECT_EQ(W.boxRadius()[0], 0.25);
+  EXPECT_EQ(W.boxRadius()[1], 0.75);
+  for (size_t I = 0; I < 2; ++I) {
+    EXPECT_EQ(W.center()[I], Center[I]);
+    for (size_t J = 0; J < W.numGenerators(); ++J)
+      EXPECT_EQ(W.generators()(I, J), Gens(I, J));
+  }
+}
+
+} // namespace
