@@ -7,14 +7,18 @@
 /// \file
 /// The one schema both perf-trajectory artifacts (BENCH_micro.json,
 /// BENCH_table2.json) are written in: a list of
-/// {op, dims, ns_per_op, allocs_per_op} records. Keeping the record type
-/// and writer in one place keeps the files parseable by the same
-/// downstream tooling.
+/// {op, dims, ns_per_op, allocs_per_op, backend} records, where backend is
+/// the kernel tier the run dispatched to (scalar/avx2/avx512) so perf
+/// trajectories are attributable to the ISA in use. Keeping the record
+/// type and writer in one place keeps the files parseable by the same
+/// downstream tooling (tools/bench_compare.py).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CRAFT_BENCH_BENCHJSON_H
 #define CRAFT_BENCH_BENCHJSON_H
+
+#include "linalg/Kernels.h"
 
 #include <cstdio>
 #include <string>
@@ -28,6 +32,9 @@ struct Record {
   std::string Dims;
   double NsPerOp = 0.0;
   double AllocsPerOp = 0.0;
+  /// Kernel backend the run dispatched to; defaults to the active tier.
+  std::string Backend = kernels::kernelBackendName(
+      kernels::activeKernelBackend());
 };
 
 inline void write(const char *Path, const std::vector<Record> &Records) {
@@ -41,9 +48,10 @@ inline void write(const char *Path, const std::vector<Record> &Records) {
     const Record &R = Records[I];
     std::fprintf(F,
                  "    {\"op\": \"%s\", \"dims\": \"%s\", "
-                 "\"ns_per_op\": %.3f, \"allocs_per_op\": %.3f}%s\n",
+                 "\"ns_per_op\": %.3f, \"allocs_per_op\": %.3f, "
+                 "\"backend\": \"%s\"}%s\n",
                  R.Op.c_str(), R.Dims.c_str(), R.NsPerOp, R.AllocsPerOp,
-                 I + 1 < Records.size() ? "," : "");
+                 R.Backend.c_str(), I + 1 < Records.size() ? "," : "");
   }
   std::fprintf(F, "  ]\n}\n");
   std::fclose(F);

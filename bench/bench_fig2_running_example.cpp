@@ -71,22 +71,22 @@ int main() {
 
   TablePrinter Table({"method", "S* dim1", "S* dim2", "score low bound",
                       "certified"});
-  // Built via append rather than an operator+ chain: the chain trips GCC
-  // 12's bogus -Wrestrict on inlined std::string concatenation (PR105329).
+  // Each hull label is pre-built in a single snprintf — no std::string
+  // concatenation anywhere near the row construction.
   auto hullCell = [](const IntervalVector &H, size_t Dim) {
-    std::string Cell = "[";
-    Cell += fmt(H.lowerBounds()[Dim], 4);
-    Cell += ", ";
-    Cell += fmt(H.upperBounds()[Dim], 4);
-    Cell += "]";
-    return Cell;
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "[%.4f, %.4f]", H.lowerBounds()[Dim],
+                  H.upperBounds()[Dim]);
+    return std::string(Buf);
   };
-  Table.addRow({"Craft (CH-Zonotope)", hullCell(Craft.FixpointHull, 0),
-                hullCell(Craft.FixpointHull, 1), fmt(Craft.BestMargin, 4),
-                Craft.Certified ? "yes" : "no"});
-  Table.addRow({"Kleene iteration", hullCell(Kleene.FixpointHull, 0),
-                hullCell(Kleene.FixpointHull, 1), fmt(Kleene.BestMargin, 4),
-                Kleene.Certified ? "yes" : "no"});
+  const std::string CraftDim1 = hullCell(Craft.FixpointHull, 0);
+  const std::string CraftDim2 = hullCell(Craft.FixpointHull, 1);
+  const std::string KleeneDim1 = hullCell(Kleene.FixpointHull, 0);
+  const std::string KleeneDim2 = hullCell(Kleene.FixpointHull, 1);
+  Table.addRow({"Craft (CH-Zonotope)", CraftDim1, CraftDim2,
+                fmt(Craft.BestMargin, 4), Craft.Certified ? "yes" : "no"});
+  Table.addRow({"Kleene iteration", KleeneDim1, KleeneDim2,
+                fmt(Kleene.BestMargin, 4), Kleene.Certified ? "yes" : "no"});
   Table.print();
 
   std::printf("\nCraft hull mean width %.4f vs Kleene %.4f "

@@ -19,6 +19,7 @@
 
 #include "core/AbstractSolver.h"
 #include "domains/OrderReduction.h"
+#include "linalg/Kernels.h"
 #include "nn/MonDeq.h"
 #include "support/Rng.h"
 
@@ -138,6 +139,48 @@ void BM_PcaBasisRefresh(benchmark::State &State) {
   State.SetComplexityN(State.range(0));
 }
 
+/// Dense gemm at the CH-Zonotope hot-path shape: a p x p affine map times
+/// the p x 2p generator block. This is the kernel the SIMD backend tiers
+/// were built for; the trajectory of this number tracks raw FLOP
+/// throughput per ISA (see the "backend" field of the JSON record).
+void BM_GemmDense(benchmark::State &State) {
+  size_t P = static_cast<size_t>(State.range(0));
+  Rng R(P * 31 + 7);
+  Matrix A(P, P), B(P, 2 * P), Out(P, 2 * P);
+  for (size_t I = 0; I < P; ++I)
+    for (size_t J = 0; J < P; ++J)
+      A(I, J) = R.gaussian();
+  for (size_t I = 0; I < P; ++I)
+    for (size_t J = 0; J < 2 * P; ++J)
+      B(I, J) = R.gaussian();
+  AllocScope Allocs(State);
+  for (auto _ : State) {
+    kernels::gemm(Out, A, B);
+    benchmark::DoNotOptimize(Out.rowData(0));
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+/// |M| * v at the concretization shape (p x 2p): the containment check's
+/// inner reduction, row-lane vectorized in the SIMD tiers.
+void BM_GemvAbs(benchmark::State &State) {
+  size_t P = static_cast<size_t>(State.range(0));
+  Rng R(P * 57 + 3);
+  Matrix M(P, 2 * P);
+  Vector V(2 * P), Out(P);
+  for (size_t I = 0; I < P; ++I)
+    for (size_t J = 0; J < 2 * P; ++J)
+      M(I, J) = R.gaussian();
+  for (size_t J = 0; J < 2 * P; ++J)
+    V[J] = 0.05 + 0.001 * static_cast<double>(J);
+  AllocScope Allocs(State);
+  for (auto _ : State) {
+    kernels::gemvAbs(Out, M, V);
+    benchmark::DoNotOptimize(Out.data());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
 void BM_AbstractSolverStep(benchmark::State &State) {
   size_t P = static_cast<size_t>(State.range(0));
   Rng R(P);
@@ -204,6 +247,8 @@ BENCHMARK(BM_Consolidation)->RangeMultiplier(2)->Range(16, 256)
     ->Arg(87)->Arg(100)->Arg(200)->Complexity();
 BENCHMARK(BM_CHZAffine)->Arg(40)->Arg(64)->Arg(87)->Arg(100)->Arg(128)
     ->Arg(200)->Complexity();
+BENCHMARK(BM_GemmDense)->Arg(87)->Arg(100)->Arg(200)->Complexity();
+BENCHMARK(BM_GemvAbs)->Arg(87)->Arg(100)->Arg(200)->Complexity();
 BENCHMARK(BM_PcaBasisRefresh)->RangeMultiplier(2)->Range(16, 128)
     ->Complexity();
 BENCHMARK(BM_AbstractSolverStep)->RangeMultiplier(2)->Range(16, 128)

@@ -10,10 +10,11 @@
 // conv models remain tractable at 10x the latent size of the SemiSDP limit.
 //
 // Besides the console table, the harness writes BENCH_table2.json — one
-// record per model row with (op, dims, ns_per_op, allocs_per_op), where
-// ns_per_op is the mean Craft wall time per accurate sample and
-// allocs_per_op the heap allocations per evaluated sample — so the
-// end-to-end certification perf trajectory is tracked across PRs.
+// record per model row with (op, dims, ns_per_op, allocs_per_op, backend),
+// where ns_per_op is the mean Craft wall time per accurate sample,
+// allocs_per_op the heap allocations per evaluated sample, and backend the
+// kernel tier in use — so the end-to-end certification perf trajectory is
+// tracked across PRs and attributable to the ISA.
 //
 //===----------------------------------------------------------------------===//
 

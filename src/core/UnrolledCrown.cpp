@@ -135,12 +135,16 @@ CrownResult CrownVerifier::verifyRegion(const Vector &InLo,
   VectorView TLo = WS.vector(P), THi = WS.vector(P);
 
   for (int K = 0; K < Opts.UnrollSteps; ++K) {
-    // Pre-activation t = A s + B_in x + c via row-sign splitting.
-    kernels::gemmSparseAware(T.LowW, Ap, B.LowW);
-    kernels::gemmSparseAware(T.LowW, An, B.UppW, 1.0, 1.0);
+    // Pre-activation t = A s + B_in x + c via row-sign splitting. The
+    // split halves are structurally half-zero by construction, so hint
+    // the sparse path instead of paying the kernel's density probe per
+    // unroll step.
+    constexpr auto Sparse = kernels::DensityHint::Sparse;
+    kernels::gemmAuto(T.LowW, Ap, B.LowW, 1.0, 0.0, Sparse);
+    kernels::gemmAuto(T.LowW, An, B.UppW, 1.0, 1.0, Sparse);
     T.LowW += InputMatrix;
-    kernels::gemmSparseAware(T.UppW, Ap, B.UppW);
-    kernels::gemmSparseAware(T.UppW, An, B.LowW, 1.0, 1.0);
+    kernels::gemmAuto(T.UppW, Ap, B.UppW, 1.0, 0.0, Sparse);
+    kernels::gemmAuto(T.UppW, An, B.LowW, 1.0, 1.0, Sparse);
     T.UppW += InputMatrix;
     kernels::gemv(T.LowB, Ap, B.LowB);
     kernels::gemv(T.LowB, An, B.UppB, 1.0, 1.0);

@@ -275,8 +275,11 @@ CHZonotope CHZonotope::linearCombine(
     MatrixView GensV(Gens);
     if (M) {
       kernels::gemv(Center, *M, Z->Center, 1.0, 1.0);
+      // The affine map is whatever the caller built — dense solver updates
+      // and diagonal/selection maps both land here, so let the kernel's
+      // density probe pick the path.
       if (K > 0)
-        kernels::gemmSparseAware(GensV.colRange(0, K), *M, Z->Generators);
+        kernels::gemmAuto(GensV.colRange(0, K), *M, Z->Generators);
     } else {
       kernels::axpy(Center, 1.0, Z->Center);
       if (K > 0)
@@ -330,13 +333,14 @@ CHZonotope CHZonotope::linearCombine(
     // Generator contribution: scatter columns of M * A_i into the
     // id-mapped output columns. The mapped matrix is workspace scratch —
     // amortized to zero heap traffic across solver iterations. Structured
-    // maps (diagonal/selection) are common here, hence the sparse-aware
-    // product; an identity term scatters its columns directly.
+    // maps (diagonal/selection) are common here but dense combinations
+    // land here too, so the kernel's density probe picks the path; an
+    // identity term scatters its columns directly.
     if (K > 0) {
       ConstMatrixView Mapped = Z->Generators;
       if (M) {
         MatrixView Scratch = WS.matrix(POut, K);
-        kernels::gemmSparseAware(Scratch, *M, Z->Generators);
+        kernels::gemmAuto(Scratch, *M, Z->Generators);
         Mapped = Scratch;
       }
       for (size_t J = 0; J < K; ++J) {

@@ -1,12 +1,34 @@
-//===- linalg/Kernels.cpp -------------------------------------------------===//
+//===- linalg/Kernels.cpp - Backend dispatch + tiling for the kernels -----===//
+//
+// The public kernel entry points: alias/shape contracts, once-per-process
+// backend selection (CPUID probe, CRAFT_KERNEL_BACKEND override), the
+// measured-density probe behind gemmAuto, and ThreadPool tiling of large
+// gemm/gemvAbs calls. The arithmetic lives in the backend TUs
+// (KernelsScalar/Avx2/Avx512.cpp); everything here is structure-preserving,
+// so backend, tiling, and thread count never change results.
+//
+//===----------------------------------------------------------------------===//
 
+#include "linalg/KernelBackends.h"
 #include "linalg/Kernels.h"
 
+#include "support/ThreadPool.h"
+
 #include <cassert>
-#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
 #include <functional>
+#include <mutex>
 
 using namespace craft;
+using namespace craft::kernels;
+
+//===----------------------------------------------------------------------===//
+// Alias assertions (debug builds)
+//===----------------------------------------------------------------------===//
 
 namespace {
 
@@ -40,85 +62,356 @@ bool noAlias(VectorView Out, ConstVectorView In) {
 }
 #endif
 
-/// Scales (or zero-fills) the output ahead of accumulation. Beta == 0
-/// must not read Out (it may be uninitialized workspace scratch).
-void primeOutput(MatrixView Out, double Beta) {
-  for (size_t R = 0, E = Out.rows(); R < E; ++R) {
-    double *Row = Out.row(R);
-    if (Beta == 0.0) {
-      for (size_t C = 0, CE = Out.cols(); C < CE; ++C)
-        Row[C] = 0.0;
-    } else if (Beta != 1.0) {
-      for (size_t C = 0, CE = Out.cols(); C < CE; ++C)
-        Row[C] *= Beta;
+//===----------------------------------------------------------------------===//
+// Backend selection
+//===----------------------------------------------------------------------===//
+
+bool cpuSupports(KernelBackend Backend) {
+  switch (Backend) {
+  case KernelBackend::Scalar:
+    return true;
+  case KernelBackend::Avx2:
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+  case KernelBackend::Avx512:
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+    return __builtin_cpu_supports("avx512f");
+#else
+    return false;
+#endif
+  }
+  return false;
+}
+
+/// Widest tier that is both compiled in and executable on this CPU.
+KernelBackend widestAvailableBackend() {
+  if (kernelTableFor(KernelBackend::Avx512))
+    return KernelBackend::Avx512;
+  if (kernelTableFor(KernelBackend::Avx2))
+    return KernelBackend::Avx2;
+  return KernelBackend::Scalar;
+}
+
+struct Dispatch {
+  const KernelTable *Table;
+  KernelBackend Kind;
+};
+
+Dispatch selectBackend() {
+  KernelBackend Kind = widestAvailableBackend();
+  if (const char *Env = std::getenv("CRAFT_KERNEL_BACKEND");
+      Env && *Env != '\0') {
+    KernelBackend Requested;
+    bool Known = true;
+    if (std::strcmp(Env, "scalar") == 0)
+      Requested = KernelBackend::Scalar;
+    else if (std::strcmp(Env, "avx2") == 0)
+      Requested = KernelBackend::Avx2;
+    else if (std::strcmp(Env, "avx512") == 0)
+      Requested = KernelBackend::Avx512;
+    else
+      Known = false;
+    if (!Known)
+      std::fprintf(stderr,
+                   "craft: unknown CRAFT_KERNEL_BACKEND '%s' "
+                   "(expected scalar|avx2|avx512); using %s\n",
+                   Env, kernelBackendName(Kind));
+    else if (!kernelTableFor(Requested))
+      std::fprintf(stderr,
+                   "craft: CRAFT_KERNEL_BACKEND=%s unavailable on this "
+                   "build/CPU; using %s\n",
+                   Env, kernelBackendName(Kind));
+    else
+      Kind = Requested;
+  }
+  return {kernelTableFor(Kind), Kind};
+}
+
+/// The once-initialized process-wide dispatch decision.
+const Dispatch &dispatch() {
+  static const Dispatch D = selectBackend();
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel thread pool (tiled large kernels)
+//===----------------------------------------------------------------------===//
+
+size_t configuredKernelThreads() {
+  if (const char *Env = std::getenv("CRAFT_KERNEL_THREADS");
+      Env && *Env != '\0') {
+    long V = std::atol(Env);
+    if (V == 0)
+      return ThreadPool::hardwareWorkers();
+    if (V > 0)
+      return static_cast<size_t>(V);
+  }
+  return ThreadPool::hardwareWorkers();
+}
+
+/// Persistent pool for intra-kernel tiling, distinct from the batch
+/// driver's per-batch pools: one large verification query saturates the
+/// machine through this pool even when the batch has a single input.
+ThreadPool &kernelPool() {
+  static ThreadPool Pool(configuredKernelThreads());
+  return Pool;
+}
+
+/// Set while executing a kernel tile on the pool: tile tasks must never
+/// re-tile (the pool's tasks must not block on the pool).
+thread_local bool InKernelTile = false;
+
+struct KernelTileScope {
+  KernelTileScope() { InKernelTile = true; }
+  ~KernelTileScope() { InKernelTile = false; }
+};
+
+// Tiling thresholds. Tiling only pays when the per-tile work dwarfs the
+// submit/wake cost (~10 us): a p=200 CH-Zonotope generator product (~16M
+// mul-adds) crosses GemmTileMinFlops, per-iteration p<=200 gemv-family
+// calls stay serial, and conv-scale reductions (latent ~1300 x thousands
+// of columns) cross GemvAbsTileMinElems.
+constexpr size_t GemmTileMinFlops = size_t(1) << 22;
+constexpr size_t GemvAbsTileMinElems = size_t(1) << 21;
+// Minimum tile extents keep packing efficiency (gemm panels) and lane
+// utilization (gemvAbs row blocks) intact.
+constexpr size_t GemmMinTileCols = 32;
+constexpr size_t GemvAbsMinTileRows = 64;
+
+/// Per-call completion latch for one tiled kernel invocation. The kernel
+/// pool is shared by every concurrent caller (batch-driver workers all
+/// tile onto the same pool), so each caller must wait for *its* tiles
+/// only — ThreadPool::wait() drains the pool-global in-flight count and
+/// would both over-wait on peers and steal a peer's task exception.
+class TileGroup {
+public:
+  explicit TileGroup(size_t Count) : Remaining(Count) {}
+
+  void finish(std::exception_ptr E) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (E && !Err)
+      Err = E;
+    if (--Remaining == 0)
+      Done.notify_all();
+  }
+
+  /// Blocks until every tile of this call finished; rethrows the first
+  /// tile exception (the output is partially written in that case, like
+  /// any kernel call that did not return).
+  void wait() {
+    std::unique_lock<std::mutex> Lock(M);
+    Done.wait(Lock, [this] { return Remaining == 0; });
+    if (Err)
+      std::rethrow_exception(Err);
+  }
+
+private:
+  std::mutex M;
+  std::condition_variable Done;
+  size_t Remaining;
+  std::exception_ptr Err;
+};
+
+/// Shared fan-out scaffold of the tiled kernels: partitions [0, N) into
+/// \p Tiles contiguous ranges and runs Body(range) on the kernel pool,
+/// waiting for exactly this call's tiles. Every part is accounted to the
+/// latch even when a submit itself throws (the closure copy can
+/// bad_alloc), so already-running tiles never signal a destroyed group
+/// and the caller's views stay alive until every tile is done.
+void runTiled(size_t N, size_t Tiles,
+              const std::function<void(IndexRange)> &Body) {
+  // Parts beyond N are empty and never submitted.
+  TileGroup Group(Tiles < N ? Tiles : N);
+  ThreadPool &Pool = kernelPool();
+  std::exception_ptr SubmitError;
+  for (size_t T = 0; T < Tiles; ++T) {
+    IndexRange R = staticPartition(N, Tiles, T);
+    if (R.size() == 0)
+      continue;
+    if (SubmitError) {
+      Group.finish(nullptr); // Balance the latch for unsubmitted parts.
+      continue;
+    }
+    try {
+      Pool.submit([&Body, &Group, R] {
+        KernelTileScope Scope;
+        std::exception_ptr E;
+        try {
+          Body(R);
+        } catch (...) {
+          E = std::current_exception();
+        }
+        Group.finish(E);
+      });
+    } catch (...) {
+      SubmitError = std::current_exception();
+      Group.finish(SubmitError); // This part never started.
     }
   }
+  Group.wait(); // Rethrows the first tile (or submit) error.
 }
 
-/// Inner j-loop of the i-k-j product, unrolled by 4. Output elements are
-/// independent, so unrolling does not reorder any per-element reduction.
-inline void accumulateRow(double *__restrict OutRow,
-                          const double *__restrict BRow, double Aik,
-                          size_t N) {
-  size_t J = 0;
-  for (; J + 4 <= N; J += 4) {
-    OutRow[J + 0] += Aik * BRow[J + 0];
-    OutRow[J + 1] += Aik * BRow[J + 1];
-    OutRow[J + 2] += Aik * BRow[J + 2];
-    OutRow[J + 3] += Aik * BRow[J + 3];
+using GemmFn = void (*)(MatrixView, ConstMatrixView, ConstMatrixView, double,
+                        double);
+
+/// Fans \p Fn out over \p Tiles contiguous column panels of Out/B on the
+/// kernel pool. Column panels (not row tiles) so each task packs exactly
+/// its own B panel — row splits would re-pack the full B once per tile.
+/// The partition never changes any per-element operation order.
+void runGemmTiled(GemmFn Fn, MatrixView Out, ConstMatrixView A,
+                  ConstMatrixView B, double Alpha, double Beta,
+                  size_t Tiles) {
+  const size_t N = B.cols();
+  if (Tiles <= 1 || N == 0) {
+    Fn(Out, A, B, Alpha, Beta);
+    return;
   }
-  for (; J < N; ++J)
-    OutRow[J] += Aik * BRow[J];
+  runTiled(N, Tiles, [&](IndexRange R) {
+    Fn(Out.colRange(R.Begin, R.size()), A, B.colRange(R.Begin, R.size()),
+       Alpha, Beta);
+  });
 }
 
-/// Shared i-k-j gemm skeleton. The K dimension is tiled so the working set
-/// of B rows stays cache-resident across the I sweep; tiles are visited in
-/// ascending K order, so each output element still reduces its inner
-/// dimension strictly in ascending order — blocking never changes results.
-template <bool SkipZeros>
-void gemmImpl(MatrixView Out, ConstMatrixView A, ConstMatrixView B,
-              double Alpha, double Beta) {
+size_t gemmTileCount(size_t M, size_t N, size_t K) {
+  if (InKernelTile || M * N * K < GemmTileMinFlops || N < 2 * GemmMinTileCols)
+    return 1;
+  const size_t Workers = kernelThreadCount();
+  if (Workers <= 1)
+    return 1;
+  return Workers < N / GemmMinTileCols ? Workers : N / GemmMinTileCols;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Backend API
+//===----------------------------------------------------------------------===//
+
+const KernelTable *kernels::kernelTableFor(KernelBackend Backend) {
+  if (!cpuSupports(Backend))
+    return nullptr;
+  switch (Backend) {
+  case KernelBackend::Scalar:
+    return &scalarKernelTable();
+  case KernelBackend::Avx2:
+#if CRAFT_KERNELS_HAVE_AVX2
+    return &avx2KernelTable();
+#else
+    return nullptr;
+#endif
+  case KernelBackend::Avx512:
+#if CRAFT_KERNELS_HAVE_AVX512
+    return &avx512KernelTable();
+#else
+    return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+KernelBackend kernels::activeKernelBackend() { return dispatch().Kind; }
+
+const char *kernels::kernelBackendName(KernelBackend Backend) {
+  switch (Backend) {
+  case KernelBackend::Scalar:
+    return "scalar";
+  case KernelBackend::Avx2:
+    return "avx2";
+  case KernelBackend::Avx512:
+    return "avx512";
+  }
+  return "unknown";
+}
+
+size_t kernels::kernelThreadCount() {
+  static const size_t Count = configuredKernelThreads();
+  return Count;
+}
+
+void kernels::detail::gemmTiled(MatrixView Out, ConstMatrixView A,
+                                ConstMatrixView B, double Alpha, double Beta,
+                                size_t Tiles) {
+  runGemmTiled(dispatch().Table->Gemm, Out, A, B, Alpha, Beta, Tiles);
+}
+
+void kernels::detail::gemvAbsTiled(VectorView Out, ConstMatrixView M,
+                                   ConstVectorView V, double Alpha,
+                                   double Beta, size_t Tiles) {
+  const size_t Rows = M.rows();
+  const KernelTable &T = *dispatch().Table;
+  if (Tiles <= 1 || Rows == 0) {
+    T.GemvAbs(Out, M, V, Alpha, Beta);
+    return;
+  }
+  runTiled(Rows, Tiles, [&](IndexRange R) {
+    T.GemvAbs(Out.slice(R.Begin, R.size()), M.rowRange(R.Begin, R.size()), V,
+              Alpha, Beta);
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatched kernels
+//===----------------------------------------------------------------------===//
+
+void kernels::gemm(MatrixView Out, ConstMatrixView A, ConstMatrixView B,
+                   double Alpha, double Beta) {
   assert(A.cols() == B.rows() && "gemm inner dimension mismatch");
   assert(Out.rows() == A.rows() && Out.cols() == B.cols() &&
          "gemm output shape mismatch");
   assert(noAlias(Out, A) && "gemm output aliases A");
   assert(noAlias(Out, B) && "gemm output aliases B");
-
-  primeOutput(Out, Beta);
-  const size_t MRows = A.rows(), KDim = A.cols(), N = B.cols();
-  constexpr size_t KBlock = 128;
-  for (size_t KK = 0; KK < KDim; KK += KBlock) {
-    const size_t KEnd = KK + KBlock < KDim ? KK + KBlock : KDim;
-    for (size_t I = 0; I < MRows; ++I) {
-      double *OutRow = Out.row(I);
-      const double *ARow = A.row(I);
-      if (Alpha == 1.0) {
-        for (size_t K = KK; K < KEnd; ++K) {
-          if (SkipZeros && ARow[K] == 0.0)
-            continue;
-          accumulateRow(OutRow, B.row(K), ARow[K], N);
-        }
-      } else {
-        for (size_t K = KK; K < KEnd; ++K) {
-          if (SkipZeros && ARow[K] == 0.0)
-            continue;
-          accumulateRow(OutRow, B.row(K), Alpha * ARow[K], N);
-        }
-      }
-    }
-  }
-}
-
-} // namespace
-
-void kernels::gemm(MatrixView Out, ConstMatrixView A, ConstMatrixView B,
-                   double Alpha, double Beta) {
-  gemmImpl<false>(Out, A, B, Alpha, Beta);
+  runGemmTiled(dispatch().Table->Gemm, Out, A, B, Alpha, Beta,
+               gemmTileCount(A.rows(), B.cols(), A.cols()));
 }
 
 void kernels::gemmSparseAware(MatrixView Out, ConstMatrixView A,
                               ConstMatrixView B, double Alpha, double Beta) {
-  gemmImpl<true>(Out, A, B, Alpha, Beta);
+  assert(A.cols() == B.rows() && "gemm inner dimension mismatch");
+  assert(Out.rows() == A.rows() && Out.cols() == B.cols() &&
+         "gemm output shape mismatch");
+  assert(noAlias(Out, A) && "gemm output aliases A");
+  assert(noAlias(Out, B) && "gemm output aliases B");
+  runGemmTiled(dispatch().Table->GemmSparse, Out, A, B, Alpha, Beta,
+               gemmTileCount(A.rows(), B.cols(), A.cols()));
+}
+
+namespace {
+
+/// Cheap measured-density probe: up to 256 entries sampled at an even
+/// stride over A (deterministic — no RNG). The sparse-aware path pays a
+/// branch per (row, k), which historically breaks even somewhere around a
+/// third of the left operand being exact zeros; probe conservatively.
+bool probeSparse(ConstMatrixView A) {
+  const size_t Rows = A.rows(), Cols = A.cols();
+  const size_t Total = Rows * Cols;
+  if (Total == 0)
+    return false;
+  const size_t Samples = Total < 256 ? Total : 256;
+  size_t Zeros = 0;
+  for (size_t S = 0; S < Samples; ++S) {
+    // Fixed-point stepping so the samples span the whole matrix even when
+    // Total / Samples truncates (e.g. Total = 511).
+    const size_t Idx = S * Total / Samples;
+    if (A(Idx / Cols, Idx % Cols) == 0.0)
+      ++Zeros;
+  }
+  return Zeros * 8 >= Samples * 3; // >= 37.5% sampled zeros.
+}
+
+} // namespace
+
+void kernels::gemmAuto(MatrixView Out, ConstMatrixView A, ConstMatrixView B,
+                       double Alpha, double Beta, DensityHint Hint) {
+  const bool Sparse =
+      Hint == DensityHint::Sparse ||
+      (Hint == DensityHint::Probe && probeSparse(A));
+  if (Sparse)
+    gemmSparseAware(Out, A, B, Alpha, Beta);
+  else
+    gemm(Out, A, B, Alpha, Beta);
 }
 
 void kernels::gemv(VectorView Out, ConstMatrixView M, ConstVectorView V,
@@ -127,14 +420,7 @@ void kernels::gemv(VectorView Out, ConstMatrixView M, ConstVectorView V,
   assert(Out.size() == M.rows() && "gemv output size mismatch");
   assert(noAlias(Out, M) && "gemv output aliases M");
   assert(noAlias(Out, V) && "gemv output aliases V");
-  for (size_t R = 0, E = M.rows(); R < E; ++R) {
-    const double *Row = M.row(R);
-    double Sum = 0.0;
-    for (size_t C = 0, CE = M.cols(); C < CE; ++C)
-      Sum += Row[C] * V[C];
-    Sum *= Alpha;
-    Out[R] = Beta == 0.0 ? Sum : Sum + Beta * Out[R];
-  }
+  dispatch().Table->Gemv(Out, M, V, Alpha, Beta);
 }
 
 void kernels::gemvAbs(VectorView Out, ConstMatrixView M, ConstVectorView V,
@@ -143,34 +429,41 @@ void kernels::gemvAbs(VectorView Out, ConstMatrixView M, ConstVectorView V,
   assert(Out.size() == M.rows() && "gemvAbs output size mismatch");
   assert(noAlias(Out, M) && "gemvAbs output aliases M");
   assert(noAlias(Out, V) && "gemvAbs output aliases V");
-  for (size_t R = 0, E = M.rows(); R < E; ++R) {
-    const double *Row = M.row(R);
-    double Sum = 0.0;
-    for (size_t C = 0, CE = M.cols(); C < CE; ++C)
-      Sum += std::fabs(Row[C]) * V[C];
-    Sum *= Alpha;
-    Out[R] = Beta == 0.0 ? Sum : Sum + Beta * Out[R];
+  size_t Tiles = 1;
+  if (!InKernelTile && M.rows() >= 2 * GemvAbsMinTileRows &&
+      M.rows() * M.cols() >= GemvAbsTileMinElems) {
+    const size_t Workers = kernelThreadCount();
+    const size_t MaxTiles = M.rows() / GemvAbsMinTileRows;
+    Tiles = Workers < MaxTiles ? Workers : MaxTiles;
   }
+  if (Tiles <= 1)
+    dispatch().Table->GemvAbs(Out, M, V, Alpha, Beta);
+  else
+    detail::gemvAbsTiled(Out, M, V, Alpha, Beta, Tiles);
 }
 
 void kernels::axpy(VectorView Y, double A, ConstVectorView X) {
   assert(Y.size() == X.size() && "axpy size mismatch");
   assert(noAlias(Y, X) && "axpy output aliases input");
-  for (size_t I = 0, E = Y.size(); I < E; ++I)
-    Y[I] += A * X[I];
+  dispatch().Table->Axpy(Y, A, X);
 }
 
-void kernels::scale(VectorView X, double A) {
-  for (size_t I = 0, E = X.size(); I < E; ++I)
-    X[I] *= A;
-}
+void kernels::scale(VectorView X, double A) { dispatch().Table->Scale(X, A); }
 
 double kernels::normInf(ConstVectorView X) {
-  double Max = 0.0;
-  for (size_t I = 0, E = X.size(); I < E; ++I)
-    Max = std::max(Max, std::fabs(X[I]));
-  return Max;
+  return dispatch().Table->NormInf(X);
 }
+
+void kernels::rowAbsSumsInto(VectorView Out, ConstMatrixView M, double Beta) {
+  assert(Out.size() == M.rows() && "rowAbsSums output size mismatch");
+  assert(noAlias(Out, M) && "rowAbsSums output aliases input");
+  dispatch().Table->RowAbsSums(Out, M, Beta);
+}
+
+//===----------------------------------------------------------------------===//
+// Non-dispatched kernels (pure data movement — no arithmetic to vectorize
+// beyond what the compiler already does)
+//===----------------------------------------------------------------------===//
 
 void kernels::transposeInto(MatrixView Out, ConstMatrixView In) {
   assert(Out.rows() == In.cols() && Out.cols() == In.rows() &&
@@ -180,18 +473,6 @@ void kernels::transposeInto(MatrixView Out, ConstMatrixView In) {
     const double *Row = In.row(R);
     for (size_t C = 0, CE = In.cols(); C < CE; ++C)
       Out(C, R) = Row[C];
-  }
-}
-
-void kernels::rowAbsSumsInto(VectorView Out, ConstMatrixView M, double Beta) {
-  assert(Out.size() == M.rows() && "rowAbsSums output size mismatch");
-  assert(noAlias(Out, M) && "rowAbsSums output aliases input");
-  for (size_t R = 0, E = M.rows(); R < E; ++R) {
-    const double *Row = M.row(R);
-    double Sum = 0.0;
-    for (size_t C = 0, CE = M.cols(); C < CE; ++C)
-      Sum += std::fabs(Row[C]);
-    Out[R] = Beta == 0.0 ? Sum : Sum + Beta * Out[R];
   }
 }
 

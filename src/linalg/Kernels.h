@@ -11,21 +11,36 @@
 /// wrappers over these.
 ///
 /// Conventions:
-///  - Kernels never allocate. The caller owns every buffer (typically a
-///    result Matrix/Vector or a WorkspaceScope scratch view).
+///  - The serial kernel path never heap-allocates. Scratch (e.g. gemm's
+///    packed B panels) comes from the per-thread Workspace arena, which is
+///    amortized to zero heap traffic after warm-up; every result buffer is
+///    caller-owned. The one exception is the tiled large-kernel path,
+///    which enqueues O(tiles) task closures per call on the kernel pool.
 ///  - Out must not alias any input (asserted in debug builds). Aliased
 ///    updates would read partially written output; use a workspace
 ///    temporary when an in-place product is needed.
 ///  - Every kernel has one fixed operation order (per output element the
 ///    inner dimension is reduced in ascending order with a single
-///    accumulator), so results are deterministic and independent of
-///    blocking, thread count, and call site — the jobs-1-vs-N
-///    byte-identical guarantee of the batch driver rests on this.
+///    accumulator, products rounded individually — no FMA contraction), so
+///    results are deterministic and independent of backend, blocking,
+///    thread count, and call site — the jobs-1-vs-N byte-identical
+///    guarantee of the batch driver rests on this.
 ///  - gemm is dense: no per-element zero test in the inner loop (a branch
 ///    per multiply costs more than the multiply on dense data).
-///    gemmSparseAware keeps the `A(i,k) == 0` row-skip for callers whose
-///    left operand is *structurally* sparse (identity/diagonal/selection
-///    maps, lowered convolutions, sign-split CROWN matrices).
+///    gemmSparseAware keeps the `A(i,k) == 0` skip for callers whose left
+///    operand is *structurally* sparse (identity/diagonal/selection maps,
+///    lowered convolutions, sign-split CROWN matrices); gemmAuto picks
+///    between the two from a caller hint or a cheap measured-density probe
+///    of A.
+///
+/// Backends: each kernel is dispatched once per process to the widest
+/// instruction-set tier the host supports (scalar everywhere, AVX2+FMA,
+/// AVX-512F), overridable for testing via CRAFT_KERNEL_BACKEND=
+/// scalar|avx2|avx512. Large gemm/gemvAbs calls additionally fan output
+/// tiles out across the kernel thread pool (CRAFT_KERNEL_THREADS, default
+/// one per hardware thread; 1 disables). All tiers and tilings produce
+/// byte-identical results on finite data — enforced by the equivalence
+/// suite in tests/test_linalg_kernels.cpp.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,11 +49,36 @@
 
 #include "linalg/Views.h"
 
+#include <cstddef>
+
 namespace craft {
 namespace kernels {
 
-/// Out = Alpha * A * B + Beta * Out (row-major gemm, blocked i-k-j with an
-/// unrolled inner loop). Beta == 0 writes Out without reading it.
+/// The instruction-set tiers a kernel call can dispatch to.
+enum class KernelBackend { Scalar, Avx2, Avx512 };
+
+/// The tier selected for this process (CPUID probe at first kernel use,
+/// overridable via CRAFT_KERNEL_BACKEND; never changes afterwards).
+KernelBackend activeKernelBackend();
+
+/// Stable lower-case name of \p Backend ("scalar", "avx2", "avx512") —
+/// what the CLI logs and the bench JSON records carry.
+const char *kernelBackendName(KernelBackend Backend);
+
+/// Worker count of the kernel thread pool used for tiled gemm/gemvAbs
+/// (1 = kernel-level parallelism disabled).
+size_t kernelThreadCount();
+
+/// Left-operand density hint for gemmAuto.
+enum class DensityHint {
+  Probe, ///< Measure: sample A and pick the cheaper path.
+  Dense, ///< Caller knows A is dense — skip the probe.
+  Sparse ///< Caller knows A is structurally sparse (e.g. sign-split maps).
+};
+
+/// Out = Alpha * A * B + Beta * Out (row-major gemm; packed cache-blocked
+/// column panels, lane-vectorized, column-panel-tiled across the kernel
+/// pool above a size threshold). Beta == 0 writes Out without reading it.
 void gemm(MatrixView Out, ConstMatrixView A, ConstMatrixView B,
           double Alpha = 1.0, double Beta = 0.0);
 
@@ -47,6 +87,14 @@ void gemm(MatrixView Out, ConstMatrixView A, ConstMatrixView B,
 /// the dense kernel on finite data.
 void gemmSparseAware(MatrixView Out, ConstMatrixView A, ConstMatrixView B,
                      double Alpha = 1.0, double Beta = 0.0);
+
+/// gemm that picks the dense or sparse-aware path itself: from \p Hint
+/// when the caller knows A's structure, otherwise from a cheap strided
+/// sample of A's entries. Results are identical either way on finite
+/// data; only throughput differs.
+void gemmAuto(MatrixView Out, ConstMatrixView A, ConstMatrixView B,
+              double Alpha = 1.0, double Beta = 0.0,
+              DensityHint Hint = DensityHint::Probe);
 
 /// Out = Alpha * M * V + Beta * Out. Beta == 0 writes Out without reading
 /// it.

@@ -1,0 +1,26 @@
+//===- linalg/KernelsAvx2.cpp - AVX2 kernel backend -----------------------===//
+//
+// The generic kernel bodies at lane width four. This TU is the only one
+// built with -mavx2 -mfma (see src/CMakeLists.txt); the dispatcher only
+// selects the table after a runtime CPUID check, so the rest of the binary
+// stays runnable on baseline x86-64. When the toolchain cannot target AVX2
+// the TU compiles to nothing and the dispatcher never references it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/KernelBackends.h"
+
+#if CRAFT_KERNELS_HAVE_AVX2 && defined(__AVX2__) && defined(__FMA__)
+
+#include "linalg/KernelsGeneric.h"
+
+using namespace craft;
+using namespace craft::kernels;
+
+const KernelTable &kernels::avx2KernelTable() {
+  static const KernelTable Table =
+      generic::makeKernelTable<simd::Lane<simd::Avx2Tag>>();
+  return Table;
+}
+
+#endif // CRAFT_KERNELS_HAVE_AVX2 && __AVX2__ && __FMA__

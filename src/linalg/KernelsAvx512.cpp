@@ -1,0 +1,25 @@
+//===- linalg/KernelsAvx512.cpp - AVX-512F kernel backend -----------------===//
+//
+// The generic kernel bodies at lane width eight. This TU is the only one
+// built with -mavx512f (see src/CMakeLists.txt); selection happens behind
+// a runtime CPUID check, so shipping the code costs nothing on narrower
+// machines.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/KernelBackends.h"
+
+#if CRAFT_KERNELS_HAVE_AVX512 && defined(__AVX512F__)
+
+#include "linalg/KernelsGeneric.h"
+
+using namespace craft;
+using namespace craft::kernels;
+
+const KernelTable &kernels::avx512KernelTable() {
+  static const KernelTable Table =
+      generic::makeKernelTable<simd::Lane<simd::Avx512Tag>>();
+  return Table;
+}
+
+#endif // CRAFT_KERNELS_HAVE_AVX512 && __AVX512F__

@@ -1,0 +1,19 @@
+//===- linalg/KernelsScalar.cpp - Portable scalar kernel backend ----------===//
+//
+// The always-available fallback tier: the generic kernel bodies at lane
+// width one. Built with -ffp-contract=off like every backend TU, so its
+// operation-for-operation rounding is the reference the SIMD tiers must
+// reproduce byte-for-byte.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/KernelsGeneric.h"
+
+using namespace craft;
+using namespace craft::kernels;
+
+const KernelTable &kernels::scalarKernelTable() {
+  static const KernelTable Table =
+      generic::makeKernelTable<simd::Lane<simd::ScalarTag>>();
+  return Table;
+}

@@ -1,0 +1,118 @@
+//===- linalg/Simd.h - SIMD lane abstraction for kernel backends *- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lane abstraction the generic kernel bodies (KernelsGeneric.h) are
+/// written against: one `Lane` specialization per instruction set (scalar,
+/// AVX2+FMA, AVX-512F), each exposing the same elementwise vocabulary over
+/// a register of `Width` doubles.
+///
+/// Determinism vocabulary: only *elementwise* operations are exposed — no
+/// fused multiply-add and no horizontal reductions. Every lane op rounds
+/// exactly like the corresponding scalar expression, so a kernel body
+/// instantiated at Width 1, 4, or 8 performs the same rounded operation
+/// sequence per output element, and all backends produce byte-identical
+/// results (the TUs are additionally built with -ffp-contract=off so the
+/// compiler cannot re-fuse mul+add behind our back).
+///
+/// Each ISA specialization is guarded by the compiler's own feature macros:
+/// a translation unit only sees the lanes its -m flags enable, which is
+/// what keeps AVX code out of the scalar-fallback TU.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_LINALG_SIMD_H
+#define CRAFT_LINALG_SIMD_H
+
+#include <cmath>
+#include <cstddef>
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace craft {
+namespace simd {
+
+struct ScalarTag {};
+struct Avx2Tag {};
+struct Avx512Tag {};
+
+template <class Tag> struct Lane;
+
+/// Width-1 "vector": the portable fallback. The generic kernel bodies
+/// instantiated with this lane are the scalar backend — same code path,
+/// same operation order, one element at a time.
+template <> struct Lane<ScalarTag> {
+  using Reg = double;
+  static constexpr size_t Width = 1;
+
+  static Reg zero() { return 0.0; }
+  static Reg set1(double X) { return X; }
+  static Reg loadu(const double *P) { return *P; }
+  static void storeu(double *P, Reg V) { *P = V; }
+  static Reg add(Reg A, Reg B) { return A + B; }
+  static Reg mul(Reg A, Reg B) { return A * B; }
+  static Reg abs(Reg V) { return std::fabs(V); }
+  /// max with maxpd semantics (second operand wins on ties); exact for the
+  /// nonnegative finite values normInf feeds it.
+  static Reg max(Reg A, Reg B) { return A > B ? A : B; }
+  /// Lane L = P[L * Stride] (the row-lane gather of gemv/gemvAbs).
+  static Reg loadStrided(const double *P, size_t Stride) {
+    (void)Stride;
+    return *P;
+  }
+};
+
+#if defined(__AVX2__) && defined(__FMA__)
+/// 4 x double AVX lanes (AVX2+FMA tier; the FMA requirement is a dispatch
+/// policy — the ops themselves stay unfused mul/add by contract).
+template <> struct Lane<Avx2Tag> {
+  using Reg = __m256d;
+  static constexpr size_t Width = 4;
+
+  static Reg zero() { return _mm256_setzero_pd(); }
+  static Reg set1(double X) { return _mm256_set1_pd(X); }
+  static Reg loadu(const double *P) { return _mm256_loadu_pd(P); }
+  static void storeu(double *P, Reg V) { _mm256_storeu_pd(P, V); }
+  static Reg add(Reg A, Reg B) { return _mm256_add_pd(A, B); }
+  static Reg mul(Reg A, Reg B) { return _mm256_mul_pd(A, B); }
+  static Reg abs(Reg V) {
+    return _mm256_andnot_pd(_mm256_set1_pd(-0.0), V);
+  }
+  static Reg max(Reg A, Reg B) { return _mm256_max_pd(A, B); }
+  static Reg loadStrided(const double *P, size_t Stride) {
+    return _mm256_set_pd(P[3 * Stride], P[2 * Stride], P[Stride], P[0]);
+  }
+};
+#endif // __AVX2__ && __FMA__
+
+#if defined(__AVX512F__)
+/// 8 x double AVX-512F lanes.
+template <> struct Lane<Avx512Tag> {
+  using Reg = __m512d;
+  static constexpr size_t Width = 8;
+
+  static Reg zero() { return _mm512_setzero_pd(); }
+  static Reg set1(double X) { return _mm512_set1_pd(X); }
+  static Reg loadu(const double *P) { return _mm512_loadu_pd(P); }
+  static void storeu(double *P, Reg V) { _mm512_storeu_pd(P, V); }
+  static Reg add(Reg A, Reg B) { return _mm512_add_pd(A, B); }
+  static Reg mul(Reg A, Reg B) { return _mm512_mul_pd(A, B); }
+  static Reg abs(Reg V) { return _mm512_abs_pd(V); }
+  static Reg max(Reg A, Reg B) { return _mm512_max_pd(A, B); }
+  static Reg loadStrided(const double *P, size_t Stride) {
+    return _mm512_set_pd(P[7 * Stride], P[6 * Stride], P[5 * Stride],
+                         P[4 * Stride], P[3 * Stride], P[2 * Stride],
+                         P[Stride], P[0]);
+  }
+};
+#endif // __AVX512F__
+
+} // namespace simd
+} // namespace craft
+
+#endif // CRAFT_LINALG_SIMD_H

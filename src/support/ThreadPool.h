@@ -72,6 +72,24 @@ private:
   std::exception_ptr FirstError;
 };
 
+/// A contiguous half-open index range (one part of a static partition).
+struct IndexRange {
+  size_t Begin = 0;
+  size_t End = 0;
+  size_t size() const { return End - Begin; }
+};
+
+/// Part \p Part of the static partition of [0, N) into \p Parts contiguous
+/// ranges whose sizes differ by at most one. Pure arithmetic on
+/// (N, Parts, Part) — identical for every call, thread, and machine — so
+/// work fanned out by partition index is deterministic by construction
+/// (the kernel layer's tiled gemm/gemvAbs rest on this).
+inline IndexRange staticPartition(size_t N, size_t Parts, size_t Part) {
+  const size_t Base = N / Parts, Rem = N % Parts;
+  const size_t Begin = Part * Base + (Part < Rem ? Part : Rem);
+  return {Begin, Begin + Base + (Part < Rem ? 1 : 0)};
+}
+
 /// Runs Fn(I) for every I in [0, N) on \p Jobs workers (<= 0 = all
 /// hardware threads; <= 1 or N <= 1 runs inline on the caller). Blocks
 /// until all indices finish and rethrows the first task exception. Callers

@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "linalg/KernelBackends.h"
 #include "linalg/Kernels.h"
 #include "linalg/Views.h"
 #include "linalg/Workspace.h"
@@ -17,6 +18,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 using namespace craft;
 
@@ -57,7 +60,8 @@ Matrix refMatmul(const Matrix &A, const Matrix &B) {
 
 TEST(Gemm, MatchesReferenceProduct) {
   Rng R(7);
-  // 150 exceeds the kernel's K tile, exercising the blocked path.
+  // Odd extents on purpose: 33 rows exercise the microtile row remainder
+  // and 41 columns the lane remainder of the packed panel.
   Matrix A = randomMatrix(R, 33, 150);
   Matrix B = randomMatrix(R, 150, 41);
   Matrix Out(33, 41);
@@ -339,6 +343,244 @@ TEST(Workspace, ZeroSizedRequests) {
   EXPECT_TRUE(V.empty());
   MatrixView M = WS.matrix(0, 5);
   EXPECT_TRUE(M.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Backend equivalence: scalar vs dispatched SIMD vs ThreadPool-tiled
+//===----------------------------------------------------------------------===//
+
+// Every compiled-and-runnable backend table must produce byte-identical
+// outputs to the scalar reference table — same per-element reduction
+// order, no FMA contraction — on random, strided, unaligned-offset, and
+// zero-dimension views. Byte-identical means bit patterns, not ==: these
+// helpers memcmp, so a -0.0 vs +0.0 divergence fails too.
+
+void expectBitEqual(ConstMatrixView A, ConstMatrixView B) {
+  ASSERT_EQ(A.rows(), B.rows());
+  ASSERT_EQ(A.cols(), B.cols());
+  if (A.empty())
+    return; // memcmp on empty views would pass null pointers (UB).
+  for (size_t R = 0; R < A.rows(); ++R)
+    EXPECT_EQ(0, std::memcmp(A.row(R), B.row(R), A.cols() * sizeof(double)))
+        << "row " << R << " differs";
+}
+
+void expectBitEqual(ConstVectorView A, ConstVectorView B) {
+  ASSERT_EQ(A.size(), B.size());
+  if (A.empty())
+    return;
+  EXPECT_EQ(0, std::memcmp(A.data(), B.data(), A.size() * sizeof(double)));
+}
+
+std::vector<kernels::KernelBackend> availableBackends() {
+  std::vector<kernels::KernelBackend> Backends;
+  for (auto B : {kernels::KernelBackend::Scalar, kernels::KernelBackend::Avx2,
+                 kernels::KernelBackend::Avx512})
+    if (kernels::kernelTableFor(B))
+      Backends.push_back(B);
+  return Backends;
+}
+
+class BackendEquivalence
+    : public ::testing::TestWithParam<kernels::KernelBackend> {
+protected:
+  const kernels::KernelTable &Table =
+      *kernels::kernelTableFor(GetParam());
+  const kernels::KernelTable &Ref =
+      *kernels::kernelTableFor(kernels::KernelBackend::Scalar);
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, BackendEquivalence, ::testing::ValuesIn(availableBackends()),
+    [](const ::testing::TestParamInfo<kernels::KernelBackend> &Info) {
+      return kernels::kernelBackendName(Info.param);
+    });
+
+TEST_P(BackendEquivalence, GemmBitwiseMatchesScalar) {
+  Rng R(101);
+  const struct {
+    size_t M, K, N;
+  } Shapes[] = {{1, 1, 1},   {3, 5, 2},    {7, 13, 5},  {33, 150, 41},
+                {64, 64, 64}, {4, 48, 96}, {5, 3, 200}, {87, 87, 174}};
+  const struct {
+    double Alpha, Beta;
+  } Coeffs[] = {{1.0, 0.0}, {2.0, 0.5}, {1.0, 1.0}, {-0.25, 2.0}};
+  for (const auto &S : Shapes) {
+    Matrix A = randomMatrix(R, S.M, S.K);
+    Matrix B = randomMatrix(R, S.K, S.N);
+    for (const auto &C : Coeffs) {
+      Matrix Prior = randomMatrix(R, S.M, S.N);
+      Matrix OutRef = Prior, Out = Prior;
+      Ref.Gemm(OutRef, A, B, C.Alpha, C.Beta);
+      Table.Gemm(Out, A, B, C.Alpha, C.Beta);
+      expectBitEqual(Out, OutRef);
+      OutRef = Prior;
+      Out = Prior;
+      Ref.GemmSparse(OutRef, A, B, C.Alpha, C.Beta);
+      Table.GemmSparse(Out, A, B, C.Alpha, C.Beta);
+      expectBitEqual(Out, OutRef);
+    }
+  }
+}
+
+TEST_P(BackendEquivalence, GemmStridedUnalignedViews) {
+  Rng R(102);
+  // Operands and destination carved out of larger parents at column
+  // offset 1: every row pointer is 8-byte-aligned but not 16/32/64-byte
+  // aligned, and every view is strided.
+  Matrix AParent = randomMatrix(R, 30, 60);
+  Matrix BParent = randomMatrix(R, 40, 90);
+  ConstMatrixView A = ConstMatrixView(AParent).block(1, 1, 23, 37);
+  ConstMatrixView B = ConstMatrixView(BParent).block(2, 1, 37, 83);
+  Matrix OutRefParent(25, 90, -7.0), OutParent(25, 90, -7.0);
+  Ref.Gemm(MatrixView(OutRefParent).block(1, 1, 23, 83), A, B, 1.5, 0.0);
+  Table.Gemm(MatrixView(OutParent).block(1, 1, 23, 83), A, B, 1.5, 0.0);
+  // Whole-parent comparison: identical results and untouched surroundings.
+  expectBitEqual(OutParent, OutRefParent);
+}
+
+TEST_P(BackendEquivalence, GemmZeroDimensions) {
+  Matrix Out(4, 3, 7.0), OutRef(4, 3, 7.0);
+  Table.Gemm(Out, Matrix(4, 0), Matrix(0, 3), 1.0, 0.0);
+  Ref.Gemm(OutRef, Matrix(4, 0), Matrix(0, 3), 1.0, 0.0);
+  expectBitEqual(Out, OutRef);
+  EXPECT_EQ(Out.maxAbs(), 0.0); // K = 0, beta = 0: zeros, not garbage.
+  Matrix Empty(0, 3), EmptyRef(0, 3);
+  Table.Gemm(Empty, Matrix(0, 5), Matrix(5, 3), 1.0, 0.0);
+  Matrix NoCols(3, 0);
+  Table.Gemm(NoCols, Matrix(3, 5), Matrix(5, 0), 1.0, 0.0);
+  SUCCEED();
+}
+
+TEST_P(BackendEquivalence, GemvFamilyBitwiseMatchesScalar) {
+  Rng R(103);
+  for (size_t Rows : {1u, 2u, 3u, 5u, 8u, 9u, 31u, 87u})
+    for (size_t Cols : {1u, 4u, 17u, 64u}) {
+      Matrix M = randomMatrix(R, Rows, Cols);
+      Vector V = randomVector(R, Cols);
+      Vector Prior = randomVector(R, Rows);
+      for (double Beta : {0.0, 1.0, -0.5}) {
+        Vector OutRef = Prior, Out = Prior;
+        Ref.Gemv(OutRef, M, V, 1.25, Beta);
+        Table.Gemv(Out, M, V, 1.25, Beta);
+        expectBitEqual(Out, OutRef);
+        OutRef = Prior;
+        Out = Prior;
+        Ref.GemvAbs(OutRef, M, V, 1.25, Beta);
+        Table.GemvAbs(Out, M, V, 1.25, Beta);
+        expectBitEqual(Out, OutRef);
+        OutRef = Prior;
+        Out = Prior;
+        Ref.RowAbsSums(OutRef, M, Beta);
+        Table.RowAbsSums(Out, M, Beta);
+        expectBitEqual(Out, OutRef);
+      }
+      // Strided matrix operand (column sub-range of a wider parent).
+      if (Cols >= 4) {
+        ConstMatrixView MV = ConstMatrixView(M).colRange(1, Cols - 2);
+        Vector VS = randomVector(R, Cols - 2);
+        Vector OutRef = Prior, Out = Prior;
+        Ref.GemvAbs(OutRef, MV, VS, 1.0, 0.0);
+        Table.GemvAbs(Out, MV, VS, 1.0, 0.0);
+        expectBitEqual(Out, OutRef);
+      }
+    }
+  // Zero-dimension edges.
+  Vector Empty, EmptyRef;
+  Table.Gemv(Empty, Matrix(), Vector(), 1.0, 0.0);
+  Vector Out3(3, 5.0), Out3Ref(3, 5.0);
+  Table.Gemv(Out3, Matrix(3, 0), Vector(), 1.0, 0.0);
+  Ref.Gemv(Out3Ref, Matrix(3, 0), Vector(), 1.0, 0.0);
+  expectBitEqual(Out3, Out3Ref);
+}
+
+TEST_P(BackendEquivalence, VectorKernelsBitwiseMatchScalar) {
+  Rng R(104);
+  for (size_t N : {0u, 1u, 3u, 4u, 7u, 8u, 9u, 64u, 201u}) {
+    Vector X = randomVector(R, N);
+    Vector YRef = randomVector(R, N);
+    Vector Y = YRef;
+    Ref.Axpy(YRef, -2.5, X);
+    Table.Axpy(Y, -2.5, X);
+    expectBitEqual(Y, YRef);
+
+    Vector SRef = X, S = X;
+    Ref.Scale(SRef, 0.3);
+    Table.Scale(S, 0.3);
+    expectBitEqual(S, SRef);
+
+    const double MaxRef = Ref.NormInf(X);
+    const double Max = Table.NormInf(X);
+    EXPECT_EQ(0, std::memcmp(&Max, &MaxRef, sizeof(double)));
+  }
+}
+
+// The ThreadPool-tiled paths must be byte-identical to the untiled active
+// backend for every tile count — the partition never changes any
+// per-element reduction order.
+TEST(TiledKernels, GemmTiledBitwiseMatchesUntiled) {
+  Rng R(105);
+  Matrix A = randomMatrix(R, 33, 70);
+  Matrix B = randomMatrix(R, 70, 131);
+  Matrix Prior = randomMatrix(R, 33, 131);
+  Matrix Untiled = Prior;
+  kernels::gemm(Untiled, A, B, 1.5, 0.5);
+  for (size_t Tiles : {2u, 3u, 7u, 200u}) { // 200 > cols: empty tails.
+    Matrix Out = Prior;
+    kernels::detail::gemmTiled(Out, A, B, 1.5, 0.5, Tiles);
+    expectBitEqual(Out, Untiled);
+  }
+}
+
+TEST(TiledKernels, GemvAbsTiledBitwiseMatchesUntiled) {
+  Rng R(106);
+  Matrix M = randomMatrix(R, 131, 40);
+  Vector V = randomVector(R, 40);
+  Vector Prior = randomVector(R, 131);
+  Vector Untiled = Prior;
+  kernels::gemvAbs(Untiled, M, V, 2.0, 1.0);
+  for (size_t Tiles : {2u, 5u, 131u, 500u}) {
+    Vector Out = Prior;
+    kernels::detail::gemvAbsTiled(Out, M, V, 2.0, 1.0, Tiles);
+    expectBitEqual(Out, Untiled);
+  }
+}
+
+TEST(GemmAuto, AllHintsBitwiseMatchExplicitKernels) {
+  Rng R(107);
+  // Dense left operand.
+  Matrix ADense = randomMatrix(R, 20, 30);
+  // Structurally sparse left operand (sign-split-like 2/3 zeros).
+  Matrix ASparse = ADense;
+  for (size_t I = 0; I < ASparse.rows(); ++I)
+    for (size_t J = 0; J < ASparse.cols(); ++J)
+      if ((I + J) % 3 != 0)
+        ASparse(I, J) = 0.0;
+  Matrix B = randomMatrix(R, 30, 17);
+  for (const Matrix *A : {&ADense, &ASparse}) {
+    Matrix Expect(20, 17);
+    kernels::gemm(Expect, *A, B);
+    for (auto Hint : {kernels::DensityHint::Probe, kernels::DensityHint::Dense,
+                      kernels::DensityHint::Sparse}) {
+      Matrix Out(20, 17);
+      kernels::gemmAuto(Out, *A, B, 1.0, 0.0, Hint);
+      expectBitEqual(Out, Expect);
+    }
+  }
+}
+
+TEST(BackendDispatch, ActiveBackendIsRunnableAndPublicApiUsesIt) {
+  const kernels::KernelBackend Active = kernels::activeKernelBackend();
+  ASSERT_NE(kernels::kernelTableFor(Active), nullptr);
+  EXPECT_STRNE(kernels::kernelBackendName(Active), "unknown");
+  EXPECT_GE(kernels::kernelThreadCount(), 1u);
+  // The public entry points route through the active table.
+  Rng R(108);
+  Matrix A = randomMatrix(R, 9, 11), B = randomMatrix(R, 11, 13);
+  Matrix ViaPublic(9, 13), ViaTable(9, 13);
+  kernels::gemm(ViaPublic, A, B);
+  kernels::kernelTableFor(Active)->Gemm(ViaTable, A, B, 1.0, 0.0);
+  expectBitEqual(ViaPublic, ViaTable);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json perf records against a checked-in baseline.
+
+The bench harnesses (bench_micro_domain_ops, bench_table2_certification)
+emit {op, dims, ns_per_op, allocs_per_op, backend} records (see
+bench/BenchJson.h). This tool matches current records to baseline records
+by (op, dims) and fails when any matched op regressed by more than the
+threshold factor in ns/op — the regression gate of the bench-smoke CI job.
+
+Only (op, dims) pairs present in both files are compared, so adding or
+removing benchmarks never breaks the gate; drops are listed so silent
+coverage loss is visible. Records whose backend field differs between
+baseline and current are reported but NOT gated by default — timings
+across ISAs are not comparable (a baseline taken on an AVX-512 host
+would fail every run on an AVX2 runner through no fault of the change
+under test). Pass --gate-backend-mismatch to gate them anyway, and
+refresh the baseline with --update when the reference machine changes.
+
+Usage:
+  bench_compare.py BASELINE CURRENT [CURRENT...] [--threshold 1.3]
+  bench_compare.py BASELINE CURRENT [CURRENT...] --update
+
+Exit status: 0 = no regression, 1 = regression past threshold,
+2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    """Returns {(op, dims): record} from one BENCH_*.json file."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    records = {}
+    for rec in data.get("benchmarks", []):
+        key = (rec.get("op", ""), rec.get("dims", ""))
+        records[key] = rec
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate BENCH_*.json records against a baseline.")
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument("current", nargs="+",
+                        help="freshly produced BENCH_*.json file(s)")
+    parser.add_argument("--threshold", type=float, default=1.3,
+                        help="fail when current/baseline ns_per_op exceeds "
+                             "this factor (default 1.3)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current files "
+                             "instead of gating")
+    parser.add_argument("--gate-backend-mismatch", action="store_true",
+                        help="apply the threshold even when a record's "
+                             "kernel backend differs from the baseline's "
+                             "(off by default: cross-ISA timings are not "
+                             "comparable)")
+    args = parser.parse_args()
+
+    current = {}
+    for path in args.current:
+        current.update(load_records(path))
+
+    if args.update:
+        records = [current[key] for key in sorted(current)]
+        with open(args.baseline, "w") as f:
+            json.dump({"benchmarks": records}, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.baseline} ({len(records)} records)")
+        return 0
+
+    baseline = load_records(args.baseline)
+    compared = sorted(set(baseline) & set(current))
+    if not compared:
+        print("error: no (op, dims) pairs in common between baseline and "
+              "current records", file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max(len(f"{op}/{dims}") for op, dims in compared)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  "
+          f"{'ratio':>7}")
+    for key in compared:
+        op, dims = key
+        base_ns = baseline[key].get("ns_per_op", 0.0)
+        cur_ns = current[key].get("ns_per_op", 0.0)
+        if base_ns <= 0.0 or cur_ns <= 0.0:
+            continue  # Empty rows (e.g. zero accurate samples).
+        ratio = cur_ns / base_ns
+        base_backend = baseline[key].get("backend")
+        cur_backend = current[key].get("backend")
+        mismatch = (base_backend and cur_backend
+                    and base_backend != cur_backend)
+        flag = ""
+        if ratio > args.threshold:
+            if mismatch and not args.gate_backend_mismatch:
+                flag = "  (not gated: cross-ISA)"
+            else:
+                regressions.append((f"{op}/{dims}", ratio))
+                flag = "  << REGRESSION"
+        if mismatch:
+            flag += f"  (backend {base_backend} -> {cur_backend})"
+        print(f"{op + '/' + dims:<{width}}  {base_ns:>12.0f}  "
+              f"{cur_ns:>12.0f}  {ratio:>6.2f}x{flag}")
+
+    for key in sorted(set(baseline) - set(current)):
+        print(f"note: baseline record {key[0]}/{key[1]} missing from "
+              f"current run")
+    for key in sorted(set(current) - set(baseline)):
+        print(f"note: new record {key[0]}/{key[1]} not in baseline "
+              f"(add it with --update)")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed past "
+              f"{args.threshold}x:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(compared)} benchmark(s) within {args.threshold}x "
+          f"of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,8 @@
 
 #include "tool/Driver.h"
 
+#include "linalg/Kernels.h"
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -139,6 +141,13 @@ bool parseJobs(const char *Digits, int &Jobs) {
 int main(int Argc, char **Argv) {
   if (Argc < 2)
     return usage();
+  // One startup line on stderr (stdout stays machine-parseable): which
+  // kernel tier this process dispatched to, so perf reports are
+  // attributable to the ISA in use.
+  std::fprintf(stderr, "craft: kernel backend %s, %zu kernel thread%s\n",
+               kernels::kernelBackendName(kernels::activeKernelBackend()),
+               kernels::kernelThreadCount(),
+               kernels::kernelThreadCount() == 1 ? "" : "s");
   if (std::strcmp(Argv[1], "verify") == 0) {
     int Jobs = 1;
     std::vector<std::string> Files;
