@@ -32,6 +32,10 @@ struct Record {
   std::string Dims;
   double NsPerOp = 0.0;
   double AllocsPerOp = 0.0;
+  /// Serve records only: fraction of queries answered from the
+  /// ResultCache in [0, 1]. Negative = not applicable (omitted from the
+  /// JSON); bench_compare.py gates it against the baseline when present.
+  double CacheHitRate = -1.0;
   /// Kernel backend the run dispatched to; defaults to the active tier.
   std::string Backend = kernels::kernelBackendName(
       kernels::activeKernelBackend());
@@ -48,10 +52,12 @@ inline void write(const char *Path, const std::vector<Record> &Records) {
     const Record &R = Records[I];
     std::fprintf(F,
                  "    {\"op\": \"%s\", \"dims\": \"%s\", "
-                 "\"ns_per_op\": %.3f, \"allocs_per_op\": %.3f, "
-                 "\"backend\": \"%s\"}%s\n",
-                 R.Op.c_str(), R.Dims.c_str(), R.NsPerOp, R.AllocsPerOp,
-                 R.Backend.c_str(), I + 1 < Records.size() ? "," : "");
+                 "\"ns_per_op\": %.3f, \"allocs_per_op\": %.3f, ",
+                 R.Op.c_str(), R.Dims.c_str(), R.NsPerOp, R.AllocsPerOp);
+    if (R.CacheHitRate >= 0.0)
+      std::fprintf(F, "\"cache_hit_rate\": %.4f, ", R.CacheHitRate);
+    std::fprintf(F, "\"backend\": \"%s\"}%s\n", R.Backend.c_str(),
+                 I + 1 < Records.size() ? "," : "");
   }
   std::fprintf(F, "  ]\n}\n");
   std::fclose(F);

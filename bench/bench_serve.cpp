@@ -1,0 +1,243 @@
+//===- bench/bench_serve.cpp - Serve daemon load generator ----------------===//
+//
+// Load generator for the `craft serve` subsystem: starts an in-process
+// daemon on an ephemeral TCP port, fans CRAFT_SERVE_CLIENTS client
+// threads (default 4) out over real loopback connections, and measures
+// per-request latency in two phases over CRAFT_SERVE_QUERIES distinct
+// queries (default 32, one `input` block each, all against one model):
+//
+//   cold  every query seen for the first time — full verification cost,
+//         amortized model load, admission batching across clients;
+//   hot   the identical queries again — served from the ResultCache.
+//
+// Reports mean/p50/p95/p99 latency and aggregate throughput per phase
+// plus the hot-phase cache hit rate, prints a table, and emits
+// BENCH_serve.json in the shared BenchJson schema (latency records carry
+// ns_per_op; throughput records encode ns per request, so lower is
+// better everywhere and bench_compare.py gates them uniformly; the
+// serve_hot_mean record carries the hit rate). The serve acceptance bar
+// — cache hits >= 5x faster than cold on average — is checked at the
+// end and reflected in the exit code, which is what lets CI catch a
+// cache regression that would silently turn hits into recomputes.
+//
+// CRAFT_SERVE_JOBS sizes the daemon's verification pool (default 0 =
+// all hardware threads).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+
+#include "nn/MonDeq.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+#include "support/Rng.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace craft;
+using namespace craft::serve;
+
+namespace {
+
+int envInt(const char *Name, int Default) {
+  const char *V = std::getenv(Name);
+  return V && *V ? std::atoi(V) : Default;
+}
+
+struct PhaseStats {
+  double MeanNs = 0.0, P50Ns = 0.0, P95Ns = 0.0, P99Ns = 0.0;
+  double ThroughputNsPerReq = 0.0; ///< Wall time / requests (aggregate).
+  double HitRate = 0.0;
+};
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t Idx = static_cast<size_t>(P * (Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+/// Runs one phase: every client thread sends its share of the queries
+/// over its own connection, timing each round trip.
+PhaseStats runPhase(int Port, const std::vector<std::string> &SpecTexts,
+                    size_t Clients) {
+  std::vector<double> Latencies(SpecTexts.size(), 0.0);
+  std::vector<int> Cached(SpecTexts.size(), 0);
+  std::vector<int> Failed(Clients, 0);
+  WallTimer Wall;
+  std::vector<std::thread> Threads;
+  for (size_t C = 0; C < Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      ServeClient Client;
+      std::string Error;
+      if (!Client.connect(Port, Error)) {
+        Failed[C] = 1;
+        return;
+      }
+      for (size_t I = C; I < SpecTexts.size(); I += Clients) {
+        WallTimer T;
+        std::optional<VerifyReply> Reply =
+            Client.verify(SpecTexts[I], Error);
+        Latencies[I] = T.seconds() * 1e9;
+        if (!Reply || Reply->Results.empty()) {
+          Failed[C] = 1;
+          return;
+        }
+        Cached[I] = Reply->Results[0].Cached ? 1 : 0;
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  const double WallSec = Wall.seconds();
+  for (size_t C = 0; C < Clients; ++C)
+    if (Failed[C]) {
+      std::fprintf(stderr, "error: client %zu failed its phase\n", C);
+      std::exit(2);
+    }
+
+  PhaseStats S;
+  double Sum = 0.0;
+  size_t Hits = 0;
+  for (size_t I = 0; I < Latencies.size(); ++I) {
+    Sum += Latencies[I];
+    Hits += Cached[I];
+  }
+  S.MeanNs = Sum / Latencies.size();
+  std::vector<double> Sorted = Latencies;
+  std::sort(Sorted.begin(), Sorted.end());
+  S.P50Ns = percentile(Sorted, 0.50);
+  S.P95Ns = percentile(Sorted, 0.95);
+  S.P99Ns = percentile(Sorted, 0.99);
+  S.ThroughputNsPerReq = WallSec * 1e9 / Latencies.size();
+  S.HitRate = static_cast<double>(Hits) / Latencies.size();
+  return S;
+}
+
+} // namespace
+
+int main() {
+  const size_t Clients =
+      static_cast<size_t>(std::max(1, envInt("CRAFT_SERVE_CLIENTS", 4)));
+  const size_t Queries =
+      static_cast<size_t>(std::max(1, envInt("CRAFT_SERVE_QUERIES", 32)));
+  const int Jobs = envInt("CRAFT_SERVE_JOBS", 0);
+
+  // One synthetic model for every query: the registry pins it after the
+  // first load, so the cold phase already amortizes model IO. Untrained
+  // weights are fine — the phase contrast measures verification cost vs
+  // cache lookup, not certification rates.
+  Rng ModelRng(20230617);
+  MonDeq Model = MonDeq::randomFc(ModelRng, 10, 30, 4, 3.0);
+  const std::string ModelPath = "serve_bench_model.bin";
+  if (!Model.save(ModelPath)) {
+    std::fprintf(stderr, "error: cannot write %s\n", ModelPath.c_str());
+    return 2;
+  }
+
+  // Distinct queries: deterministic centers, one input block per spec
+  // text so each request measures one query's round trip.
+  Rng CenterRng(7);
+  std::vector<std::string> SpecTexts;
+  SpecTexts.reserve(Queries);
+  for (size_t Q = 0; Q < Queries; ++Q) {
+    // += pieces, not a `+` chain: GCC 12 -Wrestrict misfires on string
+    // operator+ chains (same workaround as the spec parser and fig2).
+    std::string S = "model ";
+    S += ModelPath;
+    S += "\noutput robust 0\nverifier craft\nalpha1 0.5\n"
+         "epsilon 0.01\ninput linf\n  center";
+    char Buf[32];
+    for (size_t I = 0; I < Model.inputDim(); ++I) {
+      std::snprintf(Buf, sizeof(Buf), " %.17g",
+                    0.25 + 0.5 * CenterRng.uniform());
+      S += Buf;
+    }
+    S += "\n";
+    SpecTexts.push_back(std::move(S));
+  }
+
+  ServerOptions Opts;
+  Opts.Port = 0;
+  Opts.Sched.Jobs = Jobs == 0 ? -1 : Jobs;
+  Opts.Sched.MaxBatch = 64;
+  Server Daemon(Opts);
+  std::string Error;
+  if (!Daemon.start(Error)) {
+    std::fprintf(stderr, "error: cannot start daemon: %s\n",
+                 Error.c_str());
+    return 2;
+  }
+  std::printf("bench_serve: %zu clients x %zu queries, jobs=%d, "
+              "port=%d\n",
+              Clients, Queries, Jobs, Daemon.boundPort());
+
+  PhaseStats Cold = runPhase(Daemon.boundPort(), SpecTexts, Clients);
+  if (Cold.HitRate != 0.0) {
+    std::fprintf(stderr, "error: cold phase saw cache hits (%.2f)\n",
+                 Cold.HitRate);
+    return 2;
+  }
+  PhaseStats Hot = runPhase(Daemon.boundPort(), SpecTexts, Clients);
+
+  Daemon.shutdown();
+  std::remove(ModelPath.c_str());
+
+  auto Ms = [](double Ns) { return Ns / 1e6; };
+  std::printf("\n%-10s %10s %10s %10s %10s %12s %8s\n", "phase", "mean",
+              "p50", "p95", "p99", "req/s", "hits");
+  for (const auto &[Name, S] :
+       {std::pair<const char *, const PhaseStats &>{"cold", Cold},
+        {"hot", Hot}})
+    std::printf("%-10s %8.3fms %8.3fms %8.3fms %8.3fms %12.0f %7.0f%%\n",
+                Name, Ms(S.MeanNs), Ms(S.P50Ns), Ms(S.P95Ns),
+                Ms(S.P99Ns), 1e9 / S.ThroughputNsPerReq,
+                100.0 * S.HitRate);
+
+  std::string Dims = "c";
+  Dims += std::to_string(Clients);
+  Dims += 'q';
+  Dims += std::to_string(Queries);
+  std::vector<benchjson::Record> Records;
+  auto addRecord = [&](const char *Op, double Ns, double HitRate = -1.0) {
+    benchjson::Record R;
+    R.Op = Op;
+    R.Dims = Dims;
+    R.NsPerOp = Ns;
+    R.CacheHitRate = HitRate;
+    Records.push_back(std::move(R));
+  };
+  addRecord("serve_cold_mean", Cold.MeanNs);
+  addRecord("serve_cold_p95", Cold.P95Ns);
+  addRecord("serve_cold_throughput", Cold.ThroughputNsPerReq);
+  addRecord("serve_hot_mean", Hot.MeanNs, Hot.HitRate);
+  addRecord("serve_hot_p95", Hot.P95Ns);
+  addRecord("serve_hot_p99", Hot.P99Ns);
+  addRecord("serve_hot_throughput", Hot.ThroughputNsPerReq);
+  benchjson::write("BENCH_serve.json", Records);
+
+  const double Speedup = Cold.MeanNs / Hot.MeanNs;
+  std::printf("\ncache speedup: %.1fx (mean cold / mean hot)\n", Speedup);
+  if (Hot.HitRate < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: hot phase hit rate %.2f < 1.0 — identical "
+                 "queries must be served from the cache\n",
+                 Hot.HitRate);
+    return 1;
+  }
+  if (Speedup < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: cache-hit mean latency is only %.1fx lower than "
+                 "cold (acceptance bar: >= 5x)\n",
+                 Speedup);
+    return 1;
+  }
+  std::printf("OK: >= 5x cache-hit acceptance bar met\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+//===- serve/Client.cpp ---------------------------------------------------===//
+
+#include "serve/Client.h"
+
+using namespace craft;
+using namespace craft::serve;
+using json::Value;
+
+bool ServeClient::connect(int Port, std::string &Error) {
+  SocketFd Fd = connectLocalhost(Port, Error);
+  if (!Fd.valid())
+    return false;
+  Chan = std::make_unique<LineChannel>(std::move(Fd));
+  return true;
+}
+
+std::optional<Value> ServeClient::roundTrip(const std::string &RequestLine,
+                                            std::string &Error) {
+  if (!Chan) {
+    Error = "not connected";
+    return std::nullopt;
+  }
+  if (!Chan->writeLine(RequestLine)) {
+    Error = "connection lost while sending";
+    return std::nullopt;
+  }
+  std::string Line;
+  if (!Chan->readLine(Line)) {
+    Error = "connection closed before a response arrived";
+    return std::nullopt;
+  }
+  std::optional<Value> Doc = json::parse(Line, Error);
+  if (!Doc)
+    return std::nullopt;
+  if (!Doc->isObject()) {
+    Error = "response is not a JSON object";
+    return std::nullopt;
+  }
+  return Doc;
+}
+
+namespace {
+
+/// Extracts the server's error (+ diagnostics) from an ok:false envelope.
+std::string envelopeError(const Value &Doc) {
+  std::string Message = Doc.stringOr("error", "unspecified server error");
+  if (const Value *Diags = Doc.find("diagnostics"))
+    if (Diags->isArray())
+      for (const Value &D : Diags->elements())
+        if (D.isString())
+          Message += "\n  " + D.asString();
+  return Message;
+}
+
+} // namespace
+
+std::optional<VerifyReply> ServeClient::verify(const std::string &SpecText,
+                                               std::string &Error,
+                                               bool UseCache) {
+  Request Req;
+  Req.Id = NextId++;
+  Req.Method = "verify";
+  Req.SpecText = SpecText;
+  Req.UseCache = UseCache;
+  std::optional<Value> Doc = roundTrip(encodeRequest(Req), Error);
+  if (!Doc)
+    return std::nullopt;
+  if (!Doc->boolOr("ok", false)) {
+    Error = envelopeError(*Doc);
+    return std::nullopt;
+  }
+  const Value *Results = Doc->find("results");
+  if (!Results || !Results->isArray()) {
+    Error = "verify response lacks a results array";
+    return std::nullopt;
+  }
+  VerifyReply Reply;
+  Reply.ServerMs = Doc->numberOr("server_ms", 0.0);
+  for (const Value &R : Results->elements()) {
+    std::optional<WireResult> W = decodeResult(R);
+    if (!W) {
+      Error = "malformed result object in verify response";
+      return std::nullopt;
+    }
+    Reply.Results.push_back(std::move(*W));
+  }
+  return Reply;
+}
+
+bool ServeClient::ping(std::string &Error) {
+  Request Req;
+  Req.Id = NextId++;
+  Req.Method = "ping";
+  std::optional<Value> Doc = roundTrip(encodeRequest(Req), Error);
+  return Doc && Doc->boolOr("ok", false) && Doc->boolOr("pong", false);
+}
+
+std::optional<Value> ServeClient::stats(std::string &Error) {
+  Request Req;
+  Req.Id = NextId++;
+  Req.Method = "stats";
+  std::optional<Value> Doc = roundTrip(encodeRequest(Req), Error);
+  if (!Doc)
+    return std::nullopt;
+  if (!Doc->boolOr("ok", false)) {
+    Error = envelopeError(*Doc);
+    return std::nullopt;
+  }
+  return Doc;
+}
+
+bool ServeClient::requestShutdown(std::string &Error) {
+  Request Req;
+  Req.Id = NextId++;
+  Req.Method = "shutdown";
+  std::optional<Value> Doc = roundTrip(encodeRequest(Req), Error);
+  return Doc && Doc->boolOr("ok", false);
+}

@@ -1,0 +1,76 @@
+//===- serve/Client.h - Serve protocol client library -----------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Client side of the serve protocol: connects to a `craft serve` daemon
+/// on localhost, sends one newline-delimited JSON request per call, and
+/// decodes the response. One connection per client; requests on a
+/// connection are answered in order. The `craft client` subcommand, the
+/// e2e test, and the bench_serve load generator all drive the daemon
+/// through this class, so wire handling exists exactly once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_SERVE_CLIENT_H
+#define CRAFT_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+#include "support/Socket.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace craft {
+namespace serve {
+
+/// A decoded verify response (the per-query results in request order).
+struct VerifyReply {
+  std::vector<WireResult> Results;
+  double ServerMs = 0.0;
+};
+
+/// Blocking localhost client for one serve connection.
+class ServeClient {
+public:
+  /// Connects to 127.0.0.1:\p Port. False + \p Error on failure.
+  bool connect(int Port, std::string &Error);
+
+  bool connected() const { return Chan != nullptr; }
+
+  /// Sends one raw request line and returns the parsed response
+  /// envelope, or nullopt with \p Error set (transport or JSON failure).
+  std::optional<json::Value> roundTrip(const std::string &RequestLine,
+                                       std::string &Error);
+
+  /// Verifies one spec text. On an ok:false envelope, returns nullopt
+  /// with the server's error (and rendered diagnostics) in \p Error.
+  std::optional<VerifyReply> verify(const std::string &SpecText,
+                                    std::string &Error,
+                                    bool UseCache = true);
+
+  /// True when the daemon answers a ping.
+  bool ping(std::string &Error);
+
+  /// Fetches the stats envelope.
+  std::optional<json::Value> stats(std::string &Error);
+
+  /// Asks the daemon to shut down. True once the ack arrives.
+  bool requestShutdown(std::string &Error);
+
+  void close() { Chan.reset(); }
+
+private:
+  int64_t NextId = 1;
+  std::unique_ptr<LineChannel> Chan;
+};
+
+} // namespace serve
+} // namespace craft
+
+#endif // CRAFT_SERVE_CLIENT_H

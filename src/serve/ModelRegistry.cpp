@@ -1,0 +1,48 @@
+//===- serve/ModelRegistry.cpp --------------------------------------------===//
+
+#include "serve/ModelRegistry.h"
+
+#include "cert/Certificate.h"
+
+using namespace craft;
+using namespace craft::serve;
+
+ModelRegistry::Entry ModelRegistry::get(const std::string &Path) {
+  Pinned *Slot;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Slot = &Entries[Path]; // std::map: reference stays valid forever.
+  }
+  // The load runs outside the registry mutex — a slow disk read of one
+  // model must not serialize requests for already-pinned models — and
+  // call_once collapses concurrent first requests into one load.
+  std::call_once(Slot->Once, [&] {
+    std::optional<MonDeq> Loaded = MonDeq::load(Path);
+    if (!Loaded) {
+      Slot->Error = "cannot load model '" + Path + "'";
+      return;
+    }
+    Slot->Model = std::make_unique<MonDeq>(std::move(*Loaded));
+    Slot->Hash = hashModel(*Slot->Model);
+    Slot->Model->fbAlphaBound(); // Warm the lazy cache before sharing.
+  });
+  Entry E;
+  E.Model = Slot->Model.get();
+  E.Hash = Slot->Hash;
+  E.Error = Slot->Error;
+  return E;
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.size();
+}
+
+size_t ModelRegistry::loadedCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t N = 0;
+  for (const auto &Entry : Entries)
+    if (Entry.second.Model)
+      ++N;
+  return N;
+}

@@ -1,0 +1,74 @@
+//===- serve/ResultCache.cpp ----------------------------------------------===//
+
+#include "serve/ResultCache.h"
+
+#include "tool/SpecCanon.h"
+
+using namespace craft;
+using namespace craft::serve;
+
+ResultCache::ResultCache(size_t Capacity, size_t Shards) {
+  if (Capacity < 1)
+    Capacity = 1;
+  if (Shards < 1)
+    Shards = 1;
+  if (Shards > Capacity)
+    Shards = Capacity; // No zero-capacity shards.
+  PerShardCapacity = (Capacity + Shards - 1) / Shards;
+  ShardList.reserve(Shards);
+  for (size_t I = 0; I < Shards; ++I)
+    ShardList.push_back(std::make_unique<Shard>());
+}
+
+ResultCache::Shard &ResultCache::shardFor(const std::string &Key) {
+  // FNV-1a, not std::hash: the shard choice (and with it the eviction
+  // pattern) is identical on every platform and standard library.
+  return *ShardList[fnv1a64(Key.data(), Key.size()) % ShardList.size()];
+}
+
+std::optional<RunOutcome> ResultCache::lookup(const std::string &Key) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.Index.find(std::string_view(Key));
+  if (It == S.Index.end()) {
+    ++S.Misses;
+    return std::nullopt;
+  }
+  ++S.Hits;
+  S.Lru.splice(S.Lru.begin(), S.Lru, It->second); // Refresh recency.
+  return It->second->second;
+}
+
+void ResultCache::insert(const std::string &Key,
+                         const RunOutcome &Outcome) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.Index.find(std::string_view(Key));
+  if (It != S.Index.end()) {
+    It->second->second = Outcome;
+    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+    return;
+  }
+  if (S.Lru.size() >= PerShardCapacity) {
+    S.Index.erase(std::string_view(S.Lru.back().first));
+    S.Lru.pop_back();
+    ++S.Evictions;
+  }
+  S.Lru.emplace_front(Key, Outcome);
+  S.Index.emplace(std::string_view(S.Lru.front().first), S.Lru.begin());
+  ++S.Insertions;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats Out;
+  for (const auto &SPtr : ShardList) {
+    Shard &S = *SPtr;
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    Out.Hits += S.Hits;
+    Out.Misses += S.Misses;
+    Out.Insertions += S.Insertions;
+    Out.Evictions += S.Evictions;
+    Out.Entries += S.Lru.size();
+  }
+  return Out;
+}

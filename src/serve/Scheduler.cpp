@@ -1,0 +1,224 @@
+//===- serve/Scheduler.cpp ------------------------------------------------===//
+
+#include "serve/Scheduler.h"
+
+#include "tool/SpecCanon.h"
+
+using namespace craft;
+using namespace craft::serve;
+
+namespace {
+
+std::future<ServeResult> readyResult(ServeResult Result) {
+  std::promise<ServeResult> P;
+  std::future<ServeResult> F = P.get_future();
+  P.set_value(std::move(Result));
+  return F;
+}
+
+} // namespace
+
+Scheduler::Scheduler(const Options &Opts)
+    : Opts(Opts), Cache(Opts.CacheCapacity, Opts.CacheShards),
+      Queue(Opts.QueueCapacity) {
+  Dispatcher = std::thread([this] { dispatchLoop(); });
+}
+
+Scheduler::~Scheduler() { stop(); }
+
+void Scheduler::stop() {
+  Stopping.store(true);
+  Queue.close();
+  if (Dispatcher.joinable())
+    Dispatcher.join();
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  return Counters;
+}
+
+std::future<ServeResult> Scheduler::submit(const VerificationSpec &Spec,
+                                           bool UseCache) {
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Counters.Submitted;
+  }
+  if (Stopping.load()) {
+    ServeResult R;
+    R.Outcome.Detail = "server is shutting down";
+    return readyResult(std::move(R));
+  }
+
+  // 1. Model resolution (load-once via the registry).
+  ModelRegistry::Entry Model = Registry.get(Spec.ModelPath);
+  if (!Model.Model) {
+    ServeResult R;
+    R.Outcome.Detail = Model.Error;
+    return readyResult(std::move(R));
+  }
+
+  // 2. Content identity. Witness emission is a filesystem side effect, so
+  // certificate queries always execute (no memoized outcome could redo
+  // the write) and never populate the cache.
+  const bool Cacheable = UseCache && Spec.CertificatePath.empty();
+  std::string Key = serveCacheKey(Spec, Model.Hash);
+
+  // 3. Deterministic attack seed, derived from the query's content alone.
+  VerificationSpec Prepared = Spec;
+  if (Prepared.Attack && Prepared.AttackSeed == 0)
+    Prepared.AttackSeed = serveAttackSeed(Opts.BaseSeed, Key);
+
+  std::unique_ptr<Job> NewJob;
+  std::future<ServeResult> Future;
+  {
+    std::lock_guard<std::mutex> Lock(InFlightMutex);
+    if (Cacheable) {
+      // 4. Coalesce with an identical in-flight query.
+      auto It = InFlight.find(Key);
+      if (It != InFlight.end()) {
+        It->second->Waiters.emplace_back();
+        std::lock_guard<std::mutex> SLock(StatsMutex);
+        ++Counters.Coalesced;
+        return It->second->Waiters.back().get_future();
+      }
+      // 5. Cache probe, under the admission lock. finishJob publishes
+      // to the cache before delisting from InFlight, and both steps of
+      // this probe hold the lock, so an identical query always either
+      // joins the in-flight job or sees its cached outcome — a key is
+      // never executed twice.
+      if (std::optional<RunOutcome> Hit = Cache.lookup(Key)) {
+        {
+          std::lock_guard<std::mutex> SLock(StatsMutex);
+          ++Counters.CacheHits;
+        }
+        ServeResult R;
+        R.Outcome = *Hit;
+        R.Cached = true;
+        R.ModelHash = Model.Hash;
+        return readyResult(std::move(R));
+      }
+    }
+    // 6. Admit a fresh job.
+    NewJob = std::make_unique<Job>();
+    NewJob->Spec = std::move(Prepared);
+    NewJob->Model = Model.Model;
+    NewJob->ModelHash = Model.Hash;
+    NewJob->Key = Key;
+    NewJob->UseCache = Cacheable;
+    NewJob->Waiters.emplace_back();
+    Future = NewJob->Waiters.back().get_future();
+    if (Cacheable)
+      InFlight.emplace(Key, NewJob.get());
+  }
+
+  // The bounded push is the admission control: it blocks (without any
+  // scheduler lock held) while the daemon is saturated. Joiners may keep
+  // attaching to the job meanwhile — it is already listed in-flight.
+  if (!Queue.push(std::move(NewJob))) {
+    // Shutdown raced the admission; push failed without moving, so the
+    // job is still ours. Delist it first (under the lock, so no joiner
+    // can attach to a dying job), then fail every attached waiter.
+    std::vector<std::promise<ServeResult>> Waiters;
+    {
+      std::lock_guard<std::mutex> Lock(InFlightMutex);
+      if (NewJob->UseCache)
+        InFlight.erase(NewJob->Key);
+      Waiters = std::move(NewJob->Waiters);
+    }
+    ServeResult R;
+    R.Outcome.Detail = "server is shutting down";
+    for (std::promise<ServeResult> &P : Waiters)
+      P.set_value(R);
+  }
+  return Future;
+}
+
+void Scheduler::finishJob(std::unique_ptr<Job> JobPtr,
+                          const RunOutcome &Outcome) {
+  // Publish before delisting (see the InFlight comment in the header).
+  if (JobPtr->UseCache && Outcome.ModelLoaded)
+    Cache.insert(JobPtr->Key, Outcome);
+  std::vector<std::promise<ServeResult>> Waiters;
+  {
+    std::lock_guard<std::mutex> Lock(InFlightMutex);
+    if (JobPtr->UseCache)
+      InFlight.erase(JobPtr->Key);
+    Waiters = std::move(JobPtr->Waiters);
+  }
+  ServeResult R;
+  R.Outcome = Outcome;
+  R.Cached = false;
+  R.ModelHash = JobPtr->ModelHash;
+  for (std::promise<ServeResult> &P : Waiters)
+    P.set_value(R);
+}
+
+void Scheduler::dispatchLoop() {
+  // A job deferred out of the previous batch (duplicate certificate
+  // path); it leads the next batch.
+  std::unique_ptr<Job> Carry;
+  for (;;) {
+    std::unique_ptr<Job> FirstJob;
+    if (Carry) {
+      FirstJob = std::move(Carry);
+    } else {
+      std::optional<std::unique_ptr<Job>> First = Queue.pop();
+      if (!First)
+        return; // Closed and drained.
+      FirstJob = std::move(*First);
+    }
+
+    // Natural batching: take everything already admitted, up to the cap.
+    // No admission timer — a lone query dispatches immediately; under
+    // load the queue is non-empty and batches grow on their own.
+    std::vector<std::unique_ptr<Job>> Batch;
+    Batch.push_back(std::move(FirstJob));
+
+    // Two queries naming one witness file must never share a batch:
+    // parallelForIndex would run them concurrently and their
+    // saveCertificate calls would race on the file (the one-shot CLI
+    // rejects such batches up front; serve serializes them instead —
+    // batches execute one after another, so deferring the duplicate to
+    // the next batch is a strict happens-after). Only the first
+    // conflict defers; anything behind it stays queued.
+    auto conflictsWithBatch = [&Batch](const Job &J) {
+      if (J.Spec.CertificatePath.empty())
+        return false;
+      for (const std::unique_ptr<Job> &B : Batch)
+        if (B->Spec.CertificatePath == J.Spec.CertificatePath)
+          return true;
+      return false;
+    };
+    std::unique_ptr<Job> Next;
+    while (Batch.size() < Opts.MaxBatch && Queue.tryPop(Next)) {
+      if (conflictsWithBatch(*Next)) {
+        Carry = std::move(Next);
+        break;
+      }
+      Batch.push_back(std::move(Next));
+    }
+
+    std::vector<VerificationSpec> Specs;
+    std::vector<const MonDeq *> Models;
+    Specs.reserve(Batch.size());
+    Models.reserve(Batch.size());
+    for (const std::unique_ptr<Job> &J : Batch) {
+      Specs.push_back(J->Spec);
+      Models.push_back(J->Model);
+    }
+
+    std::vector<RunOutcome> Outcomes =
+        runSpecBatchLoaded(Specs, Models, Opts.Jobs);
+
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++Counters.Batches;
+      Counters.Executed += Batch.size();
+      if (Batch.size() > Counters.MaxBatchSeen)
+        Counters.MaxBatchSeen = Batch.size();
+    }
+    for (size_t I = 0; I < Batch.size(); ++I)
+      finishJob(std::move(Batch[I]), Outcomes[I]);
+  }
+}

@@ -1,0 +1,150 @@
+//===- serve/Scheduler.h - Admission batching scheduler ---------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serve daemon's execution pipeline. Connection threads submit
+/// queries; a single dispatcher thread coalesces whatever is in flight
+/// into one batch and runs it through the existing batch machinery
+/// (runSpecBatchLoaded -> parallelForIndex -> ThreadPool), so N clients
+/// share one verification pool instead of oversubscribing the SIMD kernel
+/// tier with N independent fan-outs. Batches form by "natural batching":
+/// the dispatcher takes one query (blocking), drains everything else
+/// already queued (non-blocking, up to MaxBatch), and dispatches — under
+/// load batches grow automatically, while a lone request never waits on a
+/// timer.
+///
+/// Per-query flow in submit():
+///  1. resolve the model through the ModelRegistry (load-once, pinned);
+///  2. build the cache key (canonical spec + model hash);
+///  3. derive the deterministic attack seed from that key — never from
+///     admission order, so outcomes are independent of batch composition;
+///  4. coalesce with an identical in-flight query if one exists;
+///  5. consult the ResultCache (hit -> ready future, `Cached` set);
+///  6. otherwise enqueue on the bounded admission queue (back-pressure:
+///     submit blocks when the daemon is saturated).
+///
+/// Determinism: a query's outcome depends only on its cache key. The
+/// jobs-1-vs-N and batched-vs-sequential equivalence is enforced by
+/// tests/test_serve.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_SERVE_SCHEDULER_H
+#define CRAFT_SERVE_SCHEDULER_H
+
+#include "serve/ModelRegistry.h"
+#include "serve/ResultCache.h"
+#include "support/MpmcQueue.h"
+#include "tool/Driver.h"
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace craft {
+namespace serve {
+
+/// What a submitted query resolves to.
+struct ServeResult {
+  RunOutcome Outcome;
+  bool Cached = false;
+  uint64_t ModelHash = 0; ///< 0 when the model failed to load.
+};
+
+/// Coalescing, caching scheduler in front of the verification pool.
+class Scheduler {
+public:
+  struct Options {
+    /// Verification worker threads per batch (<= 0 = all hardware
+    /// threads, 1 = inline). Outcomes are independent of this value.
+    int Jobs = 1;
+    /// Hard cap on queries dispatched as one batch.
+    size_t MaxBatch = 64;
+    /// Admission queue bound; submit blocks (back-pressure) beyond it.
+    size_t QueueCapacity = 1024;
+    /// Base of the content-derived attack-seed stream (see
+    /// serveAttackSeed). Matches the batch driver's default vintage.
+    uint64_t BaseSeed = 20230617;
+    /// ResultCache sizing.
+    size_t CacheCapacity = 4096;
+    size_t CacheShards = 8;
+  };
+
+  struct Stats {
+    uint64_t Submitted = 0;
+    uint64_t CacheHits = 0;
+    uint64_t Coalesced = 0; ///< Joined an identical in-flight query.
+    uint64_t Executed = 0;
+    uint64_t Batches = 0;
+    size_t MaxBatchSeen = 0;
+  };
+
+  explicit Scheduler(const Options &Opts);
+  /// Stops and joins the dispatcher; queued queries still complete.
+  ~Scheduler();
+
+  Scheduler(const Scheduler &) = delete;
+  Scheduler &operator=(const Scheduler &) = delete;
+
+  /// Submits one query. The future becomes ready when the query is
+  /// answered (possibly immediately: cache hit or model-load failure).
+  /// \p UseCache false bypasses both cache lookup and insertion.
+  std::future<ServeResult> submit(const VerificationSpec &Spec,
+                                  bool UseCache = true);
+
+  /// Drains queued work, then stops the dispatcher. Subsequent submits
+  /// fail fast with an error outcome. Idempotent.
+  void stop();
+
+  Stats stats() const;
+  ResultCache::Stats cacheStats() const { return Cache.stats(); }
+  ModelRegistry &registry() { return Registry; }
+
+private:
+  /// One admitted (cache-missed, deduplicated) query awaiting dispatch.
+  struct Job {
+    VerificationSpec Spec;
+    const MonDeq *Model = nullptr;
+    uint64_t ModelHash = 0;
+    std::string Key;
+    bool UseCache = true;
+    /// Every submitter waiting on this query (1 + coalesced joiners).
+    std::vector<std::promise<ServeResult>> Waiters;
+  };
+
+  void dispatchLoop();
+  void finishJob(std::unique_ptr<Job> JobPtr, const RunOutcome &Outcome);
+
+  Options Opts;
+  ModelRegistry Registry;
+  ResultCache Cache;
+  MpmcQueue<std::unique_ptr<Job>> Queue;
+
+  /// Key -> in-flight job (queued or executing), for coalescing. A job
+  /// stays listed from admission until finishJob, which inserts the
+  /// outcome into the cache *before* delisting; submit probes InFlight
+  /// and the cache under this one mutex, so an identical query always
+  /// either joins the job's waiters or finds the cached outcome — a key
+  /// is never executed twice concurrently.
+  std::unordered_map<std::string, Job *> InFlight;
+  mutable std::mutex InFlightMutex;
+
+  mutable std::mutex StatsMutex;
+  Stats Counters;
+
+  std::atomic<bool> Stopping{false};
+  std::thread Dispatcher;
+};
+
+} // namespace serve
+} // namespace craft
+
+#endif // CRAFT_SERVE_SCHEDULER_H

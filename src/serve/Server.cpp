@@ -1,0 +1,242 @@
+//===- serve/Server.cpp ---------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "serve/Protocol.h"
+#include "support/Timer.h"
+#include "tool/SpecParser.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <unistd.h> // ssize_t for the POSIX getline loop.
+
+using namespace craft;
+using namespace craft::serve;
+using json::Value;
+
+Server::Server(const ServerOptions &Opts) : Opts(Opts), Sched(Opts.Sched) {}
+
+Server::~Server() {
+  shutdown();
+  if (Accepter.joinable())
+    Accepter.join();
+  std::vector<std::thread> Threads;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    Threads.swap(ConnThreads);
+  }
+  for (std::thread &T : Threads)
+    if (T.joinable())
+      T.join();
+}
+
+bool Server::start(std::string &Error) {
+  if (Opts.Port < 0)
+    return true;
+  Listener = listenLocalhost(Opts.Port, PortBound, Error);
+  if (!Listener.valid())
+    return false;
+  Accepter = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void Server::shutdown() {
+  bool Expected = false;
+  if (!Stopping.compare_exchange_strong(Expected, true))
+    return;
+  // Unblock the accept loop, then every connection reader.
+  Listener.shutdownBoth();
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (SocketFd *Conn : OpenConns)
+      Conn->shutdownBoth();
+  }
+  // Drain queued verification work; futures held by connection threads
+  // resolve here, letting those threads run to completion.
+  Sched.stop();
+  ShutdownCv.notify_all();
+}
+
+void Server::waitForShutdown() {
+  std::unique_lock<std::mutex> Lock(ShutdownMutex);
+  ShutdownCv.wait(Lock, [this] { return Stopping.load(); });
+}
+
+void Server::acceptLoop() {
+  for (;;) {
+    SocketFd Conn = acceptConnection(Listener);
+    if (!Conn.valid()) {
+      if (Stopping.load())
+        return;
+      // Back off before retrying: persistent failures (EMFILE under fd
+      // exhaustion) would otherwise busy-spin this thread at 100% CPU.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    if (Stopping.load())
+      return; // Raced shutdown: drop the connection.
+    ConnThreads.emplace_back(
+        [this](SocketFd S) { connectionLoop(std::move(S)); },
+        std::move(Conn));
+  }
+}
+
+void Server::connectionLoop(SocketFd Socket) {
+  LineChannel Chan(std::move(Socket));
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    OpenConns.push_back(&Chan.socket());
+  }
+  std::string Line;
+  while (!Stopping.load() && Chan.readLine(Line)) {
+    if (Line.empty())
+      continue; // Tolerate blank keep-alive lines.
+    bool ShutdownRequested = false;
+    std::string Response = handleLine(Line, ShutdownRequested);
+    bool Wrote = Chan.writeLine(Response);
+    if (ShutdownRequested) {
+      shutdown();
+      break;
+    }
+    if (!Wrote)
+      break;
+  }
+  std::lock_guard<std::mutex> Lock(ConnMutex);
+  OpenConns.remove(&Chan.socket());
+}
+
+void Server::runStdio(std::FILE *In, std::FILE *Out) {
+  // POSIX getline: request lines are unbounded (a spec with a 784-dim
+  // center is several KiB; fgets with a fixed buffer would split it).
+  char *Buf = nullptr;
+  size_t Cap = 0;
+  ssize_t N;
+  while (!Stopping.load() && (N = ::getline(&Buf, &Cap, In)) >= 0) {
+    std::string Line(Buf, static_cast<size_t>(N));
+    while (!Line.empty() &&
+           (Line.back() == '\n' || Line.back() == '\r'))
+      Line.pop_back();
+    if (Line.empty())
+      continue;
+    bool ShutdownRequested = false;
+    std::string Response = handleLine(Line, ShutdownRequested);
+    std::fprintf(Out, "%s\n", Response.c_str());
+    std::fflush(Out);
+    if (ShutdownRequested) {
+      shutdown();
+      break;
+    }
+  }
+  std::free(Buf);
+}
+
+std::string Server::handleLine(const std::string &Line,
+                               bool &ShutdownRequested) {
+  ShutdownRequested = false;
+  Requests.fetch_add(1);
+  std::string Error;
+  std::optional<Request> Req = decodeRequest(Line, Error);
+  if (!Req)
+    return makeErrorResponse(0, Error).serialize();
+
+  if (Req->Method == "ping") {
+    Value Doc = Value::object();
+    Doc.set("id", Value::number(static_cast<double>(Req->Id)));
+    Doc.set("ok", Value::boolean(true));
+    Doc.set("pong", Value::boolean(true));
+    return Doc.serialize();
+  }
+
+  if (Req->Method == "shutdown") {
+    ShutdownRequested = true;
+    Value Doc = Value::object();
+    Doc.set("id", Value::number(static_cast<double>(Req->Id)));
+    Doc.set("ok", Value::boolean(true));
+    Doc.set("shutting_down", Value::boolean(true));
+    return Doc.serialize();
+  }
+
+  if (Req->Method == "stats") {
+    Scheduler::Stats S = Sched.stats();
+    ResultCache::Stats C = Sched.cacheStats();
+    Value Doc = Value::object();
+    Doc.set("id", Value::number(static_cast<double>(Req->Id)));
+    Doc.set("ok", Value::boolean(true));
+    Doc.set("requests", Value::number(static_cast<double>(Requests.load())));
+    Value Sch = Value::object();
+    Sch.set("submitted", Value::number(static_cast<double>(S.Submitted)));
+    Sch.set("cache_hits", Value::number(static_cast<double>(S.CacheHits)));
+    Sch.set("coalesced", Value::number(static_cast<double>(S.Coalesced)));
+    Sch.set("executed", Value::number(static_cast<double>(S.Executed)));
+    Sch.set("batches", Value::number(static_cast<double>(S.Batches)));
+    Sch.set("max_batch", Value::number(static_cast<double>(S.MaxBatchSeen)));
+    Doc.set("scheduler", std::move(Sch));
+    Value Ca = Value::object();
+    Ca.set("hits", Value::number(static_cast<double>(C.Hits)));
+    Ca.set("misses", Value::number(static_cast<double>(C.Misses)));
+    Ca.set("insertions", Value::number(static_cast<double>(C.Insertions)));
+    Ca.set("evictions", Value::number(static_cast<double>(C.Evictions)));
+    Ca.set("entries", Value::number(static_cast<double>(C.Entries)));
+    Doc.set("cache", std::move(Ca));
+    Value Mo = Value::object();
+    Mo.set("known", Value::number(
+                        static_cast<double>(Sched.registry().size())));
+    Mo.set("loaded", Value::number(static_cast<double>(
+                         Sched.registry().loadedCount())));
+    Doc.set("models", std::move(Mo));
+    return Doc.serialize();
+  }
+
+  if (Req->Method == "info") {
+    ModelRegistry::Entry E = Sched.registry().get(Req->Model);
+    if (!E.Model)
+      return makeErrorResponse(Req->Id, E.Error).serialize();
+    char HashHex[24];
+    std::snprintf(HashHex, sizeof(HashHex), "%016llx",
+                  static_cast<unsigned long long>(E.Hash));
+    Value Doc = Value::object();
+    Doc.set("id", Value::number(static_cast<double>(Req->Id)));
+    Doc.set("ok", Value::boolean(true));
+    Doc.set("model", Value::string(Req->Model));
+    Doc.set("hash", Value::string(HashHex));
+    Doc.set("input_dim",
+            Value::number(static_cast<double>(E.Model->inputDim())));
+    Doc.set("latent_dim",
+            Value::number(static_cast<double>(E.Model->latentDim())));
+    Doc.set("classes",
+            Value::number(static_cast<double>(E.Model->outputDim())));
+    Doc.set("activation",
+            Value::string(activationName(E.Model->activation())));
+    Doc.set("monotonicity", Value::number(E.Model->monotonicity()));
+    return Doc.serialize();
+  }
+
+  // verify.
+  WallTimer Clock;
+  SpecParseResult Parsed = parseSpec(Req->SpecText, "<request>");
+  if (!Parsed.ok()) {
+    std::vector<std::string> Diags;
+    for (const SpecDiagnostic &D : Parsed.Diagnostics)
+      Diags.push_back(D.render("<request>"));
+    return makeErrorResponse(Req->Id, "spec parse failed", Diags)
+        .serialize();
+  }
+  // Submit every query before waiting on any: queries of one request are
+  // admitted together and batch with whatever else is in flight.
+  std::vector<std::future<ServeResult>> Futures;
+  Futures.reserve(Parsed.Specs.size());
+  for (const VerificationSpec &Spec : Parsed.Specs)
+    Futures.push_back(Sched.submit(Spec, Req->UseCache));
+  std::vector<WireResult> Results;
+  Results.reserve(Futures.size());
+  for (std::future<ServeResult> &F : Futures) {
+    ServeResult R = F.get();
+    WireResult W;
+    W.Outcome = std::move(R.Outcome);
+    W.Cached = R.Cached;
+    Results.push_back(std::move(W));
+  }
+  return makeVerifyResponse(Req->Id, Results, Clock.milliseconds())
+      .serialize();
+}

@@ -1,0 +1,113 @@
+//===- serve/Server.h - The craft serve daemon ------------------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-running verification service behind `craft serve`: accepts
+/// newline-delimited JSON requests (serve/Protocol.h) over stdio and/or a
+/// loopback TCP socket, and answers them through the admission scheduler
+/// (model registry + result cache + batched dispatch). Each TCP
+/// connection gets one reader thread that handles its requests in order;
+/// concurrency across connections is what the scheduler coalesces into
+/// batches. A `shutdown` request (from any transport) stops the accept
+/// loop, unblocks every connection, drains in-flight work, and lets
+/// `craft serve` exit 0 — the clean-shutdown contract the e2e test pins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_SERVE_SERVER_H
+#define CRAFT_SERVE_SERVER_H
+
+#include "serve/Scheduler.h"
+#include "support/Socket.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <list>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace craft {
+namespace serve {
+
+/// Daemon configuration (the `craft serve` flags map 1:1 onto this).
+struct ServerOptions {
+  /// TCP listen port on 127.0.0.1; -1 = no TCP transport, 0 = pick an
+  /// ephemeral port (read it back via boundPort()).
+  int Port = -1;
+  Scheduler::Options Sched;
+};
+
+/// The serve daemon. Construct, start() (TCP) and/or runStdio(), then
+/// waitForShutdown(); destruction joins everything.
+class Server {
+public:
+  explicit Server(const ServerOptions &Opts);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the TCP transport and starts the accept loop. Returns false
+  /// with a message in \p Error when the port cannot be bound. No-op
+  /// when Options.Port is -1.
+  bool start(std::string &Error);
+
+  /// The bound TCP port (valid after a successful start()).
+  int boundPort() const { return PortBound; }
+
+  /// Serves newline-delimited requests from \p In to \p Out until EOF or
+  /// a shutdown request. Blocking; call from the main thread.
+  void runStdio(std::FILE *In, std::FILE *Out);
+
+  /// Blocks until a shutdown request arrives (any transport) or
+  /// shutdown() is called.
+  void waitForShutdown();
+
+  /// Initiates shutdown: stops accepting, unblocks connections, drains
+  /// the scheduler. Idempotent, callable from any thread.
+  void shutdown();
+
+  /// True once shutdown was requested.
+  bool shuttingDown() const { return Stopping.load(); }
+
+  Scheduler &scheduler() { return Sched; }
+
+  /// Handles one request line and returns the one response line (no
+  /// trailing newline). Public: the transports, the tests, and any
+  /// embedded caller use the same entry point. \p ShutdownRequested is
+  /// set when the line was a shutdown request — the transport must write
+  /// the response first and only then call shutdown() (which closes the
+  /// very socket the response goes out on).
+  std::string handleLine(const std::string &Line, bool &ShutdownRequested);
+
+private:
+  void acceptLoop();
+  void connectionLoop(SocketFd Socket);
+
+  ServerOptions Opts;
+  Scheduler Sched;
+
+  SocketFd Listener;
+  int PortBound = -1;
+  std::thread Accepter;
+
+  /// Live connection sockets, so shutdown can unblock their readers.
+  std::mutex ConnMutex;
+  std::list<SocketFd *> OpenConns;
+  std::vector<std::thread> ConnThreads;
+
+  std::atomic<bool> Stopping{false};
+  std::atomic<uint64_t> Requests{0};
+  std::mutex ShutdownMutex;
+  std::condition_variable ShutdownCv;
+};
+
+} // namespace serve
+} // namespace craft
+
+#endif // CRAFT_SERVE_SERVER_H

@@ -1,0 +1,112 @@
+//===- support/MpmcQueue.h - Bounded MPMC queue -----------------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded multi-producer/multi-consumer FIFO queue: the admission queue
+/// of the serve scheduler. `push` blocks while the queue is full — that
+/// back-pressure is the serve layer's admission control, so a burst of
+/// clients queues up instead of oversubscribing the verification pool —
+/// and `pop` blocks while it is empty. `close` wakes everyone: producers
+/// fail fast, consumers drain what is left and then see end-of-stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_SUPPORT_MPMCQUEUE_H
+#define CRAFT_SUPPORT_MPMCQUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace craft {
+
+/// Bounded blocking FIFO. All members are thread-safe.
+template <typename T> class MpmcQueue {
+public:
+  /// \p Capacity must be >= 1 (a zero capacity would deadlock every push).
+  explicit MpmcQueue(size_t Capacity)
+      : Capacity(Capacity < 1 ? 1 : Capacity) {}
+
+  MpmcQueue(const MpmcQueue &) = delete;
+  MpmcQueue &operator=(const MpmcQueue &) = delete;
+
+  /// Blocks until there is room, then enqueues \p Item. Returns false if
+  /// the queue was closed before room appeared — in that case \p Item is
+  /// NOT moved from, so the caller keeps ownership (the serve scheduler
+  /// relies on this to unwind a job that raced shutdown).
+  bool push(T &&Item) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    NotFull.wait(Lock,
+                 [this] { return Closed || Items.size() < Capacity; });
+    if (Closed)
+      return false;
+    Items.push_back(std::move(Item));
+    Lock.unlock();
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available and dequeues it. Returns nullopt
+  /// once the queue is closed and fully drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    NotEmpty.wait(Lock, [this] { return Closed || !Items.empty(); });
+    if (Items.empty())
+      return std::nullopt;
+    T Item = std::move(Items.front());
+    Items.pop_front();
+    Lock.unlock();
+    NotFull.notify_one();
+    return Item;
+  }
+
+  /// Dequeues without blocking. Returns false when the queue is empty.
+  bool tryPop(T &Out) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    if (Items.empty())
+      return false;
+    Out = std::move(Items.front());
+    Items.pop_front();
+    Lock.unlock();
+    NotFull.notify_one();
+    return true;
+  }
+
+  /// Ends the stream: subsequent pushes fail, pops drain the remaining
+  /// items and then return nullopt. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Closed = true;
+    }
+    NotEmpty.notify_all();
+    NotFull.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Closed;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Items.size();
+  }
+
+private:
+  const size_t Capacity;
+  mutable std::mutex Mutex;
+  std::condition_variable NotEmpty, NotFull;
+  std::deque<T> Items;
+  bool Closed = false;
+};
+
+} // namespace craft
+
+#endif // CRAFT_SUPPORT_MPMCQUEUE_H

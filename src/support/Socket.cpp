@@ -1,0 +1,147 @@
+//===- support/Socket.cpp -------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace craft;
+
+void SocketFd::reset() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+void SocketFd::shutdownBoth() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+}
+
+namespace {
+
+sockaddr_in localhostAddr(int Port) {
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return Addr;
+}
+
+std::string errnoMessage(const char *What) {
+  return std::string(What) + ": " + std::strerror(errno);
+}
+
+/// Request latency over throughput for the tiny protocol messages.
+void setNoDelay(int Fd) {
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+}
+
+} // namespace
+
+SocketFd craft::listenLocalhost(int Port, int &BoundPort,
+                                std::string &Error) {
+  SocketFd Fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!Fd.valid()) {
+    Error = errnoMessage("socket");
+    return {};
+  }
+  int One = 1;
+  ::setsockopt(Fd.fd(), SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr = localhostAddr(Port);
+  if (::bind(Fd.fd(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    Error = errnoMessage("bind");
+    return {};
+  }
+  if (::listen(Fd.fd(), 64) != 0) {
+    Error = errnoMessage("listen");
+    return {};
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd.fd(), reinterpret_cast<sockaddr *>(&Addr), &Len) !=
+      0) {
+    Error = errnoMessage("getsockname");
+    return {};
+  }
+  BoundPort = ntohs(Addr.sin_port);
+  Error.clear();
+  return Fd;
+}
+
+SocketFd craft::acceptConnection(const SocketFd &Listener) {
+  for (;;) {
+    int Fd = ::accept(Listener.fd(), nullptr, nullptr);
+    if (Fd >= 0) {
+      setNoDelay(Fd);
+      return SocketFd(Fd);
+    }
+    if (errno == EINTR)
+      continue;
+    return {};
+  }
+}
+
+SocketFd craft::connectLocalhost(int Port, std::string &Error) {
+  SocketFd Fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!Fd.valid()) {
+    Error = errnoMessage("socket");
+    return {};
+  }
+  sockaddr_in Addr = localhostAddr(Port);
+  if (::connect(Fd.fd(), reinterpret_cast<sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    Error = errnoMessage("connect");
+    return {};
+  }
+  setNoDelay(Fd.fd());
+  Error.clear();
+  return Fd;
+}
+
+bool LineChannel::readLine(std::string &Line, size_t MaxLineBytes) {
+  for (;;) {
+    size_t Nl = Buffer.find('\n');
+    if (Nl != std::string::npos) {
+      Line.assign(Buffer, 0, Nl);
+      Buffer.erase(0, Nl + 1);
+      return true;
+    }
+    if (Buffer.size() > MaxLineBytes)
+      return false;
+    char Chunk[4096];
+    ssize_t N;
+    do {
+      N = ::recv(Socket.fd(), Chunk, sizeof(Chunk), 0);
+    } while (N < 0 && errno == EINTR);
+    if (N <= 0)
+      return false;
+    Buffer.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+bool LineChannel::writeLine(const std::string &Line) {
+  std::string Framed = Line;
+  Framed += '\n';
+  size_t Sent = 0;
+  while (Sent < Framed.size()) {
+    // MSG_NOSIGNAL: a vanished peer yields EPIPE, not process death.
+    ssize_t N = ::send(Socket.fd(), Framed.data() + Sent,
+                       Framed.size() - Sent, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return true;
+}

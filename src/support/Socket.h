@@ -1,0 +1,97 @@
+//===- support/Socket.h - Localhost TCP helpers -----------------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin POSIX socket helpers for the serve subsystem: a loopback-only TCP
+/// listener, a loopback connector, and a line-oriented channel for the
+/// newline-delimited JSON protocol. Everything binds/connects to
+/// 127.0.0.1 exclusively — the serve daemon is a localhost service, not a
+/// network-exposed one — and all failures are reported by return value
+/// (never by exiting).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_SUPPORT_SOCKET_H
+#define CRAFT_SUPPORT_SOCKET_H
+
+#include <string>
+
+namespace craft {
+
+/// Owning file-descriptor wrapper (closes on destruction, move-only).
+class SocketFd {
+public:
+  SocketFd() = default;
+  explicit SocketFd(int Fd) : Fd(Fd) {}
+  ~SocketFd() { reset(); }
+
+  SocketFd(SocketFd &&Other) noexcept : Fd(Other.Fd) { Other.Fd = -1; }
+  SocketFd &operator=(SocketFd &&Other) noexcept {
+    if (this != &Other) {
+      reset();
+      Fd = Other.Fd;
+      Other.Fd = -1;
+    }
+    return *this;
+  }
+  SocketFd(const SocketFd &) = delete;
+  SocketFd &operator=(const SocketFd &) = delete;
+
+  int fd() const { return Fd; }
+  bool valid() const { return Fd >= 0; }
+
+  /// Closes the descriptor now (no-op when invalid).
+  void reset();
+
+  /// Half-closes both directions without releasing the descriptor: any
+  /// thread blocked in recv on this fd wakes with end-of-stream. The
+  /// server's shutdown path uses this to unblock connection threads.
+  void shutdownBoth();
+
+private:
+  int Fd = -1;
+};
+
+/// Listens on 127.0.0.1:\p Port (0 = pick an ephemeral port). On success
+/// returns a listening socket and stores the bound port in \p BoundPort;
+/// on failure returns an invalid fd and stores a message in \p Error.
+SocketFd listenLocalhost(int Port, int &BoundPort, std::string &Error);
+
+/// Accepts one connection (blocking). Returns an invalid fd on error or
+/// when the listener has been shut down.
+SocketFd acceptConnection(const SocketFd &Listener);
+
+/// Connects to 127.0.0.1:\p Port. Invalid fd + \p Error on failure.
+SocketFd connectLocalhost(int Port, std::string &Error);
+
+/// Buffered line IO over a socket: one '\n'-terminated message per call,
+/// matching the serve protocol's newline-delimited JSON framing. Not
+/// thread-safe; use one channel per connection thread.
+class LineChannel {
+public:
+  explicit LineChannel(SocketFd Socket) : Socket(std::move(Socket)) {}
+
+  bool valid() const { return Socket.valid(); }
+  SocketFd &socket() { return Socket; }
+
+  /// Reads up to and including the next '\n'; stores the line without the
+  /// terminator in \p Line. Returns false on end-of-stream or error, or
+  /// when a line exceeds \p MaxLineBytes (protects the server from an
+  /// unbounded buffer — 64 MiB fits any realistic spec payload).
+  bool readLine(std::string &Line, size_t MaxLineBytes = 64u << 20);
+
+  /// Writes \p Line plus a '\n' terminator, retrying partial writes.
+  /// Returns false when the peer is gone (never raises SIGPIPE).
+  bool writeLine(const std::string &Line);
+
+private:
+  SocketFd Socket;
+  std::string Buffer; ///< Bytes received past the last returned line.
+};
+
+} // namespace craft
+
+#endif // CRAFT_SUPPORT_SOCKET_H

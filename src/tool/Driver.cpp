@@ -174,6 +174,28 @@ RunOutcome craft::runSpec(const VerificationSpec &Spec) {
   return runSpecOn(Spec, *Model);
 }
 
+RunOutcome craft::runSpecLoaded(const VerificationSpec &Spec,
+                                const MonDeq &Model) {
+  return runSpecOn(Spec, Model);
+}
+
+std::vector<RunOutcome>
+craft::runSpecBatchLoaded(const std::vector<VerificationSpec> &Specs,
+                          const std::vector<const MonDeq *> &Models,
+                          int Jobs) {
+  std::vector<RunOutcome> Outcomes(Specs.size());
+  parallelForIndex(Specs.size(), Jobs, [&](size_t I) {
+    const MonDeq *Model = I < Models.size() ? Models[I] : nullptr;
+    if (!Model) {
+      Outcomes[I].Detail =
+          "cannot load model '" + Specs[I].ModelPath + "'";
+      return;
+    }
+    Outcomes[I] = runSpecOn(Specs[I], *Model);
+  });
+  return Outcomes;
+}
+
 std::vector<RunOutcome>
 craft::runSpecBatch(const std::vector<VerificationSpec> &Specs,
                     const BatchOptions &Opts) {

@@ -46,6 +46,26 @@ struct RunOutcome {
 /// Runs \p Spec. Never exits; all failures are reported in the outcome.
 RunOutcome runSpec(const VerificationSpec &Spec);
 
+// Forward-declared: the model type lives in nn/MonDeq.h.
+class MonDeq;
+
+/// Runs \p Spec against an already-loaded model (no file IO; ModelPath is
+/// ignored). The model is strictly read-only here, so several workers may
+/// share one instance — warm its lazy alpha-bound cache
+/// (`Model.fbAlphaBound()`) before fanning out.
+RunOutcome runSpecLoaded(const VerificationSpec &Spec, const MonDeq &Model);
+
+/// Batch execution over preloaded models: Models[I] is the (shared,
+/// read-only, warmed) model for Specs[I], or null when its load failed —
+/// those slots report a load failure outcome. Unlike runSpecBatch, specs
+/// run exactly as given: no per-index attack-seed derivation, so outcomes
+/// depend only on each spec's own content, never on its position. This is
+/// the serve scheduler's dispatch path, where batches are formed by
+/// admission timing and positions are not reproducible.
+std::vector<RunOutcome>
+runSpecBatchLoaded(const std::vector<VerificationSpec> &Specs,
+                   const std::vector<const MonDeq *> &Models, int Jobs);
+
 /// Batch execution knobs for runSpecBatch.
 struct BatchOptions {
   /// Worker threads (1 = inline on the caller, <= 0 = all hardware

@@ -1,0 +1,58 @@
+//===- tool/SpecCanon.h - Canonical spec serialization ----------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical, content-addressed identity for verification queries: the
+/// serve layer's ResultCache keys and deterministic per-request seeds both
+/// derive from it. `canonicalSpec` renders every outcome-relevant field of
+/// a VerificationSpec in one fixed order with lossless double formatting
+/// (%.17g round-trips every finite double and is injective on them), so
+/// two specs produce the same string iff they request the same computation.
+///
+/// Deliberately excluded from the canonical form:
+///  - ModelPath — the model's identity is its semantic content hash
+///    (`hashModel`), which the caller appends via `serveCacheKey`; two
+///    paths to byte-identical models share cache entries.
+///  - CertificatePath — witness emission is a side effect, not part of
+///    the verification outcome. Queries that request a certificate bypass
+///    the cache entirely (the scheduler enforces this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_TOOL_SPECCANON_H
+#define CRAFT_TOOL_SPECCANON_H
+
+#include "tool/SpecParser.h"
+
+#include <cstdint>
+#include <string>
+
+namespace craft {
+
+/// FNV-1a 64-bit over \p Size bytes at \p Data (the same construction the
+/// certificate layer's model hash uses).
+uint64_t fnv1a64(const void *Data, size_t Size);
+
+/// Renders every outcome-relevant field of \p Spec (not ModelPath /
+/// CertificatePath — see file comment) in one fixed order. Stable across
+/// runs, platforms, and backends.
+std::string canonicalSpec(const VerificationSpec &Spec);
+
+/// Cache key for one (query, model) pair: the canonical spec with the
+/// model's semantic hash appended. Identical keys get identical outcomes
+/// — the serve determinism contract rests on this.
+std::string serveCacheKey(const VerificationSpec &Spec, uint64_t ModelHash);
+
+/// Deterministic per-request attack seed for serve traffic: derived from
+/// the cache key alone, never from admission order or batch composition,
+/// so a query's outcome does not depend on which requests it shared a
+/// batch with. (The one-shot batch driver derives seeds from the batch
+/// index instead; a serve batch has no stable index.)
+uint64_t serveAttackSeed(uint64_t BaseSeed, const std::string &CacheKey);
+
+} // namespace craft
+
+#endif // CRAFT_TOOL_SPECCANON_H

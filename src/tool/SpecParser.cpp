@@ -4,8 +4,10 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <sstream>
 
 using namespace craft;
@@ -88,6 +90,23 @@ private:
       error(T, "expected a number, got '" + T.Text + "'");
       return false;
     }
+    // Overflowed literals (1e999) parse to inf; accepting them silently
+    // produces nonsense regions and NaN margins downstream.
+    if (!std::isfinite(Out)) {
+      error(T, "number '" + T.Text + "' is out of range");
+      return false;
+    }
+    return true;
+  }
+
+  /// Single-occurrence enforcement for file-wide directives: a second
+  /// `model`/`output`/... would silently overwrite the first, which
+  /// almost always means a concatenated or mangled spec file.
+  bool once(const Token &Head) {
+    if (!SeenOnce.insert(Head.Text).second) {
+      error(Head, "duplicate '" + Head.Text + "' directive");
+      return false;
+    }
     return true;
   }
 
@@ -166,6 +185,8 @@ private:
     if (Kw == "model") {
       if (Line.size() != 2)
         return error(Head, "'model' takes exactly one path");
+      if (!once(Head))
+        return;
       Base.ModelPath = Line[1].Text;
     } else if (Kw == "input") {
       if (Line.size() != 2 ||
@@ -174,24 +195,50 @@ private:
       Sections.emplace_back();
       Sections.back().Kind = Line[1].Text;
     } else if (Kw == "center") {
-      if (InputSection *S = section(Head))
-        vectorTail(Line, 1, S->Center, "center");
+      InputSection *S = section(Head);
+      if (!S)
+        return;
+      if (S->Kind != "linf")
+        return error(Head, "'center' applies to 'input linf' blocks");
+      if (!S->Center.empty())
+        return error(Head, "duplicate 'center' in this input block");
+      vectorTail(Line, 1, S->Center, "center");
     } else if (Kw == "lo") {
-      if (InputSection *S = section(Head))
-        vectorTail(Line, 1, S->Lo, "lo");
+      InputSection *S = section(Head);
+      if (!S)
+        return;
+      if (S->Kind != "box")
+        return error(Head, "'lo' applies to 'input box' blocks");
+      if (!S->Lo.empty())
+        return error(Head, "duplicate 'lo' in this input block");
+      vectorTail(Line, 1, S->Lo, "lo");
     } else if (Kw == "hi") {
-      if (InputSection *S = section(Head))
-        vectorTail(Line, 1, S->Hi, "hi");
+      InputSection *S = section(Head);
+      if (!S)
+        return;
+      if (S->Kind != "box")
+        return error(Head, "'hi' applies to 'input box' blocks");
+      if (!S->Hi.empty())
+        return error(Head, "duplicate 'hi' in this input block");
+      vectorTail(Line, 1, S->Hi, "hi");
     } else if (Kw == "epsilon") {
+      if (Line.size() != 2)
+        return error(Head, "'epsilon' takes one number");
       double Eps = 0.0;
-      if (Line.size() != 2 || !number(Line[1], Eps))
+      if (!number(Line[1], Eps))
         return;
       if (Eps < 0.0)
         return error(Line[1], "epsilon must be nonnegative");
       if (Sections.empty()) {
+        if (HaveDefaultEpsilon)
+          return error(Head, "duplicate file-wide 'epsilon' directive");
         DefaultEpsilon = Eps;
         HaveDefaultEpsilon = true;
       } else {
+        if (Sections.back().Kind != "linf")
+          return error(Head, "'epsilon' applies to 'input linf' blocks");
+        if (Sections.back().HaveEpsilon)
+          return error(Head, "duplicate 'epsilon' in this input block");
         Sections.back().Epsilon = Eps;
         Sections.back().HaveEpsilon = true;
       }
@@ -203,9 +250,14 @@ private:
         if (Lo > Hi)
           return error(Line[1], "clamp range is empty");
         if (Sections.empty()) {
+          if (HaveDefaultClamp)
+            return error(Head, "duplicate file-wide 'clamp' directive");
+          HaveDefaultClamp = true;
           DefaultClampLo = Lo;
           DefaultClampHi = Hi;
         } else {
+          if (Sections.back().HaveClamp)
+            return error(Head, "duplicate 'clamp' in this input block");
           Sections.back().ClampLo = Lo;
           Sections.back().ClampHi = Hi;
           Sections.back().HaveClamp = true;
@@ -214,10 +266,14 @@ private:
     } else if (Kw == "output") {
       if (Line.size() != 3 || Line[1].Text != "robust")
         return error(Head, "'output' must be 'output robust <class>'");
+      if (!once(Head))
+        return;
       integer(Line[2], Base.TargetClass, 0);
     } else if (Kw == "verifier") {
       if (Line.size() != 2)
         return error(Head, "'verifier' takes one engine name");
+      if (!once(Head))
+        return;
       const std::string &Name = Line[1].Text;
       if (Name == "craft")
         Base.Verifier = SpecVerifier::Craft;
@@ -231,28 +287,34 @@ private:
         error(Line[1], "unknown verifier '" + Name +
                            "' (craft, box, crown, lipschitz)");
     } else if (Kw == "alpha1") {
-      if (Line.size() != 2 || !number(Line[1], Base.Alpha1))
+      // A bare `alpha1` was silently ignored before this arity check.
+      if (Line.size() != 2)
+        return error(Head, "'alpha1' takes one number");
+      if (!once(Head) || !number(Line[1], Base.Alpha1))
         return;
       if (Base.Alpha1 <= 0.0)
         error(Line[1], "alpha1 must be positive");
     } else if (Kw == "alpha2") {
-      if (Line.size() == 2)
-        number(Line[1], Base.Alpha2);
-      else
+      if (Line.size() == 2) {
+        if (once(Head))
+          number(Line[1], Base.Alpha2);
+      } else
         error(Head, "'alpha2' takes one number");
     } else if (Kw == "max-iterations") {
-      if (Line.size() == 2)
-        integer(Line[1], Base.MaxIterations, 1);
-      else
+      if (Line.size() == 2) {
+        if (once(Head))
+          integer(Line[1], Base.MaxIterations, 1);
+      } else
         error(Head, "'max-iterations' takes one integer");
     } else if (Kw == "split-depth") {
-      if (Line.size() == 2)
-        integer(Line[1], Base.SplitDepth, 0);
-      else
+      if (Line.size() == 2) {
+        if (once(Head))
+          integer(Line[1], Base.SplitDepth, 0);
+      } else
         error(Head, "'split-depth' takes one integer");
     } else if (Kw == "lambda-opt") {
       if (Line.size() == 2) {
-        if (integer(Line[1], Base.LambdaOptLevel, 0) &&
+        if (once(Head) && integer(Line[1], Base.LambdaOptLevel, 0) &&
             Base.LambdaOptLevel > 2)
           error(Line[1], "lambda-opt level is 0, 1 or 2");
       } else
@@ -260,15 +322,21 @@ private:
     } else if (Kw == "certificate") {
       if (Line.size() != 2)
         return error(Head, "'certificate' takes exactly one path");
+      if (!once(Head))
+        return;
       Base.CertificatePath = Line[1].Text;
     } else if (Kw == "attack") {
       if (Line.size() != 2 ||
           (Line[1].Text != "on" && Line[1].Text != "off"))
         return error(Head, "'attack' must be 'attack on' or 'attack off'");
+      if (!once(Head))
+        return;
       Base.Attack = Line[1].Text == "on";
     } else if (Kw == "seed") {
       if (Line.size() != 2)
         return error(Head, "'seed' takes one nonnegative integer");
+      if (!once(Head))
+        return;
       // Full-width parse: AttackSeed is uint64_t and any 64-bit seed is
       // legal, so the int-based integer() helper would be too narrow.
       const std::string &T = Line[1].Text;
@@ -341,8 +409,10 @@ private:
   VerificationSpec Base;
   std::vector<InputSection> Sections;
   std::vector<VerificationSpec> Specs;
+  std::set<std::string> SeenOnce; ///< Single-occurrence directives seen.
   double DefaultEpsilon = 0.0;
   bool HaveDefaultEpsilon = false;
+  bool HaveDefaultClamp = false;
   double DefaultClampLo = 0.0, DefaultClampHi = 1.0;
 };
 

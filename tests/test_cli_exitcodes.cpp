@@ -1,0 +1,122 @@
+//===- tests/test_cli_exitcodes.cpp - CLI exit code contract --------------===//
+//
+// Pins the documented `craft verify` exit codes by running the real
+// binary: 0 = every query certified, 1 = refuted, 2 = usage/IO error,
+// 3 = undecided (not certified, not refuted), with error > refuted >
+// undecided precedence across a batch. The fixture directory (CliSmoke)
+// provides a certifiable spec (smoke.spec), an undecidable one
+// (unknown.spec: hopeless radius, no attack) and a refutable one
+// (refuted.spec: hopeless radius, PGD enabled under a pinned seed).
+//
+// Usage: test_cli_exitcodes <path-to-craft-binary> <fixture-dir>
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fcntl.h>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+namespace {
+
+std::string CraftBinary;
+std::string FixtureDir;
+
+/// Runs the craft binary with \p Args, output discarded; returns the
+/// exit code (-1 on spawn failure).
+int craftExit(const std::vector<std::string> &Args) {
+  pid_t Pid = ::fork();
+  if (Pid < 0)
+    return -1;
+  if (Pid == 0) {
+    int Null = ::open("/dev/null", O_WRONLY);
+    if (Null >= 0) {
+      ::dup2(Null, STDOUT_FILENO);
+      ::dup2(Null, STDERR_FILENO);
+      ::close(Null);
+    }
+    std::vector<char *> Argv;
+    Argv.push_back(const_cast<char *>(CraftBinary.c_str()));
+    for (const std::string &A : Args)
+      Argv.push_back(const_cast<char *>(A.c_str()));
+    Argv.push_back(nullptr);
+    ::execv(Argv[0], Argv.data());
+    _exit(127);
+  }
+  int Status = 0;
+  if (::waitpid(Pid, &Status, 0) != Pid)
+    return -1;
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+std::string fixture(const char *Name) { return FixtureDir + "/" + Name; }
+
+} // namespace
+
+TEST(CliExitCodeTest, AllCertifiedExitsZero) {
+  EXPECT_EQ(craftExit({"verify", fixture("smoke.spec")}), 0);
+}
+
+TEST(CliExitCodeTest, UndecidedExitsThree) {
+  EXPECT_EQ(craftExit({"verify", fixture("unknown.spec")}), 3);
+}
+
+TEST(CliExitCodeTest, RefutedExitsOne) {
+  EXPECT_EQ(craftExit({"verify", fixture("refuted.spec")}), 1);
+}
+
+TEST(CliExitCodeTest, RefutedOutranksUndecided) {
+  // A batch with certified + undecided + refuted queries: refuted wins.
+  EXPECT_EQ(craftExit({"verify", fixture("smoke.spec"),
+                       fixture("unknown.spec"), fixture("refuted.spec")}),
+            1);
+  // Certified + undecided (no refutation): undecided wins.
+  EXPECT_EQ(craftExit({"verify", fixture("smoke.spec"),
+                       fixture("unknown.spec")}),
+            3);
+}
+
+TEST(CliExitCodeTest, UsageAndIoErrorsExitTwo) {
+  EXPECT_EQ(craftExit({}), 2);                        // No subcommand.
+  EXPECT_EQ(craftExit({"verify"}), 2);                // No spec files.
+  EXPECT_EQ(craftExit({"frobnicate"}), 2);            // Unknown command.
+  EXPECT_EQ(craftExit({"verify", "/nonexistent.spec"}), 2);
+  EXPECT_EQ(craftExit({"verify", "--jobs", "x", fixture("smoke.spec")}),
+            2);
+
+  // A spec whose model is missing: model-load error dominates verdicts.
+  const std::string BadModel = FixtureDir + "/bad_model.spec";
+  std::FILE *F = std::fopen(BadModel.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fprintf(F, "model /nonexistent/model.bin\ninput box\nlo 0\nhi 1\n"
+                  "output robust 0\n");
+  std::fclose(F);
+  EXPECT_EQ(craftExit({"verify", BadModel}), 2);
+  EXPECT_EQ(craftExit({"verify", BadModel, fixture("refuted.spec")}), 2)
+      << "error must outrank refuted";
+}
+
+TEST(CliExitCodeTest, ParseDiagnosticsExitTwo) {
+  const std::string Bad = FixtureDir + "/bad_syntax.spec";
+  std::FILE *F = std::fopen(Bad.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fprintf(F, "model a.bin\nmodel b.bin\n"); // Duplicate directive.
+  std::fclose(F);
+  EXPECT_EQ(craftExit({"verify", Bad}), 2);
+}
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: test_cli_exitcodes <craft-binary> <fixture-dir>\n");
+    return 2;
+  }
+  CraftBinary = argv[1];
+  FixtureDir = argv[2];
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,257 @@
+//===- tests/test_serve_e2e.cpp - Serve daemon end-to-end test ------------===//
+//
+// Process-level test of `craft serve`: starts the real daemon on an
+// ephemeral TCP port, drives it with the real `craft client` binary and
+// the ServeClient library, and pins the serve contract end to end:
+//
+//  - the announce line carries the bound port;
+//  - a first `craft client` pass certifies the smoke spec (exit 0);
+//  - a second identical pass is served 100% from the ResultCache with
+//    byte-identical result payloads;
+//  - a shutdown request stops the daemon, which exits 0 (clean shutdown).
+//
+// Usage: test_serve_e2e <path-to-craft-binary> <fixture-dir>
+// (wired by ctest with the CliSmoke fixture directory).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <string>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace craft;
+using namespace craft::serve;
+
+namespace {
+
+std::string CraftBinary;
+std::string FixtureDir;
+
+/// Runs \p Argv (null-terminated) with stdout/stderr appended to
+/// \p OutputPath (empty = /dev/null). Returns the exit code, or -1.
+int runProcess(const std::vector<std::string> &Args,
+               const std::string &OutputPath) {
+  pid_t Pid = ::fork();
+  if (Pid < 0)
+    return -1;
+  if (Pid == 0) {
+    const char *Path =
+        OutputPath.empty() ? "/dev/null" : OutputPath.c_str();
+    int Fd = ::open(Path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (Fd >= 0) {
+      ::dup2(Fd, STDOUT_FILENO);
+      ::dup2(Fd, STDERR_FILENO);
+      ::close(Fd);
+    }
+    std::vector<char *> Argv;
+    for (const std::string &A : Args)
+      Argv.push_back(const_cast<char *>(A.c_str()));
+    Argv.push_back(nullptr);
+    ::execv(Argv[0], Argv.data());
+    _exit(127);
+  }
+  int Status = 0;
+  if (::waitpid(Pid, &Status, 0) != Pid)
+    return -1;
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+/// A running `craft serve --port 0` daemon (stdout captured to a file so
+/// the announce line can be read back).
+class ServeDaemon {
+public:
+  bool start() {
+    OutPath = FixtureDir + "/serve_e2e_out.txt";
+    std::remove(OutPath.c_str());
+    Pid = ::fork();
+    if (Pid < 0)
+      return false;
+    if (Pid == 0) {
+      int Fd = ::open(OutPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (Fd >= 0) {
+        ::dup2(Fd, STDOUT_FILENO);
+        ::close(Fd);
+      }
+      // stderr (the kernel-backend line) goes to /dev/null to keep ctest
+      // logs clean.
+      int Null = ::open("/dev/null", O_WRONLY);
+      if (Null >= 0) {
+        ::dup2(Null, STDERR_FILENO);
+        ::close(Null);
+      }
+      ::execl(CraftBinary.c_str(), CraftBinary.c_str(), "serve", "--port",
+              "0", "--jobs", "2", static_cast<char *>(nullptr));
+      _exit(127);
+    }
+    return true;
+  }
+
+  /// Polls the captured stdout for the announce line; returns the port.
+  int waitForPort(int TimeoutMs = 10000) {
+    for (int Waited = 0; Waited < TimeoutMs; Waited += 20) {
+      std::FILE *F = std::fopen(OutPath.c_str(), "r");
+      if (F) {
+        char Line[256] = {0};
+        if (std::fgets(Line, sizeof(Line), F)) {
+          const char *Colon = std::strstr(Line, "127.0.0.1:");
+          if (Colon) {
+            std::fclose(F);
+            return std::atoi(Colon + std::strlen("127.0.0.1:"));
+          }
+        }
+        std::fclose(F);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return -1;
+  }
+
+  /// Waits for daemon exit; returns its exit code (or -1).
+  int wait() {
+    if (Pid <= 0)
+      return -1;
+    int Status = 0;
+    if (::waitpid(Pid, &Status, 0) != Pid)
+      return -1;
+    Pid = -1;
+    return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  }
+
+  void killIfRunning() {
+    if (Pid > 0) {
+      ::kill(Pid, SIGKILL);
+      wait();
+    }
+  }
+
+  ~ServeDaemon() { killIfRunning(); }
+
+  pid_t pid() const { return Pid; }
+
+private:
+  pid_t Pid = -1;
+  std::string OutPath;
+};
+
+std::string readFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return {};
+  std::string Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  return Out;
+}
+
+/// Strips the transport-level flag so payload comparisons isolate the
+/// byte-identical outcome contract.
+std::string payloadKey(WireResult W) {
+  W.Cached = false;
+  return encodeResult(W).serialize();
+}
+
+} // namespace
+
+TEST(ServeE2eTest, FullLifecycleWithClientBinaryAndCache) {
+  const std::string SpecPath = FixtureDir + "/smoke.spec";
+  const std::string SpecText = readFile(SpecPath);
+  ASSERT_FALSE(SpecText.empty()) << "missing fixture " << SpecPath;
+
+  ServeDaemon Daemon;
+  ASSERT_TRUE(Daemon.start());
+  int Port = Daemon.waitForPort();
+  ASSERT_GT(Port, 0) << "daemon never announced its port";
+
+  // Pass 1 and 2 through the real `craft client` binary: both must exit
+  // 0 (all certified), and the second pass's printed results must all be
+  // cache hits.
+  const std::string Pass1Out = FixtureDir + "/serve_e2e_client1.txt";
+  const std::string Pass2Out = FixtureDir + "/serve_e2e_client2.txt";
+  std::remove(Pass1Out.c_str());
+  std::remove(Pass2Out.c_str());
+  const std::string PortStr = std::to_string(Port);
+  EXPECT_EQ(runProcess({CraftBinary, "client", "--port", PortStr, SpecPath},
+                       Pass1Out),
+            0);
+  EXPECT_EQ(runProcess({CraftBinary, "client", "--port", PortStr, SpecPath},
+                       Pass2Out),
+            0);
+  const std::string Out1 = readFile(Pass1Out);
+  const std::string Out2 = readFile(Pass2Out);
+  EXPECT_NE(Out1.find("cached       no"), std::string::npos) << Out1;
+  EXPECT_EQ(Out2.find("cached       no"), std::string::npos)
+      << "second pass must be 100% cache hits:\n"
+      << Out2;
+  EXPECT_NE(Out2.find("cached       yes"), std::string::npos) << Out2;
+
+  // Library passes: assert byte-identical payloads and the cache flags
+  // field by field.
+  ServeClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(Port, Error)) << Error;
+  ASSERT_TRUE(Client.ping(Error)) << Error;
+
+  std::optional<VerifyReply> First = Client.verify(SpecText, Error);
+  ASSERT_TRUE(First.has_value()) << Error;
+  ASSERT_EQ(First->Results.size(), 3u) << "smoke spec has three queries";
+  for (const WireResult &R : First->Results) {
+    EXPECT_TRUE(R.Outcome.Certified) << R.Outcome.Detail;
+    EXPECT_TRUE(R.Cached) << "the client binary's passes already "
+                             "populated the cache for these queries";
+  }
+
+  std::optional<VerifyReply> Second = Client.verify(SpecText, Error);
+  ASSERT_TRUE(Second.has_value()) << Error;
+  ASSERT_EQ(Second->Results.size(), First->Results.size());
+  for (size_t I = 0; I < Second->Results.size(); ++I) {
+    EXPECT_TRUE(Second->Results[I].Cached);
+    EXPECT_EQ(payloadKey(First->Results[I]),
+              payloadKey(Second->Results[I]))
+        << "query " << I << ": cached payload must be byte-identical";
+  }
+
+  // Stats must agree: all 12 queries submitted, only 3 executed.
+  std::optional<json::Value> Stats = Client.stats(Error);
+  ASSERT_TRUE(Stats.has_value()) << Error;
+  const json::Value *Sched = Stats->find("scheduler");
+  ASSERT_NE(Sched, nullptr);
+  EXPECT_EQ(Sched->numberOr("submitted", -1), 12.0);
+  EXPECT_EQ(Sched->numberOr("executed", -1), 3.0);
+  EXPECT_EQ(Sched->numberOr("cache_hits", -1), 9.0);
+
+  // Clean shutdown: ack arrives, daemon exits 0.
+  EXPECT_TRUE(Client.requestShutdown(Error)) << Error;
+  EXPECT_EQ(Daemon.wait(), 0) << "daemon must exit 0 on shutdown request";
+}
+
+TEST(ServeE2eTest, ClientReportsConnectionFailureAsError) {
+  // Nothing listens here: `craft client` must exit 2, not hang or crash.
+  EXPECT_EQ(runProcess({CraftBinary, "client", "--port", "1", "--ping"},
+                       ""),
+            2);
+}
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: test_serve_e2e <craft-binary> <fixture-dir>\n");
+    return 2;
+  }
+  CraftBinary = argv[1];
+  FixtureDir = argv[2];
+  return RUN_ALL_TESTS();
+}

@@ -155,6 +155,118 @@ TEST(SpecParserTest, DiagnosesBadFill) {
                  "'fill' needs a value and a count", 3);
 }
 
+//===----------------------------------------------------------------------===//
+// Hardening: duplicates, silent accepts, malformed values
+//===----------------------------------------------------------------------===//
+
+TEST(SpecParserTest, DiagnosesDuplicateDirectives) {
+  expectOneError("model a.bin\nmodel b.bin\ninput box\nlo 0\nhi 1\n"
+                 "output robust 0\n",
+                 "duplicate 'model'", 2);
+  expectOneError("model m.bin\noutput robust 0\noutput robust 1\n"
+                 "input box\nlo 0\nhi 1\n",
+                 "duplicate 'output'", 3);
+  expectOneError("model m.bin\nverifier craft\nverifier box\n"
+                 "input box\nlo 0\nhi 1\noutput robust 0\n",
+                 "duplicate 'verifier'", 3);
+  expectOneError("model m.bin\nalpha1 0.5\nalpha1 0.25\ninput box\n"
+                 "lo 0\nhi 1\noutput robust 0\n",
+                 "duplicate 'alpha1'", 3);
+  expectOneError("model m.bin\ncertificate a.cert\ncertificate b.cert\n"
+                 "input box\nlo 0\nhi 1\noutput robust 0\n",
+                 "duplicate 'certificate'", 3);
+  expectOneError("model m.bin\nseed 1\nseed 2\ninput box\nlo 0\nhi 1\n"
+                 "output robust 0\n",
+                 "duplicate 'seed'", 3);
+}
+
+TEST(SpecParserTest, DiagnosesDuplicateRegionLines) {
+  expectOneError("model m.bin\nepsilon 0.1\nepsilon 0.2\ninput linf\n"
+                 "center 0.5\noutput robust 0\n",
+                 "duplicate file-wide 'epsilon'", 3);
+  expectOneError("model m.bin\ninput linf\ncenter 0.5\ncenter 0.6\n"
+                 "epsilon 0.1\noutput robust 0\n",
+                 "duplicate 'center' in this input block", 4);
+  expectOneError("model m.bin\ninput box\nlo 0\nlo 0.5\nhi 1\n"
+                 "output robust 0\n",
+                 "duplicate 'lo' in this input block", 4);
+  expectOneError("model m.bin\ninput linf\ncenter 0.5\nepsilon 0.1\n"
+                 "epsilon 0.2\noutput robust 0\n",
+                 "duplicate 'epsilon' in this input block", 5);
+  expectOneError("model m.bin\ninput linf\ncenter 0.5\nepsilon 0.1\n"
+                 "clamp 0 1\nclamp 0 2\noutput robust 0\n",
+                 "duplicate 'clamp' in this input block", 6);
+}
+
+TEST(SpecParserTest, DiagnosesRegionLinesOfTheWrongKind) {
+  // These were silently accepted (and silently ignored) before.
+  expectOneError("model m.bin\ninput box\ncenter 0.5\nlo 0\nhi 1\n"
+                 "output robust 0\n",
+                 "'center' applies to 'input linf'", 3);
+  expectOneError("model m.bin\ninput box\nlo 0\nhi 1\nepsilon 0.1\n"
+                 "output robust 0\n",
+                 "'epsilon' applies to 'input linf'", 5);
+  expectOneError("model m.bin\ninput linf\ncenter 0.5\nepsilon 0.1\n"
+                 "lo 0\noutput robust 0\n",
+                 "'lo' applies to 'input box'", 5);
+  expectOneError("model m.bin\ninput linf\ncenter 0.5\nepsilon 0.1\n"
+                 "hi 1\noutput robust 0\n",
+                 "'hi' applies to 'input box'", 5);
+}
+
+TEST(SpecParserTest, DiagnosesValuelessKnobs) {
+  // A bare `alpha1` / `epsilon` used to be silently dropped.
+  expectOneError("model m.bin\nalpha1\ninput box\nlo 0\nhi 1\n"
+                 "output robust 0\n",
+                 "'alpha1' takes one number", 2);
+  expectOneError("model m.bin\nepsilon\ninput linf\ncenter 0.5\n"
+                 "output robust 0\n",
+                 "'epsilon' takes one number", 2);
+}
+
+TEST(SpecParserTest, DiagnosesNonFiniteNumbers) {
+  // 1e999 overflows to inf under strtod; inf/nan spellings parse too.
+  expectOneError("model m.bin\ninput linf\ncenter 0.5\nepsilon 1e999\n"
+                 "output robust 0\n",
+                 "out of range", 4);
+  expectOneError("model m.bin\ninput linf\ncenter inf\nepsilon 0.1\n"
+                 "output robust 0\n",
+                 "out of range", 3);
+  expectOneError("model m.bin\ninput box\nlo nan\nhi 1\n"
+                 "output robust 0\n",
+                 "out of range", 3);
+}
+
+TEST(SpecParserTest, DiagnosesTruncatedSpecs) {
+  // EOF mid-spec must produce a clean diagnostic, never a
+  // default-initialized spec.
+  expectOneError("", "missing 'model'", 1);
+  expectOneError("model m.bin\n", "missing 'output", 1);
+  expectOneError("model m.bin\noutput robust 0\ninput linf\ncenter 0.5",
+                 "needs an 'epsilon' line", 4);
+  expectOneError("model m.bin\noutput robust 0\ninput box\nlo 0 1",
+                 "needs 'lo' and 'hi' lines", 4);
+  SpecParseResult R = parseSpec("model"); // Truncated mid-directive.
+  ASSERT_FALSE(R.ok());
+}
+
+TEST(SpecParserTest, DiagnosticsNeverYieldSpecs) {
+  // Every diagnostic path must leave Specs empty: a spec file with any
+  // error contributes no queries (no partially-parsed execution).
+  for (const char *Bad :
+       {"model a.bin\nmodel b.bin\ninput box\nlo 0\nhi 1\n"
+        "output robust 0\n",
+        "model m.bin\ninput box\nlo 0\nhi 1\noutput robust 0\n"
+        "epsilon 1e999\n",
+        "model m.bin\ninput linf\ncenter 0.5\n"}) {
+    SpecParseResult R = parseSpec(Bad);
+    EXPECT_FALSE(R.ok()) << Bad;
+    EXPECT_TRUE(R.Specs.empty()) << Bad;
+    EXPECT_FALSE(R.Spec.has_value()) << Bad;
+    EXPECT_FALSE(R.Diagnostics.empty()) << Bad;
+  }
+}
+
 TEST(SpecParserTest, DiagnosticRenderingIncludesPosition) {
   SpecParseResult R = parseSpec("model a b\n");
   ASSERT_FALSE(R.ok());

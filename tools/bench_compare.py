@@ -1,11 +1,17 @@
 #!/usr/bin/env python3
 """Compare BENCH_*.json perf records against a checked-in baseline.
 
-The bench harnesses (bench_micro_domain_ops, bench_table2_certification)
-emit {op, dims, ns_per_op, allocs_per_op, backend} records (see
-bench/BenchJson.h). This tool matches current records to baseline records
-by (op, dims) and fails when any matched op regressed by more than the
-threshold factor in ns/op — the regression gate of the bench-smoke CI job.
+The bench harnesses (bench_micro_domain_ops, bench_table2_certification,
+bench_serve) emit {op, dims, ns_per_op, allocs_per_op, backend} records
+(see bench/BenchJson.h). This tool matches current records to baseline
+records by (op, dims) and fails when any matched op regressed by more
+than the threshold factor in ns/op — the regression gate of the
+bench-smoke CI job. The serve records encode latency and inverse
+throughput in the same ns_per_op field, so one gate covers all three
+files; serve records additionally carry a cache_hit_rate, which fails
+the gate when it drops below the baseline's (minus a small tolerance) —
+a cache that silently stops hitting is a regression even when the
+latency numbers still look plausible.
 
 Only (op, dims) pairs present in both files are compared, so adding or
 removing benchmarks never breaks the gate; drops are listed so silent
@@ -61,6 +67,9 @@ def main():
                              "kernel backend differs from the baseline's "
                              "(off by default: cross-ISA timings are not "
                              "comparable)")
+    parser.add_argument("--hit-rate-tolerance", type=float, default=0.01,
+                        help="allowed cache_hit_rate drop below the "
+                             "baseline before failing (default 0.01)")
     args = parser.parse_args()
 
     current = {}
@@ -102,8 +111,19 @@ def main():
             if mismatch and not args.gate_backend_mismatch:
                 flag = "  (not gated: cross-ISA)"
             else:
-                regressions.append((f"{op}/{dims}", ratio))
+                regressions.append(f"{op}/{dims}: {ratio:.2f}x")
                 flag = "  << REGRESSION"
+        # Cache hit rates gate regardless of backend: hitting the cache
+        # is a functional property, not an ISA-dependent timing.
+        base_hits = baseline[key].get("cache_hit_rate")
+        cur_hits = current[key].get("cache_hit_rate")
+        if base_hits is not None and cur_hits is not None:
+            if cur_hits < base_hits - args.hit_rate_tolerance:
+                regressions.append(f"{op}/{dims}: cache_hit_rate "
+                                   f"{base_hits:.2f} -> {cur_hits:.2f}")
+                flag += "  << HIT-RATE REGRESSION"
+            else:
+                flag += f"  (hit rate {cur_hits:.2f})"
         if mismatch:
             flag += f"  (backend {base_backend} -> {cur_backend})"
         print(f"{op + '/' + dims:<{width}}  {base_ns:>12.0f}  "
@@ -117,10 +137,10 @@ def main():
               f"(add it with --update)")
 
     if regressions:
-        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed past "
-              f"{args.threshold}x:", file=sys.stderr)
-        for name, ratio in regressions:
-            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        print(f"\nFAIL: {len(regressions)} benchmark record(s) "
+              f"regressed:", file=sys.stderr)
+        for entry in regressions:
+            print(f"  {entry}", file=sys.stderr)
         return 1
     print(f"\nOK: {len(compared)} benchmark(s) within {args.threshold}x "
           f"of baseline")

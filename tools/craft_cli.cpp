@@ -3,6 +3,8 @@
 // The end-user entry point of the repository:
 //
 //   craft verify [--jobs N] <spec-file>...   run verification specs
+//   craft serve [options]                    run the verification daemon
+//   craft client --port N [...] <spec>...    query a running daemon
 //   craft info <model.bin>                   print model metadata
 //   craft check <model.bin> <cert>           validate a proof witness
 //
@@ -10,12 +12,24 @@
 // file may hold several `input` blocks; all queries from all files form one
 // batch that `--jobs N` fans out across N worker threads (0 = all hardware
 // threads). Results are printed in input order and are identical for every
-// job count. Exit status: 0 = every query certified / accepted / info
-// printed, 1 = some query not certified or rejected, 2 = usage or input
-// errors.
+// job count.
+//
+// Exit codes (verify and client; scripts and the serve smoke test branch
+// on these):
+//   0  every query certified
+//   1  at least one query refuted by a concrete counterexample
+//   2  usage, spec parse, model load, or transport errors
+//   3  at least one query undecided (not certified, not refuted — e.g.
+//      an exhausted iteration budget), and none refuted
+// Errors dominate refutations dominate undecided: a code >= 1 means "not
+// every query certified", and 2 additionally means "results incomplete".
+// `craft serve` exits 0 on a clean shutdown request and 2 on setup
+// errors; `craft info` / `craft check` keep their 0/2 and 0/1/2 contracts.
 //
 //===----------------------------------------------------------------------===//
 
+#include "serve/Client.h"
+#include "serve/Server.h"
 #include "tool/Driver.h"
 
 #include "linalg/Kernels.h"
@@ -31,15 +45,47 @@
 using namespace craft;
 
 static int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  craft verify [--jobs N] <spec-file>...\n"
-               "  craft info <model.bin>\n"
-               "  craft check <model.bin> <certificate.bin>\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  craft verify [--jobs N] <spec-file>...\n"
+      "  craft serve [--port N] [--stdio] [--jobs N] [--max-batch N]\n"
+      "              [--cache-entries N]\n"
+      "  craft client --port N [--no-cache] [--ping] [--stats]\n"
+      "               [--shutdown] [<spec-file>...]\n"
+      "  craft info <model.bin>\n"
+      "  craft check <model.bin> <certificate.bin>\n"
+      "exit codes (verify/client): 0 certified, 1 refuted, 2 error,\n"
+      "3 undecided\n");
   return 2;
 }
 
 namespace {
+
+/// Exit codes of the verify/client contract (see the file header).
+enum ExitCode {
+  ExitCertified = 0,
+  ExitRefuted = 1,
+  ExitError = 2,
+  ExitUnknown = 3,
+};
+
+/// Folds one outcome into the aggregate exit code: error > refuted >
+/// undecided > certified.
+void foldExit(int &Exit, const RunOutcome &Out) {
+  int Code = !Out.ModelLoaded ? ExitError
+             : Out.Certified  ? ExitCertified
+             : Out.Refuted    ? ExitRefuted
+                              : ExitUnknown;
+  // Severity order is not numeric order (3 ranks below 1 and 2).
+  auto Rank = [](int C) {
+    return C == ExitError ? 3 : C == ExitRefuted ? 2
+                            : C == ExitUnknown   ? 1
+                                                 : 0;
+  };
+  if (Rank(Code) > Rank(Exit))
+    Exit = Code;
+}
 
 void printOutcome(const VerificationSpec &Spec, const RunOutcome &Out) {
   std::printf("engine       %s\n",
@@ -81,7 +127,7 @@ int runVerify(const std::vector<std::string> &Files, int Jobs) {
     }
   }
   if (ParseFailed)
-    return 2;
+    return ExitError;
 
   // Workers would race writing the same witness file: the parser suffixes
   // certificate paths within one spec file, so only cross-file batches can
@@ -94,46 +140,235 @@ int runVerify(const std::vector<std::string> &Files, int Jobs) {
                    "error: certificate path '%s' is used by more than one "
                    "query in this batch\n",
                    Spec.CertificatePath.c_str());
-      return 2;
+      return ExitError;
     }
 
   BatchOptions Opts;
   Opts.Jobs = Jobs;
   std::vector<RunOutcome> Outcomes = runSpecBatch(Specs, Opts);
 
-  int Exit = 0;
+  int Exit = ExitCertified;
   for (size_t I = 0; I < Specs.size(); ++I) {
     if (Specs.size() > 1)
       std::printf("%s== query %zu (%s) ==\n", I == 0 ? "" : "\n", I + 1,
                   Sources[I]->c_str());
     const RunOutcome &Out = Outcomes[I];
+    foldExit(Exit, Out);
     if (!Out.ModelLoaded) {
       std::fprintf(stderr, "error: %s\n", Out.Detail.c_str());
-      Exit = 2;
       continue;
     }
     printOutcome(Specs[I], Out);
-    if (!Out.Certified && Exit == 0)
-      Exit = 1;
   }
   return Exit;
+}
+
+/// Parses a nonnegative integer option value (\p What for diagnostics).
+bool parseCount(const char *Digits, const char *What, long Max,
+                long &Value) {
+  char *End = nullptr;
+  errno = 0;
+  Value = std::strtol(Digits, &End, 10);
+  if (End == Digits || *End != '\0' || Value < 0 || errno == ERANGE ||
+      Value > Max) {
+    std::fprintf(stderr, "error: %s needs a count in [0, %ld]\n", What,
+                 Max);
+    return false;
+  }
+  return true;
 }
 
 /// Parses the --jobs count (\p Digits). On success stores a runSpecBatch
 /// jobs value into \p Jobs (user's 0 = all hardware threads maps to the
 /// API's <= 0 convention); on failure prints the error and returns false.
 bool parseJobs(const char *Digits, int &Jobs) {
-  char *End = nullptr;
-  errno = 0;
-  long V = std::strtol(Digits, &End, 10);
-  if (End == Digits || *End != '\0' || V < 0 || errno == ERANGE ||
-      V > 65536) {
-    std::fprintf(stderr, "error: --jobs needs a count >= 0 "
-                         "(0 = all hardware threads)\n");
+  long V = 0;
+  if (!parseCount(Digits, "--jobs", 65536, V))
     return false;
-  }
   Jobs = V == 0 ? -1 : static_cast<int>(V);
   return true;
+}
+
+int runServe(int Argc, char **Argv) {
+  serve::ServerOptions Opts;
+  bool Stdio = false;
+  bool HavePort = false;
+  for (int I = 2; I < Argc; ++I) {
+    auto needValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Flag);
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    if (std::strcmp(Argv[I], "--port") == 0) {
+      const char *V = needValue("--port");
+      long Port = 0;
+      if (!V || !parseCount(V, "--port", 65535, Port))
+        return ExitError;
+      Opts.Port = static_cast<int>(Port);
+      HavePort = true;
+    } else if (std::strcmp(Argv[I], "--stdio") == 0) {
+      Stdio = true;
+    } else if (std::strcmp(Argv[I], "--jobs") == 0 ||
+               std::strcmp(Argv[I], "-j") == 0) {
+      const char *V = needValue("--jobs");
+      if (!V || !parseJobs(V, Opts.Sched.Jobs))
+        return ExitError;
+    } else if (std::strcmp(Argv[I], "--max-batch") == 0) {
+      const char *V = needValue("--max-batch");
+      long N = 0;
+      if (!V || !parseCount(V, "--max-batch", 1 << 20, N) || N < 1)
+        return ExitError;
+      Opts.Sched.MaxBatch = static_cast<size_t>(N);
+    } else if (std::strcmp(Argv[I], "--cache-entries") == 0) {
+      const char *V = needValue("--cache-entries");
+      long N = 0;
+      if (!V || !parseCount(V, "--cache-entries", 1L << 30, N) || N < 1)
+        return ExitError;
+      Opts.Sched.CacheCapacity = static_cast<size_t>(N);
+    } else {
+      std::fprintf(stderr, "error: unknown serve option '%s'\n", Argv[I]);
+      return usage();
+    }
+  }
+  if (!HavePort && !Stdio)
+    Stdio = true; // Bare `craft serve` is a stdio service.
+
+  serve::Server Daemon(Opts);
+  std::string Error;
+  if (!Daemon.start(Error)) {
+    std::fprintf(stderr, "error: cannot listen on 127.0.0.1:%d: %s\n",
+                 Opts.Port, Error.c_str());
+    return ExitError;
+  }
+  if (HavePort) {
+    // Machine-parseable announce line: the e2e harness and scripts read
+    // the ephemeral port from here. stdout unless stdio is the protocol
+    // channel.
+    std::fprintf(Stdio ? stderr : stdout,
+                 "craft-serve: listening on 127.0.0.1:%d\n",
+                 Daemon.boundPort());
+    std::fflush(Stdio ? stderr : stdout);
+  }
+  if (Stdio)
+    Daemon.runStdio(stdin, stdout);
+  else
+    Daemon.waitForShutdown();
+  // Stdio EOF also lands here: drain and leave cleanly.
+  Daemon.shutdown();
+  return 0;
+}
+
+int runClient(int Argc, char **Argv) {
+  int Port = -1;
+  bool NoCache = false, Ping = false, Stats = false, Shutdown = false;
+  std::vector<std::string> Files;
+  for (int I = 2; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--port") == 0) {
+      if (I + 1 >= Argc)
+        return usage();
+      long V = 0;
+      if (!parseCount(Argv[++I], "--port", 65535, V))
+        return ExitError;
+      Port = static_cast<int>(V);
+    } else if (std::strcmp(Argv[I], "--no-cache") == 0) {
+      NoCache = true;
+    } else if (std::strcmp(Argv[I], "--ping") == 0) {
+      Ping = true;
+    } else if (std::strcmp(Argv[I], "--stats") == 0) {
+      Stats = true;
+    } else if (std::strcmp(Argv[I], "--shutdown") == 0) {
+      Shutdown = true;
+    } else if (Argv[I][0] == '-') {
+      std::fprintf(stderr, "error: unknown client option '%s'\n", Argv[I]);
+      return usage();
+    } else {
+      Files.push_back(Argv[I]);
+    }
+  }
+  if (Port < 0) {
+    std::fprintf(stderr, "error: craft client needs --port N\n");
+    return usage();
+  }
+  if (Files.empty() && !Ping && !Stats && !Shutdown)
+    return usage();
+
+  serve::ServeClient Client;
+  std::string Error;
+  if (!Client.connect(Port, Error)) {
+    std::fprintf(stderr, "error: cannot connect to 127.0.0.1:%d: %s\n",
+                 Port, Error.c_str());
+    return ExitError;
+  }
+
+  int Exit = ExitCertified;
+  if (Ping) {
+    if (!Client.ping(Error)) {
+      std::fprintf(stderr, "error: ping failed: %s\n", Error.c_str());
+      return ExitError;
+    }
+    std::printf("pong\n");
+  }
+
+  size_t QueryNo = 0;
+  for (const std::string &File : Files) {
+    std::FILE *F = std::fopen(File.c_str(), "rb");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
+      return ExitError;
+    }
+    std::string SpecText;
+    char Buf[4096];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+      SpecText.append(Buf, N);
+    std::fclose(F);
+
+    std::optional<serve::VerifyReply> Reply =
+        Client.verify(SpecText, Error, !NoCache);
+    if (!Reply) {
+      std::fprintf(stderr, "error: %s: %s\n", File.c_str(), Error.c_str());
+      return ExitError;
+    }
+    for (const serve::WireResult &R : Reply->Results) {
+      ++QueryNo;
+      std::printf("%s== query %zu (%s) ==\n", QueryNo == 1 ? "" : "\n",
+                  QueryNo, File.c_str());
+      const RunOutcome &Out = R.Outcome;
+      foldExit(Exit, Out);
+      if (!Out.ModelLoaded) {
+        std::printf("error        %s\n", Out.Detail.c_str());
+        continue;
+      }
+      std::printf("verdict      %s\n", Out.Certified ? "CERTIFIED"
+                                       : Out.Refuted ? "REFUTED"
+                                                     : "not certified");
+      std::printf("margin       %.6f\n", Out.MarginLower);
+      std::printf("time         %.3f s\n", Out.TimeSeconds);
+      std::printf("cached       %s\n", R.Cached ? "yes" : "no");
+      if (!Out.Detail.empty())
+        std::printf("detail       %s\n", Out.Detail.c_str());
+    }
+    std::printf("server time  %.3f ms\n", Reply->ServerMs);
+  }
+
+  if (Stats) {
+    std::optional<json::Value> Doc = Client.stats(Error);
+    if (!Doc) {
+      std::fprintf(stderr, "error: stats failed: %s\n", Error.c_str());
+      return ExitError;
+    }
+    std::printf("%s\n", Doc->serialize().c_str());
+  }
+  if (Shutdown) {
+    if (!Client.requestShutdown(Error)) {
+      std::fprintf(stderr, "error: shutdown failed: %s\n", Error.c_str());
+      return ExitError;
+    }
+    std::printf("server shutting down\n");
+  }
+  return Exit;
 }
 
 } // namespace
@@ -172,6 +407,10 @@ int main(int Argc, char **Argv) {
       return usage();
     return runVerify(Files, Jobs);
   }
+  if (std::strcmp(Argv[1], "serve") == 0)
+    return runServe(Argc, Argv);
+  if (std::strcmp(Argv[1], "client") == 0)
+    return runClient(Argc, Argv);
   if (std::strcmp(Argv[1], "info") == 0 && Argc == 3)
     return printModelInfo(Argv[2]) ? 0 : 2;
   if (std::strcmp(Argv[1], "check") == 0 && Argc == 4)
