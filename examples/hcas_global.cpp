@@ -4,7 +4,10 @@
 // an HCAS advisory network is certified region-by-region so that every
 // input in a certified region provably yields the same advisory.
 //
-// Run:  ./build/examples/hcas_global [max_split_depth]
+// Run:  ./build/examples/hcas_global [max_split_depth] [jobs]
+//
+// jobs fans the split waves out across worker threads (0 = all hardware
+// threads); the certified regions are identical for every value.
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +23,7 @@ using namespace craft;
 
 int main(int Argc, char **Argv) {
   int MaxDepth = Argc > 1 ? std::atoi(Argv[1]) : 9;
+  int Jobs = Argc > 2 ? std::atoi(Argv[2]) : 1;
 
   const ModelSpec *Spec = findModelSpec("hcas_fc100");
   MonDeq Model = getOrTrainModel(*Spec);
@@ -35,7 +39,8 @@ int main(int Argc, char **Argv) {
   CraftConfig Config;
   Config.Alpha1 = 0.06;
   Config.LambdaOptLevel = 0;
-  SplitResult Res = certifyByDomainSplitting(Model, Config, Lo, Hi, MaxDepth);
+  SplitResult Res =
+      certifyByDomainSplitting(Model, Config, Lo, Hi, MaxDepth, Jobs);
 
   std::printf("certified %.1f%% of the encounter region "
               "(%zu regions, %zu certified)\n",

@@ -2,147 +2,73 @@
 
 #include "core/DomainSplitting.h"
 
-#include "nn/Solvers.h"
-
 using namespace craft;
-
-namespace {
-
-struct SplitContext {
-  const CraftVerifier &Verifier;
-  const FixpointSolver &Concrete;
-  SplitResult &Result;
-  int MaxDepth;
-};
-
-double volumeOf(const Vector &Lo, const Vector &Hi) {
-  double V = 1.0;
-  for (size_t I = 0; I < Lo.size(); ++I)
-    V *= Hi[I] - Lo[I];
-  return V;
-}
-
-void splitRecurse(SplitContext &Ctx, const Vector &Lo, const Vector &Hi,
-                  int Depth) {
-  Vector Center = 0.5 * (Lo + Hi);
-  int Class = Ctx.Concrete.predict(Center);
-  ++Ctx.Result.NumVerifierCalls;
-  CraftResult Res = Ctx.Verifier.verifyRegion(Lo, Hi, Class);
-  if (Res.Certified) {
-    Ctx.Result.Regions.push_back({Lo, Hi, Class});
-    ++Ctx.Result.NumCertified;
-    return;
-  }
-  if (Depth >= Ctx.MaxDepth) {
-    Ctx.Result.Regions.push_back({Lo, Hi, -1});
-    return;
-  }
-  // Bisect the widest dimension.
-  size_t Widest = 0;
-  for (size_t I = 1; I < Lo.size(); ++I)
-    if (Hi[I] - Lo[I] > Hi[Widest] - Lo[Widest])
-      Widest = I;
-  Vector MidHi = Hi, MidLo = Lo;
-  MidHi[Widest] = Center[Widest];
-  MidLo[Widest] = Center[Widest];
-  splitRecurse(Ctx, Lo, MidHi, Depth + 1);
-  splitRecurse(Ctx, MidLo, Hi, Depth + 1);
-}
-
-} // namespace
 
 SplitResult craft::certifyByDomainSplitting(const MonDeq &Model,
                                             const CraftConfig &Config,
                                             const Vector &Lo, const Vector &Hi,
-                                            int MaxDepth) {
+                                            int MaxDepth, int Jobs) {
+  SplitEngineOptions Opts;
+  Opts.MaxDepth = MaxDepth;
+  Opts.Jobs = Jobs;
+  Opts.TargetClass = -1; // Global mode: certify each region's own class.
+  SplitEngineResult Run = runSplitEngine(Model, Config, Lo, Hi, Opts);
+
   SplitResult Result;
-  CraftVerifier Verifier(Model, Config);
-  FixpointSolver Concrete(Model, Splitting::PeacemanRachford);
-  SplitContext Ctx{Verifier, Concrete, Result, MaxDepth};
-  splitRecurse(Ctx, Lo, Hi, 0);
-
-  double Total = volumeOf(Lo, Hi);
-  double Certified = 0.0;
-  for (const SplitRegion &Region : Result.Regions)
-    if (Region.CertifiedClass >= 0)
-      Certified += volumeOf(Region.Lo, Region.Hi);
-  Result.CertifiedFraction = Total > 0.0 ? Certified / Total : 0.0;
+  Result.Regions.reserve(Run.Leaves.size());
+  for (SplitLeaf &Leaf : Run.Leaves)
+    Result.Regions.push_back({std::move(Leaf.Lo), std::move(Leaf.Hi),
+                              Leaf.CertifiedClass, Leaf.Path});
+  Result.CertifiedFraction = Run.certifiedFraction();
+  Result.NumCertified = Run.NumCertified;
+  Result.NumVerifierCalls = Run.NumVerifierCalls;
+  Result.NumWaves = Run.NumWaves;
   return Result;
 }
 
-namespace {
+BranchAndBoundResult craft::verifyRobustnessSplit(const MonDeq &Model,
+                                                  const CraftConfig &Config,
+                                                  const Vector &Lo,
+                                                  const Vector &Hi,
+                                                  int TargetClass,
+                                                  const SplitOptions &Opts) {
+  SplitEngineOptions Engine;
+  Engine.MaxDepth = Opts.MaxDepth;
+  Engine.Jobs = Opts.Jobs;
+  Engine.TargetClass = TargetClass;
+  Engine.PgdProbes = Opts.PgdProbes;
+  Engine.Pgd = Opts.Pgd;
+  Engine.ProbeSeedBase = Opts.ProbeSeedBase;
+  SplitEngineResult Run = runSplitEngine(Model, Config, Lo, Hi, Engine);
 
-/// Worklist state for the local branch-and-bound refinement.
-struct BnBContext {
-  const CraftVerifier &Verifier;
-  const FixpointSolver &Concrete;
-  BranchAndBoundResult &Result;
-  int TargetClass;
-  int MaxDepth;
-  double CertifiedVolume = 0.0;
-};
-
-void bnbRecurse(BnBContext &Ctx, const Vector &Lo, const Vector &Hi,
-                int Depth) {
-  if (Ctx.Result.Refuted)
-    return;
-
-  // Concrete center probe first: a misclassification is a definitive
-  // counterexample and short-circuits the whole search.
-  Vector Center = 0.5 * (Lo + Hi);
-  if (Ctx.Concrete.predict(Center) != Ctx.TargetClass) {
-    Ctx.Result.Refuted = true;
-    Ctx.Result.Counterexample = Center;
-    return;
-  }
-
-  ++Ctx.Result.NumVerifierCalls;
-  CraftResult Res = Ctx.Verifier.verifyRegion(Lo, Hi, Ctx.TargetClass);
-  if (Res.Certified) {
-    ++Ctx.Result.NumLeaves;
-    Ctx.CertifiedVolume += volumeOf(Lo, Hi);
-    return;
-  }
-  if (Depth >= Ctx.MaxDepth) {
-    ++Ctx.Result.NumLeaves; // Undecided leaf.
-    return;
-  }
-
-  // Bisect along the widest dimension.
-  size_t Widest = 0;
-  double Best = -1.0;
-  for (size_t I = 0; I < Lo.size(); ++I)
-    if (Hi[I] - Lo[I] > Best) {
-      Best = Hi[I] - Lo[I];
-      Widest = I;
-    }
-  double Mid = 0.5 * (Lo[Widest] + Hi[Widest]);
-  Vector LoA = Lo, HiA = Hi, LoB = Lo, HiB = Hi;
-  HiA[Widest] = Mid;
-  LoB[Widest] = Mid;
-  bnbRecurse(Ctx, LoA, HiA, Depth + 1);
-  bnbRecurse(Ctx, LoB, HiB, Depth + 1);
-}
-
-} // namespace
-
-BranchAndBoundResult craft::verifyRobustnessSplit(
-    const MonDeq &Model, const CraftConfig &Config, const Vector &Lo,
-    const Vector &Hi, int TargetClass, int MaxDepth) {
   BranchAndBoundResult Result;
-  CraftVerifier Verifier(Model, Config);
-  FixpointSolver Concrete(Model, Splitting::PeacemanRachford);
-  BnBContext Ctx{Verifier, Concrete, Result, TargetClass, MaxDepth, 0.0};
-  bnbRecurse(Ctx, Lo, Hi, 0);
-
+  Result.Refuted = Run.Refuted;
+  Result.RefutedByPgd = Run.RefutedByPgd;
+  Result.Counterexample = std::move(Run.Counterexample);
+  Result.CounterexamplePath = Run.CounterexamplePath;
+  Result.PgdSeed = Run.PgdSeed;
+  Result.NumVerifierCalls = Run.NumVerifierCalls;
+  Result.NumLeaves = Run.NumCertified + Run.NumUndecided;
+  Result.NumUndecided = Run.NumUndecided;
+  Result.NumWaves = Run.NumWaves;
+  Result.NumPgdProbes = Run.NumPgdProbes;
   if (!Result.Refuted) {
-    double Total = volumeOf(Lo, Hi);
-    Result.CertifiedVolumeFraction =
-        Total > 0.0 ? Ctx.CertifiedVolume / Total : 0.0;
-    // Guard against accumulated rounding in the volume bookkeeping.
-    Result.Certified = Result.CertifiedVolumeFraction >= 1.0 - 1e-9;
-    if (Result.Certified)
-      Result.CertifiedVolumeFraction = 1.0;
+    // Exact leaf-unit accounting: no rounding guard needed — a fully
+    // certified tree sums to the root's units exactly, degenerate
+    // dimensions included.
+    Result.CertifiedVolumeFraction = Run.certifiedFraction();
+    Result.Certified = Run.fullyCertified();
   }
   return Result;
+}
+
+BranchAndBoundResult craft::verifyRobustnessSplit(const MonDeq &Model,
+                                                  const CraftConfig &Config,
+                                                  const Vector &Lo,
+                                                  const Vector &Hi,
+                                                  int TargetClass,
+                                                  int MaxDepth) {
+  SplitOptions Opts;
+  Opts.MaxDepth = MaxDepth;
+  return verifyRobustnessSplit(Model, Config, Lo, Hi, TargetClass, Opts);
 }

@@ -572,9 +572,18 @@ Value serve::encodeResult(const WireResult &Result) {
   const RunOutcome &Out = Result.Outcome;
   Value V = Value::object();
   V.set("model_loaded", Value::boolean(Out.ModelLoaded));
+  V.set("error", Value::boolean(Out.Error));
   V.set("certified", Value::boolean(Out.Certified));
   V.set("containment", Value::boolean(Out.Containment));
   V.set("refuted", Value::boolean(Out.Refuted));
+  if (!Out.Counterexample.empty()) {
+    // %.17g numbers round-trip doubles losslessly, so the witness a
+    // client prints is bit-identical to the one the server found.
+    Value Cx = Value::array();
+    for (double C : Out.Counterexample)
+      Cx.push(Value::number(C));
+    V.set("counterexample", std::move(Cx));
+  }
   V.set("margin_lower", Value::number(Out.MarginLower));
   V.set("time_s", Value::number(Out.TimeSeconds));
   V.set("certificate_written", Value::boolean(Out.CertificateWritten));
@@ -590,9 +599,21 @@ serve::decodeResult(const Value &V) {
     return std::nullopt;
   WireResult R;
   R.Outcome.ModelLoaded = V.boolOr("model_loaded", false);
+  R.Outcome.Error = V.boolOr("error", false);
   R.Outcome.Certified = V.boolOr("certified", false);
   R.Outcome.Containment = V.boolOr("containment", false);
   R.Outcome.Refuted = V.boolOr("refuted", false);
+  if (const Value *Cx = V.find("counterexample")) {
+    if (!Cx->isArray())
+      return std::nullopt;
+    Vector Witness(Cx->elements().size());
+    for (size_t I = 0; I < Cx->elements().size(); ++I) {
+      if (!Cx->elements()[I].isNumber())
+        return std::nullopt;
+      Witness[I] = Cx->elements()[I].asNumber();
+    }
+    R.Outcome.Counterexample = std::move(Witness);
+  }
   R.Outcome.MarginLower = V.numberOr("margin_lower", -1e300);
   R.Outcome.TimeSeconds = V.numberOr("time_s", 0.0);
   R.Outcome.CertificateWritten = V.boolOr("certificate_written", false);

@@ -12,6 +12,7 @@
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 
@@ -42,14 +43,22 @@ CraftConfig configFor(const VerificationSpec &Spec) {
 RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model) {
   RunOutcome Out;
   Out.ModelLoaded = true;
+  // Spec/model mismatches are errors, not verdicts: the query never ran,
+  // and reporting it "undecided" would hide a broken pipeline (exit 3
+  // instead of 2 from the CLI).
   if (Spec.InLo.size() != Model.inputDim()) {
+    Out.Error = true;
     Out.Detail = "input region has dimension " +
                  std::to_string(Spec.InLo.size()) + " but the model takes " +
                  std::to_string(Model.inputDim());
     return Out;
   }
-  if (Spec.TargetClass >= (int)Model.outputDim()) {
-    Out.Detail = "target class out of range";
+  if (Spec.TargetClass < 0 ||
+      Spec.TargetClass >= (int)Model.outputDim()) {
+    Out.Error = true;
+    Out.Detail = "target class " + std::to_string(Spec.TargetClass) +
+                 " out of range [0, " +
+                 std::to_string(Model.outputDim()) + ")";
     return Out;
   }
 
@@ -58,20 +67,46 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model) {
   case SpecVerifier::Craft:
   case SpecVerifier::Box: {
     if (Spec.SplitDepth > 0) {
-      BranchAndBoundResult Res = verifyRobustnessSplit(
-          Model, configFor(Spec), Spec.InLo, Spec.InHi, Spec.TargetClass,
-          Spec.SplitDepth);
+      SplitOptions Split;
+      Split.MaxDepth = Spec.SplitDepth;
+      Split.Jobs = Spec.SplitJobs == 0 ? -1 : Spec.SplitJobs;
+      if (Spec.Attack) {
+        // PGD probes on undecided leaves, each seeded by its region path
+        // from the spec seed (or the batch driver's per-index seed), so
+        // outcomes depend only on spec content and batch position.
+        Split.PgdProbes = true;
+        Split.Pgd.InputLo = Spec.ClampLo;
+        Split.Pgd.InputHi = Spec.ClampHi;
+        Split.Pgd.Steps = 20;
+        Split.Pgd.Restarts = 2;
+        Split.ProbeSeedBase = Spec.AttackSeed != 0
+                                  ? Spec.AttackSeed
+                                  : taskSeed(BatchOptions().BaseSeed, 0);
+      }
+      BranchAndBoundResult Res =
+          verifyRobustnessSplit(Model, configFor(Spec), Spec.InLo,
+                                Spec.InHi, Spec.TargetClass, Split);
       Out.Certified = Res.Certified;
       Out.Containment = Res.NumVerifierCalls > 0;
       Out.MarginLower = Res.Certified ? 0.0 : -1.0;
       Out.Refuted = Res.Refuted;
-      if (Res.Refuted)
+      if (Res.NumPgdProbes > 0 || Res.RefutedByPgd)
+        Out.AttackSeed = Split.ProbeSeedBase;
+      if (Res.Refuted) {
+        Out.Counterexample = std::move(Res.Counterexample);
         Out.Detail = "refuted by a concrete counterexample";
-      else
+        if (Res.RefutedByPgd)
+          Out.Detail += " (PGD probe, seed " +
+                        std::to_string(Res.PgdSeed) + ")";
+        Out.Detail += " in region path " +
+                      std::to_string(Res.CounterexamplePath);
+      } else {
         Out.Detail = "split verification: " +
                      std::to_string(Res.NumVerifierCalls) + " calls, " +
+                     std::to_string(Res.NumWaves) + " waves, " +
                      std::to_string(Res.CertifiedVolumeFraction * 100.0) +
                      "% volume certified";
+      }
       break;
     }
     CraftVerifier Ver(Model, configFor(Spec));
@@ -102,6 +137,7 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model) {
   }
   case SpecVerifier::Lipschitz: {
     if (Spec.Center.empty() || Spec.Epsilon <= 0.0) {
+      Out.Error = true;
       Out.Detail = "the lipschitz engine needs an 'input linf' region";
       return Out;
     }
@@ -118,9 +154,11 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model) {
   // Opt-in PGD refutation: an uncertified l-inf query may still be
   // concretely disproved. The seed comes from the spec or, in a batch, from
   // the task's index (see runSpecBatch), so outcomes never depend on which
-  // worker thread ran the query.
-  if (Spec.Attack && !Out.Certified && !Out.Refuted &&
-      !Spec.Center.empty() && Spec.Epsilon > 0.0) {
+  // worker thread ran the query. Split runs own their refutation probes
+  // (per-leaf PGD above), so the whole-ball pass would only re-attack the
+  // same space at extra cost.
+  if (Spec.Attack && Spec.SplitDepth <= 0 && !Out.Certified &&
+      !Out.Refuted && !Spec.Center.empty() && Spec.Epsilon > 0.0) {
     PgdOptions Attack;
     Attack.Epsilon = Spec.Epsilon;
     Attack.InputLo = Spec.ClampLo;
@@ -135,6 +173,7 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model) {
     if (Adv.FoundAdversarial &&
         Concrete.predict(Adv.Adversarial) != Spec.TargetClass) {
       Out.Refuted = true;
+      Out.Counterexample = std::move(Adv.Adversarial);
       Out.Detail += "; refuted by PGD (class " +
                     std::to_string(Adv.AdversarialClass) + ", seed " +
                     std::to_string(Attack.Seed) + ")";
@@ -148,6 +187,12 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model) {
   if (Out.Certified && !Spec.CertificatePath.empty()) {
     if (Spec.Verifier != SpecVerifier::Craft) {
       Out.Detail += "; certificates require the craft engine";
+    } else if (Spec.SplitDepth > 0) {
+      // A split certification is a tree of per-region proofs; the witness
+      // format holds exactly one region, and re-proving the unsplit box
+      // with certifyRegion would predictably fail (splitting ran because
+      // the root alone does not certify). Diagnose instead of re-running.
+      Out.Detail += "; certificates are not yet supported for split runs";
     } else if (auto Cert = certifyRegion(Model, Spec.InLo, Spec.InHi,
                                          Spec.TargetClass,
                                          configFor(Spec))) {
@@ -179,10 +224,31 @@ RunOutcome craft::runSpecLoaded(const VerificationSpec &Spec,
   return runSpecOn(Spec, Model);
 }
 
+namespace {
+
+/// True when a batch of \p N specs on \p Jobs workers actually fans out.
+/// Matches parallelForIndex's worker arithmetic.
+bool batchFansOut(size_t N, int Jobs) {
+  size_t Workers =
+      Jobs <= 0 ? ThreadPool::hardwareWorkers() : static_cast<size_t>(Jobs);
+  return std::min(Workers, N) > 1;
+}
+
+/// Split fan-out composes multiplicatively with batch fan-out: a 64-spec
+/// batch of split-jobs-0 queries on a 64-thread host would spawn ~64
+/// pools of 64 threads each. Inside a parallel batch the workers already
+/// saturate the machine, so run each spec's split engine inline — split
+/// outcomes are byte-identical for every job count, making this a pure
+/// scheduling decision.
+void clampSplitJobsForBatch(VerificationSpec &Spec) { Spec.SplitJobs = 1; }
+
+} // namespace
+
 std::vector<RunOutcome>
 craft::runSpecBatchLoaded(const std::vector<VerificationSpec> &Specs,
                           const std::vector<const MonDeq *> &Models,
                           int Jobs) {
+  const bool FansOut = batchFansOut(Specs.size(), Jobs);
   std::vector<RunOutcome> Outcomes(Specs.size());
   parallelForIndex(Specs.size(), Jobs, [&](size_t I) {
     const MonDeq *Model = I < Models.size() ? Models[I] : nullptr;
@@ -191,7 +257,13 @@ craft::runSpecBatchLoaded(const std::vector<VerificationSpec> &Specs,
           "cannot load model '" + Specs[I].ModelPath + "'";
       return;
     }
-    Outcomes[I] = runSpecOn(Specs[I], *Model);
+    if (FansOut) {
+      VerificationSpec Spec = Specs[I];
+      clampSplitJobsForBatch(Spec);
+      Outcomes[I] = runSpecOn(Spec, *Model);
+    } else {
+      Outcomes[I] = runSpecOn(Specs[I], *Model);
+    }
   });
   return Outcomes;
 }
@@ -210,6 +282,7 @@ craft::runSpecBatch(const std::vector<VerificationSpec> &Specs,
       Entry.second->fbAlphaBound(); // Warm the lazy cache before fan-out.
   }
 
+  const bool FansOut = batchFansOut(Specs.size(), Opts.Jobs);
   std::vector<RunOutcome> Outcomes(Specs.size());
   parallelForIndex(Specs.size(), Opts.Jobs, [&](size_t I) {
     VerificationSpec Spec = Specs[I];
@@ -217,6 +290,8 @@ craft::runSpecBatch(const std::vector<VerificationSpec> &Specs,
     // batch outcome is identical for every job count.
     if (Spec.Attack && Spec.AttackSeed == 0)
       Spec.AttackSeed = taskSeed(Opts.BaseSeed, I);
+    if (FansOut)
+      clampSplitJobsForBatch(Spec);
     const std::optional<MonDeq> &Model = Models.at(Spec.ModelPath);
     if (!Model) {
       Outcomes[I].Detail = "cannot load model '" + Spec.ModelPath + "'";
@@ -225,6 +300,29 @@ craft::runSpecBatch(const std::vector<VerificationSpec> &Specs,
     Outcomes[I] = runSpecOn(Spec, *Model);
   });
   return Outcomes;
+}
+
+SplitRunOutcome craft::runSplitCertification(const VerificationSpec &Spec,
+                                             int Jobs, int MaxDepth) {
+  SplitRunOutcome Out;
+  std::optional<MonDeq> Model = MonDeq::load(Spec.ModelPath);
+  if (!Model) {
+    Out.Detail = "cannot load model '" + Spec.ModelPath + "'";
+    return Out;
+  }
+  Out.ModelLoaded = true;
+  if (Spec.InLo.size() != Model->inputDim()) {
+    Out.Error = true;
+    Out.Detail = "input region has dimension " +
+                 std::to_string(Spec.InLo.size()) + " but the model takes " +
+                 std::to_string(Model->inputDim());
+    return Out;
+  }
+  WallTimer Clock;
+  Out.Split = certifyByDomainSplitting(*Model, configFor(Spec), Spec.InLo,
+                                       Spec.InHi, MaxDepth, Jobs);
+  Out.TimeSeconds = Clock.seconds();
+  return Out;
 }
 
 bool craft::printModelInfo(const std::string &ModelPath) {

@@ -15,6 +15,7 @@
 #ifndef CRAFT_TOOL_DRIVER_H
 #define CRAFT_TOOL_DRIVER_H
 
+#include "core/DomainSplitting.h"
 #include "tool/SpecParser.h"
 
 #include <cstdint>
@@ -26,12 +27,19 @@ namespace craft {
 /// Result of executing one spec.
 struct RunOutcome {
   bool ModelLoaded = false;
+  /// The spec cannot be run against this model (input-dimension mismatch,
+  /// target class out of range, engine/region mismatch): the query never
+  /// executed, so the verdict fields are meaningless. The CLI maps this —
+  /// like a load failure — to exit 2, not to "undecided".
+  bool Error = false;
   bool Certified = false;
   /// Craft only: an abstract post-fixpoint was found.
   bool Containment = false;
   /// A concrete counterexample disproves the property (split refinement or
   /// the opt-in PGD refutation pass).
   bool Refuted = false;
+  /// The witness point when Refuted (empty only for legacy producers).
+  Vector Counterexample;
   /// Best margin lower bound the engine reports (engine-specific scale).
   double MarginLower = -1e300;
   double TimeSeconds = 0.0;
@@ -79,9 +87,29 @@ struct BatchOptions {
 
 /// Runs every spec of a batch across a worker pool and returns outcomes in
 /// input order. Apart from RunOutcome::TimeSeconds (wall time), results are
-/// byte-identical for every Jobs value.
+/// byte-identical for every Jobs value. When the batch itself fans out,
+/// per-spec `split-jobs` is clamped to 1 (pool fan-outs compose
+/// multiplicatively, and split outcomes do not depend on the value).
 std::vector<RunOutcome> runSpecBatch(const std::vector<VerificationSpec> &Specs,
                                      const BatchOptions &Opts = {});
+
+/// Result of one `craft split` global-certification run.
+struct SplitRunOutcome {
+  bool ModelLoaded = false;
+  bool Error = false; ///< Spec/model mismatch (see RunOutcome::Error).
+  SplitResult Split;
+  double TimeSeconds = 0.0;
+  std::string Detail;
+};
+
+/// `craft split`: global certification of \p Spec's input box by domain
+/// splitting — every region is certified against the class its own center
+/// predicts (the spec's target class is ignored), and the certified-volume
+/// fraction is the headline result. \p Jobs and \p MaxDepth are the
+/// resolved knobs (callers default them from the spec's `split-jobs` /
+/// `split-depth`); Jobs <= 0 uses all hardware threads.
+SplitRunOutcome runSplitCertification(const VerificationSpec &Spec, int Jobs,
+                                      int MaxDepth);
 
 /// `craft info`: prints model metadata (dims, activation, m, FB alpha
 /// bound, semantic hash) to stdout. Returns false if loading fails.

@@ -62,6 +62,9 @@ std::string craft::canonicalSpec(const VerificationSpec &Spec) {
   appendDouble(Out, Spec.Alpha2);
   Out += ";max-iterations=" + std::to_string(Spec.MaxIterations);
   Out += ";lambda-opt=" + std::to_string(Spec.LambdaOptLevel);
+  // SplitJobs is deliberately absent: split outcomes are byte-identical
+  // for every worker count, so two specs differing only in split-jobs are
+  // the same query and must share one cache entry.
   Out += ";split-depth=" + std::to_string(Spec.SplitDepth);
   Out += ";attack=";
   Out += Spec.Attack ? '1' : '0';

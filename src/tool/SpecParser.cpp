@@ -312,6 +312,12 @@ private:
           integer(Line[1], Base.SplitDepth, 0);
       } else
         error(Head, "'split-depth' takes one integer");
+    } else if (Kw == "split-jobs") {
+      if (Line.size() == 2) {
+        if (once(Head))
+          integer(Line[1], Base.SplitJobs, 0);
+      } else
+        error(Head, "'split-jobs' takes one integer (0 = all threads)");
     } else if (Kw == "lambda-opt") {
       if (Line.size() == 2) {
         if (once(Head) && integer(Line[1], Base.LambdaOptLevel, 0) &&

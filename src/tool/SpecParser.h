@@ -32,6 +32,9 @@
 /// out across workers. `attack on` enables PGD refutation of uncertified
 /// l-inf queries and `seed <n>` pins its RNG seed (0 or absent = a
 /// deterministic per-query seed derived from the query's index).
+/// `split-depth <n>` engages the branch-and-bound split engine and
+/// `split-jobs <n>` fans its region waves out across n worker threads
+/// (0 = all hardware threads) without changing any outcome.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -67,6 +70,10 @@ struct VerificationSpec {
   int LambdaOptLevel = -1;
   /// Branch-and-bound split budget for the craft engine (0 = no splits).
   int SplitDepth = 0;
+  /// Worker threads for the split engine (0 = all hardware threads). A
+  /// pure performance knob: split outcomes are byte-identical for every
+  /// value, so it is excluded from the canonical spec form.
+  int SplitJobs = 1;
   /// Emit a proof witness here when non-empty (Craft only). Multi-input
   /// specs write one file per query (".<index>" suffix after the first).
   std::string CertificatePath;

@@ -3,10 +3,13 @@
 // Pins the documented `craft verify` exit codes by running the real
 // binary: 0 = every query certified, 1 = refuted, 2 = usage/IO error,
 // 3 = undecided (not certified, not refuted), with error > refuted >
-// undecided precedence across a batch. The fixture directory (CliSmoke)
-// provides a certifiable spec (smoke.spec), an undecidable one
-// (unknown.spec: hopeless radius, no attack) and a refutable one
-// (refuted.spec: hopeless radius, PGD enabled under a pinned seed).
+// undecided precedence across a batch. Spec/model mismatches (wrong input
+// dimension, target class out of range) are errors, not verdicts. The
+// fixture directory (CliSmoke) provides a certifiable spec (smoke.spec),
+// an undecidable one (unknown.spec: hopeless radius, no attack), a
+// refutable one (refuted.spec: hopeless radius, PGD enabled under a
+// pinned seed) and a degenerate-box split spec (degenerate.spec:
+// lo == hi dimensions, split-depth 2, certifiable).
 //
 // Usage: test_cli_exitcodes <path-to-craft-binary> <fixture-dir>
 //
@@ -98,6 +101,49 @@ TEST(CliExitCodeTest, UsageAndIoErrorsExitTwo) {
   EXPECT_EQ(craftExit({"verify", BadModel}), 2);
   EXPECT_EQ(craftExit({"verify", BadModel, fixture("refuted.spec")}), 2)
       << "error must outrank refuted";
+}
+
+TEST(CliExitCodeTest, DegenerateSplitSpecExitsZero) {
+  // A box with degenerate (lo == hi) dimensions must certify through the
+  // split path: the fixture's degenerate.spec sets split-depth 2 and
+  // split-jobs 2 around a certifiable sample. The old volume accounting
+  // computed a 0/0 certified fraction and exited 3 here.
+  EXPECT_EQ(craftExit({"verify", fixture("degenerate.spec")}), 0);
+}
+
+TEST(CliExitCodeTest, SpecModelMismatchExitsTwo) {
+  // Input-dimension mismatch: the query never ran, so reporting exit 3
+  // ("undecided") would hide a broken pipeline.
+  const std::string WrongDim = FixtureDir + "/wrong_dim.spec";
+  std::FILE *F = std::fopen(WrongDim.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fprintf(F, "model %s/model.bin\ninput box\nlo 0 0\nhi 1 1\n"
+                  "output robust 0\n",
+               FixtureDir.c_str());
+  std::fclose(F);
+  EXPECT_EQ(craftExit({"verify", WrongDim}), 2);
+
+  // Target class past the model's output dimension.
+  const std::string BadClass = FixtureDir + "/bad_class.spec";
+  F = std::fopen(BadClass.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fprintf(F, "model %s/model.bin\ninput box\n"
+                  "lo 0 0 0 0 0\nhi 1 1 1 1 1\noutput robust 99\n",
+               FixtureDir.c_str());
+  std::fclose(F);
+  EXPECT_EQ(craftExit({"verify", BadClass}), 2);
+
+  // Mismatches outrank refutations, like load failures do.
+  EXPECT_EQ(craftExit({"verify", BadClass, fixture("refuted.spec")}), 2);
+}
+
+TEST(CliExitCodeTest, SplitSubcommandContract) {
+  // Global certification: 0 = the whole box certified, 2 = errors.
+  EXPECT_EQ(craftExit({"split", fixture("degenerate.spec")}), 0);
+  EXPECT_EQ(craftExit({"split"}), 2);
+  EXPECT_EQ(craftExit({"split", "/nonexistent.spec"}), 2);
+  EXPECT_EQ(craftExit({"split", "--depth", "0", fixture("degenerate.spec")}),
+            2);
 }
 
 TEST(CliExitCodeTest, ParseDiagnosticsExitTwo) {

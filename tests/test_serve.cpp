@@ -186,9 +186,12 @@ TEST(ProtocolTest, RejectsMalformedRequests) {
 TEST(ProtocolTest, ResultRoundTripsLosslessly) {
   WireResult W;
   W.Outcome.ModelLoaded = true;
+  W.Outcome.Error = true;
   W.Outcome.Certified = true;
   W.Outcome.Containment = true;
-  W.Outcome.Refuted = false;
+  W.Outcome.Refuted = true;
+  W.Outcome.Counterexample =
+      Vector{0.1, -0.12345678901234567, 1.0 / 3.0};
   W.Outcome.MarginLower = -0.12345678901234567;
   W.Outcome.TimeSeconds = 1.25;
   W.Outcome.CertificateWritten = true;
@@ -199,15 +202,31 @@ TEST(ProtocolTest, ResultRoundTripsLosslessly) {
   std::optional<WireResult> Back = decodeResult(encodeResult(W));
   ASSERT_TRUE(Back.has_value());
   EXPECT_EQ(Back->Outcome.ModelLoaded, W.Outcome.ModelLoaded);
+  EXPECT_EQ(Back->Outcome.Error, W.Outcome.Error);
   EXPECT_EQ(Back->Outcome.Certified, W.Outcome.Certified);
   EXPECT_EQ(Back->Outcome.Containment, W.Outcome.Containment);
   EXPECT_EQ(Back->Outcome.Refuted, W.Outcome.Refuted);
+  ASSERT_EQ(Back->Outcome.Counterexample.size(),
+            W.Outcome.Counterexample.size());
+  EXPECT_EQ(std::memcmp(Back->Outcome.Counterexample.data(),
+                        W.Outcome.Counterexample.data(),
+                        W.Outcome.Counterexample.size() * sizeof(double)),
+            0)
+      << "the witness must round-trip bit-exactly";
   EXPECT_EQ(std::memcmp(&Back->Outcome.MarginLower, &W.Outcome.MarginLower,
                         sizeof(double)),
             0);
   EXPECT_EQ(Back->Outcome.AttackSeed, W.Outcome.AttackSeed);
   EXPECT_EQ(Back->Outcome.Detail, W.Outcome.Detail);
   EXPECT_TRUE(Back->Cached);
+
+  // Absent counterexample stays absent (legacy producers).
+  WireResult Plain;
+  Plain.Outcome.ModelLoaded = true;
+  std::optional<WireResult> PlainBack = decodeResult(encodeResult(Plain));
+  ASSERT_TRUE(PlainBack.has_value());
+  EXPECT_TRUE(PlainBack->Outcome.Counterexample.empty());
+  EXPECT_FALSE(PlainBack->Outcome.Error);
 }
 
 //===----------------------------------------------------------------------===//

@@ -3,6 +3,9 @@
 // The end-user entry point of the repository:
 //
 //   craft verify [--jobs N] <spec-file>...   run verification specs
+//   craft split [--jobs N] [--depth N] <spec-file>...
+//                                            global certification by
+//                                            domain splitting
 //   craft serve [options]                    run the verification daemon
 //   craft client --port N [...] <spec>...    query a running daemon
 //   craft info <model.bin>                   print model metadata
@@ -18,13 +21,17 @@
 // on these):
 //   0  every query certified
 //   1  at least one query refuted by a concrete counterexample
-//   2  usage, spec parse, model load, or transport errors
+//   2  usage, spec parse, model load, spec/model mismatch (wrong input
+//      dimension, target class out of range), or transport errors
 //   3  at least one query undecided (not certified, not refuted — e.g.
 //      an exhausted iteration budget), and none refuted
 // Errors dominate refutations dominate undecided: a code >= 1 means "not
 // every query certified", and 2 additionally means "results incomplete".
-// `craft serve` exits 0 on a clean shutdown request and 2 on setup
-// errors; `craft info` / `craft check` keep their 0/2 and 0/1/2 contracts.
+// `craft split` reports the certified-volume fraction per query: 0 when
+// every query certifies its whole box, 3 when volume is left uncertified,
+// 2 on errors. `craft serve` exits 0 on a clean shutdown request and 2 on
+// setup errors; `craft info` / `craft check` keep their 0/2 and 0/1/2
+// contracts.
 //
 //===----------------------------------------------------------------------===//
 
@@ -49,6 +56,7 @@ static int usage() {
       stderr,
       "usage:\n"
       "  craft verify [--jobs N] <spec-file>...\n"
+      "  craft split [--jobs N] [--depth N] <spec-file>...\n"
       "  craft serve [--port N] [--stdio] [--jobs N] [--max-batch N]\n"
       "              [--cache-entries N]\n"
       "  craft client --port N [--no-cache] [--ping] [--stats]\n"
@@ -71,12 +79,14 @@ enum ExitCode {
 };
 
 /// Folds one outcome into the aggregate exit code: error > refuted >
-/// undecided > certified.
+/// undecided > certified. Load failures and spec/model mismatches
+/// (RunOutcome::Error) are both errors: the query never executed, so
+/// "undecided" would misreport a broken pipeline.
 void foldExit(int &Exit, const RunOutcome &Out) {
-  int Code = !Out.ModelLoaded ? ExitError
-             : Out.Certified  ? ExitCertified
-             : Out.Refuted    ? ExitRefuted
-                              : ExitUnknown;
+  int Code = !Out.ModelLoaded || Out.Error ? ExitError
+             : Out.Certified               ? ExitCertified
+             : Out.Refuted                 ? ExitRefuted
+                                           : ExitUnknown;
   // Severity order is not numeric order (3 ranks below 1 and 2).
   auto Rank = [](int C) {
     return C == ExitError ? 3 : C == ExitRefuted ? 2
@@ -85,6 +95,17 @@ void foldExit(int &Exit, const RunOutcome &Out) {
   };
   if (Rank(Code) > Rank(Exit))
     Exit = Code;
+}
+
+/// Prints the witness point of a refutation (split refinement and the PGD
+/// refutation pass both carry one).
+void printCounterexample(const RunOutcome &Out) {
+  if (!Out.Refuted || Out.Counterexample.empty())
+    return;
+  std::printf("counterexample");
+  for (double C : Out.Counterexample)
+    std::printf(" %.17g", C);
+  std::printf("\n");
 }
 
 void printOutcome(const VerificationSpec &Spec, const RunOutcome &Out) {
@@ -103,10 +124,12 @@ void printOutcome(const VerificationSpec &Spec, const RunOutcome &Out) {
   std::printf("time         %.3f s\n", Out.TimeSeconds);
   if (!Out.Detail.empty())
     std::printf("detail       %s\n", Out.Detail.c_str());
+  printCounterexample(Out);
   if (!Spec.CertificatePath.empty() && Out.Certified)
-    std::printf("certificate  %s\n", Out.CertificateWritten
-                                         ? Spec.CertificatePath.c_str()
-                                         : "(construction failed)");
+    std::printf("certificate  %s\n",
+                Out.CertificateWritten ? Spec.CertificatePath.c_str()
+                : Spec.SplitDepth > 0  ? "(not supported for split runs)"
+                                       : "(construction failed)");
 }
 
 int runVerify(const std::vector<std::string> &Files, int Jobs) {
@@ -154,13 +177,70 @@ int runVerify(const std::vector<std::string> &Files, int Jobs) {
                   Sources[I]->c_str());
     const RunOutcome &Out = Outcomes[I];
     foldExit(Exit, Out);
-    if (!Out.ModelLoaded) {
+    if (!Out.ModelLoaded || Out.Error) {
       std::fprintf(stderr, "error: %s\n", Out.Detail.c_str());
       continue;
     }
     printOutcome(Specs[I], Out);
   }
   return Exit;
+}
+
+/// `craft split`: global certification of each query's input box. Every
+/// region is certified against the class its own center predicts, so the
+/// spec's `output robust <class>` is ignored here; `--depth`/`--jobs`
+/// override the spec's `split-depth`/`split-jobs`.
+int runSplit(const std::vector<std::string> &Files, int Jobs, bool HaveJobs,
+             long Depth) {
+  std::vector<VerificationSpec> Specs;
+  std::vector<const std::string *> Sources;
+  for (const std::string &File : Files) {
+    SpecParseResult Parsed = parseSpecFile(File);
+    if (!Parsed.ok()) {
+      for (const SpecDiagnostic &D : Parsed.Diagnostics)
+        std::fprintf(stderr, "%s\n", D.render(File).c_str());
+      return ExitError;
+    }
+    for (VerificationSpec &Spec : Parsed.Specs) {
+      Specs.push_back(std::move(Spec));
+      Sources.push_back(&File);
+    }
+  }
+
+  int Exit = ExitCertified;
+  for (size_t I = 0; I < Specs.size(); ++I) {
+    const VerificationSpec &Spec = Specs[I];
+    if (Specs.size() > 1)
+      std::printf("%s== query %zu (%s) ==\n", I == 0 ? "" : "\n", I + 1,
+                  Sources[I]->c_str());
+    int QueryJobs =
+        HaveJobs ? Jobs : (Spec.SplitJobs == 0 ? -1 : Spec.SplitJobs);
+    int QueryDepth = Depth > 0 ? static_cast<int>(Depth)
+                     : Spec.SplitDepth > 0 ? Spec.SplitDepth
+                                           : 8;
+    SplitRunOutcome Out = runSplitCertification(Spec, QueryJobs, QueryDepth);
+    if (!Out.ModelLoaded || Out.Error) {
+      std::fprintf(stderr, "error: %s\n", Out.Detail.c_str());
+      Exit = ExitError;
+      continue;
+    }
+    const SplitResult &Res = Out.Split;
+    std::printf("certified    %.6f%% of the input box\n",
+                100.0 * Res.CertifiedFraction);
+    std::printf("regions      %zu (%zu certified, %zu undecided)\n",
+                Res.Regions.size(), Res.NumCertified,
+                Res.Regions.size() - Res.NumCertified);
+    std::printf("calls        %zu verifier calls in %zu waves\n",
+                Res.NumVerifierCalls, Res.NumWaves);
+    std::printf("measure      %.6g over the non-degenerate dimensions\n",
+                measureOf(Spec.InLo, Spec.InHi));
+    std::printf("time         %.3f s\n", Out.TimeSeconds);
+    // Exact leaf accounting, not the rounded fraction: a deep tree's
+    // uncertified tail can vanish below double precision.
+    if (Res.NumCertified < Res.Regions.size() && Exit == ExitCertified)
+      Exit = ExitUnknown;
+  }
+  return Specs.empty() ? ExitError : Exit;
 }
 
 /// Parses a nonnegative integer option value (\p What for diagnostics).
@@ -337,7 +417,7 @@ int runClient(int Argc, char **Argv) {
                   QueryNo, File.c_str());
       const RunOutcome &Out = R.Outcome;
       foldExit(Exit, Out);
-      if (!Out.ModelLoaded) {
+      if (!Out.ModelLoaded || Out.Error) {
         std::printf("error        %s\n", Out.Detail.c_str());
         continue;
       }
@@ -349,6 +429,7 @@ int runClient(int Argc, char **Argv) {
       std::printf("cached       %s\n", R.Cached ? "yes" : "no");
       if (!Out.Detail.empty())
         std::printf("detail       %s\n", Out.Detail.c_str());
+      printCounterexample(Out);
     }
     std::printf("server time  %.3f ms\n", Reply->ServerMs);
   }
@@ -406,6 +487,41 @@ int main(int Argc, char **Argv) {
     if (Files.empty())
       return usage();
     return runVerify(Files, Jobs);
+  }
+  if (std::strcmp(Argv[1], "split") == 0) {
+    int Jobs = 1;
+    bool HaveJobs = false;
+    long Depth = 0; // 0 = defer to the spec's split-depth (or 8).
+    std::vector<std::string> Files;
+    for (int I = 2; I < Argc; ++I) {
+      if (std::strcmp(Argv[I], "--jobs") == 0 ||
+          std::strcmp(Argv[I], "-j") == 0) {
+        if (I + 1 >= Argc)
+          return usage();
+        if (!parseJobs(Argv[++I], Jobs))
+          return 2;
+        HaveJobs = true;
+      } else if (std::strcmp(Argv[I], "--depth") == 0) {
+        if (I + 1 >= Argc)
+          return usage();
+        if (!parseCount(Argv[++I], "--depth", MaxSupportedSplitDepth,
+                        Depth))
+          return 2;
+        if (Depth < 1) {
+          std::fprintf(stderr, "error: --depth needs a count in [1, %d]\n",
+                       MaxSupportedSplitDepth);
+          return 2;
+        }
+      } else if (Argv[I][0] == '-') {
+        std::fprintf(stderr, "error: unknown option '%s'\n", Argv[I]);
+        return usage();
+      } else {
+        Files.push_back(Argv[I]);
+      }
+    }
+    if (Files.empty())
+      return usage();
+    return runSplit(Files, Jobs, HaveJobs, Depth);
   }
   if (std::strcmp(Argv[1], "serve") == 0)
     return runServe(Argc, Argv);
