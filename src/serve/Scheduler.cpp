@@ -21,6 +21,7 @@ std::future<ServeResult> readyResult(ServeResult Result) {
 Scheduler::Scheduler(const Options &Opts)
     : Opts(Opts), Cache(Opts.CacheCapacity, Opts.CacheShards),
       Queue(Opts.QueueCapacity) {
+  // craft-lint: allow(conc-thread) — spawn of the joined dispatcher.
   Dispatcher = std::thread([this] { dispatchLoop(); });
 }
 

@@ -141,6 +141,8 @@ private:
   Stats Counters;
 
   std::atomic<bool> Stopping{false};
+  // craft-lint: allow(conc-thread) — the one dispatcher thread; stop()
+  // closes the queue and joins it, and ~Scheduler calls stop().
   std::thread Dispatcher;
 };
 

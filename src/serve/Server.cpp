@@ -1,11 +1,17 @@
 //===- serve/Server.cpp ---------------------------------------------------===//
 
+// craft-lint: allow-file(conc-thread) — the daemon owns one accepter and
+// one reader thread per connection by design; every one is joined in
+// ~Server, and the tsan CI job runs this lifecycle under -fsanitize=thread.
+
 #include "serve/Server.h"
 
 #include "serve/Protocol.h"
 #include "support/Timer.h"
 #include "tool/SpecParser.h"
 
+// craft-lint: allow(det-time) — backoff sleep duration only; wall-clock
+// values never reach seeds, iteration order, or result payloads.
 #include <chrono>
 #include <cstdlib>
 #include <unistd.h> // ssize_t for the POSIX getline loop.
@@ -70,6 +76,7 @@ void Server::acceptLoop() {
         return;
       // Back off before retrying: persistent failures (EMFILE under fd
       // exhaustion) would otherwise busy-spin this thread at 100% CPU.
+      // craft-lint: allow(det-time) — retry backoff, not a timing source.
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }

@@ -94,11 +94,13 @@ private:
 
   SocketFd Listener;
   int PortBound = -1;
+  // craft-lint: allow(conc-thread) — accepter is joined in ~Server.
   std::thread Accepter;
 
   /// Live connection sockets, so shutdown can unblock their readers.
   std::mutex ConnMutex;
   std::list<SocketFd *> OpenConns;
+  // craft-lint: allow(conc-thread) — reader threads, all joined in ~Server.
   std::vector<std::thread> ConnThreads;
 
   std::atomic<bool> Stopping{false};

@@ -79,6 +79,8 @@ TEST(FmtTest, FormatsNumbers) {
 
 TEST(TimerTest, MeasuresElapsedTime) {
   WallTimer T;
+  // craft-lint: allow(conc-volatile) — single-threaded optimization
+  // barrier so the loop below isn't folded away; not synchronization.
   volatile double Sink = 0.0;
   for (int I = 0; I < 2000000; ++I)
     Sink = Sink + I * 1e-9; // No compound assignment: volatile += is

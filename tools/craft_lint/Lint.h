@@ -1,0 +1,107 @@
+//===- tools/craft_lint/Lint.h - Repo invariant checker ---------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The craft-lint tool: lexical static analysis that machine-checks the
+/// repo invariants the paper's guarantees rest on. The soundness of a
+/// "certified" answer and its byte-identical reproducibility across job
+/// counts depend on implementation discipline that no compiler flag
+/// enforces: directed rounding flows only through support/RoundedInterval,
+/// kernel TUs never fuse mul+add, randomness comes only from the taskSeed
+/// stream via support/Rng, and result paths never iterate hash containers.
+/// Each rule here turns one of those conventions into a diagnostic.
+///
+/// The tool lexes C++ sources (comments, strings, raw strings, and
+/// preprocessor lines are recognized, so tokens inside them never match)
+/// and runs path-scoped token rules. Violations can be suppressed inline:
+///
+///   // craft-lint: allow(rule-id) — justification text
+///   // craft-lint: allow-file(rule-id) — justification text
+///
+/// `allow` covers its own line and the next source line; `allow-file`
+/// covers the whole file. A suppression with no justification text is
+/// itself a violation — the acceptance bar is "zero unsuppressed
+/// violations, every suppression justified".
+///
+/// Exit-code contract (see lintMain): 0 clean, 1 violations, 2 usage
+/// error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_TOOLS_CRAFT_LINT_LINT_H
+#define CRAFT_TOOLS_CRAFT_LINT_LINT_H
+
+#include <string>
+#include <vector>
+
+namespace craft {
+namespace lint {
+
+/// Diagnostic severity. Errors fail the run (exit 1); warnings are
+/// reported but never affect the exit code.
+enum class Severity { Warning, Error };
+
+/// One rule of the rule set.
+struct RuleInfo {
+  std::string Id;          ///< Stable rule name used in suppressions.
+  Severity Sev;            ///< Severity of its diagnostics.
+  std::string Summary;     ///< One-line description (--list-rules).
+  std::string Invariant;   ///< Which repo contract the rule protects.
+};
+
+/// The built-in rule set, in reporting order.
+const std::vector<RuleInfo> &allRules();
+
+/// One finding.
+struct Diagnostic {
+  std::string File; ///< Path as given (repo-relative in the CI run).
+  int Line = 0;     ///< 1-based.
+  int Col = 0;      ///< 1-based.
+  std::string Rule;
+  Severity Sev = Severity::Error;
+  std::string Message;
+  bool Suppressed = false;      ///< Matched a justified suppression.
+  std::string Justification;    ///< The suppression's justification.
+};
+
+/// Aggregate result of linting one or more files.
+struct LintResult {
+  std::vector<Diagnostic> Diagnostics; ///< Suppressed ones included.
+  size_t FilesScanned = 0;
+
+  size_t unsuppressedErrors() const;
+  size_t suppressedCount() const;
+};
+
+/// Lints one in-memory source buffer. \p RelPath is the repo-relative
+/// path (forward slashes) used for rule scoping; diagnostics carry
+/// \p DisplayPath (usually the same). \p RuleFilter, when non-empty,
+/// restricts checking to those rule ids.
+void lintBuffer(const std::string &RelPath, const std::string &DisplayPath,
+                const std::string &Contents,
+                const std::vector<std::string> &RuleFilter,
+                LintResult &Result);
+
+/// Serializes \p Result as the machine-readable JSON document
+/// (schema_version 1; see README "Static analysis & invariants").
+std::string toJson(const LintResult &Result);
+
+/// Renders one diagnostic as `file:line:col: severity: [rule] message`.
+std::string renderDiagnostic(const Diagnostic &D);
+
+/// The CLI entry point (main() is a thin wrapper; tests call this
+/// directly). Arguments: [--json] [--list-rules] [--root DIR]
+/// [--rule ID]... PATH... where PATH is a file or a directory scanned
+/// recursively for *.h / *.cpp. Output is appended to \p Out. Returns
+/// the process exit code: 0 clean, 1 unsuppressed error-severity
+/// violations, 2 usage error (unknown flag, unknown rule, no inputs,
+/// unreadable path).
+int lintMain(const std::vector<std::string> &Args, std::string &Out);
+
+} // namespace lint
+} // namespace craft
+
+#endif // CRAFT_TOOLS_CRAFT_LINT_LINT_H

@@ -1,0 +1,13 @@
+//===- tools/craft_lint/main.cpp - craft-lint CLI -------------------------===//
+
+#include "Lint.h"
+
+#include <cstdio>
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  std::string Out;
+  int Code = craft::lint::lintMain(Args, Out);
+  std::fputs(Out.c_str(), Code == 2 ? stderr : stdout);
+  return Code;
+}
