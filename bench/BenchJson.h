@@ -36,6 +36,11 @@ struct Record {
   /// ResultCache in [0, 1]. Negative = not applicable (omitted from the
   /// JSON); bench_compare.py gates it against the baseline when present.
   double CacheHitRate = -1.0;
+  /// Which way "better" points for ns_per_op: "lower" (the default for
+  /// timings, omitted from the JSON when empty) or "higher" (rates such
+  /// as queries/sec or speedup ratios, where a DROP is the regression).
+  /// bench_compare.py inverts its gate for "higher" records.
+  std::string Direction;
   /// Kernel backend the run dispatched to; defaults to the active tier.
   std::string Backend = kernels::kernelBackendName(
       kernels::activeKernelBackend());
@@ -56,6 +61,8 @@ inline void write(const char *Path, const std::vector<Record> &Records) {
                  R.Op.c_str(), R.Dims.c_str(), R.NsPerOp, R.AllocsPerOp);
     if (R.CacheHitRate >= 0.0)
       std::fprintf(F, "\"cache_hit_rate\": %.4f, ", R.CacheHitRate);
+    if (!R.Direction.empty())
+      std::fprintf(F, "\"direction\": \"%s\", ", R.Direction.c_str());
     std::fprintf(F, "\"backend\": \"%s\"}%s\n", R.Backend.c_str(),
                  I + 1 < Records.size() ? "," : "");
   }

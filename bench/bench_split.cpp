@@ -5,6 +5,10 @@
 //
 //   split_global_serial / split_global_parallel   global certification
 //   split_bnb_serial / split_bnb_parallel         branch-and-bound query
+//   split_parallel_speedup                        serial/parallel ratio of
+//                                                 the global run (direction
+//                                                 "higher": a drop is the
+//                                                 regression)
 //   split_verifier_calls                          regions processed (gated:
 //                                                 a call-count explosion is
 //                                                 a regression even when
@@ -16,6 +20,12 @@
 //   - scaling: on hosts with >= 2 hardware threads, the parallel global
 //     run must beat serial by >= 1.1x (skipped on single-core hosts,
 //     where the pool can only add overhead).
+//
+// The speedup RECORD is emitted unconditionally — including on 1-core
+// hosts, where only the exit-code bar is skipped. Dropping the record
+// there used to make the baseline row silently vanish from the
+// comparison, so a real scaling regression on multi-core runners could
+// hide behind a 1-core baseline refresh.
 //
 // CRAFT_SPLIT_DEPTH overrides the split budget (default 9 -> ~hundreds of
 // regions on the GMM workload).
@@ -160,17 +170,24 @@ int main() {
   char Dims[16];
   std::snprintf(Dims, sizeof(Dims), "d%d", Depth);
   std::vector<benchjson::Record> Records;
-  auto record = [&Records, &Dims](const char *Op, double NsPerOp) {
+  auto record = [&Records, &Dims](const char *Op, double NsPerOp,
+                                  const char *Direction = "") {
     benchjson::Record R;
     R.Op = Op;
     R.Dims = Dims;
     R.NsPerOp = NsPerOp;
+    R.Direction = Direction;
     Records.push_back(std::move(R));
   };
   record("split_global_serial", GlobalSerialSec * 1e9);
   record("split_global_parallel", GlobalParallelSec * 1e9);
   record("split_bnb_serial", BnbSerialSec * 1e9);
   record("split_bnb_parallel", BnbParallelSec * 1e9);
+  // Always emitted, even when the 1-core host skips the >= 1.1x exit
+  // bar below: the record is what lets bench_compare see a scaling
+  // regression at all, and a missing row is just a "note", not a gate.
+  record("split_parallel_speedup", GlobalSerialSec / GlobalParallelSec,
+         "higher");
   // Region counts ride the same gate: ns_per_op holds the call count, so
   // a >1.3x explosion in processed regions fails bench_compare even when
   // each call got faster.

@@ -106,7 +106,12 @@ CHZonotope AbstractSolver::step(const CHZonotope &State, double LambdaScale,
   // a p^2 k multiply on the hot path for nothing).
   std::pair<const Matrix *, const CHZonotope *> Terms[] = {
       {&StateMatrix, &State}, {nullptr, &InputContrib}};
-  CHZonotope Pre = CHZonotope::linearCombine(Terms, Offset);
+  // The only map here is the dense monDEQ state matrix: skip the density
+  // probe so the gemm goes straight to the dense kernel — which is what
+  // keeps it fusible into co-batched queries' shared-pack waves (the
+  // batched tier only fuses dense gemms; see linalg/KernelsBatched.h).
+  CHZonotope Pre = CHZonotope::linearCombine(
+      Terms, Offset, BoxPolicy::CastToGenerators, kernels::DensityHint::Dense);
   switch (Act) {
   case ActivationKind::ReLU:
     return Pre.reluPrefix(LatentDim, Vector(), AbsorbBox, LambdaScale);

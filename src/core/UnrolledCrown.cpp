@@ -75,6 +75,15 @@ CrownVerifier::CrownVerifier(const MonDeq &Model, CrownOptions Options)
   InputMatrix = Alpha * Model.weightU();
   Offset = Alpha * Model.biasZ();
 
+  // Sign-split propagation halves of StateMatrix, shared by every query
+  // this verifier answers: each verifyRegion call used to rebuild them,
+  // which under batched serving multiplied a p^2 allocation+split per
+  // query per verifier. Both are structurally half-zero by construction
+  // (the unroll loop hints the sparse kernel path for exactly that
+  // reason).
+  SplitPos = positivePart(StateMatrix);
+  SplitNeg = negativePart(StateMatrix);
+
   // Per-step contraction: ||I - a (I - W)||_2^2 <= 1 - 2 a m + a^2 L^2
   // since (I - W) + (I - W)^T >= 2 m I for the monDEQ parametrization.
   double L = spectralNorm(Matrix::identity(P) - Model.weightW());
@@ -120,9 +129,10 @@ CrownResult CrownVerifier::verifyRegion(const Vector &InLo,
   B.UppB = Fp.Z;
 
   // The sign-split propagation matrices are structurally half-zero, so the
-  // sparse-aware gemm skips roughly half the inner-loop work.
-  Matrix Ap = positivePart(StateMatrix);
-  Matrix An = negativePart(StateMatrix);
+  // sparse-aware gemm skips roughly half the inner-loop work. They are
+  // built once in the constructor and shared read-only across queries.
+  const Matrix &Ap = SplitPos;
+  const Matrix &An = SplitNeg;
 
   // Double-buffered bounds: T is overwritten (beta = 0) every unroll step,
   // so the loop allocates nothing after this point.

@@ -97,6 +97,8 @@ private:
   double Contraction;  ///< L_a.
   double LatentLip2;   ///< l2 Lipschitz bound of x -> z*(x).
   Matrix StateMatrix;  ///< (1-a) I + a W.
+  Matrix SplitPos;     ///< max(StateMatrix, 0): sign-split upper half.
+  Matrix SplitNeg;     ///< min(StateMatrix, 0): sign-split lower half.
   Matrix InputMatrix;  ///< a U.
   Vector Offset;       ///< a b.
 };

@@ -238,7 +238,7 @@ static void castBoxColumns(Matrix &Gens, std::vector<uint64_t> &OutIds,
 
 CHZonotope CHZonotope::linearCombine(
     std::span<const std::pair<const Matrix *, const CHZonotope *>> Terms,
-    const Vector &Offset, BoxPolicy Policy) {
+    const Vector &Offset, BoxPolicy Policy, kernels::DensityHint Hint) {
   assert(!Terms.empty() && "linearCombine needs at least one term");
   const size_t POut = Terms.front().first ? Terms.front().first->rows()
                                           : Terms.front().second->dim();
@@ -276,10 +276,11 @@ CHZonotope CHZonotope::linearCombine(
     if (M) {
       kernels::gemv(Center, *M, Z->Center, 1.0, 1.0);
       // The affine map is whatever the caller built — dense solver updates
-      // and diagonal/selection maps both land here, so let the kernel's
-      // density probe pick the path.
+      // and diagonal/selection maps both land here, so the caller's hint
+      // (default: the kernel's density probe) picks the path.
       if (K > 0)
-        kernels::gemmAuto(GensV.colRange(0, K), *M, Z->Generators);
+        kernels::gemmAuto(GensV.colRange(0, K), *M, Z->Generators, 1.0, 0.0,
+                          Hint);
     } else {
       kernels::axpy(Center, 1.0, Z->Center);
       if (K > 0)
@@ -334,13 +335,14 @@ CHZonotope CHZonotope::linearCombine(
     // id-mapped output columns. The mapped matrix is workspace scratch —
     // amortized to zero heap traffic across solver iterations. Structured
     // maps (diagonal/selection) are common here but dense combinations
-    // land here too, so the kernel's density probe picks the path; an
-    // identity term scatters its columns directly.
+    // land here too, so the caller's hint (default: the kernel's density
+    // probe) picks the path; an identity term scatters its columns
+    // directly.
     if (K > 0) {
       ConstMatrixView Mapped = Z->Generators;
       if (M) {
         MatrixView Scratch = WS.matrix(POut, K);
-        kernels::gemmAuto(Scratch, *M, Z->Generators);
+        kernels::gemmAuto(Scratch, *M, Z->Generators, 1.0, 0.0, Hint);
         Mapped = Scratch;
       }
       for (size_t J = 0; J < K; ++J) {

@@ -28,6 +28,7 @@
 #define CRAFT_DOMAINS_CHZONOTOPE_H
 
 #include "domains/Interval.h"
+#include "linalg/Kernels.h"
 #include "linalg/Matrix.h"
 #include "linalg/Views.h"
 
@@ -103,11 +104,17 @@ public:
   /// already have the output dimension): the hot solver step adds its
   /// precomputed input contribution this way without materializing — or
   /// multiplying by — a p x p identity.
+  ///
+  /// \p Hint describes the density of the map matrices and is forwarded
+  /// to the generator gemms. The abstract solver step passes Dense — its
+  /// maps are the monDEQ state matrices, and skipping the probe keeps the
+  /// hot gemms eligible for batch fusion without a per-call density scan.
   static CHZonotope
   linearCombine(std::span<const std::pair<const Matrix *, const CHZonotope *>>
                     Terms,
                 const Vector &Offset,
-                BoxPolicy Policy = BoxPolicy::CastToGenerators);
+                BoxPolicy Policy = BoxPolicy::CastToGenerators,
+                kernels::DensityHint Hint = kernels::DensityHint::Probe);
 
   /// ReLU transformer applied to dimensions [0, Count); remaining dimensions
   /// pass through. Per-dimension relaxation slopes can be overridden via

@@ -38,6 +38,17 @@ struct KernelTable {
   void (*Axpy)(VectorView, double, ConstVectorView);
   void (*Scale)(VectorView, double);
   double (*NormInf)(ConstVectorView);
+  /// One packed-B column-panel step of the dense gemm: Out columns
+  /// [J0, J0+NP) against an already-packed panel (KernelsGeneric.h
+  /// gemmPanel layout, Pack[k * NP + j]). The batched tier packs a shared
+  /// B once and replays this entry across every problem in a group; the
+  /// per-element operation order matches Gemm exactly, so sharing the
+  /// pack never changes results.
+  void (*GemmPanel)(MatrixView, ConstMatrixView, const double *, size_t,
+                    size_t, double, double);
+  /// The panel width (NC) this tier's Gemm uses; GemmPanel callers must
+  /// partition columns with the same width to replay the same panels.
+  size_t PanelCols;
 };
 
 /// The portable fallback table (always present).

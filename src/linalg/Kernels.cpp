@@ -11,6 +11,8 @@
 
 #include "linalg/KernelBackends.h"
 #include "linalg/Kernels.h"
+#include "linalg/KernelsBatched.h"
+#include "linalg/KernelsTiling.h"
 
 #include "support/ThreadPool.h"
 
@@ -152,23 +154,6 @@ size_t configuredKernelThreads() {
   return ThreadPool::hardwareWorkers();
 }
 
-/// Persistent pool for intra-kernel tiling, distinct from the batch
-/// driver's per-batch pools: one large verification query saturates the
-/// machine through this pool even when the batch has a single input.
-ThreadPool &kernelPool() {
-  static ThreadPool Pool(configuredKernelThreads());
-  return Pool;
-}
-
-/// Set while executing a kernel tile on the pool: tile tasks must never
-/// re-tile (the pool's tasks must not block on the pool).
-thread_local bool InKernelTile = false;
-
-struct KernelTileScope {
-  KernelTileScope() { InKernelTile = true; }
-  ~KernelTileScope() { InKernelTile = false; }
-};
-
 // Tiling thresholds. Tiling only pays when the per-tile work dwarfs the
 // submit/wake cost (~10 us): a p=200 CH-Zonotope generator product (~16M
 // mul-adds) crosses GemmTileMinFlops, per-iteration p<=200 gemv-family
@@ -215,15 +200,56 @@ private:
   std::exception_ptr Err;
 };
 
-/// Shared fan-out scaffold of the tiled kernels: partitions [0, N) into
-/// \p Tiles contiguous ranges and runs Body(range) on the kernel pool,
-/// waiting for exactly this call's tiles. Every part is accounted to the
-/// latch even when a submit itself throws (the closure copy can
-/// bad_alloc), so already-running tiles never signal a destroyed group
-/// and the caller's views stay alive until every tile is done.
-void runTiled(size_t N, size_t Tiles,
-              const std::function<void(IndexRange)> &Body) {
-  // Parts beyond N are empty and never submitted.
+using GemmFn = void (*)(MatrixView, ConstMatrixView, ConstMatrixView, double,
+                        double);
+
+/// Fans \p Fn out over \p Tiles contiguous column panels of Out/B on the
+/// kernel pool. Column panels (not row tiles) so each task packs exactly
+/// its own B panel — row splits would re-pack the full B once per tile.
+/// The partition never changes any per-element operation order.
+void runGemmTiled(GemmFn Fn, MatrixView Out, ConstMatrixView A,
+                  ConstMatrixView B, double Alpha, double Beta,
+                  size_t Tiles) {
+  const size_t N = B.cols();
+  if (Tiles <= 1 || N == 0) {
+    Fn(Out, A, B, Alpha, Beta);
+    return;
+  }
+  detail::runTiled(N, Tiles, [&](IndexRange R) {
+    Fn(Out.colRange(R.Begin, R.size()), A, B.colRange(R.Begin, R.size()),
+       Alpha, Beta);
+  });
+}
+
+size_t gemmTileCount(size_t M, size_t N, size_t K) {
+  if (detail::InKernelTile || M * N * K < GemmTileMinFlops ||
+      N < 2 * GemmMinTileCols)
+    return 1;
+  const size_t Workers = kernelThreadCount();
+  if (Workers <= 1)
+    return 1;
+  return Workers < N / GemmMinTileCols ? Workers : N / GemmMinTileCols;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Pool scaffold (declared in KernelsTiling.h; shared with KernelsBatched)
+//===----------------------------------------------------------------------===//
+
+ThreadPool &kernels::detail::kernelPool() {
+  static ThreadPool Pool(configuredKernelThreads());
+  return Pool;
+}
+
+thread_local bool kernels::detail::InKernelTile = false;
+
+void kernels::detail::runTiled(size_t N, size_t Tiles,
+                               const std::function<void(IndexRange)> &Body) {
+  // Every part is accounted to the latch even when a submit itself throws
+  // (the closure copy can bad_alloc), so already-running tiles never
+  // signal a destroyed group and the caller's views stay alive until
+  // every tile is done. Parts beyond N are empty and never submitted.
   TileGroup Group(Tiles < N ? Tiles : N);
   ThreadPool &Pool = kernelPool();
   std::exception_ptr SubmitError;
@@ -254,37 +280,16 @@ void runTiled(size_t N, size_t Tiles,
   Group.wait(); // Rethrows the first tile (or submit) error.
 }
 
-using GemmFn = void (*)(MatrixView, ConstMatrixView, ConstMatrixView, double,
-                        double);
-
-/// Fans \p Fn out over \p Tiles contiguous column panels of Out/B on the
-/// kernel pool. Column panels (not row tiles) so each task packs exactly
-/// its own B panel — row splits would re-pack the full B once per tile.
-/// The partition never changes any per-element operation order.
-void runGemmTiled(GemmFn Fn, MatrixView Out, ConstMatrixView A,
-                  ConstMatrixView B, double Alpha, double Beta,
-                  size_t Tiles) {
-  const size_t N = B.cols();
-  if (Tiles <= 1 || N == 0) {
-    Fn(Out, A, B, Alpha, Beta);
-    return;
-  }
-  runTiled(N, Tiles, [&](IndexRange R) {
-    Fn(Out.colRange(R.Begin, R.size()), A, B.colRange(R.Begin, R.size()),
-       Alpha, Beta);
-  });
+void kernels::detail::gemmNoFuse(MatrixView Out, ConstMatrixView A,
+                                 ConstMatrixView B, double Alpha,
+                                 double Beta) {
+  runGemmTiled(dispatch().Table->Gemm, Out, A, B, Alpha, Beta,
+               gemmTileCount(A.rows(), B.cols(), A.cols()));
 }
 
-size_t gemmTileCount(size_t M, size_t N, size_t K) {
-  if (InKernelTile || M * N * K < GemmTileMinFlops || N < 2 * GemmMinTileCols)
-    return 1;
-  const size_t Workers = kernelThreadCount();
-  if (Workers <= 1)
-    return 1;
-  return Workers < N / GemmMinTileCols ? Workers : N / GemmMinTileCols;
+const KernelTable &kernels::detail::activeKernelTable() {
+  return *dispatch().Table;
 }
-
-} // namespace
 
 //===----------------------------------------------------------------------===//
 // Backend API
@@ -363,8 +368,13 @@ void kernels::gemm(MatrixView Out, ConstMatrixView A, ConstMatrixView B,
          "gemm output shape mismatch");
   assert(noAlias(Out, A) && "gemm output aliases A");
   assert(noAlias(Out, B) && "gemm output aliases B");
-  runGemmTiled(dispatch().Table->Gemm, Out, A, B, Alpha, Beta,
-               gemmTileCount(A.rows(), B.cols(), A.cols()));
+  // Batch-fusion capture point: a thread enrolled in a GemmWaveGate hands
+  // eligible calls to the wave executor instead of dispatching directly.
+  // Fused execution replays the exact same per-element operation order, so
+  // a captured call returns byte-identical results.
+  if (wave::maybePost(Out, A, B, Alpha, Beta))
+    return;
+  detail::gemmNoFuse(Out, A, B, Alpha, Beta);
 }
 
 void kernels::gemmSparseAware(MatrixView Out, ConstMatrixView A,
@@ -430,7 +440,7 @@ void kernels::gemvAbs(VectorView Out, ConstMatrixView M, ConstVectorView V,
   assert(noAlias(Out, M) && "gemvAbs output aliases M");
   assert(noAlias(Out, V) && "gemvAbs output aliases V");
   size_t Tiles = 1;
-  if (!InKernelTile && M.rows() >= 2 * GemvAbsMinTileRows &&
+  if (!detail::InKernelTile && M.rows() >= 2 * GemvAbsMinTileRows &&
       M.rows() * M.cols() >= GemvAbsTileMinElems) {
     const size_t Workers = kernelThreadCount();
     const size_t MaxTiles = M.rows() / GemvAbsMinTileRows;

@@ -1,0 +1,520 @@
+//===- linalg/KernelsBatched.cpp - Batch-fused gemm tier ------------------===//
+//
+// Fusion and rendezvous logic for the batched-gemm tier. The arithmetic
+// is the per-ISA backends' GemmPanel entry (KernelsGeneric.h) replayed
+// over a shared pack; everything here is structure-preserving — grouping,
+// packing, and wave composition never change any per-element reduction
+// order, so fused results are byte-identical to the sequential path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/KernelsBatched.h"
+
+#include "linalg/Kernels.h"
+#include "linalg/KernelsTiling.h"
+#include "linalg/Workspace.h"
+
+#include <atomic>
+#include <cassert>
+// craft-lint: allow(det-time) — <chrono> feeds the condition-variable
+// fusion-wait timeout only; timing decides whether a posted gemm runs
+// fused or unfused, and both paths produce byte-identical values.
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+using namespace craft;
+using namespace craft::kernels;
+
+//===----------------------------------------------------------------------===//
+// Thread state, tunables, counters
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The gate the calling thread is enrolled in (capture target of
+/// kernels::gemm), bound by WaveWorkerScope.
+thread_local GemmWaveGate *BoundGate = nullptr;
+/// Set while a WavePauseScope excludes this thread from the rendezvous.
+thread_local bool ThreadPaused = false;
+/// Set while this thread executes a wave: the gemms a wave spawns must
+/// never be captured back into the gate.
+thread_local bool InWaveExec = false;
+/// After a post times out, the next SkipBudget eligible gemms on this
+/// thread run unfused without waiting — an aligned batch never pays this,
+/// and a misaligned thread stops convoying the others.
+thread_local int SkipBudget = 0;
+
+/// Posts below this many multiply-adds run unfused: the rendezvous
+/// costs two lock handoffs, which tiny gemms cannot amortize.
+size_t fuseMinFlops() {
+  static const size_t V = [] {
+    if (const char *Env = std::getenv("CRAFT_BATCH_FUSE_MIN_FLOPS");
+        Env && *Env != '\0') {
+      const long L = std::atol(Env);
+      if (L >= 0)
+        return static_cast<size_t>(L);
+    }
+    return size_t(1) << 18;
+  }();
+  return V;
+}
+
+constexpr int FuseSkipAfterTimeout = 16;
+
+/// How long a poster waits for the wave to align before running unfused.
+auto fuseWaitDuration() {
+  static const long Ms = [] {
+    if (const char *Env = std::getenv("CRAFT_BATCH_FUSE_WAIT_MS");
+        Env && *Env != '\0') {
+      const long L = std::atol(Env);
+      if (L >= 0)
+        return L;
+    }
+    return 50L;
+  }();
+  // craft-lint: allow(det-time) — the timeout only selects fused vs
+  // unfused execution for a post; both produce byte-identical values, so
+  // wall-clock never influences any computed result.
+  return std::chrono::milliseconds(Ms);
+}
+
+std::atomic<uint64_t> StatWaves{0};
+std::atomic<uint64_t> StatFused{0};
+std::atomic<uint64_t> StatPlain{0};
+std::atomic<uint64_t> StatGroups{0};
+std::atomic<uint64_t> StatPackShared{0};
+std::atomic<uint64_t> StatPackUnshared{0};
+std::atomic<uint64_t> StatTimeouts{0};
+
+//===----------------------------------------------------------------------===//
+// Grouping and fused execution
+//===----------------------------------------------------------------------===//
+
+/// Bitwise content equality (dims + rows memcmp). Bit equality is the
+/// right notion here: two bit-identical operands produce bit-identical
+/// per-element products, which is exactly what pack sharing relies on.
+/// Each query holds its own copy of the model's state matrix, so pointer
+/// identity alone would never group anything; the fast path only shortcuts
+/// literal self-comparison.
+bool sameContent(ConstMatrixView X, ConstMatrixView Y) {
+  if (X.rows() != Y.rows() || X.cols() != Y.cols())
+    return false;
+  if (X.data() == Y.data() && (X.rows() <= 1 || X.stride() == Y.stride()))
+    return true;
+  const size_t Bytes = X.cols() * sizeof(double);
+  for (size_t R = 0, E = X.rows(); R < E; ++R)
+    if (std::memcmp(X.row(R), Y.row(R), Bytes) != 0)
+      return false;
+  return true;
+}
+
+/// Degenerate shapes go through the plain path (gemmBody's K == 0
+/// empty-reduction combine, empty-output early-outs).
+bool fusibleShape(const GemmProblem &P) {
+  return P.Out.rows() > 0 && P.Out.cols() > 0 && P.A.cols() > 0;
+}
+
+size_t panelsFor(size_t Cols, size_t NC) { return (Cols + NC - 1) / NC; }
+
+/// Runs Body(0..Count) on the kernel pool (inline when already inside a
+/// tile or the pool is single-threaded). Each member is an independent
+/// output — fan-out order never changes results.
+void fanOutMembers(size_t Count, const std::function<void(size_t)> &Body) {
+  size_t Tiles = 1;
+  if (!detail::InKernelTile && Count > 1) {
+    const size_t Workers = kernelThreadCount();
+    Tiles = Workers < Count ? Workers : Count;
+  }
+  if (Tiles <= 1) {
+    for (size_t I = 0; I < Count; ++I)
+      Body(I);
+    return;
+  }
+  detail::runTiled(Count, Tiles, [&](IndexRange R) {
+    for (size_t I = R.Begin; I < R.End; ++I)
+      Body(I);
+  });
+}
+
+/// Fused execution of problems sharing one A (Out_q = Alpha_q * A * B_q,
+/// Beta == 0): packs A^T once and runs each member transposed,
+/// Out_q^T = Alpha_q * B_q^T * A^T, through the shared pack.
+///
+/// Byte-identity: element Out_q(i, j) is sum_k A(i, k) * B_q(k, j) in
+/// ascending k through a single accumulator; the transposed run computes
+/// sum_k B_q^T(j, k) * A^T(k, i) — the same products (IEEE multiply is
+/// commutative) in the same order through the same combineStore, so the
+/// transposed value is bit-identical before the exact-copy transpose
+/// back into Out_q.
+void runSharedAGroup(std::span<const GemmProblem> P, const size_t *Members,
+                     size_t Count) {
+  const KernelTable &T = detail::activeKernelTable();
+  const size_t NC = T.PanelCols;
+  ConstMatrixView A = P[Members[0]].A;
+  const size_t M = A.rows(), K = A.cols();
+
+  // The shared pack lives in this (executor) thread's arena; pool workers
+  // read it concurrently, which is safe because arena blocks never move
+  // while the thread lives and this scope outlives the fan-out below.
+  WorkspaceScope WS;
+  double *PackAT = WS.alloc(K * M);
+  // Panel [J0, J0 + NP) of A^T's columns at PackAT + J0 * K, rows at
+  // stride NP — the gemmPanel layout. Exact copies: A^T(k, J0+j) is
+  // A(J0+j, k).
+  for (size_t J0 = 0; J0 < M; J0 += NC) {
+    const size_t NP = M - J0 < NC ? M - J0 : NC;
+    double *Pack = PackAT + J0 * K;
+    for (size_t J = 0; J < NP; ++J) {
+      const double *ARow = A.row(J0 + J);
+      for (size_t Kk = 0; Kk < K; ++Kk)
+        Pack[Kk * NP + J] = ARow[Kk];
+    }
+  }
+
+  fanOutMembers(Count, [&](size_t Idx) {
+    const GemmProblem &Pr = P[Members[Idx]];
+    const size_t Nq = Pr.B.cols();
+    // Member scratch comes from the executing thread's own arena (pool
+    // worker or, inline, a scope nested inside WS).
+    WorkspaceScope MWS;
+    MatrixView BT = MWS.matrix(Nq, K);
+    transposeInto(BT, Pr.B);
+    MatrixView OutT = MWS.matrix(Nq, M);
+    for (size_t J0 = 0; J0 < M; J0 += NC) {
+      const size_t NP = M - J0 < NC ? M - J0 : NC;
+      T.GemmPanel(OutT, BT, PackAT + J0 * K, J0, NP, Pr.Alpha, 0.0);
+    }
+    transposeInto(Pr.Out, OutT);
+  });
+
+  StatGroups.fetch_add(1, std::memory_order_relaxed);
+  StatFused.fetch_add(Count, std::memory_order_relaxed);
+  StatPackShared.fetch_add(panelsFor(M, NC), std::memory_order_relaxed);
+  uint64_t Unshared = 0;
+  for (size_t I = 0; I < Count; ++I)
+    Unshared += panelsFor(P[Members[I]].B.cols(), NC);
+  StatPackUnshared.fetch_add(Unshared, std::memory_order_relaxed);
+}
+
+/// Fused execution of problems sharing one B: packs B's column panels
+/// once and replays the per-ISA GemmPanel across the members (each with
+/// its own A, Alpha, Beta) — literally gemmBody minus the per-member
+/// packing, so byte-identity is immediate.
+void runSharedBGroup(std::span<const GemmProblem> P, const size_t *Members,
+                     size_t Count) {
+  const KernelTable &T = detail::activeKernelTable();
+  const size_t NC = T.PanelCols;
+  ConstMatrixView B = P[Members[0]].B;
+  const size_t K = B.rows(), N = B.cols();
+
+  WorkspaceScope WS;
+  double *PackB = WS.alloc(K * N);
+  for (size_t J0 = 0; J0 < N; J0 += NC) {
+    const size_t NP = N - J0 < NC ? N - J0 : NC;
+    double *Pack = PackB + J0 * K;
+    for (size_t Kk = 0; Kk < K; ++Kk) {
+      const double *Src = B.row(Kk) + J0;
+      double *Dst = Pack + Kk * NP;
+      for (size_t J = 0; J < NP; ++J)
+        Dst[J] = Src[J];
+    }
+  }
+
+  fanOutMembers(Count, [&](size_t Idx) {
+    const GemmProblem &Pr = P[Members[Idx]];
+    for (size_t J0 = 0; J0 < N; J0 += NC) {
+      const size_t NP = N - J0 < NC ? N - J0 : NC;
+      T.GemmPanel(Pr.Out, Pr.A, PackB + J0 * K, J0, NP, Pr.Alpha, Pr.Beta);
+    }
+  });
+
+  StatGroups.fetch_add(1, std::memory_order_relaxed);
+  StatFused.fetch_add(Count, std::memory_order_relaxed);
+  StatPackShared.fetch_add(panelsFor(N, NC), std::memory_order_relaxed);
+  StatPackUnshared.fetch_add(Count * panelsFor(N, NC),
+                             std::memory_order_relaxed);
+}
+
+constexpr size_t MaxChunk = 512;
+
+/// One chunk (<= MaxChunk problems): group by shared A content (pass 1,
+/// Beta == 0 — the transposed output is computed in uninitialized
+/// scratch), then by shared B content (pass 2, any Beta), then run the
+/// leftovers plain. Content equality is an equivalence relation, so the
+/// greedy pivot scan forms maximal groups.
+void batchChunk(std::span<const GemmProblem> P) {
+  const size_t N = P.size();
+  bool Grouped[MaxChunk] = {};
+  size_t Members[MaxChunk];
+
+  for (size_t I = 0; I < N; ++I) {
+    if (Grouped[I] || P[I].Beta != 0.0 || !fusibleShape(P[I]))
+      continue;
+    size_t Count = 0;
+    Members[Count++] = I;
+    for (size_t J = I + 1; J < N; ++J)
+      if (!Grouped[J] && P[J].Beta == 0.0 && fusibleShape(P[J]) &&
+          sameContent(P[I].A, P[J].A))
+        Members[Count++] = J;
+    if (Count < 2)
+      continue; // Pivot may still join a shared-B group below.
+    for (size_t G = 0; G < Count; ++G)
+      Grouped[Members[G]] = true;
+    runSharedAGroup(P, Members, Count);
+  }
+
+  for (size_t I = 0; I < N; ++I) {
+    if (Grouped[I] || !fusibleShape(P[I]))
+      continue;
+    size_t Count = 0;
+    Members[Count++] = I;
+    for (size_t J = I + 1; J < N; ++J)
+      if (!Grouped[J] && fusibleShape(P[J]) && sameContent(P[I].B, P[J].B))
+        Members[Count++] = J;
+    if (Count < 2)
+      continue;
+    for (size_t G = 0; G < Count; ++G)
+      Grouped[Members[G]] = true;
+    runSharedBGroup(P, Members, Count);
+  }
+
+  for (size_t I = 0; I < N; ++I) {
+    if (Grouped[I])
+      continue;
+    detail::gemmNoFuse(P[I].Out, P[I].A, P[I].B, P[I].Alpha, P[I].Beta);
+    StatPlain.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public batched API
+//===----------------------------------------------------------------------===//
+
+void kernels::gemmBatched(std::span<const GemmProblem> Problems) {
+#ifndef NDEBUG
+  for (const GemmProblem &Pr : Problems) {
+    assert(Pr.A.cols() == Pr.B.rows() && "gemm inner dimension mismatch");
+    assert(Pr.Out.rows() == Pr.A.rows() && Pr.Out.cols() == Pr.B.cols() &&
+           "gemm output shape mismatch");
+  }
+#endif
+  for (size_t I = 0, E = Problems.size(); I < E; I += MaxChunk) {
+    const size_t Len = E - I < MaxChunk ? E - I : MaxChunk;
+    batchChunk(Problems.subspan(I, Len));
+  }
+}
+
+BatchGemmStats kernels::batchGemmStats() {
+  BatchGemmStats S;
+  S.Waves = StatWaves.load(std::memory_order_relaxed);
+  S.FusedProblems = StatFused.load(std::memory_order_relaxed);
+  S.PlainProblems = StatPlain.load(std::memory_order_relaxed);
+  S.SharedGroups = StatGroups.load(std::memory_order_relaxed);
+  S.PanelsPackedShared = StatPackShared.load(std::memory_order_relaxed);
+  S.PanelsPackedUnshared = StatPackUnshared.load(std::memory_order_relaxed);
+  S.PostTimeouts = StatTimeouts.load(std::memory_order_relaxed);
+  return S;
+}
+
+void kernels::resetBatchGemmStats() {
+  StatWaves.store(0, std::memory_order_relaxed);
+  StatFused.store(0, std::memory_order_relaxed);
+  StatPlain.store(0, std::memory_order_relaxed);
+  StatGroups.store(0, std::memory_order_relaxed);
+  StatPackShared.store(0, std::memory_order_relaxed);
+  StatPackUnshared.store(0, std::memory_order_relaxed);
+  StatTimeouts.store(0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// GemmWaveGate — the rendezvous protocol
+//===----------------------------------------------------------------------===//
+//
+// Invariants (all under the gate mutex):
+//  - Active = Enrolled - Paused; a wave fires only when every active
+//    thread has a Pending post (PendingCount == Active > 0) and no wave
+//    is in flight.
+//  - At most one wave runs at a time: the thread whose action completes
+//    the condition (last poster, a pausing thread, a deregistering
+//    thread) becomes the executor; while it runs, every wave member is
+//    blocked on a Taken slot, so PendingCount < Active and no second
+//    wave can start.
+//  - A Pending post can always withdraw on timeout (its slot is still
+//    owned by its poster); a Taken post cannot — its views are being
+//    read by the wave — so Taken waits without a timeout.
+//  - Mid-flight enrolls/resumes only grow Active, which never turns the
+//    condition true by itself; pauses/deregisters re-check it.
+//===----------------------------------------------------------------------===//
+
+bool GemmWaveGate::enroll() {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Enrolled >= MaxWave)
+    return false;
+  ++Enrolled;
+  return true;
+}
+
+void GemmWaveGate::deregister() {
+  std::unique_lock<std::mutex> Lock(M);
+  assert(Enrolled > 0 && "deregister without enroll");
+  --Enrolled;
+  runWavesLocked(Lock); // This exit may complete the rendezvous.
+}
+
+void GemmWaveGate::pause() {
+  std::unique_lock<std::mutex> Lock(M);
+  ++Paused;
+  runWavesLocked(Lock); // This pause may complete the rendezvous.
+}
+
+void GemmWaveGate::resume() {
+  std::lock_guard<std::mutex> Lock(M);
+  assert(Paused > 0 && "resume without pause");
+  --Paused;
+}
+
+void GemmWaveGate::runWavesLocked(std::unique_lock<std::mutex> &Lock) {
+  while (waveReady()) {
+    size_t NumTaken = 0;
+    for (size_t I = 0; I < MaxWave; ++I) {
+      if (Slots[I].State != SlotState::Pending)
+        continue;
+      Slots[I].State = SlotState::Taken;
+      TakenIdx[NumTaken] = I;
+      WaveProblems[NumTaken] = {Slots[I].Out, Slots[I].A, Slots[I].B,
+                                Slots[I].Alpha, 0.0};
+      ++NumTaken;
+    }
+    PendingCount = 0;
+    WaveInFlight = true;
+    Lock.unlock();
+    std::exception_ptr WaveErr;
+    InWaveExec = true;
+    try {
+      gemmBatched(std::span<const GemmProblem>(WaveProblems, NumTaken));
+    } catch (...) {
+      // Coarse attribution: a wave failure is delivered to every member
+      // (the failing member cannot be identified from outside the wave,
+      // and sibling outputs may be partially written).
+      WaveErr = std::current_exception();
+    }
+    InWaveExec = false;
+    Lock.lock();
+    for (size_t I = 0; I < NumTaken; ++I) {
+      Slots[TakenIdx[I]].Err = WaveErr;
+      Slots[TakenIdx[I]].State = SlotState::Done;
+    }
+    WaveInFlight = false;
+    StatWaves.fetch_add(1, std::memory_order_relaxed);
+    Cv.notify_all();
+  }
+}
+
+bool GemmWaveGate::post(MatrixView Out, ConstMatrixView A, ConstMatrixView B,
+                        double Alpha) {
+  std::unique_lock<std::mutex> Lock(M);
+  size_t Idx = MaxWave;
+  for (size_t I = 0; I < MaxWave; ++I) {
+    if (Slots[I].State == SlotState::Free) {
+      Idx = I;
+      break;
+    }
+  }
+  if (Idx == MaxWave)
+    return false; // Unreachable while Enrolled <= MaxWave; stay safe.
+  Slot &S = Slots[Idx];
+  S.Out = Out;
+  S.A = A;
+  S.B = B;
+  S.Alpha = Alpha;
+  S.Err = nullptr;
+  S.State = SlotState::Pending;
+  ++PendingCount;
+  runWavesLocked(Lock); // Fires when this post completed the rendezvous.
+  while (S.State == SlotState::Pending) {
+    const bool Aligned = Cv.wait_for(Lock, fuseWaitDuration(), [&S] {
+      return S.State != SlotState::Pending;
+    });
+    if (!Aligned) {
+      // Withdraw: the batch is misaligned (a peer is in a long gemm-free
+      // phase). Run unfused — byte-identical values, only the wave
+      // composition and pack counters differ — and skip the gate for a
+      // while so one laggard cannot convoy this thread.
+      S.State = SlotState::Free;
+      --PendingCount;
+      StatTimeouts.fetch_add(1, std::memory_order_relaxed);
+      SkipBudget = FuseSkipAfterTimeout;
+      return false;
+    }
+  }
+  while (S.State == SlotState::Taken)
+    Cv.wait(Lock); // The wave is reading this slot's views; no timeout.
+  assert(S.State == SlotState::Done && "slot not completed");
+  std::exception_ptr E = S.Err;
+  S.Err = nullptr;
+  S.State = SlotState::Free;
+  if (E) {
+    Lock.unlock();
+    std::rethrow_exception(E);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Thread binding scopes and the capture hook
+//===----------------------------------------------------------------------===//
+
+WaveWorkerScope::WaveWorkerScope(GemmWaveGate *G) : Gate(nullptr) {
+  // Nested scopes and full gates degrade to unfused execution.
+  if (G && BoundGate == nullptr && G->enroll()) {
+    Gate = G;
+    BoundGate = G;
+  }
+}
+
+WaveWorkerScope::~WaveWorkerScope() {
+  if (!Gate)
+    return;
+  BoundGate = nullptr;
+  SkipBudget = 0;
+  Gate->deregister();
+}
+
+WavePauseScope::WavePauseScope() : Gate(nullptr) {
+  if (BoundGate != nullptr && !ThreadPaused) {
+    Gate = BoundGate;
+    ThreadPaused = true;
+    Gate->pause();
+  }
+}
+
+WavePauseScope::~WavePauseScope() {
+  if (!Gate)
+    return;
+  Gate->resume();
+  ThreadPaused = false;
+}
+
+bool wave::maybePost(MatrixView Out, ConstMatrixView A, ConstMatrixView B,
+                     double Alpha, double Beta) {
+  GemmWaveGate *Gate = BoundGate;
+  if (Gate == nullptr || ThreadPaused || InWaveExec || detail::InKernelTile)
+    return false;
+  if (Beta != 0.0)
+    return false; // Fused shared-A execution requires a Beta-free combine.
+  const size_t M = A.rows(), N = B.cols(), K = A.cols();
+  if (M == 0 || N == 0 || K == 0)
+    return false;
+  if (M * N * K < fuseMinFlops())
+    return false;
+  if (SkipBudget > 0) {
+    --SkipBudget;
+    return false;
+  }
+  if (!Gate->post(Out, A, B, Alpha))
+    detail::gemmNoFuse(Out, A, B, Alpha, 0.0); // Timed out; run unfused.
+  return true;
+}

@@ -1,0 +1,224 @@
+//===- linalg/KernelsBatched.h - Batch-fused gemm tier ----------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batched-gemm tier: fuses many small independent gemms into one
+/// tiled dispatch over the persistent kernel pool and shares packed
+/// operand panels across every problem that hits the same matrix — a
+/// batch of 64 co-admitted queries against one model packs each weight
+/// matrix once instead of 64 times.
+///
+/// Two entry layers:
+///
+///  - gemmBatched(): the direct API. Groups the problems by shared
+///    operand content, packs each shared operand once, and fans the
+///    members out over the kernel pool. Results are byte-identical to
+///    looping kernels::gemm over the problems one by one.
+///
+///  - GemmWaveGate: the implicit capture layer the serve/batch driver
+///    threads use. Worker threads verifying co-admitted queries enroll in
+///    a gate (WaveWorkerScope); eligible kernels::gemm calls on enrolled
+///    threads rendezvous inside the gate and execute together as one
+///    gemmBatched() wave — the abstract-interpretation loops stay layer-
+///    locked across queries without any changes to the solver code.
+///
+/// Determinism contract: fused execution replays the exact per-element
+/// reduction order of the sequential kernels (ascending-k single
+/// accumulator, mul then add, identical Alpha/Beta combine; shared-A
+/// groups run transposed, which only commutes each individual IEEE
+/// multiply), so fused results are byte-identical to sequential results.
+/// Wave *composition* (which calls fuse together) depends on timing; the
+/// values never do.
+///
+/// Panel-sharing lifetime contract: the shared pack lives in the wave
+/// executor's Workspace scope; pool workers read it concurrently. This is
+/// safe because arena blocks are never freed or moved while their thread
+/// lives, and the executor blocks until every member task completed
+/// before the scope unwinds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_LINALG_KERNELSBATCHED_H
+#define CRAFT_LINALG_KERNELSBATCHED_H
+
+#include "linalg/Views.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <span>
+
+namespace craft {
+namespace kernels {
+
+/// One independent gemm: Out = Alpha * A * B + Beta * Out.
+struct GemmProblem {
+  MatrixView Out;
+  ConstMatrixView A;
+  ConstMatrixView B;
+  double Alpha = 1.0;
+  double Beta = 0.0;
+};
+
+/// Process-wide work counters for the batched tier (monotonic across
+/// calls; snapshot with batchGemmStats, zero with resetBatchGemmStats).
+struct BatchGemmStats {
+  /// Rendezvous waves executed by GemmWaveGate.
+  uint64_t Waves = 0;
+  /// Problems executed inside a fused (shared-operand) group.
+  uint64_t FusedProblems = 0;
+  /// Problems handed to the batched tier but executed individually
+  /// (no content-equal partner in their chunk).
+  uint64_t PlainProblems = 0;
+  /// Fused groups formed (shared-A and shared-B combined).
+  uint64_t SharedGroups = 0;
+  /// Operand panels actually packed by fused groups (one shared pack per
+  /// group).
+  uint64_t PanelsPackedShared = 0;
+  /// Operand panels the same groups would have packed had every member
+  /// run through the unfused gemm (one pack per member) — the work the
+  /// sharing saved.
+  uint64_t PanelsPackedUnshared = 0;
+  /// Wave posts that timed out waiting for alignment and ran unfused.
+  uint64_t PostTimeouts = 0;
+};
+
+BatchGemmStats batchGemmStats();
+void resetBatchGemmStats();
+
+/// Executes every problem, fusing content-equal operands: problems
+/// sharing the same A run as one transposed group over a single packed
+/// A^T (requires Beta == 0), remaining problems sharing the same B run
+/// over a single packed B, and the rest run through the plain tiled path.
+/// Byte-identical to calling kernels::gemm per problem, in any order —
+/// each problem's output depends only on its own operands.
+///
+/// Outputs must not alias each other or any operand. Operand views must
+/// stay valid for the whole call (members execute on pool threads).
+void gemmBatched(std::span<const GemmProblem> Problems);
+
+namespace wave {
+
+/// Capture hook called by kernels::gemm: posts the call into the calling
+/// thread's bound gate when the thread is enrolled and the call is
+/// eligible (Beta == 0, nonzero shape, at least CRAFT_BATCH_FUSE_MIN_FLOPS
+/// multiply-adds, not already inside a tile or wave). Returns true when
+/// the gemm was executed (fused or via the gate's fallback); false means
+/// the caller runs it unfused.
+bool maybePost(MatrixView Out, ConstMatrixView A, ConstMatrixView B,
+               double Alpha, double Beta);
+
+} // namespace wave
+
+/// Rendezvous point for one co-admitted batch: worker threads enroll,
+/// and eligible kernels::gemm calls on enrolled threads block briefly
+/// until every enrolled (non-paused) thread has posted its next gemm,
+/// then execute together as one gemmBatched() wave. A post that waits
+/// longer than CRAFT_BATCH_FUSE_WAIT_MS runs unfused — alignment
+/// affects only throughput and the pack counters, never values.
+///
+/// Created per batch by the driver; destroyed only after every enrolled
+/// scope exited (the driver joins its workers first).
+class GemmWaveGate {
+public:
+  GemmWaveGate() = default;
+  GemmWaveGate(const GemmWaveGate &) = delete;
+  GemmWaveGate &operator=(const GemmWaveGate &) = delete;
+
+  /// Hard cap on concurrently enrolled threads (and thus wave width).
+  static constexpr size_t MaxWave = 512;
+
+private:
+  friend class WaveWorkerScope;
+  friend class WavePauseScope;
+  friend bool wave::maybePost(MatrixView, ConstMatrixView, ConstMatrixView,
+                              double, double);
+
+  enum class SlotState : uint8_t { Free, Pending, Taken, Done };
+
+  /// One posted gemm awaiting (or undergoing) fused execution.
+  struct Slot {
+    MatrixView Out;
+    ConstMatrixView A;
+    ConstMatrixView B;
+    double Alpha = 1.0;
+    std::exception_ptr Err;
+    SlotState State = SlotState::Free;
+  };
+
+  /// Registers the calling thread; false when the gate is full (the
+  /// caller then runs unfused for the whole batch).
+  bool enroll();
+  void deregister();
+  /// Excludes the calling thread from the rendezvous count while it runs
+  /// a long gemm-free phase (e.g. the PGD attack fallback), so waiting
+  /// posters do not stall on it.
+  void pause();
+  void resume();
+
+  /// Posts one gemm and blocks until it executed (possibly by becoming
+  /// the wave executor). Returns false when the post timed out and was
+  /// withdrawn — the caller must run the gemm itself.
+  bool post(MatrixView Out, ConstMatrixView A, ConstMatrixView B,
+            double Alpha);
+
+  /// With the lock held: while every active thread has a pending post,
+  /// take the pending slots and run them as one gemmBatched() wave
+  /// (unlocked), then mark them Done. Callers that change the
+  /// rendezvous condition (post / pause / deregister) invoke this.
+  void runWavesLocked(std::unique_lock<std::mutex> &Lock);
+
+  bool waveReady() const {
+    return !WaveInFlight && PendingCount > 0 &&
+           PendingCount == Enrolled - Paused;
+  }
+
+  std::mutex M;
+  std::condition_variable Cv;
+  size_t Enrolled = 0;
+  size_t Paused = 0;
+  size_t PendingCount = 0;
+  bool WaveInFlight = false;
+  Slot Slots[MaxWave];
+  /// Wave scratch (guarded by WaveInFlight; only the executor touches
+  /// it). Member arrays, not stack, to keep executor frames small.
+  size_t TakenIdx[MaxWave];
+  GemmProblem WaveProblems[MaxWave];
+};
+
+/// RAII enrollment of the calling thread into \p Gate (nullptr = no-op:
+/// the thread's gemms run unfused). Binds the gate as the thread's
+/// capture target for kernels::gemm. Must be destroyed on the same
+/// thread before the gate is destroyed.
+class WaveWorkerScope {
+public:
+  explicit WaveWorkerScope(GemmWaveGate *Gate);
+  ~WaveWorkerScope();
+  WaveWorkerScope(const WaveWorkerScope &) = delete;
+  WaveWorkerScope &operator=(const WaveWorkerScope &) = delete;
+
+private:
+  GemmWaveGate *Gate;
+};
+
+/// RAII pause of the calling thread's gate enrollment around gemm-free
+/// phases (no-op when the thread is not enrolled or already paused).
+class WavePauseScope {
+public:
+  WavePauseScope();
+  ~WavePauseScope();
+  WavePauseScope(const WavePauseScope &) = delete;
+  WavePauseScope &operator=(const WavePauseScope &) = delete;
+
+private:
+  GemmWaveGate *Gate;
+};
+
+} // namespace kernels
+} // namespace craft
+
+#endif // CRAFT_LINALG_KERNELSBATCHED_H

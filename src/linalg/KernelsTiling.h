@@ -1,0 +1,67 @@
+//===- linalg/KernelsTiling.h - Kernel-pool tiling scaffold -----*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fan-out scaffold shared by the tiled kernel entry points
+/// (Kernels.cpp) and the batched-gemm tier (KernelsBatched.cpp): the
+/// persistent kernel thread pool, the in-tile reentrancy guard, and the
+/// per-call completion latch that fans a body over contiguous index ranges.
+/// Everything here is structure-preserving — the partition never changes
+/// any per-element reduction order, so tiling never changes results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_LINALG_KERNELSTILING_H
+#define CRAFT_LINALG_KERNELSTILING_H
+
+#include "linalg/KernelBackends.h"
+#include "support/ThreadPool.h"
+
+#include <functional>
+
+namespace craft {
+namespace kernels {
+namespace detail {
+
+/// Persistent pool for intra-kernel tiling, distinct from the batch
+/// driver's per-batch pools: one large verification query saturates the
+/// machine through this pool even when the batch has a single input.
+ThreadPool &kernelPool();
+
+/// Set while executing a kernel tile on the pool: tile tasks must never
+/// re-tile (the pool's tasks must not block on the pool), and the wave
+/// gate must never capture a call that is already a tile of another call.
+extern thread_local bool InKernelTile;
+
+struct KernelTileScope {
+  KernelTileScope() { InKernelTile = true; }
+  ~KernelTileScope() { InKernelTile = false; }
+};
+
+/// Shared fan-out scaffold of the tiled kernels: partitions [0, N) into
+/// \p Tiles contiguous ranges and runs Body(range) on the kernel pool,
+/// waiting for exactly this call's tiles (the pool is shared by every
+/// concurrent caller). Rethrows the first tile (or submit) error after
+/// all of this call's tiles finished, so the caller's views stay alive
+/// until no task references them.
+void runTiled(size_t N, size_t Tiles,
+              const std::function<void(IndexRange)> &Body);
+
+/// The dense gemm exactly as the public kernels::gemm entry point runs it
+/// (active backend, threshold-tiled over the kernel pool), minus the
+/// batch-fusion hook. The wave gate's executor and timeout fallback route
+/// through this so a captured call can never re-enter the gate.
+void gemmNoFuse(MatrixView Out, ConstMatrixView A, ConstMatrixView B,
+                double Alpha, double Beta);
+
+/// The process-wide dispatched kernel table (CPUID probe + env override).
+const KernelTable &activeKernelTable();
+
+} // namespace detail
+} // namespace kernels
+} // namespace craft
+
+#endif // CRAFT_LINALG_KERNELSTILING_H

@@ -210,7 +210,7 @@ void Scheduler::dispatchLoop() {
     }
 
     std::vector<RunOutcome> Outcomes =
-        runSpecBatchLoaded(Specs, Models, Opts.Jobs);
+        runSpecBatchLoaded(Specs, Models, Opts.Jobs, Opts.FuseBatchGemms);
 
     {
       std::lock_guard<std::mutex> Lock(StatsMutex);

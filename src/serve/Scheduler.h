@@ -76,6 +76,12 @@ public:
     /// ResultCache sizing.
     size_t CacheCapacity = 4096;
     size_t CacheShards = 8;
+    /// Fuse co-batched queries' layer gemms through the batched kernel
+    /// tier (linalg/KernelsBatched.h): each batch's workers rendezvous
+    /// their gemms into shared-pack waves. Outcomes are byte-identical
+    /// with or without fusion; CRAFT_BATCH_FUSE=0 also disables it at
+    /// runtime.
+    bool FuseBatchGemms = true;
   };
 
   struct Stats {

@@ -9,12 +9,16 @@
 #include "core/LipschitzCert.h"
 #include "core/UnrolledCrown.h"
 #include "core/Verifier.h"
+#include "linalg/KernelsBatched.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
+#include <memory>
 
 using namespace craft;
 
@@ -159,6 +163,11 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model) {
   // same space at extra cost.
   if (Spec.Attack && Spec.SplitDepth <= 0 && !Out.Certified &&
       !Out.Refuted && !Spec.Center.empty() && Spec.Epsilon > 0.0) {
+    // PGD iterates gemv-shaped concrete solves — a long gemm-free phase.
+    // Step out of the batch's gemm rendezvous so co-batched queries still
+    // verifying do not stall on this thread (values are unaffected; the
+    // pause only changes wave composition).
+    kernels::WavePauseScope PauseWaves;
     PgdOptions Attack;
     Attack.Epsilon = Spec.Epsilon;
     Attack.InputLo = Spec.ClampLo;
@@ -242,13 +251,47 @@ bool batchFansOut(size_t N, int Jobs) {
 /// scheduling decision.
 void clampSplitJobsForBatch(VerificationSpec &Spec) { Spec.SplitJobs = 1; }
 
+/// Only the CH-Zonotope engines run the dense layer-gemm loop the wave
+/// gate fuses; Crown/Lipschitz workers stay unenrolled so their threads
+/// never hold up a rendezvous.
+bool specCanFuse(const VerificationSpec &Spec) {
+  return Spec.Verifier == SpecVerifier::Craft ||
+         Spec.Verifier == SpecVerifier::Box;
+}
+
+/// Runtime kill switch for batch-gemm fusion (CRAFT_BATCH_FUSE=0).
+bool batchFuseEnabled() {
+  const char *Env = std::getenv("CRAFT_BATCH_FUSE");
+  return !(Env && std::strcmp(Env, "0") == 0);
+}
+
+/// A gate is worth creating only when the batch fans out and at least two
+/// runnable queries can enroll; otherwise waves could never form and
+/// every eligible post would pay the rendezvous timeout.
+std::unique_ptr<kernels::GemmWaveGate>
+makeWaveGate(const std::vector<VerificationSpec> &Specs,
+             const std::vector<const MonDeq *> &Models, bool FansOut,
+             bool Fuse) {
+  if (!Fuse || !FansOut || !batchFuseEnabled())
+    return nullptr;
+  size_t Fusible = 0;
+  for (size_t I = 0; I < Specs.size(); ++I)
+    if (I < Models.size() && Models[I] && specCanFuse(Specs[I]))
+      ++Fusible;
+  if (Fusible < 2)
+    return nullptr;
+  return std::make_unique<kernels::GemmWaveGate>();
+}
+
 } // namespace
 
 std::vector<RunOutcome>
 craft::runSpecBatchLoaded(const std::vector<VerificationSpec> &Specs,
                           const std::vector<const MonDeq *> &Models,
-                          int Jobs) {
+                          int Jobs, bool FuseBatchGemms) {
   const bool FansOut = batchFansOut(Specs.size(), Jobs);
+  std::unique_ptr<kernels::GemmWaveGate> Gate =
+      makeWaveGate(Specs, Models, FansOut, FuseBatchGemms);
   std::vector<RunOutcome> Outcomes(Specs.size());
   parallelForIndex(Specs.size(), Jobs, [&](size_t I) {
     const MonDeq *Model = I < Models.size() ? Models[I] : nullptr;
@@ -257,6 +300,11 @@ craft::runSpecBatchLoaded(const std::vector<VerificationSpec> &Specs,
           "cannot load model '" + Specs[I].ModelPath + "'";
       return;
     }
+    // Enroll this worker's query into the batch's gemm rendezvous: its
+    // layer gemms execute as fused waves with the co-batched queries,
+    // byte-identically to running alone.
+    kernels::WaveWorkerScope Wave(specCanFuse(Specs[I]) ? Gate.get()
+                                                        : nullptr);
     if (FansOut) {
       VerificationSpec Spec = Specs[I];
       clampSplitJobsForBatch(Spec);
@@ -283,6 +331,15 @@ craft::runSpecBatch(const std::vector<VerificationSpec> &Specs,
   }
 
   const bool FansOut = batchFansOut(Specs.size(), Opts.Jobs);
+  // Same fusion setup as runSpecBatchLoaded: multi-input spec files hit
+  // the same shared model instances, so their layer gemms fuse too.
+  std::vector<const MonDeq *> Loaded(Specs.size(), nullptr);
+  for (size_t I = 0; I < Specs.size(); ++I) {
+    const std::optional<MonDeq> &Model = Models.at(Specs[I].ModelPath);
+    Loaded[I] = Model ? &*Model : nullptr;
+  }
+  std::unique_ptr<kernels::GemmWaveGate> Gate =
+      makeWaveGate(Specs, Loaded, FansOut, true);
   std::vector<RunOutcome> Outcomes(Specs.size());
   parallelForIndex(Specs.size(), Opts.Jobs, [&](size_t I) {
     VerificationSpec Spec = Specs[I];
@@ -292,12 +349,12 @@ craft::runSpecBatch(const std::vector<VerificationSpec> &Specs,
       Spec.AttackSeed = taskSeed(Opts.BaseSeed, I);
     if (FansOut)
       clampSplitJobsForBatch(Spec);
-    const std::optional<MonDeq> &Model = Models.at(Spec.ModelPath);
-    if (!Model) {
+    if (!Loaded[I]) {
       Outcomes[I].Detail = "cannot load model '" + Spec.ModelPath + "'";
       return;
     }
-    Outcomes[I] = runSpecOn(Spec, *Model);
+    kernels::WaveWorkerScope Wave(specCanFuse(Spec) ? Gate.get() : nullptr);
+    Outcomes[I] = runSpecOn(Spec, *Loaded[I]);
   });
   return Outcomes;
 }

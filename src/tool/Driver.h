@@ -70,9 +70,18 @@ RunOutcome runSpecLoaded(const VerificationSpec &Spec, const MonDeq &Model);
 /// depend only on each spec's own content, never on its position. This is
 /// the serve scheduler's dispatch path, where batches are formed by
 /// admission timing and positions are not reproducible.
+///
+/// When \p FuseBatchGemms is set (and the batch fans out across workers
+/// with at least two Craft/Box queries), the workers enroll in a shared
+/// GemmWaveGate: their layer gemms rendezvous and execute as fused waves
+/// through the batched kernel tier, packing each shared model matrix once
+/// per wave instead of once per query. Outcomes are byte-identical either
+/// way (see linalg/KernelsBatched.h); CRAFT_BATCH_FUSE=0 is a runtime
+/// kill switch.
 std::vector<RunOutcome>
 runSpecBatchLoaded(const std::vector<VerificationSpec> &Specs,
-                   const std::vector<const MonDeq *> &Models, int Jobs);
+                   const std::vector<const MonDeq *> &Models, int Jobs,
+                   bool FuseBatchGemms = true);
 
 /// Batch execution knobs for runSpecBatch.
 struct BatchOptions {

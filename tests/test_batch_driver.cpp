@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "data/GaussianMixture.h"
+#include "linalg/KernelsBatched.h"
 #include "nn/Solvers.h"
 #include "nn/Training.h"
 #include "support/Rng.h"
@@ -18,6 +19,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <set>
 #include <stdexcept>
@@ -314,6 +316,105 @@ TEST(BatchDriverTest, JobCountNeverChangesOutcomes) {
     for (size_t I = 0; I < Outs.size(); ++I)
       expectSameOutcome(Baseline[I], Outs[I], I);
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Batch-gemm fusion: fused waves must never change any outcome
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Model big enough that the solver's layer gemms clear the batched
+/// tier's default fusion threshold (2^18 multiply-adds): the
+/// Peaceman-Rachford state matrix is 192 x 192, so a step gemm against a
+/// k >= 8-generator abstract value is wave-eligible. Untrained on
+/// purpose — fusion equivalence is about arithmetic, not accuracy.
+struct FusionFixture {
+  MonDeq Model;
+  std::vector<VerificationSpec> Specs;
+};
+
+FusionFixture &fusionFixture() {
+  static FusionFixture *F = [] {
+    Rng InitRng(91);
+    auto *Out = new FusionFixture{
+        MonDeq::randomFc(InitRng, 16, 96, 3, 20.0), {}};
+    Out->Model.fbAlphaBound(); // Warm the lazy cache before fan-out.
+    Rng CenterRng(92);
+    for (size_t I = 0; I < 6; ++I) {
+      VerificationSpec Spec;
+      Spec.ModelPath = "<preloaded>";
+      Spec.Center = Vector(16);
+      for (size_t J = 0; J < 16; ++J)
+        Spec.Center[J] = CenterRng.uniform(0.2, 0.8);
+      Spec.Epsilon = 0.01;
+      Spec.TargetClass = int(I % 3);
+      Spec.InLo = Vector(16);
+      Spec.InHi = Vector(16);
+      for (size_t J = 0; J < 16; ++J) {
+        Spec.InLo[J] = Spec.Center[J] - Spec.Epsilon;
+        Spec.InHi[J] = Spec.Center[J] + Spec.Epsilon;
+      }
+      // Mix fusible (Craft/Box) and unenrolled (Crown) queries so the
+      // rendezvous proves it never stalls on non-participating workers.
+      Spec.Verifier = I == 4 ? SpecVerifier::Crown
+                             : (I % 2 ? SpecVerifier::Box
+                                      : SpecVerifier::Craft);
+      Out->Specs.push_back(std::move(Spec));
+    }
+    return Out;
+  }();
+  return *F;
+}
+
+} // namespace
+
+TEST(BatchFusionTest, FusedOutcomesAreByteIdenticalToSequential) {
+  FusionFixture &Fix = fusionFixture();
+  std::vector<const MonDeq *> Models(Fix.Specs.size(), &Fix.Model);
+
+  // Ground truth: one worker, no gate (batchFansOut is false at Jobs = 1,
+  // so no fusion machinery is even constructed).
+  std::vector<RunOutcome> Sequential =
+      runSpecBatchLoaded(Fix.Specs, Models, 1);
+  ASSERT_EQ(Sequential.size(), Fix.Specs.size());
+
+  // Fusion off, parallel: the pre-existing jobs-1-vs-N contract.
+  std::vector<RunOutcome> Unfused =
+      runSpecBatchLoaded(Fix.Specs, Models, 4, /*FuseBatchGemms=*/false);
+  for (size_t I = 0; I < Sequential.size(); ++I)
+    expectSameOutcome(Sequential[I], Unfused[I], I);
+
+  // Fusion on, parallel: outcomes must still be byte-identical, and the
+  // batched tier must actually have fused work (with four identically
+  // shaped co-queries the rendezvous aligns well within its window).
+  kernels::resetBatchGemmStats();
+  std::vector<RunOutcome> Fused =
+      runSpecBatchLoaded(Fix.Specs, Models, 4, /*FuseBatchGemms=*/true);
+  for (size_t I = 0; I < Sequential.size(); ++I)
+    expectSameOutcome(Sequential[I], Fused[I], I);
+  const kernels::BatchGemmStats S = kernels::batchGemmStats();
+  EXPECT_GT(S.Waves, 0u) << "no rendezvous wave ever fired";
+  EXPECT_GT(S.FusedProblems, 0u) << "no gemm executed fused";
+  EXPECT_LT(S.PanelsPackedShared, S.PanelsPackedUnshared)
+      << "pack sharing saved no work";
+}
+
+TEST(BatchFusionTest, KillSwitchDisablesFusionWithoutChangingOutcomes) {
+  FusionFixture &Fix = fusionFixture();
+  std::vector<const MonDeq *> Models(Fix.Specs.size(), &Fix.Model);
+  std::vector<RunOutcome> Baseline = runSpecBatchLoaded(Fix.Specs, Models, 1);
+
+  ASSERT_EQ(setenv("CRAFT_BATCH_FUSE", "0", 1), 0);
+  kernels::resetBatchGemmStats();
+  std::vector<RunOutcome> Disabled =
+      runSpecBatchLoaded(Fix.Specs, Models, 4, /*FuseBatchGemms=*/true);
+  ASSERT_EQ(unsetenv("CRAFT_BATCH_FUSE"), 0);
+
+  EXPECT_EQ(kernels::batchGemmStats().Waves, 0u)
+      << "CRAFT_BATCH_FUSE=0 must prevent any wave";
+  for (size_t I = 0; I < Baseline.size(); ++I)
+    expectSameOutcome(Baseline[I], Disabled[I], I);
 }
 
 TEST(BatchDriverTest, AttackSeedsAreDerivedFromTaskIndex) {

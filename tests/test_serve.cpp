@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <thread>
@@ -34,6 +35,18 @@
 using namespace craft;
 using namespace craft::serve;
 using json::Value;
+
+// The fixture model is tiny (latent dim 10), so its layer gemms sit far
+// below the batched tier's default fusion threshold. Lower the threshold
+// (and the rendezvous wait, to keep misaligned posts cheap) for this
+// whole binary so the scheduler tests exercise wave fusion for real.
+// Both knobs are latched on first use, hence the pre-main initializer;
+// overwrite = 0 keeps explicit external settings in charge.
+static const bool FusionEnvForTests = [] {
+  setenv("CRAFT_BATCH_FUSE_MIN_FLOPS", "1", 0);
+  setenv("CRAFT_BATCH_FUSE_WAIT_MS", "5", 0);
+  return true;
+}();
 
 //===----------------------------------------------------------------------===//
 // JSON
@@ -606,6 +619,44 @@ TEST(SchedulerTest, JobsAndBatchingNeverChangeOutcomes) {
                         "query " + std::to_string(I) + " round " +
                             std::to_string(Round));
     }
+  }
+}
+
+TEST(SchedulerTest, BatchGemmFusionNeverChangesOutcomes) {
+  // Same queries three ways: sequential singleton batches (ground truth),
+  // fanned-out batches with gemm fusion disabled, and fanned-out batches
+  // with fusion enabled (the default) — co-admitted queries then execute
+  // their layer gemms as shared-pack waves. All three must be
+  // byte-identical; only throughput may differ. Caching is bypassed so
+  // every round actually executes.
+  std::vector<VerificationSpec> Specs;
+  for (size_t I = 0; I < 6; ++I)
+    Specs.push_back(serveSpec(I % 3, 0.01 + 0.005 * double(I)));
+
+  auto runAll = [&](int Jobs, bool Fuse) {
+    Scheduler::Options Opts;
+    Opts.Jobs = Jobs;
+    Opts.FuseBatchGemms = Fuse;
+    Scheduler Sched(Opts);
+    std::vector<std::future<ServeResult>> Futures;
+    Futures.reserve(Specs.size());
+    for (const VerificationSpec &S : Specs)
+      Futures.push_back(Sched.submit(S, /*UseCache=*/false));
+    std::vector<RunOutcome> Outs;
+    for (std::future<ServeResult> &F : Futures)
+      Outs.push_back(F.get().Outcome);
+    return Outs;
+  };
+
+  std::vector<RunOutcome> Sequential = runAll(1, false);
+  std::vector<RunOutcome> Unfused = runAll(4, false);
+  std::vector<RunOutcome> Fused = runAll(4, true);
+  ASSERT_EQ(Sequential.size(), Specs.size());
+  for (size_t I = 0; I < Specs.size(); ++I) {
+    expectSameOutcome(Sequential[I], Unfused[I],
+                      "unfused query " + std::to_string(I));
+    expectSameOutcome(Sequential[I], Fused[I],
+                      "fused query " + std::to_string(I));
   }
 }
 

@@ -13,6 +13,12 @@ the gate when it drops below the baseline's (minus a small tolerance) —
 a cache that silently stops hitting is a regression even when the
 latency numbers still look plausible.
 
+Records may carry a "direction" field ("lower", the default, or
+"higher") saying which way better points. For "higher" records —
+rates like queries/sec or speedup ratios — the gate inverts: the run
+fails when current/baseline drops below 1/threshold, and a rise is an
+improvement, never a regression.
+
 Only (op, dims) pairs present in both files are compared, so adding or
 removing benchmarks never breaks the gate; drops are listed so silent
 coverage loss is visible. Records whose backend field differs between
@@ -102,17 +108,28 @@ def main():
         if base_ns <= 0.0 or cur_ns <= 0.0:
             continue  # Empty rows (e.g. zero accurate samples).
         ratio = cur_ns / base_ns
+        # Which way "better" points. Prefer the current record's field so
+        # a benchmark can flip direction without a baseline refresh; fall
+        # back to the baseline's, then to lower-is-better (timings).
+        direction = (current[key].get("direction")
+                     or baseline[key].get("direction") or "lower")
+        if direction == "higher":
+            regressed = ratio < 1.0 / args.threshold
+        else:
+            regressed = ratio > args.threshold
         base_backend = baseline[key].get("backend")
         cur_backend = current[key].get("backend")
         mismatch = (base_backend and cur_backend
                     and base_backend != cur_backend)
         flag = ""
-        if ratio > args.threshold:
+        if direction == "higher":
+            flag += "  (higher is better)"
+        if regressed:
             if mismatch and not args.gate_backend_mismatch:
-                flag = "  (not gated: cross-ISA)"
+                flag += "  (not gated: cross-ISA)"
             else:
                 regressions.append(f"{op}/{dims}: {ratio:.2f}x")
-                flag = "  << REGRESSION"
+                flag += "  << REGRESSION"
         # Cache hit rates gate regardless of backend: hitting the cache
         # is a functional property, not an ISA-dependent timing.
         base_hits = baseline[key].get("cache_hit_rate")

@@ -371,7 +371,11 @@ struct FileScope {
   bool IsTimerTU = false; ///< src/support/Timer.h.
   bool IsRoundedTU = false; ///< src/support/RoundedInterval.h.
   bool IsIsaKernelTU = false; ///< Per-ISA kernel TU (owns its -m flags).
-  bool IsKernelFile = false;  ///< src/linalg/Kernels* (hot-path tier).
+  /// src/linalg/Kernels* (hot-path tier): the dispatch layer, the per-ISA
+  /// TUs, and the batch-fused tier (KernelsBatched.*, KernelsTiling.h) —
+  /// the Kernels name prefix keeps future kernel files in scope by
+  /// construction.
+  bool IsKernelFile = false;
   bool InResultPath = false;  ///< core/domains/tool/serve result paths.
 };
 
@@ -383,6 +387,9 @@ FileScope classify(const std::string &Rel) {
   FS.IsRngTU = Rel == "src/support/Rng.h" || Rel == "src/support/Rng.cpp";
   FS.IsTimerTU = Rel == "src/support/Timer.h";
   FS.IsRoundedTU = Rel == "src/support/RoundedInterval.h";
+  // Exactly the three TUs whose -ffp-contract=off builds may spell FMA
+  // out; the batched tier (KernelsBatched.cpp) stays un-exempt — it
+  // orchestrates the per-ISA panel kernels and does no arithmetic itself.
   FS.IsIsaKernelTU = Rel == "src/linalg/KernelsScalar.cpp" ||
                      Rel == "src/linalg/KernelsAvx2.cpp" ||
                      Rel == "src/linalg/KernelsAvx512.cpp";
@@ -496,7 +503,10 @@ const std::vector<RuleInfo> &craft::lint::allRules() {
       {"sound-fma", Severity::Error,
        "std::fma / __builtin_fma outside the per-ISA kernel TUs",
        "a fused mul+add rounds once, not twice, silently changing results "
-       "across backends; kernel TUs compile with -ffp-contract=off"},
+       "across backends; kernel TUs compile with -ffp-contract=off. The "
+       "batched tier (KernelsBatched.*) is NOT exempt: it replays the "
+       "per-ISA panel kernels and must never introduce contraction of its "
+       "own"},
       {"sound-fastmath", Severity::Error,
        "fast-math / FP_CONTRACT pragmas or attributes anywhere",
        "value-changing FP optimizations break the outward-rounding "
@@ -509,7 +519,10 @@ const std::vector<RuleInfo> &craft::lint::allRules() {
       {"hot-alloc", Severity::Error,
        "new / malloc / std::vector / std::string in kernel function bodies",
        "the kernel tier is allocation-free by contract; scratch comes from "
-       "the caller-owned Workspace arena"},
+       "the caller-owned Workspace arena. Covers every src/linalg/Kernels* "
+       "file, including the batch-fused tier (KernelsBatched, "
+       "KernelsTiling): shared packs and wave scratch live in arenas or "
+       "fixed member arrays, never the heap"},
       {"conc-detach", Severity::Error, "std::thread::detach anywhere",
        "detached threads outlive their owners and race teardown; every "
        "thread in this repo is joined"},
