@@ -10,6 +10,15 @@
 //         amortized model load, admission batching across clients;
 //   hot   the identical queries again — served from the ResultCache.
 //
+// A third phase floods a deliberately starved daemon (one worker, batch
+// 1, queue capacity 2, shed high-water 1) with uncacheable queries from
+// every client at once. Under saturation the contract is fail-fast:
+// past the high-water mark a submission is answered immediately with an
+// ok:false "overloaded" envelope instead of queueing without bound, so
+// the tail latency (serve_overload_p99) stays bounded and the shed rate
+// (serve_shed_rate, direction=higher: a DROP means the daemon went back
+// to blocking) stays substantial.
+//
 // Reports mean/p50/p95/p99 latency and aggregate throughput per phase
 // plus the hot-phase cache hit rate, prints a table, and emits
 // BENCH_serve.json in the shared BenchJson schema (latency records carry
@@ -120,6 +129,80 @@ PhaseStats runPhase(int Port, const std::vector<std::string> &SpecTexts,
   return S;
 }
 
+struct OverloadStats {
+  double P99Ns = 0.0;   ///< Over every request, shed answers included.
+  double ShedRate = 0.0; ///< Fraction answered with "overloaded".
+};
+
+/// Floods a starved daemon (worker pool of 1, batch 1, queue capacity 2,
+/// shed high-water 1) with \p Clients * \p PerClient uncacheable copies
+/// of \p SpecText. Shed answers are expected and timed like any other
+/// response; any other failure aborts the bench.
+OverloadStats runOverloadPhase(const std::string &SpecText, size_t Clients,
+                               size_t PerClient) {
+  ServerOptions Opts;
+  Opts.Port = 0;
+  Opts.Sched.Jobs = 1;
+  Opts.Sched.MaxBatch = 1;
+  Opts.Sched.QueueCapacity = 2;
+  Opts.Sched.ShedHighWater = 1;
+  Server Daemon(Opts);
+  std::string Error;
+  if (!Daemon.start(Error)) {
+    std::fprintf(stderr, "error: cannot start overload daemon: %s\n",
+                 Error.c_str());
+    std::exit(2);
+  }
+  const size_t Total = Clients * PerClient;
+  std::vector<double> Latencies(Total, 0.0);
+  std::vector<int> Shed(Total, 0);
+  std::vector<int> Failed(Clients, 0);
+  std::vector<std::thread> Threads;
+  for (size_t C = 0; C < Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      ServeClient Client;
+      std::string Err;
+      if (!Client.connect(Daemon.boundPort(), Err)) {
+        Failed[C] = 1;
+        return;
+      }
+      for (size_t I = 0; I < PerClient; ++I) {
+        const size_t Slot = C * PerClient + I;
+        WallTimer T;
+        std::optional<VerifyReply> Reply =
+            Client.verify(SpecText, Err, /*UseCache=*/false);
+        Latencies[Slot] = T.seconds() * 1e9;
+        if (Reply)
+          continue;
+        if (Client.lastErrorCode() == "overloaded") {
+          Shed[Slot] = 1;
+          continue;
+        }
+        Failed[C] = 1;
+        return;
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  for (size_t C = 0; C < Clients; ++C)
+    if (Failed[C]) {
+      std::fprintf(stderr,
+                   "error: client %zu failed the overload phase\n", C);
+      std::exit(2);
+    }
+  Daemon.shutdown();
+
+  OverloadStats S;
+  size_t ShedCount = 0;
+  for (int Flag : Shed)
+    ShedCount += static_cast<size_t>(Flag);
+  S.ShedRate = static_cast<double>(ShedCount) / Total;
+  std::sort(Latencies.begin(), Latencies.end());
+  S.P99Ns = percentile(Latencies, 0.99);
+  return S;
+}
+
 } // namespace
 
 int main() {
@@ -187,6 +270,8 @@ int main() {
   PhaseStats Hot = runPhase(Daemon.boundPort(), SpecTexts, Clients);
 
   Daemon.shutdown();
+
+  OverloadStats Over = runOverloadPhase(SpecTexts[0], Clients, 8);
   std::remove(ModelPath.c_str());
 
   auto Ms = [](double Ns) { return Ns / 1e6; };
@@ -199,6 +284,9 @@ int main() {
                 Name, Ms(S.MeanNs), Ms(S.P50Ns), Ms(S.P95Ns),
                 Ms(S.P99Ns), 1e9 / S.ThroughputNsPerReq,
                 100.0 * S.HitRate);
+  std::printf("overload   p99 %8.3fms, shed rate %3.0f%% (starved "
+              "daemon, %zu clients x 8)\n",
+              Ms(Over.P99Ns), 100.0 * Over.ShedRate, Clients);
 
   std::string Dims = "c";
   Dims += std::to_string(Clients);
@@ -220,6 +308,18 @@ int main() {
   addRecord("serve_hot_p95", Hot.P95Ns);
   addRecord("serve_hot_p99", Hot.P99Ns);
   addRecord("serve_hot_throughput", Hot.ThroughputNsPerReq);
+  addRecord("serve_overload_p99", Over.P99Ns);
+  {
+    // Shed rate rides in ns_per_op like the hit rate does; direction
+    // "higher" flips the gate so a daemon that quietly stops shedding
+    // (and starts blocking) regresses the record.
+    benchjson::Record R;
+    R.Op = "serve_shed_rate";
+    R.Dims = Dims;
+    R.NsPerOp = Over.ShedRate;
+    R.Direction = "higher";
+    Records.push_back(std::move(R));
+  }
   benchjson::write("BENCH_serve.json", Records);
 
   const double Speedup = Cold.MeanNs / Hot.MeanNs;
@@ -238,6 +338,15 @@ int main() {
                  Speedup);
     return 1;
   }
-  std::printf("OK: >= 5x cache-hit acceptance bar met\n");
+  if (Over.ShedRate <= 0.0) {
+    std::fprintf(stderr,
+                 "FAIL: the saturated daemon never shed — overload must "
+                 "be answered with 'overloaded', not absorbed by "
+                 "blocking\n");
+    return 1;
+  }
+  std::printf("OK: >= 5x cache-hit acceptance bar met, overload shed "
+              "rate %.0f%%\n",
+              100.0 * Over.ShedRate);
   return 0;
 }

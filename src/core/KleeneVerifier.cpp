@@ -39,6 +39,8 @@ KleeneResult KleeneVerifier::verifyRegion(const Vector &InLo,
   ConsolidationBasis Basis(Solver.stateDim(), /*RefreshEvery=*/10);
 
   for (int N = 1; N <= Config.MaxIterations; ++N) {
+    if (Config.Control.stopRequested())
+      break; // Deadline/cancel: report non-convergence, never a verdict.
     Res.Iterations = N;
     CHZonotope Next = Solver.step(S);
     if (N <= Config.UnrollSteps) {

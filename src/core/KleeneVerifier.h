@@ -22,6 +22,7 @@
 
 #include "core/AbstractSolver.h"
 #include "domains/OrderReduction.h"
+#include "support/Deadline.h"
 
 namespace craft {
 
@@ -55,6 +56,10 @@ struct KleeneConfig {
   double AbortWidth = 1e9;
   double InputClampLo = 0.0;
   double InputClampHi = 1.0;
+
+  /// Deadline/cancellation polled at Kleene iteration boundaries; a stop
+  /// ends iteration without convergence (sound, never a wrong verdict).
+  RunControl Control;
 };
 
 /// Outcome of a Kleene analysis.

@@ -106,6 +106,19 @@ SplitEngineResult craft::runSplitEngine(const MonDeq &Model,
   std::vector<WaveSlot> Slots;
 
   while (!Frontier.empty()) {
+    if (Config.Control.stopRequested()) {
+      // Deadline/cancel at a wave boundary (the same granularity as the
+      // refutation early-abort): the remaining frontier becomes undecided
+      // leaves so the unit accounting stays exact and the partial result
+      // stays sound.
+      for (WorkItem &Item : Frontier) {
+        ++Result.NumUndecided;
+        Result.Leaves.push_back({Item.Path, Item.Depth, std::move(Item.Lo),
+                                 std::move(Item.Hi), -1});
+      }
+      Frontier.clear();
+      break;
+    }
     ++Result.NumWaves;
     Slots.assign(Frontier.size(), WaveSlot{});
 
@@ -201,7 +214,8 @@ SplitEngineResult craft::runSplitEngine(const MonDeq &Model,
     };
     constexpr size_t Chunk = 16; // Independent of Jobs by design.
     std::vector<ProbeSlot> Probes;
-    for (size_t Begin = 0; Begin < Targets.size() && !Result.Refuted;
+    for (size_t Begin = 0; Begin < Targets.size() && !Result.Refuted &&
+                           !Config.Control.stopRequested();
          Begin += Chunk) {
       const size_t End = std::min(Begin + Chunk, Targets.size());
       Probes.assign(End - Begin, ProbeSlot{});

@@ -99,6 +99,8 @@ CraftResult CraftVerifier::verifyCH(const Vector &InLo, const Vector &InHi,
   bool Contained = false;
 
   for (int N = 1; N <= Config.MaxIterations && !Contained; ++N) {
+    if (Config.Control.stopRequested())
+      break; // Deadline/cancel: give up containment search, stay sound.
     Res.TotalIterations = N;
     if ((N - 1) % Config.ConsolidateEvery == 0) {
       ProperState PS = consolidateProper(S, Basis, WMul, WAdd);
@@ -155,6 +157,8 @@ CraftResult CraftVerifier::verifyCH(const Vector &InLo, const Vector &InHi,
     MarginTracker Track(3 * Config.Phase2Window);
     ConsolidationBasis Basis2(Solver2.stateDim(), Config.PcaRefreshEvery);
     for (int Step = 0; Step < MaxSteps; ++Step) {
+      if (Config.Control.stopRequested())
+        break; // Stop tightening; the best margin so far stands.
       bool UsableForCertification = true;
       if (Config.SameIterationContainment) {
         // Ablation: certify only from states contained in their
@@ -202,6 +206,8 @@ CraftResult CraftVerifier::verifyCH(const Vector &InLo, const Vector &InHi,
                                           0.08, 0.12, 0.2,  0.35};
       double BestProbe = -1e300;
       for (double Cand : Candidates) {
+        if (Config.Control.stopRequested())
+          break;
         AbstractSolver Probe(Model, Splitting::ForwardBackward, Cand, X);
         MarginTracker Track = runPhase2(Probe, SEntry, 1.0, /*MaxSteps=*/6);
         if (Track.best() > BestProbe) {
@@ -234,6 +240,8 @@ CraftResult CraftVerifier::verifyCH(const Vector &InLo, const Vector &InHi,
             : std::vector<double>{0.9, 1.1};
     int Steps = Config.LambdaOptLevel >= 2 ? 40 : 20;
     for (double Scale : Scales) {
+      if (Config.Control.stopRequested())
+        break;
       MarginTracker Track = runPhase2(*Solver2, SEntry, Scale, Steps);
       if (Track.best() > Res.BestMargin) {
         Res.BestMargin = Track.best();
@@ -266,6 +274,8 @@ CraftResult CraftVerifier::verifyBox(const Vector &InLo, const Vector &InHi,
   bool Contained = false;
 
   for (int N = 1; N <= Config.MaxIterations && !Contained; ++N) {
+    if (Config.Control.stopRequested())
+      break;
     Res.TotalIterations = N;
     History.push_front(S);
     if (History.size() > static_cast<size_t>(Config.HistorySize))
@@ -294,6 +304,8 @@ CraftResult CraftVerifier::verifyBox(const Vector &InLo, const Vector &InHi,
   // Phase 2 on the Box domain (PR phase-1 alpha retained; Box has no
   // consolidation or lambda choices).
   for (int Step = 0; Step < Config.MaxIterations; ++Step) {
+    if (Config.Control.stopRequested())
+      break;
     S = Solver1.stepInterval(S);
     if (S.radius().normInf() > Config.AbortWidth)
       break;

@@ -27,6 +27,7 @@
 
 #include "core/AbstractSolver.h"
 #include "domains/OrderReduction.h"
+#include "support/Deadline.h"
 
 namespace craft {
 
@@ -89,6 +90,11 @@ struct CraftConfig {
   /// Clamp robustness balls to this input range (images live in [0,1]).
   double InputClampLo = 0.0;
   double InputClampHi = 1.0;
+
+  /// Deadline/cancellation polled at iteration boundaries. A stop aborts
+  /// tightening early — the partial result stays sound (not certified,
+  /// never a wrong verdict). Default: never stops.
+  RunControl Control;
 };
 
 /// Outcome of one Craft verification query.

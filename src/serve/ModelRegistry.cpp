@@ -3,11 +3,22 @@
 #include "serve/ModelRegistry.h"
 
 #include "cert/Certificate.h"
+#include "support/FaultInjection.h"
 
 using namespace craft;
 using namespace craft::serve;
 
 ModelRegistry::Entry ModelRegistry::get(const std::string &Path) {
+  // Injected load failure, checked BEFORE the call_once so the failure is
+  // transient: a later request re-enters the real load path and can
+  // succeed. (Real load failures stay pinned — a missing file does not
+  // heal; an injected fault must.)
+  if (fault::at("model.load") == fault::Action::Fail) {
+    Entry E;
+    E.Error = "injected fault: model load failed for '" + Path + "'";
+    return E;
+  }
+
   Pinned *Slot;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -15,16 +26,25 @@ ModelRegistry::Entry ModelRegistry::get(const std::string &Path) {
   }
   // The load runs outside the registry mutex — a slow disk read of one
   // model must not serialize requests for already-pinned models — and
-  // call_once collapses concurrent first requests into one load.
+  // call_once collapses concurrent first requests into one load. Only
+  // the publication into the slot retakes the mutex: loadedCount()
+  // walks the slots under it with no call_once ordering of its own.
   std::call_once(Slot->Once, [&] {
     std::optional<MonDeq> Loaded = MonDeq::load(Path);
+    std::unique_ptr<MonDeq> Model;
+    uint64_t Hash = 0;
+    std::string Error;
     if (!Loaded) {
-      Slot->Error = "cannot load model '" + Path + "'";
-      return;
+      Error = "cannot load model '" + Path + "'";
+    } else {
+      Model = std::make_unique<MonDeq>(std::move(*Loaded));
+      Hash = hashModel(*Model);
+      Model->fbAlphaBound(); // Warm the lazy cache before sharing.
     }
-    Slot->Model = std::make_unique<MonDeq>(std::move(*Loaded));
-    Slot->Hash = hashModel(*Slot->Model);
-    Slot->Model->fbAlphaBound(); // Warm the lazy cache before sharing.
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Slot->Model = std::move(Model);
+    Slot->Hash = Hash;
+    Slot->Error = std::move(Error);
   });
   Entry E;
   E.Model = Slot->Model.get();

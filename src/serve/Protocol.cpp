@@ -535,6 +535,9 @@ serve::decodeRequest(const std::string &Line, std::string &Error) {
     }
     Req.SpecText = Spec->asString();
     Req.UseCache = Doc->boolOr("cache", true);
+    // NaN and negatives both normalize to "no deadline".
+    double DeadlineMs = Doc->numberOr("deadline_ms", -1.0);
+    Req.DeadlineMs = DeadlineMs >= 0.0 ? DeadlineMs : -1.0;
   } else if (Req.Method == "info") {
     const Value *Model = Doc->find("model");
     if (!Model || !Model->isString()) {
@@ -543,7 +546,7 @@ serve::decodeRequest(const std::string &Line, std::string &Error) {
     }
     Req.Model = Model->asString();
   } else if (Req.Method != "stats" && Req.Method != "ping" &&
-             Req.Method != "shutdown") {
+             Req.Method != "drain" && Req.Method != "shutdown") {
     Error = "unknown method '" + Req.Method + "'";
     return std::nullopt;
   }
@@ -558,6 +561,8 @@ std::string serve::encodeRequest(const Request &Req) {
     Doc.set("spec", Value::string(Req.SpecText));
     if (!Req.UseCache)
       Doc.set("cache", Value::boolean(false));
+    if (Req.DeadlineMs >= 0.0)
+      Doc.set("deadline_ms", Value::number(Req.DeadlineMs));
   } else if (Req.Method == "info") {
     Doc.set("model", Value::string(Req.Model));
   }
@@ -573,6 +578,7 @@ Value serve::encodeResult(const WireResult &Result) {
   Value V = Value::object();
   V.set("model_loaded", Value::boolean(Out.ModelLoaded));
   V.set("error", Value::boolean(Out.Error));
+  V.set("deadline_exceeded", Value::boolean(Out.DeadlineExceeded));
   V.set("certified", Value::boolean(Out.Certified));
   V.set("containment", Value::boolean(Out.Containment));
   V.set("refuted", Value::boolean(Out.Refuted));
@@ -600,6 +606,7 @@ serve::decodeResult(const Value &V) {
   WireResult R;
   R.Outcome.ModelLoaded = V.boolOr("model_loaded", false);
   R.Outcome.Error = V.boolOr("error", false);
+  R.Outcome.DeadlineExceeded = V.boolOr("deadline_exceeded", false);
   R.Outcome.Certified = V.boolOr("certified", false);
   R.Outcome.Containment = V.boolOr("containment", false);
   R.Outcome.Refuted = V.boolOr("refuted", false);
@@ -630,11 +637,14 @@ serve::decodeResult(const Value &V) {
 }
 
 Value serve::makeErrorResponse(int64_t Id, const std::string &Message,
-                               const std::vector<std::string> &Diagnostics) {
+                               const std::vector<std::string> &Diagnostics,
+                               const std::string &Code) {
   Value Doc = Value::object();
   Doc.set("id", Value::number(static_cast<double>(Id)));
   Doc.set("ok", Value::boolean(false));
   Doc.set("error", Value::string(Message));
+  if (!Code.empty())
+    Doc.set("code", Value::string(Code));
   if (!Diagnostics.empty()) {
     Value Arr = Value::array();
     for (const std::string &D : Diagnostics)

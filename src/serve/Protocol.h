@@ -14,18 +14,23 @@
 ///    escapes them);
 ///  - the request schema:
 ///      {"id": <n>, "method": "verify", "spec": "<spec text>",
-///       "cache": <bool, default true>}
+///       "cache": <bool, default true>,
+///       "deadline_ms": <ms, optional: per-request wall-clock budget>}
 ///      {"id": <n>, "method": "info", "model": "<path>"}
-///      {"id": <n>, "method": "stats" | "ping" | "shutdown"}
+///      {"id": <n>, "method": "stats" | "ping" | "drain" | "shutdown"}
 ///  - the response schema:
 ///      {"id": <n>, "ok": true, "results": [<result>...],
 ///       "server_ms": <t>}           (verify)
 ///      {"id": <n>, "ok": true, ...method-specific fields...}
 ///      {"id": <n>, "ok": false, "error": "<message>",
+///       "code": "<machine code, optional>",
 ///       "diagnostics": ["<spec errors>"...]}
-///    where each verify <result> mirrors RunOutcome plus a "cached" flag:
-///      {"model_loaded", "certified", "containment", "refuted",
-///       "margin_lower", "time_s", "certificate_written",
+///    where "code" (when present) classifies the failure for retry logic:
+///    "overloaded" (shed at admission, retryable) or "draining" (daemon
+///    drains, retryable against a replacement);
+///    and each verify <result> mirrors RunOutcome plus a "cached" flag:
+///      {"model_loaded", "deadline_exceeded", "certified", "containment",
+///       "refuted", "margin_lower", "time_s", "certificate_written",
 ///       "attack_seed" (decimal string: uint64 exceeds double),
 ///       "detail", "cached"}
 ///
@@ -117,10 +122,14 @@ namespace serve {
 struct Request {
   /// Client-chosen correlation id, echoed on the response (0 if absent).
   int64_t Id = 0;
-  std::string Method;   ///< "verify", "info", "stats", "ping", "shutdown".
+  /// "verify", "info", "stats", "ping", "drain", "shutdown".
+  std::string Method;
   std::string SpecText; ///< verify: the spec file contents.
   std::string Model;    ///< info: the model path.
   bool UseCache = true; ///< verify: false bypasses lookup and insertion.
+  /// verify: wall-clock budget in ms (< 0 = none). Queries still
+  /// unresolved when it expires answer deadline_exceeded.
+  double DeadlineMs = -1.0;
 };
 
 /// Decodes one request line. On failure returns nullopt and fills
@@ -142,10 +151,13 @@ struct WireResult {
 json::Value encodeResult(const WireResult &Result);
 std::optional<WireResult> decodeResult(const json::Value &V);
 
-/// Response envelope builders (all single-line serializable).
+/// Response envelope builders (all single-line serializable). \p Code,
+/// when non-empty, is emitted as the machine-readable "code" member
+/// ("overloaded" / "draining") that retry logic classifies on.
 json::Value makeErrorResponse(int64_t Id, const std::string &Message,
                               const std::vector<std::string> &Diagnostics =
-                                  {});
+                                  {},
+                              const std::string &Code = "");
 json::Value makeVerifyResponse(int64_t Id,
                                const std::vector<WireResult> &Results,
                                double ServerMs);

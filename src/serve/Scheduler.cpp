@@ -2,7 +2,10 @@
 
 #include "serve/Scheduler.h"
 
+#include "support/FaultInjection.h"
 #include "tool/SpecCanon.h"
+
+#include <algorithm>
 
 using namespace craft;
 using namespace craft::serve;
@@ -40,7 +43,8 @@ Scheduler::Stats Scheduler::stats() const {
 }
 
 std::future<ServeResult> Scheduler::submit(const VerificationSpec &Spec,
-                                           bool UseCache) {
+                                           bool UseCache,
+                                           double DeadlineMs) {
   {
     std::lock_guard<std::mutex> Lock(StatsMutex);
     ++Counters.Submitted;
@@ -50,6 +54,16 @@ std::future<ServeResult> Scheduler::submit(const VerificationSpec &Spec,
     R.Outcome.Detail = "server is shutting down";
     return readyResult(std::move(R));
   }
+  if (Draining.load()) {
+    ServeResult R;
+    R.Draining = true;
+    R.Outcome.Detail = "server is draining";
+    return readyResult(std::move(R));
+  }
+
+  // The budget starts here: queue wait counts against the deadline.
+  const bool HasDeadline = DeadlineMs >= 0.0;
+  Deadline DeadlineAt(HasDeadline ? DeadlineMs : -1.0);
 
   // 1. Model resolution (load-once via the registry).
   ModelRegistry::Entry Model = Registry.get(Spec.ModelPath);
@@ -74,8 +88,10 @@ std::future<ServeResult> Scheduler::submit(const VerificationSpec &Spec,
   std::future<ServeResult> Future;
   {
     std::lock_guard<std::mutex> Lock(InFlightMutex);
-    if (Cacheable) {
-      // 4. Coalesce with an identical in-flight query.
+    if (Cacheable && !HasDeadline) {
+      // 4. Coalesce with an identical in-flight query. Deadline queries
+      // never coalesce: each submission's budget is its own, and a job
+      // listed for coalescing must also be cache-publishable.
       auto It = InFlight.find(Key);
       if (It != InFlight.end()) {
         It->second->Waiters.emplace_back();
@@ -83,11 +99,14 @@ std::future<ServeResult> Scheduler::submit(const VerificationSpec &Spec,
         ++Counters.Coalesced;
         return It->second->Waiters.back().get_future();
       }
+    }
+    if (Cacheable) {
       // 5. Cache probe, under the admission lock. finishJob publishes
       // to the cache before delisting from InFlight, and both steps of
       // this probe hold the lock, so an identical query always either
       // joins the in-flight job or sees its cached outcome — a key is
-      // never executed twice.
+      // never executed twice. (Deadline queries probe too — a hit is
+      // instant and deterministic — they just never populate.)
       if (std::optional<RunOutcome> Hit = Cache.lookup(Key)) {
         {
           std::lock_guard<std::mutex> SLock(StatsMutex);
@@ -100,26 +119,39 @@ std::future<ServeResult> Scheduler::submit(const VerificationSpec &Spec,
         return readyResult(std::move(R));
       }
     }
-    // 6. Admit a fresh job.
+    // 6. Admit a fresh job. A deadline job runs with UseCache=false
+    // semantics from here on: not listed for coalescing, outcome never
+    // inserted — whether the budget suffices is submission timing, not
+    // query content, and must not poison the deterministic cache.
     NewJob = std::make_unique<Job>();
     NewJob->Spec = std::move(Prepared);
     NewJob->Model = Model.Model;
     NewJob->ModelHash = Model.Hash;
     NewJob->Key = Key;
-    NewJob->UseCache = Cacheable;
+    NewJob->UseCache = Cacheable && !HasDeadline;
+    NewJob->DeadlineAt = DeadlineAt;
     NewJob->Waiters.emplace_back();
     Future = NewJob->Waiters.back().get_future();
-    if (Cacheable)
+    if (NewJob->UseCache)
       InFlight.emplace(Key, NewJob.get());
   }
 
-  // The bounded push is the admission control: it blocks (without any
-  // scheduler lock held) while the daemon is saturated. Joiners may keep
-  // attaching to the job meanwhile — it is already listed in-flight.
-  if (!Queue.push(std::move(NewJob))) {
-    // Shutdown raced the admission; push failed without moving, so the
-    // job is still ours. Delist it first (under the lock, so no joiner
-    // can attach to a dying job), then fail every attached waiter.
+  // Non-blocking admission (load shedding): a saturated daemon answers
+  // Overloaded instead of head-of-line-blocking the connection thread.
+  // Joiners may keep attaching to the job meanwhile — it is already
+  // listed in-flight.
+  const size_t HighWater =
+      Opts.ShedHighWater > 0
+          ? std::min(Opts.ShedHighWater, Opts.QueueCapacity)
+          : Opts.QueueCapacity;
+  const bool Admitted =
+      Queue.size() < HighWater && Queue.tryPush(std::move(NewJob));
+  if (!Admitted) {
+    // Shed (or shutdown raced the admission); tryPush failed without
+    // moving, so the job is still ours. Delist it first (under the lock,
+    // so no joiner can attach to a dying job), then fail every attached
+    // waiter.
+    const bool ShuttingDown = Queue.closed();
     std::vector<std::promise<ServeResult>> Waiters;
     {
       std::lock_guard<std::mutex> Lock(InFlightMutex);
@@ -128,7 +160,14 @@ std::future<ServeResult> Scheduler::submit(const VerificationSpec &Spec,
       Waiters = std::move(NewJob->Waiters);
     }
     ServeResult R;
-    R.Outcome.Detail = "server is shutting down";
+    if (ShuttingDown) {
+      R.Outcome.Detail = "server is shutting down";
+    } else {
+      R.Overloaded = true;
+      R.Outcome.Detail = "admission queue is full";
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.Shed;
+    }
     for (std::promise<ServeResult> &P : Waiters)
       P.set_value(R);
   }
@@ -136,9 +175,13 @@ std::future<ServeResult> Scheduler::submit(const VerificationSpec &Spec,
 }
 
 void Scheduler::finishJob(std::unique_ptr<Job> JobPtr,
-                          const RunOutcome &Outcome) {
+                          const RunOutcome &Outcome, bool Publish) {
   // Publish before delisting (see the InFlight comment in the header).
-  if (JobPtr->UseCache && Outcome.ModelLoaded)
+  // Deadline outcomes are belt-and-braces excluded: deadline jobs carry
+  // UseCache=false, and even a mislabeled one must never memoize a
+  // timing-dependent result.
+  if (Publish && JobPtr->UseCache && Outcome.ModelLoaded &&
+      !Outcome.DeadlineExceeded)
     Cache.insert(JobPtr->Key, Outcome);
   std::vector<std::promise<ServeResult>> Waiters;
   {
@@ -200,17 +243,57 @@ void Scheduler::dispatchLoop() {
       Batch.push_back(std::move(Next));
     }
 
-    std::vector<VerificationSpec> Specs;
-    std::vector<const MonDeq *> Models;
-    Specs.reserve(Batch.size());
-    Models.reserve(Batch.size());
-    for (const std::unique_ptr<Job> &J : Batch) {
-      Specs.push_back(J->Spec);
-      Models.push_back(J->Model);
+    // Jobs whose budget the queue wait already consumed fail fast here
+    // instead of occupying a verification worker the engine would give
+    // back at its first iteration boundary anyway.
+    {
+      std::vector<std::unique_ptr<Job>> Keep;
+      Keep.reserve(Batch.size());
+      for (std::unique_ptr<Job> &J : Batch) {
+        if (!J->DeadlineAt.expired()) {
+          Keep.push_back(std::move(J));
+          continue;
+        }
+        {
+          std::lock_guard<std::mutex> Lock(StatsMutex);
+          ++Counters.DeadlineExpired;
+        }
+        RunOutcome Out;
+        Out.ModelLoaded = true;
+        Out.DeadlineExceeded = true;
+        Out.Detail = "deadline exceeded before dispatch";
+        finishJob(std::move(J), Out);
+      }
+      Batch.swap(Keep);
+    }
+    if (Batch.empty())
+      continue;
+
+    // Injected dispatch failure: every job of the batch reports an error
+    // outcome, and nothing is cached (the failure is synthetic).
+    if (fault::at("sched.dispatch") == fault::Action::Fail) {
+      RunOutcome Out;
+      Out.ModelLoaded = true;
+      Out.Error = true;
+      Out.Detail = "injected fault: dispatch failed";
+      for (std::unique_ptr<Job> &J : Batch)
+        finishJob(std::move(J), Out, /*Publish=*/false);
+      continue;
     }
 
-    std::vector<RunOutcome> Outcomes =
-        runSpecBatchLoaded(Specs, Models, Opts.Jobs, Opts.FuseBatchGemms);
+    std::vector<VerificationSpec> Specs;
+    std::vector<const MonDeq *> Models;
+    std::vector<RunControl> Controls(Batch.size());
+    Specs.reserve(Batch.size());
+    Models.reserve(Batch.size());
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      Specs.push_back(Batch[I]->Spec);
+      Models.push_back(Batch[I]->Model);
+      Controls[I].DeadlineAt = Batch[I]->DeadlineAt;
+    }
+
+    std::vector<RunOutcome> Outcomes = runSpecBatchLoaded(
+        Specs, Models, Opts.Jobs, Opts.FuseBatchGemms, Controls);
 
     {
       std::lock_guard<std::mutex> Lock(StatsMutex);
@@ -218,6 +301,9 @@ void Scheduler::dispatchLoop() {
       Counters.Executed += Batch.size();
       if (Batch.size() > Counters.MaxBatchSeen)
         Counters.MaxBatchSeen = Batch.size();
+      for (const RunOutcome &Out : Outcomes)
+        if (Out.DeadlineExceeded)
+          ++Counters.DeadlineExpired;
     }
     for (size_t I = 0; I < Batch.size(); ++I)
       finishJob(std::move(Batch[I]), Outcomes[I]);

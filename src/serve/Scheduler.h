@@ -23,8 +23,10 @@
 ///     admission order, so outcomes are independent of batch composition;
 ///  4. coalesce with an identical in-flight query if one exists;
 ///  5. consult the ResultCache (hit -> ready future, `Cached` set);
-///  6. otherwise enqueue on the bounded admission queue (back-pressure:
-///     submit blocks when the daemon is saturated).
+///  6. otherwise enqueue on the bounded admission queue — non-blocking:
+///     past the shed high-water mark the query fails fast with an
+///     Overloaded result instead of head-of-line-blocking the
+///     connection thread (load shedding).
 ///
 /// Determinism: a query's outcome depends only on its cache key. The
 /// jobs-1-vs-N and batched-vs-sequential equivalence is enforced by
@@ -57,6 +59,12 @@ struct ServeResult {
   RunOutcome Outcome;
   bool Cached = false;
   uint64_t ModelHash = 0; ///< 0 when the model failed to load.
+  /// Shed at admission: the queue was past the high-water mark, nothing
+  /// executed. Retryable — the protocol layer maps it to `Overloaded`.
+  bool Overloaded = false;
+  /// Rejected because the daemon is draining. Retryable (against a
+  /// replacement instance); mapped to `Draining`.
+  bool Draining = false;
 };
 
 /// Coalescing, caching scheduler in front of the verification pool.
@@ -68,8 +76,13 @@ public:
     int Jobs = 1;
     /// Hard cap on queries dispatched as one batch.
     size_t MaxBatch = 64;
-    /// Admission queue bound; submit blocks (back-pressure) beyond it.
+    /// Admission queue bound.
     size_t QueueCapacity = 1024;
+    /// Load shedding: submit never blocks — a query arriving while the
+    /// queue holds at least this many jobs (or tryPush finds it full) is
+    /// shed with ServeResult::Overloaded. 0 = QueueCapacity, i.e. shed
+    /// exactly when the queue is full.
+    size_t ShedHighWater = 0;
     /// Base of the content-derived attack-seed stream (see
     /// serveAttackSeed). Matches the batch driver's default vintage.
     uint64_t BaseSeed = 20230617;
@@ -91,6 +104,9 @@ public:
     uint64_t Executed = 0;
     uint64_t Batches = 0;
     size_t MaxBatchSeen = 0;
+    uint64_t Shed = 0; ///< Rejected at admission (queue past high water).
+    /// Queries whose deadline expired (before dispatch or mid-engine).
+    uint64_t DeadlineExpired = 0;
   };
 
   explicit Scheduler(const Options &Opts);
@@ -101,14 +117,32 @@ public:
   Scheduler &operator=(const Scheduler &) = delete;
 
   /// Submits one query. The future becomes ready when the query is
-  /// answered (possibly immediately: cache hit or model-load failure).
+  /// answered (possibly immediately: cache hit, model-load failure, shed,
+  /// or draining — submit itself NEVER blocks on a saturated queue).
   /// \p UseCache false bypasses both cache lookup and insertion.
+  /// \p DeadlineMs >= 0 arms a wall-clock budget starting now (queue wait
+  /// counts); an expired query resolves to a DeadlineExceeded outcome.
+  /// Deadline queries may be answered from the cache (a hit is instant
+  /// and deterministic) but are never coalesced, never listed in-flight,
+  /// and their outcomes are NEVER inserted into the cache — whether the
+  /// budget sufficed is a property of this submission's timing, not of
+  /// the query's content, and must not poison the deterministic cache.
   std::future<ServeResult> submit(const VerificationSpec &Spec,
-                                  bool UseCache = true);
+                                  bool UseCache = true,
+                                  double DeadlineMs = -1.0);
 
   /// Drains queued work, then stops the dispatcher. Subsequent submits
   /// fail fast with an error outcome. Idempotent.
   void stop();
+
+  /// Graceful drain: new submissions resolve to Draining; everything
+  /// already admitted (queued or executing) still completes. Idempotent;
+  /// stop() remains the terminal step.
+  void beginDrain() { Draining.store(true); }
+  bool draining() const { return Draining.load(); }
+
+  /// Jobs currently waiting in the admission queue.
+  size_t queueDepth() const { return Queue.size(); }
 
   Stats stats() const;
   ResultCache::Stats cacheStats() const { return Cache.stats(); }
@@ -122,12 +156,17 @@ private:
     uint64_t ModelHash = 0;
     std::string Key;
     bool UseCache = true;
+    /// Budget armed at admission (inactive for deadline-free queries).
+    Deadline DeadlineAt;
     /// Every submitter waiting on this query (1 + coalesced joiners).
     std::vector<std::promise<ServeResult>> Waiters;
   };
 
   void dispatchLoop();
-  void finishJob(std::unique_ptr<Job> JobPtr, const RunOutcome &Outcome);
+  /// \p Publish false suppresses the cache insert (injected dispatch
+  /// faults must not memoize their synthetic failure).
+  void finishJob(std::unique_ptr<Job> JobPtr, const RunOutcome &Outcome,
+                 bool Publish = true);
 
   Options Opts;
   ModelRegistry Registry;
@@ -147,6 +186,7 @@ private:
   Stats Counters;
 
   std::atomic<bool> Stopping{false};
+  std::atomic<bool> Draining{false};
   // craft-lint: allow(conc-thread) — the one dispatcher thread; stop()
   // closes the queue and joins it, and ~Scheduler calls stop().
   std::thread Dispatcher;

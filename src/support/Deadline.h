@@ -1,0 +1,82 @@
+//===- support/Deadline.h - Deadlines and cooperative cancel ----*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative time budgets for long-running verification work. A
+/// `Deadline` is a wall-clock budget that starts ticking when it is
+/// constructed (the serve scheduler constructs it at admission, so queue
+/// wait counts against the budget); a `CancelToken` is an explicit stop
+/// request; a `RunControl` bundles both and is threaded by value through
+/// the engine configs (CraftConfig, KleeneConfig) down to the iteration
+/// loops, which poll `stopRequested()` at their natural boundaries —
+/// Kleene/Craft iteration steps, split-engine waves, PGD probe chunks.
+///
+/// Stopping is strictly cooperative and never unsound: a loop that
+/// observes the stop simply gives up tightening, so a stopped query
+/// reports "not certified" (mapped to DeadlineExceeded by the driver),
+/// never a wrong verdict. Deadline outcomes are timing-dependent and are
+/// therefore NEVER inserted into the serve ResultCache (see
+/// serve/Scheduler.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_SUPPORT_DEADLINE_H
+#define CRAFT_SUPPORT_DEADLINE_H
+
+#include "support/Timer.h"
+
+#include <atomic>
+
+namespace craft {
+
+/// A wall-clock budget. Inactive by default (never expires); an active
+/// deadline starts ticking at construction. Copyable: a copy keeps the
+/// original start point, so handing a Deadline down a call chain does not
+/// restart the budget.
+class Deadline {
+public:
+  Deadline() = default;
+  /// \p BudgetMs < 0 constructs an inactive (never-expiring) deadline.
+  explicit Deadline(double BudgetMs) : BudgetMs(BudgetMs) {}
+
+  bool active() const { return BudgetMs >= 0.0; }
+  bool expired() const {
+    return active() && Clock.milliseconds() >= BudgetMs;
+  }
+  double budgetMs() const { return BudgetMs; }
+
+private:
+  double BudgetMs = -1.0;
+  WallTimer Clock;
+};
+
+/// Explicit stop request, settable from any thread.
+class CancelToken {
+public:
+  void cancel() { Cancelled.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return Cancelled.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<bool> Cancelled{false};
+};
+
+/// The stop signals one engine run observes. Default-constructed: never
+/// stops. Copyable and cheap to poll; the `Cancel` pointee (when set)
+/// must outlive the run.
+struct RunControl {
+  Deadline DeadlineAt;
+  const CancelToken *Cancel = nullptr;
+
+  bool stopRequested() const {
+    return (Cancel && Cancel->cancelled()) || DeadlineAt.expired();
+  }
+};
+
+} // namespace craft
+
+#endif // CRAFT_SUPPORT_DEADLINE_H

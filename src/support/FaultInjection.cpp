@@ -1,0 +1,208 @@
+//===- support/FaultInjection.cpp - Deterministic fault injection ---------===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+// craft-lint: allow(det-time) — the `stall` fault kind needs a real
+// sleep to simulate a slow dependency; the delay is fixed-length and
+// wall time never reaches seeds, iteration order, or result payloads.
+#include <chrono>
+#include <thread>
+
+namespace craft {
+namespace fault {
+namespace {
+
+constexpr const char *ValidSites[] = {
+    "socket.read", "socket.write", "socket.accept",
+    "model.load",  "sched.dispatch",
+};
+
+struct Rule {
+  std::string Site;
+  bool Stall = false; // false = fail
+  uint64_t Every = 1;
+  uint64_t Seed = 0;
+  std::atomic<uint64_t> Hits{0};
+};
+
+// Armed is the lock-free fast path; the rule list itself is guarded by
+// GMutex. at() sits on syscall-adjacent sites (recv/send/accept), so a
+// mutex on the armed path is noise next to the syscall itself.
+std::atomic<bool> GArmed{false};
+std::mutex GMutex;
+std::vector<std::unique_ptr<Rule>> &rules() {
+  static std::vector<std::unique_ptr<Rule>> Rules;
+  return Rules;
+}
+
+bool validSite(const std::string &Site) {
+  for (const char *S : ValidSites)
+    if (Site == S)
+      return true;
+  return false;
+}
+
+/// Parses `site:kind:every=N[,seed=S]` rules separated by `;` into
+/// \p Out. Returns false and sets \p Error on the first malformed rule.
+bool parseSpec(const std::string &Spec,
+               std::vector<std::unique_ptr<Rule>> &Out, std::string &Error) {
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(';', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Part = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Part.empty())
+      continue;
+
+    size_t C1 = Part.find(':');
+    size_t C2 = C1 == std::string::npos ? std::string::npos
+                                        : Part.find(':', C1 + 1);
+    if (C1 == std::string::npos || C2 == std::string::npos) {
+      Error = "fault rule '" + Part +
+              "' is not of the form site:kind:every=N[,seed=S]";
+      return false;
+    }
+    auto R = std::make_unique<Rule>();
+    R->Site = Part.substr(0, C1);
+    std::string Kind = Part.substr(C1 + 1, C2 - C1 - 1);
+    std::string Params = Part.substr(C2 + 1);
+
+    if (!validSite(R->Site)) {
+      Error = "unknown fault site '" + R->Site + "'";
+      return false;
+    }
+    if (Kind == "stall")
+      R->Stall = true;
+    else if (Kind != "fail") {
+      Error = "unknown fault kind '" + Kind + "' (expected fail or stall)";
+      return false;
+    }
+
+    bool HaveEvery = false;
+    size_t PPos = 0;
+    while (PPos < Params.size()) {
+      size_t PEnd = Params.find(',', PPos);
+      if (PEnd == std::string::npos)
+        PEnd = Params.size();
+      std::string KV = Params.substr(PPos, PEnd - PPos);
+      PPos = PEnd + 1;
+      size_t Eq = KV.find('=');
+      if (Eq == std::string::npos) {
+        Error = "fault parameter '" + KV + "' is not key=value";
+        return false;
+      }
+      std::string Key = KV.substr(0, Eq);
+      std::string Val = KV.substr(Eq + 1);
+      char *ValEnd = nullptr;
+      unsigned long long Num = std::strtoull(Val.c_str(), &ValEnd, 10);
+      if (Val.empty() || !ValEnd || *ValEnd != '\0') {
+        Error = "fault parameter '" + KV + "' has a non-numeric value";
+        return false;
+      }
+      if (Key == "every") {
+        if (Num == 0) {
+          Error = "fault rule '" + Part + "' requires every >= 1";
+          return false;
+        }
+        R->Every = Num;
+        HaveEvery = true;
+      } else if (Key == "seed") {
+        R->Seed = Num;
+      } else {
+        Error = "unknown fault parameter '" + Key + "'";
+        return false;
+      }
+    }
+    if (!HaveEvery) {
+      Error = "fault rule '" + Part + "' is missing every=N";
+      return false;
+    }
+    Out.push_back(std::move(R));
+  }
+  return true;
+}
+
+/// Loads CRAFT_FAULT exactly once, before the first query or an explicit
+/// configure(). A malformed environment spec disarms injection rather
+/// than aborting the daemon — chaos tooling sees the parse error via
+/// configure(), production never pays for a typo with an outage.
+void ensureEnvLoaded() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    const char *Env = std::getenv("CRAFT_FAULT");
+    if (!Env || !*Env)
+      return;
+    std::vector<std::unique_ptr<Rule>> Parsed;
+    std::string Error;
+    if (!parseSpec(Env, Parsed, Error))
+      return;
+    std::lock_guard<std::mutex> Lock(GMutex);
+    rules() = std::move(Parsed);
+    GArmed.store(!rules().empty(), std::memory_order_release);
+  });
+}
+
+} // namespace
+
+Action at(const char *Site) {
+  ensureEnvLoaded();
+  if (!GArmed.load(std::memory_order_acquire))
+    return Action::None;
+  bool Stall = false;
+  {
+    std::lock_guard<std::mutex> Lock(GMutex);
+    for (auto &R : rules()) {
+      if (R->Site != Site)
+        continue;
+      // Counter starts at 1, so every=N lets the first N-1 hits through
+      // and fires on hit N, 2N, ... seed=S shifts which hits fire.
+      uint64_t Hit = R->Hits.fetch_add(1, std::memory_order_relaxed) + 1;
+      if ((Hit + R->Seed) % R->Every != 0)
+        continue;
+      if (!R->Stall)
+        return Action::Fail;
+      Stall = true;
+    }
+  }
+  if (Stall)
+    // craft-lint: allow(det-time) — fixed-length injected stall; the
+    // delay never reaches seeds or results.
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  return Action::None;
+}
+
+bool configure(const std::string &Spec, std::string *Error) {
+  ensureEnvLoaded(); // Spend the env once-flag so it cannot override us.
+  std::vector<std::unique_ptr<Rule>> Parsed;
+  std::string Err;
+  if (!parseSpec(Spec, Parsed, Err)) {
+    if (Error)
+      *Error = Err;
+    return false;
+  }
+  std::lock_guard<std::mutex> Lock(GMutex);
+  rules() = std::move(Parsed);
+  GArmed.store(!rules().empty(), std::memory_order_release);
+  return true;
+}
+
+bool armed() {
+  ensureEnvLoaded();
+  return GArmed.load(std::memory_order_acquire);
+}
+
+} // namespace fault
+} // namespace craft

@@ -1,0 +1,67 @@
+//===- support/FaultInjection.h - Deterministic fault injection -*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, counter-driven fault injection for chaos testing the
+/// serve stack. Faults are configured through the `CRAFT_FAULT`
+/// environment variable (or programmatically via `configure`) with the
+/// grammar:
+///
+///   CRAFT_FAULT=<site>:<kind>:every=N[,seed=S][;<site>:<kind>:...]
+///
+///   site  ::= socket.read | socket.write | socket.accept
+///           | model.load  | sched.dispatch
+///   kind  ::= fail   — the site reports failure (read/write/accept
+///                      return an error, model load fails transiently,
+///                      dispatch fails the batch without caching)
+///   kind  ::= stall  — the site sleeps ~25ms, then proceeds normally
+///   N     ::= 1..    — fire on every Nth hit of the site
+///   S     ::= 0..    — phase offset added to the hit counter before
+///                      the modulo, shifting WHICH hits fire
+///
+/// Firing is a pure function of the per-rule hit counter (plus the seed
+/// offset), never of wall time or an unseeded RNG, so a fixed operation
+/// sequence degrades identically on every run — the chaos suites assert
+/// exact outcomes, not "something failed eventually". Counters are
+/// process-global and monotonic; `configure` replaces all rules and
+/// resets every counter.
+///
+/// When `CRAFT_FAULT` is unset and `configure` was never called, every
+/// `at()` is a single relaxed atomic load — the production fast path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_SUPPORT_FAULTINJECTION_H
+#define CRAFT_SUPPORT_FAULTINJECTION_H
+
+#include <string>
+
+namespace craft {
+namespace fault {
+
+enum class Action {
+  None, ///< Proceed normally (possibly after an injected stall).
+  Fail, ///< The instrumented site must report failure.
+};
+
+/// Polls the named injection site. Advances that site's hit counter when
+/// a rule matches; performs the stall sleep internally (stall rules
+/// still return Action::None — the site proceeds after the delay).
+Action at(const char *Site);
+
+/// Replaces the active fault rules with \p Spec (same grammar as
+/// CRAFT_FAULT; empty string disarms everything) and resets all hit
+/// counters. Overrides any environment configuration. Returns false and
+/// sets \p Error on a malformed spec, leaving the previous rules armed.
+bool configure(const std::string &Spec, std::string *Error = nullptr);
+
+/// True when at least one fault rule is armed.
+bool armed();
+
+} // namespace fault
+} // namespace craft
+
+#endif // CRAFT_SUPPORT_FAULTINJECTION_H

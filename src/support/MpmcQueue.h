@@ -66,6 +66,20 @@ public:
     return Item;
   }
 
+  /// Enqueues without blocking. Returns false when the queue is full or
+  /// closed — \p Item is NOT moved from in either case, so the caller
+  /// keeps ownership (the load-shedding admission path relies on this to
+  /// answer Overloaded with the job intact).
+  bool tryPush(T &&Item) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    if (Closed || Items.size() >= Capacity)
+      return false;
+    Items.push_back(std::move(Item));
+    Lock.unlock();
+    NotEmpty.notify_one();
+    return true;
+  }
+
   /// Dequeues without blocking. Returns false when the queue is empty.
   bool tryPop(T &Out) {
     std::unique_lock<std::mutex> Lock(Mutex);

@@ -2,12 +2,15 @@
 
 #include "support/Socket.h"
 
+#include "support/FaultInjection.h"
+
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 using namespace craft;
@@ -78,6 +81,10 @@ SocketFd craft::listenLocalhost(int Port, int &BoundPort,
 }
 
 SocketFd craft::acceptConnection(const SocketFd &Listener) {
+  // Injected accept failure: reported exactly like a transient accept
+  // error (invalid fd), which the server's accept loop retries.
+  if (fault::at("socket.accept") == fault::Action::Fail)
+    return {};
   for (;;) {
     int Fd = ::accept(Listener.fd(), nullptr, nullptr);
     if (Fd >= 0) {
@@ -108,6 +115,11 @@ SocketFd craft::connectLocalhost(int Port, std::string &Error) {
 }
 
 bool LineChannel::readLine(std::string &Line, size_t MaxLineBytes) {
+  TimedOut = false;
+  // Injected read failure: surfaces as end-of-stream, the same shape a
+  // vanished peer has.
+  if (fault::at("socket.read") == fault::Action::Fail)
+    return false;
   for (;;) {
     size_t Nl = Buffer.find('\n');
     if (Nl != std::string::npos) {
@@ -122,13 +134,30 @@ bool LineChannel::readLine(std::string &Line, size_t MaxLineBytes) {
     do {
       N = ::recv(Socket.fd(), Chunk, sizeof(Chunk), 0);
     } while (N < 0 && errno == EINTR);
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      TimedOut = true; // SO_RCVTIMEO expired with no bytes.
+      return false;
+    }
     if (N <= 0)
       return false;
     Buffer.append(Chunk, static_cast<size_t>(N));
   }
 }
 
+bool LineChannel::setRecvTimeoutMs(int Ms) {
+  if (Ms < 0)
+    return false;
+  struct timeval Tv;
+  Tv.tv_sec = Ms / 1000;
+  Tv.tv_usec = (Ms % 1000) * 1000;
+  return ::setsockopt(Socket.fd(), SOL_SOCKET, SO_RCVTIMEO, &Tv,
+                      sizeof(Tv)) == 0;
+}
+
 bool LineChannel::writeLine(const std::string &Line) {
+  // Injected write failure: surfaces as a gone peer.
+  if (fault::at("socket.write") == fault::Action::Fail)
+    return false;
   std::string Framed = Line;
   Framed += '\n';
   size_t Sent = 0;

@@ -87,9 +87,20 @@ public:
   /// Returns false when the peer is gone (never raises SIGPIPE).
   bool writeLine(const std::string &Line);
 
+  /// Arms a receive timeout (SO_RCVTIMEO): a readLine stuck for \p Ms
+  /// with no bytes fails with timedOut() set instead of blocking forever.
+  /// 0 disables. Returns false when the option cannot be set.
+  bool setRecvTimeoutMs(int Ms);
+
+  /// True when the last readLine failure was a receive timeout (as
+  /// opposed to end-of-stream or a hard error). The client's retry layer
+  /// uses this to classify the failure as retryable-after-reconnect.
+  bool timedOut() const { return TimedOut; }
+
 private:
   SocketFd Socket;
   std::string Buffer; ///< Bytes received past the last returned line.
+  bool TimedOut = false;
 };
 
 } // namespace craft

@@ -44,7 +44,11 @@ CraftConfig configFor(const VerificationSpec &Spec) {
 /// Runs \p Spec against an already-loaded model. The model is shared and
 /// strictly read-only here: the batch driver hands one instance to several
 /// workers (its lazy alpha-bound cache is warmed before fan-out).
-RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model) {
+/// \p Control is polled by the engines at iteration/wave boundaries; when
+/// it fires before a verdict is reached, the outcome reports
+/// DeadlineExceeded instead of plain "undecided".
+RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model,
+                     const RunControl &Control = {}) {
   RunOutcome Out;
   Out.ModelLoaded = true;
   // Spec/model mismatches are errors, not verdicts: the query never ran,
@@ -65,6 +69,20 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model) {
                  std::to_string(Model.outputDim()) + ")";
     return Out;
   }
+
+  // Budget already spent (e.g. the job waited it out in the admission
+  // queue): answer without paying for an engine run that would stop at
+  // its first iteration boundary anyway.
+  if (Control.stopRequested()) {
+    Out.DeadlineExceeded = true;
+    Out.Detail = "deadline exceeded before verification started";
+    return Out;
+  }
+
+  // The engines poll Control through their config at every iteration /
+  // wave boundary; the CraftConfig built by configFor carries it down.
+  CraftConfig Cfg = configFor(Spec);
+  Cfg.Control = Control;
 
   WallTimer Clock;
   switch (Spec.Verifier) {
@@ -87,9 +105,8 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model) {
                                   ? Spec.AttackSeed
                                   : taskSeed(BatchOptions().BaseSeed, 0);
       }
-      BranchAndBoundResult Res =
-          verifyRobustnessSplit(Model, configFor(Spec), Spec.InLo,
-                                Spec.InHi, Spec.TargetClass, Split);
+      BranchAndBoundResult Res = verifyRobustnessSplit(
+          Model, Cfg, Spec.InLo, Spec.InHi, Spec.TargetClass, Split);
       Out.Certified = Res.Certified;
       Out.Containment = Res.NumVerifierCalls > 0;
       Out.MarginLower = Res.Certified ? 0.0 : -1.0;
@@ -113,7 +130,7 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model) {
       }
       break;
     }
-    CraftVerifier Ver(Model, configFor(Spec));
+    CraftVerifier Ver(Model, Cfg);
     CraftResult Res =
         Ver.verifyRegion(Spec.InLo, Spec.InHi, Spec.TargetClass);
     Out.Certified = Res.Certified;
@@ -162,7 +179,8 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model) {
   // (per-leaf PGD above), so the whole-ball pass would only re-attack the
   // same space at extra cost.
   if (Spec.Attack && Spec.SplitDepth <= 0 && !Out.Certified &&
-      !Out.Refuted && !Spec.Center.empty() && Spec.Epsilon > 0.0) {
+      !Out.Refuted && !Spec.Center.empty() && Spec.Epsilon > 0.0 &&
+      !Control.stopRequested()) {
     // PGD iterates gemv-shaped concrete solves — a long gemm-free phase.
     // Step out of the batch's gemm rendezvous so co-batched queries still
     // verifying do not stall on this thread (values are unaffected; the
@@ -190,6 +208,16 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model) {
       Out.Detail += "; PGD found no counterexample (seed " +
                     std::to_string(Attack.Seed) + ")";
     }
+  }
+
+  // A sound verdict reached before the stop landed stands — only a query
+  // that was actually cut short without one reports DeadlineExceeded.
+  if (Control.stopRequested() && !Out.Certified && !Out.Refuted &&
+      !Out.Error) {
+    Out.DeadlineExceeded = true;
+    Out.Detail = Out.Detail.empty()
+                     ? "deadline exceeded"
+                     : "deadline exceeded (" + Out.Detail + ")";
   }
   Out.TimeSeconds = Clock.seconds();
 
@@ -289,6 +317,14 @@ std::vector<RunOutcome>
 craft::runSpecBatchLoaded(const std::vector<VerificationSpec> &Specs,
                           const std::vector<const MonDeq *> &Models,
                           int Jobs, bool FuseBatchGemms) {
+  return runSpecBatchLoaded(Specs, Models, Jobs, FuseBatchGemms, {});
+}
+
+std::vector<RunOutcome>
+craft::runSpecBatchLoaded(const std::vector<VerificationSpec> &Specs,
+                          const std::vector<const MonDeq *> &Models,
+                          int Jobs, bool FuseBatchGemms,
+                          const std::vector<RunControl> &Controls) {
   const bool FansOut = batchFansOut(Specs.size(), Jobs);
   std::unique_ptr<kernels::GemmWaveGate> Gate =
       makeWaveGate(Specs, Models, FansOut, FuseBatchGemms);
@@ -300,6 +336,8 @@ craft::runSpecBatchLoaded(const std::vector<VerificationSpec> &Specs,
           "cannot load model '" + Specs[I].ModelPath + "'";
       return;
     }
+    const RunControl Control =
+        I < Controls.size() ? Controls[I] : RunControl{};
     // Enroll this worker's query into the batch's gemm rendezvous: its
     // layer gemms execute as fused waves with the co-batched queries,
     // byte-identically to running alone.
@@ -308,9 +346,9 @@ craft::runSpecBatchLoaded(const std::vector<VerificationSpec> &Specs,
     if (FansOut) {
       VerificationSpec Spec = Specs[I];
       clampSplitJobsForBatch(Spec);
-      Outcomes[I] = runSpecOn(Spec, *Model);
+      Outcomes[I] = runSpecOn(Spec, *Model, Control);
     } else {
-      Outcomes[I] = runSpecOn(Specs[I], *Model);
+      Outcomes[I] = runSpecOn(Specs[I], *Model, Control);
     }
   });
   return Outcomes;
@@ -340,6 +378,11 @@ craft::runSpecBatch(const std::vector<VerificationSpec> &Specs,
   }
   std::unique_ptr<kernels::GemmWaveGate> Gate =
       makeWaveGate(Specs, Loaded, FansOut, true);
+  // One budget shared by the whole batch: every worker polls the same
+  // deadline, so a long batch degrades to DeadlineExceeded on the specs
+  // that were still unresolved when it expired.
+  RunControl Control;
+  Control.DeadlineAt = Deadline(Opts.DeadlineMs);
   std::vector<RunOutcome> Outcomes(Specs.size());
   parallelForIndex(Specs.size(), Opts.Jobs, [&](size_t I) {
     VerificationSpec Spec = Specs[I];
@@ -354,7 +397,7 @@ craft::runSpecBatch(const std::vector<VerificationSpec> &Specs,
       return;
     }
     kernels::WaveWorkerScope Wave(specCanFuse(Spec) ? Gate.get() : nullptr);
-    Outcomes[I] = runSpecOn(Spec, *Loaded[I]);
+    Outcomes[I] = runSpecOn(Spec, *Loaded[I], Control);
   });
   return Outcomes;
 }

@@ -16,6 +16,7 @@
 #define CRAFT_TOOL_DRIVER_H
 
 #include "core/DomainSplitting.h"
+#include "support/Deadline.h"
 #include "tool/SpecParser.h"
 
 #include <cstdint>
@@ -32,6 +33,11 @@ struct RunOutcome {
   /// executed, so the verdict fields are meaningless. The CLI maps this —
   /// like a load failure — to exit 2, not to "undecided".
   bool Error = false;
+  /// The query's time budget expired before the engine reached a verdict:
+  /// neither certified nor refuted, but unlike a plain "undecided" the
+  /// engine was cut short. Timing-dependent, so the serve layer never
+  /// caches these outcomes. The CLI maps this to exit 4.
+  bool DeadlineExceeded = false;
   bool Certified = false;
   /// Craft only: an abstract post-fixpoint was found.
   bool Containment = false;
@@ -83,6 +89,16 @@ runSpecBatchLoaded(const std::vector<VerificationSpec> &Specs,
                    const std::vector<const MonDeq *> &Models, int Jobs,
                    bool FuseBatchGemms = true);
 
+/// As above, with a per-spec RunControl: Controls[I] (when present) is
+/// polled by spec I's engine at iteration/wave boundaries, and a spec cut
+/// short without a verdict reports DeadlineExceeded. An empty vector (or
+/// default-constructed entries) reproduces the overload above exactly.
+std::vector<RunOutcome>
+runSpecBatchLoaded(const std::vector<VerificationSpec> &Specs,
+                   const std::vector<const MonDeq *> &Models, int Jobs,
+                   bool FuseBatchGemms,
+                   const std::vector<RunControl> &Controls);
+
 /// Batch execution knobs for runSpecBatch.
 struct BatchOptions {
   /// Worker threads (1 = inline on the caller, <= 0 = all hardware
@@ -92,6 +108,10 @@ struct BatchOptions {
   /// at 0 runs with taskSeed(BaseSeed, task index), so seeds depend only on
   /// the task's position in the batch, never on scheduling.
   uint64_t BaseSeed = 20230617; // PLDI 2023 vintage.
+  /// Wall-clock budget shared by the whole batch (< 0 = none). The clock
+  /// starts when runSpecBatch is entered; specs still unresolved when it
+  /// expires report DeadlineExceeded.
+  double DeadlineMs = -1.0;
 };
 
 /// Runs every spec of a batch across a worker pool and returns outcomes in

@@ -8,7 +8,13 @@
 //  - a first `craft client` pass certifies the smoke spec (exit 0);
 //  - a second identical pass is served 100% from the ResultCache with
 //    byte-identical result payloads;
-//  - a shutdown request stops the daemon, which exits 0 (clean shutdown).
+//  - a shutdown request stops the daemon, which exits 0 (clean shutdown);
+//  - SIGTERM drains gracefully and still exits 0.
+//
+// Under a CRAFT_FAULT environment (the CI chaos matrix), the exact-count
+// lifecycle tests skip and ChaosLifecycle runs instead: the daemon
+// inherits the fault spec, and a retrying client must still get work
+// done and shut it down cleanly.
 //
 // Usage: test_serve_e2e <path-to-craft-binary> <fixture-dir>
 // (wired by ctest with the CliSmoke fixture directory).
@@ -16,11 +22,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "serve/Client.h"
+#include "support/FaultInjection.h"
 
 #include <gtest/gtest.h>
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fcntl.h>
 #include <string>
@@ -36,6 +44,13 @@ namespace {
 
 std::string CraftBinary;
 std::string FixtureDir;
+
+/// True when the CI chaos matrix armed a fault spec: the forked daemon
+/// inherits it, so exact-count assertions do not hold.
+bool chaosMode() {
+  const char *Spec = std::getenv("CRAFT_FAULT");
+  return Spec && *Spec;
+}
 
 /// Runs \p Argv (null-terminated) with stdout/stderr appended to
 /// \p OutputPath (empty = /dev/null). Returns the exit code, or -1.
@@ -166,6 +181,9 @@ std::string payloadKey(WireResult W) {
 } // namespace
 
 TEST(ServeE2eTest, FullLifecycleWithClientBinaryAndCache) {
+  if (chaosMode())
+    GTEST_SKIP() << "exact-count lifecycle assertions need a fault-free "
+                    "daemon; ChaosLifecycle covers CRAFT_FAULT runs";
   const std::string SpecPath = FixtureDir + "/smoke.spec";
   const std::string SpecText = readFile(SpecPath);
   ASSERT_FALSE(SpecText.empty()) << "missing fixture " << SpecPath;
@@ -244,6 +262,68 @@ TEST(ServeE2eTest, ClientReportsConnectionFailureAsError) {
             2);
 }
 
+TEST(ServeE2eTest, SigtermDrainsGracefullyAndExitsZero) {
+  if (chaosMode())
+    GTEST_SKIP() << "covered (with faults) by ChaosLifecycle";
+  const std::string SpecPath = FixtureDir + "/smoke.spec";
+  ServeDaemon Daemon;
+  ASSERT_TRUE(Daemon.start());
+  int Port = Daemon.waitForPort();
+  ASSERT_GT(Port, 0) << "daemon never announced its port";
+
+  // Real work first, so the drain has a warm daemon to wind down.
+  EXPECT_EQ(runProcess({CraftBinary, "client", "--port",
+                        std::to_string(Port), SpecPath},
+                       ""),
+            0);
+
+  // SIGTERM = graceful drain: finish in-flight work, then exit 0. A
+  // daemon that dies by default signal disposition reports 'killed by
+  // signal' (-1 here), failing this.
+  ASSERT_EQ(::kill(Daemon.pid(), SIGTERM), 0);
+  EXPECT_EQ(Daemon.wait(), 0) << "SIGTERM must end in a clean exit 0";
+}
+
+TEST(ServeE2eTest, ChaosLifecycle) {
+  if (!chaosMode())
+    GTEST_SKIP() << "runs only under the CRAFT_FAULT chaos matrix";
+  const std::string SpecPath = FixtureDir + "/smoke.spec";
+  const std::string SpecText = readFile(SpecPath);
+  ASSERT_FALSE(SpecText.empty()) << "missing fixture " << SpecPath;
+
+  // The daemon inherits CRAFT_FAULT from the environment: its sockets,
+  // model loads, and dispatches fail on the configured cadence.
+  ServeDaemon Daemon;
+  ASSERT_TRUE(Daemon.start());
+  int Port = Daemon.waitForPort();
+  ASSERT_GT(Port, 0) << "daemon never announced its port";
+
+  // A retrying client must ride out the injected failures: at least one
+  // ping and one verify must eventually succeed.
+  ServeClient Client;
+  RetryPolicy Policy;
+  Policy.MaxAttempts = 10;
+  Policy.TimeoutMs = 5000;
+  Policy.BackoffBaseMs = 5;
+  Client.setRetryPolicy(Policy);
+  std::string Error;
+  ASSERT_TRUE(Client.connect(Port, Error)) << Error;
+  EXPECT_TRUE(Client.ping(Error))
+      << "retries exhausted without a single pong: " << Error;
+  std::optional<VerifyReply> Reply = Client.verify(SpecText, Error);
+  ASSERT_TRUE(Reply.has_value())
+      << "retries exhausted without a verify reply: " << Error;
+  for (const WireResult &R : Reply->Results)
+    EXPECT_FALSE(R.Outcome.DeadlineExceeded);
+
+  // Wind the daemon down; if the shutdown ack itself falls to a fault,
+  // SIGTERM (graceful drain) is the fallback — either way, exit 0.
+  if (!Client.requestShutdown(Error))
+    ASSERT_EQ(::kill(Daemon.pid(), SIGTERM), 0) << Error;
+  EXPECT_EQ(Daemon.wait(), 0)
+      << "daemon must exit cleanly even under injected faults";
+}
+
 int main(int argc, char **argv) {
   ::testing::InitGoogleTest(&argc, argv);
   if (argc < 3) {
@@ -253,5 +333,9 @@ int main(int argc, char **argv) {
   }
   CraftBinary = argv[1];
   FixtureDir = argv[2];
+  // The chaos matrix arms CRAFT_FAULT for the *daemon under test* (it
+  // inherits the env). The harness's own process must stay fault-free —
+  // its ServeClient sockets would otherwise fail on the same cadence.
+  fault::configure("");
   return RUN_ALL_TESTS();
 }

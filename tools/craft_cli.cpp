@@ -25,8 +25,12 @@
 //      dimension, target class out of range), or transport errors
 //   3  at least one query undecided (not certified, not refuted — e.g.
 //      an exhausted iteration budget), and none refuted
-// Errors dominate refutations dominate undecided: a code >= 1 means "not
-// every query certified", and 2 additionally means "results incomplete".
+//   4  at least one query cut short by a --deadline-ms budget (and none
+//      refuted or errored) — a timing-dependent non-answer, distinct
+//      from 3 so scripts can retry with a larger budget
+// Errors dominate refutations dominate deadline-exceeded dominate
+// undecided: a code >= 1 means "not every query certified", and 2
+// additionally means "results incomplete".
 // `craft split` reports the certified-volume fraction per query: 0 when
 // every query certifies its whole box, 3 when volume is left uncertified,
 // 2 on errors. `craft serve` exits 0 on a clean shutdown request and 2 on
@@ -55,16 +59,18 @@ static int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  craft verify [--jobs N] <spec-file>...\n"
+      "  craft verify [--jobs N] [--deadline-ms N] <spec-file>...\n"
       "  craft split [--jobs N] [--depth N] <spec-file>...\n"
       "  craft serve [--port N] [--stdio] [--jobs N] [--max-batch N]\n"
-      "              [--cache-entries N]\n"
+      "              [--cache-entries N] [--queue-capacity N]\n"
+      "              [--high-water N] [--max-conns N]\n"
       "  craft client --port N [--no-cache] [--ping] [--stats]\n"
-      "               [--shutdown] [<spec-file>...]\n"
+      "               [--deadline-ms N] [--timeout-ms N] [--retries N]\n"
+      "               [--drain] [--shutdown] [<spec-file>...]\n"
       "  craft info <model.bin>\n"
       "  craft check <model.bin> <certificate.bin>\n"
       "exit codes (verify/client): 0 certified, 1 refuted, 2 error,\n"
-      "3 undecided\n");
+      "3 undecided, 4 deadline exceeded\n");
   return 2;
 }
 
@@ -76,22 +82,28 @@ enum ExitCode {
   ExitRefuted = 1,
   ExitError = 2,
   ExitUnknown = 3,
+  ExitDeadline = 4,
 };
 
 /// Folds one outcome into the aggregate exit code: error > refuted >
-/// undecided > certified. Load failures and spec/model mismatches
-/// (RunOutcome::Error) are both errors: the query never executed, so
-/// "undecided" would misreport a broken pipeline.
+/// deadline-exceeded > undecided > certified. Load failures and
+/// spec/model mismatches (RunOutcome::Error) are both errors: the query
+/// never executed, so "undecided" would misreport a broken pipeline. A
+/// deadline cut ranks above plain undecided (the budget, not the
+/// verifier, decided) but below a refutation found before the cut.
 void foldExit(int &Exit, const RunOutcome &Out) {
   int Code = !Out.ModelLoaded || Out.Error ? ExitError
              : Out.Certified               ? ExitCertified
              : Out.Refuted                 ? ExitRefuted
+             : Out.DeadlineExceeded        ? ExitDeadline
                                            : ExitUnknown;
-  // Severity order is not numeric order (3 ranks below 1 and 2).
+  // Severity order is not numeric order (3 and 4 rank below 1 and 2).
   auto Rank = [](int C) {
-    return C == ExitError ? 3 : C == ExitRefuted ? 2
-                            : C == ExitUnknown   ? 1
-                                                 : 0;
+    return C == ExitError      ? 4
+           : C == ExitRefuted  ? 3
+           : C == ExitDeadline ? 2
+           : C == ExitUnknown  ? 1
+                               : 0;
   };
   if (Rank(Code) > Rank(Exit))
     Exit = Code;
@@ -114,9 +126,10 @@ void printOutcome(const VerificationSpec &Spec, const RunOutcome &Out) {
               : Spec.Verifier == SpecVerifier::Box      ? "box"
               : Spec.Verifier == SpecVerifier::Crown    ? "crown"
                                                         : "lipschitz");
-  std::printf("verdict      %s\n", Out.Certified ? "CERTIFIED"
-                                   : Out.Refuted ? "REFUTED"
-                                                 : "not certified");
+  std::printf("verdict      %s\n", Out.Certified          ? "CERTIFIED"
+                                   : Out.Refuted          ? "REFUTED"
+                                   : Out.DeadlineExceeded ? "DEADLINE EXCEEDED"
+                                                          : "not certified");
   if (Spec.Verifier == SpecVerifier::Craft ||
       Spec.Verifier == SpecVerifier::Box)
     std::printf("containment  %s\n", Out.Containment ? "yes" : "no");
@@ -132,7 +145,8 @@ void printOutcome(const VerificationSpec &Spec, const RunOutcome &Out) {
                                        : "(construction failed)");
 }
 
-int runVerify(const std::vector<std::string> &Files, int Jobs) {
+int runVerify(const std::vector<std::string> &Files, int Jobs,
+              double DeadlineMs) {
   std::vector<VerificationSpec> Specs;
   std::vector<const std::string *> Sources; // Spec I came from *Sources[I].
   bool ParseFailed = false;
@@ -168,6 +182,7 @@ int runVerify(const std::vector<std::string> &Files, int Jobs) {
 
   BatchOptions Opts;
   Opts.Jobs = Jobs;
+  Opts.DeadlineMs = DeadlineMs;
   std::vector<RunOutcome> Outcomes = runSpecBatch(Specs, Opts);
 
   int Exit = ExitCertified;
@@ -307,6 +322,24 @@ int runServe(int Argc, char **Argv) {
       if (!V || !parseCount(V, "--cache-entries", 1L << 30, N) || N < 1)
         return ExitError;
       Opts.Sched.CacheCapacity = static_cast<size_t>(N);
+    } else if (std::strcmp(Argv[I], "--queue-capacity") == 0) {
+      const char *V = needValue("--queue-capacity");
+      long N = 0;
+      if (!V || !parseCount(V, "--queue-capacity", 1L << 20, N) || N < 1)
+        return ExitError;
+      Opts.Sched.QueueCapacity = static_cast<size_t>(N);
+    } else if (std::strcmp(Argv[I], "--high-water") == 0) {
+      const char *V = needValue("--high-water");
+      long N = 0;
+      if (!V || !parseCount(V, "--high-water", 1L << 20, N) || N < 1)
+        return ExitError;
+      Opts.Sched.ShedHighWater = static_cast<size_t>(N);
+    } else if (std::strcmp(Argv[I], "--max-conns") == 0) {
+      const char *V = needValue("--max-conns");
+      long N = 0;
+      if (!V || !parseCount(V, "--max-conns", 1L << 16, N) || N < 1)
+        return ExitError;
+      Opts.MaxConnections = static_cast<size_t>(N);
     } else {
       std::fprintf(stderr, "error: unknown serve option '%s'\n", Argv[I]);
       return usage();
@@ -316,6 +349,9 @@ int runServe(int Argc, char **Argv) {
     Stdio = true; // Bare `craft serve` is a stdio service.
 
   serve::Server Daemon(Opts);
+  // SIGTERM means "drain": finish in-flight work, answer new queries
+  // with "draining", exit 0 — what a supervisor (systemd, k8s) expects.
+  Daemon.installSignalDrain();
   std::string Error;
   if (!Daemon.start(Error)) {
     std::fprintf(stderr, "error: cannot listen on 127.0.0.1:%d: %s\n",
@@ -343,6 +379,8 @@ int runServe(int Argc, char **Argv) {
 int runClient(int Argc, char **Argv) {
   int Port = -1;
   bool NoCache = false, Ping = false, Stats = false, Shutdown = false;
+  bool Drain = false;
+  long DeadlineMs = -1, TimeoutMs = 0, Retries = 0;
   std::vector<std::string> Files;
   for (int I = 2; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--port") == 0) {
@@ -360,6 +398,23 @@ int runClient(int Argc, char **Argv) {
       Stats = true;
     } else if (std::strcmp(Argv[I], "--shutdown") == 0) {
       Shutdown = true;
+    } else if (std::strcmp(Argv[I], "--drain") == 0) {
+      Drain = true;
+    } else if (std::strcmp(Argv[I], "--deadline-ms") == 0) {
+      if (I + 1 >= Argc)
+        return usage();
+      if (!parseCount(Argv[++I], "--deadline-ms", 1L << 30, DeadlineMs))
+        return ExitError;
+    } else if (std::strcmp(Argv[I], "--timeout-ms") == 0) {
+      if (I + 1 >= Argc)
+        return usage();
+      if (!parseCount(Argv[++I], "--timeout-ms", 1L << 30, TimeoutMs))
+        return ExitError;
+    } else if (std::strcmp(Argv[I], "--retries") == 0) {
+      if (I + 1 >= Argc)
+        return usage();
+      if (!parseCount(Argv[++I], "--retries", 100, Retries))
+        return ExitError;
     } else if (Argv[I][0] == '-') {
       std::fprintf(stderr, "error: unknown client option '%s'\n", Argv[I]);
       return usage();
@@ -371,10 +426,14 @@ int runClient(int Argc, char **Argv) {
     std::fprintf(stderr, "error: craft client needs --port N\n");
     return usage();
   }
-  if (Files.empty() && !Ping && !Stats && !Shutdown)
+  if (Files.empty() && !Ping && !Stats && !Shutdown && !Drain)
     return usage();
 
   serve::ServeClient Client;
+  serve::RetryPolicy Policy;
+  Policy.MaxAttempts = static_cast<int>(Retries) + 1;
+  Policy.TimeoutMs = static_cast<int>(TimeoutMs);
+  Client.setRetryPolicy(Policy);
   std::string Error;
   if (!Client.connect(Port, Error)) {
     std::fprintf(stderr, "error: cannot connect to 127.0.0.1:%d: %s\n",
@@ -406,7 +465,8 @@ int runClient(int Argc, char **Argv) {
     std::fclose(F);
 
     std::optional<serve::VerifyReply> Reply =
-        Client.verify(SpecText, Error, !NoCache);
+        Client.verify(SpecText, Error, !NoCache,
+                      static_cast<double>(DeadlineMs));
     if (!Reply) {
       std::fprintf(stderr, "error: %s: %s\n", File.c_str(), Error.c_str());
       return ExitError;
@@ -421,9 +481,11 @@ int runClient(int Argc, char **Argv) {
         std::printf("error        %s\n", Out.Detail.c_str());
         continue;
       }
-      std::printf("verdict      %s\n", Out.Certified ? "CERTIFIED"
-                                       : Out.Refuted ? "REFUTED"
-                                                     : "not certified");
+      std::printf("verdict      %s\n",
+                  Out.Certified          ? "CERTIFIED"
+                  : Out.Refuted          ? "REFUTED"
+                  : Out.DeadlineExceeded ? "DEADLINE EXCEEDED"
+                                         : "not certified");
       std::printf("margin       %.6f\n", Out.MarginLower);
       std::printf("time         %.3f s\n", Out.TimeSeconds);
       std::printf("cached       %s\n", R.Cached ? "yes" : "no");
@@ -441,6 +503,13 @@ int runClient(int Argc, char **Argv) {
       return ExitError;
     }
     std::printf("%s\n", Doc->serialize().c_str());
+  }
+  if (Drain) {
+    if (!Client.requestDrain(Error)) {
+      std::fprintf(stderr, "error: drain failed: %s\n", Error.c_str());
+      return ExitError;
+    }
+    std::printf("server draining\n");
   }
   if (Shutdown) {
     if (!Client.requestShutdown(Error)) {
@@ -466,6 +535,7 @@ int main(int Argc, char **Argv) {
                kernels::kernelThreadCount() == 1 ? "" : "s");
   if (std::strcmp(Argv[1], "verify") == 0) {
     int Jobs = 1;
+    long DeadlineMs = -1; // < 0 = no budget.
     std::vector<std::string> Files;
     for (int I = 2; I < Argc; ++I) {
       if (std::strcmp(Argv[I], "--jobs") == 0 ||
@@ -477,6 +547,11 @@ int main(int Argc, char **Argv) {
       } else if (std::strncmp(Argv[I], "--jobs=", 7) == 0) {
         if (!parseJobs(Argv[I] + 7, Jobs))
           return 2;
+      } else if (std::strcmp(Argv[I], "--deadline-ms") == 0) {
+        if (I + 1 >= Argc)
+          return usage();
+        if (!parseCount(Argv[++I], "--deadline-ms", 1L << 30, DeadlineMs))
+          return 2;
       } else if (Argv[I][0] == '-') {
         std::fprintf(stderr, "error: unknown option '%s'\n", Argv[I]);
         return usage();
@@ -486,7 +561,7 @@ int main(int Argc, char **Argv) {
     }
     if (Files.empty())
       return usage();
-    return runVerify(Files, Jobs);
+    return runVerify(Files, Jobs, static_cast<double>(DeadlineMs));
   }
   if (std::strcmp(Argv[1], "split") == 0) {
     int Jobs = 1;
