@@ -39,6 +39,7 @@
 #include "linalg/KernelsBatched.h"
 #include "nn/MonDeq.h"
 #include "support/Rng.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include "tool/Driver.h"
@@ -141,18 +142,27 @@ int main() {
       }
   }
 
+  // Wave occupancy comes out of the kernel tier's own registry series
+  // (gemm.batch.wave_members) — the shared histogram readout, not a
+  // local tally. The registry never resets, so each batch size reads
+  // its interval with diffSnapshots.
+  const telemetry::Histogram WaveMembers =
+      telemetry::histogramMetric("gemm.batch.wave_members");
   kernels::BatchGemmStats Last = {};
   for (size_t Batch : Batches) {
     std::vector<VerificationSpec> Specs = makeBatch(Batch);
     std::vector<const MonDeq *> Models(Specs.size(), &Model);
 
     kernels::resetBatchGemmStats();
+    const telemetry::HistogramSnapshot WavesBefore = WaveMembers.snapshot();
     WallTimer T;
     std::vector<RunOutcome> Outs =
         runSpecBatchLoaded(Specs, Models, Workers,
                            /*FuseBatchGemms=*/true);
     double Seconds = T.seconds();
     Last = kernels::batchGemmStats();
+    const telemetry::HistogramSnapshot Occupancy =
+        telemetry::diffSnapshots(WavesBefore, WaveMembers.snapshot());
     (void)Outs;
 
     double NsPerQuery = Seconds * 1e9 / double(Batch);
@@ -164,12 +174,14 @@ int main() {
             : 1.0; // No waves (e.g. CRAFT_JOBS=1): sharing saved nothing.
 
     std::printf("batch %3zu (%d workers): %8.1f q/s, %.2f ms/query, "
-                "%" PRIu64 " waves, %" PRIu64 " fused / %" PRIu64
+                "%" PRIu64 " waves (occupancy p50 %" PRIu64 " p95 %" PRIu64
+                "), %" PRIu64 " fused / %" PRIu64
                 " plain gemms, pack sharing %.2fx (%" PRIu64
                 " shared vs %" PRIu64 " unfused panels)\n",
                 Batch, Workers, Qps, NsPerQuery / 1e6, Last.Waves,
-                Last.FusedProblems, Last.PlainProblems, Sharing,
-                Last.PanelsPackedShared, Last.PanelsPackedUnshared);
+                Occupancy.p50(), Occupancy.p95(), Last.FusedProblems,
+                Last.PlainProblems, Sharing, Last.PanelsPackedShared,
+                Last.PanelsPackedUnshared);
 
     char Dims[16];
     std::snprintf(Dims, sizeof(Dims), "b%zu", Batch);

@@ -21,7 +21,13 @@
 //
 // Reports mean/p50/p95/p99 latency and aggregate throughput per phase
 // plus the hot-phase cache hit rate, prints a table, and emits
-// BENCH_serve.json in the shared BenchJson schema (latency records carry
+// BENCH_serve.json. Latency percentiles come from the shared telemetry
+// histograms (support/Telemetry.h) — the same log-scale readout the
+// serve `metrics` envelope reports — and, because the daemon runs
+// in-process against the same registry, the server-side admission-queue
+// wait is read straight from its serve.queue_wait_ns series and gated
+// as serve_queue_wait_p99. Records use the shared BenchJson schema
+// (latency records carry
 // ns_per_op; throughput records encode ns per request, so lower is
 // better everywhere and bench_compare.py gates them uniformly; the
 // serve_hot_mean record carries the hit rate). The serve acceptance bar
@@ -40,6 +46,7 @@
 #include "serve/Client.h"
 #include "serve/Server.h"
 #include "support/Rng.h"
+#include "support/Telemetry.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -59,26 +66,36 @@ int envInt(const char *Name, int Default) {
   return V && *V ? std::atoi(V) : Default;
 }
 
+// Per-request latencies go through the shared telemetry histograms (the
+// same readout the serve `metrics` envelope reports) instead of a local
+// sort-and-index percentile helper. One series per phase; interval
+// readout via diffSnapshots keeps phases separable even though the
+// registry never resets.
+const telemetry::Histogram RequestHist =
+    telemetry::histogramMetric("bench.serve.request_ns");
+
 struct PhaseStats {
   double MeanNs = 0.0, P50Ns = 0.0, P95Ns = 0.0, P99Ns = 0.0;
   double ThroughputNsPerReq = 0.0; ///< Wall time / requests (aggregate).
   double HitRate = 0.0;
 };
 
-double percentile(std::vector<double> &Sorted, double P) {
-  if (Sorted.empty())
-    return 0.0;
-  size_t Idx = static_cast<size_t>(P * (Sorted.size() - 1) + 0.5);
-  return Sorted[std::min(Idx, Sorted.size() - 1)];
+PhaseStats statsFromSnapshot(const telemetry::HistogramSnapshot &S) {
+  PhaseStats P;
+  P.MeanNs = S.mean();
+  P.P50Ns = static_cast<double>(S.p50());
+  P.P95Ns = static_cast<double>(S.p95());
+  P.P99Ns = static_cast<double>(S.p99());
+  return P;
 }
 
 /// Runs one phase: every client thread sends its share of the queries
 /// over its own connection, timing each round trip.
 PhaseStats runPhase(int Port, const std::vector<std::string> &SpecTexts,
                     size_t Clients) {
-  std::vector<double> Latencies(SpecTexts.size(), 0.0);
   std::vector<int> Cached(SpecTexts.size(), 0);
   std::vector<int> Failed(Clients, 0);
+  const telemetry::HistogramSnapshot Before = RequestHist.snapshot();
   WallTimer Wall;
   std::vector<std::thread> Threads;
   for (size_t C = 0; C < Clients; ++C) {
@@ -93,7 +110,7 @@ PhaseStats runPhase(int Port, const std::vector<std::string> &SpecTexts,
         WallTimer T;
         std::optional<VerifyReply> Reply =
             Client.verify(SpecTexts[I], Error);
-        Latencies[I] = T.seconds() * 1e9;
+        RequestHist.observe(static_cast<uint64_t>(T.seconds() * 1e9));
         if (!Reply || Reply->Results.empty()) {
           Failed[C] = 1;
           return;
@@ -111,21 +128,13 @@ PhaseStats runPhase(int Port, const std::vector<std::string> &SpecTexts,
       std::exit(2);
     }
 
-  PhaseStats S;
-  double Sum = 0.0;
+  PhaseStats S = statsFromSnapshot(
+      telemetry::diffSnapshots(Before, RequestHist.snapshot()));
   size_t Hits = 0;
-  for (size_t I = 0; I < Latencies.size(); ++I) {
-    Sum += Latencies[I];
-    Hits += Cached[I];
-  }
-  S.MeanNs = Sum / Latencies.size();
-  std::vector<double> Sorted = Latencies;
-  std::sort(Sorted.begin(), Sorted.end());
-  S.P50Ns = percentile(Sorted, 0.50);
-  S.P95Ns = percentile(Sorted, 0.95);
-  S.P99Ns = percentile(Sorted, 0.99);
-  S.ThroughputNsPerReq = WallSec * 1e9 / Latencies.size();
-  S.HitRate = static_cast<double>(Hits) / Latencies.size();
+  for (int Flag : Cached)
+    Hits += static_cast<size_t>(Flag);
+  S.ThroughputNsPerReq = WallSec * 1e9 / SpecTexts.size();
+  S.HitRate = static_cast<double>(Hits) / SpecTexts.size();
   return S;
 }
 
@@ -154,9 +163,9 @@ OverloadStats runOverloadPhase(const std::string &SpecText, size_t Clients,
     std::exit(2);
   }
   const size_t Total = Clients * PerClient;
-  std::vector<double> Latencies(Total, 0.0);
   std::vector<int> Shed(Total, 0);
   std::vector<int> Failed(Clients, 0);
+  const telemetry::HistogramSnapshot Before = RequestHist.snapshot();
   std::vector<std::thread> Threads;
   for (size_t C = 0; C < Clients; ++C) {
     Threads.emplace_back([&, C] {
@@ -171,7 +180,7 @@ OverloadStats runOverloadPhase(const std::string &SpecText, size_t Clients,
         WallTimer T;
         std::optional<VerifyReply> Reply =
             Client.verify(SpecText, Err, /*UseCache=*/false);
-        Latencies[Slot] = T.seconds() * 1e9;
+        RequestHist.observe(static_cast<uint64_t>(T.seconds() * 1e9));
         if (Reply)
           continue;
         if (Client.lastErrorCode() == "overloaded") {
@@ -198,8 +207,8 @@ OverloadStats runOverloadPhase(const std::string &SpecText, size_t Clients,
   for (int Flag : Shed)
     ShedCount += static_cast<size_t>(Flag);
   S.ShedRate = static_cast<double>(ShedCount) / Total;
-  std::sort(Latencies.begin(), Latencies.end());
-  S.P99Ns = percentile(Latencies, 0.99);
+  S.P99Ns = static_cast<double>(
+      telemetry::diffSnapshots(Before, RequestHist.snapshot()).p99());
   return S;
 }
 
@@ -269,6 +278,13 @@ int main() {
   }
   PhaseStats Hot = runPhase(Daemon.boundPort(), SpecTexts, Clients);
 
+  // The daemon runs in-process, so its scheduler feeds the same registry:
+  // read the server-side admission-queue wait straight from the series
+  // the `metrics` envelope reports. Snapshot before the overload phase —
+  // the starved daemon's (deliberately awful) waits are its own record.
+  const double QueueWaitP99Ns = static_cast<double>(
+      telemetry::histogramMetric("serve.queue_wait_ns").snapshot().p99());
+
   Daemon.shutdown();
 
   OverloadStats Over = runOverloadPhase(SpecTexts[0], Clients, 8);
@@ -308,6 +324,7 @@ int main() {
   addRecord("serve_hot_p95", Hot.P95Ns);
   addRecord("serve_hot_p99", Hot.P99Ns);
   addRecord("serve_hot_throughput", Hot.ThroughputNsPerReq);
+  addRecord("serve_queue_wait_p99", QueueWaitP99Ns);
   addRecord("serve_overload_p99", Over.P99Ns);
   {
     // Shed rate rides in ns_per_op like the hit rate does; direction

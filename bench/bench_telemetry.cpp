@@ -1,0 +1,210 @@
+//===- bench/bench_telemetry.cpp - Observability overhead gate ------------===//
+//
+// Pins the telemetry layer's overhead contract (support/Telemetry.h):
+// instrumentation must be cheap enough to stay on in production, and it
+// must never change a verification outcome. Three microbenchmarks time
+// the hot paths, and a paired verification loop measures the end-to-end
+// cost of the phase timers, spans, and counters that ride along with
+// every query:
+//
+//   telemetry_counter_add       ns per Counter::add (relaxed shard add)
+//   telemetry_histogram_observe ns per Histogram::observe
+//   telemetry_span              ns per armed TraceSpan enter+exit
+//   telemetry_verify_on         ns per query, telemetry fully enabled
+//   telemetry_verify_off        ns per query, CRAFT_TELEMETRY=0 path
+//   telemetry_overhead_ratio    verify_on / verify_off (direction
+//                               "lower"; ~1.0 when the contract holds)
+//
+// The harness self-checks by exit code that the timing-on and
+// timing-off outcomes are byte-identical — the determinism contract the
+// unit tests pin per query, enforced here over the whole loop. Emits
+// BENCH_telemetry.json in the shared BenchJson schema; the bench-smoke
+// CI job gates it against bench/baseline.json like the other
+// timing-shaped benches. CRAFT_SAMPLES scales the verification loop.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+
+#include "nn/MonDeq.h"
+#include "support/Rng.h"
+#include "support/Telemetry.h"
+#include "support/Timer.h"
+#include "tool/Driver.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace craft;
+
+namespace {
+
+size_t envSamples(size_t Default) {
+  if (const char *Env = std::getenv("CRAFT_SAMPLES")) {
+    long V = std::atol(Env);
+    if (V > 0)
+      return static_cast<size_t>(V);
+  }
+  return Default;
+}
+
+/// Distinct small queries against one preloaded model: enough work per
+/// query that the loop measures engine time, small enough that the
+/// relative overhead of per-query instrumentation would show.
+std::vector<VerificationSpec> makeQueries(size_t Count) {
+  Rng CenterRng(23);
+  std::vector<VerificationSpec> Specs;
+  Specs.reserve(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    VerificationSpec Spec;
+    Spec.ModelPath = "<preloaded>";
+    Spec.Center = Vector(6);
+    for (size_t J = 0; J < 6; ++J)
+      Spec.Center[J] = CenterRng.uniform(0.2, 0.8);
+    Spec.Epsilon = 0.015;
+    Spec.TargetClass = int(I % 3);
+    Spec.Alpha1 = 0.5;
+    Spec.InLo = Vector(6);
+    Spec.InHi = Vector(6);
+    for (size_t J = 0; J < 6; ++J) {
+      Spec.InLo[J] = Spec.Center[J] - Spec.Epsilon;
+      Spec.InHi[J] = Spec.Center[J] + Spec.Epsilon;
+    }
+    Specs.push_back(std::move(Spec));
+  }
+  return Specs;
+}
+
+bool sameOutcome(const RunOutcome &A, const RunOutcome &B) {
+  return A.ModelLoaded == B.ModelLoaded && A.Error == B.Error &&
+         A.DeadlineExceeded == B.DeadlineExceeded &&
+         A.Certified == B.Certified && A.Containment == B.Containment &&
+         A.Refuted == B.Refuted && A.AttackSeed == B.AttackSeed &&
+         A.Detail == B.Detail &&
+         std::memcmp(&A.MarginLower, &B.MarginLower, sizeof(double)) == 0;
+}
+
+/// Runs every query once and returns (outcomes, mean ns/query).
+std::pair<std::vector<RunOutcome>, double>
+runLoop(const std::vector<VerificationSpec> &Specs, const MonDeq &Model) {
+  std::vector<RunOutcome> Outs;
+  Outs.reserve(Specs.size());
+  WallTimer T;
+  for (const VerificationSpec &Spec : Specs)
+    Outs.push_back(runSpecLoaded(Spec, Model));
+  double NsPerQuery = T.seconds() * 1e9 / double(Specs.size());
+  return {std::move(Outs), NsPerQuery};
+}
+
+} // namespace
+
+int main() {
+  std::printf("== bench_telemetry: observability overhead ==\n\n");
+
+  // --- Hot-path microbenchmarks -----------------------------------------
+  telemetry::setTimingEnabledForTest(true);
+  const telemetry::Counter C =
+      telemetry::counterMetric("bench.telemetry.counter");
+  const telemetry::Histogram H =
+      telemetry::histogramMetric("bench.telemetry.hist");
+
+  constexpr size_t MicroIters = 2000000;
+  double CounterNs, ObserveNs, SpanNs;
+  {
+    WallTimer T;
+    for (size_t I = 0; I < MicroIters; ++I)
+      C.add(1);
+    CounterNs = T.seconds() * 1e9 / double(MicroIters);
+  }
+  {
+    WallTimer T;
+    for (size_t I = 0; I < MicroIters; ++I)
+      H.observe(I & 0xFFFF);
+    ObserveNs = T.seconds() * 1e9 / double(MicroIters);
+  }
+  {
+    // Armed spans: two clock reads plus a ring slot per scope. The ring
+    // holds whole spans and evicts old ones, so a long loop is fine.
+    telemetry::setTraceEnabled(true);
+    constexpr size_t SpanIters = 200000;
+    WallTimer T;
+    for (size_t I = 0; I < SpanIters; ++I) {
+      TRACE_SPAN("bench.telemetry.span");
+    }
+    SpanNs = T.seconds() * 1e9 / double(SpanIters);
+    telemetry::setTraceEnabled(false);
+    telemetry::clearTrace();
+  }
+  std::printf("counter add        %8.1f ns/op\n", CounterNs);
+  std::printf("histogram observe  %8.1f ns/op\n", ObserveNs);
+  std::printf("armed span         %8.1f ns/op\n", SpanNs);
+
+  // --- Paired verification loop -----------------------------------------
+  Rng InitRng(24);
+  MonDeq Model = MonDeq::randomFc(InitRng, 6, 16, 3, 3.0);
+  Model.fbAlphaBound(); // Warm the lazy cache outside the timed loops.
+  const size_t Samples = envSamples(64);
+  std::vector<VerificationSpec> Specs = makeQueries(Samples);
+
+  // Warm-up pass (allocator, model pages), untimed.
+  runLoop(Specs, Model);
+
+  telemetry::setTimingEnabledForTest(true);
+  auto [OutsOn, VerifyOnNs] = runLoop(Specs, Model);
+  telemetry::setTimingEnabledForTest(false);
+  auto [OutsOff, VerifyOffNs] = runLoop(Specs, Model);
+  telemetry::setTimingEnabledForTest(true);
+
+  const double Ratio = VerifyOnNs / VerifyOffNs;
+  std::printf("\nverify loop (%zu queries): %8.1f us/query on, "
+              "%8.1f us/query off, ratio %.3f\n",
+              Samples, VerifyOnNs / 1e3, VerifyOffNs / 1e3, Ratio);
+
+  bool Ok = true;
+  for (size_t I = 0; I < Specs.size(); ++I)
+    if (!sameOutcome(OutsOn[I], OutsOff[I])) {
+      std::fprintf(stderr,
+                   "FAIL: outcome %zu differs between telemetry on and "
+                   "off — instrumentation changed a verdict\n",
+                   I);
+      Ok = false;
+      break;
+    }
+  for (size_t I = 0; I < Specs.size() && Ok; ++I) {
+    if (!OutsOn[I].Phases.Populated || OutsOff[I].Phases.Populated) {
+      std::fprintf(stderr, "FAIL: phase breakdown population does not "
+                           "track the telemetry switch\n");
+      Ok = false;
+    }
+  }
+
+  // Micro records get fixed dims (their cost is independent of the loop
+  // size); the verify records encode the sample count so a CRAFT_SAMPLES
+  // override reads as a different benchmark, not a regression.
+  // += pieces, not a `+` chain: GCC 12 -Wrestrict misfires on string
+  // operator+ chains (same workaround as bench_serve).
+  std::string Dims = "q";
+  Dims += std::to_string(Samples);
+  std::vector<benchjson::Record> Records;
+  auto addRecord = [&](const char *Op, double Ns, const char *D) {
+    benchjson::Record R;
+    R.Op = Op;
+    R.Dims = D;
+    R.NsPerOp = Ns;
+    Records.push_back(std::move(R));
+  };
+  addRecord("telemetry_counter_add", CounterNs, "1");
+  addRecord("telemetry_histogram_observe", ObserveNs, "1");
+  addRecord("telemetry_span", SpanNs, "1");
+  addRecord("telemetry_verify_on", VerifyOnNs, Dims.c_str());
+  addRecord("telemetry_verify_off", VerifyOffNs, Dims.c_str());
+  addRecord("telemetry_overhead_ratio", Ratio, Dims.c_str());
+  benchjson::write("BENCH_telemetry.json", Records);
+
+  std::printf("%s\n", Ok ? "OK: outcomes byte-identical either way"
+                         : "FAILED");
+  return Ok ? 0 : 1;
+}

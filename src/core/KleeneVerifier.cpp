@@ -5,12 +5,22 @@
 #include "linalg/Kernels.h"
 #include "linalg/Workspace.h"
 #include "nn/Solvers.h"
+#include "support/Telemetry.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <cmath>
 
 using namespace craft;
+
+namespace {
+
+/// Kleene iterations-to-convergence distribution (counterpart of
+/// craft.iterations for the ablation engine).
+const telemetry::Histogram KleeneIterationsHist =
+    telemetry::histogramMetric("kleene.iterations");
+
+} // namespace
 
 KleeneVerifier::KleeneVerifier(const MonDeq &Model, KleeneConfig Config)
     : Model(Model), Config(Config) {}
@@ -41,6 +51,7 @@ KleeneResult KleeneVerifier::verifyRegion(const Vector &InLo,
   for (int N = 1; N <= Config.MaxIterations; ++N) {
     if (Config.Control.stopRequested())
       break; // Deadline/cancel: report non-convergence, never a verdict.
+    TRACE_SPAN("kleene.iterate");
     Res.Iterations = N;
     CHZonotope Next = Solver.step(S);
     if (N <= Config.UnrollSteps) {
@@ -95,6 +106,7 @@ KleeneResult KleeneVerifier::verifyRegion(const Vector &InLo,
     if (kernels::normInf(Radius) > Config.AbortWidth)
       break;
   }
+  KleeneIterationsHist.observe(static_cast<uint64_t>(Res.Iterations));
 
   if (!Res.Converged) {
     Res.TimeSeconds = Timer.seconds();

@@ -3,12 +3,24 @@
 #include "core/SplitEngine.h"
 
 #include "nn/Solvers.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <memory>
 
 using namespace craft;
+
+namespace {
+
+/// Wave-level metrics of every split run in the process: total waves and
+/// the per-wave frontier size distribution (occupancy — how much work
+/// each rendezvous actually carried).
+const telemetry::Counter SplitWaves = telemetry::counterMetric("split.waves");
+const telemetry::Histogram SplitWaveOccupancy =
+    telemetry::histogramMetric("split.wave_occupancy");
+
+} // namespace
 
 double craft::measureOf(const Vector &Lo, const Vector &Hi) {
   double M = 1.0;
@@ -119,7 +131,10 @@ SplitEngineResult craft::runSplitEngine(const MonDeq &Model,
       Frontier.clear();
       break;
     }
+    TRACE_SPAN("split.wave");
     ++Result.NumWaves;
+    SplitWaves.increment();
+    SplitWaveOccupancy.observe(Frontier.size());
     Slots.assign(Frontier.size(), WaveSlot{});
 
     // Phase 1 — concrete center probes. Every probe of the wave runs

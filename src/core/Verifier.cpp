@@ -2,6 +2,7 @@
 
 #include "core/Verifier.h"
 
+#include "support/Telemetry.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -37,6 +38,12 @@ CraftResult CraftVerifier::verifyRegion(const Vector &InLo, const Vector &InHi,
 }
 
 namespace {
+
+/// Iterations-to-containment distribution across every verifyRegion call
+/// in the process (the paper's Table 2 N column as a live metric).
+/// Counts regardless of whether timing is enabled.
+const telemetry::Histogram IterationsHist =
+    telemetry::histogramMetric("craft.iterations");
 
 /// Shared phase-2 bookkeeping: best margin, certification flag, and the
 /// no-progress abortion window of App. C.
@@ -77,6 +84,7 @@ private:
 CraftResult CraftVerifier::verifyCH(const Vector &InLo, const Vector &InHi,
                                     int TargetClass) const {
   WallTimer Timer;
+  TRACE_SPAN("craft.verify");
   CraftResult Res;
 
   CHZonotope X = CHZonotope::fromBox(InLo, InHi);
@@ -103,6 +111,9 @@ CraftResult CraftVerifier::verifyCH(const Vector &InLo, const Vector &InHi,
       break; // Deadline/cancel: give up containment search, stay sound.
     Res.TotalIterations = N;
     if ((N - 1) % Config.ConsolidateEvery == 0) {
+      telemetry::PhaseTimer ConsolidatePhase(
+          telemetry::Phase::Consolidation);
+      TRACE_SPAN("craft.consolidate");
       ProperState PS = consolidateProper(S, Basis, WMul, WAdd);
       S = PS.Z;
       History.push_front(std::move(PS));
@@ -126,6 +137,7 @@ CraftResult CraftVerifier::verifyCH(const Vector &InLo, const Vector &InHi,
     if (S.concretizationRadius().normInf() > Config.AbortWidth)
       break;
   }
+  IterationsHist.observe(static_cast<uint64_t>(Res.TotalIterations));
 
   Res.Containment = Contained;
   if (!Contained) {
@@ -154,6 +166,7 @@ CraftResult CraftVerifier::verifyCH(const Vector &InLo, const Vector &InHi,
   // alpha); FB may use any alpha in [0,1] and is line searched.
   auto runPhase2 = [&](const AbstractSolver &Solver2, CHZonotope S2,
                        double LambdaScale, int MaxSteps) -> MarginTracker {
+    TRACE_SPAN("craft.phase2");
     MarginTracker Track(3 * Config.Phase2Window);
     ConsolidationBasis Basis2(Solver2.stateDim(), Config.PcaRefreshEvery);
     for (int Step = 0; Step < MaxSteps; ++Step) {
@@ -163,15 +176,22 @@ CraftResult CraftVerifier::verifyCH(const Vector &InLo, const Vector &InHi,
       if (Config.SameIterationContainment) {
         // Ablation: certify only from states contained in their
         // consolidated predecessor.
-        ProperState PS = consolidateProper(S2, Basis2, 0.0, 0.0);
+        ProperState PS = [&] {
+          telemetry::PhaseTimer ConsolidatePhase(
+              telemetry::Phase::Consolidation);
+          return consolidateProper(S2, Basis2, 0.0, 0.0);
+        }();
         CHZonotope Next =
             Solver2.step(PS.Z, LambdaScale, Config.UseBoxComponent);
         UsableForCertification =
             containsCH(PS.Z, PS.InvGens, Next).Contained;
         S2 = std::move(Next);
       } else {
-        if (Step > 0 && Step % Config.ConsolidateEvery == 0)
+        if (Step > 0 && Step % Config.ConsolidateEvery == 0) {
+          telemetry::PhaseTimer ConsolidatePhase(
+              telemetry::Phase::Consolidation);
           S2 = consolidateProper(S2, Basis2, 0.0, 0.0).Z;
+        }
         S2 = Solver2.step(S2, LambdaScale, Config.UseBoxComponent);
       }
       if (S2.concretizationRadius().normInf() > Config.AbortWidth)
@@ -261,6 +281,7 @@ CraftResult CraftVerifier::verifyCH(const Vector &InLo, const Vector &InHi,
 CraftResult CraftVerifier::verifyBox(const Vector &InLo, const Vector &InHi,
                                      int TargetClass) const {
   WallTimer Timer;
+  TRACE_SPAN("craft.verify");
   CraftResult Res;
 
   CHZonotope X = CHZonotope::fromBox(InLo, InHi);
@@ -290,6 +311,7 @@ CraftResult CraftVerifier::verifyBox(const Vector &InLo, const Vector &InHi,
     if (S.radius().normInf() > Config.AbortWidth)
       break;
   }
+  IterationsHist.observe(static_cast<uint64_t>(Res.TotalIterations));
 
   Res.Containment = Contained;
   if (!Contained) {

@@ -13,8 +13,8 @@
 #include "linalg/Kernels.h"
 #include "linalg/KernelsTiling.h"
 #include "linalg/Workspace.h"
+#include "support/Telemetry.h"
 
-#include <atomic>
 #include <cassert>
 // craft-lint: allow(det-time) — <chrono> feeds the condition-variable
 // fusion-wait timeout only; timing decides whether a posted gemm runs
@@ -22,6 +22,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 using namespace craft;
 using namespace craft::kernels;
@@ -79,13 +80,41 @@ auto fuseWaitDuration() {
   return std::chrono::milliseconds(Ms);
 }
 
-std::atomic<uint64_t> StatWaves{0};
-std::atomic<uint64_t> StatFused{0};
-std::atomic<uint64_t> StatPlain{0};
-std::atomic<uint64_t> StatGroups{0};
-std::atomic<uint64_t> StatPackShared{0};
-std::atomic<uint64_t> StatPackUnshared{0};
-std::atomic<uint64_t> StatTimeouts{0};
+// Process-wide fusion metrics on the telemetry registry. Namespace-scope
+// handles by the hot-path contract (and the hot-alloc rule: registration
+// allocates, so it must not happen inside a kernel body).
+const telemetry::Counter StatWaves = telemetry::counterMetric("gemm.batch.waves");
+const telemetry::Counter StatFused = telemetry::counterMetric("gemm.batch.fused");
+const telemetry::Counter StatPlain = telemetry::counterMetric("gemm.batch.plain");
+const telemetry::Counter StatGroups =
+    telemetry::counterMetric("gemm.batch.groups");
+const telemetry::Counter StatPackShared =
+    telemetry::counterMetric("gemm.batch.packs_shared");
+const telemetry::Counter StatPackUnshared =
+    telemetry::counterMetric("gemm.batch.packs_unshared");
+const telemetry::Counter StatTimeouts =
+    telemetry::counterMetric("gemm.batch.timeouts");
+/// Members per fired wave (rendezvous occupancy).
+const telemetry::Histogram StatWaveMembers =
+    telemetry::histogramMetric("gemm.batch.wave_members");
+
+/// Registry counters are process-monotonic; resetBatchGemmStats() rebases
+/// this baseline instead of zeroing them, and batchGemmStats() reports the
+/// delta. Guarded so concurrent reset/read pairs stay consistent.
+std::mutex StatsBaselineMutex;
+BatchGemmStats StatsBaseline;
+
+BatchGemmStats statTotals() {
+  BatchGemmStats S;
+  S.Waves = StatWaves.value();
+  S.FusedProblems = StatFused.value();
+  S.PlainProblems = StatPlain.value();
+  S.SharedGroups = StatGroups.value();
+  S.PanelsPackedShared = StatPackShared.value();
+  S.PanelsPackedUnshared = StatPackUnshared.value();
+  S.PostTimeouts = StatTimeouts.value();
+  return S;
+}
 
 //===----------------------------------------------------------------------===//
 // Grouping and fused execution
@@ -188,13 +217,13 @@ void runSharedAGroup(std::span<const GemmProblem> P, const size_t *Members,
     transposeInto(Pr.Out, OutT);
   });
 
-  StatGroups.fetch_add(1, std::memory_order_relaxed);
-  StatFused.fetch_add(Count, std::memory_order_relaxed);
-  StatPackShared.fetch_add(panelsFor(M, NC), std::memory_order_relaxed);
+  StatGroups.increment();
+  StatFused.add(Count);
+  StatPackShared.add(panelsFor(M, NC));
   uint64_t Unshared = 0;
   for (size_t I = 0; I < Count; ++I)
     Unshared += panelsFor(P[Members[I]].B.cols(), NC);
-  StatPackUnshared.fetch_add(Unshared, std::memory_order_relaxed);
+  StatPackUnshared.add(Unshared);
 }
 
 /// Fused execution of problems sharing one B: packs B's column panels
@@ -229,11 +258,10 @@ void runSharedBGroup(std::span<const GemmProblem> P, const size_t *Members,
     }
   });
 
-  StatGroups.fetch_add(1, std::memory_order_relaxed);
-  StatFused.fetch_add(Count, std::memory_order_relaxed);
-  StatPackShared.fetch_add(panelsFor(N, NC), std::memory_order_relaxed);
-  StatPackUnshared.fetch_add(Count * panelsFor(N, NC),
-                             std::memory_order_relaxed);
+  StatGroups.increment();
+  StatFused.add(Count);
+  StatPackShared.add(panelsFor(N, NC));
+  StatPackUnshared.add(Count * panelsFor(N, NC));
 }
 
 constexpr size_t MaxChunk = 512;
@@ -283,7 +311,7 @@ void batchChunk(std::span<const GemmProblem> P) {
     if (Grouped[I])
       continue;
     detail::gemmNoFuse(P[I].Out, P[I].A, P[I].B, P[I].Alpha, P[I].Beta);
-    StatPlain.fetch_add(1, std::memory_order_relaxed);
+    StatPlain.increment();
   }
 }
 
@@ -308,25 +336,24 @@ void kernels::gemmBatched(std::span<const GemmProblem> Problems) {
 }
 
 BatchGemmStats kernels::batchGemmStats() {
+  std::lock_guard<std::mutex> Lock(StatsBaselineMutex);
+  const BatchGemmStats Now = statTotals();
   BatchGemmStats S;
-  S.Waves = StatWaves.load(std::memory_order_relaxed);
-  S.FusedProblems = StatFused.load(std::memory_order_relaxed);
-  S.PlainProblems = StatPlain.load(std::memory_order_relaxed);
-  S.SharedGroups = StatGroups.load(std::memory_order_relaxed);
-  S.PanelsPackedShared = StatPackShared.load(std::memory_order_relaxed);
-  S.PanelsPackedUnshared = StatPackUnshared.load(std::memory_order_relaxed);
-  S.PostTimeouts = StatTimeouts.load(std::memory_order_relaxed);
+  S.Waves = Now.Waves - StatsBaseline.Waves;
+  S.FusedProblems = Now.FusedProblems - StatsBaseline.FusedProblems;
+  S.PlainProblems = Now.PlainProblems - StatsBaseline.PlainProblems;
+  S.SharedGroups = Now.SharedGroups - StatsBaseline.SharedGroups;
+  S.PanelsPackedShared =
+      Now.PanelsPackedShared - StatsBaseline.PanelsPackedShared;
+  S.PanelsPackedUnshared =
+      Now.PanelsPackedUnshared - StatsBaseline.PanelsPackedUnshared;
+  S.PostTimeouts = Now.PostTimeouts - StatsBaseline.PostTimeouts;
   return S;
 }
 
 void kernels::resetBatchGemmStats() {
-  StatWaves.store(0, std::memory_order_relaxed);
-  StatFused.store(0, std::memory_order_relaxed);
-  StatPlain.store(0, std::memory_order_relaxed);
-  StatGroups.store(0, std::memory_order_relaxed);
-  StatPackShared.store(0, std::memory_order_relaxed);
-  StatPackUnshared.store(0, std::memory_order_relaxed);
-  StatTimeouts.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(StatsBaselineMutex);
+  StatsBaseline = statTotals();
 }
 
 //===----------------------------------------------------------------------===//
@@ -394,6 +421,7 @@ void GemmWaveGate::runWavesLocked(std::unique_lock<std::mutex> &Lock) {
     std::exception_ptr WaveErr;
     InWaveExec = true;
     try {
+      TRACE_SPAN("gemm.wave");
       gemmBatched(std::span<const GemmProblem>(WaveProblems, NumTaken));
     } catch (...) {
       // Coarse attribution: a wave failure is delivered to every member
@@ -408,7 +436,8 @@ void GemmWaveGate::runWavesLocked(std::unique_lock<std::mutex> &Lock) {
       Slots[TakenIdx[I]].State = SlotState::Done;
     }
     WaveInFlight = false;
-    StatWaves.fetch_add(1, std::memory_order_relaxed);
+    StatWaves.increment();
+    StatWaveMembers.observe(NumTaken);
     Cv.notify_all();
   }
 }
@@ -445,7 +474,7 @@ bool GemmWaveGate::post(MatrixView Out, ConstMatrixView A, ConstMatrixView B,
       // while so one laggard cannot convoy this thread.
       S.State = SlotState::Free;
       --PendingCount;
-      StatTimeouts.fetch_add(1, std::memory_order_relaxed);
+      StatTimeouts.increment();
       SkipBudget = FuseSkipAfterTimeout;
       return false;
     }

@@ -203,6 +203,20 @@ std::optional<Value> ServeClient::stats(std::string &Error) {
   return Doc;
 }
 
+std::optional<Value> ServeClient::metrics(std::string &Error) {
+  Request Req;
+  Req.Id = NextId++;
+  Req.Method = "metrics";
+  std::optional<Value> Doc = idempotentRoundTrip(Req, Error);
+  if (!Doc)
+    return std::nullopt;
+  if (!Doc->boolOr("ok", false)) {
+    Error = envelopeError(*Doc);
+    return std::nullopt;
+  }
+  return Doc;
+}
+
 bool ServeClient::requestShutdown(std::string &Error) {
   Request Req;
   Req.Id = NextId++;

@@ -24,7 +24,7 @@
 ///   | ok:false code "draining"         | yes       | yes         |
 ///   | any other ok:false               | no        | —           |
 ///
-/// Only idempotent methods (verify, ping, stats) go through the retry
+/// Only idempotent methods (verify, ping, stats, metrics) go through the retry
 /// wrapper; shutdown and drain are sent exactly once. Backoff jitter is
 /// seeded from RetryPolicy::Seed through taskSeed, so a fixed seed gives
 /// a byte-identical retry schedule — chaos tests rely on this.
@@ -102,6 +102,10 @@ public:
 
   /// Fetches the stats envelope.
   std::optional<json::Value> stats(std::string &Error);
+
+  /// Fetches the full telemetry-registry snapshot (counters, gauges,
+  /// histogram percentiles) as the `metrics` envelope.
+  std::optional<json::Value> metrics(std::string &Error);
 
   /// Asks the daemon to shut down. True once the ack arrives. Never
   /// retried (a retry could kill a freshly restarted daemon).

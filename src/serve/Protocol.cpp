@@ -545,8 +545,9 @@ serve::decodeRequest(const std::string &Line, std::string &Error) {
       return std::nullopt;
     }
     Req.Model = Model->asString();
-  } else if (Req.Method != "stats" && Req.Method != "ping" &&
-             Req.Method != "drain" && Req.Method != "shutdown") {
+  } else if (Req.Method != "stats" && Req.Method != "metrics" &&
+             Req.Method != "ping" && Req.Method != "drain" &&
+             Req.Method != "shutdown") {
     Error = "unknown method '" + Req.Method + "'";
     return std::nullopt;
   }
@@ -596,6 +597,24 @@ Value serve::encodeResult(const WireResult &Result) {
   V.set("attack_seed", Value::string(std::to_string(Out.AttackSeed)));
   V.set("detail", Value::string(Out.Detail));
   V.set("cached", Value::boolean(Result.Cached));
+  if (Out.Phases.Populated) {
+    // Optional phase breakdown (absent when the server runs with
+    // CRAFT_TELEMETRY=0). Appended after the long-standing fields so
+    // telemetry-off envelopes stay byte-identical to earlier releases.
+    const PhaseBreakdown &Ph = Out.Phases;
+    Value T = Value::object();
+    T.set("queue_wait_ms", Value::number(Ph.QueueWaitMs));
+    T.set("cache_probe_ms", Value::number(Ph.CacheProbeMs));
+    T.set("model_load_ms", Value::number(Ph.ModelLoadMs));
+    T.set("solver_ms", Value::number(Ph.SolverMs));
+    T.set("consolidation_ms", Value::number(Ph.ConsolidationMs));
+    T.set("split_ms", Value::number(Ph.SplitMs));
+    T.set("pgd_ms", Value::number(Ph.PgdMs));
+    T.set("certificate_ms", Value::number(Ph.CertificateMs));
+    T.set("solver_iterations",
+          Value::number(static_cast<double>(Ph.SolverIterations)));
+    V.set("timings", std::move(T));
+  }
   return V;
 }
 
@@ -633,6 +652,22 @@ serve::decodeResult(const Value &V) {
   R.Outcome.AttackSeed = S;
   R.Outcome.Detail = V.stringOr("detail", "");
   R.Cached = V.boolOr("cached", false);
+  if (const Value *T = V.find("timings")) {
+    if (!T->isObject())
+      return std::nullopt;
+    PhaseBreakdown &Ph = R.Outcome.Phases;
+    Ph.Populated = true;
+    Ph.QueueWaitMs = T->numberOr("queue_wait_ms", 0.0);
+    Ph.CacheProbeMs = T->numberOr("cache_probe_ms", 0.0);
+    Ph.ModelLoadMs = T->numberOr("model_load_ms", 0.0);
+    Ph.SolverMs = T->numberOr("solver_ms", 0.0);
+    Ph.ConsolidationMs = T->numberOr("consolidation_ms", 0.0);
+    Ph.SplitMs = T->numberOr("split_ms", 0.0);
+    Ph.PgdMs = T->numberOr("pgd_ms", 0.0);
+    Ph.CertificateMs = T->numberOr("certificate_ms", 0.0);
+    Ph.SolverIterations =
+        static_cast<uint64_t>(T->numberOr("solver_iterations", 0.0));
+  }
   return R;
 }
 

@@ -17,7 +17,8 @@
 ///       "cache": <bool, default true>,
 ///       "deadline_ms": <ms, optional: per-request wall-clock budget>}
 ///      {"id": <n>, "method": "info", "model": "<path>"}
-///      {"id": <n>, "method": "stats" | "ping" | "drain" | "shutdown"}
+///      {"id": <n>, "method": "stats" | "metrics" | "ping" | "drain" |
+///       "shutdown"}
 ///  - the response schema:
 ///      {"id": <n>, "ok": true, "results": [<result>...],
 ///       "server_ms": <t>}           (verify)
@@ -32,7 +33,10 @@
 ///      {"model_loaded", "deadline_exceeded", "certified", "containment",
 ///       "refuted", "margin_lower", "time_s", "certificate_written",
 ///       "attack_seed" (decimal string: uint64 exceeds double),
-///       "detail", "cached"}
+///       "detail", "cached",
+///       "timings" (optional: the PhaseBreakdown as an object of
+///        *_ms numbers plus "solver_iterations"; absent when the server
+///        runs with CRAFT_TELEMETRY=0)}
 ///
 /// Encoding and decoding live here so the server, the client library, and
 /// the tests round-trip through exactly one implementation.
@@ -122,7 +126,7 @@ namespace serve {
 struct Request {
   /// Client-chosen correlation id, echoed on the response (0 if absent).
   int64_t Id = 0;
-  /// "verify", "info", "stats", "ping", "drain", "shutdown".
+  /// "verify", "info", "stats", "metrics", "ping", "drain", "shutdown".
   std::string Method;
   std::string SpecText; ///< verify: the spec file contents.
   std::string Model;    ///< info: the model path.

@@ -2,12 +2,38 @@
 
 #include "serve/ResultCache.h"
 
+#include "support/Telemetry.h"
 #include "tool/SpecCanon.h"
 
 using namespace craft;
 using namespace craft::serve;
 
+namespace {
+
+/// Process-wide cache traffic; per-instance Stats are deltas against the
+/// construction-time baseline.
+const telemetry::Counter CacheHits =
+    telemetry::counterMetric("serve.cache.hits");
+const telemetry::Counter CacheMisses =
+    telemetry::counterMetric("serve.cache.misses");
+const telemetry::Counter CacheInsertions =
+    telemetry::counterMetric("serve.cache.insertions");
+const telemetry::Counter CacheEvictions =
+    telemetry::counterMetric("serve.cache.evictions");
+
+ResultCache::Stats cacheTotals() {
+  ResultCache::Stats S;
+  S.Hits = CacheHits.value();
+  S.Misses = CacheMisses.value();
+  S.Insertions = CacheInsertions.value();
+  S.Evictions = CacheEvictions.value();
+  return S;
+}
+
+} // namespace
+
 ResultCache::ResultCache(size_t Capacity, size_t Shards) {
+  Base = cacheTotals();
   if (Capacity < 1)
     Capacity = 1;
   if (Shards < 1)
@@ -31,10 +57,10 @@ std::optional<RunOutcome> ResultCache::lookup(const std::string &Key) {
   std::lock_guard<std::mutex> Lock(S.Mutex);
   auto It = S.Index.find(std::string_view(Key));
   if (It == S.Index.end()) {
-    ++S.Misses;
+    CacheMisses.increment();
     return std::nullopt;
   }
-  ++S.Hits;
+  CacheHits.increment();
   S.Lru.splice(S.Lru.begin(), S.Lru, It->second); // Refresh recency.
   return It->second->second;
 }
@@ -52,22 +78,22 @@ void ResultCache::insert(const std::string &Key,
   if (S.Lru.size() >= PerShardCapacity) {
     S.Index.erase(std::string_view(S.Lru.back().first));
     S.Lru.pop_back();
-    ++S.Evictions;
+    CacheEvictions.increment();
   }
   S.Lru.emplace_front(Key, Outcome);
   S.Index.emplace(std::string_view(S.Lru.front().first), S.Lru.begin());
-  ++S.Insertions;
+  CacheInsertions.increment();
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  Stats Out;
+  Stats Out = cacheTotals();
+  Out.Hits -= Base.Hits;
+  Out.Misses -= Base.Misses;
+  Out.Insertions -= Base.Insertions;
+  Out.Evictions -= Base.Evictions;
   for (const auto &SPtr : ShardList) {
     Shard &S = *SPtr;
     std::lock_guard<std::mutex> Lock(S.Mutex);
-    Out.Hits += S.Hits;
-    Out.Misses += S.Misses;
-    Out.Insertions += S.Insertions;
-    Out.Evictions += S.Evictions;
     Out.Entries += S.Lru.size();
   }
   return Out;

@@ -42,6 +42,10 @@ namespace serve {
 /// Thread-safe sharded LRU map from cache key to RunOutcome.
 class ResultCache {
 public:
+  /// Snapshot since this cache's construction. The live series are the
+  /// process-wide `serve.cache.*` counters on the telemetry registry;
+  /// stats() subtracts the construction-time baseline, so per-instance
+  /// semantics are unchanged. Entries is a live fold of the shards.
   struct Stats {
     uint64_t Hits = 0;
     uint64_t Misses = 0;
@@ -79,13 +83,14 @@ private:
     std::unordered_map<std::string_view,
                        std::list<std::pair<std::string, RunOutcome>>::iterator>
         Index;
-    uint64_t Hits = 0, Misses = 0, Insertions = 0, Evictions = 0;
   };
 
   Shard &shardFor(const std::string &Key);
 
   size_t PerShardCapacity;
   std::vector<std::unique_ptr<Shard>> ShardList;
+  /// Registry totals at construction (Entries unused); see Stats.
+  Stats Base;
 };
 
 } // namespace serve

@@ -3,6 +3,7 @@
 #include "serve/Scheduler.h"
 
 #include "support/FaultInjection.h"
+#include "support/Telemetry.h"
 #include "tool/SpecCanon.h"
 
 #include <algorithm>
@@ -19,13 +20,51 @@ std::future<ServeResult> readyResult(ServeResult Result) {
   return F;
 }
 
+/// The scheduler pipeline's process-wide series. Per-instance Stats are
+/// deltas against a construction-time baseline of these.
+const telemetry::Counter StatSubmitted =
+    telemetry::counterMetric("serve.submitted");
+const telemetry::Counter StatCacheHits =
+    telemetry::counterMetric("serve.cache_hits");
+const telemetry::Counter StatCoalesced =
+    telemetry::counterMetric("serve.coalesced");
+const telemetry::Counter StatExecuted =
+    telemetry::counterMetric("serve.executed");
+const telemetry::Counter StatBatches = telemetry::counterMetric("serve.batches");
+const telemetry::Counter StatShed = telemetry::counterMetric("serve.shed");
+const telemetry::Counter StatDeadlineExpired =
+    telemetry::counterMetric("serve.deadline_expired");
+/// Admission-queue depth, sampled at every enqueue and batch formation.
+const telemetry::Gauge QueueDepthGauge =
+    telemetry::gaugeMetric("serve.queue_depth");
+const telemetry::Gauge MaxBatchGauge = telemetry::gaugeMetric("serve.max_batch");
+/// Admission-to-dispatch wait per executed job (only observed while
+/// timing is enabled — the values are clock reads).
+const telemetry::Histogram QueueWaitHist =
+    telemetry::histogramMetric("serve.queue_wait_ns");
+
+Scheduler::Stats registryTotals() {
+  Scheduler::Stats S;
+  S.Submitted = StatSubmitted.value();
+  S.CacheHits = StatCacheHits.value();
+  S.Coalesced = StatCoalesced.value();
+  S.Executed = StatExecuted.value();
+  S.Batches = StatBatches.value();
+  S.Shed = StatShed.value();
+  S.DeadlineExpired = StatDeadlineExpired.value();
+  return S;
+}
+
 } // namespace
 
 Scheduler::Scheduler(const Options &Opts)
     : Opts(Opts), Cache(Opts.CacheCapacity, Opts.CacheShards),
-      Queue(Opts.QueueCapacity) {
+      Queue(Opts.QueueCapacity), Base(registryTotals()) {
   // craft-lint: allow(conc-thread) — spawn of the joined dispatcher.
-  Dispatcher = std::thread([this] { dispatchLoop(); });
+  Dispatcher = std::thread([this] {
+    telemetry::setCurrentThreadLabel("serve dispatch");
+    dispatchLoop();
+  });
 }
 
 Scheduler::~Scheduler() { stop(); }
@@ -38,17 +77,23 @@ void Scheduler::stop() {
 }
 
 Scheduler::Stats Scheduler::stats() const {
-  std::lock_guard<std::mutex> Lock(StatsMutex);
-  return Counters;
+  const Stats Now = registryTotals();
+  Stats S;
+  S.Submitted = Now.Submitted - Base.Submitted;
+  S.CacheHits = Now.CacheHits - Base.CacheHits;
+  S.Coalesced = Now.Coalesced - Base.Coalesced;
+  S.Executed = Now.Executed - Base.Executed;
+  S.Batches = Now.Batches - Base.Batches;
+  S.MaxBatchSeen = MaxBatchSeen.load();
+  S.Shed = Now.Shed - Base.Shed;
+  S.DeadlineExpired = Now.DeadlineExpired - Base.DeadlineExpired;
+  return S;
 }
 
 std::future<ServeResult> Scheduler::submit(const VerificationSpec &Spec,
                                            bool UseCache,
                                            double DeadlineMs) {
-  {
-    std::lock_guard<std::mutex> Lock(StatsMutex);
-    ++Counters.Submitted;
-  }
+  StatSubmitted.increment();
   if (Stopping.load()) {
     ServeResult R;
     R.Outcome.Detail = "server is shutting down";
@@ -65,8 +110,12 @@ std::future<ServeResult> Scheduler::submit(const VerificationSpec &Spec,
   const bool HasDeadline = DeadlineMs >= 0.0;
   Deadline DeadlineAt(HasDeadline ? DeadlineMs : -1.0);
 
-  // 1. Model resolution (load-once via the registry).
+  // 1. Model resolution (load-once via the registry). monotonicNanos()
+  // reads 0 when timing is disabled, so the phase slices are simply zero
+  // then — no separate branch.
+  const uint64_t ModelT0 = telemetry::monotonicNanos();
   ModelRegistry::Entry Model = Registry.get(Spec.ModelPath);
+  const uint64_t ModelT1 = telemetry::monotonicNanos();
   if (!Model.Model) {
     ServeResult R;
     R.Outcome.Detail = Model.Error;
@@ -95,8 +144,7 @@ std::future<ServeResult> Scheduler::submit(const VerificationSpec &Spec,
       auto It = InFlight.find(Key);
       if (It != InFlight.end()) {
         It->second->Waiters.emplace_back();
-        std::lock_guard<std::mutex> SLock(StatsMutex);
-        ++Counters.Coalesced;
+        StatCoalesced.increment();
         return It->second->Waiters.back().get_future();
       }
     }
@@ -108,10 +156,7 @@ std::future<ServeResult> Scheduler::submit(const VerificationSpec &Spec,
       // never executed twice. (Deadline queries probe too — a hit is
       // instant and deterministic — they just never populate.)
       if (std::optional<RunOutcome> Hit = Cache.lookup(Key)) {
-        {
-          std::lock_guard<std::mutex> SLock(StatsMutex);
-          ++Counters.CacheHits;
-        }
+        StatCacheHits.increment();
         ServeResult R;
         R.Outcome = *Hit;
         R.Cached = true;
@@ -130,6 +175,13 @@ std::future<ServeResult> Scheduler::submit(const VerificationSpec &Spec,
     NewJob->Key = Key;
     NewJob->UseCache = Cacheable && !HasDeadline;
     NewJob->DeadlineAt = DeadlineAt;
+    // Phase attribution: everything between model resolution and here is
+    // key canonicalization + coalesce/cache probing; the queue wait runs
+    // from this timestamp until dispatch picks the job up.
+    NewJob->AdmitNs = telemetry::monotonicNanos();
+    NewJob->CacheProbeMs =
+        static_cast<double>(NewJob->AdmitNs - ModelT1) / 1e6;
+    NewJob->ModelLoadMs = static_cast<double>(ModelT1 - ModelT0) / 1e6;
     NewJob->Waiters.emplace_back();
     Future = NewJob->Waiters.back().get_future();
     if (NewJob->UseCache)
@@ -146,6 +198,7 @@ std::future<ServeResult> Scheduler::submit(const VerificationSpec &Spec,
           : Opts.QueueCapacity;
   const bool Admitted =
       Queue.size() < HighWater && Queue.tryPush(std::move(NewJob));
+  QueueDepthGauge.set(static_cast<int64_t>(Queue.size()));
   if (!Admitted) {
     // Shed (or shutdown raced the admission); tryPush failed without
     // moving, so the job is still ours. Delist it first (under the lock,
@@ -165,8 +218,7 @@ std::future<ServeResult> Scheduler::submit(const VerificationSpec &Spec,
     } else {
       R.Overloaded = true;
       R.Outcome.Detail = "admission queue is full";
-      std::lock_guard<std::mutex> SLock(StatsMutex);
-      ++Counters.Shed;
+      StatShed.increment();
     }
     for (std::promise<ServeResult> &P : Waiters)
       P.set_value(R);
@@ -254,14 +306,21 @@ void Scheduler::dispatchLoop() {
           Keep.push_back(std::move(J));
           continue;
         }
-        {
-          std::lock_guard<std::mutex> Lock(StatsMutex);
-          ++Counters.DeadlineExpired;
-        }
+        StatDeadlineExpired.increment();
         RunOutcome Out;
         Out.ModelLoaded = true;
         Out.DeadlineExceeded = true;
         Out.Detail = "deadline exceeded before dispatch";
+        if (telemetry::timingEnabled()) {
+          // The engine never ran: the whole story is the queue wait.
+          Out.Phases.Populated = true;
+          Out.Phases.QueueWaitMs = static_cast<double>(
+                                       telemetry::monotonicNanos() -
+                                       J->AdmitNs) /
+                                   1e6;
+          Out.Phases.CacheProbeMs = J->CacheProbeMs;
+          Out.Phases.ModelLoadMs = J->ModelLoadMs;
+        }
         finishJob(std::move(J), Out);
       }
       Batch.swap(Keep);
@@ -292,20 +351,41 @@ void Scheduler::dispatchLoop() {
       Controls[I].DeadlineAt = Batch[I]->DeadlineAt;
     }
 
+    const bool Timing = telemetry::timingEnabled();
+    const uint64_t DispatchNs = telemetry::monotonicNanos();
+    if (Timing)
+      for (const std::unique_ptr<Job> &J : Batch)
+        QueueWaitHist.observe(DispatchNs - J->AdmitNs);
+    QueueDepthGauge.set(static_cast<int64_t>(Queue.size()));
+
+    TRACE_SPAN("serve.batch");
     std::vector<RunOutcome> Outcomes = runSpecBatchLoaded(
         Specs, Models, Opts.Jobs, Opts.FuseBatchGemms, Controls);
 
-    {
-      std::lock_guard<std::mutex> Lock(StatsMutex);
-      ++Counters.Batches;
-      Counters.Executed += Batch.size();
-      if (Batch.size() > Counters.MaxBatchSeen)
-        Counters.MaxBatchSeen = Batch.size();
-      for (const RunOutcome &Out : Outcomes)
-        if (Out.DeadlineExceeded)
-          ++Counters.DeadlineExpired;
-    }
-    for (size_t I = 0; I < Batch.size(); ++I)
+    StatBatches.increment();
+    StatExecuted.add(Batch.size());
+    MaxBatchGauge.noteMax(static_cast<int64_t>(Batch.size()));
+    for (size_t Prev = MaxBatchSeen.load();
+         Batch.size() > Prev &&
+         !MaxBatchSeen.compare_exchange_weak(Prev, Batch.size());)
+      ;
+    for (const RunOutcome &Out : Outcomes)
+      if (Out.DeadlineExceeded)
+        StatDeadlineExpired.increment();
+
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      if (Timing) {
+        // Fold the scheduler-side slices into the engine's breakdown.
+        // Cache hits never reach this path — a stored outcome is
+        // returned verbatim, payload byte-identical to the first answer.
+        PhaseBreakdown &Ph = Outcomes[I].Phases;
+        Ph.Populated = true;
+        Ph.QueueWaitMs =
+            static_cast<double>(DispatchNs - Batch[I]->AdmitNs) / 1e6;
+        Ph.CacheProbeMs = Batch[I]->CacheProbeMs;
+        Ph.ModelLoadMs = Batch[I]->ModelLoadMs;
+      }
       finishJob(std::move(Batch[I]), Outcomes[I]);
+    }
   }
 }

@@ -97,6 +97,11 @@ public:
     bool FuseBatchGemms = true;
   };
 
+  /// Pipeline counters, as a snapshot since this scheduler's construction.
+  /// The live series are process-wide `serve.*` metrics on the telemetry
+  /// registry (support/Telemetry.h); stats() reads them and subtracts the
+  /// construction-time baseline, so per-instance semantics (and the
+  /// `stats` protocol envelope) are unchanged.
   struct Stats {
     uint64_t Submitted = 0;
     uint64_t CacheHits = 0;
@@ -158,6 +163,13 @@ private:
     bool UseCache = true;
     /// Budget armed at admission (inactive for deadline-free queries).
     Deadline DeadlineAt;
+    /// Telemetry: admission timestamp (queue-wait attribution) and the
+    /// submit-side phase slices, merged into the freshly executed
+    /// outcome's PhaseBreakdown at dispatch. All zero when timing is
+    /// disabled; cache hits return the stored outcome verbatim instead.
+    uint64_t AdmitNs = 0;
+    double CacheProbeMs = 0.0;
+    double ModelLoadMs = 0.0;
     /// Every submitter waiting on this query (1 + coalesced joiners).
     std::vector<std::promise<ServeResult>> Waiters;
   };
@@ -182,8 +194,14 @@ private:
   std::unordered_map<std::string, Job *> InFlight;
   mutable std::mutex InFlightMutex;
 
-  mutable std::mutex StatsMutex;
-  Stats Counters;
+  /// Registry totals at construction: stats() reports current - Base, so
+  /// each instance sees only its own traffic even though the serve.*
+  /// series are process-wide.
+  Stats Base;
+  /// Largest batch this instance dispatched. A high-water mark has no
+  /// meaningful process-wide delta, so it stays on the instance (the
+  /// registry's serve.max_batch gauge tracks the process-wide max).
+  std::atomic<size_t> MaxBatchSeen{0};
 
   std::atomic<bool> Stopping{false};
   std::atomic<bool> Draining{false};

@@ -8,7 +8,9 @@
 #include "serve/Server.h"
 
 #include "serve/Protocol.h"
+#include "support/Telemetry.h"
 #include "support/Timer.h"
+#include "support/TraceJson.h"
 #include "tool/SpecParser.h"
 
 // craft-lint: allow(det-time) — backoff sleep duration only; wall-clock
@@ -96,6 +98,14 @@ void Server::shutdown() {
   // Drain queued verification work; futures held by connection threads
   // resolve here, letting those threads run to completion.
   Sched.stop();
+  // Every worker's spans are final now: dump the trace ring (no-op
+  // unless tracing is armed). Stopping's compare-exchange above makes
+  // this once-per-process even when shutdown races itself.
+  {
+    std::string TraceError;
+    if (!tracejson::maybeWriteTrace(Opts.TraceOutPath, TraceError))
+      std::fprintf(stderr, "craft-serve: %s\n", TraceError.c_str());
+  }
   // Wake the drain finisher (waits on DrainCv) and the signal watcher
   // (blocks reading the pipe). The empty critical section orders the
   // notify after any in-progress predicate evaluation.
@@ -414,6 +424,37 @@ std::string Server::handleLine(const std::string &Line, LineOutcome &Act) {
     Mo.set("loaded", Value::number(static_cast<double>(
                          Sched.registry().loadedCount())));
     Doc.set("models", std::move(Mo));
+    return Doc.serialize();
+  }
+
+  if (Req->Method == "metrics") {
+    // Full registry readout: every counter, gauge, and histogram in the
+    // process, sorted by name (snapshotMetrics() orders them), so the
+    // envelope is deterministic for a fixed traffic history.
+    telemetry::MetricsSnapshot Snap = telemetry::snapshotMetrics();
+    Value Doc = Value::object();
+    Doc.set("id", Value::number(static_cast<double>(Req->Id)));
+    Doc.set("ok", Value::boolean(true));
+    Value Counters = Value::object();
+    for (const auto &[Name, Total] : Snap.Counters)
+      Counters.set(Name, Value::number(static_cast<double>(Total)));
+    Doc.set("counters", std::move(Counters));
+    Value Gauges = Value::object();
+    for (const auto &[Name, V] : Snap.Gauges)
+      Gauges.set(Name, Value::number(static_cast<double>(V)));
+    Doc.set("gauges", std::move(Gauges));
+    Value Hists = Value::object();
+    for (const auto &[Name, H] : Snap.Histograms) {
+      Value HV = Value::object();
+      HV.set("count", Value::number(static_cast<double>(H.Count)));
+      HV.set("sum", Value::number(static_cast<double>(H.Sum)));
+      HV.set("mean", Value::number(H.mean()));
+      HV.set("p50", Value::number(static_cast<double>(H.p50())));
+      HV.set("p95", Value::number(static_cast<double>(H.p95())));
+      HV.set("p99", Value::number(static_cast<double>(H.p99())));
+      Hists.set(Name, std::move(HV));
+    }
+    Doc.set("histograms", std::move(Hists));
     return Doc.serialize();
   }
 

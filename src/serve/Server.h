@@ -54,6 +54,10 @@ struct ServerOptions {
   /// ok:false "overloaded" envelope and closed instead of spawning a
   /// reader thread.
   size_t MaxConnections = 256;
+  /// When tracing is armed (`craft serve --trace-out`, CRAFT_TRACE=1),
+  /// shutdown() dumps the span ring as Chrome trace JSON here. Empty
+  /// falls back to $CRAFT_TRACE_OUT, then "craft_trace.json".
+  std::string TraceOutPath;
   Scheduler::Options Sched;
 };
 

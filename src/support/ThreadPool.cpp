@@ -2,7 +2,10 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Telemetry.h"
+
 #include <algorithm>
+#include <string>
 
 using namespace craft;
 
@@ -16,7 +19,10 @@ ThreadPool::ThreadPool(size_t NumWorkers) {
     NumWorkers = hardwareWorkers();
   Workers.reserve(NumWorkers);
   for (size_t I = 0; I < NumWorkers; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I] {
+      telemetry::setCurrentThreadLabel("worker " + std::to_string(I + 1));
+      workerLoop();
+    });
 }
 
 ThreadPool::~ThreadPool() {

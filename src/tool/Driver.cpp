@@ -10,6 +10,7 @@
 #include "core/UnrolledCrown.h"
 #include "core/Verifier.h"
 #include "linalg/KernelsBatched.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
@@ -84,6 +85,17 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model,
   CraftConfig Cfg = configFor(Spec);
   Cfg.Control = Control;
 
+  // Phase attribution: engines accumulate per-thread phase time
+  // (PhaseTimer); the query's slice is the before/after delta on this
+  // thread. Observational only — with timing disabled the breakdown
+  // stays zero and nothing else changes.
+  const bool Timing = telemetry::timingEnabled();
+  telemetry::PhaseTotals PhasesBefore;
+  if (Timing)
+    PhasesBefore = telemetry::phaseTotals();
+  uint64_t SolverIterations = 0;
+  TRACE_SPAN("driver.query");
+
   WallTimer Clock;
   switch (Spec.Verifier) {
   case SpecVerifier::Craft:
@@ -105,8 +117,12 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model,
                                   ? Spec.AttackSeed
                                   : taskSeed(BatchOptions().BaseSeed, 0);
       }
-      BranchAndBoundResult Res = verifyRobustnessSplit(
-          Model, Cfg, Spec.InLo, Spec.InHi, Spec.TargetClass, Split);
+      BranchAndBoundResult Res = [&] {
+        telemetry::PhaseTimer SplitPhase(telemetry::Phase::Split);
+        return verifyRobustnessSplit(Model, Cfg, Spec.InLo, Spec.InHi,
+                                     Spec.TargetClass, Split);
+      }();
+      SolverIterations = Res.NumVerifierCalls;
       Out.Certified = Res.Certified;
       Out.Containment = Res.NumVerifierCalls > 0;
       Out.MarginLower = Res.Certified ? 0.0 : -1.0;
@@ -131,8 +147,11 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model,
       break;
     }
     CraftVerifier Ver(Model, Cfg);
-    CraftResult Res =
-        Ver.verifyRegion(Spec.InLo, Spec.InHi, Spec.TargetClass);
+    CraftResult Res = [&] {
+      telemetry::PhaseTimer SolverPhase(telemetry::Phase::Solver);
+      return Ver.verifyRegion(Spec.InLo, Spec.InHi, Spec.TargetClass);
+    }();
+    SolverIterations = static_cast<uint64_t>(Res.TotalIterations);
     Out.Certified = Res.Certified;
     Out.Containment = Res.Containment;
     Out.MarginLower = Res.BestMargin;
@@ -149,8 +168,10 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model,
     if (Spec.MaxIterations > 0)
       Opts.UnrollSteps = Spec.MaxIterations;
     CrownVerifier Ver(Model, Opts);
-    CrownResult Res =
-        Ver.verifyRegion(Spec.InLo, Spec.InHi, Spec.TargetClass);
+    CrownResult Res = [&] {
+      telemetry::PhaseTimer SolverPhase(telemetry::Phase::Solver);
+      return Ver.verifyRegion(Spec.InLo, Spec.InHi, Spec.TargetClass);
+    }();
     Out.Certified = Res.Certified;
     Out.MarginLower = Res.MarginLower;
     Out.Detail = "contraction " + std::to_string(Res.Contraction);
@@ -163,8 +184,11 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model,
       return Out;
     }
     LipschitzCertifier Ver(Model);
-    Out.Certified =
-        Ver.certify(Spec.Center, Spec.TargetClass, Spec.Epsilon);
+    {
+      telemetry::PhaseTimer SolverPhase(telemetry::Phase::Solver);
+      Out.Certified =
+          Ver.certify(Spec.Center, Spec.TargetClass, Spec.Epsilon);
+    }
     Out.MarginLower = Out.Certified ? 0.0 : -1.0;
     Out.Detail =
         "latent l2 Lipschitz " + std::to_string(Ver.latentLipschitz2());
@@ -186,6 +210,8 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model,
     // verifying do not stall on this thread (values are unaffected; the
     // pause only changes wave composition).
     kernels::WavePauseScope PauseWaves;
+    telemetry::PhaseTimer PgdPhase(telemetry::Phase::Pgd);
+    TRACE_SPAN("pgd.attack");
     PgdOptions Attack;
     Attack.Epsilon = Spec.Epsilon;
     Attack.InputLo = Spec.ClampLo;
@@ -222,6 +248,8 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model,
   Out.TimeSeconds = Clock.seconds();
 
   if (Out.Certified && !Spec.CertificatePath.empty()) {
+    telemetry::PhaseTimer CertPhase(telemetry::Phase::Certificate);
+    TRACE_SPAN("cert.write");
     if (Spec.Verifier != SpecVerifier::Craft) {
       Out.Detail += "; certificates require the craft engine";
     } else if (Spec.SplitDepth > 0) {
@@ -240,6 +268,21 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model,
     } else {
       Out.Detail += "; witness construction failed";
     }
+  }
+
+  if (Timing) {
+    telemetry::PhaseTotals PhasesAfter = telemetry::phaseTotals();
+    auto DeltaMs = [&](telemetry::Phase P) {
+      return static_cast<double>(PhasesAfter.of(P) - PhasesBefore.of(P)) /
+             1e6;
+    };
+    Out.Phases.Populated = true;
+    Out.Phases.SolverMs = DeltaMs(telemetry::Phase::Solver);
+    Out.Phases.ConsolidationMs = DeltaMs(telemetry::Phase::Consolidation);
+    Out.Phases.SplitMs = DeltaMs(telemetry::Phase::Split);
+    Out.Phases.PgdMs = DeltaMs(telemetry::Phase::Pgd);
+    Out.Phases.CertificateMs = DeltaMs(telemetry::Phase::Certificate);
+    Out.Phases.SolverIterations = SolverIterations;
   }
   return Out;
 }

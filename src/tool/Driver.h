@@ -25,6 +25,43 @@
 
 namespace craft {
 
+/// Where one query's wall time went, in milliseconds. Purely
+/// observational — filled from support/Telemetry phase accumulators when
+/// timing is enabled (CRAFT_TELEMETRY != 0) and left zero otherwise, and
+/// never read back by any computation, so verdict fields are
+/// byte-identical either way (pinned by tests/test_telemetry.cpp). The
+/// serve layer adds its queue/cache/model-load slices before a result
+/// crosses the wire as the optional "timings" object; `craft verify
+/// --timings` prints the engine-side slices.
+struct PhaseBreakdown {
+  /// False = timing was disabled (or the outcome predates execution,
+  /// e.g. a load failure); every field below is then zero.
+  bool Populated = false;
+  /// Serve only: admission-queue wait before dispatch picked the job up.
+  double QueueWaitMs = 0.0;
+  /// Serve only: result-cache key canonicalization + probe.
+  double CacheProbeMs = 0.0;
+  /// Serve only: model registry fetch (load + warm on a cold hit).
+  double ModelLoadMs = 0.0;
+  /// Engine run, inclusive of the consolidation slice below.
+  double SolverMs = 0.0;
+  /// consolidateProper order-reduction inside the engine run (the slice
+  /// the paper's Table 4 attributes separately). Accumulated on the
+  /// query's own thread: split-mode wave workers are not folded in.
+  double ConsolidationMs = 0.0;
+  /// Split-refinement wave loop (split-depth > 0 runs).
+  double SplitMs = 0.0;
+  /// Opt-in PGD refutation pass.
+  double PgdMs = 0.0;
+  /// Certificate construction + save.
+  double CertificateMs = 0.0;
+  /// Solver iterations to convergence (Craft/Box: fixpoint iterations;
+  /// split runs: verifier calls across all waves). Travels with the
+  /// breakdown, so it is zero when unpopulated; the engines' own
+  /// iteration histograms count regardless.
+  uint64_t SolverIterations = 0;
+};
+
 /// Result of executing one spec.
 struct RunOutcome {
   bool ModelLoaded = false;
@@ -55,6 +92,8 @@ struct RunOutcome {
   uint64_t AttackSeed = 0;
   /// Human-readable failure/summary detail.
   std::string Detail;
+  /// Wall-time attribution (see PhaseBreakdown); zero when timing is off.
+  PhaseBreakdown Phases;
 };
 
 /// Runs \p Spec. Never exits; all failures are reported in the outcome.

@@ -99,6 +99,37 @@ TEST(DetTime, AllowedInTimer) {
   EXPECT_EQ(countRule(R, "det-time"), 0);
 }
 
+TEST(DetTime, AllowedInTelemetryImplOnly) {
+  const std::string Src =
+      "#include <chrono>\nauto T = std::chrono::steady_clock::now();\n";
+  // The telemetry implementation is the second sanctioned clock TU.
+  EXPECT_EQ(countRule(lintSnippet("src/support/Telemetry.cpp", Src),
+                      "det-time"),
+            0);
+  // The header is included everywhere, so it stays in scope: clock
+  // access must live behind monotonicNanos() in the .cpp.
+  EXPECT_EQ(countRule(lintSnippet("src/support/Telemetry.h", Src),
+                      "det-time"),
+            2);
+}
+
+TEST(DetTime, InstrumentationMacrosInCoreAreClean) {
+  // Regression: instrumenting a core TU with spans, counters, and phase
+  // timers must not trip det-time — the macros expand to registry calls,
+  // never to chrono tokens.
+  LintResult R = lintSnippet(
+      "src/core/Instrumented.cpp",
+      "#include \"support/Telemetry.h\"\n"
+      "void f() {\n"
+      "  TRACE_SPAN(\"kleene.iterate\");\n"
+      "  telemetry::PhaseTimer T(telemetry::Phase::Solver);\n"
+      "  static const telemetry::Counter C =\n"
+      "      telemetry::counterMetric(\"core.calls\");\n"
+      "  C.increment();\n"
+      "}\n");
+  EXPECT_EQ(countRule(R, "det-time"), 0);
+}
+
 TEST(DetUnorderedIter, FlagsRangeForOverUnorderedMap) {
   LintResult R = lintSnippet(
       "src/serve/D.cpp",

@@ -242,6 +242,50 @@ TEST(ProtocolTest, ResultRoundTripsLosslessly) {
   EXPECT_FALSE(PlainBack->Outcome.Error);
 }
 
+TEST(ProtocolTest, TimingsStayOptionalAndRoundTrip) {
+  // Unpopulated breakdown: no "timings" member at all, so telemetry-off
+  // envelopes are byte-identical to pre-telemetry releases.
+  WireResult Plain;
+  Plain.Outcome.ModelLoaded = true;
+  EXPECT_EQ(encodeResult(Plain).find("timings"), nullptr);
+  std::optional<WireResult> PlainBack = decodeResult(encodeResult(Plain));
+  ASSERT_TRUE(PlainBack.has_value());
+  EXPECT_FALSE(PlainBack->Outcome.Phases.Populated);
+
+  // Populated breakdown round-trips every slice.
+  WireResult W;
+  W.Outcome.ModelLoaded = true;
+  PhaseBreakdown &Ph = W.Outcome.Phases;
+  Ph.Populated = true;
+  Ph.QueueWaitMs = 1.5;
+  Ph.CacheProbeMs = 0.25;
+  Ph.ModelLoadMs = 12.0;
+  Ph.SolverMs = 40.0;
+  Ph.ConsolidationMs = 8.0;
+  Ph.SplitMs = 3.0;
+  Ph.PgdMs = 2.0;
+  Ph.CertificateMs = 0.5;
+  Ph.SolverIterations = 123;
+  std::optional<WireResult> Back = decodeResult(encodeResult(W));
+  ASSERT_TRUE(Back.has_value());
+  const PhaseBreakdown &B = Back->Outcome.Phases;
+  EXPECT_TRUE(B.Populated);
+  EXPECT_EQ(B.QueueWaitMs, 1.5);
+  EXPECT_EQ(B.CacheProbeMs, 0.25);
+  EXPECT_EQ(B.ModelLoadMs, 12.0);
+  EXPECT_EQ(B.SolverMs, 40.0);
+  EXPECT_EQ(B.ConsolidationMs, 8.0);
+  EXPECT_EQ(B.SplitMs, 3.0);
+  EXPECT_EQ(B.PgdMs, 2.0);
+  EXPECT_EQ(B.CertificateMs, 0.5);
+  EXPECT_EQ(B.SolverIterations, 123u);
+
+  // A non-object "timings" member is a malformed result.
+  Value Bad = encodeResult(Plain);
+  Bad.set("timings", Value::number(7.0));
+  EXPECT_FALSE(decodeResult(Bad).has_value());
+}
+
 //===----------------------------------------------------------------------===//
 // Canonical keys
 //===----------------------------------------------------------------------===//
@@ -814,6 +858,49 @@ TEST(ServerTest, AnswersPingStatsAndInfo) {
   ASSERT_NE(Stats.find("cache"), nullptr);
   ASSERT_NE(Stats.find("scheduler"), nullptr);
   EXPECT_EQ(Stats.find("models")->numberOr("loaded", -1), 1.0);
+}
+
+TEST(ServerTest, MetricsEnvelopeExposesRegistry) {
+  InProcessServer S;
+  Request Req;
+  Req.Id = 11;
+  Req.Method = "verify";
+  Req.SpecText = smokeSpecText(0.015);
+  Value Verify = S.handle(encodeRequest(Req));
+  ASSERT_TRUE(Verify.boolOr("ok", false)) << Verify.serialize();
+
+  Value M = S.handle("{\"id\":12,\"method\":\"metrics\"}");
+  ASSERT_TRUE(M.boolOr("ok", false)) << M.serialize();
+  EXPECT_EQ(M.numberOr("id", -1), 12.0);
+
+  // Counters are process-wide totals: this daemon just served a verify,
+  // so the serve series must have registered traffic.
+  const Value *Counters = M.find("counters");
+  ASSERT_NE(Counters, nullptr);
+  ASSERT_TRUE(Counters->isObject());
+  EXPECT_GE(Counters->numberOr("serve.submitted", 0.0), 1.0);
+  EXPECT_GE(Counters->numberOr("serve.executed", 0.0), 1.0);
+  EXPECT_GE(Counters->numberOr("serve.batches", 0.0), 1.0);
+
+  const Value *Gauges = M.find("gauges");
+  ASSERT_NE(Gauges, nullptr);
+  ASSERT_TRUE(Gauges->isObject());
+  EXPECT_NE(Gauges->find("serve.max_batch"), nullptr);
+
+  // Each histogram entry reports the full percentile readout.
+  const Value *Hists = M.find("histograms");
+  ASSERT_NE(Hists, nullptr);
+  ASSERT_TRUE(Hists->isObject());
+  const Value *QueueWait = Hists->find("serve.queue_wait_ns");
+  ASSERT_NE(QueueWait, nullptr);
+  for (const char *Key :
+       {"count", "sum", "mean", "p50", "p95", "p99"})
+    EXPECT_NE(QueueWait->find(Key), nullptr) << Key;
+
+  // snapshotMetrics() sorts by name, so the envelope is deterministic.
+  const auto &Names = Counters->members();
+  for (size_t I = 1; I < Names.size(); ++I)
+    EXPECT_LT(Names[I - 1].first, Names[I].first);
 }
 
 TEST(ServerTest, VerifyRequestRunsAndCachesBothQueries) {

@@ -44,6 +44,8 @@
 #include "tool/Driver.h"
 
 #include "linalg/Kernels.h"
+#include "support/Telemetry.h"
+#include "support/TraceJson.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -59,14 +61,17 @@ static int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  craft verify [--jobs N] [--deadline-ms N] <spec-file>...\n"
+      "  craft verify [--jobs N] [--deadline-ms N] [--timings]\n"
+      "               <spec-file>...\n"
       "  craft split [--jobs N] [--depth N] <spec-file>...\n"
       "  craft serve [--port N] [--stdio] [--jobs N] [--max-batch N]\n"
       "              [--cache-entries N] [--queue-capacity N]\n"
       "              [--high-water N] [--max-conns N]\n"
+      "              [--trace-out FILE]\n"
       "  craft client --port N [--no-cache] [--ping] [--stats]\n"
-      "               [--deadline-ms N] [--timeout-ms N] [--retries N]\n"
-      "               [--drain] [--shutdown] [<spec-file>...]\n"
+      "               [--metrics] [--deadline-ms N] [--timeout-ms N]\n"
+      "               [--retries N] [--drain] [--shutdown]\n"
+      "               [<spec-file>...]\n"
       "  craft info <model.bin>\n"
       "  craft check <model.bin> <certificate.bin>\n"
       "exit codes (verify/client): 0 certified, 1 refuted, 2 error,\n"
@@ -145,8 +150,25 @@ void printOutcome(const VerificationSpec &Spec, const RunOutcome &Out) {
                                        : "(construction failed)");
 }
 
+/// `craft verify --timings`: the engine-side PhaseBreakdown of one query
+/// (the serve-only queue/cache/model slices are always zero here). The
+/// solver slice is inclusive of consolidation.
+void printTimings(const RunOutcome &Out) {
+  if (!Out.Phases.Populated) {
+    std::printf("timings      (unavailable: CRAFT_TELEMETRY=0)\n");
+    return;
+  }
+  const PhaseBreakdown &Ph = Out.Phases;
+  std::printf("timings      solver %.3f ms (consolidation %.3f ms), "
+              "split %.3f ms, pgd %.3f ms, certificate %.3f ms\n",
+              Ph.SolverMs, Ph.ConsolidationMs, Ph.SplitMs, Ph.PgdMs,
+              Ph.CertificateMs);
+  std::printf("iterations   %llu\n",
+              static_cast<unsigned long long>(Ph.SolverIterations));
+}
+
 int runVerify(const std::vector<std::string> &Files, int Jobs,
-              double DeadlineMs) {
+              double DeadlineMs, bool Timings) {
   std::vector<VerificationSpec> Specs;
   std::vector<const std::string *> Sources; // Spec I came from *Sources[I].
   bool ParseFailed = false;
@@ -197,7 +219,14 @@ int runVerify(const std::vector<std::string> &Files, int Jobs,
       continue;
     }
     printOutcome(Specs[I], Out);
+    if (Timings)
+      printTimings(Out);
   }
+  // CRAFT_TRACE=1 runs dump the span ring next to the results (path from
+  // $CRAFT_TRACE_OUT, default craft_trace.json); no-op otherwise.
+  std::string TraceError;
+  if (!tracejson::maybeWriteTrace("", TraceError))
+    std::fprintf(stderr, "warning: %s\n", TraceError.c_str());
   return Exit;
 }
 
@@ -340,6 +369,15 @@ int runServe(int Argc, char **Argv) {
       if (!V || !parseCount(V, "--max-conns", 1L << 16, N) || N < 1)
         return ExitError;
       Opts.MaxConnections = static_cast<size_t>(N);
+    } else if (std::strcmp(Argv[I], "--trace-out") == 0) {
+      const char *V = needValue("--trace-out");
+      if (!V)
+        return ExitError;
+      // The flag both arms tracing and names the dump file; shutdown()
+      // writes it (CRAFT_TRACE=1 without the flag also works, falling
+      // back to $CRAFT_TRACE_OUT / craft_trace.json).
+      Opts.TraceOutPath = V;
+      telemetry::setTraceEnabled(true);
     } else {
       std::fprintf(stderr, "error: unknown serve option '%s'\n", Argv[I]);
       return usage();
@@ -379,7 +417,7 @@ int runServe(int Argc, char **Argv) {
 int runClient(int Argc, char **Argv) {
   int Port = -1;
   bool NoCache = false, Ping = false, Stats = false, Shutdown = false;
-  bool Drain = false;
+  bool Drain = false, Metrics = false;
   long DeadlineMs = -1, TimeoutMs = 0, Retries = 0;
   std::vector<std::string> Files;
   for (int I = 2; I < Argc; ++I) {
@@ -396,6 +434,8 @@ int runClient(int Argc, char **Argv) {
       Ping = true;
     } else if (std::strcmp(Argv[I], "--stats") == 0) {
       Stats = true;
+    } else if (std::strcmp(Argv[I], "--metrics") == 0) {
+      Metrics = true;
     } else if (std::strcmp(Argv[I], "--shutdown") == 0) {
       Shutdown = true;
     } else if (std::strcmp(Argv[I], "--drain") == 0) {
@@ -426,7 +466,7 @@ int runClient(int Argc, char **Argv) {
     std::fprintf(stderr, "error: craft client needs --port N\n");
     return usage();
   }
-  if (Files.empty() && !Ping && !Stats && !Shutdown && !Drain)
+  if (Files.empty() && !Ping && !Stats && !Metrics && !Shutdown && !Drain)
     return usage();
 
   serve::ServeClient Client;
@@ -504,6 +544,14 @@ int runClient(int Argc, char **Argv) {
     }
     std::printf("%s\n", Doc->serialize().c_str());
   }
+  if (Metrics) {
+    std::optional<json::Value> Doc = Client.metrics(Error);
+    if (!Doc) {
+      std::fprintf(stderr, "error: metrics failed: %s\n", Error.c_str());
+      return ExitError;
+    }
+    std::printf("%s\n", Doc->serialize().c_str());
+  }
   if (Drain) {
     if (!Client.requestDrain(Error)) {
       std::fprintf(stderr, "error: drain failed: %s\n", Error.c_str());
@@ -536,6 +584,7 @@ int main(int Argc, char **Argv) {
   if (std::strcmp(Argv[1], "verify") == 0) {
     int Jobs = 1;
     long DeadlineMs = -1; // < 0 = no budget.
+    bool Timings = false;
     std::vector<std::string> Files;
     for (int I = 2; I < Argc; ++I) {
       if (std::strcmp(Argv[I], "--jobs") == 0 ||
@@ -552,6 +601,8 @@ int main(int Argc, char **Argv) {
           return usage();
         if (!parseCount(Argv[++I], "--deadline-ms", 1L << 30, DeadlineMs))
           return 2;
+      } else if (std::strcmp(Argv[I], "--timings") == 0) {
+        Timings = true;
       } else if (Argv[I][0] == '-') {
         std::fprintf(stderr, "error: unknown option '%s'\n", Argv[I]);
         return usage();
@@ -561,7 +612,7 @@ int main(int Argc, char **Argv) {
     }
     if (Files.empty())
       return usage();
-    return runVerify(Files, Jobs, static_cast<double>(DeadlineMs));
+    return runVerify(Files, Jobs, static_cast<double>(DeadlineMs), Timings);
   }
   if (std::strcmp(Argv[1], "split") == 0) {
     int Jobs = 1;

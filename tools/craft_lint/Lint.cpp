@@ -369,6 +369,9 @@ struct FileScope {
   bool InSupport = false; ///< src/support/**.
   bool IsRngTU = false;   ///< src/support/Rng.{h,cpp}.
   bool IsTimerTU = false; ///< src/support/Timer.h.
+  /// src/support/Telemetry.cpp — the telemetry layer's one clock
+  /// (monotonicNanos); its header stays chrono-free by design.
+  bool IsTelemetryTU = false;
   bool IsRoundedTU = false; ///< src/support/RoundedInterval.h.
   bool IsIsaKernelTU = false; ///< Per-ISA kernel TU (owns its -m flags).
   /// src/linalg/Kernels* (hot-path tier): the dispatch layer, the per-ISA
@@ -386,6 +389,7 @@ FileScope classify(const std::string &Rel) {
   FS.InSupport = startsWith(Rel, "src/support/");
   FS.IsRngTU = Rel == "src/support/Rng.h" || Rel == "src/support/Rng.cpp";
   FS.IsTimerTU = Rel == "src/support/Timer.h";
+  FS.IsTelemetryTU = Rel == "src/support/Telemetry.cpp";
   FS.IsRoundedTU = Rel == "src/support/RoundedInterval.h";
   // Exactly the three TUs whose -ffp-contract=off builds may spell FMA
   // out; the batched tier (KernelsBatched.cpp) stays un-exempt — it
@@ -493,7 +497,8 @@ const std::vector<RuleInfo> &craft::lint::allRules() {
        "all randomness flows through the deterministic taskSeed stream, so "
        "outcomes are byte-identical for any worker count"},
       {"det-time", Severity::Error,
-       "std::chrono / clock calls outside support/Timer (src+tools scope)",
+       "std::chrono / clock calls outside support/Timer and "
+       "support/Telemetry.cpp (src+tools scope)",
        "wall-clock values must never leak into seeds, iteration order, or "
        "result payloads"},
       {"det-unordered-iter", Severity::Error,
@@ -626,13 +631,14 @@ void craft::lint::lintBuffer(const std::string &RelPath,
   }
 
   //-- det-time ------------------------------------------------------------
-  if ((FS.InSrc || FS.InTools) && !FS.IsTimerTU) {
+  if ((FS.InSrc || FS.InTools) && !FS.IsTimerTU && !FS.IsTelemetryTU) {
     for (size_t I = 0; I < T.size(); ++I) {
       if (T[I].Kind == Tok::PP) {
         if (ppIncludes(T[I].Text, "chrono"))
           emit(T[I].Line, T[I].Col, "det-time",
-               "include of <chrono> outside support/Timer.h; wrap timing "
-               "in WallTimer or justify the use inline");
+               "include of <chrono> outside the sanctioned timing TUs "
+               "(support/Timer.h, support/Telemetry.cpp); wrap timing in "
+               "WallTimer or telemetry spans, or justify the use inline");
         continue;
       }
       if (T[I].Kind != Tok::Ident)
@@ -649,7 +655,8 @@ void craft::lint::lintBuffer(const std::string &RelPath,
                         tokenIs(T, I - 1, Tok::Punct, "::"))));
       if (Chrono || ClockCall)
         emit(T[I].Line, T[I].Col, "det-time",
-             "direct wall-clock access outside support/Timer.h");
+             "direct wall-clock access outside the sanctioned timing TUs "
+             "(support/Timer.h, support/Telemetry.cpp)");
     }
   }
 

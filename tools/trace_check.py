@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event file produced by `craft --trace-out`.
+
+Checks the contract tests/test_telemetry.cpp pins in-process, but on the
+actual shipped artifact: the file is strict JSON with a traceEvents
+list, and per thread every B event is closed by an E event with the
+same name in properly nested (stack) order. Exit 0 = valid, 1 = not.
+
+Usage: trace_check.py TRACE_FILE
+"""
+
+import json
+import sys
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} TRACE_FILE", file=sys.stderr)
+        return 1
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print("error: no traceEvents list", file=sys.stderr)
+        return 1
+    stacks, spans = {}, 0
+    for ev in events:
+        ph, tid, name = ev.get("ph"), ev.get("tid"), ev.get("name", "")
+        if ph == "M":
+            continue
+        if ph == "B":
+            stacks.setdefault(tid, []).append(name)
+            spans += 1
+        elif ph == "E":
+            stack = stacks.get(tid) or []
+            if not stack or stack.pop() != name:
+                print(f"error: unbalanced E '{name}' on tid {tid}",
+                      file=sys.stderr)
+                return 1
+        else:
+            print(f"error: unexpected phase {ph!r}", file=sys.stderr)
+            return 1
+    open_spans = {t: s for t, s in stacks.items() if s}
+    if open_spans:
+        print(f"error: unclosed spans: {open_spans}", file=sys.stderr)
+        return 1
+    print(f"ok: {spans} spans across {len(stacks)} thread(s), "
+          f"all balanced and properly nested")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
