@@ -1,0 +1,185 @@
+//===- bench/bench_cascade.cpp - Cheap-first cascade effectiveness --------===//
+//
+// Measures what the domain cascade buys on a serve-shaped mixed batch:
+// 64 queries (easy small-epsilon ones a cheap rung can absorb plus
+// hopeless large-epsilon ones that walk the whole ladder) run once
+// directly in CH-Zonotope and once under `cascade full`. Emits
+// BENCH_cascade.json:
+//
+//   cascade_cheap_hit_rate   fraction of the batch certified at a rung
+//                            cheaper than CH-Zonotope (direction
+//                            "higher": the cascade's reason to exist)
+//   cascade_qps              queries/sec of the cascade run (direction
+//                            "higher": a drop is the regression)
+//   cascade_direct_qps       queries/sec of the direct CH-Zonotope run,
+//                            for eyeballing the speedup in artifacts
+//
+// Correctness is not timing-shaped: the harness self-checks by exit
+// code that the cascade run's verdicts (certified/refuted/containment)
+// are identical to the direct run's — the walk's last rung is the
+// spec's own domain, so a cascade can only answer earlier, never
+// differently — and that the cheap-hit rate clears the 30% bar the
+// mixed batch is constructed to exceed. Margins are rung-specific by
+// design and deliberately not compared.
+//
+// The model is trained (unlike the throughput benches): cheap rungs
+// only absorb queries they can actually certify, which needs real
+// decision margins, not arithmetic. CRAFT_JOBS sets the worker count
+// (default 1: rates are about engine work, not fan-out; outcomes are
+// identical for every value).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+
+#include "data/GaussianMixture.h"
+#include "nn/Solvers.h"
+#include "nn/Training.h"
+#include "support/Rng.h"
+#include "support/Timer.h"
+#include "tool/Cascade.h"
+#include "tool/Driver.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace craft;
+
+namespace {
+
+constexpr size_t BatchSize = 64;
+constexpr double CheapHitBar = 0.30;
+
+struct Workload {
+  MonDeq Model;
+  std::vector<VerificationSpec> Specs;
+};
+
+/// Same recipe as the driver-test fixtures: a tiny trained monDEQ and a
+/// pool of correctly-predicted samples, cycled into a 64-query batch.
+/// Two thirds get an easy radius a cheap rung certifies, one third a
+/// hopeless one that escalates through the whole ladder.
+Workload makeWorkload() {
+  Workload W{MonDeq(), {}};
+  Rng DataRng(101);
+  Dataset Train = makeGaussianMixture(DataRng, 250, 5, 3);
+  Rng InitRng(102);
+  W.Model = MonDeq::randomFc(InitRng, 5, 10, 3, 3.0);
+  TrainOptions Opts;
+  Opts.Epochs = 10;
+  Opts.Verbose = false;
+  trainMonDeq(W.Model, Train, Opts);
+
+  std::vector<Vector> Samples;
+  std::vector<int> Labels;
+  FixpointSolver Solver(W.Model, Splitting::PeacemanRachford);
+  for (size_t I = 0; I < Train.size() && Samples.size() < 16; ++I)
+    if (Solver.predict(Train.input(I)) == Train.Labels[I]) {
+      Samples.push_back(Train.input(I));
+      Labels.push_back(Train.Labels[I]);
+    }
+
+  for (size_t I = 0; I < BatchSize; ++I) {
+    const size_t S = I % Samples.size();
+    const double Epsilon = I % 3 == 2 ? 0.3 : 0.02;
+    VerificationSpec Spec;
+    Spec.ModelPath = "<preloaded>";
+    Spec.Center = Samples[S];
+    Spec.Epsilon = Epsilon;
+    Spec.TargetClass = Labels[S];
+    Spec.Alpha1 = 0.5;
+    Spec.InLo = Vector(Spec.Center.size());
+    Spec.InHi = Vector(Spec.Center.size());
+    for (size_t J = 0; J < Spec.Center.size(); ++J) {
+      Spec.InLo[J] = std::max(Spec.Center[J] - Epsilon, 0.0);
+      Spec.InHi[J] = std::min(Spec.Center[J] + Epsilon, 1.0);
+    }
+    W.Specs.push_back(std::move(Spec));
+  }
+  return W;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== bench_cascade: cheap-first domain cascade ==\n\n");
+
+  int Jobs = 1;
+  if (const char *Env = std::getenv("CRAFT_JOBS")) {
+    long V = std::atol(Env);
+    Jobs = V <= 0 ? 0 : int(V);
+  }
+
+  Workload W = makeWorkload();
+  std::vector<const MonDeq *> Models(W.Specs.size(), &W.Model);
+  bool Ok = true;
+
+  // Direct CH-Zonotope pass: the verdict reference and the qps baseline.
+  WallTimer DirectT;
+  std::vector<RunOutcome> Direct = runSpecBatchLoaded(W.Specs, Models, Jobs);
+  const double DirectSeconds = DirectT.seconds();
+
+  std::vector<VerificationSpec> Cascaded = W.Specs;
+  for (VerificationSpec &Spec : Cascaded)
+    Spec.Cascade = *CascadePolicy::parse("full");
+  WallTimer CascadeT;
+  std::vector<RunOutcome> Outs = runSpecBatchLoaded(Cascaded, Models, Jobs);
+  const double CascadeSeconds = CascadeT.seconds();
+
+  size_t Certified = 0, CheapHits = 0, Escalations = 0;
+  for (size_t I = 0; I < Outs.size(); ++I) {
+    if (Direct[I].Certified != Outs[I].Certified ||
+        Direct[I].Refuted != Outs[I].Refuted ||
+        Direct[I].Containment != Outs[I].Containment) {
+      std::fprintf(stderr,
+                   "FAIL: cascade changed the verdict of query %zu — the "
+                   "last rung must reproduce the direct run\n",
+                   I);
+      Ok = false;
+    }
+    Escalations += size_t(Outs[I].CascadeEscalations);
+    if (Outs[I].Certified) {
+      ++Certified;
+      if (Outs[I].CascadeRung != verifierDomainName(VerifierDomain::CHZono))
+        ++CheapHits;
+    }
+  }
+  const double CheapHitRate = double(CheapHits) / double(Outs.size());
+  const double CascadeQps = double(Outs.size()) / CascadeSeconds;
+  const double DirectQps = double(Outs.size()) / DirectSeconds;
+
+  std::printf("batch %zu (%d jobs): %zu certified, %zu at a cheap rung "
+              "(hit rate %.2f), %zu escalations\n",
+              Outs.size(), Jobs, Certified, CheapHits, CheapHitRate,
+              Escalations);
+  std::printf("cascade %8.1f q/s, direct chzono %8.1f q/s (%.2fx)\n",
+              CascadeQps, DirectQps, CascadeQps / DirectQps);
+
+  if (CheapHitRate < CheapHitBar) {
+    std::fprintf(stderr,
+                 "FAIL: cheap-hit rate %.2f below the %.2f bar — cheap "
+                 "rungs stopped absorbing the easy queries\n",
+                 CheapHitRate, CheapHitBar);
+    Ok = false;
+  }
+
+  std::vector<benchjson::Record> Records;
+  benchjson::Record R;
+  R.Dims = "q64";
+  R.Direction = "higher";
+  R.Op = "cascade_cheap_hit_rate";
+  R.NsPerOp = CheapHitRate;
+  Records.push_back(R);
+  R.Op = "cascade_qps";
+  R.NsPerOp = CascadeQps;
+  Records.push_back(R);
+  R.Op = "cascade_direct_qps";
+  R.NsPerOp = DirectQps;
+  Records.push_back(R);
+  benchjson::write("BENCH_cascade.json", Records);
+
+  std::printf("%s\n", Ok ? "OK" : "FAILED");
+  return Ok ? 0 : 1;
+}

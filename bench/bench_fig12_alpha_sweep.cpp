@@ -55,7 +55,8 @@ int main() {
       Config.Phase1Method = Sweep.Phase1;
       Config.Phase2Method = Sweep.Phase2;
       Config.Alpha1 = Alpha;
-      Config.UseBoxComponent = Sweep.UseBox;
+      Config.Domain =
+          Sweep.UseBox ? VerifierDomain::CHZono : VerifierDomain::Zono;
       Config.LambdaOptLevel = 0; // Sweep cost control.
       // Non-contracting (alpha, method) pairs burn the full budget per
       // sample; cap it (containment, when it happens, comes early).

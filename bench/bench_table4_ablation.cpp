@@ -42,7 +42,7 @@ int main() {
   }
   {
     CraftConfig C = Ref;
-    C.UseBoxComponent = false;
+    C.Domain = VerifierDomain::Zono;
     Rows.push_back({"No Box component", C});
   }
   {

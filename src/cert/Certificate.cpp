@@ -59,7 +59,9 @@ uint64_t craft::hashModel(const MonDeq &Model) {
 namespace {
 
 constexpr uint32_t CertMagic = 0x43524343; // "CRCC"
-constexpr uint32_t CertVersion = 1;
+// v2: the replay domain (one byte after the target class) joined the
+// witness so checkers replay the recipe in the domain that certified.
+constexpr uint32_t CertVersion = 2;
 
 bool writeVectorRaw(std::FILE *F, const Vector &V) {
   uint64_t N = V.size();
@@ -124,6 +126,7 @@ bool craft::saveCertificate(const RobustnessCertificate &Cert,
   if (!F)
     return false;
   int32_t Target = Cert.TargetClass;
+  uint8_t Domain = static_cast<uint8_t>(Cert.Domain);
   uint8_t M1 = static_cast<uint8_t>(Cert.Phase1Method);
   uint8_t M2 = static_cast<uint8_t>(Cert.Phase2Method);
   int32_t Steps1 = Cert.ContainSteps, Steps2 = Cert.Phase2Steps;
@@ -133,6 +136,7 @@ bool craft::saveCertificate(const RobustnessCertificate &Cert,
       std::fwrite(&Cert.ModelHash, sizeof(Cert.ModelHash), 1, F) == 1 &&
       writeVectorRaw(F, Cert.InLo) && writeVectorRaw(F, Cert.InHi) &&
       std::fwrite(&Target, sizeof(Target), 1, F) == 1 &&
+      std::fwrite(&Domain, sizeof(Domain), 1, F) == 1 &&
       writeZonotope(F, Cert.Outer) &&
       std::fwrite(&M1, sizeof(M1), 1, F) == 1 &&
       std::fwrite(&Cert.Alpha1, sizeof(Cert.Alpha1), 1, F) == 1 &&
@@ -153,7 +157,7 @@ craft::loadCertificate(const std::string &Path) {
   RobustnessCertificate C;
   uint32_t Magic = 0, Version = 0;
   int32_t Target = 0, Steps1 = 0, Steps2 = 0;
-  uint8_t M1 = 0, M2 = 0;
+  uint8_t Domain = 0, M1 = 0, M2 = 0;
   bool Ok =
       std::fread(&Magic, sizeof(Magic), 1, F) == 1 &&
       std::fread(&Version, sizeof(Version), 1, F) == 1 &&
@@ -161,6 +165,10 @@ craft::loadCertificate(const std::string &Path) {
       std::fread(&C.ModelHash, sizeof(C.ModelHash), 1, F) == 1 &&
       readVectorRaw(F, C.InLo) && readVectorRaw(F, C.InHi) &&
       std::fread(&Target, sizeof(Target), 1, F) == 1 &&
+      std::fread(&Domain, sizeof(Domain), 1, F) == 1 &&
+      // Zonotope family only: the replay machinery has no Box form.
+      (Domain == static_cast<uint8_t>(VerifierDomain::CHZono) ||
+       Domain == static_cast<uint8_t>(VerifierDomain::Zono)) &&
       readZonotope(F, C.Outer) && std::fread(&M1, sizeof(M1), 1, F) == 1 &&
       M1 <= 1 && std::fread(&C.Alpha1, sizeof(C.Alpha1), 1, F) == 1 &&
       std::fread(&Steps1, sizeof(Steps1), 1, F) == 1 && Steps1 >= 1 &&
@@ -172,6 +180,7 @@ craft::loadCertificate(const std::string &Path) {
   if (!Ok)
     return std::nullopt;
   C.TargetClass = Target;
+  C.Domain = static_cast<VerifierDomain>(Domain);
   C.Phase1Method = static_cast<Splitting>(M1);
   C.Phase2Method = static_cast<Splitting>(M2);
   C.ContainSteps = Steps1;

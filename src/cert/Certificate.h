@@ -34,6 +34,7 @@
 #define CRAFT_CERT_CERTIFICATE_H
 
 #include "domains/CHZonotope.h"
+#include "domains/DomainConcept.h"
 #include "nn/Solvers.h"
 
 #include <optional>
@@ -48,6 +49,10 @@ struct RobustnessCertificate {
   /// The verified query: box precondition and target class.
   Vector InLo, InHi;
   int TargetClass = 0;
+  /// Zonotope-family domain the checker replays the recipe in (the
+  /// certifying cascade rung). Box never appears: the witness machinery
+  /// is zonotope-based, so Box certifications re-prove in CH-Zonotope.
+  VerifierDomain Domain = VerifierDomain::CHZono;
 
   /// Phase-1 witness: ContainSteps applications of (Phase1Method, Alpha1)
   /// starting from Outer must land inside Outer.

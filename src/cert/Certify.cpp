@@ -41,7 +41,7 @@ std::optional<CHZonotope> findContainedState(const MonDeq &Model,
         WAdd *= 1.2;
       }
     }
-    S = Solver1.step(S, 1.0, Config.UseBoxComponent);
+    S = Solver1.step(S, 1.0, absorbBoxFor(Config.Domain));
     for (const ProperState &PS : History)
       if (containsCH(PS.Z, PS.InvGens, S).Contained)
         return S;
@@ -81,6 +81,11 @@ craft::certifyRegion(const MonDeq &Model, const Vector &InLo,
   Cert.InLo = InLo;
   Cert.InHi = InHi;
   Cert.TargetClass = TargetClass;
+  // The witness is a zonotope, so a Box-domain run (whose containment
+  // search above already ran the CH machinery) records CH-Zonotope.
+  Cert.Domain = Config.Domain == VerifierDomain::Box
+                    ? VerifierDomain::CHZono
+                    : Config.Domain;
   Cert.Outer = Witness.Z;
   Cert.Phase1Method = Config.Phase1Method;
   Cert.Alpha1 = Solver1.alpha();

@@ -73,14 +73,14 @@ StepMaps buildStepMaps(const MonDeq &Model, Splitting Method, double Alpha,
 }
 
 CHZonotope stepOnce(const StepMaps &Maps, const CHZonotope &S,
-                    double LambdaScale) {
+                    double LambdaScale, bool AbsorbIntoBox) {
   Matrix Identity = Matrix::identity(Maps.StateDim);
   std::pair<const Matrix *, const CHZonotope *> Terms[] = {
       {&Maps.StateMatrix, &S}, {&Identity, &Maps.InputContrib}};
   CHZonotope Pre = CHZonotope::linearCombine(Terms, Maps.Offset);
   switch (Maps.Act) {
   case ActivationKind::ReLU:
-    return Pre.reluPrefix(Maps.LatentDim, Vector(), /*AbsorbIntoBox=*/true,
+    return Pre.reluPrefix(Maps.LatentDim, Vector(), AbsorbIntoBox,
                           LambdaScale);
   case ActivationKind::Sigmoid:
     return applyProxActivationPrefix(Pre, SmoothActivation::Sigmoid,
@@ -169,10 +169,15 @@ CheckReport craft::checkCertificate(const MonDeq &Model,
       Cert.Outer.dim() != ExpectDim ||
       Cert.Outer.numGenerators() != ExpectDim || Cert.TargetClass < 0 ||
       (size_t)Cert.TargetClass >= Model.outputDim() || Cert.Alpha1 <= 0.0 ||
-      Cert.ContainSteps < 1) {
+      Cert.ContainSteps < 1 || Cert.Domain == VerifierDomain::Box) {
     Report.Stage = "recipe";
     return Report;
   }
+  // Replay in the domain that certified: with the box component off
+  // (classic Zonotope) the ReLU mints fresh error columns instead of
+  // absorbing nonlinearity into the box radius. Both transformers are
+  // sound, so the domain only has to match the recipe, not be trusted.
+  const bool AbsorbIntoBox = absorbBoxFor(Cert.Domain);
   // Phase-2 preservation preconditions: FB needs alpha in [0, 1]
   // (Thm 5.1 / the prox resolvent identity); PR preserves fixpoints only
   // at the phase-1 step size (its auxiliary state depends on alpha).
@@ -196,7 +201,7 @@ CheckReport craft::checkCertificate(const MonDeq &Model,
   }
   CHZonotope S = Cert.Outer;
   for (int Step = 0; Step < Cert.ContainSteps; ++Step)
-    S = stepOnce(Phase1, S, 1.0);
+    S = stepOnce(Phase1, S, 1.0, AbsorbIntoBox);
 
   const Matrix &A = Cert.Outer.generators();
   LuDecomposition Lu(A);
@@ -306,7 +311,7 @@ CheckReport craft::checkCertificate(const MonDeq &Model,
                         : buildStepMaps(Model, Cert.Phase2Method,
                                         Cert.Alpha2, X);
   for (int Step = 1; Step <= Cert.Phase2Steps; ++Step) {
-    S2 = stepOnce(Phase2, S2, Cert.LambdaScale);
+    S2 = stepOnce(Phase2, S2, Cert.LambdaScale, AbsorbIntoBox);
     if (checkMargins(S2)) {
       Report.Ok = true;
       Report.Stage = "ok";

@@ -155,9 +155,8 @@ IntervalVector AbstractSolver::zPartInterval(const IntervalVector &State) const 
   return State.slice(0, LatentDim);
 }
 
-/// Margin rows D with D_i = V_t - V_i for rivals i != t, plus offsets.
-static void marginSystem(const MonDeq &Model, int TargetClass, Matrix &D,
-                         Vector &Off) {
+void craft::classificationMarginSystem(const MonDeq &Model, int TargetClass,
+                                       Matrix &D, Vector &Off) {
   const size_t R = Model.outputDim();
   const size_t P = Model.latentDim();
   assert(R >= 2 && "classification margins need at least two classes; "
@@ -175,22 +174,4 @@ static void marginSystem(const MonDeq &Model, int TargetClass, Matrix &D,
     Off[Row] = Model.biasY()[TargetClass] - Model.biasY()[I];
     ++Row;
   }
-}
-
-Vector craft::classificationMargins(const MonDeq &Model, const CHZonotope &Z,
-                                    int TargetClass) {
-  Matrix D;
-  Vector Off;
-  marginSystem(Model, TargetClass, D, Off);
-  CHZonotope Y = Z.affine(D, Off, BoxPolicy::IntervalMap);
-  return Y.lowerBounds();
-}
-
-Vector craft::classificationMargins(const MonDeq &Model,
-                                    const IntervalVector &Z,
-                                    int TargetClass) {
-  Matrix D;
-  Vector Off;
-  marginSystem(Model, TargetClass, D, Off);
-  return Z.affine(D, Off).lowerBounds();
 }

@@ -31,6 +31,7 @@
 #define CRAFT_CORE_ABSTRACTSOLVER_H
 
 #include "domains/CHZonotope.h"
+#include "domains/DomainConcept.h"
 #include "domains/Interval.h"
 #include "nn/Solvers.h"
 
@@ -84,14 +85,35 @@ private:
   IntervalVector InputContribIv;
 };
 
+/// Margin rows D with D_i = V_t - V_i for rivals i != t, plus offsets —
+/// the one linear system every domain's margin evaluation shares.
+void classificationMarginSystem(const MonDeq &Model, int TargetClass,
+                                Matrix &D, Vector &Off);
+
 /// Lower bounds on the classification margins y_t - y_i for all rivals
-/// i != t, evaluated exactly (as one affine map) on the z-part abstraction.
-/// Positive everywhere means the postcondition "class t" holds (Alg. 1
-/// line 13).
-Vector classificationMargins(const MonDeq &Model, const CHZonotope &Z,
-                             int TargetClass);
-Vector classificationMargins(const MonDeq &Model, const IntervalVector &Z,
-                             int TargetClass);
+/// i != t, evaluated on the z-part abstraction in domain \p Dom (exactly,
+/// as one affine map, for the zonotope family; by interval arithmetic for
+/// Box). Positive everywhere means the postcondition "class t" holds
+/// (Alg. 1 line 13).
+template <class Dom>
+Vector classificationMarginsIn(const MonDeq &Model,
+                               const typename Dom::State &Z, int TargetClass) {
+  Matrix D;
+  Vector Off;
+  classificationMarginSystem(Model, TargetClass, D, Off);
+  return Dom::marginLowerBounds(Z, D, Off);
+}
+
+/// Domain-deducing conveniences (the historic overload set; callers that
+/// already know the domain statically should prefer the template above).
+inline Vector classificationMargins(const MonDeq &Model, const CHZonotope &Z,
+                                    int TargetClass) {
+  return classificationMarginsIn<CHZonoDomain>(Model, Z, TargetClass);
+}
+inline Vector classificationMargins(const MonDeq &Model,
+                                    const IntervalVector &Z, int TargetClass) {
+  return classificationMarginsIn<BoxDomain>(Model, Z, TargetClass);
+}
 
 } // namespace craft
 

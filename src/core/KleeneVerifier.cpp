@@ -2,8 +2,6 @@
 
 #include "core/KleeneVerifier.h"
 
-#include "linalg/Kernels.h"
-#include "linalg/Workspace.h"
 #include "nn/Solvers.h"
 #include "support/Telemetry.h"
 #include "support/Timer.h"
@@ -19,6 +17,97 @@ namespace {
 /// craft.iterations for the ablation engine).
 const telemetry::Histogram KleeneIterationsHist =
     telemetry::histogramMetric("kleene.iterations");
+
+/// Kleene iteration with semantic unrolling, generic over the abstract
+/// domain the accumulator lives in (see domains/DomainConcept.h).
+template <class Dom>
+KleeneResult kleeneRegion(const MonDeq &Model, const KleeneConfig &Config,
+                          const Vector &InLo, const Vector &InHi,
+                          int TargetClass) {
+  static_assert(AbstractDomain<Dom, AbstractSolver>,
+                "domain traits must satisfy the portfolio concept");
+  WallTimer Timer;
+  KleeneResult Res;
+
+  CHZonotope X = CHZonotope::fromBox(InLo, InHi);
+  AbstractSolver Solver(Model, Config.Method, Config.Alpha, X);
+  // Kleene starts from the loop entry state s_0 = 0 (it abstracts all
+  // iteration states, not just fixpoints).
+  typename Dom::State S =
+      Dom::initial(Solver, Vector(Model.latentDim(), 0.0));
+  ConsolidationBasis Basis(Solver.stateDim(), /*RefreshEvery=*/10);
+
+  // The quasi-join needs the zonotope family's shared-error-term columns;
+  // on Box the interval hull IS the exact join, so fall back to it.
+  const bool QuasiJoin =
+      Config.Join == KleeneJoin::Quasi && Dom::HasConsolidation;
+
+  for (int N = 1; N <= Config.MaxIterations; ++N) {
+    if (Config.Control.stopRequested())
+      break; // Deadline/cancel: report non-convergence, never a verdict.
+    TRACE_SPAN("kleene.iterate");
+    Res.Iterations = N;
+    typename Dom::State Next = Dom::step(Solver, S, 1.0);
+    if (N <= Config.UnrollSteps) {
+      // Semantic unrolling: no join for the first k iterations.
+      S = std::move(Next);
+      continue;
+    }
+
+    if (!QuasiJoin) {
+      // Classic Kleene on the hull accumulator: terminate at the
+      // order-theoretic post-fixpoint S >= S |_| f#(S), which is exact on
+      // intervals.
+      IntervalVector Hull =
+          IntervalVector::join(Dom::hull(S), Dom::hull(Next));
+      if (N > Config.UnrollSteps + 1 && Dom::hull(S).contains(Hull)) {
+        Res.Converged = true;
+        break;
+      }
+      S = Dom::fromHull(Hull);
+    } else if constexpr (Dom::HasConsolidation) {
+      // Quasi-join accumulator (non-lattice domain): detect the
+      // post-fixpoint by probing one step inside the consolidated
+      // accumulator. The accumulated join residuals live in the Box
+      // component, so fold them into generators first; otherwise the
+      // Thm 4.2 check has no generator slack to cover the probe.
+      S = Dom::join(S, Next);
+      typename Dom::HistoryEntry PS =
+          Dom::consolidate(S.boxCastToGenerators(), Basis, 1e-3, 1e-2);
+      typename Dom::State Probe = Dom::step(Solver, PS.Z, 1.0);
+      if (Dom::contains(PS, Probe)) {
+        Res.Converged = true;
+        S = PS.Z;
+        break;
+      }
+    }
+
+    // Widening: after enough joins, grow the accumulator so the ascending
+    // chain stabilizes (Cousot & Cousot 1992).
+    if (N > Config.UnrollSteps + Config.WidenAfter)
+      S = Dom::widen(S, Config.WideningFactor);
+
+    if (Dom::widthInf(S) > Config.AbortWidth)
+      break;
+  }
+  KleeneIterationsHist.observe(static_cast<uint64_t>(Res.Iterations));
+
+  if (!Res.Converged) {
+    Res.TimeSeconds = Timer.seconds();
+    return Res;
+  }
+
+  typename Dom::State Z = Dom::zPart(Solver, S);
+  Res.FixpointHull = Dom::hull(Z);
+  Vector Margins = classificationMarginsIn<Dom>(Model, Z, TargetClass);
+  double MinMargin = 1e300;
+  for (double M : Margins)
+    MinMargin = std::min(MinMargin, M);
+  Res.BestMargin = MinMargin;
+  Res.Certified = MinMargin > 0.0;
+  Res.TimeSeconds = Timer.seconds();
+  return Res;
+}
 
 } // namespace
 
@@ -38,89 +127,7 @@ KleeneResult KleeneVerifier::verifyRobustness(const Vector &X, int TargetClass,
 KleeneResult KleeneVerifier::verifyRegion(const Vector &InLo,
                                           const Vector &InHi,
                                           int TargetClass) const {
-  WallTimer Timer;
-  KleeneResult Res;
-
-  CHZonotope X = CHZonotope::fromBox(InLo, InHi);
-  AbstractSolver Solver(Model, Config.Method, Config.Alpha, X);
-  // Kleene starts from the loop entry state s_0 = 0 (it abstracts all
-  // iteration states, not just fixpoints).
-  CHZonotope S = Solver.initialState(Vector(Model.latentDim(), 0.0));
-  ConsolidationBasis Basis(Solver.stateDim(), /*RefreshEvery=*/10);
-
-  for (int N = 1; N <= Config.MaxIterations; ++N) {
-    if (Config.Control.stopRequested())
-      break; // Deadline/cancel: report non-convergence, never a verdict.
-    TRACE_SPAN("kleene.iterate");
-    Res.Iterations = N;
-    CHZonotope Next = Solver.step(S);
-    if (N <= Config.UnrollSteps) {
-      // Semantic unrolling: no join for the first k iterations.
-      S = std::move(Next);
-      continue;
-    }
-
-    if (Config.Join == KleeneJoin::IntervalHull) {
-      // Classic Kleene on the hull accumulator: terminate at the
-      // order-theoretic post-fixpoint S >= S |_| f#(S), which is exact on
-      // intervals.
-      IntervalVector Hull =
-          IntervalVector::join(S.intervalHull(), Next.intervalHull());
-      if (N > Config.UnrollSteps + 1 && S.intervalHull().contains(Hull)) {
-        Res.Converged = true;
-        break;
-      }
-      S = CHZonotope(Hull.center(), Matrix(S.dim(), 0), {}, Hull.radius());
-    } else {
-      // Quasi-join accumulator (non-lattice domain): detect the
-      // post-fixpoint by probing one step inside the consolidated
-      // accumulator. The accumulated join residuals live in the Box
-      // component, so fold them into generators first; otherwise the
-      // Thm 4.2 check has no generator slack to cover the probe.
-      S = CHZonotope::join(S, Next);
-      ProperState PS =
-          consolidateProper(S.boxCastToGenerators(), Basis, 1e-3, 1e-2);
-      CHZonotope Probe = Solver.step(PS.Z);
-      if (containsCH(PS.Z, PS.InvGens, Probe).Contained) {
-        Res.Converged = true;
-        S = PS.Z;
-        break;
-      }
-    }
-
-    // Widening: after enough joins, grow the accumulator so the ascending
-    // chain stabilizes (Cousot & Cousot 1992). Radii live in workspace
-    // scratch — these checks run every iteration.
-    WorkspaceScope WS;
-    if (N > Config.UnrollSteps + Config.WidenAfter) {
-      Vector Widened = S.boxRadius();
-      VectorView Radius = WS.vector(S.dim());
-      S.concretizationRadiusInto(Radius);
-      for (size_t I = 0; I < Widened.size(); ++I)
-        Widened[I] += Config.WideningFactor * Radius[I] + 1e-9;
-      S = std::move(S).withBoxRadius(std::move(Widened));
-    }
-
-    VectorView Radius = WS.vector(S.dim());
-    S.concretizationRadiusInto(Radius);
-    if (kernels::normInf(Radius) > Config.AbortWidth)
-      break;
-  }
-  KleeneIterationsHist.observe(static_cast<uint64_t>(Res.Iterations));
-
-  if (!Res.Converged) {
-    Res.TimeSeconds = Timer.seconds();
-    return Res;
-  }
-
-  CHZonotope Z = Solver.zPart(S);
-  Res.FixpointHull = Z.intervalHull();
-  Vector Margins = classificationMargins(Model, Z, TargetClass);
-  double MinMargin = 1e300;
-  for (double M : Margins)
-    MinMargin = std::min(MinMargin, M);
-  Res.BestMargin = MinMargin;
-  Res.Certified = MinMargin > 0.0;
-  Res.TimeSeconds = Timer.seconds();
-  return Res;
+  return withDomain(Config.Domain, [&](auto Dom) {
+    return kleeneRegion<decltype(Dom)>(Model, Config, InLo, InHi, TargetClass);
+  });
 }

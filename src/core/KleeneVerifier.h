@@ -21,6 +21,7 @@
 #define CRAFT_CORE_KLEENEVERIFIER_H
 
 #include "core/AbstractSolver.h"
+#include "domains/DomainConcept.h"
 #include "domains/OrderReduction.h"
 #include "support/Deadline.h"
 
@@ -45,6 +46,10 @@ struct KleeneConfig {
   /// what lets the joined chain stabilize at all.
   Splitting Method = Splitting::ForwardBackward;
   double Alpha = 0.1;
+  /// Abstract domain the accumulator lives in. The Quasi join needs the
+  /// zonotope family's shared-error-term structure; Box silently uses the
+  /// interval hull (which is its exact join anyway).
+  VerifierDomain Domain = VerifierDomain::CHZono;
   KleeneJoin Join = KleeneJoin::IntervalHull;
   int UnrollSteps = 2; ///< Semantic unrolling depth k (Blanchet et al.).
   int MaxIterations = 200;

@@ -32,9 +32,9 @@ CraftResult CraftVerifier::verifyRobustness(const Vector &X, int TargetClass,
 
 CraftResult CraftVerifier::verifyRegion(const Vector &InLo, const Vector &InHi,
                                         int TargetClass) const {
-  return Config.Domain == VerifierDomain::CHZono
-             ? verifyCH(InLo, InHi, TargetClass)
-             : verifyBox(InLo, InHi, TargetClass);
+  return withDomain(Config.Domain, [&](auto Dom) {
+    return verifyImpl<decltype(Dom)>(InLo, InHi, TargetClass);
+  });
 }
 
 namespace {
@@ -81,8 +81,11 @@ private:
 
 } // namespace
 
-CraftResult CraftVerifier::verifyCH(const Vector &InLo, const Vector &InHi,
-                                    int TargetClass) const {
+template <class Dom>
+CraftResult CraftVerifier::verifyImpl(const Vector &InLo, const Vector &InHi,
+                                      int TargetClass) const {
+  static_assert(AbstractDomain<Dom, AbstractSolver>,
+                "domain traits must satisfy the portfolio concept");
   WallTimer Timer;
   TRACE_SPAN("craft.verify");
   CraftResult Res;
@@ -93,48 +96,59 @@ CraftResult CraftVerifier::verifyCH(const Vector &InLo, const Vector &InHi,
       FixpointSolver(Model, Splitting::PeacemanRachford).solve(Center).Z;
 
   // Phase 1: abstract iteration until s-step containment (Thm 3.1 / B.1).
+  // Domains with consolidation machinery (the zonotope family) consolidate
+  // every r-th iteration and remember proper states; Box remembers plain
+  // state copies every iteration — its containment check is exact and
+  // needs no order reduction.
   AbstractSolver Solver1(Model, Config.Phase1Method, Config.Alpha1, X);
-  CHZonotope S = Solver1.initialState(ZStar);
+  typename Dom::State S = Dom::initial(Solver1, ZStar);
   ConsolidationBasis Basis(Solver1.stateDim(), Config.PcaRefreshEvery);
-  std::deque<ProperState> History;
+  std::deque<typename Dom::HistoryEntry> History;
 
   double WMul = 0.0, WAdd = 0.0;
   if (Config.Expansion != ExpansionSchedule::None) {
     WMul = Config.WMul;
     WAdd = Config.WAdd;
   }
-  int Consolidations = 0;
+  [[maybe_unused]] int Consolidations = 0;
   bool Contained = false;
 
   for (int N = 1; N <= Config.MaxIterations && !Contained; ++N) {
     if (Config.Control.stopRequested())
       break; // Deadline/cancel: give up containment search, stay sound.
     Res.TotalIterations = N;
-    if ((N - 1) % Config.ConsolidateEvery == 0) {
-      telemetry::PhaseTimer ConsolidatePhase(
-          telemetry::Phase::Consolidation);
-      TRACE_SPAN("craft.consolidate");
-      ProperState PS = consolidateProper(S, Basis, WMul, WAdd);
-      S = PS.Z;
-      History.push_front(std::move(PS));
+    if constexpr (Dom::HasConsolidation) {
+      if ((N - 1) % Config.ConsolidateEvery == 0) {
+        telemetry::PhaseTimer ConsolidatePhase(
+            telemetry::Phase::Consolidation);
+        TRACE_SPAN("craft.consolidate");
+        typename Dom::HistoryEntry PS =
+            Dom::consolidate(S, Basis, WMul, WAdd);
+        S = PS.Z;
+        History.push_front(std::move(PS));
+        if (History.size() > static_cast<size_t>(Config.HistorySize))
+          History.pop_back();
+        if (Config.Expansion == ExpansionSchedule::Exponential &&
+            ++Consolidations % 2 == 0) {
+          WMul *= 1.1;
+          WAdd *= 1.2;
+        }
+      }
+    } else {
+      History.push_front(S);
       if (History.size() > static_cast<size_t>(Config.HistorySize))
         History.pop_back();
-      if (Config.Expansion == ExpansionSchedule::Exponential &&
-          ++Consolidations % 2 == 0) {
-        WMul *= 1.1;
-        WAdd *= 1.2;
-      }
     }
-    S = Solver1.step(S, 1.0, Config.UseBoxComponent);
+    S = Dom::step(Solver1, S, 1.0);
     if (N % Config.ContainmentCheckEvery == 0) {
-      for (const ProperState &PS : History)
-        if (containsCH(PS.Z, PS.InvGens, S).Contained) {
+      for (const typename Dom::HistoryEntry &Prev : History)
+        if (Dom::contains(Prev, S)) {
           Contained = true;
           Res.ContainmentIteration = N;
           break;
         }
     }
-    if (S.concretizationRadius().normInf() > Config.AbortWidth)
+    if (Dom::widthInf(S) > Config.AbortWidth)
       break;
   }
   IterationsHist.observe(static_cast<uint64_t>(Res.TotalIterations));
@@ -145,199 +159,162 @@ CraftResult CraftVerifier::verifyCH(const Vector &InLo, const Vector &InHi,
     return Res;
   }
 
-  // S provably contains the true fixpoint set. Seed the result with its
-  // margins before tightening.
-  {
-    CHZonotope Z = Solver1.zPart(S);
-    MarginTracker Seed(1);
-    Seed.update(classificationMargins(Model, Z, TargetClass),
-                Z.intervalHull());
-    Res.BestMargin = Seed.best();
-    Res.Certified = Seed.certified();
-    Res.FixpointHull = Seed.bestHull();
-    if (Res.Certified) {
-      Res.TimeSeconds = Timer.seconds();
-      return Res;
-    }
-  }
-
-  // Phase 2: fixpoint-set-preserving tightening (Thm 3.3 / 5.1).
-  // PR must keep its phase-1 alpha (preservation only holds for fixed
-  // alpha); FB may use any alpha in [0,1] and is line searched.
-  auto runPhase2 = [&](const AbstractSolver &Solver2, CHZonotope S2,
-                       double LambdaScale, int MaxSteps) -> MarginTracker {
-    TRACE_SPAN("craft.phase2");
+  if constexpr (!Dom::HasConsolidation) {
+    // Phase 2 on the Box domain (PR phase-1 alpha retained; Box has no
+    // consolidation or lambda choices).
     MarginTracker Track(3 * Config.Phase2Window);
-    ConsolidationBasis Basis2(Solver2.stateDim(), Config.PcaRefreshEvery);
-    for (int Step = 0; Step < MaxSteps; ++Step) {
+    typename Dom::State Z = Dom::zPart(Solver1, S);
+    Track.update(classificationMarginsIn<Dom>(Model, Z, TargetClass),
+                 Dom::hull(Z));
+
+    for (int Step = 0; Step < Config.MaxIterations; ++Step) {
       if (Config.Control.stopRequested())
-        break; // Stop tightening; the best margin so far stands.
-      bool UsableForCertification = true;
-      if (Config.SameIterationContainment) {
-        // Ablation: certify only from states contained in their
-        // consolidated predecessor.
-        ProperState PS = [&] {
-          telemetry::PhaseTimer ConsolidatePhase(
-              telemetry::Phase::Consolidation);
-          return consolidateProper(S2, Basis2, 0.0, 0.0);
-        }();
-        CHZonotope Next =
-            Solver2.step(PS.Z, LambdaScale, Config.UseBoxComponent);
-        UsableForCertification =
-            containsCH(PS.Z, PS.InvGens, Next).Contained;
-        S2 = std::move(Next);
-      } else {
-        if (Step > 0 && Step % Config.ConsolidateEvery == 0) {
-          telemetry::PhaseTimer ConsolidatePhase(
-              telemetry::Phase::Consolidation);
-          S2 = consolidateProper(S2, Basis2, 0.0, 0.0).Z;
-        }
-        S2 = Solver2.step(S2, LambdaScale, Config.UseBoxComponent);
-      }
-      if (S2.concretizationRadius().normInf() > Config.AbortWidth)
         break;
-      if (!UsableForCertification)
-        continue;
-      CHZonotope Z = Solver2.zPart(S2);
-      if (Track.update(classificationMargins(Model, Z, TargetClass),
-                       Z.intervalHull()))
+      S = Dom::step(Solver1, S, 1.0);
+      if (Dom::widthInf(S) > Config.AbortWidth)
+        break;
+      typename Dom::State ZI = Dom::zPart(Solver1, S);
+      if (Track.update(classificationMarginsIn<Dom>(Model, ZI, TargetClass),
+                       Dom::hull(ZI)))
         break;
     }
-    return Track;
-  };
-
-  bool Phase2IsPr = Config.Phase2Method == Splitting::PeacemanRachford;
-  CHZonotope SEntry = Phase2IsPr ? S : Solver1.zPart(S);
-
-  double Alpha2 = Config.Alpha2;
-  std::unique_ptr<AbstractSolver> Solver2Storage;
-  const AbstractSolver *Solver2 = nullptr;
-  if (Phase2IsPr && Config.Phase1Method == Splitting::PeacemanRachford) {
-    Solver2 = &Solver1;
-    Alpha2 = Solver1.alpha();
-  } else if (Phase2IsPr) {
-    Solver2 = &Solver1; // Phase 1 was PR too (ctor forbids FB-then-PR).
+    Res.BestMargin = Track.best();
+    Res.Certified = Track.certified();
+    Res.FixpointHull = Track.bestHull();
+    Res.TimeSeconds = Timer.seconds();
+    return Res;
   } else {
-    // FB tightening. Adaptive line search over alpha in [0, 1] (Thm 5.1)
-    // when no fixed alpha was configured: probe a short unroll per
-    // candidate and keep the best margin.
-    if (Alpha2 < 0.0) {
-      static const double Candidates[] = {0.01, 0.02, 0.03, 0.05,
-                                          0.08, 0.12, 0.2,  0.35};
-      double BestProbe = -1e300;
-      for (double Cand : Candidates) {
+    // S provably contains the true fixpoint set. Seed the result with its
+    // margins before tightening.
+    {
+      typename Dom::State Z = Dom::zPart(Solver1, S);
+      MarginTracker Seed(1);
+      Seed.update(classificationMarginsIn<Dom>(Model, Z, TargetClass),
+                  Dom::hull(Z));
+      Res.BestMargin = Seed.best();
+      Res.Certified = Seed.certified();
+      Res.FixpointHull = Seed.bestHull();
+      if (Res.Certified) {
+        Res.TimeSeconds = Timer.seconds();
+        return Res;
+      }
+    }
+
+    // Phase 2: fixpoint-set-preserving tightening (Thm 3.3 / 5.1).
+    // PR must keep its phase-1 alpha (preservation only holds for fixed
+    // alpha); FB may use any alpha in [0,1] and is line searched.
+    auto runPhase2 = [&](const AbstractSolver &Solver2,
+                         typename Dom::State S2, double LambdaScale,
+                         int MaxSteps) -> MarginTracker {
+      TRACE_SPAN("craft.phase2");
+      MarginTracker Track(3 * Config.Phase2Window);
+      ConsolidationBasis Basis2(Solver2.stateDim(), Config.PcaRefreshEvery);
+      for (int Step = 0; Step < MaxSteps; ++Step) {
+        if (Config.Control.stopRequested())
+          break; // Stop tightening; the best margin so far stands.
+        bool UsableForCertification = true;
+        if (Config.SameIterationContainment) {
+          // Ablation: certify only from states contained in their
+          // consolidated predecessor.
+          typename Dom::HistoryEntry PS = [&] {
+            telemetry::PhaseTimer ConsolidatePhase(
+                telemetry::Phase::Consolidation);
+            return Dom::consolidate(S2, Basis2, 0.0, 0.0);
+          }();
+          typename Dom::State Next = Dom::step(Solver2, PS.Z, LambdaScale);
+          UsableForCertification = Dom::contains(PS, Next);
+          S2 = std::move(Next);
+        } else {
+          if (Step > 0 && Step % Config.ConsolidateEvery == 0) {
+            telemetry::PhaseTimer ConsolidatePhase(
+                telemetry::Phase::Consolidation);
+            S2 = Dom::consolidate(S2, Basis2, 0.0, 0.0).Z;
+          }
+          S2 = Dom::step(Solver2, S2, LambdaScale);
+        }
+        if (Dom::widthInf(S2) > Config.AbortWidth)
+          break;
+        if (!UsableForCertification)
+          continue;
+        typename Dom::State Z = Dom::zPart(Solver2, S2);
+        if (Track.update(classificationMarginsIn<Dom>(Model, Z, TargetClass),
+                         Dom::hull(Z)))
+          break;
+      }
+      return Track;
+    };
+
+    bool Phase2IsPr = Config.Phase2Method == Splitting::PeacemanRachford;
+    typename Dom::State SEntry = Phase2IsPr ? S : Dom::zPart(Solver1, S);
+
+    double Alpha2 = Config.Alpha2;
+    std::unique_ptr<AbstractSolver> Solver2Storage;
+    const AbstractSolver *Solver2 = nullptr;
+    if (Phase2IsPr && Config.Phase1Method == Splitting::PeacemanRachford) {
+      Solver2 = &Solver1;
+      Alpha2 = Solver1.alpha();
+    } else if (Phase2IsPr) {
+      Solver2 = &Solver1; // Phase 1 was PR too (ctor forbids FB-then-PR).
+    } else {
+      // FB tightening. Adaptive line search over alpha in [0, 1] (Thm 5.1)
+      // when no fixed alpha was configured: probe a short unroll per
+      // candidate and keep the best margin.
+      if (Alpha2 < 0.0) {
+        static const double Candidates[] = {0.01, 0.02, 0.03, 0.05,
+                                            0.08, 0.12, 0.2,  0.35};
+        double BestProbe = -1e300;
+        for (double Cand : Candidates) {
+          if (Config.Control.stopRequested())
+            break;
+          AbstractSolver Probe(Model, Splitting::ForwardBackward, Cand, X);
+          MarginTracker Track =
+              runPhase2(Probe, SEntry, 1.0, /*MaxSteps=*/6);
+          if (Track.best() > BestProbe) {
+            BestProbe = Track.best();
+            Alpha2 = Cand;
+          }
+        }
+      }
+      Solver2Storage = std::make_unique<AbstractSolver>(
+          Model, Splitting::ForwardBackward, Alpha2, X);
+      Solver2 = Solver2Storage.get();
+    }
+    Res.ChosenAlpha2 = Alpha2;
+
+    MarginTracker Main = runPhase2(
+        *Solver2, SEntry, 1.0,
+        std::min(Config.MaxIterations, Config.Phase2MaxIterations));
+    if (Main.best() > Res.BestMargin) {
+      Res.BestMargin = Main.best();
+      Res.FixpointHull = Main.bestHull();
+    }
+    Res.Certified = Main.certified();
+
+    // Lambda optimization (App. C): only for samples close to
+    // certification.
+    if (!Res.Certified && Config.LambdaOptLevel > 0 &&
+        Res.BestMargin > -Config.LambdaOptMarginWindow) {
+      std::vector<double> Scales =
+          Config.LambdaOptLevel >= 2
+              ? std::vector<double>{0.8, 0.9, 0.95, 1.05, 1.1, 1.25}
+              : std::vector<double>{0.9, 1.1};
+      int Steps = Config.LambdaOptLevel >= 2 ? 40 : 20;
+      for (double Scale : Scales) {
         if (Config.Control.stopRequested())
           break;
-        AbstractSolver Probe(Model, Splitting::ForwardBackward, Cand, X);
-        MarginTracker Track = runPhase2(Probe, SEntry, 1.0, /*MaxSteps=*/6);
-        if (Track.best() > BestProbe) {
-          BestProbe = Track.best();
-          Alpha2 = Cand;
+        MarginTracker Track = runPhase2(*Solver2, SEntry, Scale, Steps);
+        if (Track.best() > Res.BestMargin) {
+          Res.BestMargin = Track.best();
+          Res.FixpointHull = Track.bestHull();
+        }
+        if (Track.certified()) {
+          Res.Certified = true;
+          break;
         }
       }
     }
-    Solver2Storage = std::make_unique<AbstractSolver>(
-        Model, Splitting::ForwardBackward, Alpha2, X);
-    Solver2 = Solver2Storage.get();
-  }
-  Res.ChosenAlpha2 = Alpha2;
 
-  MarginTracker Main =
-      runPhase2(*Solver2, SEntry, 1.0,
-                std::min(Config.MaxIterations, Config.Phase2MaxIterations));
-  if (Main.best() > Res.BestMargin) {
-    Res.BestMargin = Main.best();
-    Res.FixpointHull = Main.bestHull();
-  }
-  Res.Certified = Main.certified();
-
-  // Lambda optimization (App. C): only for samples close to certification.
-  if (!Res.Certified && Config.LambdaOptLevel > 0 &&
-      Res.BestMargin > -Config.LambdaOptMarginWindow) {
-    std::vector<double> Scales =
-        Config.LambdaOptLevel >= 2
-            ? std::vector<double>{0.8, 0.9, 0.95, 1.05, 1.1, 1.25}
-            : std::vector<double>{0.9, 1.1};
-    int Steps = Config.LambdaOptLevel >= 2 ? 40 : 20;
-    for (double Scale : Scales) {
-      if (Config.Control.stopRequested())
-        break;
-      MarginTracker Track = runPhase2(*Solver2, SEntry, Scale, Steps);
-      if (Track.best() > Res.BestMargin) {
-        Res.BestMargin = Track.best();
-        Res.FixpointHull = Track.bestHull();
-      }
-      if (Track.certified()) {
-        Res.Certified = true;
-        break;
-      }
-    }
-  }
-
-  Res.TimeSeconds = Timer.seconds();
-  return Res;
-}
-
-CraftResult CraftVerifier::verifyBox(const Vector &InLo, const Vector &InHi,
-                                     int TargetClass) const {
-  WallTimer Timer;
-  TRACE_SPAN("craft.verify");
-  CraftResult Res;
-
-  CHZonotope X = CHZonotope::fromBox(InLo, InHi);
-  Vector Center = 0.5 * (InLo + InHi);
-  Vector ZStar =
-      FixpointSolver(Model, Splitting::PeacemanRachford).solve(Center).Z;
-
-  AbstractSolver Solver1(Model, Config.Phase1Method, Config.Alpha1, X);
-  IntervalVector S = Solver1.initialStateInterval(ZStar);
-  std::deque<IntervalVector> History;
-  bool Contained = false;
-
-  for (int N = 1; N <= Config.MaxIterations && !Contained; ++N) {
-    if (Config.Control.stopRequested())
-      break;
-    Res.TotalIterations = N;
-    History.push_front(S);
-    if (History.size() > static_cast<size_t>(Config.HistorySize))
-      History.pop_back();
-    S = Solver1.stepInterval(S);
-    for (const IntervalVector &Prev : History)
-      if (Prev.contains(S)) {
-        Contained = true;
-        Res.ContainmentIteration = N;
-        break;
-      }
-    if (S.radius().normInf() > Config.AbortWidth)
-      break;
-  }
-  IterationsHist.observe(static_cast<uint64_t>(Res.TotalIterations));
-
-  Res.Containment = Contained;
-  if (!Contained) {
     Res.TimeSeconds = Timer.seconds();
     return Res;
   }
-
-  MarginTracker Track(3 * Config.Phase2Window);
-  IntervalVector Z = Solver1.zPartInterval(S);
-  Track.update(classificationMargins(Model, Z, TargetClass), Z);
-
-  // Phase 2 on the Box domain (PR phase-1 alpha retained; Box has no
-  // consolidation or lambda choices).
-  for (int Step = 0; Step < Config.MaxIterations; ++Step) {
-    if (Config.Control.stopRequested())
-      break;
-    S = Solver1.stepInterval(S);
-    if (S.radius().normInf() > Config.AbortWidth)
-      break;
-    IntervalVector ZI = Solver1.zPartInterval(S);
-    if (Track.update(classificationMargins(Model, ZI, TargetClass), ZI))
-      break;
-  }
-  Res.BestMargin = Track.best();
-  Res.Certified = Track.certified();
-  Res.FixpointHull = Track.bestHull();
-  Res.TimeSeconds = Timer.seconds();
-  return Res;
 }

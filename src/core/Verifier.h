@@ -26,16 +26,11 @@
 #define CRAFT_CORE_VERIFIER_H
 
 #include "core/AbstractSolver.h"
+#include "domains/DomainConcept.h"
 #include "domains/OrderReduction.h"
 #include "support/Deadline.h"
 
 namespace craft {
-
-/// Abstract domain selector (Table 1 / Fig. 13 comparisons).
-enum class VerifierDomain {
-  CHZono, ///< CH-Zonotope (the paper's domain).
-  Box,    ///< Interval domain ("No Zono component" ablation).
-};
 
 /// Expansion schedule for the consolidation coefficients (App. D.2).
 enum class ExpansionSchedule {
@@ -75,8 +70,6 @@ struct CraftConfig {
   double WMul = 1e-3;
   double WAdd = 1e-2;
 
-  /// Ablation "No Box component": classic Zonotope ReLU (fresh columns).
-  bool UseBoxComponent = true;
   /// Ablation "Same iter. containment": phase 2 may only certify from
   /// states contained in their predecessor.
   bool SameIterationContainment = false;
@@ -127,10 +120,11 @@ public:
                            int TargetClass) const;
 
 private:
-  CraftResult verifyCH(const Vector &InLo, const Vector &InHi,
-                       int TargetClass) const;
-  CraftResult verifyBox(const Vector &InLo, const Vector &InHi,
-                        int TargetClass) const;
+  /// Algorithm 1, generic over the abstract domain \p Dom (one of the
+  /// \ref AbstractDomain traits types from domains/DomainConcept.h).
+  template <class Dom>
+  CraftResult verifyImpl(const Vector &InLo, const Vector &InHi,
+                         int TargetClass) const;
 
   const MonDeq &Model;
   CraftConfig Config;

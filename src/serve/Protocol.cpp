@@ -597,6 +597,13 @@ Value serve::encodeResult(const WireResult &Result) {
   V.set("attack_seed", Value::string(std::to_string(Out.AttackSeed)));
   V.set("detail", Value::string(Out.Detail));
   V.set("cached", Value::boolean(Result.Cached));
+  // Cascade attribution, present only when a cascade walk actually ran —
+  // single-rung envelopes stay byte-identical to earlier releases.
+  if (!Out.CascadeRung.empty() || Out.CascadeEscalations > 0) {
+    V.set("cascade_rung", Value::string(Out.CascadeRung));
+    V.set("cascade_escalations",
+          Value::number(static_cast<double>(Out.CascadeEscalations)));
+  }
   if (Out.Phases.Populated) {
     // Optional phase breakdown (absent when the server runs with
     // CRAFT_TELEMETRY=0). Appended after the long-standing fields so
@@ -611,6 +618,14 @@ Value serve::encodeResult(const WireResult &Result) {
     T.set("split_ms", Value::number(Ph.SplitMs));
     T.set("pgd_ms", Value::number(Ph.PgdMs));
     T.set("certificate_ms", Value::number(Ph.CertificateMs));
+    // Per-rung cascade slices, present only for cascade walks (same
+    // envelope-stability rule as the cascade_* fields above).
+    if (Ph.RungBoxMs > 0.0)
+      T.set("rung_box_ms", Value::number(Ph.RungBoxMs));
+    if (Ph.RungZonoMs > 0.0)
+      T.set("rung_zono_ms", Value::number(Ph.RungZonoMs));
+    if (Ph.RungChzonoMs > 0.0)
+      T.set("rung_chzono_ms", Value::number(Ph.RungChzonoMs));
     T.set("solver_iterations",
           Value::number(static_cast<double>(Ph.SolverIterations)));
     V.set("timings", std::move(T));
@@ -652,6 +667,9 @@ serve::decodeResult(const Value &V) {
   R.Outcome.AttackSeed = S;
   R.Outcome.Detail = V.stringOr("detail", "");
   R.Cached = V.boolOr("cached", false);
+  R.Outcome.CascadeRung = V.stringOr("cascade_rung", "");
+  R.Outcome.CascadeEscalations =
+      static_cast<int>(V.numberOr("cascade_escalations", 0.0));
   if (const Value *T = V.find("timings")) {
     if (!T->isObject())
       return std::nullopt;
@@ -665,6 +683,9 @@ serve::decodeResult(const Value &V) {
     Ph.SplitMs = T->numberOr("split_ms", 0.0);
     Ph.PgdMs = T->numberOr("pgd_ms", 0.0);
     Ph.CertificateMs = T->numberOr("certificate_ms", 0.0);
+    Ph.RungBoxMs = T->numberOr("rung_box_ms", 0.0);
+    Ph.RungZonoMs = T->numberOr("rung_zono_ms", 0.0);
+    Ph.RungChzonoMs = T->numberOr("rung_chzono_ms", 0.0);
     Ph.SolverIterations =
         static_cast<uint64_t>(T->numberOr("solver_iterations", 0.0));
   }

@@ -89,6 +89,12 @@ public:
     /// ResultCache sizing.
     size_t CacheCapacity = 4096;
     size_t CacheShards = 8;
+    /// Server-default cascade policy, adopted by craft-engine queries
+    /// whose spec leaves `cascade` unset (an explicit `cascade off`
+    /// sticks). Applied during admission BEFORE the cache key is built,
+    /// so a normalized query and its explicit twin share one cache
+    /// entry. Unset = no default (historic single-rung behavior).
+    CascadePolicy DefaultCascade;
     /// Fuse co-batched queries' layer gemms through the batched kernel
     /// tier (linalg/KernelsBatched.h): each batch's workers rendezvous
     /// their gemms into shared-pack waves. Outcomes are byte-identical

@@ -1,0 +1,97 @@
+//===- tool/Cascade.cpp ---------------------------------------------------===//
+
+#include "tool/Cascade.h"
+
+#include <algorithm>
+
+using namespace craft;
+
+std::optional<CascadePolicy> CascadePolicy::parse(std::string_view Text) {
+  CascadePolicy Policy;
+  if (Text == "off") {
+    Policy.Mode = CascadeMode::Off;
+    return Policy;
+  }
+  if (Text == "adapt") {
+    Policy.Mode = CascadeMode::Adapt;
+    return Policy;
+  }
+  if (Text == "full") {
+    Policy.Mode = CascadeMode::Fixed;
+    Policy.Rungs = {VerifierDomain::Box, VerifierDomain::Zono};
+    return Policy;
+  }
+  // Comma-separated rung list, e.g. "box,zono".
+  Policy.Mode = CascadeMode::Fixed;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Comma = Text.find(',', Pos);
+    std::string_view Name = Text.substr(
+        Pos, Comma == std::string_view::npos ? std::string_view::npos
+                                             : Comma - Pos);
+    std::optional<VerifierDomain> D = parseVerifierDomain(Name);
+    if (!D)
+      return std::nullopt; // Unknown rung name (or an empty segment).
+    if (std::find(Policy.Rungs.begin(), Policy.Rungs.end(), *D) !=
+        Policy.Rungs.end())
+      return std::nullopt; // Duplicate rung.
+    Policy.Rungs.push_back(*D);
+    if (Comma == std::string_view::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  if (Policy.Rungs.empty())
+    return std::nullopt;
+  return Policy;
+}
+
+std::string CascadePolicy::render() const {
+  switch (Mode) {
+  case CascadeMode::Unset:
+  case CascadeMode::Off:
+    return "off";
+  case CascadeMode::Adapt:
+    return "adapt";
+  case CascadeMode::Fixed:
+    break;
+  }
+  std::string Out;
+  for (VerifierDomain D : Rungs) {
+    if (!Out.empty())
+      Out += ',';
+    Out += verifierDomainName(D);
+  }
+  return Out;
+}
+
+std::vector<VerifierDomain>
+CascadePolicy::resolve(VerifierDomain Final, size_t LatentDim) const {
+  std::vector<VerifierDomain> Walk;
+  switch (Mode) {
+  case CascadeMode::Unset:
+  case CascadeMode::Off:
+    break;
+  case CascadeMode::Fixed:
+    // Keep request order, but only rungs strictly cheaper than the final
+    // domain — a rung at or above the final's precision could only repeat
+    // (or exceed) the work the mandatory last rung does anyway.
+    for (VerifierDomain D : Rungs)
+      if (domainRank(D) < domainRank(Final))
+        Walk.push_back(D);
+    break;
+  case CascadeMode::Adapt:
+    // Size heuristic: a Box probe costs O(p^2) per step and wins big when
+    // it certifies, so always try it on small problems; a Zonotope probe
+    // only pays off when the state is small enough that fresh-column
+    // growth stays cheap. Thresholds are in latent dimensions.
+    if (LatentDim <= 256 && domainRank(VerifierDomain::Box) <
+                                domainRank(Final))
+      Walk.push_back(VerifierDomain::Box);
+    if (LatentDim <= 1024 && domainRank(VerifierDomain::Zono) <
+                                 domainRank(Final))
+      Walk.push_back(VerifierDomain::Zono);
+    break;
+  }
+  Walk.push_back(Final);
+  return Walk;
+}

@@ -1,0 +1,78 @@
+//===- tool/Cascade.h - Cheap-first domain cascade policy -------*- C++ -*-===//
+//
+// Part of the Craft reproduction (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cascade scheduler's policy type: which abstract domains a query
+/// walks, cheapest first, before paying the full cost of the spec's final
+/// domain (and, when `split-depth` is set, splitting). The walk is sound
+/// by construction — CraftVerifier only ever returns Certified or
+/// undecided, never a refutation, so a cheaper rung can only *end* the
+/// walk by certifying with its own over-approximation (a sound proof);
+/// everything else escalates. The last rung is always the spec's own
+/// domain, so cascade verdicts are identical to direct runs.
+///
+/// Spelled in specs as `cascade off|adapt|full|<rung,rung,...>` and on the
+/// command line as `--cascade=...`. `adapt` picks the starting rung from
+/// the problem size p (small latent spaces amortize cheap probes; big ones
+/// skip straight to precise domains). Policy resolution is pure — the rung
+/// list depends only on (policy, final domain, p) — which is what keeps
+/// cascade outcomes byte-identical for jobs 1 vs N.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFT_TOOL_CASCADE_H
+#define CRAFT_TOOL_CASCADE_H
+
+#include "domains/DomainConcept.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace craft {
+
+/// How the cascade rung list is chosen.
+enum class CascadeMode {
+  Unset, ///< Nothing requested; behaves like Off, but lets a serve-side
+         ///< default apply (an explicit `cascade off` wins over it).
+  Off,   ///< Single rung: the spec's domain, the historic behavior.
+  Fixed, ///< The rung list given in the spec/CLI, cheapest first.
+  Adapt, ///< Starting rung picked from the problem size p.
+};
+
+/// A parsed cascade policy; \ref resolve turns it into the concrete rung
+/// walk for one query.
+struct CascadePolicy {
+  CascadeMode Mode = CascadeMode::Unset;
+  /// Fixed mode only: the requested rungs, in request order.
+  std::vector<VerifierDomain> Rungs;
+
+  /// True when the walk can have more than one rung.
+  bool active() const {
+    return Mode == CascadeMode::Fixed || Mode == CascadeMode::Adapt;
+  }
+
+  /// Parses `off`, `adapt`, `full` (= box,zono), or a comma-separated
+  /// rung list of \ref verifierDomainName spellings. Unknown names or
+  /// duplicate rungs yield nullopt.
+  static std::optional<CascadePolicy> parse(std::string_view Text);
+
+  /// Canonical spelling (inverse of \ref parse); Unset renders as "off" —
+  /// the two behave identically once a query executes.
+  std::string render() const;
+
+  /// The concrete rung walk for a query whose spec domain is \p Final on
+  /// a model with latent dimension \p LatentDim: cheaper rungs (strictly
+  /// lower \ref domainRank than \p Final, never duplicated) followed by
+  /// \p Final itself. Pure — this is the jobs-1-vs-N determinism anchor.
+  std::vector<VerifierDomain> resolve(VerifierDomain Final,
+                                      size_t LatentDim) const;
+};
+
+} // namespace craft
+
+#endif // CRAFT_TOOL_CASCADE_H

@@ -27,8 +27,13 @@ namespace {
 
 CraftConfig configFor(const VerificationSpec &Spec) {
   CraftConfig Cfg;
+  // The `box` engine keyword predates the pluggable-domain portfolio and
+  // is kept as shorthand for craft-on-intervals; otherwise the spec's
+  // `domain` directive picks the rung the engine runs in.
   if (Spec.Verifier == SpecVerifier::Box)
     Cfg.Domain = VerifierDomain::Box;
+  else
+    Cfg.Domain = Spec.Domain;
   if (Spec.Alpha1 > 0.0)
     Cfg.Alpha1 = Spec.Alpha1;
   if (Spec.Alpha2 > 0.0)
@@ -40,6 +45,47 @@ CraftConfig configFor(const VerificationSpec &Spec) {
   Cfg.InputClampLo = Spec.ClampLo;
   Cfg.InputClampHi = Spec.ClampHi;
   return Cfg;
+}
+
+// Cascade telemetry, resolved once at namespace scope per the
+// Telemetry.h hot-path contract. The rung_certified counters only tick
+// for cascade walks — a single-rung run is the historic direct path, not
+// a cascade hit — and count queries, not rungs.
+const telemetry::Counter CascadeEscalated =
+    telemetry::counterMetric("cascade.escalations");
+const telemetry::Counter CascadeCertifiedBox =
+    telemetry::counterMetric("cascade.rung_certified.box");
+const telemetry::Counter CascadeCertifiedZono =
+    telemetry::counterMetric("cascade.rung_certified.zono");
+const telemetry::Counter CascadeCertifiedChzono =
+    telemetry::counterMetric("cascade.rung_certified.chzono");
+const telemetry::Counter CascadeCertifiedSplit =
+    telemetry::counterMetric("cascade.rung_certified.split");
+
+const telemetry::Counter &rungCertifiedCounter(VerifierDomain D) {
+  switch (D) {
+  case VerifierDomain::Box:
+    return CascadeCertifiedBox;
+  case VerifierDomain::Zono:
+    return CascadeCertifiedZono;
+  case VerifierDomain::CHZono:
+    break;
+  }
+  return CascadeCertifiedChzono;
+}
+
+void addRungMs(PhaseBreakdown &Phases, VerifierDomain D, double Ms) {
+  switch (D) {
+  case VerifierDomain::Box:
+    Phases.RungBoxMs += Ms;
+    break;
+  case VerifierDomain::Zono:
+    Phases.RungZonoMs += Ms;
+    break;
+  case VerifierDomain::CHZono:
+    Phases.RungChzonoMs += Ms;
+    break;
+  }
 }
 
 /// Runs \p Spec against an already-loaded model. The model is shared and
@@ -100,7 +146,87 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model,
   switch (Spec.Verifier) {
   case SpecVerifier::Craft:
   case SpecVerifier::Box: {
-    if (Spec.SplitDepth > 0) {
+    // Cheap-first cascade walk. resolve() returns the rung ladder ending
+    // in the spec's own domain — a single rung (the historic direct run)
+    // when the cascade is off. The craft engine only ever certifies or
+    // stays undecided, never refutes, so a rung can end the walk early
+    // only by certifying; anything else escalates, and the final rung
+    // (then the split engine, when split-depth engages it) is exactly the
+    // direct run — cascade verdicts match direct verdicts by
+    // construction.
+    const std::vector<VerifierDomain> Rungs =
+        Spec.Cascade.resolve(Cfg.Domain, Model.latentDim());
+    const bool Cascading = Rungs.size() > 1;
+    const bool SplitRung = Spec.SplitDepth > 0;
+
+    bool WalkCertified = false;
+    bool LastContainment = false;
+    double WalkMargin = -1e300;
+    // A direct split run (cascade off) skips the whole-box probe and goes
+    // straight to the split engine, as it always has.
+    if (!SplitRung || Cascading) {
+      for (size_t R = 0; R < Rungs.size(); ++R) {
+        if (R > 0 && Control.stopRequested())
+          break; // Budget gone: a costlier rung would be cut short too.
+        CraftConfig RungCfg = Cfg;
+        RungCfg.Domain = Rungs[R];
+        const uint64_t RungBefore =
+            Timing && Cascading
+                ? telemetry::phaseTotals().of(telemetry::Phase::Solver)
+                : 0;
+        CraftVerifier Ver(Model, RungCfg);
+        CraftResult Res = [&] {
+          telemetry::PhaseTimer SolverPhase(telemetry::Phase::Solver);
+          return Ver.verifyRegion(Spec.InLo, Spec.InHi, Spec.TargetClass);
+        }();
+        SolverIterations += static_cast<uint64_t>(Res.TotalIterations);
+        if (Timing && Cascading)
+          addRungMs(Out.Phases, Rungs[R],
+                    static_cast<double>(
+                        telemetry::phaseTotals().of(
+                            telemetry::Phase::Solver) -
+                        RungBefore) /
+                        1e6);
+        Out.Containment = Out.Containment || Res.Containment;
+        LastContainment = Res.Containment;
+        WalkMargin = std::max(WalkMargin, Res.BestMargin);
+        if (Res.Certified) {
+          WalkCertified = true;
+          if (Cascading) {
+            Out.CascadeRung = verifierDomainName(Rungs[R]);
+            rungCertifiedCounter(Rungs[R]).increment();
+          }
+          break;
+        }
+        if (Cascading && R + 1 < Rungs.size()) {
+          ++Out.CascadeEscalations;
+          CascadeEscalated.increment();
+        }
+      }
+      Out.Certified = WalkCertified;
+      Out.MarginLower = WalkMargin;
+      if (!SplitRung || WalkCertified) {
+        Out.Detail = LastContainment ? "abstract post-fixpoint found"
+                                     : "no containment within budget";
+        if (Cascading)
+          Out.Detail +=
+              WalkCertified
+                  ? "; cascade certified at rung '" + Out.CascadeRung +
+                        "' (" + std::to_string(Out.CascadeEscalations) +
+                        " escalations)"
+                  : "; cascade exhausted after " +
+                        std::to_string(Out.CascadeEscalations) +
+                        " escalations";
+      }
+    }
+
+    if (SplitRung && !WalkCertified &&
+        !(Cascading && Control.stopRequested())) {
+      if (Cascading) {
+        // Escalating past the final domain rung into the split engine.
+        ++Out.CascadeEscalations;
+        CascadeEscalated.increment();
+      }
       SplitOptions Split;
       Split.MaxDepth = Spec.SplitDepth;
       Split.Jobs = Spec.SplitJobs == 0 ? -1 : Spec.SplitJobs;
@@ -122,10 +248,10 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model,
         return verifyRobustnessSplit(Model, Cfg, Spec.InLo, Spec.InHi,
                                      Spec.TargetClass, Split);
       }();
-      SolverIterations = Res.NumVerifierCalls;
+      SolverIterations += Res.NumVerifierCalls;
       Out.Certified = Res.Certified;
-      Out.Containment = Res.NumVerifierCalls > 0;
-      Out.MarginLower = Res.Certified ? 0.0 : -1.0;
+      Out.Containment = Out.Containment || Res.NumVerifierCalls > 0;
+      Out.MarginLower = Res.Certified ? 0.0 : std::max(WalkMargin, -1.0);
       Out.Refuted = Res.Refuted;
       if (Res.NumPgdProbes > 0 || Res.RefutedByPgd)
         Out.AttackSeed = Split.ProbeSeedBase;
@@ -144,19 +270,17 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model,
                      std::to_string(Res.CertifiedVolumeFraction * 100.0) +
                      "% volume certified";
       }
-      break;
+      if (Cascading) {
+        if (Res.Certified || Res.Refuted) {
+          Out.CascadeRung = "split";
+          if (Res.Certified)
+            CascadeCertifiedSplit.increment();
+        }
+        Out.Detail += "; after cascade (" +
+                      std::to_string(Out.CascadeEscalations) +
+                      " escalations)";
+      }
     }
-    CraftVerifier Ver(Model, Cfg);
-    CraftResult Res = [&] {
-      telemetry::PhaseTimer SolverPhase(telemetry::Phase::Solver);
-      return Ver.verifyRegion(Spec.InLo, Spec.InHi, Spec.TargetClass);
-    }();
-    SolverIterations = static_cast<uint64_t>(Res.TotalIterations);
-    Out.Certified = Res.Certified;
-    Out.Containment = Res.Containment;
-    Out.MarginLower = Res.BestMargin;
-    Out.Detail = Res.Containment ? "abstract post-fixpoint found"
-                                 : "no containment within budget";
     break;
   }
   case SpecVerifier::Crown: {
@@ -258,15 +382,25 @@ RunOutcome runSpecOn(const VerificationSpec &Spec, const MonDeq &Model,
       // with certifyRegion would predictably fail (splitting ran because
       // the root alone does not certify). Diagnose instead of re-running.
       Out.Detail += "; certificates are not yet supported for split runs";
-    } else if (auto Cert = certifyRegion(Model, Spec.InLo, Spec.InHi,
-                                         Spec.TargetClass,
-                                         configFor(Spec))) {
-      Out.CertificateWritten =
-          saveCertificate(*Cert, Spec.CertificatePath);
-      if (!Out.CertificateWritten)
-        Out.Detail += "; failed to write certificate";
     } else {
-      Out.Detail += "; witness construction failed";
+      // A cascade-certified query re-proves in the certifying rung's
+      // domain. The witness machinery is zonotope-based, so a Box
+      // certification re-proves in CH-Zonotope (the certificate records
+      // the domain the proof actually used).
+      CraftConfig CertCfg = configFor(Spec);
+      if (!Out.CascadeRung.empty())
+        if (std::optional<VerifierDomain> Rung =
+                parseVerifierDomain(Out.CascadeRung))
+          CertCfg.Domain = *Rung;
+      if (auto Cert = certifyRegion(Model, Spec.InLo, Spec.InHi,
+                                    Spec.TargetClass, CertCfg)) {
+        Out.CertificateWritten =
+            saveCertificate(*Cert, Spec.CertificatePath);
+        if (!Out.CertificateWritten)
+          Out.Detail += "; failed to write certificate";
+      } else {
+        Out.Detail += "; witness construction failed";
+      }
     }
   }
 
@@ -501,6 +635,7 @@ bool craft::runCheck(const std::string &ModelPath,
   }
   CheckReport Report = checkCertificate(*Model, *Cert);
   std::printf("certificate  %s\n", CertPath.c_str());
+  std::printf("domain       %s\n", verifierDomainName(Cert->Domain));
   std::printf("verdict      %s (stage: %s)\n",
               Report.Ok ? "ACCEPTED" : "REJECTED", Report.Stage);
   std::printf("inverse      residual %.3e\n", Report.InverseResidual);

@@ -55,6 +55,11 @@ struct PhaseBreakdown {
   double PgdMs = 0.0;
   /// Certificate construction + save.
   double CertificateMs = 0.0;
+  /// Per-rung engine time of a cascade walk (slices of SolverMs, one per
+  /// domain; all zero when the cascade is off or timing is disabled).
+  double RungBoxMs = 0.0;
+  double RungZonoMs = 0.0;
+  double RungChzonoMs = 0.0;
   /// Solver iterations to convergence (Craft/Box: fixpoint iterations;
   /// split runs: verifier calls across all waves). Travels with the
   /// breakdown, so it is zero when unpopulated; the engines' own
@@ -90,6 +95,13 @@ struct RunOutcome {
   bool CertificateWritten = false;
   /// RNG seed the PGD refutation pass ran with (0 = pass did not run).
   uint64_t AttackSeed = 0;
+  /// Cascade runs only: \ref verifierDomainName of the rung that settled
+  /// the verdict ("split" when the split engine did); empty when the
+  /// cascade was off or no rung certified.
+  std::string CascadeRung;
+  /// Cascade runs only: times the query escalated to a more expensive
+  /// rung (the last escalation being to the split engine when engaged).
+  int CascadeEscalations = 0;
   /// Human-readable failure/summary detail.
   std::string Detail;
   /// Wall-time attribution (see PhaseBreakdown); zero when timing is off.

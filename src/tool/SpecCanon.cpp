@@ -40,12 +40,17 @@ void appendVector(std::string &Out, const char *Name, const Vector &V) {
 } // namespace
 
 std::string craft::canonicalSpec(const VerificationSpec &Spec) {
-  std::string Out = "craftspec.v1;";
+  // v2: domain and cascade joined the canonical form — a cached Box
+  // verdict must never answer a CH-Zonotope request (and vice versa).
+  std::string Out = "craftspec.v2;";
   Out += "verifier=";
   Out += Spec.Verifier == SpecVerifier::Craft   ? "craft"
          : Spec.Verifier == SpecVerifier::Box   ? "box"
          : Spec.Verifier == SpecVerifier::Crown ? "crown"
                                                 : "lipschitz";
+  Out += ";domain=";
+  Out += verifierDomainName(Spec.Domain);
+  Out += ";cascade=" + Spec.Cascade.render();
   Out += ";target=" + std::to_string(Spec.TargetClass) + ";";
   appendVector(Out, "lo", Spec.InLo);
   appendVector(Out, "hi", Spec.InHi);

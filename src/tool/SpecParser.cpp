@@ -286,6 +286,30 @@ private:
       else
         error(Line[1], "unknown verifier '" + Name +
                            "' (craft, box, crown, lipschitz)");
+    } else if (Kw == "domain") {
+      if (Line.size() != 2)
+        return error(Head, "'domain' takes one domain name");
+      if (!once(Head))
+        return;
+      std::optional<VerifierDomain> D = parseVerifierDomain(Line[1].Text);
+      if (!D)
+        return error(Line[1], "unknown domain '" + Line[1].Text +
+                                  "' (box, zono, chzono)");
+      Base.Domain = *D;
+    } else if (Kw == "cascade") {
+      if (Line.size() != 2)
+        return error(Head,
+                     "'cascade' takes one policy (off, adapt, full, or a "
+                     "comma-separated rung list)");
+      if (!once(Head))
+        return;
+      std::optional<CascadePolicy> P = CascadePolicy::parse(Line[1].Text);
+      if (!P)
+        return error(Line[1],
+                     "invalid cascade policy '" + Line[1].Text +
+                         "' (off, adapt, full, or distinct rungs from "
+                         "box, zono, chzono)");
+      Base.Cascade = *P;
     } else if (Kw == "alpha1") {
       // A bare `alpha1` was silently ignored before this arity check.
       if (Line.size() != 2)
@@ -365,6 +389,14 @@ private:
       error(End, "missing 'model' directive");
     if (Base.TargetClass < 0)
       error(End, "missing 'output robust <class>' directive");
+    // Domain selection and the cascade are craft-engine concepts: the box
+    // engine is shorthand for craft-on-Box, and crown/lipschitz have no
+    // pluggable domain at all.
+    if (SeenOnce.count("domain") && Base.Verifier != SpecVerifier::Craft)
+      error(End, "'domain' requires the craft engine (use 'domain box' "
+                 "instead of 'verifier box' to run craft on intervals)");
+    if (SeenOnce.count("cascade") && Base.Verifier != SpecVerifier::Craft)
+      error(End, "'cascade' requires the craft engine");
     if (Sections.empty())
       return error(End, "missing 'input linf' or 'input box' block");
 

@@ -36,12 +36,18 @@
 /// `split-jobs <n>` fans its region waves out across n worker threads
 /// (0 = all hardware threads) without changing any outcome.
 ///
+/// `domain <box|zono|chzono>` selects the abstract domain the craft
+/// engine runs in, and `cascade <off|adapt|full|rung,rung,...>` walks a
+/// cheap-first domain cascade before the spec's own domain (see
+/// tool/Cascade.h). Both require the craft engine.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CRAFT_TOOL_SPECPARSER_H
 #define CRAFT_TOOL_SPECPARSER_H
 
 #include "linalg/Matrix.h"
+#include "tool/Cascade.h"
 
 #include <optional>
 #include <string>
@@ -63,6 +69,13 @@ struct VerificationSpec {
   double ClampLo = 0.0, ClampHi = 1.0;
   int TargetClass = -1;
   SpecVerifier Verifier = SpecVerifier::Craft;
+  /// Abstract domain the craft engine runs in (`domain` directive /
+  /// --domain; the `box` engine shorthand pins it to Box).
+  VerifierDomain Domain = VerifierDomain::CHZono;
+  /// Cheap-first domain cascade (`cascade` directive / --cascade): walk
+  /// cheaper rungs first, escalating until one certifies or the spec's
+  /// own domain has run. Off/Unset = single-rung historic behavior.
+  CascadePolicy Cascade;
   /// Knob overrides (< 0 / 0 = library default).
   double Alpha1 = -1.0;
   double Alpha2 = -1.0;

@@ -1,0 +1,334 @@
+//===- tests/test_cascade.cpp - Cheap-first domain cascade ----------------===//
+//
+// The cascade contract: CascadePolicy parsing/resolution is pure and
+// canonical, walks always end in the spec's own domain so cascade verdicts
+// match direct runs exactly, cheap rungs actually absorb part of a mixed
+// batch, and cascade outcomes — including the rung attribution — are
+// byte-identical for every worker count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/GaussianMixture.h"
+#include "nn/Solvers.h"
+#include "nn/Training.h"
+#include "support/Rng.h"
+#include "tool/Cascade.h"
+#include "tool/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace craft;
+
+//===----------------------------------------------------------------------===//
+// CascadePolicy: parse / render / resolve
+//===----------------------------------------------------------------------===//
+
+TEST(CascadePolicyTest, ParseKeywordsAndRungLists) {
+  std::optional<CascadePolicy> Off = CascadePolicy::parse("off");
+  ASSERT_TRUE(Off.has_value());
+  EXPECT_EQ(Off->Mode, CascadeMode::Off);
+  EXPECT_FALSE(Off->active());
+
+  std::optional<CascadePolicy> Adapt = CascadePolicy::parse("adapt");
+  ASSERT_TRUE(Adapt.has_value());
+  EXPECT_EQ(Adapt->Mode, CascadeMode::Adapt);
+  EXPECT_TRUE(Adapt->active());
+
+  // `full` is shorthand for the whole cheap prefix.
+  std::optional<CascadePolicy> Full = CascadePolicy::parse("full");
+  ASSERT_TRUE(Full.has_value());
+  EXPECT_EQ(Full->Mode, CascadeMode::Fixed);
+  ASSERT_EQ(Full->Rungs.size(), 2u);
+  EXPECT_EQ(Full->Rungs[0], VerifierDomain::Box);
+  EXPECT_EQ(Full->Rungs[1], VerifierDomain::Zono);
+
+  std::optional<CascadePolicy> List = CascadePolicy::parse("box,zono");
+  ASSERT_TRUE(List.has_value());
+  EXPECT_EQ(List->Mode, CascadeMode::Fixed);
+  ASSERT_EQ(List->Rungs.size(), 2u);
+  EXPECT_EQ(List->Rungs[0], VerifierDomain::Box);
+  EXPECT_EQ(List->Rungs[1], VerifierDomain::Zono);
+
+  std::optional<CascadePolicy> One = CascadePolicy::parse("box");
+  ASSERT_TRUE(One.has_value());
+  ASSERT_EQ(One->Rungs.size(), 1u);
+}
+
+TEST(CascadePolicyTest, ParseRejectsUnknownAndDuplicateRungs) {
+  EXPECT_FALSE(CascadePolicy::parse("hexagon").has_value());
+  EXPECT_FALSE(CascadePolicy::parse("box,box").has_value());
+  EXPECT_FALSE(CascadePolicy::parse("box,,zono").has_value());
+  EXPECT_FALSE(CascadePolicy::parse("").has_value());
+  EXPECT_FALSE(CascadePolicy::parse("box zono").has_value());
+}
+
+TEST(CascadePolicyTest, RenderIsCanonical) {
+  // Unset and Off execute identically, so they share one canonical
+  // spelling (and thus one serve cache entry).
+  EXPECT_EQ(CascadePolicy{}.render(), "off");
+  EXPECT_EQ(CascadePolicy::parse("off")->render(), "off");
+  EXPECT_EQ(CascadePolicy::parse("adapt")->render(), "adapt");
+  EXPECT_EQ(CascadePolicy::parse("box,zono")->render(), "box,zono");
+  // `full` and its expansion are the same query.
+  EXPECT_EQ(CascadePolicy::parse("full")->render(),
+            CascadePolicy::parse("box,zono")->render());
+}
+
+TEST(CascadePolicyTest, ResolveAlwaysEndsInTheFinalDomain) {
+  for (const char *Text : {"off", "adapt", "full", "box", "zono", "box,zono"})
+    for (VerifierDomain Final :
+         {VerifierDomain::Box, VerifierDomain::Zono, VerifierDomain::CHZono})
+      for (size_t P : {4u, 300u, 2000u}) {
+        std::vector<VerifierDomain> Rungs =
+            CascadePolicy::parse(Text)->resolve(Final, P);
+        ASSERT_FALSE(Rungs.empty()) << Text;
+        EXPECT_EQ(Rungs.back(), Final) << Text;
+        // Strictly increasing precision: no rung repeats, none outranks
+        // the final domain.
+        for (size_t I = 0; I + 1 < Rungs.size(); ++I)
+          EXPECT_LT(domainRank(Rungs[I]), domainRank(Rungs[I + 1])) << Text;
+      }
+}
+
+TEST(CascadePolicyTest, ResolveFiltersRungsAtOrAboveTheFinalDomain) {
+  CascadePolicy Full = *CascadePolicy::parse("full");
+  // Final Box: nothing is cheaper than Box, single-rung walk.
+  EXPECT_EQ(Full.resolve(VerifierDomain::Box, 10).size(), 1u);
+  // Final Zono: only Box remains of the cheap prefix.
+  std::vector<VerifierDomain> Rungs = Full.resolve(VerifierDomain::Zono, 10);
+  ASSERT_EQ(Rungs.size(), 2u);
+  EXPECT_EQ(Rungs[0], VerifierDomain::Box);
+  // Off: always exactly the final domain.
+  EXPECT_EQ(CascadePolicy{}.resolve(VerifierDomain::CHZono, 10).size(), 1u);
+}
+
+TEST(CascadePolicyTest, AdaptPicksTheStartingRungFromProblemSize) {
+  CascadePolicy Adapt = *CascadePolicy::parse("adapt");
+  // Small latent space: full ladder.
+  std::vector<VerifierDomain> Small =
+      Adapt.resolve(VerifierDomain::CHZono, 64);
+  ASSERT_EQ(Small.size(), 3u);
+  EXPECT_EQ(Small[0], VerifierDomain::Box);
+  EXPECT_EQ(Small[1], VerifierDomain::Zono);
+  // Mid-size: the box probe no longer amortizes, start at zonotope.
+  std::vector<VerifierDomain> Mid =
+      Adapt.resolve(VerifierDomain::CHZono, 512);
+  ASSERT_EQ(Mid.size(), 2u);
+  EXPECT_EQ(Mid[0], VerifierDomain::Zono);
+  // Large: straight to the precise domain.
+  std::vector<VerifierDomain> Large =
+      Adapt.resolve(VerifierDomain::CHZono, 4096);
+  ASSERT_EQ(Large.size(), 1u);
+  // Purity: same inputs, same walk (the jobs-1-vs-N anchor).
+  EXPECT_EQ(Adapt.resolve(VerifierDomain::CHZono, 512),
+            Adapt.resolve(VerifierDomain::CHZono, 512));
+}
+
+//===----------------------------------------------------------------------===//
+// Driver-level cascade walks
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Tiny trained model shared by the cascade tests (same recipe as the
+/// batch-driver fixture, separate file so the suites stay independent).
+struct CascadeFixture {
+  std::string ModelPath = "/tmp/craft_cascade_model.bin";
+  std::vector<Vector> Samples;
+  std::vector<int> Labels;
+};
+
+CascadeFixture &cascadeFixture() {
+  static CascadeFixture *F = [] {
+    auto *Out = new CascadeFixture;
+    Rng DataRng(81);
+    Dataset Train = makeGaussianMixture(DataRng, 250, 5, 3);
+    Rng InitRng(82);
+    MonDeq Model = MonDeq::randomFc(InitRng, 5, 10, 3, 3.0);
+    TrainOptions Opts;
+    Opts.Epochs = 10;
+    Opts.Verbose = false;
+    trainMonDeq(Model, Train, Opts);
+    Model.save(Out->ModelPath);
+    FixpointSolver Solver(Model, Splitting::PeacemanRachford);
+    for (size_t I = 0; I < Train.size() && Out->Samples.size() < 8; ++I)
+      if (Solver.predict(Train.input(I)) == Train.Labels[I]) {
+        Out->Samples.push_back(Train.input(I));
+        Out->Labels.push_back(Train.Labels[I]);
+      }
+    return Out;
+  }();
+  return *F;
+}
+
+VerificationSpec specFor(const CascadeFixture &Fix, size_t Sample,
+                         double Epsilon) {
+  VerificationSpec Spec;
+  Spec.ModelPath = Fix.ModelPath;
+  Spec.Center = Fix.Samples[Sample];
+  Spec.Epsilon = Epsilon;
+  Spec.TargetClass = Fix.Labels[Sample];
+  Spec.Alpha1 = 0.5;
+  Spec.InLo = Vector(Spec.Center.size());
+  Spec.InHi = Vector(Spec.Center.size());
+  for (size_t I = 0; I < Spec.Center.size(); ++I) {
+    Spec.InLo[I] = std::max(Spec.Center[I] - Epsilon, 0.0);
+    Spec.InHi[I] = std::min(Spec.Center[I] + Epsilon, 1.0);
+  }
+  return Spec;
+}
+
+/// A mixed difficulty batch: easy queries a cheap rung can absorb plus
+/// hard ones that must escalate to the final domain.
+std::vector<VerificationSpec> mixedBatch(const CascadeFixture &Fix) {
+  std::vector<VerificationSpec> Specs;
+  for (size_t I = 0; I < Fix.Samples.size(); ++I)
+    Specs.push_back(specFor(Fix, I, 0.02));
+  for (size_t I = 0; I < Fix.Samples.size(); ++I)
+    Specs.push_back(specFor(Fix, I, 0.25));
+  return Specs;
+}
+
+} // namespace
+
+TEST(CascadeDriverTest, VerdictsMatchDirectChzonoRuns) {
+  CascadeFixture &Fix = cascadeFixture();
+  ASSERT_GE(Fix.Samples.size(), 4u);
+  std::vector<VerificationSpec> Direct = mixedBatch(Fix);
+  std::vector<VerificationSpec> Cascaded = mixedBatch(Fix);
+  for (VerificationSpec &Spec : Cascaded)
+    Spec.Cascade = *CascadePolicy::parse("full");
+
+  BatchOptions Serial;
+  Serial.Jobs = 1;
+  std::vector<RunOutcome> Want = runSpecBatch(Direct, Serial);
+  std::vector<RunOutcome> Got = runSpecBatch(Cascaded, Serial);
+  ASSERT_EQ(Want.size(), Got.size());
+  size_t Certified = 0, CheapHits = 0;
+  for (size_t I = 0; I < Want.size(); ++I) {
+    // The last rung is the direct run, so the cascade can never flip a
+    // verdict in either direction — only answer it earlier.
+    EXPECT_EQ(Want[I].Certified, Got[I].Certified) << "query " << I;
+    EXPECT_EQ(Want[I].Refuted, Got[I].Refuted) << "query " << I;
+    EXPECT_EQ(Want[I].Containment, Got[I].Containment) << "query " << I;
+    if (Got[I].Certified) {
+      ++Certified;
+      EXPECT_FALSE(Got[I].CascadeRung.empty())
+          << "certified cascade runs must attribute their rung";
+      if (Got[I].CascadeRung != "chzono")
+        ++CheapHits;
+    }
+    // Direct runs never report cascade state.
+    EXPECT_TRUE(Want[I].CascadeRung.empty()) << "query " << I;
+    EXPECT_EQ(Want[I].CascadeEscalations, 0) << "query " << I;
+  }
+  ASSERT_GT(Certified, 0u) << "fixture must certify its easy queries";
+  // The cascade's reason to exist: cheap rungs absorb part of the batch.
+  EXPECT_GT(CheapHits, 0u);
+}
+
+TEST(CascadeDriverTest, EscalationPathIsReported) {
+  CascadeFixture &Fix = cascadeFixture();
+  ASSERT_GE(Fix.Samples.size(), 1u);
+  // Hopeless radius: every rung fails, the walk must record one
+  // escalation per unsuccessful cheap rung and stay uncertified.
+  VerificationSpec Hard = specFor(Fix, 0, 0.45);
+  Hard.Cascade = *CascadePolicy::parse("full");
+  RunOutcome Out = runSpec(Hard);
+  ASSERT_TRUE(Out.ModelLoaded);
+  EXPECT_FALSE(Out.Certified);
+  EXPECT_EQ(Out.CascadeEscalations, 2) << "box and zono must both escalate";
+  EXPECT_TRUE(Out.CascadeRung.empty())
+      << "no rung certified, so none is attributed";
+  EXPECT_NE(Out.Detail.find("cascade exhausted"), std::string::npos)
+      << Out.Detail;
+
+  // An easy query under the same policy stops at a cheap rung and never
+  // reaches chzono.
+  VerificationSpec Easy = specFor(Fix, 0, 0.02);
+  Easy.Cascade = *CascadePolicy::parse("full");
+  RunOutcome EasyOut = runSpec(Easy);
+  ASSERT_TRUE(EasyOut.ModelLoaded);
+  EXPECT_TRUE(EasyOut.Certified);
+  EXPECT_NE(EasyOut.CascadeRung, "chzono");
+  EXPECT_NE(EasyOut.Detail.find("cascade certified at rung"),
+            std::string::npos)
+      << EasyOut.Detail;
+}
+
+TEST(CascadeDriverTest, JobCountNeverChangesCascadeOutcomes) {
+  CascadeFixture &Fix = cascadeFixture();
+  ASSERT_GE(Fix.Samples.size(), 4u);
+  std::vector<VerificationSpec> Specs = mixedBatch(Fix);
+  for (size_t I = 0; I < Specs.size(); ++I)
+    Specs[I].Cascade = *CascadePolicy::parse(I % 2 ? "adapt" : "full");
+
+  BatchOptions Serial;
+  Serial.Jobs = 1;
+  std::vector<RunOutcome> Baseline = runSpecBatch(Specs, Serial);
+  for (int Jobs : {2, 4}) {
+    BatchOptions Parallel;
+    Parallel.Jobs = Jobs;
+    std::vector<RunOutcome> Outs = runSpecBatch(Specs, Parallel);
+    ASSERT_EQ(Outs.size(), Baseline.size());
+    for (size_t I = 0; I < Outs.size(); ++I) {
+      EXPECT_EQ(Baseline[I].Certified, Outs[I].Certified) << "query " << I;
+      EXPECT_EQ(Baseline[I].Refuted, Outs[I].Refuted) << "query " << I;
+      EXPECT_EQ(Baseline[I].CascadeRung, Outs[I].CascadeRung)
+          << "query " << I;
+      EXPECT_EQ(Baseline[I].CascadeEscalations, Outs[I].CascadeEscalations)
+          << "query " << I;
+      EXPECT_EQ(Baseline[I].Detail, Outs[I].Detail) << "query " << I;
+      EXPECT_EQ(std::memcmp(&Baseline[I].MarginLower, &Outs[I].MarginLower,
+                            sizeof(double)),
+                0)
+          << "query " << I << ": margins differ in some bit";
+    }
+  }
+}
+
+TEST(CascadeDriverTest, SpecDirectivesReachTheDriver) {
+  // End-to-end through the parser: `domain` pins the engine's domain and
+  // `cascade` arms the walk, byte-identically to setting the fields.
+  CascadeFixture &Fix = cascadeFixture();
+  VerificationSpec Base = specFor(Fix, 0, 0.02);
+  std::string Source = "model " + Fix.ModelPath +
+                       "\n"
+                       "verifier craft\n"
+                       "domain zono\n"
+                       "cascade box,zono\n"
+                       "alpha1 0.5\n"
+                       "output robust " +
+                       std::to_string(Base.TargetClass) +
+                       "\n"
+                       "input box\n";
+  auto appendVec = [&](const char *Name, const Vector &V) {
+    Source += Name;
+    for (size_t I = 0; I < V.size(); ++I) {
+      Source += ' ';
+      Source += std::to_string(V[I]);
+    }
+    Source += '\n';
+  };
+  appendVec("  lo", Base.InLo);
+  appendVec("  hi", Base.InHi);
+  SpecParseResult Parsed = parseSpec(Source);
+  ASSERT_TRUE(Parsed.ok()) << (Parsed.Diagnostics.empty()
+                                   ? "?"
+                                   : Parsed.Diagnostics[0].Message);
+  EXPECT_EQ(Parsed.Spec->Domain, VerifierDomain::Zono);
+  EXPECT_EQ(Parsed.Spec->Cascade.render(), "box,zono");
+
+  RunOutcome Out = runSpec(*Parsed.Spec);
+  ASSERT_TRUE(Out.ModelLoaded);
+  // Final domain Zono: the resolved walk is box -> zono.
+  if (Out.Certified) {
+    EXPECT_TRUE(Out.CascadeRung == "box" || Out.CascadeRung == "zono")
+        << Out.CascadeRung;
+  }
+}

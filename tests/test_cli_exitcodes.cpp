@@ -146,6 +146,80 @@ TEST(CliExitCodeTest, SplitSubcommandContract) {
             2);
 }
 
+TEST(CliExitCodeTest, DomainAndCascadeDirectivesAreValidated) {
+  // Unknown domain name: diagnosed with file:line, exit 2.
+  const std::string BadDomain = FixtureDir + "/bad_domain.spec";
+  std::FILE *F = std::fopen(BadDomain.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fprintf(F, "model %s/model.bin\ndomain hexagon\n"
+                  "input box\nlo 0 0 0 0 0\nhi 1 1 1 1 1\noutput robust 0\n",
+               FixtureDir.c_str());
+  std::fclose(F);
+  EXPECT_EQ(craftExit({"verify", BadDomain}), 2);
+
+  // Duplicate domain directive.
+  const std::string DupDomain = FixtureDir + "/dup_domain.spec";
+  F = std::fopen(DupDomain.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fprintf(F, "model %s/model.bin\ndomain box\ndomain zono\n"
+                  "input box\nlo 0 0 0 0 0\nhi 1 1 1 1 1\noutput robust 0\n",
+               FixtureDir.c_str());
+  std::fclose(F);
+  EXPECT_EQ(craftExit({"verify", DupDomain}), 2);
+
+  // `domain` requires the craft engine.
+  const std::string CrownDomain = FixtureDir + "/crown_domain.spec";
+  F = std::fopen(CrownDomain.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fprintf(F, "model %s/model.bin\nverifier crown\ndomain box\n"
+                  "input box\nlo 0 0 0 0 0\nhi 1 1 1 1 1\noutput robust 0\n",
+               FixtureDir.c_str());
+  std::fclose(F);
+  EXPECT_EQ(craftExit({"verify", CrownDomain}), 2);
+
+  // Invalid cascade policies: unknown rung, duplicate rung, wrong engine.
+  const std::string BadCascade = FixtureDir + "/bad_cascade.spec";
+  F = std::fopen(BadCascade.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fprintf(F, "model %s/model.bin\ncascade box,hexagon\n"
+                  "input box\nlo 0 0 0 0 0\nhi 1 1 1 1 1\noutput robust 0\n",
+               FixtureDir.c_str());
+  std::fclose(F);
+  EXPECT_EQ(craftExit({"verify", BadCascade}), 2);
+
+  const std::string CrownCascade = FixtureDir + "/crown_cascade.spec";
+  F = std::fopen(CrownCascade.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fprintf(F, "model %s/model.bin\nverifier crown\ncascade full\n"
+                  "input box\nlo 0 0 0 0 0\nhi 1 1 1 1 1\noutput robust 0\n",
+               FixtureDir.c_str());
+  std::fclose(F);
+  EXPECT_EQ(craftExit({"verify", CrownCascade}), 2);
+}
+
+TEST(CliExitCodeTest, DomainAndCascadeFlagsAreValidated) {
+  // Bad flag values are usage errors.
+  EXPECT_EQ(craftExit({"verify", "--domain", "hexagon",
+                       fixture("smoke.spec")}),
+            2);
+  EXPECT_EQ(craftExit({"verify", "--cascade", "box,box",
+                       fixture("smoke.spec")}),
+            2);
+  // Valid cascade flags keep the certified verdict: the walk's last rung
+  // is the spec's own domain, so the exit code cannot change.
+  EXPECT_EQ(craftExit({"verify", "--cascade", "adapt", fixture("smoke.spec")}),
+            0);
+  EXPECT_EQ(craftExit({"verify", "--cascade", "full", "--jobs", "2",
+                       fixture("smoke.spec")}),
+            0);
+  EXPECT_EQ(craftExit({"verify", "--domain", "zono", fixture("smoke.spec")}),
+            0);
+  // Cascading never rescues an undecidable query either.
+  EXPECT_EQ(craftExit({"verify", "--cascade", "full",
+                       fixture("unknown.spec")}),
+            3);
+}
+
 TEST(CliExitCodeTest, ParseDiagnosticsExitTwo) {
   const std::string Bad = FixtureDir + "/bad_syntax.spec";
   std::FILE *F = std::fopen(Bad.c_str(), "w");

@@ -327,6 +327,34 @@ TEST(SpecCanonTest, IdenticalSpecsShareKeysDifferentSpecsDoNot) {
   EXPECT_EQ(canonicalSpec(A), canonicalSpec(B));
 }
 
+TEST(SpecCanonTest, DomainAndCascadeSeparateKeys) {
+  VerificationSpec A = canonSpec();
+  // The engine's abstract domain changes the computation, so it must
+  // change the key.
+  VerificationSpec B = canonSpec();
+  B.Domain = VerifierDomain::Box;
+  EXPECT_NE(canonicalSpec(A), canonicalSpec(B));
+  B.Domain = VerifierDomain::Zono;
+  EXPECT_NE(canonicalSpec(A), canonicalSpec(B));
+  // So must the cascade policy (a cascade can settle at a cheaper rung,
+  // which changes margins and telemetry attribution).
+  B = canonSpec();
+  B.Cascade = *CascadePolicy::parse("adapt");
+  EXPECT_NE(canonicalSpec(A), canonicalSpec(B));
+  VerificationSpec C = canonSpec();
+  C.Cascade = *CascadePolicy::parse("full");
+  EXPECT_NE(canonicalSpec(B), canonicalSpec(C));
+  // Unset and an explicit `cascade off` execute identically and share a
+  // canonical form (and thus a serve cache entry) ...
+  B = canonSpec();
+  B.Cascade = *CascadePolicy::parse("off");
+  EXPECT_EQ(canonicalSpec(A), canonicalSpec(B));
+  // ... as do `full` and its expansion.
+  B = canonSpec();
+  B.Cascade = *CascadePolicy::parse("box,zono");
+  EXPECT_EQ(canonicalSpec(B), canonicalSpec(C));
+}
+
 TEST(SpecCanonTest, AttackSeedDerivesFromContentOnly) {
   VerificationSpec A = canonSpec();
   std::string KeyA = serveCacheKey(A, 7);

@@ -51,6 +51,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -62,11 +63,13 @@ static int usage() {
       stderr,
       "usage:\n"
       "  craft verify [--jobs N] [--deadline-ms N] [--timings]\n"
-      "               <spec-file>...\n"
+      "               [--domain box|zono|chzono]\n"
+      "               [--cascade off|adapt|full|rung,...] <spec-file>...\n"
       "  craft split [--jobs N] [--depth N] <spec-file>...\n"
       "  craft serve [--port N] [--stdio] [--jobs N] [--max-batch N]\n"
       "              [--cache-entries N] [--queue-capacity N]\n"
       "              [--high-water N] [--max-conns N]\n"
+      "              [--cascade off|adapt|full|rung,...]\n"
       "              [--trace-out FILE]\n"
       "  craft client --port N [--no-cache] [--ping] [--stats]\n"
       "               [--metrics] [--deadline-ms N] [--timeout-ms N]\n"
@@ -140,6 +143,11 @@ void printOutcome(const VerificationSpec &Spec, const RunOutcome &Out) {
     std::printf("containment  %s\n", Out.Containment ? "yes" : "no");
   std::printf("margin       %.6f\n", Out.MarginLower);
   std::printf("time         %.3f s\n", Out.TimeSeconds);
+  if (!Out.CascadeRung.empty() || Out.CascadeEscalations > 0)
+    std::printf("cascade      rung %s, %d escalation%s\n",
+                Out.CascadeRung.empty() ? "(none)" : Out.CascadeRung.c_str(),
+                Out.CascadeEscalations,
+                Out.CascadeEscalations == 1 ? "" : "s");
   if (!Out.Detail.empty())
     std::printf("detail       %s\n", Out.Detail.c_str());
   printCounterexample(Out);
@@ -163,12 +171,17 @@ void printTimings(const RunOutcome &Out) {
               "split %.3f ms, pgd %.3f ms, certificate %.3f ms\n",
               Ph.SolverMs, Ph.ConsolidationMs, Ph.SplitMs, Ph.PgdMs,
               Ph.CertificateMs);
+  if (Ph.RungBoxMs > 0.0 || Ph.RungZonoMs > 0.0 || Ph.RungChzonoMs > 0.0)
+    std::printf("rungs        box %.3f ms, zono %.3f ms, chzono %.3f ms\n",
+                Ph.RungBoxMs, Ph.RungZonoMs, Ph.RungChzonoMs);
   std::printf("iterations   %llu\n",
               static_cast<unsigned long long>(Ph.SolverIterations));
 }
 
 int runVerify(const std::vector<std::string> &Files, int Jobs,
-              double DeadlineMs, bool Timings) {
+              double DeadlineMs, bool Timings,
+              std::optional<VerifierDomain> Domain,
+              std::optional<CascadePolicy> Cascade) {
   std::vector<VerificationSpec> Specs;
   std::vector<const std::string *> Sources; // Spec I came from *Sources[I].
   bool ParseFailed = false;
@@ -187,6 +200,28 @@ int runVerify(const std::vector<std::string> &Files, int Jobs,
   }
   if (ParseFailed)
     return ExitError;
+
+  // --domain / --cascade override every query, mirroring the spec
+  // directives — and, like them, they only make sense for the craft
+  // engine (the `box` engine keyword is craft-on-intervals shorthand).
+  if (Domain || Cascade)
+    for (size_t I = 0; I < Specs.size(); ++I) {
+      if (Specs[I].Verifier != SpecVerifier::Craft &&
+          Specs[I].Verifier != SpecVerifier::Box) {
+        std::fprintf(stderr,
+                     "error: %s requires the craft engine, but query %zu "
+                     "(%s) uses another verifier\n",
+                     Domain ? "--domain" : "--cascade", I + 1,
+                     Sources[I]->c_str());
+        return ExitError;
+      }
+      if (Domain) {
+        Specs[I].Verifier = SpecVerifier::Craft;
+        Specs[I].Domain = *Domain;
+      }
+      if (Cascade)
+        Specs[I].Cascade = *Cascade;
+    }
 
   // Workers would race writing the same witness file: the parser suffixes
   // certificate paths within one spec file, so only cross-file batches can
@@ -369,6 +404,21 @@ int runServe(int Argc, char **Argv) {
       if (!V || !parseCount(V, "--max-conns", 1L << 16, N) || N < 1)
         return ExitError;
       Opts.MaxConnections = static_cast<size_t>(N);
+    } else if (std::strcmp(Argv[I], "--cascade") == 0) {
+      const char *V = needValue("--cascade");
+      if (!V)
+        return ExitError;
+      std::optional<CascadePolicy> P = CascadePolicy::parse(V);
+      if (!P) {
+        std::fprintf(stderr,
+                     "error: invalid cascade policy '%s' (off, adapt, "
+                     "full, or distinct rungs from box, zono, chzono)\n",
+                     V);
+        return ExitError;
+      }
+      // Server default: craft queries whose spec leaves `cascade` unset
+      // adopt this policy at admission (see Scheduler::Options).
+      Opts.Sched.DefaultCascade = *P;
     } else if (std::strcmp(Argv[I], "--trace-out") == 0) {
       const char *V = needValue("--trace-out");
       if (!V)
@@ -529,6 +579,12 @@ int runClient(int Argc, char **Argv) {
       std::printf("margin       %.6f\n", Out.MarginLower);
       std::printf("time         %.3f s\n", Out.TimeSeconds);
       std::printf("cached       %s\n", R.Cached ? "yes" : "no");
+      if (!Out.CascadeRung.empty() || Out.CascadeEscalations > 0)
+        std::printf("cascade      rung %s, %d escalation%s\n",
+                    Out.CascadeRung.empty() ? "(none)"
+                                            : Out.CascadeRung.c_str(),
+                    Out.CascadeEscalations,
+                    Out.CascadeEscalations == 1 ? "" : "s");
       if (!Out.Detail.empty())
         std::printf("detail       %s\n", Out.Detail.c_str());
       printCounterexample(Out);
@@ -585,6 +641,8 @@ int main(int Argc, char **Argv) {
     int Jobs = 1;
     long DeadlineMs = -1; // < 0 = no budget.
     bool Timings = false;
+    std::optional<VerifierDomain> Domain;
+    std::optional<CascadePolicy> Cascade;
     std::vector<std::string> Files;
     for (int I = 2; I < Argc; ++I) {
       if (std::strcmp(Argv[I], "--jobs") == 0 ||
@@ -603,6 +661,27 @@ int main(int Argc, char **Argv) {
           return 2;
       } else if (std::strcmp(Argv[I], "--timings") == 0) {
         Timings = true;
+      } else if (std::strcmp(Argv[I], "--domain") == 0) {
+        if (I + 1 >= Argc)
+          return usage();
+        Domain = parseVerifierDomain(Argv[++I]);
+        if (!Domain) {
+          std::fprintf(stderr,
+                       "error: unknown domain '%s' (box, zono, chzono)\n",
+                       Argv[I]);
+          return 2;
+        }
+      } else if (std::strcmp(Argv[I], "--cascade") == 0) {
+        if (I + 1 >= Argc)
+          return usage();
+        Cascade = CascadePolicy::parse(Argv[++I]);
+        if (!Cascade) {
+          std::fprintf(stderr,
+                       "error: invalid cascade policy '%s' (off, adapt, "
+                       "full, or distinct rungs from box, zono, chzono)\n",
+                       Argv[I]);
+          return 2;
+        }
       } else if (Argv[I][0] == '-') {
         std::fprintf(stderr, "error: unknown option '%s'\n", Argv[I]);
         return usage();
@@ -612,7 +691,8 @@ int main(int Argc, char **Argv) {
     }
     if (Files.empty())
       return usage();
-    return runVerify(Files, Jobs, static_cast<double>(DeadlineMs), Timings);
+    return runVerify(Files, Jobs, static_cast<double>(DeadlineMs), Timings,
+                     Domain, Cascade);
   }
   if (std::strcmp(Argv[1], "split") == 0) {
     int Jobs = 1;
